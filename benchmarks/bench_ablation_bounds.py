@@ -1,0 +1,49 @@
+"""Ablation: rigorous vs paper-exact conditional bounds (DESIGN.md §5).
+
+Quantifies what the provably sound bound variants cost relative to the
+published constants, in required bits and predicted energy, on the Alarm
+network. Written to ``benchmarks/results/ablation_bound_variants.txt``.
+"""
+
+from repro.core.report import render_table
+from repro.experiments.ablations import bound_variant_ablation
+
+from conftest import write_result
+
+
+def test_ablation_bound_variants(benchmark, alarm):
+    rows = benchmark.pedantic(
+        lambda: bound_variant_ablation(alarm, 0.01), rounds=1, iterations=1
+    )
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            {
+                "Query": f"{row.query.value}/{row.tolerance.kind.value}",
+                "Fixed (rigorous)": row.rigorous_fixed,
+                "Fixed (paper)": row.paper_fixed,
+                "Float (rigorous)": row.rigorous_float,
+                "Float (paper)": row.paper_float,
+            }
+        )
+    text = render_table(
+        table_rows,
+        [
+            "Query",
+            "Fixed (rigorous)",
+            "Fixed (paper)",
+            "Float (rigorous)",
+            "Float (paper)",
+        ],
+    )
+    print("\n" + text)
+    write_result("ablation_bound_variants.txt", text + "\n")
+
+    # Rigor costs at most one extra mantissa bit on float options here.
+    for row in rows:
+        if "(" in row.rigorous_float and "(" in row.paper_float:
+            rigorous_bits = int(
+                row.rigorous_float.split(",")[1].split("(")[0]
+            )
+            paper_bits = int(row.paper_float.split(",")[1].split("(")[0])
+            assert rigorous_bits - paper_bits <= 1

@@ -1,0 +1,77 @@
+"""Ablation: balanced vs chain binary decomposition (DESIGN.md §5).
+
+Balanced trees minimize both pipeline depth and the float error constant
+c in (1±ε)^c; this bench quantifies the gap on the Alarm network, plus
+the min-fill vs min-degree elimination-order effect on circuit size.
+Written to ``benchmarks/results/ablation_decomposition.txt``.
+"""
+
+from repro.core.report import render_table
+from repro.experiments.ablations import decomposition_ablation, ordering_ablation
+
+from conftest import write_result
+
+
+def test_ablation_decomposition_and_ordering(benchmark, alarm):
+    def run():
+        return (
+            decomposition_ablation(alarm, 0.01),
+            ordering_ablation(alarm),
+        )
+
+    decomposition_rows, ordering_rows = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    text_parts = ["Decomposition strategy (marginal, rel. tol 0.01):", ""]
+    table = render_table(
+        [
+            {
+                "strategy": row.strategy,
+                "(1±ε)^c count": str(row.float_factor_count),
+                "pipeline depth": str(row.pipeline_depth),
+                "registers": str(row.total_registers),
+                "mantissa bits needed": str(row.mantissa_bits_needed),
+            }
+            for row in decomposition_rows
+        ],
+        [
+            "strategy",
+            "(1±ε)^c count",
+            "pipeline depth",
+            "registers",
+            "mantissa bits needed",
+        ],
+    )
+    text_parts.append(table)
+    text_parts += ["", "Elimination ordering:", ""]
+    text_parts.append(
+        render_table(
+            [
+                {
+                    "ordering": row.ordering,
+                    "operators": str(row.num_operators),
+                    "adders": str(row.num_adders),
+                    "multipliers": str(row.num_multipliers),
+                    "energy @16b (nJ)": f"{row.energy_nj_at_16_bits:.3f}",
+                }
+                for row in ordering_rows
+            ],
+            ["ordering", "operators", "adders", "multipliers", "energy @16b (nJ)"],
+        )
+    )
+    text = "\n".join(text_parts)
+    print("\n" + text)
+    write_result("ablation_decomposition.txt", text + "\n")
+
+    by_strategy = {row.strategy: row for row in decomposition_rows}
+    assert (
+        by_strategy["balanced"].float_factor_count
+        < by_strategy["chain"].float_factor_count
+    )
+    # Alarm's fan-ins are small (≤4 states per sum), so depth can tie;
+    # balanced never loses.
+    assert (
+        by_strategy["balanced"].pipeline_depth
+        <= by_strategy["chain"].pipeline_depth
+    )

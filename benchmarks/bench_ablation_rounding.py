@@ -1,0 +1,56 @@
+"""Ablation: rounding mode (nearest-even vs truncation).
+
+Truncating operators save the rounding logic in hardware but carry a
+full-ULP error per operation (double the nearest modes'), so the
+optimizer must spend roughly one extra fraction/mantissa bit to meet the
+same tolerance. This bench quantifies the trade on the Alarm network.
+Written to ``benchmarks/results/ablation_rounding.txt``.
+"""
+
+from repro.arith import RoundingMode
+from repro.core import ErrorTolerance, ProbLP, ProbLPConfig, QueryType
+from repro.core.report import render_table
+
+from conftest import write_result
+
+
+def test_ablation_rounding_modes(benchmark, alarm_binary):
+    def run():
+        rows = []
+        for mode in (RoundingMode.NEAREST_EVEN, RoundingMode.TRUNCATE):
+            config = ProbLPConfig(rounding=mode)
+            result = ProbLP(
+                alarm_binary,
+                QueryType.MARGINAL,
+                ErrorTolerance.absolute(0.01),
+                config,
+            ).analyze()
+            fixed = result.selection.fixed
+            float_ = result.selection.float_
+            rows.append(
+                {
+                    "rounding": mode.value,
+                    "fixed I, F": f"{fixed.fmt.integer_bits}, "
+                    f"{fixed.fmt.fraction_bits}",
+                    "fixed nJ": f"{fixed.energy_nj:.3g}",
+                    "float E, M": f"{float_.fmt.exponent_bits}, "
+                    f"{float_.fmt.mantissa_bits}",
+                    "float nJ": f"{float_.energy_nj:.3g}",
+                    "selected": result.selected.kind,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        rows,
+        ["rounding", "fixed I, F", "fixed nJ", "float E, M", "float nJ", "selected"],
+    )
+    print("\n" + text)
+    write_result("ablation_rounding.txt", text + "\n")
+
+    nearest, truncated = rows
+    nearest_bits = int(nearest["fixed I, F"].split(",")[1])
+    truncated_bits = int(truncated["fixed I, F"].split(",")[1])
+    # The doubled error constant costs about one bit.
+    assert 0 <= truncated_bits - nearest_bits <= 2

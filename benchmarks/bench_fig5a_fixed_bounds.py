@@ -1,0 +1,42 @@
+"""Figure 5a: fixed-point bound validation on the Alarm network.
+
+Regenerates the paper's Figure 5a series — analytical absolute-error
+bound versus mean/max observed error of marginal queries, for fraction
+bits swept over 8..40 (integer bits from max-value analysis; the paper
+uses I=1, which the analysis reproduces).
+
+The benchmark measures one full sweep; the series is printed and written
+to ``benchmarks/results/fig5a_fixed.csv``.
+"""
+
+from repro.experiments.tables import validation_csv
+from repro.experiments.validation import (
+    PAPER_SWEEP,
+    alarm_marginal_evidences,
+    render_series,
+    run_fixed_validation,
+)
+
+from conftest import BENCH_INSTANCES, write_result
+
+
+def test_fig5a_fixed_bound_validation(
+    benchmark, alarm, alarm_binary, alarm_analysis
+):
+    evidences = alarm_marginal_evidences(alarm, BENCH_INSTANCES, seed=1000)
+
+    def sweep():
+        return run_fixed_validation(
+            alarm_binary, evidences, PAPER_SWEEP, alarm_analysis
+        )
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_series(series)
+    print("\n" + text)
+    write_result("fig5a_fixed.csv", validation_csv(series))
+    write_result("fig5a_fixed.txt", text)
+
+    # The figure's claim: every observed maximum sits below the bound.
+    assert series.all_hold
+    # And errors decay exponentially across the sweep.
+    assert series.points[-1].max_observed < series.points[0].max_observed / 1e6

@@ -1,0 +1,40 @@
+"""Figure 5b: floating-point bound validation on the Alarm network.
+
+Regenerates the paper's Figure 5b series — analytical relative-error
+bound versus mean/max observed error of marginal queries, mantissa bits
+swept over 8..40. The paper fixes E=8 from max-min analysis; our
+analysis derives E per point (E=9 for our Alarm parameters — the CPT
+approximations shift the minimum values by a few exponents).
+
+Results land in ``benchmarks/results/fig5b_float.csv``.
+"""
+
+from repro.experiments.tables import validation_csv
+from repro.experiments.validation import (
+    PAPER_SWEEP,
+    alarm_marginal_evidences,
+    render_series,
+    run_float_validation,
+)
+
+from conftest import BENCH_INSTANCES, write_result
+
+
+def test_fig5b_float_bound_validation(
+    benchmark, alarm, alarm_binary, alarm_analysis
+):
+    evidences = alarm_marginal_evidences(alarm, BENCH_INSTANCES, seed=1000)
+
+    def sweep():
+        return run_float_validation(
+            alarm_binary, evidences, PAPER_SWEEP, alarm_analysis
+        )
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_series(series)
+    print("\n" + text)
+    write_result("fig5b_float.csv", validation_csv(series))
+    write_result("fig5b_float.txt", text)
+
+    assert series.all_hold
+    assert series.points[-1].max_observed < series.points[0].max_observed / 1e6

@@ -1,0 +1,79 @@
+"""Table 1: operator energy models.
+
+Regenerates the energy-model table two ways:
+
+1. prints the published formulas evaluated across bit-widths (the
+   numbers ProbLP's selection stage consumes);
+2. exercises the model-*fitting* flow the paper used — generate
+   per-operator synthesis samples (gate-count-based substitute, DESIGN.md
+   §4) and least-squares fit the Table 1 coefficients back out.
+
+The benchmark measures the fitting flow. Results are written to
+``benchmarks/results/table1_energy_models.txt``.
+"""
+
+from repro.core.report import render_table
+from repro.energy.fitting import fit_energy_model, generate_synthesis_samples
+from repro.energy.models import PAPER_MODEL
+
+from conftest import write_result
+
+
+def test_table1_energy_models(benchmark):
+    def fit_flow():
+        samples = generate_synthesis_samples(noise=0.03, seed=2019)
+        return fit_energy_model(samples)
+
+    fitted = benchmark.pedantic(fit_flow, rounds=3, iterations=1)
+
+    rows = []
+    for label, paper, ours in (
+        ("Fixed-pt add (fJ/op @N)", "7.8 N", f"{fitted.fixed_add_coeff:.2f} N"),
+        (
+            "Fixed-pt mult (fJ/op @N)",
+            "1.9 N^2 log N",
+            f"{fitted.fixed_mult_coeff:.2f} N^2 log N",
+        ),
+        (
+            "Float-pt add (fJ/op @M)",
+            "44.74 (M+1)",
+            f"{fitted.float_add_coeff:.2f} (M+1)",
+        ),
+        (
+            "Float-pt mult (fJ/op @M)",
+            "2.9 (M+1)^2 log (M+1)",
+            f"{fitted.float_mult_coeff:.2f} (M+1)^2 log (M+1)",
+        ),
+    ):
+        rows.append({"Operator": label, "Paper": paper, "Fitted": ours})
+    table = render_table(rows, ["Operator", "Paper", "Fitted"])
+
+    grid = []
+    for bits in (8, 12, 16, 24, 32):
+        grid.append(
+            {
+                "bits": str(bits),
+                "fx add": f"{PAPER_MODEL.fixed_add(bits):.0f}",
+                "fx mult": f"{PAPER_MODEL.fixed_mult(bits):.0f}",
+                "fl add": f"{PAPER_MODEL.float_add(bits - 1):.0f}",
+                "fl mult": f"{PAPER_MODEL.float_mult(bits - 1):.0f}",
+            }
+        )
+    grid_table = render_table(
+        grid, ["bits", "fx add", "fx mult", "fl add", "fl mult"]
+    )
+    text = (
+        "Table 1 — operator energy models (TSMC 65nm @1V, fJ)\n\n"
+        + table
+        + "\n\nModel values across bit-widths (fJ/operation):\n\n"
+        + grid_table
+        + "\n"
+    )
+    print("\n" + text)
+    write_result("table1_energy_models.txt", text)
+
+    # Fitted coefficients track the paper's within the noise envelope.
+    assert abs(fitted.fixed_add_coeff - 7.8) / 7.8 < 0.1
+    assert abs(fitted.fixed_mult_coeff - 1.9) / 1.9 < 0.1
+    assert abs(fitted.float_add_coeff - 44.74) / 44.74 < 0.3
+    assert abs(fitted.float_mult_coeff - 2.9) / 2.9 < 0.3

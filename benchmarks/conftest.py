@@ -1,0 +1,53 @@
+"""Shared fixtures and knobs for the benchmark harness.
+
+Every paper table/figure has a ``bench_*`` module here. Experiment
+regeneration benches print their tables to stdout (run with ``-s`` to see
+them live) *and* persist them under ``benchmarks/results/`` so the
+artifacts survive output capture.
+
+Environment knobs:
+
+* ``PROBLP_BENCH_INSTANCES`` — test-set size per experiment (default 40;
+  the paper uses the full test sets / 1000 Alarm samples — set 1000 for
+  a full-fidelity run, at ~20× the runtime).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.ac.transform import binarize
+from repro.bn.networks import alarm_network
+from repro.compile import compile_network
+from repro.core.optimizer import CircuitAnalysis
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default instance count: enough for stable max-error measurements while
+#: keeping the whole harness minutes-scale in pure Python.
+BENCH_INSTANCES = int(os.environ.get("PROBLP_BENCH_INSTANCES", "40"))
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def alarm():
+    return alarm_network()
+
+
+@pytest.fixture(scope="session")
+def alarm_binary(alarm):
+    return binarize(compile_network(alarm).circuit).circuit
+
+
+@pytest.fixture(scope="session")
+def alarm_analysis(alarm_binary):
+    return CircuitAnalysis.of(alarm_binary)

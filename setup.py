@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Allows legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) in offline environments that lack the
+``wheel`` package required for PEP 660 editable builds. All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

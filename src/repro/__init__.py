@@ -1,0 +1,75 @@
+"""ProbLP reproduction: low-precision probabilistic inference.
+
+A from-scratch Python implementation of *ProbLP: A framework for
+low-precision probabilistic inference* (Shah, Galindez Olascoaga, Meert,
+Verhelst — DAC 2019): worst-case error bounds for arithmetic circuits
+under fixed- and floating-point arithmetic, energy-driven representation
+selection, and automatic generation of fully pipelined custom hardware —
+plus every substrate the paper depends on (Bayesian networks, an AC
+compiler, exact quantized arithmetic simulators, benchmark datasets).
+
+Quick start::
+
+    from repro import (
+        ProbLP, QueryType, ErrorTolerance, compile_network,
+    )
+    from repro.bn.networks import alarm_network
+
+    compiled = compile_network(alarm_network())
+    framework = ProbLP(compiled, QueryType.MARGINAL,
+                       ErrorTolerance.absolute(0.01))
+    result = framework.analyze()
+    print(result.summary())
+    print(framework.generate_hardware(result=result).verilog())
+"""
+
+from .ac import ArithmeticCircuit, OpType, binarize
+from .arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+)
+from .bn import BayesianNetwork, CPT, NaiveBayesClassifier, Variable
+from .compile import CompiledCircuit, compile_mpe, compile_network
+from .core import (
+    ErrorTolerance,
+    ProbLP,
+    ProbLPConfig,
+    ProbLPResult,
+    QueryType,
+    ToleranceType,
+)
+from .energy import EnergyModel, PAPER_MODEL
+from .hw import HardwareDesign, check_equivalence, generate_hardware
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArithmeticCircuit",
+    "BayesianNetwork",
+    "CPT",
+    "CompiledCircuit",
+    "EnergyModel",
+    "ErrorTolerance",
+    "FixedPointBackend",
+    "FixedPointFormat",
+    "FloatBackend",
+    "FloatFormat",
+    "HardwareDesign",
+    "NaiveBayesClassifier",
+    "OpType",
+    "PAPER_MODEL",
+    "ProbLP",
+    "ProbLPConfig",
+    "ProbLPResult",
+    "QueryType",
+    "ToleranceType",
+    "Variable",
+    "binarize",
+    "check_equivalence",
+    "compile_mpe",
+    "compile_network",
+    "generate_hardware",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Graphviz export of arithmetic circuits.
+
+Renders circuits in the visual style of the paper's Figure 1b: ``+`` and
+``×`` operator nodes, θ parameter leaves and λ indicator leaves. Intended
+for documentation and debugging of small circuits::
+
+    dot -Tpdf circuit.dot -o circuit.pdf
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .circuit import ArithmeticCircuit
+from .nodes import OpType
+
+_OP_STYLE = {
+    OpType.SUM: ("+", "ellipse", "#cce5ff"),
+    OpType.PRODUCT: ("×", "ellipse", "#ffe5cc"),
+    OpType.MAX: ("max", "ellipse", "#e5ccff"),
+}
+
+
+def circuit_to_dot(
+    circuit: ArithmeticCircuit,
+    max_nodes: int = 500,
+    include_unreachable: bool = False,
+) -> str:
+    """Render a circuit as Graphviz dot text.
+
+    Refuses circuits larger than ``max_nodes`` — giant graphs render to
+    unreadable output; raise the limit explicitly if needed.
+    """
+    keep = (
+        set(range(len(circuit)))
+        if include_unreachable
+        else circuit.reachable_from_root()
+    )
+    if len(keep) > max_nodes:
+        raise ValueError(
+            f"circuit has {len(keep)} nodes, over the max_nodes={max_nodes} "
+            f"rendering limit; raise the limit to force"
+        )
+    lines = [
+        f'digraph "{circuit.name}" {{',
+        "  rankdir=BT;",
+        '  node [fontname="Helvetica"];',
+    ]
+    for index, node in enumerate(circuit.nodes):
+        if index not in keep:
+            continue
+        if node.op is OpType.PARAMETER:
+            label = node.label or f"θ={node.value:g}"
+            lines.append(
+                f'  n{index} [label="{label}", shape=box, '
+                f'style=filled, fillcolor="#e8f5e9"];'
+            )
+        elif node.op is OpType.INDICATOR:
+            lines.append(
+                f'  n{index} [label="λ({node.variable}={node.state})", '
+                f'shape=box, style=filled, fillcolor="#fff9c4"];'
+            )
+        else:
+            symbol, shape, color = _OP_STYLE[node.op]
+            peripheries = 2 if index == circuit.root else 1
+            lines.append(
+                f'  n{index} [label="{symbol}", shape={shape}, '
+                f'style=filled, fillcolor="{color}", '
+                f"peripheries={peripheries}];"
+            )
+        for child in node.children:
+            lines.append(f"  n{child} -> n{index};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(circuit: ArithmeticCircuit, path: str | Path, **kwargs) -> None:
+    """Write the dot rendering of a circuit to ``path``."""
+    Path(path).write_text(circuit_to_dot(circuit, **kwargs))

@@ -1,0 +1,170 @@
+"""Evaluation passes over arithmetic circuits.
+
+Three evaluators are provided:
+
+* :func:`evaluate_real` / :func:`evaluate_values` — exact float64 forward
+  pass, the reference the paper measures errors against;
+* :func:`evaluate_batch` — numpy-vectorized float64 evaluation over a
+  whole test set at once;
+* :func:`evaluate_quantized` — forward pass in an arbitrary quantized
+  number system (fixed- or floating-point simulators from
+  :mod:`repro.arith`), which must implement :class:`QuantizedBackend`.
+
+Quantized evaluation requires a **binary** circuit: every rounding the
+hardware performs corresponds to exactly one two-input operator, so
+evaluating an n-ary node would silently disagree with the error analysis
+and with the generated hardware. Use :func:`repro.ac.transform.binarize`
+first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from .circuit import ArithmeticCircuit
+from .nodes import OpType
+
+
+class QuantizedBackend(Protocol):
+    """Number-system interface for quantized evaluation.
+
+    Implementations live in :mod:`repro.arith`. Values are opaque to the
+    evaluator; only the backend creates and combines them.
+    """
+
+    def from_real(self, x: float) -> Any:
+        """Quantize a real number (rounding to nearest)."""
+
+    def zero(self) -> Any:
+        """The exact number 0."""
+
+    def one(self) -> Any:
+        """The exact number 1."""
+
+    def add(self, a: Any, b: Any) -> Any:
+        """Quantized addition."""
+
+    def multiply(self, a: Any, b: Any) -> Any:
+        """Quantized multiplication."""
+
+    def maximum(self, a: Any, b: Any) -> Any:
+        """Exact maximum (comparison only, no rounding)."""
+
+    def to_real(self, a: Any) -> float:
+        """Convert back to a float64 real number."""
+
+
+def evaluate_values(
+    circuit: ArithmeticCircuit,
+    evidence: Mapping[str, int] | None = None,
+) -> list[float]:
+    """Float64 value of every node under the given evidence."""
+    lambda_values = circuit.indicator_assignment(evidence)
+    values: list[float] = [0.0] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = node.value
+        elif node.op is OpType.INDICATOR:
+            values[index] = lambda_values[(node.variable, node.state)]
+        elif node.op is OpType.SUM:
+            values[index] = sum(values[c] for c in node.children)
+        elif node.op is OpType.PRODUCT:
+            result = 1.0
+            for child in node.children:
+                result *= values[child]
+            values[index] = result
+        else:  # MAX
+            values[index] = max(values[c] for c in node.children)
+    return values
+
+
+def evaluate_real(
+    circuit: ArithmeticCircuit,
+    evidence: Mapping[str, int] | None = None,
+) -> float:
+    """Float64 value of the root under the given evidence."""
+    return evaluate_values(circuit, evidence)[circuit.root]
+
+
+def evaluate_batch(
+    circuit: ArithmeticCircuit,
+    evidence_batch: Sequence[Mapping[str, int]],
+) -> np.ndarray:
+    """Float64 root values for a batch of evidence assignments.
+
+    Vectorizes over the batch: one numpy operation per circuit node.
+    Returns an array of shape ``(len(evidence_batch),)``.
+    """
+    batch_size = len(evidence_batch)
+    if batch_size == 0:
+        return np.empty(0)
+    # Precompute indicator value matrices.
+    lambda_matrix: dict[tuple[str, int], np.ndarray] = {}
+    for (variable, state) in circuit.indicators:
+        column = np.ones(batch_size)
+        for row, evidence in enumerate(evidence_batch):
+            if variable in evidence and evidence[variable] != state:
+                column[row] = 0.0
+        lambda_matrix[(variable, state)] = column
+
+    values = np.empty((len(circuit), batch_size))
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = node.value
+        elif node.op is OpType.INDICATOR:
+            values[index] = lambda_matrix[(node.variable, node.state)]
+        elif node.op is OpType.SUM:
+            values[index] = values[list(node.children)].sum(axis=0)
+        elif node.op is OpType.PRODUCT:
+            values[index] = values[list(node.children)].prod(axis=0)
+        else:  # MAX
+            values[index] = values[list(node.children)].max(axis=0)
+    return values[circuit.root].copy()
+
+
+def evaluate_quantized_values(
+    circuit: ArithmeticCircuit,
+    backend: QuantizedBackend,
+    evidence: Mapping[str, int] | None = None,
+) -> list[Any]:
+    """Quantized value of every node; see module docstring for semantics."""
+    if not circuit.is_binary:
+        raise ValueError(
+            "quantized evaluation requires a binary circuit; apply "
+            "repro.ac.transform.binarize first"
+        )
+    lambda_values = circuit.indicator_assignment(evidence)
+    one = backend.one()
+    zero = backend.zero()
+    values: list[Any] = [None] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = backend.from_real(node.value)
+        elif node.op is OpType.INDICATOR:
+            lam = lambda_values[(node.variable, node.state)]
+            values[index] = one if lam == 1.0 else zero
+        else:
+            left = values[node.children[0]]
+            if len(node.children) == 1:
+                values[index] = left
+                continue
+            right = values[node.children[1]]
+            if node.op is OpType.SUM:
+                values[index] = backend.add(left, right)
+            elif node.op is OpType.PRODUCT:
+                values[index] = backend.multiply(left, right)
+            else:  # MAX
+                values[index] = backend.maximum(left, right)
+    return values
+
+
+def evaluate_quantized(
+    circuit: ArithmeticCircuit,
+    backend: QuantizedBackend,
+    evidence: Mapping[str, int] | None = None,
+) -> float:
+    """Quantized root value, converted back to float64."""
+    values = evaluate_quantized_values(circuit, backend, evidence)
+    return backend.to_real(values[circuit.root])

@@ -1,0 +1,158 @@
+"""Fast evaluation paths for quantized sweeps.
+
+The bound-validation and Table 2 experiments evaluate the same circuit
+thousands of times. Two accelerators keep that pure-Python-tractable:
+
+* :class:`Program` — the circuit linearized into plain opcode tuples,
+  removing per-node attribute lookups from the inner loop (works with
+  any backend, ~2× faster than the generic evaluator);
+* :class:`VectorFixedPointEvaluator` — an **exact** numpy int64
+  implementation of fixed-point evaluation over a whole evidence batch
+  at once. Exactness requires products to fit in int64, i.e.
+  ``2·(I+F) ≤ 62``; wider formats must use the big-int path. Results are
+  bit-identical to :class:`repro.arith.FixedPointBackend` (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..arith.fixedpoint import FixedPointFormat, FixedPointOverflowError
+from ..arith.rounding import RoundingMode
+from .circuit import ArithmeticCircuit
+from .nodes import OpType
+
+# Opcodes of the linearized program.
+OP_SUM, OP_PRODUCT, OP_MAX = 0, 1, 2
+
+
+class Program:
+    """A circuit linearized for fast repeated quantized evaluation."""
+
+    def __init__(self, circuit: ArithmeticCircuit) -> None:
+        if not circuit.is_binary:
+            raise ValueError(
+                "program compilation requires a binary circuit; apply "
+                "repro.ac.transform.binarize first"
+            )
+        self.circuit = circuit
+        self.num_slots = len(circuit)
+        self.root = circuit.root
+        self.parameters: list[tuple[int, float]] = []
+        self.indicators: list[tuple[int, str, int]] = []
+        self.operations: list[tuple[int, int, int, int]] = []
+        for index, node in enumerate(circuit.nodes):
+            if node.op is OpType.PARAMETER:
+                self.parameters.append((index, node.value))
+            elif node.op is OpType.INDICATOR:
+                self.indicators.append((index, node.variable, node.state))
+            else:
+                opcode = {
+                    OpType.SUM: OP_SUM,
+                    OpType.PRODUCT: OP_PRODUCT,
+                    OpType.MAX: OP_MAX,
+                }[node.op]
+                left = node.children[0]
+                right = node.children[1] if len(node.children) > 1 else left
+                self.operations.append((opcode, index, left, right))
+
+    def evaluate(self, backend, evidence: Mapping[str, int] | None = None) -> float:
+        """Quantized evaluation; same semantics as ``evaluate_quantized``."""
+        lambda_values = self.circuit.indicator_assignment(evidence)
+        slots: list[Any] = [None] * self.num_slots
+        quantized_cache: dict[float, Any] = {}
+        for index, value in self.parameters:
+            cached = quantized_cache.get(value)
+            if cached is None:
+                cached = quantized_cache[value] = backend.from_real(value)
+            slots[index] = cached
+        one, zero = backend.one(), backend.zero()
+        for index, variable, state in self.indicators:
+            slots[index] = (
+                one if lambda_values[(variable, state)] == 1.0 else zero
+            )
+        add, multiply, maximum = backend.add, backend.multiply, backend.maximum
+        for opcode, destination, left, right in self.operations:
+            if opcode == OP_SUM:
+                slots[destination] = add(slots[left], slots[right])
+            elif opcode == OP_PRODUCT:
+                slots[destination] = multiply(slots[left], slots[right])
+            else:
+                slots[destination] = maximum(slots[left], slots[right])
+        return backend.to_real(slots[self.root])
+
+
+class VectorFixedPointEvaluator:
+    """Exact batched fixed-point evaluation on numpy int64 mantissas."""
+
+    def __init__(self, circuit: ArithmeticCircuit, fmt: FixedPointFormat) -> None:
+        if 2 * fmt.total_bits > 62:
+            raise ValueError(
+                f"vectorized fixed point needs 2·(I+F) ≤ 62 bits to stay "
+                f"exact in int64; {fmt.describe()} has {fmt.total_bits} "
+                f"total bits — use the big-int backend instead"
+            )
+        self.program = Program(circuit)
+        self.fmt = fmt
+        self._max_mantissa = fmt.max_mantissa
+        # Pre-quantize parameter mantissas once (exact big-int path).
+        from ..arith.fixedpoint import FixedPointBackend
+
+        backend = FixedPointBackend(fmt)
+        self._parameter_words = [
+            (index, backend.from_real(value).mantissa)
+            for index, value in self.program.parameters
+        ]
+        self._one_word = backend.one().mantissa
+
+    def _round_products(self, products: np.ndarray) -> np.ndarray:
+        """Vectorized rounding of 2F-fraction products back to F bits."""
+        fraction_bits = self.fmt.fraction_bits
+        quotient = products >> fraction_bits
+        remainder = products & ((1 << fraction_bits) - 1)
+        mode = self.fmt.rounding
+        if mode is RoundingMode.TRUNCATE:
+            return quotient
+        half = 1 << (fraction_bits - 1)
+        if mode is RoundingMode.NEAREST_UP:
+            return quotient + (remainder >= half)
+        round_up = (remainder > half) | (
+            (remainder == half) & ((quotient & 1) == 1)
+        )
+        return quotient + round_up
+
+    def evaluate_batch(
+        self, evidence_batch: Sequence[Mapping[str, int]]
+    ) -> np.ndarray:
+        """Evaluate the batch; returns float64 values of the root word.
+
+        Raises :class:`FixedPointOverflowError` if any intermediate
+        exceeds the representable range, exactly like the scalar backend.
+        """
+        batch = len(evidence_batch)
+        if batch == 0:
+            return np.empty(0)
+        slots = np.zeros((self.program.num_slots, batch), dtype=np.int64)
+        for index, word in self._parameter_words:
+            slots[index] = word
+        for index, variable, state in self.program.indicators:
+            column = np.full(batch, self._one_word, dtype=np.int64)
+            for row, evidence in enumerate(evidence_batch):
+                if variable in evidence and evidence[variable] != state:
+                    column[row] = 0
+            slots[index] = column
+        for opcode, destination, left, right in self.program.operations:
+            if opcode == OP_SUM:
+                result = slots[left] + slots[right]
+            elif opcode == OP_PRODUCT:
+                result = self._round_products(slots[left] * slots[right])
+            else:  # OP_MAX
+                result = np.maximum(slots[left], slots[right])
+            if result.max(initial=0) > self._max_mantissa:
+                raise FixedPointOverflowError(
+                    f"overflow at node {destination} in {self.fmt.describe()}"
+                )
+            slots[destination] = result
+        return slots[self.program.root] * 2.0 ** (-self.fmt.fraction_bits)

@@ -1,0 +1,91 @@
+"""JSON serialization of arithmetic circuits.
+
+Circuits round-trip losslessly through a compact JSON document so they can
+be compiled once and analyzed or turned into hardware later, including
+from the ``problp`` command line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .circuit import ArithmeticCircuit
+from .nodes import OpType
+
+_FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: ArithmeticCircuit) -> dict:
+    """Serialize a circuit to a JSON-compatible dictionary."""
+    nodes = []
+    for node in circuit.nodes:
+        if node.op is OpType.PARAMETER:
+            entry: dict = {"op": "parameter", "value": node.value}
+            if node.label:
+                entry["label"] = node.label
+        elif node.op is OpType.INDICATOR:
+            entry = {
+                "op": "indicator",
+                "variable": node.variable,
+                "state": node.state,
+            }
+        else:
+            entry = {"op": node.op.value, "children": list(node.children)}
+        nodes.append(entry)
+    return {
+        "format": "problp-ac",
+        "version": _FORMAT_VERSION,
+        "name": circuit.name,
+        "root": circuit.root,
+        "nodes": nodes,
+    }
+
+
+def circuit_from_dict(payload: dict) -> ArithmeticCircuit:
+    """Rebuild a circuit from :func:`circuit_to_dict` output.
+
+    Deserialization goes through the regular builder, so deduplication and
+    unary-collapse apply; node indices are preserved via an explicit map so
+    the root is always translated correctly.
+    """
+    if payload.get("format") != "problp-ac":
+        raise ValueError("not a problp-ac document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported problp-ac version {payload.get('version')!r}"
+        )
+    circuit = ArithmeticCircuit(name=payload.get("name", "ac"))
+    index_map: dict[int, int] = {}
+    for index, entry in enumerate(payload["nodes"]):
+        op = entry["op"]
+        if op == "parameter":
+            index_map[index] = circuit.add_parameter(
+                entry["value"], entry.get("label")
+            )
+        elif op == "indicator":
+            index_map[index] = circuit.add_indicator(
+                entry["variable"], entry["state"]
+            )
+        else:
+            children = [index_map[c] for c in entry["children"]]
+            if op == "sum":
+                index_map[index] = circuit.add_sum(children)
+            elif op == "product":
+                index_map[index] = circuit.add_product(children)
+            elif op == "max":
+                index_map[index] = circuit.add_max(children)
+            else:
+                raise ValueError(f"unknown node op {op!r}")
+    circuit.set_root(index_map[payload["root"]])
+    return circuit
+
+
+def save_circuit(circuit: ArithmeticCircuit, path: str | Path) -> None:
+    """Write a circuit to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(circuit_to_dict(circuit)))
+
+
+def load_circuit(path: str | Path) -> ArithmeticCircuit:
+    """Read a circuit previously written by :func:`save_circuit`."""
+    return circuit_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,87 @@
+"""Structural validation and diagnostics for arithmetic circuits.
+
+:func:`validate_circuit` enforces the invariants every downstream pass
+relies on; the remaining helpers are diagnostics (smoothness and
+decomposability are properties some AC families guarantee — circuits from
+our variable-elimination compiler are decomposable over indicator
+variables but not necessarily smooth, which none of the ProbLP analyses
+require).
+"""
+
+from __future__ import annotations
+
+from .circuit import ArithmeticCircuit
+from .nodes import OpType
+
+
+class CircuitError(ValueError):
+    """Raised when a circuit violates a structural invariant."""
+
+
+def validate_circuit(circuit: ArithmeticCircuit) -> None:
+    """Check all structural invariants, raising :class:`CircuitError`.
+
+    Invariants: a root is set; children precede parents (topological
+    arena); leaves are parameters/indicators with valid payloads; operator
+    fan-in is at least one; parameter values are finite and non-negative.
+    """
+    if not circuit.has_root:
+        raise CircuitError(f"circuit {circuit.name!r} has no root")
+    if len(circuit) == 0:
+        raise CircuitError(f"circuit {circuit.name!r} is empty")
+    for index, node in enumerate(circuit.nodes):
+        for child in node.children:
+            if child >= index:
+                raise CircuitError(
+                    f"node {index} has child {child} that does not precede "
+                    f"it; arena is not topologically ordered"
+                )
+        if node.op is OpType.PARAMETER:
+            value = node.value
+            if value is None or not (0.0 <= value < float("inf")):
+                raise CircuitError(
+                    f"parameter node {index} has invalid value {value!r}"
+                )
+        elif node.op is OpType.INDICATOR:
+            if node.variable is None or node.state is None or node.state < 0:
+                raise CircuitError(f"indicator node {index} malformed")
+        elif not node.children:
+            raise CircuitError(f"operator node {index} has no children")
+
+
+def indicator_support(circuit: ArithmeticCircuit) -> list[frozenset[str]]:
+    """For each node, the set of variables whose λ leaves feed it."""
+    support: list[frozenset[str]] = [frozenset()] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.INDICATOR:
+            support[index] = frozenset((node.variable,))
+        elif node.children:
+            merged: set[str] = set()
+            for child in node.children:
+                merged |= support[child]
+            support[index] = frozenset(merged)
+    return support
+
+
+def is_smooth(circuit: ArithmeticCircuit) -> bool:
+    """True when every sum/max node's children mention the same variables."""
+    support = indicator_support(circuit)
+    for node in circuit.nodes:
+        if node.op in (OpType.SUM, OpType.MAX) and len(node.children) > 1:
+            first = support[node.children[0]]
+            if any(support[c] != first for c in node.children[1:]):
+                return False
+    return True
+
+
+def is_decomposable(circuit: ArithmeticCircuit) -> bool:
+    """True when every product's children mention disjoint variables."""
+    support = indicator_support(circuit)
+    for node in circuit.nodes:
+        if node.op is OpType.PRODUCT and len(node.children) > 1:
+            seen: set[str] = set()
+            for child in node.children:
+                if support[child] & seen:
+                    return False
+                seen |= support[child]
+    return True

@@ -1,0 +1,47 @@
+"""Exact simulation of low-precision arithmetic.
+
+Fixed-point and normalized floating-point number systems with
+round-to-nearest operators, implemented on Python integers so that the
+simulated results are bit-exact replicas of what the generated hardware
+computes. Both implement the :class:`repro.ac.evaluate.QuantizedBackend`
+protocol and plug directly into quantized circuit evaluation.
+"""
+
+from .fixedpoint import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FixedPointNumber,
+    FixedPointOverflowError,
+)
+from .floatingpoint import (
+    FloatBackend,
+    FloatFormat,
+    FloatNumber,
+    FloatOverflowError,
+    FloatUnderflowError,
+)
+from .reference import ExactBackend, RealBackend
+from .rounding import (
+    RoundingMode,
+    float_to_scaled_integer,
+    round_shift,
+    scaled_integer_to_float,
+)
+
+__all__ = [
+    "ExactBackend",
+    "FixedPointBackend",
+    "FixedPointFormat",
+    "FixedPointNumber",
+    "FixedPointOverflowError",
+    "FloatBackend",
+    "FloatFormat",
+    "FloatNumber",
+    "FloatOverflowError",
+    "FloatUnderflowError",
+    "RealBackend",
+    "RoundingMode",
+    "float_to_scaled_integer",
+    "round_shift",
+    "scaled_integer_to_float",
+]

@@ -1,0 +1,72 @@
+"""Reference arithmetic backends.
+
+Two exact (or effectively exact) backends sharing the quantized-backend
+protocol:
+
+* :class:`RealBackend` — float64 arithmetic, the reference the paper's
+  observed errors are measured against;
+* :class:`ExactBackend` — arbitrary-precision rationals
+  (:class:`fractions.Fraction`), used in tests to quantify how far the
+  float64 reference itself is from the true value (it is ~2^-52-close,
+  orders of magnitude below any bound studied here).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+
+class RealBackend:
+    """Float64 evaluation via the backend protocol (for A/B testing)."""
+
+    def from_real(self, x: float) -> float:
+        return float(x)
+
+    def zero(self) -> float:
+        return 0.0
+
+    def one(self) -> float:
+        return 1.0
+
+    def add(self, a: float, b: float) -> float:
+        return a + b
+
+    def multiply(self, a: float, b: float) -> float:
+        return a * b
+
+    def maximum(self, a: float, b: float) -> float:
+        return a if a >= b else b
+
+    def to_real(self, a: float) -> float:
+        return a
+
+    def __repr__(self) -> str:
+        return "RealBackend()"
+
+
+class ExactBackend:
+    """Exact rational evaluation (slow; tests and ground-truth audits)."""
+
+    def from_real(self, x: float) -> Fraction:
+        return Fraction(x)  # floats are binary rationals: exact
+
+    def zero(self) -> Fraction:
+        return Fraction(0)
+
+    def one(self) -> Fraction:
+        return Fraction(1)
+
+    def add(self, a: Fraction, b: Fraction) -> Fraction:
+        return a + b
+
+    def multiply(self, a: Fraction, b: Fraction) -> Fraction:
+        return a * b
+
+    def maximum(self, a: Fraction, b: Fraction) -> Fraction:
+        return a if a >= b else b
+
+    def to_real(self, a: Fraction) -> float:
+        return float(a)
+
+    def __repr__(self) -> str:
+        return "ExactBackend()"

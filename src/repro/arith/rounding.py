@@ -1,0 +1,98 @@
+"""Exact integer rounding primitives.
+
+All quantized arithmetic in :mod:`repro.arith` reduces to one operation:
+rounding an exact integer scaled by a power of two. Working on Python
+integers keeps every simulated operator *bit-exact* — there is no hidden
+IEEE-double rounding between the modeled roundings, so observed errors are
+exactly those of the modeled hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+
+class RoundingMode(Enum):
+    """Supported rounding modes for the simulated operators.
+
+    The nearest modes satisfy the paper's error models
+    (|rounding error| ≤ half a ULP, eq. 2/6); they differ only in
+    tie-breaking. ``TRUNCATE`` drops the low bits — cheaper hardware with
+    a doubled error constant (≤ one full ULP), which the error models in
+    :mod:`repro.core.errormodels` account for.
+    """
+
+    NEAREST_EVEN = "nearest-even"
+    NEAREST_UP = "nearest-up"
+    TRUNCATE = "truncate"
+
+    @property
+    def is_nearest(self) -> bool:
+        return self is not RoundingMode.TRUNCATE
+
+    @property
+    def ulp_error_fraction(self) -> float:
+        """Worst-case rounding error in ULPs (½ for nearest, 1 for trunc)."""
+        return 0.5 if self.is_nearest else 1.0
+
+
+def round_shift(value: int, shift: int, mode: RoundingMode) -> int:
+    """Round ``value / 2**shift`` to an integer in the given mode.
+
+    ``shift <= 0`` is an exact left shift (no rounding). ``value`` must be
+    non-negative — the library only ever manipulates probabilities.
+    """
+    if value < 0:
+        raise ValueError("round_shift expects non-negative values")
+    if shift <= 0:
+        return value << (-shift)
+    quotient, remainder = divmod(value, 1 << shift)
+    if mode is RoundingMode.TRUNCATE:
+        return quotient
+    half = 1 << (shift - 1)
+    if remainder > half:
+        return quotient + 1
+    if remainder == half:
+        if mode is RoundingMode.NEAREST_UP or quotient & 1:
+            return quotient + 1
+    return quotient
+
+
+def float_to_scaled_integer(x: float) -> tuple[int, int]:
+    """Decompose a non-negative finite float as ``(mantissa, scale)``.
+
+    The pair satisfies ``x == mantissa * 2**scale`` *exactly* (IEEE doubles
+    are binary rationals). ``mantissa`` is 0 only for ``x == 0``.
+    """
+    if not math.isfinite(x) or x < 0.0:
+        raise ValueError(f"expected a non-negative finite float, got {x!r}")
+    if x == 0.0:
+        return 0, 0
+    fraction, exponent = math.frexp(x)  # x = fraction * 2**exponent
+    mantissa = int(fraction * (1 << 53))  # exact: doubles have 53-bit mantissas
+    scale = exponent - 53
+    # Strip trailing zeros so callers see the canonical representation.
+    while mantissa and not mantissa & 1:
+        mantissa >>= 1
+        scale += 1
+    return mantissa, scale
+
+
+def scaled_integer_to_float(mantissa: int, scale: int) -> float:
+    """Convert ``mantissa * 2**scale`` to the nearest float64.
+
+    Large mantissas (beyond 53 bits) lose precision here — this is a
+    *reporting* conversion only; the simulators never feed the result back
+    into quantized computation.
+    """
+    if mantissa == 0:
+        return 0.0
+    # math.ldexp saturates cleanly and handles subnormals; guard the
+    # mantissa size so the int -> float conversion cannot raise.
+    bits = mantissa.bit_length()
+    if bits > 53:
+        drop = bits - 53
+        mantissa = round_shift(mantissa, drop, RoundingMode.NEAREST_EVEN)
+        scale += drop
+    return math.ldexp(mantissa, scale)

@@ -1,0 +1,56 @@
+"""Bayesian network substrate: variables, CPTs, networks, inference.
+
+This package provides everything ProbLP needs upstream of arithmetic
+circuits: network construction and validation, exact inference by variable
+elimination (the numeric ground truth), forward sampling for test-set
+generation, parameter learning, and the benchmark networks of the paper.
+"""
+
+from .bif import BIFParseError, load_bif, parse_bif, save_bif, write_bif
+from .cpt import CPT, random_cpt, uniform_cpt
+from .inference import (
+    Factor,
+    eliminate,
+    marginal,
+    mpe_value,
+    network_factors,
+    probability_of_evidence,
+)
+from .io import load_network, network_from_dict, network_to_dict, save_network
+from .learning import estimate_cpt, fit_parameters, train_naive_bayes
+from .naive_bayes import NaiveBayesClassifier
+from .network import BayesianNetwork
+from .sampling import forward_sample, sample_one, samples_to_array
+from .variable import Variable, binary, make_variables
+
+__all__ = [
+    "BIFParseError",
+    "BayesianNetwork",
+    "CPT",
+    "Factor",
+    "NaiveBayesClassifier",
+    "Variable",
+    "binary",
+    "eliminate",
+    "estimate_cpt",
+    "fit_parameters",
+    "forward_sample",
+    "load_bif",
+    "load_network",
+    "make_variables",
+    "marginal",
+    "mpe_value",
+    "network_factors",
+    "network_from_dict",
+    "network_to_dict",
+    "parse_bif",
+    "probability_of_evidence",
+    "random_cpt",
+    "sample_one",
+    "save_bif",
+    "samples_to_array",
+    "save_network",
+    "train_naive_bayes",
+    "uniform_cpt",
+    "write_bif",
+]

@@ -1,0 +1,200 @@
+"""BIF (Bayesian Interchange Format) reader and writer.
+
+BIF is the de-facto text format of the classic BN repositories (the
+original Alarm network among them). Supporting it lets users feed their
+own networks straight into ProbLP:
+
+.. code-block:: text
+
+    network unknown {}
+    variable Rain {
+      type discrete [ 2 ] { no, yes };
+    }
+    probability ( Rain ) {
+      table 0.8, 0.2;
+    }
+    probability ( WetGrass | Rain ) {
+      ( no ) 0.9, 0.1;
+      ( yes ) 0.2, 0.8;
+    }
+
+The parser covers the common subset: ``network``, ``variable`` with
+``type discrete``, and ``probability`` blocks with either a flat
+``table`` (child-major, parents iterating row-wise as in the standard
+layout) or per-parent-configuration rows. Writers emit the same subset,
+so networks round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from .cpt import CPT
+from .network import BayesianNetwork
+from .variable import Variable
+
+
+class BIFParseError(ValueError):
+    """Raised on malformed BIF input."""
+
+
+_COMMENT = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+# Variable bodies contain one nested brace level (the states list), so
+# match a sequence of brace-free runs or single-level braced groups.
+_VARIABLE = re.compile(
+    r"variable\s+([\w.-]+)\s*\{((?:[^{}]|\{[^{}]*\})*)\}", re.DOTALL
+)
+_TYPE = re.compile(
+    r"type\s+discrete\s*\[\s*(\d+)\s*\]\s*\{([^}]*)\}", re.DOTALL
+)
+_PROBABILITY = re.compile(
+    r"probability\s*\(\s*([^)]*)\)\s*\{([^}]*)\}", re.DOTALL
+)
+_TABLE = re.compile(r"table\s+([^;]+);")
+_ROW = re.compile(r"\(\s*([^)]*)\)\s*([^;]+);")
+
+
+def _parse_numbers(text: str) -> list[float]:
+    return [float(token) for token in text.replace(",", " ").split()]
+
+
+def parse_bif(text: str) -> BayesianNetwork:
+    """Parse BIF text into a :class:`BayesianNetwork`."""
+    text = _COMMENT.sub("", text)
+    name_match = re.search(r"network\s+([\w.-]+)", text)
+    network_name = name_match.group(1) if name_match else "bif"
+
+    variables: dict[str, Variable] = {}
+    for match in _VARIABLE.finditer(text):
+        var_name, body = match.group(1), match.group(2)
+        type_match = _TYPE.search(body)
+        if type_match is None:
+            raise BIFParseError(
+                f"variable {var_name!r} lacks a discrete type declaration"
+            )
+        cardinality = int(type_match.group(1))
+        states = tuple(
+            token.strip() for token in type_match.group(2).split(",")
+        )
+        if len(states) != cardinality:
+            raise BIFParseError(
+                f"variable {var_name!r} declares {cardinality} states but "
+                f"lists {len(states)}"
+            )
+        variables[var_name] = Variable(var_name, states)
+
+    cpts: list[CPT] = []
+    for match in _PROBABILITY.finditer(text):
+        header, body = match.group(1), match.group(2)
+        if "|" in header:
+            child_text, parent_text = header.split("|", 1)
+            parent_names = [p.strip() for p in parent_text.split(",")]
+        else:
+            child_text, parent_names = header, []
+        child_name = child_text.strip()
+        try:
+            child = variables[child_name]
+            parents = tuple(variables[p] for p in parent_names)
+        except KeyError as exc:
+            raise BIFParseError(
+                f"probability block references undeclared variable {exc}"
+            ) from exc
+
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        table = np.zeros(shape)
+        table_match = _TABLE.search(body)
+        if table_match is not None:
+            numbers = _parse_numbers(table_match.group(1))
+            if len(numbers) != table.size:
+                raise BIFParseError(
+                    f"table for {child_name!r} has {len(numbers)} entries, "
+                    f"expected {table.size}"
+                )
+            # BIF flat tables iterate the child fastest within each
+            # parent configuration (row-major over our axis order).
+            table = np.asarray(numbers).reshape(shape)
+        else:
+            rows = list(_ROW.finditer(body))
+            if not rows:
+                raise BIFParseError(
+                    f"probability block for {child_name!r} has neither a "
+                    f"table nor configuration rows"
+                )
+            for row in rows:
+                state_tokens = [
+                    token.strip() for token in row.group(1).split(",")
+                ]
+                if len(state_tokens) != len(parents):
+                    raise BIFParseError(
+                        f"row for {child_name!r} lists {len(state_tokens)} "
+                        f"parent states, expected {len(parents)}"
+                    )
+                config = tuple(
+                    parent.index_of(token)
+                    for parent, token in zip(parents, state_tokens)
+                )
+                numbers = _parse_numbers(row.group(2))
+                if len(numbers) != child.cardinality:
+                    raise BIFParseError(
+                        f"row {row.group(1)!r} for {child_name!r} has "
+                        f"{len(numbers)} entries, expected "
+                        f"{child.cardinality}"
+                    )
+                table[config] = numbers
+        cpts.append(CPT(child, parents, table))
+
+    declared = set(variables)
+    provided = {cpt.child.name for cpt in cpts}
+    missing = declared - provided
+    if missing:
+        raise BIFParseError(
+            f"variables without probability blocks: {sorted(missing)}"
+        )
+    return BayesianNetwork(cpts, name=network_name)
+
+
+def load_bif(path: str | Path) -> BayesianNetwork:
+    """Read a ``.bif`` file."""
+    return parse_bif(Path(path).read_text())
+
+
+def write_bif(network: BayesianNetwork) -> str:
+    """Render a network as BIF text (per-configuration row style)."""
+    lines = [f"network {network.name} {{", "}"]
+    for name in network.topological_order:
+        variable = network.variable(name)
+        states = ", ".join(variable.states)
+        lines += [
+            f"variable {name} {{",
+            f"  type discrete [ {variable.cardinality} ] {{ {states} }};",
+            "}",
+        ]
+    for name in network.topological_order:
+        cpt = network.cpt(name)
+        if not cpt.parents:
+            values = ", ".join(f"{v:.10g}" for v in cpt.table)
+            lines += [
+                f"probability ( {name} ) {{",
+                f"  table {values};",
+                "}",
+            ]
+            continue
+        header = ", ".join(cpt.parent_names)
+        lines.append(f"probability ( {name} | {header} ) {{")
+        for config, row in cpt.rows():
+            labels = ", ".join(
+                parent.states[state]
+                for parent, state in zip(cpt.parents, config)
+            )
+            values = ", ".join(f"{v:.10g}" for v in row)
+            lines.append(f"  ( {labels} ) {values};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_bif(network: BayesianNetwork, path: str | Path) -> None:
+    """Write a network to a ``.bif`` file."""
+    Path(path).write_text(write_bif(network))

@@ -1,0 +1,148 @@
+"""Conditional probability tables (CPTs).
+
+A :class:`CPT` stores ``Pr(X | parents)`` as a dense numpy array whose last
+axis ranges over the child's states and whose leading axes range over the
+parents' states, in the order the parents are listed. Every row (a slice
+along the last axis for one full parent configuration) must sum to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterator
+
+import numpy as np
+
+from .variable import Variable
+
+#: Tolerance for CPT row normalization checks.
+ROW_SUM_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class CPT:
+    """Conditional probability table ``Pr(child | parents)``.
+
+    Parameters
+    ----------
+    child:
+        The variable whose distribution this table specifies.
+    parents:
+        Ordered tuple of parent variables; may be empty for root nodes.
+    table:
+        Array of shape ``(*parent_cards, child_card)``. Rows along the last
+        axis must be valid distributions.
+    """
+
+    child: Variable
+    parents: tuple[Variable, ...]
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.parents, tuple):
+            object.__setattr__(self, "parents", tuple(self.parents))
+        arr = np.asarray(self.table, dtype=float)
+        expected = tuple(p.cardinality for p in self.parents) + (
+            self.child.cardinality,
+        )
+        if arr.shape != expected:
+            raise ValueError(
+                f"CPT for {self.child.name!r}: table shape {arr.shape} does "
+                f"not match expected {expected} from parents "
+                f"{[p.name for p in self.parents]}"
+            )
+        if np.any(arr < 0.0) or np.any(arr > 1.0):
+            raise ValueError(
+                f"CPT for {self.child.name!r} contains entries outside [0, 1]"
+            )
+        sums = arr.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=ROW_SUM_TOLERANCE):
+            worst = float(np.abs(sums - 1.0).max())
+            raise ValueError(
+                f"CPT for {self.child.name!r} has rows that do not sum to 1 "
+                f"(worst deviation {worst:.3e})"
+            )
+        arr.setflags(write=False)
+        object.__setattr__(self, "table", arr)
+
+    @property
+    def parent_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.parents)
+
+    @property
+    def scope(self) -> tuple[Variable, ...]:
+        """All variables the table mentions: parents then child."""
+        return self.parents + (self.child,)
+
+    def probability(
+        self, child_state: int, parent_states: tuple[int, ...] = ()
+    ) -> float:
+        """Return ``Pr(child = child_state | parents = parent_states)``."""
+        if len(parent_states) != len(self.parents):
+            raise ValueError(
+                f"CPT for {self.child.name!r} expects "
+                f"{len(self.parents)} parent states, got {len(parent_states)}"
+            )
+        return float(self.table[parent_states + (child_state,)])
+
+    def rows(self) -> Iterator[tuple[tuple[int, ...], np.ndarray]]:
+        """Yield ``(parent_configuration, distribution_row)`` pairs."""
+        cards = [p.cardinality for p in self.parents]
+        for config in iter_product(*(range(c) for c in cards)):
+            yield config, self.table[config]
+
+    def parameters(self) -> Iterator[tuple[tuple[int, ...], int, float]]:
+        """Yield every parameter as ``(parent_config, child_state, value)``."""
+        for config, row in self.rows():
+            for state, value in enumerate(row):
+                yield config, state, float(value)
+
+    def min_positive(self) -> float:
+        """Smallest strictly positive entry (``inf`` if the table is all-zero)."""
+        positive = self.table[self.table > 0.0]
+        return float(positive.min()) if positive.size else float("inf")
+
+    def __repr__(self) -> str:
+        parents = ", ".join(self.parent_names)
+        return f"CPT(Pr({self.child.name} | {parents}))"
+
+
+def uniform_cpt(child: Variable, parents: tuple[Variable, ...] = ()) -> CPT:
+    """A CPT assigning the uniform distribution for every parent config."""
+    shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+    table = np.full(shape, 1.0 / child.cardinality)
+    return CPT(child, parents, table)
+
+
+def random_cpt(
+    child: Variable,
+    parents: tuple[Variable, ...],
+    rng: np.random.Generator,
+    concentration: float = 1.0,
+    min_probability: float = 0.0,
+) -> CPT:
+    """Sample a CPT with Dirichlet-distributed rows.
+
+    Parameters
+    ----------
+    concentration:
+        Dirichlet concentration; values < 1 produce peaked rows, > 1
+        near-uniform rows.
+    min_probability:
+        Optional floor applied to every entry (rows are renormalized), which
+        bounds the network's minimum value — useful when constructing
+        benchmarks with a controlled dynamic range.
+    """
+    shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+    rows = rng.dirichlet(
+        [concentration] * child.cardinality,
+        size=int(np.prod(shape[:-1], dtype=int)) if shape[:-1] else 1,
+    )
+    if min_probability > 0.0:
+        if min_probability * child.cardinality >= 1.0:
+            raise ValueError("min_probability too large for cardinality")
+        rows = np.clip(rows, min_probability, None)
+        rows = rows / rows.sum(axis=-1, keepdims=True)
+    table = rows.reshape(shape)
+    return CPT(child, parents, table)

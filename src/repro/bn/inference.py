@@ -1,0 +1,199 @@
+"""Exact inference by variable elimination.
+
+This is the reference inference engine used to cross-check the compiled
+arithmetic circuits, and the numeric twin of the symbolic elimination in
+:mod:`repro.compile.elimination`. Factors are dense numpy arrays over a
+sorted scope of variable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from .network import BayesianNetwork
+
+
+@dataclass(frozen=True)
+class Factor:
+    """A dense non-negative function over a tuple of discrete variables."""
+
+    scope: tuple[str, ...]
+    values: np.ndarray  # shape = cards of scope, in scope order
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != len(self.scope):
+            raise ValueError(
+                f"factor over {self.scope} must have {len(self.scope)} axes, "
+                f"got {values.ndim}"
+            )
+        if tuple(sorted(self.scope)) != tuple(self.scope):
+            raise ValueError(
+                f"factor scope must be sorted, got {self.scope}; sort the "
+                f"axes before constructing the factor"
+            )
+        object.__setattr__(self, "values", values)
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product, aligning and unioning scopes."""
+        scope = tuple(sorted(set(self.scope) | set(other.scope)))
+        a = _expand(self, scope)
+        b = _expand(other, scope)
+        return Factor(scope, a * b)
+
+    def marginalize(self, name: str) -> "Factor":
+        """Sum out ``name``."""
+        if name not in self.scope:
+            raise ValueError(f"{name!r} not in factor scope {self.scope}")
+        axis = self.scope.index(name)
+        scope = tuple(v for v in self.scope if v != name)
+        return Factor(scope, self.values.sum(axis=axis))
+
+    def maximize(self, name: str) -> "Factor":
+        """Max out ``name`` (for MPE)."""
+        if name not in self.scope:
+            raise ValueError(f"{name!r} not in factor scope {self.scope}")
+        axis = self.scope.index(name)
+        scope = tuple(v for v in self.scope if v != name)
+        return Factor(scope, self.values.max(axis=axis))
+
+    def reduce(self, name: str, state: int) -> "Factor":
+        """Zero out all entries inconsistent with ``name = state``.
+
+        Keeps the variable in scope so factor shapes stay aligned with the
+        symbolic compilation (indicator semantics).
+        """
+        if name not in self.scope:
+            return self
+        axis = self.scope.index(name)
+        mask = np.zeros(self.values.shape[axis])
+        mask[state] = 1.0
+        shape = [1] * self.values.ndim
+        shape[axis] = -1
+        return Factor(self.scope, self.values * mask.reshape(shape))
+
+    def scalar(self) -> float:
+        if self.scope:
+            raise ValueError(f"factor still has scope {self.scope}")
+        return float(self.values)
+
+
+def _expand(factor: Factor, scope: tuple[str, ...]) -> np.ndarray:
+    """Broadcast ``factor.values`` to the (sorted) union ``scope``.
+
+    Because scopes are kept sorted, the factor's axes already appear in
+    the right relative order; missing variables become length-1 axes.
+    """
+    shape = [
+        factor.values.shape[factor.scope.index(name)]
+        if name in factor.scope
+        else 1
+        for name in scope
+    ]
+    return factor.values.reshape(shape)
+
+
+def network_factors(
+    network: BayesianNetwork, evidence: Mapping[str, int] | None = None
+) -> list[Factor]:
+    """One factor per CPT, with evidence applied as indicator reductions."""
+    evidence = dict(evidence or {})
+    unknown = set(evidence) - set(network.variable_names)
+    if unknown:
+        raise ValueError(f"evidence on unknown variables: {sorted(unknown)}")
+    factors = []
+    for cpt in network.cpts():
+        scope_vars = cpt.scope
+        names = tuple(v.name for v in scope_vars)
+        order = tuple(np.argsort(names))
+        values = np.transpose(cpt.table, order)
+        factor = Factor(tuple(sorted(names)), values)
+        for name, state in evidence.items():
+            factor = factor.reduce(name, state)
+        factors.append(factor)
+    return factors
+
+
+def eliminate(
+    factors: Iterable[Factor],
+    order: Iterable[str],
+    mode: str = "sum",
+) -> Factor:
+    """Eliminate variables in ``order`` from the factor set.
+
+    ``mode`` is ``"sum"`` for marginals or ``"max"`` for MPE values.
+    Remaining factors are multiplied together at the end.
+    """
+    if mode not in ("sum", "max"):
+        raise ValueError(f"mode must be 'sum' or 'max', got {mode!r}")
+    pool = list(factors)
+    for name in order:
+        involved = [f for f in pool if name in f.scope]
+        if not involved:
+            continue
+        pool = [f for f in pool if name not in f.scope]
+        product = involved[0]
+        for f in involved[1:]:
+            product = product.multiply(f)
+        pool.append(
+            product.marginalize(name) if mode == "sum" else product.maximize(name)
+        )
+    result = pool[0]
+    for f in pool[1:]:
+        result = result.multiply(f)
+    return result
+
+
+def probability_of_evidence(
+    network: BayesianNetwork,
+    evidence: Mapping[str, int],
+    order: Iterable[str] | None = None,
+) -> float:
+    """Exact ``Pr(evidence)`` by variable elimination."""
+    from ..compile.ordering import min_fill_order
+
+    if order is None:
+        order = min_fill_order(network)
+    factors = network_factors(network, evidence)
+    return eliminate(factors, order, mode="sum").scalar()
+
+
+def marginal(
+    network: BayesianNetwork,
+    query: str,
+    evidence: Mapping[str, int] | None = None,
+    order: Iterable[str] | None = None,
+) -> np.ndarray:
+    """Exact posterior ``Pr(query | evidence)`` as a distribution array."""
+    evidence = dict(evidence or {})
+    if query in evidence:
+        raise ValueError(f"query variable {query!r} is also evidence")
+    card = network.variable(query).cardinality
+    joint = np.empty(card)
+    for state in range(card):
+        joint[state] = probability_of_evidence(
+            network, {**evidence, query: state}, order
+        )
+    total = joint.sum()
+    if total == 0.0:
+        raise ZeroDivisionError(
+            f"evidence has probability zero; cannot condition {query!r}"
+        )
+    return joint / total
+
+
+def mpe_value(
+    network: BayesianNetwork,
+    evidence: Mapping[str, int] | None = None,
+    order: Iterable[str] | None = None,
+) -> float:
+    """Probability of the most probable explanation given evidence."""
+    from ..compile.ordering import min_fill_order
+
+    if order is None:
+        order = min_fill_order(network)
+    factors = network_factors(network, evidence or {})
+    return eliminate(factors, order, mode="max").scalar()

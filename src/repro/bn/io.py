@@ -1,0 +1,76 @@
+"""Serialization of Bayesian networks.
+
+Networks round-trip through a plain-JSON document so that benchmark models
+can be saved, versioned and reloaded by the CLI. The format is
+intentionally simple:
+
+.. code-block:: json
+
+    {
+      "name": "alarm",
+      "variables": {"A": ["false", "true"], ...},
+      "cpts": [{"child": "A", "parents": [], "table": [...]}, ...]
+    }
+
+Tables are stored as nested lists in the same axis order as
+:class:`repro.bn.cpt.CPT` (parents first, child last).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .cpt import CPT
+from .network import BayesianNetwork
+from .variable import Variable
+
+
+def network_to_dict(network: BayesianNetwork) -> dict:
+    """Convert a network to a JSON-serializable dictionary."""
+    return {
+        "name": network.name,
+        "variables": {
+            name: list(var.states) for name, var in network.variables.items()
+        },
+        "cpts": [
+            {
+                "child": cpt.child.name,
+                "parents": list(cpt.parent_names),
+                "table": cpt.table.tolist(),
+            }
+            for cpt in network.cpts()
+        ],
+    }
+
+
+def network_from_dict(payload: dict) -> BayesianNetwork:
+    """Reconstruct a network from :func:`network_to_dict` output."""
+    try:
+        variables = {
+            name: Variable(name, tuple(states))
+            for name, states in payload["variables"].items()
+        }
+        cpts = [
+            CPT(
+                variables[entry["child"]],
+                tuple(variables[p] for p in entry["parents"]),
+                np.asarray(entry["table"], dtype=float),
+            )
+            for entry in payload["cpts"]
+        ]
+        return BayesianNetwork(cpts, name=payload.get("name", "bn"))
+    except KeyError as exc:
+        raise ValueError(f"malformed network document: missing {exc}") from exc
+
+
+def save_network(network: BayesianNetwork, path: str | Path) -> None:
+    """Write a network to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=1))
+
+
+def load_network(path: str | Path) -> BayesianNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,161 @@
+"""Bayesian network container.
+
+A :class:`BayesianNetwork` is a DAG of :class:`~repro.bn.variable.Variable`
+nodes, each with a :class:`~repro.bn.cpt.CPT` conditioned on its parents.
+The class validates acyclicity and consistency at construction time and
+provides the topological utilities the compiler, sampler and inference
+engines need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from .cpt import CPT
+from .variable import Variable
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network.
+
+    Parameters
+    ----------
+    cpts:
+        One CPT per variable. The set of children must exactly equal the
+        set of variables mentioned anywhere (no dangling parents), and the
+        implied directed graph must be acyclic.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(self, cpts: Iterable[CPT], name: str = "bn") -> None:
+        cpts = list(cpts)
+        if not cpts:
+            raise ValueError("a Bayesian network needs at least one CPT")
+        self.name = name
+        self._cpts: dict[str, CPT] = {}
+        self._variables: dict[str, Variable] = {}
+        for cpt in cpts:
+            if cpt.child.name in self._cpts:
+                raise ValueError(f"duplicate CPT for variable {cpt.child.name!r}")
+            self._cpts[cpt.child.name] = cpt
+            for var in cpt.scope:
+                known = self._variables.get(var.name)
+                if known is not None and known != var:
+                    raise ValueError(
+                        f"variable {var.name!r} declared twice with "
+                        f"different states"
+                    )
+                self._variables[var.name] = var
+        missing = set(self._variables) - set(self._cpts)
+        if missing:
+            raise ValueError(
+                f"variables used as parents but lacking a CPT: {sorted(missing)}"
+            )
+
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self._variables)
+        for cpt in cpts:
+            for parent in cpt.parents:
+                self._graph.add_edge(parent.name, cpt.child.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise ValueError(f"network contains a cycle: {cycle}")
+        self._topo_order = tuple(nx.topological_sort(self._graph))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> dict[str, Variable]:
+        """Mapping of variable name to :class:`Variable` (read-only view)."""
+        return dict(self._variables)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        return tuple(self._variables)
+
+    @property
+    def topological_order(self) -> tuple[str, ...]:
+        """Variable names sorted parents-before-children."""
+        return self._topo_order
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """A copy of the underlying DAG."""
+        return self._graph.copy()
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise KeyError(f"network {self.name!r} has no variable {name!r}") from None
+
+    def cpt(self, name: str) -> CPT:
+        try:
+            return self._cpts[name]
+        except KeyError:
+            raise KeyError(f"network {self.name!r} has no CPT for {name!r}") from None
+
+    def cpts(self) -> tuple[CPT, ...]:
+        return tuple(self._cpts[name] for name in self._topo_order)
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        return self._cpts[name].parent_names
+
+    def children(self, name: str) -> tuple[str, ...]:
+        return tuple(sorted(self._graph.successors(name)))
+
+    def roots(self) -> tuple[str, ...]:
+        """Variables with no parents."""
+        return tuple(v for v in self._topo_order if not self._cpts[v].parents)
+
+    def leaves(self) -> tuple[str, ...]:
+        """Variables with no children; the paper's evidence nodes."""
+        return tuple(
+            v for v in self._topo_order if self._graph.out_degree(v) == 0
+        )
+
+    def num_parameters(self) -> int:
+        """Total number of CPT entries."""
+        return sum(cpt.table.size for cpt in self._cpts.values())
+
+    def min_positive_parameter(self) -> float:
+        """Smallest strictly positive CPT entry across the network."""
+        return min(cpt.min_positive() for cpt in self._cpts.values())
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def log_joint(self, assignment: Mapping[str, int]) -> float:
+        """Natural log of the joint probability of a *complete* assignment.
+
+        Returns ``-inf`` when the assignment has probability zero.
+        """
+        if set(assignment) != set(self._variables):
+            missing = set(self._variables) - set(assignment)
+            raise ValueError(f"assignment incomplete; missing {sorted(missing)}")
+        total = 0.0
+        for name in self._topo_order:
+            cpt = self._cpts[name]
+            parent_states = tuple(assignment[p] for p in cpt.parent_names)
+            p = cpt.probability(assignment[name], parent_states)
+            if p == 0.0:
+                return float("-inf")
+            total += float(np.log(p))
+        return total
+
+    def joint(self, assignment: Mapping[str, int]) -> float:
+        """Joint probability of a complete assignment."""
+        logp = self.log_joint(assignment)
+        return float(np.exp(logp)) if logp > float("-inf") else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork({self.name!r}, {len(self._variables)} variables, "
+            f"{self._graph.number_of_edges()} edges, "
+            f"{self.num_parameters()} parameters)"
+        )

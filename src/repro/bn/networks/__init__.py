@@ -1,0 +1,57 @@
+"""Benchmark Bayesian networks.
+
+Provides the paper's Alarm network, the Figure-1 example, classic toy
+networks, and random generators for property-based testing. Networks are
+available through :func:`get_network` by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..network import BayesianNetwork
+from .alarm import alarm_network
+from .toy import (
+    asia_network,
+    chain_network,
+    figure1_network,
+    random_network,
+    sprinkler_network,
+    tree_network,
+)
+
+_REGISTRY: dict[str, Callable[[], BayesianNetwork]] = {
+    "alarm": alarm_network,
+    "asia": asia_network,
+    "figure1": figure1_network,
+    "sprinkler": sprinkler_network,
+}
+
+
+def available_networks() -> tuple[str, ...]:
+    """Names accepted by :func:`get_network`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_network(name: str) -> BayesianNetwork:
+    """Instantiate a benchmark network by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; available: {available_networks()}"
+        ) from None
+    return factory()
+
+
+__all__ = [
+    "alarm_network",
+    "asia_network",
+    "available_networks",
+    "chain_network",
+    "figure1_network",
+    "get_network",
+    "random_network",
+    "sprinkler_network",
+    "tree_network",
+]

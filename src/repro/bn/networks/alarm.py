@@ -1,0 +1,403 @@
+"""The ALARM patient-monitoring network (Beinlich et al., 1989).
+
+This is the standard 37-node, 46-edge Bayesian network used by the paper
+for bound validation (Figure 5) and in Table 2. The structure and
+cardinalities below are the canonical ones. CPT entries follow the
+published distribution; for a few large tables whose exact historical
+values are ambiguous across distributions, faithful peaked approximations
+with the same dynamic range are used (see DESIGN.md §4) — the paper's
+experiments depend on AC structure and parameter ranges, not exact values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpt import CPT
+from ..network import BayesianNetwork
+from ..variable import Variable
+
+# State vocabularies reused across nodes.
+TF = ("true", "false")
+LNH = ("low", "normal", "high")
+ZLNH = ("zero", "low", "normal", "high")
+
+
+def _peaked(cardinality: int, peak: int, mass: float = 0.97) -> list[float]:
+    """A distribution with ``mass`` at ``peak`` and the rest spread evenly."""
+    rest = (1.0 - mass) / (cardinality - 1)
+    row = [rest] * cardinality
+    row[peak] = mass
+    return row
+
+
+def alarm_network() -> BayesianNetwork:
+    """Construct the ALARM network."""
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    history = Variable("HISTORY", TF)
+    cvp = Variable("CVP", LNH)
+    pcwp = Variable("PCWP", LNH)
+    hypovolemia = Variable("HYPOVOLEMIA", TF)
+    lvedvolume = Variable("LVEDVOLUME", LNH)
+    lvfailure = Variable("LVFAILURE", TF)
+    strokevolume = Variable("STROKEVOLUME", LNH)
+    errlowoutput = Variable("ERRLOWOUTPUT", TF)
+    hrbp = Variable("HRBP", LNH)
+    hrekg = Variable("HREKG", LNH)
+    errcauter = Variable("ERRCAUTER", TF)
+    hrsat = Variable("HRSAT", LNH)
+    insuffanesth = Variable("INSUFFANESTH", TF)
+    anaphylaxis = Variable("ANAPHYLAXIS", TF)
+    tpr = Variable("TPR", LNH)
+    expco2 = Variable("EXPCO2", ZLNH)
+    kinkedtube = Variable("KINKEDTUBE", TF)
+    minvol = Variable("MINVOL", ZLNH)
+    fio2 = Variable("FIO2", ("low", "normal"))
+    pvsat = Variable("PVSAT", LNH)
+    sao2 = Variable("SAO2", LNH)
+    pap = Variable("PAP", LNH)
+    pulmembolus = Variable("PULMEMBOLUS", TF)
+    shunt = Variable("SHUNT", ("normal", "high"))
+    intubation = Variable("INTUBATION", ("normal", "esophageal", "onesided"))
+    press = Variable("PRESS", ZLNH)
+    disconnect = Variable("DISCONNECT", TF)
+    minvolset = Variable("MINVOLSET", LNH)
+    ventmach = Variable("VENTMACH", ZLNH)
+    venttube = Variable("VENTTUBE", ZLNH)
+    ventlung = Variable("VENTLUNG", ZLNH)
+    ventalv = Variable("VENTALV", ZLNH)
+    artco2 = Variable("ARTCO2", LNH)
+    catechol = Variable("CATECHOL", ("normal", "high"))
+    hr = Variable("HR", LNH)
+    co = Variable("CO", LNH)
+    bp = Variable("BP", LNH)
+
+    cpts: list[CPT] = []
+
+    # ------------------------------------------------------------------
+    # Root priors
+    # ------------------------------------------------------------------
+    cpts.append(CPT(hypovolemia, (), np.array([0.2, 0.8])))
+    cpts.append(CPT(lvfailure, (), np.array([0.05, 0.95])))
+    cpts.append(CPT(errlowoutput, (), np.array([0.05, 0.95])))
+    cpts.append(CPT(errcauter, (), np.array([0.1, 0.9])))
+    cpts.append(CPT(insuffanesth, (), np.array([0.1, 0.9])))
+    cpts.append(CPT(anaphylaxis, (), np.array([0.01, 0.99])))
+    cpts.append(CPT(kinkedtube, (), np.array([0.04, 0.96])))
+    cpts.append(CPT(fio2, (), np.array([0.05, 0.95])))
+    cpts.append(CPT(pulmembolus, (), np.array([0.01, 0.99])))
+    cpts.append(CPT(intubation, (), np.array([0.92, 0.03, 0.05])))
+    cpts.append(CPT(disconnect, (), np.array([0.1, 0.9])))
+    cpts.append(CPT(minvolset, (), np.array([0.05, 0.90, 0.05])))
+
+    # ------------------------------------------------------------------
+    # Cardiovascular chain
+    # ------------------------------------------------------------------
+    cpts.append(CPT(history, (lvfailure,), np.array([[0.9, 0.1], [0.01, 0.99]])))
+    # LVEDVOLUME | HYPOVOLEMIA, LVFAILURE
+    cpts.append(
+        CPT(
+            lvedvolume,
+            (hypovolemia, lvfailure),
+            np.array(
+                [
+                    [[0.95, 0.04, 0.01], [0.98, 0.01, 0.01]],
+                    [[0.01, 0.09, 0.90], [0.05, 0.90, 0.05]],
+                ]
+            ),
+        )
+    )
+    cpts.append(
+        CPT(
+            cvp,
+            (lvedvolume,),
+            np.array(
+                [
+                    [0.95, 0.04, 0.01],
+                    [0.04, 0.95, 0.01],
+                    [0.01, 0.29, 0.70],
+                ]
+            ),
+        )
+    )
+    cpts.append(
+        CPT(
+            pcwp,
+            (lvedvolume,),
+            np.array(
+                [
+                    [0.95, 0.04, 0.01],
+                    [0.04, 0.95, 0.01],
+                    [0.01, 0.04, 0.95],
+                ]
+            ),
+        )
+    )
+    # STROKEVOLUME | HYPOVOLEMIA, LVFAILURE
+    cpts.append(
+        CPT(
+            strokevolume,
+            (hypovolemia, lvfailure),
+            np.array(
+                [
+                    [[0.98, 0.01, 0.01], [0.50, 0.49, 0.01]],
+                    [[0.95, 0.04, 0.01], [0.05, 0.90, 0.05]],
+                ]
+            ),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Anaphylaxis / vascular resistance
+    # ------------------------------------------------------------------
+    cpts.append(
+        CPT(
+            tpr,
+            (anaphylaxis,),
+            np.array([[0.98, 0.01, 0.01], [0.3, 0.4, 0.3]]),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Ventilation chain
+    # ------------------------------------------------------------------
+    # VENTMACH | MINVOLSET
+    cpts.append(
+        CPT(
+            ventmach,
+            (minvolset,),
+            np.array(
+                [
+                    [0.05, 0.93, 0.01, 0.01],
+                    [0.05, 0.01, 0.93, 0.01],
+                    [0.05, 0.01, 0.01, 0.93],
+                ]
+            ),
+        )
+    )
+    # VENTTUBE | DISCONNECT, VENTMACH
+    venttube_rows = np.empty((2, 4, 4))
+    for machine_state in range(4):
+        venttube_rows[0, machine_state] = _peaked(4, 0)  # disconnected -> zero
+        venttube_rows[1, machine_state] = _peaked(4, machine_state)
+    cpts.append(CPT(venttube, (disconnect, ventmach), venttube_rows))
+
+    # VENTLUNG | INTUBATION, KINKEDTUBE, VENTTUBE
+    ventlung_rows = np.empty((3, 2, 4, 4))
+    for intubation_state in range(3):
+        for kinked_state in range(2):
+            for tube_state in range(4):
+                if intubation_state == 1:  # esophageal -> no lung ventilation
+                    row = _peaked(4, 0)
+                elif kinked_state == 0:  # kinked tube -> at most low
+                    row = _peaked(4, min(tube_state, 1), mass=0.60)
+                elif intubation_state == 2:  # one-sided -> reduced
+                    row = _peaked(4, max(tube_state - 1, 0), mass=0.85)
+                else:
+                    row = _peaked(4, tube_state)
+                ventlung_rows[intubation_state, kinked_state, tube_state] = row
+    cpts.append(CPT(ventlung, (intubation, kinkedtube, venttube), ventlung_rows))
+
+    # VENTALV | INTUBATION, VENTLUNG
+    ventalv_rows = np.empty((3, 4, 4))
+    for intubation_state in range(3):
+        for lung_state in range(4):
+            if intubation_state == 1:  # esophageal
+                row = _peaked(4, 0)
+            elif intubation_state == 2:  # one-sided
+                row = _peaked(4, max(lung_state - 1, 0), mass=0.85)
+            else:
+                row = _peaked(4, lung_state)
+            ventalv_rows[intubation_state, lung_state] = row
+    cpts.append(CPT(ventalv, (intubation, ventlung), ventalv_rows))
+
+    # MINVOL | INTUBATION, VENTLUNG
+    minvol_rows = np.empty((3, 4, 4))
+    for intubation_state in range(3):
+        for lung_state in range(4):
+            if intubation_state == 1:
+                row = _peaked(4, 0)
+            else:
+                row = _peaked(4, lung_state)
+            minvol_rows[intubation_state, lung_state] = row
+    cpts.append(CPT(minvol, (intubation, ventlung), minvol_rows))
+
+    # PRESS | INTUBATION, KINKEDTUBE, VENTTUBE
+    press_rows = np.empty((3, 2, 4, 4))
+    for intubation_state in range(3):
+        for kinked_state in range(2):
+            for tube_state in range(4):
+                if tube_state == 0:
+                    row = _peaked(4, 0)
+                elif kinked_state == 0:  # kinked -> pressure spikes high
+                    row = _peaked(4, 3, mass=0.70)
+                elif intubation_state == 1:  # esophageal -> low pressure
+                    row = _peaked(4, 1, mass=0.70)
+                elif intubation_state == 2:  # one-sided -> elevated
+                    row = _peaked(4, min(tube_state + 1, 3), mass=0.70)
+                else:
+                    row = _peaked(4, tube_state)
+                press_rows[intubation_state, kinked_state, tube_state] = row
+    cpts.append(CPT(press, (intubation, kinkedtube, venttube), press_rows))
+
+    # ARTCO2 | VENTALV
+    cpts.append(
+        CPT(
+            artco2,
+            (ventalv,),
+            np.array(
+                [
+                    [0.01, 0.01, 0.98],
+                    [0.01, 0.01, 0.98],
+                    [0.04, 0.92, 0.04],
+                    [0.90, 0.09, 0.01],
+                ]
+            ),
+        )
+    )
+    # EXPCO2 | ARTCO2, VENTLUNG
+    expco2_rows = np.empty((3, 4, 4))
+    for art_state in range(3):
+        for lung_state in range(4):
+            if lung_state == 0:
+                row = _peaked(4, 0)
+            else:
+                row = _peaked(4, art_state + 1)
+            expco2_rows[art_state, lung_state] = row
+    cpts.append(CPT(expco2, (artco2, ventlung), expco2_rows))
+
+    # ------------------------------------------------------------------
+    # Oxygenation chain
+    # ------------------------------------------------------------------
+    # PVSAT | FIO2, VENTALV
+    pvsat_rows = np.empty((2, 4, 3))
+    for fio2_state in range(2):
+        for alv_state in range(4):
+            if alv_state == 0:
+                row = _peaked(3, 0, mass=0.98)
+            elif fio2_state == 0:  # low inspired oxygen
+                row = _peaked(3, 0, mass=0.95)
+            elif alv_state == 1:
+                row = _peaked(3, 0, mass=0.95)
+            elif alv_state == 2:
+                row = _peaked(3, 1, mass=0.95)
+            else:
+                row = _peaked(3, 2, mass=0.98)
+            pvsat_rows[fio2_state, alv_state] = row
+    cpts.append(CPT(pvsat, (fio2, ventalv), pvsat_rows))
+
+    # SHUNT | INTUBATION, PULMEMBOLUS
+    cpts.append(
+        CPT(
+            shunt,
+            (intubation, pulmembolus),
+            np.array(
+                [
+                    [[0.10, 0.90], [0.95, 0.05]],
+                    [[0.10, 0.90], [0.95, 0.05]],
+                    [[0.01, 0.99], [0.05, 0.95]],
+                ]
+            ),
+        )
+    )
+    # SAO2 | PVSAT, SHUNT
+    cpts.append(
+        CPT(
+            sao2,
+            (pvsat, shunt),
+            np.array(
+                [
+                    [[0.98, 0.01, 0.01], [0.98, 0.01, 0.01]],
+                    [[0.01, 0.98, 0.01], [0.98, 0.01, 0.01]],
+                    [[0.01, 0.01, 0.98], [0.69, 0.30, 0.01]],
+                ]
+            ),
+        )
+    )
+    cpts.append(
+        CPT(
+            pap,
+            (pulmembolus,),
+            np.array([[0.01, 0.19, 0.80], [0.05, 0.90, 0.05]]),
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Catecholamine response and heart
+    # ------------------------------------------------------------------
+    # CATECHOL | ARTCO2, INSUFFANESTH, SAO2, TPR — 54 rows built from a
+    # stress score: any hypoxia / hypercapnia / low resistance /
+    # light anesthesia pushes catecholamine high.
+    catechol_rows = np.empty((3, 2, 3, 3, 2))
+    for art_state in range(3):
+        for anesth_state in range(2):
+            for sao2_state in range(3):
+                for tpr_state in range(3):
+                    stress = 0.0
+                    if art_state == 2:
+                        stress += 1.5
+                    if anesth_state == 0:
+                        stress += 1.0
+                    if sao2_state == 0:
+                        stress += 2.0
+                    if tpr_state == 0:
+                        stress += 1.0
+                    p_high = min(0.05 + 0.30 * stress, 0.99)
+                    catechol_rows[
+                        art_state, anesth_state, sao2_state, tpr_state
+                    ] = [1.0 - p_high, p_high]
+    cpts.append(CPT(catechol, (artco2, insuffanesth, sao2, tpr), catechol_rows))
+
+    cpts.append(
+        CPT(
+            hr,
+            (catechol,),
+            np.array([[0.05, 0.90, 0.05], [0.01, 0.09, 0.90]]),
+        )
+    )
+    # HRBP | ERRLOWOUTPUT, HR
+    hrbp_rows = np.empty((2, 3, 3))
+    for hr_state in range(3):
+        hrbp_rows[0, hr_state] = _peaked(3, 0, mass=0.60)  # error -> reads low
+        hrbp_rows[1, hr_state] = _peaked(3, hr_state, mass=0.98)
+    cpts.append(CPT(hrbp, (errlowoutput, hr), hrbp_rows))
+    # HREKG / HRSAT | ERRCAUTER, HR — cauterization noise flattens readings
+    noisy = np.array([1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0])
+    for meter in (hrekg, hrsat):
+        rows = np.empty((2, 3, 3))
+        for hr_state in range(3):
+            rows[0, hr_state] = noisy
+            rows[1, hr_state] = _peaked(3, hr_state, mass=0.98)
+        cpts.append(CPT(meter, (errcauter, hr), rows))
+
+    # CO | HR, STROKEVOLUME — cardiac output rises with both
+    co_rows = np.empty((3, 3, 3))
+    for hr_state in range(3):
+        for sv_state in range(3):
+            level = (hr_state + sv_state) / 2.0
+            if level < 0.75:
+                row = _peaked(3, 0, mass=0.95)
+            elif level < 1.5:
+                row = _peaked(3, 1, mass=0.90)
+            else:
+                row = _peaked(3, 2, mass=0.95)
+            co_rows[hr_state, sv_state] = row
+    cpts.append(CPT(co, (hr, strokevolume), co_rows))
+
+    # BP | CO, TPR — blood pressure from output and resistance
+    bp_rows = np.empty((3, 3, 3))
+    for co_state in range(3):
+        for tpr_state in range(3):
+            level = (co_state + tpr_state) / 2.0
+            if level < 0.75:
+                row = _peaked(3, 0, mass=0.90)
+            elif level < 1.5:
+                row = _peaked(3, 1, mass=0.85)
+            else:
+                row = _peaked(3, 2, mass=0.90)
+            bp_rows[co_state, tpr_state] = row
+    cpts.append(CPT(bp, (co, tpr), bp_rows))
+
+    return BayesianNetwork(cpts, name="alarm")

@@ -1,0 +1,177 @@
+"""Small Bayesian networks for examples, tests and documentation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cpt import CPT, random_cpt
+from ..network import BayesianNetwork
+from ..variable import Variable
+
+
+def figure1_network() -> BayesianNetwork:
+    """The three-node network of Figure 1a in the paper.
+
+    ``A`` is a binary root with children ``B`` (binary) and ``C``
+    (three-valued), so the paper's example evidence ``{A=a1, C=c3}`` is
+    expressible. Parameter values are illustrative.
+    """
+    a = Variable("A", ("a1", "a2"))
+    b = Variable("B", ("b1", "b2"))
+    c = Variable("C", ("c1", "c2", "c3"))
+    return BayesianNetwork(
+        [
+            CPT(a, (), np.array([0.6, 0.4])),
+            CPT(b, (a,), np.array([[0.7, 0.3], [0.2, 0.8]])),
+            CPT(
+                c,
+                (a,),
+                np.array([[0.5, 0.3, 0.2], [0.1, 0.3, 0.6]]),
+            ),
+        ],
+        name="figure1",
+    )
+
+
+def sprinkler_network() -> BayesianNetwork:
+    """The classic cloudy/sprinkler/rain/wet-grass network."""
+    cloudy = Variable("Cloudy", ("false", "true"))
+    sprinkler = Variable("Sprinkler", ("false", "true"))
+    rain = Variable("Rain", ("false", "true"))
+    wet = Variable("WetGrass", ("false", "true"))
+    return BayesianNetwork(
+        [
+            CPT(cloudy, (), np.array([0.5, 0.5])),
+            CPT(sprinkler, (cloudy,), np.array([[0.5, 0.5], [0.9, 0.1]])),
+            CPT(rain, (cloudy,), np.array([[0.8, 0.2], [0.2, 0.8]])),
+            CPT(
+                wet,
+                (sprinkler, rain),
+                np.array(
+                    [
+                        [[1.0, 0.0], [0.1, 0.9]],
+                        [[0.1, 0.9], [0.01, 0.99]],
+                    ]
+                ),
+            ),
+        ],
+        name="sprinkler",
+    )
+
+
+def asia_network() -> BayesianNetwork:
+    """The Lauritzen & Spiegelhalter "Asia" chest-clinic network."""
+    asia = Variable("Asia", ("no", "yes"))
+    tub = Variable("Tuberculosis", ("no", "yes"))
+    smoke = Variable("Smoking", ("no", "yes"))
+    lung = Variable("LungCancer", ("no", "yes"))
+    bronc = Variable("Bronchitis", ("no", "yes"))
+    either = Variable("Either", ("no", "yes"))
+    xray = Variable("Xray", ("normal", "abnormal"))
+    dysp = Variable("Dyspnea", ("no", "yes"))
+    return BayesianNetwork(
+        [
+            CPT(asia, (), np.array([0.99, 0.01])),
+            CPT(tub, (asia,), np.array([[0.99, 0.01], [0.95, 0.05]])),
+            CPT(smoke, (), np.array([0.5, 0.5])),
+            CPT(lung, (smoke,), np.array([[0.99, 0.01], [0.9, 0.1]])),
+            CPT(bronc, (smoke,), np.array([[0.7, 0.3], [0.4, 0.6]])),
+            CPT(
+                either,
+                (tub, lung),
+                np.array(
+                    [
+                        [[1.0, 0.0], [0.0, 1.0]],
+                        [[0.0, 1.0], [0.0, 1.0]],
+                    ]
+                ),
+            ),
+            CPT(xray, (either,), np.array([[0.95, 0.05], [0.02, 0.98]])),
+            CPT(
+                dysp,
+                (bronc, either),
+                np.array(
+                    [
+                        [[0.9, 0.1], [0.3, 0.7]],
+                        [[0.2, 0.8], [0.1, 0.9]],
+                    ]
+                ),
+            ),
+        ],
+        name="asia",
+    )
+
+
+def chain_network(
+    length: int, cardinality: int = 2, seed: int = 0
+) -> BayesianNetwork:
+    """A Markov chain ``X0 -> X1 -> ... -> X(length-1)``."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    rng = np.random.default_rng(seed)
+    variables = [
+        Variable(f"X{i}", tuple(f"s{j}" for j in range(cardinality)))
+        for i in range(length)
+    ]
+    cpts = [random_cpt(variables[0], (), rng, min_probability=0.01)]
+    cpts.extend(
+        random_cpt(variables[i], (variables[i - 1],), rng, min_probability=0.01)
+        for i in range(1, length)
+    )
+    return BayesianNetwork(cpts, name=f"chain{length}")
+
+
+def tree_network(
+    depth: int, branching: int = 2, cardinality: int = 2, seed: int = 0
+) -> BayesianNetwork:
+    """A complete rooted tree of the given depth and branching factor."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    rng = np.random.default_rng(seed)
+    states = tuple(f"s{j}" for j in range(cardinality))
+    root = Variable("N0", states)
+    cpts = [random_cpt(root, (), rng, min_probability=0.01)]
+    frontier = [root]
+    counter = 1
+    for _ in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = Variable(f"N{counter}", states)
+                counter += 1
+                cpts.append(random_cpt(child, (parent,), rng, min_probability=0.01))
+                next_frontier.append(child)
+        frontier = next_frontier
+    return BayesianNetwork(cpts, name=f"tree_d{depth}_b{branching}")
+
+
+def random_network(
+    num_variables: int,
+    max_parents: int = 3,
+    max_cardinality: int = 3,
+    seed: int = 0,
+    min_probability: float = 0.01,
+) -> BayesianNetwork:
+    """A random DAG network for property-based testing.
+
+    Nodes are created in index order; each node picks up to ``max_parents``
+    parents uniformly from its predecessors, so the graph is acyclic by
+    construction.
+    """
+    if num_variables < 1:
+        raise ValueError("num_variables must be at least 1")
+    rng = np.random.default_rng(seed)
+    variables = []
+    for i in range(num_variables):
+        card = int(rng.integers(2, max_cardinality + 1))
+        variables.append(Variable(f"V{i}", tuple(f"s{j}" for j in range(card))))
+    cpts = []
+    for i, var in enumerate(variables):
+        limit = min(i, max_parents)
+        n_parents = int(rng.integers(0, limit + 1)) if limit else 0
+        parent_ids = rng.choice(i, size=n_parents, replace=False) if n_parents else []
+        parents = tuple(variables[j] for j in sorted(int(j) for j in parent_ids))
+        cpts.append(
+            random_cpt(var, parents, rng, min_probability=min_probability)
+        )
+    return BayesianNetwork(cpts, name=f"random{num_variables}_seed{seed}")

@@ -1,0 +1,77 @@
+"""Discrete random variables for Bayesian networks.
+
+A :class:`Variable` is a named categorical random variable with an ordered
+tuple of state labels. Variables are hashable by name, so they can be used
+directly as dictionary keys and in sets; two variables with the same name
+are considered the same variable and must agree on their states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named discrete random variable.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the variable within a network.
+    states:
+        Ordered state labels. The position of a label is the state index
+        used throughout the library (CPT columns, evidence encodings,
+        indicator ordering).
+    """
+
+    name: str
+    states: tuple[str, ...] = field(default=("false", "true"))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if not isinstance(self.states, tuple):
+            object.__setattr__(self, "states", tuple(self.states))
+        if len(self.states) < 2:
+            raise ValueError(
+                f"variable {self.name!r} needs at least 2 states, "
+                f"got {len(self.states)}"
+            )
+        if len(set(self.states)) != len(self.states):
+            raise ValueError(f"variable {self.name!r} has duplicate states")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    def index_of(self, state: str) -> int:
+        """Return the index of ``state``, raising ``ValueError`` if absent."""
+        try:
+            return self.states.index(state)
+        except ValueError:
+            raise ValueError(
+                f"variable {self.name!r} has no state {state!r}; "
+                f"states are {self.states}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, states={self.states!r})"
+
+
+def binary(name: str) -> Variable:
+    """Convenience constructor for a false/true binary variable."""
+    return Variable(name, ("false", "true"))
+
+
+def make_variables(spec: dict[str, int]) -> dict[str, Variable]:
+    """Create variables from a ``{name: cardinality}`` mapping.
+
+    States are auto-named ``s0, s1, ...``. Useful for synthetic networks
+    and tests.
+    """
+    return {
+        name: Variable(name, tuple(f"s{i}" for i in range(card)))
+        for name, card in spec.items()
+    }

@@ -1,0 +1,310 @@
+"""The ``problp`` command line.
+
+Subcommands:
+
+* ``analyze`` — run the ProbLP analysis for a circuit (from a benchmark
+  network name or a saved ``.acjson`` file) and print the report;
+* ``hwgen`` — generate Verilog for the selected (or a forced) format;
+* ``fig5`` — regenerate the Figure-5 bound-validation series;
+* ``table2`` — regenerate one Table-2 row for a named benchmark;
+* ``networks`` — list the built-in benchmark networks.
+
+Examples::
+
+    problp analyze --network alarm --query marginal --tolerance abs:0.01
+    problp analyze --circuit model.acjson --query conditional \\
+        --tolerance rel:0.01 --variant paper
+    problp hwgen --network sprinkler --query marginal \\
+        --tolerance abs:0.01 --output sprinkler.v
+    problp fig5 --instances 100
+    problp table2 --benchmark UIWADS --query marginal --tolerance abs:0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.framework import ProbLP, ProbLPConfig
+from .core.queries import ErrorTolerance, QueryType
+
+
+def _parse_tolerance(text: str) -> ErrorTolerance:
+    try:
+        kind, raw_value = text.split(":", 1)
+        value = float(raw_value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"tolerance must look like 'abs:0.01' or 'rel:0.01', got {text!r}"
+        ) from None
+    if kind == "abs":
+        return ErrorTolerance.absolute(value)
+    if kind == "rel":
+        return ErrorTolerance.relative(value)
+    raise argparse.ArgumentTypeError(
+        f"tolerance kind must be 'abs' or 'rel', got {kind!r}"
+    )
+
+
+def _parse_query(text: str) -> QueryType:
+    try:
+        return QueryType(text)
+    except ValueError:
+        choices = ", ".join(q.value for q in QueryType)
+        raise argparse.ArgumentTypeError(
+            f"query must be one of: {choices}"
+        ) from None
+
+
+def _load_network(args):
+    if getattr(args, "bif", None) is not None:
+        from .bn.bif import load_bif
+
+        return load_bif(args.bif)
+    if args.network is not None:
+        from .bn.networks import get_network
+
+        return get_network(args.network)
+    return None
+
+
+def _load_circuit(args) -> object:
+    if args.circuit is not None:
+        from .ac.io import load_circuit
+
+        return load_circuit(args.circuit)
+    network = _load_network(args)
+    if network is not None:
+        from .compile import compile_mpe, compile_network
+
+        if args.query is QueryType.MPE:
+            return compile_mpe(network)
+        return compile_network(network)
+    raise SystemExit("one of --network, --bif or --circuit is required")
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--network", help="built-in benchmark network name (see 'networks')"
+    )
+    parser.add_argument(
+        "--bif", type=Path, help="path to a Bayesian network in BIF format"
+    )
+    parser.add_argument(
+        "--circuit", type=Path, help="path to a saved .acjson circuit"
+    )
+    parser.add_argument(
+        "--query",
+        type=_parse_query,
+        default=QueryType.MARGINAL,
+        help="marginal | conditional | mpe (default: marginal)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=_parse_tolerance,
+        default=ErrorTolerance.absolute(0.01),
+        help="error tolerance, e.g. abs:0.01 or rel:0.01",
+    )
+    parser.add_argument(
+        "--variant",
+        choices=("rigorous", "paper"),
+        default="rigorous",
+        help="bound variant (see repro.core.queries)",
+    )
+    parser.add_argument(
+        "--max-bits",
+        type=int,
+        default=64,
+        help="search cap on fraction/mantissa bits (default 64)",
+    )
+    parser.add_argument(
+        "--rounding",
+        choices=("nearest-even", "nearest-up", "truncate"),
+        default="nearest-even",
+        help="operator rounding mode (default nearest-even)",
+    )
+
+
+def _build_framework(args) -> ProbLP:
+    from .arith.rounding import RoundingMode
+
+    config = ProbLPConfig(
+        max_precision_bits=args.max_bits,
+        bound_variant=args.variant,
+        rounding=RoundingMode(getattr(args, "rounding", "nearest-even")),
+    )
+    return ProbLP(_load_circuit(args), args.query, args.tolerance, config)
+
+
+def cmd_compile(args) -> int:
+    """Compile a network to an .acjson circuit (and optionally .dot)."""
+    from .ac.io import save_circuit
+    from .compile import compile_mpe, compile_network
+
+    network = _load_network(args)
+    if network is None:
+        raise SystemExit("one of --network or --bif is required")
+    if args.query is QueryType.MPE:
+        compiled = compile_mpe(network)
+    else:
+        compiled = compile_network(network)
+    save_circuit(compiled.circuit, args.output)
+    print(f"wrote {args.output}: {compiled.circuit!r}")
+    if args.dot:
+        from .ac.dot import save_dot
+
+        save_dot(compiled.circuit, args.dot, max_nodes=args.dot_max_nodes)
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    framework = _build_framework(args)
+    result = framework.analyze()
+    print(result.summary())
+    return 0
+
+
+def cmd_hwgen(args) -> int:
+    framework = _build_framework(args)
+    result = framework.analyze()
+    design = framework.generate_hardware(result=result)
+    verilog = design.verilog()
+    if args.output:
+        Path(args.output).write_text(verilog)
+        print(f"wrote {args.output}: {design.describe()}")
+    else:
+        print(verilog)
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    from .ac.transform import binarize
+    from .bn.networks import alarm_network
+    from .compile import compile_network
+    from .core.optimizer import CircuitAnalysis
+    from .experiments.validation import (
+        alarm_marginal_evidences,
+        render_series,
+        run_fixed_validation,
+        run_float_validation,
+    )
+
+    network = alarm_network()
+    binary = binarize(compile_network(network).circuit).circuit
+    analysis = CircuitAnalysis.of(binary)
+    evidences = alarm_marginal_evidences(network, args.instances)
+    sweep = tuple(range(8, args.max_sweep_bits + 1, 2))
+    print(render_series(run_fixed_validation(binary, evidences, sweep, analysis)))
+    print()
+    print(render_series(run_float_validation(binary, evidences, sweep, analysis)))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .experiments.overall import QueryCase, run_alarm_case, run_benchmark_case
+    from .experiments.tables import render_table2
+
+    case = QueryCase(args.query, args.tolerance)
+    if args.benchmark.lower() == "alarm":
+        row = run_alarm_case(case, num_instances=args.instances)
+    else:
+        from .datasets import har_benchmark, uiwads_benchmark, unimib_benchmark
+
+        makers = {
+            "har": har_benchmark,
+            "unimib": unimib_benchmark,
+            "uiwads": uiwads_benchmark,
+        }
+        maker = makers.get(args.benchmark.lower())
+        if maker is None:
+            raise SystemExit(
+                f"unknown benchmark {args.benchmark!r}; "
+                f"choose from HAR, UNIMIB, UIWADS, Alarm"
+            )
+        row = run_benchmark_case(maker(), case, test_limit=args.instances)
+    print(render_table2([row]))
+    return 0
+
+
+def cmd_networks(_args) -> int:
+    from .bn.networks import available_networks, get_network
+
+    for name in available_networks():
+        print(f"{name:12} {get_network(name)!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="problp",
+        description=(
+            "ProbLP: low-precision analysis and hardware generation for "
+            "probabilistic inference on arithmetic circuits (DAC 2019 "
+            "reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="bound search + representation selection"
+    )
+    _add_model_arguments(analyze)
+    analyze.set_defaults(handler=cmd_analyze)
+
+    hwgen = subparsers.add_parser("hwgen", help="emit Verilog RTL")
+    _add_model_arguments(hwgen)
+    hwgen.add_argument("--output", type=Path, help="output .v file")
+    hwgen.set_defaults(handler=cmd_hwgen)
+
+    compile_cmd = subparsers.add_parser(
+        "compile", help="compile a BN to an .acjson circuit"
+    )
+    compile_cmd.add_argument("--network")
+    compile_cmd.add_argument("--bif", type=Path)
+    compile_cmd.add_argument(
+        "--query", type=_parse_query, default=QueryType.MARGINAL
+    )
+    compile_cmd.add_argument("--output", type=Path, required=True)
+    compile_cmd.add_argument("--dot", type=Path, help="also write Graphviz")
+    compile_cmd.add_argument("--dot-max-nodes", type=int, default=500)
+    compile_cmd.set_defaults(handler=cmd_compile)
+
+    fig5 = subparsers.add_parser(
+        "fig5", help="regenerate the Figure-5 bound validation"
+    )
+    fig5.add_argument("--instances", type=int, default=50)
+    fig5.add_argument("--max-sweep-bits", type=int, default=40)
+    fig5.set_defaults(handler=cmd_fig5)
+
+    table2 = subparsers.add_parser(
+        "table2", help="regenerate one Table-2 row"
+    )
+    table2.add_argument(
+        "--benchmark", required=True, help="HAR | UNIMIB | UIWADS | Alarm"
+    )
+    table2.add_argument(
+        "--query", type=_parse_query, default=QueryType.MARGINAL
+    )
+    table2.add_argument(
+        "--tolerance", type=_parse_tolerance, default=ErrorTolerance.absolute(0.01)
+    )
+    table2.add_argument("--instances", type=int, default=40)
+    table2.set_defaults(handler=cmd_table2)
+
+    networks = subparsers.add_parser(
+        "networks", help="list built-in benchmark networks"
+    )
+    networks.set_defaults(handler=cmd_networks)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

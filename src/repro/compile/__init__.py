@@ -1,0 +1,48 @@
+"""BN → AC compilation (replaces the paper's ACE tool).
+
+Symbolic variable elimination records the arithmetic of inference as an
+arithmetic circuit. ``compile_network`` produces network-polynomial
+circuits for marginal/conditional queries; ``compile_mpe`` produces
+max-product circuits.
+"""
+
+from .elimination import (
+    CompiledCircuit,
+    compile_network,
+    cpt_symbolic_factor,
+    network_polynomial_brute_force,
+)
+from .factor import (
+    SymbolicFactor,
+    eliminate_variable,
+    factors_mentioning,
+    multiply_factors,
+    scalar_factor,
+)
+from .mpe import compile_mpe, mpe_brute_force
+from .ordering import (
+    induced_width,
+    min_degree_order,
+    min_fill_order,
+    moral_graph,
+    validate_order,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "SymbolicFactor",
+    "compile_mpe",
+    "compile_network",
+    "cpt_symbolic_factor",
+    "eliminate_variable",
+    "factors_mentioning",
+    "induced_width",
+    "min_degree_order",
+    "min_fill_order",
+    "moral_graph",
+    "mpe_brute_force",
+    "multiply_factors",
+    "network_polynomial_brute_force",
+    "scalar_factor",
+    "validate_order",
+]

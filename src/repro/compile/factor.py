@@ -1,0 +1,134 @@
+"""Symbolic factors: factors whose entries are AC node indices.
+
+Variable elimination over symbolic factors *records* the arithmetic it
+would perform instead of executing it, which is exactly how a Bayesian
+network is compiled into an arithmetic circuit (Darwiche's construction).
+Multiplying factors emits PRODUCT nodes; summing a variable out emits SUM
+nodes (or MAX nodes for MPE compilation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..ac.circuit import ArithmeticCircuit
+
+
+@dataclass(frozen=True)
+class SymbolicFactor:
+    """A table of AC node indices over a sorted scope of variables."""
+
+    scope: tuple[str, ...]
+    cards: tuple[int, ...]
+    entries: np.ndarray  # dtype=object, shape == cards
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.scope)) != tuple(self.scope):
+            raise ValueError(f"symbolic factor scope must be sorted: {self.scope}")
+        if len(self.scope) != len(self.cards):
+            raise ValueError("scope and cards length mismatch")
+        if self.entries.shape != tuple(self.cards):
+            raise ValueError(
+                f"entries shape {self.entries.shape} != cards {self.cards}"
+            )
+
+    def entry(self, config: tuple[int, ...]) -> int:
+        return int(self.entries[config])
+
+    def card_of(self, name: str) -> int:
+        return self.cards[self.scope.index(name)]
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.scope
+
+    def scalar_entry(self) -> int:
+        if not self.is_scalar:
+            raise ValueError(f"factor still has scope {self.scope}")
+        return int(self.entries[()])
+
+
+def scalar_factor(node: int) -> SymbolicFactor:
+    """Wrap a single AC node as a scope-less factor."""
+    entries = np.empty((), dtype=object)
+    entries[()] = node
+    return SymbolicFactor((), (), entries)
+
+
+def multiply_factors(
+    circuit: ArithmeticCircuit, factors: Sequence[SymbolicFactor]
+) -> SymbolicFactor:
+    """Pointwise product of symbolic factors, emitting PRODUCT nodes.
+
+    For every configuration of the union scope, gathers the matching entry
+    of each input factor and emits one (n-ary) product node; later
+    binarization decomposes these into 2-input multipliers.
+    """
+    if not factors:
+        raise ValueError("need at least one factor to multiply")
+    if len(factors) == 1:
+        return factors[0]
+    union: dict[str, int] = {}
+    for factor in factors:
+        for name, card in zip(factor.scope, factor.cards):
+            if name in union and union[name] != card:
+                raise ValueError(f"inconsistent cardinality for {name!r}")
+            union[name] = card
+    scope = tuple(sorted(union))
+    cards = tuple(union[name] for name in scope)
+    positions = [
+        tuple(scope.index(name) for name in factor.scope) for factor in factors
+    ]
+    entries = np.empty(cards, dtype=object)
+    for config in iter_product(*(range(c) for c in cards)):
+        children = [
+            factor.entry(tuple(config[p] for p in pos))
+            for factor, pos in zip(factors, positions)
+        ]
+        entries[config] = circuit.add_product(children)
+    return SymbolicFactor(scope, cards, entries)
+
+
+def eliminate_variable(
+    circuit: ArithmeticCircuit,
+    factor: SymbolicFactor,
+    name: str,
+    mode: str = "sum",
+) -> SymbolicFactor:
+    """Sum (or max) a variable out of a symbolic factor.
+
+    Emits one SUM/MAX node per configuration of the remaining scope, with
+    one child per state of the eliminated variable.
+    """
+    if mode not in ("sum", "max"):
+        raise ValueError(f"mode must be 'sum' or 'max', got {mode!r}")
+    if name not in factor.scope:
+        raise ValueError(f"{name!r} not in factor scope {factor.scope}")
+    axis = factor.scope.index(name)
+    card = factor.cards[axis]
+    scope = tuple(v for v in factor.scope if v != name)
+    cards = tuple(c for i, c in enumerate(factor.cards) if i != axis)
+    combine = circuit.add_sum if mode == "sum" else circuit.add_max
+    entries = np.empty(cards, dtype=object)
+    for config in iter_product(*(range(c) for c in cards)):
+        full = list(config)
+        children = []
+        for state in range(card):
+            full_config = tuple(full[:axis]) + (state,) + tuple(full[axis:])
+            children.append(factor.entry(full_config))
+        entries[config] = combine(children)
+    return SymbolicFactor(scope, cards, entries)
+
+
+def factors_mentioning(
+    factors: Iterable[SymbolicFactor], name: str
+) -> tuple[list[SymbolicFactor], list[SymbolicFactor]]:
+    """Split factors into (mentioning ``name``, not mentioning it)."""
+    involved, rest = [], []
+    for factor in factors:
+        (involved if name in factor.scope else rest).append(factor)
+    return involved, rest

@@ -1,0 +1,70 @@
+"""ProbLP core: error models, bounds, extremes, optimizer, framework."""
+
+from .bounds import (
+    FixedBounds,
+    FloatBounds,
+    propagate_fixed_bounds,
+    propagate_float_counts,
+)
+from .errormodels import FixedErrorModel, FloatErrorModel
+from .extremes import (
+    ExtremeAnalysis,
+    max_log2_values,
+    min_log2_positive_values,
+)
+from .framework import ProbLP, ProbLPConfig
+from .optimizer import (
+    CircuitAnalysis,
+    DEFAULT_MAX_PRECISION_BITS,
+    MIN_PRECISION_BITS,
+    RepresentationOption,
+    SelectionResult,
+    required_exponent_bits,
+    required_integer_bits,
+    search_fixed_format,
+    search_float_format,
+    select_representation,
+)
+from .queries import (
+    ErrorTolerance,
+    QuerySpec,
+    QueryType,
+    ToleranceType,
+    fixed_query_bound,
+    float_query_bound,
+)
+from .report import ProbLPResult, format_name, option_cell, render_table
+
+__all__ = [
+    "CircuitAnalysis",
+    "DEFAULT_MAX_PRECISION_BITS",
+    "ErrorTolerance",
+    "ExtremeAnalysis",
+    "FixedBounds",
+    "FixedErrorModel",
+    "FloatBounds",
+    "FloatErrorModel",
+    "MIN_PRECISION_BITS",
+    "ProbLP",
+    "ProbLPConfig",
+    "ProbLPResult",
+    "QuerySpec",
+    "QueryType",
+    "RepresentationOption",
+    "SelectionResult",
+    "ToleranceType",
+    "fixed_query_bound",
+    "float_query_bound",
+    "format_name",
+    "max_log2_values",
+    "min_log2_positive_values",
+    "option_cell",
+    "propagate_fixed_bounds",
+    "propagate_float_counts",
+    "render_table",
+    "required_exponent_bits",
+    "required_integer_bits",
+    "search_fixed_format",
+    "search_float_format",
+    "select_representation",
+]

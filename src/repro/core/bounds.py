@@ -1,0 +1,145 @@
+"""Recursive error-bound propagation over an AC (§3.1.3, Figure 3).
+
+The per-node error models of :mod:`repro.core.errormodels` output bounds
+in the same form as their inputs, so a single forward sweep propagates the
+error from the leaves to the root:
+
+* fixed point — a per-node bound ``Δᵢ`` on the absolute error; the root
+  bound has the form ``Δf ≤ c`` for a constant depending on the AC, its
+  parameters and F;
+* floating point — a per-node count ``cᵢ`` of ``(1±ε)`` factors; the root
+  satisfies ``f̃ = f(1±ε)^c``, i.e. a relative error bound.
+
+Propagation requires a **binary** circuit: each 2-input operator is one
+hardware rounding. Bounds computed on any other decomposition would not
+describe the generated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.nodes import OpType
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+from .errormodels import FixedErrorModel, FloatErrorModel
+from .extremes import ExtremeAnalysis
+
+
+def _require_binary(circuit: ArithmeticCircuit) -> None:
+    if not circuit.is_binary:
+        raise ValueError(
+            "bound propagation requires a binary circuit; apply "
+            "repro.ac.transform.binarize first"
+        )
+
+
+@dataclass(frozen=True)
+class FixedBounds:
+    """Result of fixed-point bound propagation."""
+
+    fraction_bits: int
+    per_node: tuple[float, ...]
+    root: int
+
+    @property
+    def root_bound(self) -> float:
+        """Worst-case absolute error of a single AC evaluation."""
+        return self.per_node[self.root]
+
+
+def propagate_fixed_bounds(
+    circuit: ArithmeticCircuit,
+    model: FixedErrorModel | FixedPointFormat | int,
+    extremes: ExtremeAnalysis | None = None,
+) -> FixedBounds:
+    """Propagate absolute-error bounds for fixed-point arithmetic.
+
+    ``model`` may be an error model, a format, or a raw fraction-bit
+    count. ``extremes`` (max-value analysis) is computed on demand; pass
+    it in when analyzing many precisions of the same circuit.
+    """
+    _require_binary(circuit)
+    if isinstance(model, FixedPointFormat):
+        model = FixedErrorModel.for_format(model)
+    elif isinstance(model, int):
+        model = FixedErrorModel(fraction_bits=model)
+    if extremes is None:
+        extremes = ExtremeAnalysis.of(circuit)
+
+    deltas = [0.0] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            deltas[index] = model.leaf()
+        elif node.op is OpType.INDICATOR:
+            deltas[index] = model.indicator()
+        else:
+            left = node.children[0]
+            right = node.children[1] if len(node.children) > 1 else left
+            if node.op is OpType.SUM:
+                deltas[index] = model.adder(deltas[left], deltas[right])
+            elif node.op is OpType.PRODUCT:
+                deltas[index] = model.multiplier(
+                    deltas[left],
+                    deltas[right],
+                    extremes.max_value(left),
+                    extremes.max_value(right),
+                )
+            else:  # MAX
+                deltas[index] = model.max_node(deltas[left], deltas[right])
+    return FixedBounds(
+        fraction_bits=model.fraction_bits,
+        per_node=tuple(deltas),
+        root=circuit.root,
+    )
+
+
+@dataclass(frozen=True)
+class FloatBounds:
+    """Result of floating-point factor-count propagation.
+
+    The factor counts depend only on circuit *structure*, so one
+    propagation serves every mantissa width; bind ε afterwards with
+    :meth:`relative_bound`.
+    """
+
+    per_node: tuple[int, ...]
+    root: int
+
+    @property
+    def root_count(self) -> int:
+        """The structural constant c in f̃ = f(1±ε)^c."""
+        return self.per_node[self.root]
+
+    def relative_bound(self, mantissa_bits: int, rounding=None) -> float:
+        """(1+ε)^c − 1 at the root for a given mantissa width."""
+        from ..arith.rounding import RoundingMode
+
+        model = FloatErrorModel(
+            mantissa_bits=mantissa_bits,
+            rounding=rounding or RoundingMode.NEAREST_EVEN,
+        )
+        return model.relative_bound(self.root_count)
+
+
+def propagate_float_counts(circuit: ArithmeticCircuit) -> FloatBounds:
+    """Propagate (1±ε) factor counts for floating-point arithmetic."""
+    _require_binary(circuit)
+    model = FloatErrorModel(mantissa_bits=1)  # counts are ε-independent
+    counts = [0] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            counts[index] = model.leaf()
+        elif node.op is OpType.INDICATOR:
+            counts[index] = model.indicator()
+        else:
+            left = node.children[0]
+            right = node.children[1] if len(node.children) > 1 else left
+            if node.op is OpType.SUM:
+                counts[index] = model.adder(counts[left], counts[right])
+            elif node.op is OpType.PRODUCT:
+                counts[index] = model.multiplier(counts[left], counts[right])
+            else:  # MAX
+                counts[index] = model.max_node(counts[left], counts[right])
+    return FloatBounds(per_node=tuple(counts), root=circuit.root)

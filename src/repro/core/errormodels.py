@@ -1,0 +1,136 @@
+"""Per-node error models (§3.1.1–3.1.2, the "Error models" of Figure 2).
+
+**Fixed point** tracks a bound on the *absolute* error ``|Δ|`` of every
+node (eqs. 2–5):
+
+* leaf conversion: ``|Δa| ≤ 2^-(F+1)``;
+* adder: exact, ``|Δf| ≤ |Δa| + |Δb|``;
+* multiplier: ``|Δf| ≤ a_max|Δb| + b_max|Δa| + |Δa||Δb| + 2^-(F+1)``,
+  with ``a_max, b_max`` from max-value analysis;
+* max (MPE): comparison only, ``|Δf| ≤ max(|Δa|, |Δb|)``.
+
+**Floating point** tracks the integer count ``c`` of accumulated
+``(1 ± ε)`` factors with ``ε = 2^-(M+1)`` (eqs. 6–12):
+
+* leaf conversion: 1; indicators: 0 (λ ∈ {0,1} is exact);
+* adder: ``max(m, n) + 1``; multiplier: ``m + n + 1``;
+* max (MPE): ``max(m, n)`` — no rounding.
+
+The float relative bound at a node with count ``c`` is
+``(1+ε)^c − 1`` (over-estimate side; the under-estimate side
+``1 − (1−ε)^c`` is smaller).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from dataclasses import field
+
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+from ..arith.rounding import RoundingMode
+
+
+@dataclass(frozen=True)
+class FixedErrorModel:
+    """Fixed-point error model for a given number of fraction bits.
+
+    The per-operation constant depends on the rounding mode: half a ULP
+    for the nearest modes (the paper's assumption, eq. 2), one full ULP
+    for truncation.
+    """
+
+    fraction_bits: int
+    rounding: RoundingMode = field(default=RoundingMode.NEAREST_EVEN)
+
+    @classmethod
+    def for_format(cls, fmt: FixedPointFormat) -> "FixedErrorModel":
+        return cls(fraction_bits=fmt.fraction_bits, rounding=fmt.rounding)
+
+    @property
+    def rounding_error(self) -> float:
+        """Conversion and multiplier-rounding error per operation."""
+        return self.rounding.ulp_error_fraction * 2.0 ** (-self.fraction_bits)
+
+    def leaf(self) -> float:
+        """Error bound after quantizing a parameter leaf."""
+        return self.rounding_error
+
+    def indicator(self) -> float:
+        """Indicators are 0/1 and always exact."""
+        return 0.0
+
+    def adder(self, delta_a: float, delta_b: float) -> float:
+        """Eq. 3: fixed-point adders accumulate but do not round."""
+        return delta_a + delta_b
+
+    def multiplier(
+        self,
+        delta_a: float,
+        delta_b: float,
+        a_max: float,
+        b_max: float,
+    ) -> float:
+        """Eq. 5, made boundable by AC monotonicity (a_max, b_max)."""
+        return (
+            a_max * delta_b
+            + b_max * delta_a
+            + delta_a * delta_b
+            + self.rounding_error
+        )
+
+    def max_node(self, delta_a: float, delta_b: float) -> float:
+        """|max(ã, b̃) − max(a, b)| ≤ max(|Δa|, |Δb|); no rounding."""
+        return max(delta_a, delta_b)
+
+
+@dataclass(frozen=True)
+class FloatErrorModel:
+    """Floating-point error model for a given number of mantissa bits.
+
+    ε is 2^-(M+1) for the nearest modes (eq. 6) and 2^-M for truncation.
+    """
+
+    mantissa_bits: int
+    rounding: RoundingMode = field(default=RoundingMode.NEAREST_EVEN)
+
+    @classmethod
+    def for_format(cls, fmt: FloatFormat) -> "FloatErrorModel":
+        return cls(mantissa_bits=fmt.mantissa_bits, rounding=fmt.rounding)
+
+    @property
+    def epsilon(self) -> float:
+        """The per-operation relative error bound."""
+        return self.rounding.ulp_error_fraction * 2.0 ** (-self.mantissa_bits)
+
+    def leaf(self) -> int:
+        return 1
+
+    def indicator(self) -> int:
+        return 0
+
+    def adder(self, count_a: int, count_b: int) -> int:
+        """Eq. 10: one rounding on top of the worse input."""
+        return max(count_a, count_b) + 1
+
+    def multiplier(self, count_a: int, count_b: int) -> int:
+        """Eq. 12: factor counts add, plus one rounding."""
+        return count_a + count_b + 1
+
+    def max_node(self, count_a: int, count_b: int) -> int:
+        """Comparison only — no new (1±ε) factor."""
+        return max(count_a, count_b)
+
+    def relative_bound(self, count: int) -> float:
+        """(1+ε)^c − 1, computed stably for large c."""
+        if count < 0:
+            raise ValueError("factor count must be non-negative")
+        return math.expm1(count * math.log1p(self.epsilon))
+
+    def lower_relative_bound(self, count: int) -> float:
+        """1 − (1−ε)^c, the under-estimate side of the bound."""
+        if count < 0:
+            raise ValueError("factor count must be non-negative")
+        return -math.expm1(count * math.log1p(-self.epsilon))

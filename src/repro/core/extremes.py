@@ -1,0 +1,143 @@
+"""Max-value and min-value analysis (§3.1.4 of the paper).
+
+Both analyses exploit the monotonicity of ACs: every node is a
+monotonically increasing function of its inputs, so
+
+* **max-value analysis** — every node attains its maximum when all
+  indicators λ are 1; a single upward pass records each node's maximum.
+* **min-value analysis** — every node's minimum *non-zero* value is lower
+  bounded by the λ=1 evaluation with adders replaced by ``min`` operators
+  (a sum that is non-zero under some evidence is at least its smallest
+  non-zero term; products multiply the child minima).
+
+The results drive the selection of integer bits ``I`` (fixed point — no
+overflow) and exponent bits ``E`` (float — no overflow *or* underflow),
+and they quantify ``min Pr(e)`` for conditional-query bounds (eq. 14).
+
+Everything is computed in the log₂ domain: min values of realistic ACs
+(e.g. products over 60 Naive Bayes features) sit far below the smallest
+positive IEEE double, so a linear-domain pass would silently flush them
+to zero and corrupt the exponent-bit selection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.nodes import OpType
+
+#: log2 of an identically-zero node's (non-existent) max value.
+NEG_INF = float("-inf")
+#: log2 marker for "this node is never non-zero" in min analysis.
+POS_INF = float("inf")
+
+
+def _log2_sum_exp2(values: list[float]) -> float:
+    """log2(Σ 2^v) computed stably."""
+    peak = max(values)
+    if peak == NEG_INF:
+        return NEG_INF
+    return peak + math.log2(sum(2.0 ** (v - peak) for v in values))
+
+
+def max_log2_values(circuit: ArithmeticCircuit) -> list[float]:
+    """Per-node log₂ of the maximum attainable value (λ = 1 evaluation).
+
+    ``-inf`` marks identically-zero nodes (e.g. a zero parameter).
+    """
+    values = [NEG_INF] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = math.log2(node.value) if node.value > 0.0 else NEG_INF
+        elif node.op is OpType.INDICATOR:
+            values[index] = 0.0  # λ max is 1
+        elif node.op is OpType.SUM:
+            values[index] = _log2_sum_exp2([values[c] for c in node.children])
+        elif node.op is OpType.PRODUCT:
+            values[index] = sum(values[c] for c in node.children)
+        else:  # MAX
+            values[index] = max(values[c] for c in node.children)
+    return values
+
+
+def min_log2_positive_values(circuit: ArithmeticCircuit) -> list[float]:
+    """Per-node log₂ lower bound of the minimum non-zero value.
+
+    ``+inf`` marks nodes that are identically zero (they never contribute
+    a non-zero value, so they are excluded from sums by the ``min``
+    semantics). Indicators contribute their non-zero value, 1.
+
+    Soundness (induction over the DAG): under any evidence, a non-zero sum
+    is at least its smallest non-zero child, and a non-zero product is the
+    product of non-zero children — in both cases at least the value
+    computed here.
+    """
+    values = [POS_INF] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = math.log2(node.value) if node.value > 0.0 else POS_INF
+        elif node.op is OpType.INDICATOR:
+            values[index] = 0.0  # min non-zero λ is 1
+        elif node.op in (OpType.SUM, OpType.MAX):
+            values[index] = min(values[c] for c in node.children)
+        else:  # PRODUCT
+            child_values = [values[c] for c in node.children]
+            if any(v == POS_INF for v in child_values):
+                values[index] = POS_INF  # identically-zero factor
+            else:
+                values[index] = sum(child_values)
+    return values
+
+
+@dataclass(frozen=True)
+class ExtremeAnalysis:
+    """Bundled extreme-value analysis of one circuit."""
+
+    max_log2: tuple[float, ...]
+    min_log2: tuple[float, ...]
+    root: int
+
+    @classmethod
+    def of(cls, circuit: ArithmeticCircuit) -> "ExtremeAnalysis":
+        return cls(
+            max_log2=tuple(max_log2_values(circuit)),
+            min_log2=tuple(min_log2_positive_values(circuit)),
+            root=circuit.root,
+        )
+
+    @property
+    def root_max_log2(self) -> float:
+        """log₂ of the largest possible root value (e.g. max Pr(e))."""
+        return self.max_log2[self.root]
+
+    @property
+    def root_min_log2(self) -> float:
+        """log₂ lower bound of the smallest non-zero root value."""
+        return self.min_log2[self.root]
+
+    @property
+    def global_max_log2(self) -> float:
+        """log₂ of the largest value any node can take."""
+        return max(v for v in self.max_log2 if v != NEG_INF)
+
+    @property
+    def global_min_log2(self) -> float:
+        """log₂ lower bound of the smallest non-zero value at any node."""
+        finite = [v for v in self.min_log2 if v != POS_INF]
+        if not finite:
+            raise ValueError("circuit is identically zero everywhere")
+        return min(finite)
+
+    def max_value(self, index: int) -> float:
+        """Linear-domain max value of a node, clamped away from 0.
+
+        The clamp (2^-500) keeps downstream bound arithmetic sound when
+        the true maximum underflows float64: it can only make bounds
+        negligibly larger, never smaller.
+        """
+        value = self.max_log2[index]
+        if value == NEG_INF:
+            return 0.0
+        return 2.0 ** max(value, -500.0)

@@ -1,0 +1,163 @@
+"""The ProbLP framework facade (Figure 2 of the paper).
+
+:class:`ProbLP` wires the whole pipeline together: it takes an arithmetic
+circuit, a query type and an error tolerance; binarizes the circuit (the
+form the hardware implements); runs max/min-value analysis, fixed- and
+floating-point bound searches and energy estimation; selects the optimal
+representation; and can hand the result to the hardware generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.transform import binarize
+from ..ac.validate import validate_circuit
+from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
+from ..arith.floatingpoint import FloatBackend, FloatFormat
+from ..arith.rounding import RoundingMode
+from ..energy.models import EnergyModel, PAPER_MODEL
+from .optimizer import (
+    CircuitAnalysis,
+    DEFAULT_MAX_PRECISION_BITS,
+    search_fixed_format,
+    search_float_format,
+    select_representation,
+)
+from .queries import ErrorTolerance, QuerySpec, QueryType
+from .report import ProbLPResult
+
+
+@dataclass(frozen=True)
+class ProbLPConfig:
+    """Tunable knobs of the framework."""
+
+    max_precision_bits: int = DEFAULT_MAX_PRECISION_BITS
+    bound_variant: str = "rigorous"  # or "paper"; see repro.core.queries
+    decomposition: str = "balanced"  # or "chain"; see repro.ac.transform
+    energy_model: EnergyModel = PAPER_MODEL
+    #: Operator rounding mode. The paper assumes round-to-nearest;
+    #: TRUNCATE models cheaper hardware with a doubled error constant.
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN
+
+
+class ProbLP:
+    """Analyze an arithmetic circuit for low-precision implementation.
+
+    Parameters
+    ----------
+    circuit:
+        The AC to implement (any fan-in; it is binarized internally). A
+        :class:`repro.compile.CompiledCircuit` may be passed directly.
+    query:
+        The probabilistic query the circuit will serve.
+    tolerance:
+        The user's output error tolerance.
+    config:
+        Optional framework knobs.
+
+    Example
+    -------
+    >>> from repro.bn.networks import sprinkler_network
+    >>> from repro.compile import compile_network
+    >>> from repro.core import ProbLP, QueryType, ErrorTolerance
+    >>> compiled = compile_network(sprinkler_network())
+    >>> framework = ProbLP(compiled, QueryType.MARGINAL,
+    ...                    ErrorTolerance.absolute(0.01))
+    >>> result = framework.analyze()
+    >>> result.selected.kind in ("fixed", "float")
+    True
+    """
+
+    def __init__(
+        self,
+        circuit,
+        query: QueryType,
+        tolerance: ErrorTolerance,
+        config: ProbLPConfig | None = None,
+    ) -> None:
+        if hasattr(circuit, "circuit"):  # CompiledCircuit and friends
+            circuit = circuit.circuit
+        if not isinstance(circuit, ArithmeticCircuit):
+            raise TypeError(
+                f"expected an ArithmeticCircuit (or CompiledCircuit), got "
+                f"{type(circuit).__name__}"
+            )
+        validate_circuit(circuit)
+        self.config = config or ProbLPConfig()
+        self.spec = QuerySpec(query=query, tolerance=tolerance)
+        self.source_circuit = circuit
+        self.binary_circuit = binarize(
+            circuit, strategy=self.config.decomposition
+        ).circuit
+        self.analysis = CircuitAnalysis.of(self.binary_circuit)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def analyze(self) -> ProbLPResult:
+        """Run bound searches, energy estimation and selection."""
+        fixed = search_fixed_format(
+            self.analysis,
+            self.spec,
+            max_bits=self.config.max_precision_bits,
+            variant=self.config.bound_variant,
+            energy_model=self.config.energy_model,
+            rounding=self.config.rounding,
+        )
+        float_ = search_float_format(
+            self.analysis,
+            self.spec,
+            max_bits=self.config.max_precision_bits,
+            variant=self.config.bound_variant,
+            energy_model=self.config.energy_model,
+            rounding=self.config.rounding,
+        )
+        selection = select_representation(fixed, float_)
+        return ProbLPResult(
+            circuit_name=self.source_circuit.name,
+            circuit_stats=self.binary_circuit.stats(),
+            spec=self.spec,
+            selection=selection,
+            variant=self.config.bound_variant,
+            float_factor_count=self.analysis.float_counts.root_count,
+            root_max_log2=self.analysis.extremes.root_max_log2,
+            root_min_log2=self.analysis.extremes.root_min_log2,
+            global_min_log2=self.analysis.extremes.global_min_log2,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution with the selected representation
+    # ------------------------------------------------------------------
+    def backend_for(self, fmt: FixedPointFormat | FloatFormat):
+        """A quantized-evaluation backend for a chosen format."""
+        if isinstance(fmt, FixedPointFormat):
+            return FixedPointBackend(fmt)
+        if isinstance(fmt, FloatFormat):
+            return FloatBackend(fmt)
+        raise TypeError(f"unsupported format type {type(fmt).__name__}")
+
+    def evaluate_quantized(self, fmt, evidence=None) -> float:
+        """Evaluate the binary circuit with a quantized backend."""
+        from ..ac.evaluate import evaluate_quantized
+
+        return evaluate_quantized(
+            self.binary_circuit, self.backend_for(fmt), evidence
+        )
+
+    def generate_hardware(self, fmt=None, result: ProbLPResult | None = None):
+        """Generate pipelined hardware for the (selected) format.
+
+        Returns a :class:`repro.hw.HardwareDesign`; call ``.verilog()`` on
+        it for the RTL text.
+        """
+        from ..hw import generate_hardware
+
+        if fmt is None:
+            if result is None:
+                result = self.analyze()
+            fmt = result.selected_format
+        return generate_hardware(
+            self.binary_circuit, fmt, energy_model=self.config.energy_model
+        )

@@ -1,0 +1,296 @@
+"""Bit-width search and representation selection (§3.3, Figure 2).
+
+Following the paper, the optimizer starts at 2 fraction (resp. mantissa)
+bits and increments until the query-level error bound meets the user
+tolerance, capped at ``max_bits`` (Table 2 reports such failures as
+``>64``). It then derives the integer bits I (fixed) or exponent bits E
+(float) from max-/min-value analysis — including the quantization error
+margins, so the no-overflow/no-underflow preconditions of the error
+models hold for the *quantized* values, not just the real ones. Finally
+it prices both representations with the energy model and selects the
+cheaper feasible one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+from ..arith.rounding import RoundingMode
+from ..energy.estimate import circuit_energy_nj
+from ..energy.models import EnergyModel, PAPER_MODEL
+from .bounds import (
+    FloatBounds,
+    propagate_fixed_bounds,
+    propagate_float_counts,
+)
+from .errormodels import FloatErrorModel
+from .extremes import ExtremeAnalysis
+from .queries import (
+    QuerySpec,
+    ToleranceType,
+    fixed_query_bound,
+    float_query_bound,
+)
+
+#: Fewest fraction/mantissa bits the search considers (paper §3.3).
+MIN_PRECISION_BITS = 2
+#: Default search cap; Table 2 prints ``>64`` when it is exceeded.
+DEFAULT_MAX_PRECISION_BITS = 64
+#: Cap on exponent bits (far beyond any practical requirement).
+MAX_EXPONENT_BITS = 64
+
+
+@dataclass(frozen=True)
+class CircuitAnalysis:
+    """Precomputed, precision-independent analysis of a binary circuit."""
+
+    circuit: ArithmeticCircuit
+    extremes: ExtremeAnalysis
+    float_counts: FloatBounds
+
+    @classmethod
+    def of(cls, circuit: ArithmeticCircuit) -> "CircuitAnalysis":
+        if not circuit.is_binary:
+            raise ValueError(
+                "CircuitAnalysis requires a binary circuit; apply "
+                "repro.ac.transform.binarize first"
+            )
+        return cls(
+            circuit=circuit,
+            extremes=ExtremeAnalysis.of(circuit),
+            float_counts=propagate_float_counts(circuit),
+        )
+
+
+@dataclass(frozen=True)
+class RepresentationOption:
+    """One candidate representation with its feasibility and price."""
+
+    kind: str  # "fixed" or "float"
+    fmt: FixedPointFormat | FloatFormat | None
+    feasible: bool
+    query_bound: float | None
+    energy_nj: float | None
+    search_cap: int
+    infeasible_reason: str | None = None
+
+    def describe(self) -> str:
+        if not self.feasible:
+            detail = self.infeasible_reason or f">{self.search_cap} bits"
+            return f"{self.kind}: infeasible ({detail})"
+        if isinstance(self.fmt, FixedPointFormat):
+            shape = f"I={self.fmt.integer_bits}, F={self.fmt.fraction_bits}"
+        else:
+            shape = f"E={self.fmt.exponent_bits}, M={self.fmt.mantissa_bits}"
+        return f"{self.kind}({shape}), energy {self.energy_nj:.3g} nJ/eval"
+
+
+def required_integer_bits(
+    analysis: CircuitAnalysis,
+    fraction_bits: int,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> int:
+    """Smallest I such that no quantized node value can overflow.
+
+    Accounts for the error bound: quantized values can exceed the real
+    maxima by the per-node absolute error.
+    """
+    from .errormodels import FixedErrorModel
+
+    bounds = propagate_fixed_bounds(
+        analysis.circuit,
+        FixedErrorModel(fraction_bits=fraction_bits, rounding=rounding),
+        analysis.extremes,
+    )
+    largest = 0.0
+    for index in range(len(analysis.circuit)):
+        value = analysis.extremes.max_value(index) + bounds.per_node[index]
+        largest = max(largest, value)
+    # Indicators are 1.0 even if parameters are all smaller.
+    largest = max(largest, 1.0)
+    return max(1, math.floor(math.log2(largest)) + 1)
+
+
+def required_exponent_bits(
+    analysis: CircuitAnalysis,
+    mantissa_bits: int,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> int:
+    """Smallest E avoiding overflow and underflow of quantized values.
+
+    Quantized node values lie within ``v·(1±δ)`` of the real extremes,
+    where δ is the root relative bound (factor counts are monotone toward
+    the root, so the root count dominates every node). One extra exponent
+    of safety margin is added on each side.
+    """
+    model = FloatErrorModel(mantissa_bits=mantissa_bits, rounding=rounding)
+    count = analysis.float_counts.root_count
+    upper_margin = count * math.log1p(model.epsilon) / math.log(2.0)
+    lower_margin = -count * math.log1p(-model.epsilon) / math.log(2.0)
+
+    needed_max = math.floor(analysis.extremes.global_max_log2 + upper_margin) + 1
+    needed_min = math.floor(analysis.extremes.global_min_log2 - lower_margin) - 1
+    # λ leaves are exactly 1.0; the format must represent it.
+    needed_max = max(needed_max, 0)
+    needed_min = min(needed_min, 0)
+
+    for exponent_bits in range(2, MAX_EXPONENT_BITS + 1):
+        half = 1 << (exponent_bits - 1)
+        min_exponent = 2 - half
+        max_exponent = half
+        if min_exponent <= needed_min and max_exponent >= needed_max:
+            return exponent_bits
+    raise ValueError(
+        f"no exponent width up to {MAX_EXPONENT_BITS} covers "
+        f"[{needed_min}, {needed_max}]"
+    )
+
+
+def search_fixed_format(
+    analysis: CircuitAnalysis,
+    spec: QuerySpec,
+    max_bits: int = DEFAULT_MAX_PRECISION_BITS,
+    variant: str = "rigorous",
+    energy_model: EnergyModel = PAPER_MODEL,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> RepresentationOption:
+    """Find the cheapest feasible fixed-point format for a query spec."""
+    from .errormodels import FixedErrorModel
+    from .queries import QueryType
+
+    if (
+        spec.query is QueryType.CONDITIONAL
+        and spec.tolerance.kind is ToleranceType.RELATIVE
+    ):
+        # §3.2.2: the bound denominator Pr(e)·Pr(q|e) is unquantifiable;
+        # ProbLP always chooses float for this combination.
+        return RepresentationOption(
+            kind="fixed",
+            fmt=None,
+            feasible=False,
+            query_bound=None,
+            energy_nj=None,
+            search_cap=max_bits,
+            infeasible_reason="conditional+relative excluded by policy",
+        )
+
+    for fraction_bits in range(MIN_PRECISION_BITS, max_bits + 1):
+        bounds = propagate_fixed_bounds(
+            analysis.circuit,
+            FixedErrorModel(fraction_bits=fraction_bits, rounding=rounding),
+            analysis.extremes,
+        )
+        query_bound = fixed_query_bound(
+            spec.query, spec.tolerance.kind, bounds, analysis.extremes, variant
+        )
+        if query_bound <= spec.tolerance.value:
+            integer_bits = required_integer_bits(
+                analysis, fraction_bits, rounding
+            )
+            fmt = FixedPointFormat(integer_bits, fraction_bits, rounding)
+            energy = circuit_energy_nj(analysis.circuit, fmt, energy_model)
+            return RepresentationOption(
+                kind="fixed",
+                fmt=fmt,
+                feasible=True,
+                query_bound=query_bound,
+                energy_nj=energy,
+                search_cap=max_bits,
+            )
+    return RepresentationOption(
+        kind="fixed",
+        fmt=None,
+        feasible=False,
+        query_bound=None,
+        energy_nj=None,
+        search_cap=max_bits,
+        infeasible_reason=f"needs more than {max_bits} fraction bits",
+    )
+
+
+def search_float_format(
+    analysis: CircuitAnalysis,
+    spec: QuerySpec,
+    max_bits: int = DEFAULT_MAX_PRECISION_BITS,
+    variant: str = "rigorous",
+    energy_model: EnergyModel = PAPER_MODEL,
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> RepresentationOption:
+    """Find the cheapest feasible floating-point format for a query spec."""
+    for mantissa_bits in range(MIN_PRECISION_BITS, max_bits + 1):
+        query_bound = float_query_bound(
+            spec.query,
+            spec.tolerance.kind,
+            analysis.float_counts,
+            analysis.extremes,
+            mantissa_bits,
+            variant,
+            rounding,
+        )
+        if query_bound <= spec.tolerance.value:
+            exponent_bits = required_exponent_bits(
+                analysis, mantissa_bits, rounding
+            )
+            fmt = FloatFormat(exponent_bits, mantissa_bits, rounding)
+            energy = circuit_energy_nj(analysis.circuit, fmt, energy_model)
+            return RepresentationOption(
+                kind="float",
+                fmt=fmt,
+                feasible=True,
+                query_bound=query_bound,
+                energy_nj=energy,
+                search_cap=max_bits,
+            )
+    return RepresentationOption(
+        kind="float",
+        fmt=None,
+        feasible=False,
+        query_bound=None,
+        energy_nj=None,
+        search_cap=max_bits,
+        infeasible_reason=f"needs more than {max_bits} mantissa bits",
+    )
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Both candidate representations plus the energy-based choice."""
+
+    fixed: RepresentationOption
+    float_: RepresentationOption
+    selected: RepresentationOption
+    reason: str
+
+
+def select_representation(
+    fixed: RepresentationOption, float_: RepresentationOption
+) -> SelectionResult:
+    """Pick the lower-energy feasible representation (paper Figure 2)."""
+    if fixed.feasible and float_.feasible:
+        if fixed.energy_nj <= float_.energy_nj:
+            winner, reason = fixed, (
+                f"fixed is cheaper ({fixed.energy_nj:.3g} vs "
+                f"{float_.energy_nj:.3g} nJ)"
+            )
+        else:
+            winner, reason = float_, (
+                f"float is cheaper ({float_.energy_nj:.3g} vs "
+                f"{fixed.energy_nj:.3g} nJ)"
+            )
+    elif fixed.feasible:
+        winner, reason = fixed, "float infeasible"
+    elif float_.feasible:
+        winner, reason = float_, (
+            f"fixed infeasible ({fixed.infeasible_reason})"
+        )
+    else:
+        raise ValueError(
+            "no feasible representation within the search cap: "
+            f"fixed: {fixed.infeasible_reason}; "
+            f"float: {float_.infeasible_reason}"
+        )
+    return SelectionResult(fixed=fixed, float_=float_, selected=winner, reason=reason)

@@ -1,0 +1,188 @@
+"""Query-level error bounds (§3.2 of the paper).
+
+Single-evaluation bounds (marginal probability, MPE) come straight from
+:mod:`repro.core.bounds`. Conditional probability divides two AC
+evaluations, ``Pr(q|e) = Pr(q,e) / Pr(e)``, and its bounds additionally
+involve ``min Pr(e)`` from min-value analysis.
+
+Two bound variants are provided (DESIGN.md §5):
+
+* ``variant="paper"`` — the published worst cases: eq. 14 assumes the
+  denominator error is zero; eq. 17 takes ``(1+ε)^c − 1``.
+* ``variant="rigorous"`` (default) — provably sound worst cases over both
+  numerator and denominator errors:
+
+  - fixed/absolute: ``|Δ| ≤ (Δ₁ + P·Δ₂)/(Pr(e) − Δ₂) ≤ 2Δ/(minPr(e) − Δ)``
+    using ``P = Pr(q|e) ≤ 1`` and ``Δ₁ = Δ₂ = Δ``;
+  - float/relative: ``(1+ε)^c/(1−ε)^c − 1``.
+
+  These exceed the paper's constants by at most ≈2×, invisible on the
+  log-scale plots but safe to assert in tests.
+
+The policy of §3.2.2 is implemented verbatim: a *relative* tolerance on a
+*conditional* query excludes fixed point a priori (its denominator
+``Pr(e)·Pr(q|e)`` is unquantifiable in general), so the bound is +inf.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from .bounds import FixedBounds, FloatBounds
+from .errormodels import FloatErrorModel
+from .extremes import ExtremeAnalysis
+
+
+class QueryType(Enum):
+    """Probabilistic query families the framework supports."""
+
+    MARGINAL = "marginal"
+    CONDITIONAL = "conditional"
+    MPE = "mpe"
+
+
+class ToleranceType(Enum):
+    """How the user expresses the acceptable output error."""
+
+    ABSOLUTE = "absolute"
+    RELATIVE = "relative"
+
+
+@dataclass(frozen=True)
+class ErrorTolerance:
+    """A user error requirement, e.g. absolute error ≤ 0.01."""
+
+    kind: ToleranceType
+    value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.value < float("inf"):
+            raise ValueError(
+                f"tolerance must be a positive finite number, got {self.value}"
+            )
+
+    @classmethod
+    def absolute(cls, value: float) -> "ErrorTolerance":
+        return cls(ToleranceType.ABSOLUTE, value)
+
+    @classmethod
+    def relative(cls, value: float) -> "ErrorTolerance":
+        return cls(ToleranceType.RELATIVE, value)
+
+    def describe(self) -> str:
+        return f"{self.kind.value} err {self.value:g}"
+
+
+_VARIANTS = ("rigorous", "paper")
+
+
+def _check_variant(variant: str) -> None:
+    if variant not in _VARIANTS:
+        raise ValueError(f"variant must be one of {_VARIANTS}, got {variant!r}")
+
+
+def fixed_query_bound(
+    query: QueryType,
+    tolerance_kind: ToleranceType,
+    bounds: FixedBounds,
+    extremes: ExtremeAnalysis,
+    variant: str = "rigorous",
+) -> float:
+    """Worst-case query error under fixed-point arithmetic.
+
+    Returns +inf when fixed point cannot bound this query/tolerance
+    combination (conditional + relative, per the paper's policy, or a
+    denominator bound that the error swallows).
+    """
+    _check_variant(variant)
+    delta = bounds.root_bound
+
+    if query in (QueryType.MARGINAL, QueryType.MPE):
+        if tolerance_kind is ToleranceType.ABSOLUTE:
+            return delta
+        # Relative tolerance: divide by the smallest non-zero output.
+        min_output = 2.0**extremes.root_min_log2
+        if min_output <= 0.0:
+            return float("inf")
+        return delta / min_output
+
+    # Conditional query.
+    if tolerance_kind is ToleranceType.RELATIVE:
+        return float("inf")  # §3.2.2: always use float for this combination
+    min_pr_e = 2.0**extremes.root_min_log2
+    if variant == "paper":
+        # Eq. 14: Δ1max / min Pr(e).
+        if min_pr_e <= 0.0:
+            return float("inf")
+        return delta / min_pr_e
+    # Rigorous: numerator and denominator both perturbed by ≤ delta.
+    if min_pr_e <= delta:
+        return float("inf")
+    return 2.0 * delta / (min_pr_e - delta)
+
+
+def float_query_bound(
+    query: QueryType,
+    tolerance_kind: ToleranceType,
+    counts: FloatBounds,
+    extremes: ExtremeAnalysis,
+    mantissa_bits: int,
+    variant: str = "rigorous",
+    rounding=None,
+) -> float:
+    """Worst-case query error under floating-point arithmetic."""
+    from ..arith.rounding import RoundingMode
+
+    _check_variant(variant)
+    model = FloatErrorModel(
+        mantissa_bits=mantissa_bits,
+        rounding=rounding or RoundingMode.NEAREST_EVEN,
+    )
+    count = counts.root_count
+    single_eval_relative = model.relative_bound(count)
+
+    if query in (QueryType.MARGINAL, QueryType.MPE):
+        if tolerance_kind is ToleranceType.RELATIVE:
+            return single_eval_relative
+        # Absolute = relative × the largest possible output value.
+        max_output = min(2.0**extremes.root_max_log2, 1.0)
+        return single_eval_relative * max_output
+
+    # Conditional query: the ratio's relative error.
+    if variant == "paper":
+        ratio_relative = single_eval_relative  # eq. 17
+    else:
+        # (1+ε)^c / (1−ε)^c − 1, stable in log space.
+        log_ratio = count * (
+            math.log1p(model.epsilon) - math.log1p(-model.epsilon)
+        )
+        ratio_relative = math.expm1(log_ratio)
+    if tolerance_kind is ToleranceType.RELATIVE:
+        return ratio_relative
+    # Absolute error of a conditional: relative × Pr(q|e) ≤ relative × 1.
+    return ratio_relative
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A fully specified analysis target: query type plus tolerance."""
+
+    query: QueryType
+    tolerance: ErrorTolerance
+
+    def describe(self) -> str:
+        names = {
+            QueryType.MARGINAL: "Marg. prob.",
+            QueryType.CONDITIONAL: "Cond. prob.",
+            QueryType.MPE: "MPE",
+        }
+        kinds = {
+            ToleranceType.ABSOLUTE: "abs. err",
+            ToleranceType.RELATIVE: "rel. err",
+        }
+        return (
+            f"{names[self.query]} {kinds[self.tolerance.kind]} "
+            f"{self.tolerance.value:g}"
+        )

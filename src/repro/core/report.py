@@ -1,0 +1,91 @@
+"""Result containers and human-readable reports for ProbLP analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.circuit import CircuitStats
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+from .optimizer import RepresentationOption, SelectionResult
+from .queries import QuerySpec
+
+
+def format_name(fmt: FixedPointFormat | FloatFormat | None) -> str:
+    """Render a format the way Table 2 does (``I, F`` or ``E, M``)."""
+    if fmt is None:
+        return "-"
+    if isinstance(fmt, FixedPointFormat):
+        return f"{fmt.integer_bits}, {fmt.fraction_bits}"
+    return f"{fmt.exponent_bits}, {fmt.mantissa_bits}"
+
+
+def option_cell(option: RepresentationOption) -> str:
+    """Table 2 cell: ``I, F (energy)`` or ``1, >64 ( - )`` or ``-``."""
+    if option.feasible:
+        return f"{format_name(option.fmt)} ({option.energy_nj:.2g})"
+    if option.infeasible_reason and "policy" in option.infeasible_reason:
+        return "-"
+    return f">{option.search_cap} ( - )"
+
+
+@dataclass(frozen=True)
+class ProbLPResult:
+    """Full outcome of a ProbLP analysis for one circuit and query spec."""
+
+    circuit_name: str
+    circuit_stats: CircuitStats
+    spec: QuerySpec
+    selection: SelectionResult
+    variant: str
+    float_factor_count: int
+    root_max_log2: float
+    root_min_log2: float
+    global_min_log2: float
+
+    @property
+    def selected(self) -> RepresentationOption:
+        return self.selection.selected
+
+    @property
+    def selected_format(self) -> FixedPointFormat | FloatFormat:
+        fmt = self.selection.selected.fmt
+        assert fmt is not None  # selected options are always feasible
+        return fmt
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        stats = self.circuit_stats
+        lines = [
+            f"ProbLP analysis of {self.circuit_name!r}",
+            f"  query          : {self.spec.describe()}",
+            f"  circuit        : {stats.num_operators} binary ops "
+            f"({stats.num_sums}+ {stats.num_products}* {stats.num_max}max), "
+            f"depth {stats.depth}",
+            f"  value range    : 2^{self.root_min_log2:.1f} .. "
+            f"2^{self.root_max_log2:.1f} at root, "
+            f"global min 2^{self.global_min_log2:.1f}",
+            f"  float (1±ε)^c  : c = {self.float_factor_count}",
+            f"  fixed option   : {self.selection.fixed.describe()}",
+            f"  float option   : {self.selection.float_.describe()}",
+            f"  selected       : {self.selection.selected.kind} "
+            f"— {self.selection.reason}",
+            f"  bound variant  : {self.variant}",
+        ]
+        return "\n".join(lines)
+
+
+def render_table(rows: list[dict[str, str]], columns: list[str]) -> str:
+    """Render a list of row dicts as an aligned ASCII table."""
+    widths = {
+        column: max(len(column), *(len(row.get(column, "")) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    rule = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            " | ".join(row.get(column, "").ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

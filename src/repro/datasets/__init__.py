@@ -1,0 +1,27 @@
+"""Embedded-sensing dataset substrates (synthetic stand-ins; DESIGN.md §4)."""
+
+from .benchmark import SensorBenchmark, build_benchmark
+from .discretize import Discretizer, fit_discretizer
+from .har import HAR_SPEC, har_benchmark
+from .splits import Split, train_test_split
+from .synthetic import ContinuousDataset, SyntheticSpec, generate_continuous
+from .uiwads import UIWADS_SPEC, uiwads_benchmark
+from .unimib import UNIMIB_SPEC, unimib_benchmark
+
+__all__ = [
+    "ContinuousDataset",
+    "Discretizer",
+    "HAR_SPEC",
+    "SensorBenchmark",
+    "Split",
+    "SyntheticSpec",
+    "UIWADS_SPEC",
+    "UNIMIB_SPEC",
+    "build_benchmark",
+    "fit_discretizer",
+    "generate_continuous",
+    "har_benchmark",
+    "train_test_split",
+    "uiwads_benchmark",
+    "unimib_benchmark",
+]

@@ -1,0 +1,52 @@
+"""Train/test splitting utilities (paper: 60 % train, 40 % test)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """Integer-state train/test matrices plus labels."""
+
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def num_train(self) -> int:
+        return self.train_features.shape[0]
+
+    @property
+    def num_test(self) -> int:
+        return self.test_features.shape[0]
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_fraction: float = 0.6,
+    seed: int = 0,
+) -> Split:
+    """Shuffle and split; the paper trains on 60 % of each dataset."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features and labels disagree on sample count")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(features.shape[0])
+    cut = int(round(train_fraction * features.shape[0]))
+    if cut == 0 or cut == features.shape[0]:
+        raise ValueError("split leaves an empty train or test set")
+    train_idx, test_idx = order[:cut], order[cut:]
+    return Split(
+        train_features=features[train_idx],
+        train_labels=labels[train_idx],
+        test_features=features[test_idx],
+        test_labels=labels[test_idx],
+    )

@@ -1,0 +1,69 @@
+"""Synthetic class-conditional sensor data.
+
+The paper evaluates on three embedded-sensing datasets (HAR, UniMiB SHAR,
+UIWADS) that are not redistributable here. As documented in DESIGN.md §4,
+we substitute Gaussian class-conditional feature generators with matched
+problem shapes (classes × features × discretization bins): the ProbLP
+experiments consume only the trained Naive Bayes parameters (which fix the
+AC structure and value ranges) and a held-out test set, so matching the
+shape reproduces the paper's AC sizes, energy ordering and bit-width
+requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Shape and generation parameters of a synthetic sensor dataset."""
+
+    name: str
+    num_classes: int
+    num_features: int
+    num_states: int  # discretization bins per feature
+    num_samples: int
+    seed: int
+    class_separation: float = 1.0
+    feature_noise: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+        if self.num_features < 1:
+            raise ValueError("need at least one feature")
+        if self.num_states < 2:
+            raise ValueError("need at least two states per feature")
+        if self.num_samples < self.num_classes:
+            raise ValueError("need at least one sample per class")
+
+
+@dataclass(frozen=True)
+class ContinuousDataset:
+    """Raw continuous features plus integer labels."""
+
+    spec: SyntheticSpec
+    features: np.ndarray  # (n, num_features) float
+    labels: np.ndarray  # (n,) int
+
+
+def generate_continuous(spec: SyntheticSpec) -> ContinuousDataset:
+    """Draw Gaussian class-conditional features.
+
+    Class means are drawn once per (class, feature) with standard
+    deviation ``class_separation``; samples add unit-variance noise scaled
+    by ``feature_noise``. Labels are balanced.
+    """
+    rng = np.random.default_rng(spec.seed)
+    means = rng.normal(
+        0.0, spec.class_separation, size=(spec.num_classes, spec.num_features)
+    )
+    labels = rng.integers(0, spec.num_classes, size=spec.num_samples)
+    noise = rng.normal(
+        0.0, spec.feature_noise, size=(spec.num_samples, spec.num_features)
+    )
+    features = means[labels] + noise
+    return ContinuousDataset(spec=spec, features=features, labels=labels)

@@ -1,0 +1,28 @@
+"""UIWADS stand-in: user identification from walking patterns (Casale et al.).
+
+The original task verifies a user against impostors from chest-mounted
+accelerometer gait features — a small binary model (the paper's smallest
+AC: 0.06 nJ/eval at fixed I=1, F=11). Our stand-in uses 2 classes × 7
+features × 3 bins, matching that circuit scale (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from .benchmark import SensorBenchmark, build_benchmark
+from .synthetic import SyntheticSpec
+
+UIWADS_SPEC = SyntheticSpec(
+    name="UIWADS",
+    num_classes=2,
+    num_features=7,
+    num_states=3,
+    num_samples=1500,
+    seed=20190603,
+    class_separation=1.0,
+    feature_noise=1.0,
+)
+
+
+def uiwads_benchmark() -> SensorBenchmark:
+    """Build the UIWADS stand-in benchmark (deterministic)."""
+    return build_benchmark(UIWADS_SPEC)

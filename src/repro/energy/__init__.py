@@ -1,0 +1,50 @@
+"""Energy models and circuit-level energy estimation (paper Table 1)."""
+
+from .estimate import (
+    FJ_PER_NJ,
+    OperatorCounts,
+    circuit_energy_nj,
+    count_operators,
+    datapath_bits,
+    fixed_circuit_energy,
+    float_circuit_energy,
+    register_energy,
+)
+from .fitting import (
+    FitResult,
+    SynthesisSample,
+    fit_energy_model,
+    fit_single_coefficient,
+    generate_synthesis_samples,
+)
+from .gatecount import (
+    fixed_adder_gates,
+    fixed_multiplier_gates,
+    float_adder_gates,
+    float_multiplier_gates,
+)
+from .models import EnergyModel, IEEE_SINGLE, PAPER_MODEL, float_storage_bits
+
+__all__ = [
+    "EnergyModel",
+    "FJ_PER_NJ",
+    "FitResult",
+    "IEEE_SINGLE",
+    "OperatorCounts",
+    "PAPER_MODEL",
+    "SynthesisSample",
+    "circuit_energy_nj",
+    "count_operators",
+    "datapath_bits",
+    "fit_energy_model",
+    "fit_single_coefficient",
+    "fixed_adder_gates",
+    "fixed_circuit_energy",
+    "fixed_multiplier_gates",
+    "float_adder_gates",
+    "float_circuit_energy",
+    "float_multiplier_gates",
+    "float_storage_bits",
+    "generate_synthesis_samples",
+    "register_energy",
+]

@@ -1,0 +1,125 @@
+"""Circuit-level energy estimation.
+
+The paper predicts AC energy as the sum of operator energies over the
+fully parallel hardware: every 2-input adder and multiplier of the binary
+circuit evaluates once per AC evaluation. The *post-synthesis proxy* adds
+pipeline-register energy computed from the balanced pipeline the hardware
+generator builds (the paper measures this on synthesized netlists; see
+DESIGN.md §4 on the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.nodes import OpType
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+from .models import EnergyModel, PAPER_MODEL, float_storage_bits
+
+#: Conversion from femtojoules to the nanojoules used in the paper's tables.
+FJ_PER_NJ = 1.0e6
+
+
+@dataclass(frozen=True)
+class OperatorCounts:
+    """Two-input operator counts of a binary circuit."""
+
+    adders: int
+    multipliers: int
+    max_units: int
+
+    @property
+    def total(self) -> int:
+        return self.adders + self.multipliers + self.max_units
+
+
+def count_operators(circuit: ArithmeticCircuit) -> OperatorCounts:
+    """Count 2-input operators; requires a binary circuit."""
+    if not circuit.is_binary:
+        raise ValueError(
+            "energy estimation needs a binary circuit; apply "
+            "repro.ac.transform.binarize first"
+        )
+    adders = multipliers = max_units = 0
+    for node in circuit.nodes:
+        if len(node.children) != 2:
+            continue
+        if node.op is OpType.SUM:
+            adders += 1
+        elif node.op is OpType.PRODUCT:
+            multipliers += 1
+        elif node.op is OpType.MAX:
+            max_units += 1
+    return OperatorCounts(adders, multipliers, max_units)
+
+
+def fixed_circuit_energy(
+    circuit: ArithmeticCircuit,
+    fmt: FixedPointFormat,
+    model: EnergyModel = PAPER_MODEL,
+) -> float:
+    """Predicted energy per AC evaluation in fJ, fixed-point operators."""
+    counts = count_operators(circuit)
+    add_energy = model.fixed_add(fmt.total_bits)
+    mult_energy = model.fixed_mult(fmt.total_bits)
+    return (
+        counts.adders * add_energy
+        + counts.multipliers * mult_energy
+        + counts.max_units * add_energy  # comparators costed as adders
+    )
+
+
+def float_circuit_energy(
+    circuit: ArithmeticCircuit,
+    fmt: FloatFormat,
+    model: EnergyModel = PAPER_MODEL,
+) -> float:
+    """Predicted energy per AC evaluation in fJ, float operators."""
+    counts = count_operators(circuit)
+    add_energy = model.float_add(fmt.mantissa_bits)
+    mult_energy = model.float_mult(fmt.mantissa_bits)
+    return (
+        counts.adders * add_energy
+        + counts.multipliers * mult_energy
+        + counts.max_units * add_energy
+    )
+
+
+def circuit_energy_nj(
+    circuit: ArithmeticCircuit,
+    fmt: FixedPointFormat | FloatFormat,
+    model: EnergyModel = PAPER_MODEL,
+) -> float:
+    """Predicted energy per AC evaluation in nJ (the paper's table unit)."""
+    if isinstance(fmt, FixedPointFormat):
+        return fixed_circuit_energy(circuit, fmt, model) / FJ_PER_NJ
+    if isinstance(fmt, FloatFormat):
+        return float_circuit_energy(circuit, fmt, model) / FJ_PER_NJ
+    raise TypeError(f"unsupported format type {type(fmt).__name__}")
+
+
+def register_energy(
+    num_registers: int,
+    bits_per_register: int,
+    model: EnergyModel = PAPER_MODEL,
+) -> float:
+    """Energy of all pipeline registers for one evaluation, fJ.
+
+    In a fully pipelined design every register clocks every cycle, and one
+    evaluation advances one stage per cycle, so charging every register
+    once per evaluation is the steady-state per-result energy.
+    """
+    if num_registers < 0:
+        raise ValueError("num_registers must be non-negative")
+    return num_registers * model.register(bits_per_register)
+
+
+def datapath_bits(fmt: FixedPointFormat | FloatFormat) -> int:
+    """Width of one datapath word (register width) for a format."""
+    if isinstance(fmt, FixedPointFormat):
+        return fmt.total_bits
+    if isinstance(fmt, FloatFormat):
+        return float_storage_bits(fmt)
+    raise TypeError(f"unsupported format type {type(fmt).__name__}")

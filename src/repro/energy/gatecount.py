@@ -1,0 +1,71 @@
+"""Analytic gate-count models of the arithmetic operators.
+
+The paper derives its energy models from TSMC 65 nm synthesis runs. With
+no synthesis toolchain available offline, this module provides the
+substitute substrate (DESIGN.md §4): first-order gate counts of the
+standard micro-architectures —
+
+* ripple-carry adder: one full adder per bit;
+* array multiplier: an AND plane plus an (N-1)·N adder array, with a
+  log-factor for the carry-propagation/compression tree;
+* float adder: alignment shifter + significand adder + normalization
+  (LZC + shifter), all linear in the significand width;
+* float multiplier: significand array multiplier + exponent adder +
+  rounding.
+
+Scaled by a per-gate switching energy calibrated at one anchor point,
+these produce "synthesis samples" whose fitted coefficients land close to
+the paper's Table 1 (the fitting flow is exercised in
+:mod:`repro.energy.fitting`).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Gate-equivalents of a full adder (typical standard-cell mapping).
+GATES_PER_FULL_ADDER = 5.0
+
+
+def fixed_adder_gates(total_bits: int) -> float:
+    """Gate count of an N-bit ripple-carry adder."""
+    if total_bits < 1:
+        raise ValueError("total_bits must be positive")
+    return GATES_PER_FULL_ADDER * total_bits
+
+
+def fixed_multiplier_gates(total_bits: int) -> float:
+    """Gate count of an N-bit array multiplier with a compression tree.
+
+    N² partial-product gates plus an adder array; the log₂N factor models
+    the carry-save compression tree depth's wiring/activity overhead that
+    the paper's quadratic-log fit captures.
+    """
+    if total_bits < 1:
+        raise ValueError("total_bits must be positive")
+    if total_bits == 1:
+        return 1.0
+    return total_bits**2 * math.log2(total_bits)
+
+
+def float_adder_gates(mantissa_bits: int) -> float:
+    """Gate count of a float adder over an (M+1)-bit significand.
+
+    Dominated by three linear-in-width blocks: the alignment barrel
+    shifter, the significand adder and the normalization shifter.
+    """
+    if mantissa_bits < 1:
+        raise ValueError("mantissa_bits must be positive")
+    significand = mantissa_bits + 1
+    shifter = 2 * GATES_PER_FULL_ADDER * significand  # align + normalize
+    adder = GATES_PER_FULL_ADDER * significand
+    leading_zero_count = 3.0 * significand
+    return shifter + adder + leading_zero_count
+
+
+def float_multiplier_gates(mantissa_bits: int) -> float:
+    """Gate count of a float multiplier over an (M+1)-bit significand."""
+    if mantissa_bits < 1:
+        raise ValueError("mantissa_bits must be positive")
+    significand = mantissa_bits + 1
+    return fixed_multiplier_gates(significand) + fixed_adder_gates(8)

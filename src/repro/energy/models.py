@@ -1,0 +1,105 @@
+"""Operator-level energy models (Table 1 of the paper).
+
+The paper synthesizes adders and multipliers with varying bit-widths in
+TSMC 65 nm at 1 V, extracts post-synthesis energy, and fits the models
+
+===============  ==================
+Operator         Energy (fJ)
+===============  ==================
+Fixed-pt add     7.8 · N
+Fixed-pt mult    1.9 · N² · log₂N
+Float-pt add     44.74 · (M+1)
+Float-pt mult    2.9 · (M+1)² · log₂(M+1)
+===============  ==================
+
+with ``N`` the total fixed-point bits and ``M`` the mantissa bits. We take
+the published coefficients as defaults;
+:mod:`repro.energy.fitting` demonstrates recovering them from (synthetic)
+synthesis samples. MAX nodes are costed as adders — a comparator is a
+subtractor-equivalent structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Coefficients of the four operator energy formulas, in femtojoules.
+
+    The defaults are the paper's Table 1 values (TSMC 65 nm, 1 V).
+    """
+
+    fixed_add_coeff: float = 7.8
+    fixed_mult_coeff: float = 1.9
+    float_add_coeff: float = 44.74
+    float_mult_coeff: float = 2.9
+    #: Energy per pipeline-register bit per cycle (fJ); used only by the
+    #: post-synthesis proxy, not by the paper's Table 1 predictions.
+    register_bit_coeff: float = 1.0
+
+    def fixed_add(self, total_bits: int) -> float:
+        """Energy of an ``N``-bit fixed-point adder, fJ."""
+        _check_bits(total_bits)
+        return self.fixed_add_coeff * total_bits
+
+    def fixed_mult(self, total_bits: int) -> float:
+        """Energy of an ``N``-bit fixed-point multiplier, fJ."""
+        _check_bits(total_bits)
+        if total_bits == 1:
+            # log2(1) = 0 would cost nothing; a 1-bit multiplier is an AND
+            # gate — charge the linear term instead.
+            return self.fixed_mult_coeff
+        return self.fixed_mult_coeff * total_bits**2 * math.log2(total_bits)
+
+    def float_add(self, mantissa_bits: int) -> float:
+        """Energy of a float adder with ``M`` mantissa bits, fJ."""
+        _check_bits(mantissa_bits)
+        return self.float_add_coeff * (mantissa_bits + 1)
+
+    def float_mult(self, mantissa_bits: int) -> float:
+        """Energy of a float multiplier with ``M`` mantissa bits, fJ."""
+        _check_bits(mantissa_bits)
+        significand = mantissa_bits + 1
+        return self.float_mult_coeff * significand**2 * math.log2(significand)
+
+    def register(self, bits: int) -> float:
+        """Energy of one ``bits``-wide pipeline register per cycle, fJ."""
+        _check_bits(bits)
+        return self.register_bit_coeff * bits
+
+    # -- format-level conveniences -----------------------------------------
+    def fixed_format_add(self, fmt: FixedPointFormat) -> float:
+        return self.fixed_add(fmt.total_bits)
+
+    def fixed_format_mult(self, fmt: FixedPointFormat) -> float:
+        return self.fixed_mult(fmt.total_bits)
+
+    def float_format_add(self, fmt: FloatFormat) -> float:
+        return self.float_add(fmt.mantissa_bits)
+
+    def float_format_mult(self, fmt: FloatFormat) -> float:
+        return self.float_mult(fmt.mantissa_bits)
+
+
+def _check_bits(bits: int) -> None:
+    if bits < 1:
+        raise ValueError(f"bit-width must be positive, got {bits}")
+
+
+#: The paper's published model (Table 1).
+PAPER_MODEL = EnergyModel()
+
+#: Storage width of a float format in bits (no sign bit — probabilities).
+def float_storage_bits(fmt: FloatFormat) -> int:
+    return fmt.exponent_bits + fmt.mantissa_bits
+
+
+#: The 32-bit float reference the paper compares against (E=8, M=23 plus
+#: a sign bit, i.e. IEEE single precision).
+IEEE_SINGLE = FloatFormat(exponent_bits=8, mantissa_bits=23)

@@ -1,0 +1,65 @@
+"""Experiment harnesses that regenerate every paper table and figure."""
+
+from .ablations import (
+    DecompositionAblationRow,
+    OrderingAblationRow,
+    VariantAblationRow,
+    bound_variant_ablation,
+    decomposition_ablation,
+    ordering_ablation,
+)
+from .overall import (
+    QueryCase,
+    Table2Row,
+    run_alarm_case,
+    run_benchmark_case,
+    standard_cases,
+)
+from .sweeps import (
+    AccuracyPoint,
+    TolerancePoint,
+    accuracy_impact_sweep,
+    render_accuracy_sweep,
+    render_tolerance_sweep,
+    tolerance_energy_sweep,
+)
+from .tables import render_table2, table2_csv, validation_csv
+from .validation import (
+    PAPER_SWEEP,
+    ValidationPoint,
+    ValidationSeries,
+    alarm_marginal_evidences,
+    render_series,
+    run_fixed_validation,
+    run_float_validation,
+)
+
+__all__ = [
+    "AccuracyPoint",
+    "DecompositionAblationRow",
+    "OrderingAblationRow",
+    "PAPER_SWEEP",
+    "QueryCase",
+    "Table2Row",
+    "TolerancePoint",
+    "ValidationPoint",
+    "ValidationSeries",
+    "VariantAblationRow",
+    "accuracy_impact_sweep",
+    "alarm_marginal_evidences",
+    "bound_variant_ablation",
+    "decomposition_ablation",
+    "ordering_ablation",
+    "render_accuracy_sweep",
+    "render_series",
+    "render_table2",
+    "render_tolerance_sweep",
+    "run_alarm_case",
+    "run_benchmark_case",
+    "run_fixed_validation",
+    "run_float_validation",
+    "standard_cases",
+    "table2_csv",
+    "tolerance_energy_sweep",
+    "validation_csv",
+]

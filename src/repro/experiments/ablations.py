@@ -1,0 +1,153 @@
+"""Ablation studies on ProbLP's design choices (beyond the paper).
+
+Three ablations called out in DESIGN.md:
+
+* **bound variant** — the paper's conditional-query constants (eqs. 14 and
+  17) versus our provably sound variants; quantifies how much rigor costs
+  in bits and energy;
+* **decomposition shape** — balanced versus chain binarization: effect on
+  the float error constant c, pipeline depth/registers, and the mantissa
+  bits needed for a target tolerance;
+* **elimination order** — min-fill versus min-degree: effect on AC size
+  and therefore predicted energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.transform import binarize
+from ..bn.network import BayesianNetwork
+from ..compile import compile_network, min_degree_order, min_fill_order
+from ..core.framework import ProbLP, ProbLPConfig
+from ..core.queries import ErrorTolerance, QueryType
+from ..energy.estimate import count_operators
+
+
+@dataclass(frozen=True)
+class VariantAblationRow:
+    """Bound-variant comparison for one query case."""
+
+    query: QueryType
+    tolerance: ErrorTolerance
+    rigorous_fixed: str
+    rigorous_float: str
+    paper_fixed: str
+    paper_float: str
+
+
+def bound_variant_ablation(
+    network: BayesianNetwork, tolerance: float = 0.01
+) -> list[VariantAblationRow]:
+    """Compare rigorous vs paper bound variants across query cases."""
+    from ..core.report import option_cell
+
+    compiled = compile_network(network)
+    cases = [
+        (QueryType.MARGINAL, ErrorTolerance.absolute(tolerance)),
+        (QueryType.MARGINAL, ErrorTolerance.relative(tolerance)),
+        (QueryType.CONDITIONAL, ErrorTolerance.absolute(tolerance)),
+        (QueryType.CONDITIONAL, ErrorTolerance.relative(tolerance)),
+    ]
+    rows = []
+    for query, tol in cases:
+        cells = {}
+        for variant in ("rigorous", "paper"):
+            config = ProbLPConfig(bound_variant=variant)
+            result = ProbLP(compiled, query, tol, config).analyze()
+            cells[(variant, "fixed")] = option_cell(result.selection.fixed)
+            cells[(variant, "float")] = option_cell(result.selection.float_)
+        rows.append(
+            VariantAblationRow(
+                query=query,
+                tolerance=tol,
+                rigorous_fixed=cells[("rigorous", "fixed")],
+                rigorous_float=cells[("rigorous", "float")],
+                paper_fixed=cells[("paper", "fixed")],
+                paper_float=cells[("paper", "float")],
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class DecompositionAblationRow:
+    """Balanced vs chain binarization for one network."""
+
+    strategy: str
+    float_factor_count: int
+    pipeline_depth: int
+    total_registers: int
+    mantissa_bits_needed: int
+
+
+def decomposition_ablation(
+    network: BayesianNetwork, tolerance: float = 0.01
+) -> list[DecompositionAblationRow]:
+    """Quantify what balanced trees buy over chains."""
+    from ..hw.pipeline import schedule_pipeline
+
+    compiled = compile_network(network)
+    rows = []
+    for strategy in ("balanced", "chain"):
+        config = ProbLPConfig(decomposition=strategy)
+        framework = ProbLP(
+            compiled,
+            QueryType.MARGINAL,
+            ErrorTolerance.relative(tolerance),
+            config,
+        )
+        result = framework.analyze()
+        schedule = schedule_pipeline(framework.binary_circuit)
+        float_option = result.selection.float_
+        mantissa = (
+            float_option.fmt.mantissa_bits if float_option.feasible else -1
+        )
+        rows.append(
+            DecompositionAblationRow(
+                strategy=strategy,
+                float_factor_count=result.float_factor_count,
+                pipeline_depth=schedule.latency,
+                total_registers=schedule.total_registers,
+                mantissa_bits_needed=mantissa,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class OrderingAblationRow:
+    """Elimination-order effect on circuit size and energy."""
+
+    ordering: str
+    num_operators: int
+    num_adders: int
+    num_multipliers: int
+    energy_nj_at_16_bits: float
+
+
+def ordering_ablation(network: BayesianNetwork) -> list[OrderingAblationRow]:
+    """Compare min-fill and min-degree compilations."""
+    from ..arith.fixedpoint import FixedPointFormat
+    from ..energy.estimate import circuit_energy_nj
+
+    orders = {
+        "min-fill": min_fill_order(network),
+        "min-degree": min_degree_order(network),
+    }
+    rows = []
+    for name, order in orders.items():
+        compiled = compile_network(network, order=order)
+        binary = binarize(compiled.circuit).circuit
+        counts = count_operators(binary)
+        energy = circuit_energy_nj(binary, FixedPointFormat(1, 15))
+        rows.append(
+            OrderingAblationRow(
+                ordering=name,
+                num_operators=counts.total,
+                num_adders=counts.adders,
+                num_multipliers=counts.multipliers,
+                energy_nj_at_16_bits=energy,
+            )
+        )
+    return rows

@@ -1,0 +1,176 @@
+"""Energy/tolerance trade-off and accuracy-impact sweeps.
+
+Two experiments beyond the paper's tables that substantiate its closing
+claims:
+
+* :func:`tolerance_energy_sweep` — §4.2's remark that "the choice of
+  0.01 error tolerance is arbitrary and higher energy-efficiency can be
+  achieved for relaxed error tolerances": sweeps the tolerance and
+  reports the selected representation and its energy at every point;
+* :func:`accuracy_impact_sweep` — the introduction's motivation (a
+  threshold-based classifier tolerates small probability errors):
+  measures classification agreement between the quantized and exact
+  pipelines across fraction-bit settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ac.fastpath import VectorFixedPointEvaluator
+from ..arith.fixedpoint import FixedPointFormat
+from ..compile import compile_network
+from ..core.framework import ProbLP, ProbLPConfig
+from ..core.queries import ErrorTolerance, QueryType
+from ..datasets.benchmark import SensorBenchmark
+
+
+@dataclass(frozen=True)
+class TolerancePoint:
+    """Selected representation and energy at one tolerance setting."""
+
+    tolerance: float
+    selected_kind: str
+    selected_format: str
+    energy_nj: float
+    energy_32b_ratio: float
+
+
+def tolerance_energy_sweep(
+    circuit,
+    query: QueryType = QueryType.MARGINAL,
+    tolerances: Sequence[float] = (0.1, 0.03, 0.01, 0.003, 1e-3, 1e-4, 1e-5),
+    kind: str = "absolute",
+    config: ProbLPConfig | None = None,
+) -> list[TolerancePoint]:
+    """Energy of the optimal representation across tolerances.
+
+    Energy must be non-increasing as the tolerance relaxes — asserted by
+    the bench that regenerates this sweep.
+    """
+    from ..energy.estimate import circuit_energy_nj
+    from ..energy.models import IEEE_SINGLE
+
+    points = []
+    for tolerance in tolerances:
+        spec = (
+            ErrorTolerance.absolute(tolerance)
+            if kind == "absolute"
+            else ErrorTolerance.relative(tolerance)
+        )
+        framework = ProbLP(circuit, query, spec, config)
+        result = framework.analyze()
+        reference = circuit_energy_nj(
+            framework.binary_circuit, IEEE_SINGLE, framework.config.energy_model
+        )
+        points.append(
+            TolerancePoint(
+                tolerance=tolerance,
+                selected_kind=result.selected.kind,
+                selected_format=result.selected_format.describe(),
+                energy_nj=result.selected.energy_nj,
+                energy_32b_ratio=reference / result.selected.energy_nj,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """Quantized-vs-exact classifier behaviour at one precision."""
+
+    fraction_bits: int
+    agreement: float  # fraction of test rows with identical argmax
+    quantized_accuracy: float
+    exact_accuracy: float
+
+
+def accuracy_impact_sweep(
+    benchmark: SensorBenchmark,
+    fraction_bits_sweep: Sequence[int] = (4, 6, 8, 10, 12, 16),
+    test_limit: int | None = 200,
+) -> list[AccuracyPoint]:
+    """Classification impact of fixed-point inference across precisions.
+
+    For every precision, runs the quantized AC over the test set (all
+    class states per row), takes the argmax, and compares decisions and
+    accuracy with the exact pipeline.
+    """
+    compiled = compile_network(benchmark.classifier.network)
+    from ..ac.transform import binarize
+
+    binary = binarize(compiled.circuit).circuit
+    rows = benchmark.split.test_features
+    labels = benchmark.split.test_labels
+    if test_limit is not None:
+        rows = rows[:test_limit]
+        labels = labels[:test_limit]
+
+    joint_evidences = [
+        {**benchmark.evidence_for_row(row), benchmark.class_name: c}
+        for row in rows
+        for c in range(benchmark.num_classes)
+    ]
+    from ..ac.evaluate import evaluate_batch
+
+    exact = evaluate_batch(binary, joint_evidences).reshape(
+        len(rows), benchmark.num_classes
+    )
+    exact_predictions = exact.argmax(axis=1)
+    exact_accuracy = float((exact_predictions == labels).mean())
+
+    points = []
+    for fraction_bits in fraction_bits_sweep:
+        fmt = FixedPointFormat(1, fraction_bits)
+        evaluator = VectorFixedPointEvaluator(binary, fmt)
+        quantized = np.asarray(
+            evaluator.evaluate_batch(joint_evidences)
+        ).reshape(len(rows), benchmark.num_classes)
+        predictions = quantized.argmax(axis=1)
+        points.append(
+            AccuracyPoint(
+                fraction_bits=fraction_bits,
+                agreement=float((predictions == exact_predictions).mean()),
+                quantized_accuracy=float((predictions == labels).mean()),
+                exact_accuracy=exact_accuracy,
+            )
+        )
+    return points
+
+
+def render_tolerance_sweep(points: list[TolerancePoint]) -> str:
+    from ..core.report import render_table
+
+    rows = [
+        {
+            "tolerance": f"{p.tolerance:g}",
+            "selected": f"{p.selected_kind} [{p.selected_format}]",
+            "energy (nJ)": f"{p.energy_nj:.4g}",
+            "vs 32b float": f"{p.energy_32b_ratio:.1f}x",
+        }
+        for p in points
+    ]
+    return render_table(
+        rows, ["tolerance", "selected", "energy (nJ)", "vs 32b float"]
+    )
+
+
+def render_accuracy_sweep(points: list[AccuracyPoint]) -> str:
+    from ..core.report import render_table
+
+    rows = [
+        {
+            "F bits": str(p.fraction_bits),
+            "decision agreement": f"{p.agreement:.1%}",
+            "quantized accuracy": f"{p.quantized_accuracy:.1%}",
+            "exact accuracy": f"{p.exact_accuracy:.1%}",
+        }
+        for p in points
+    ]
+    return render_table(
+        rows,
+        ["F bits", "decision agreement", "quantized accuracy", "exact accuracy"],
+    )

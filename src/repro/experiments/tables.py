@@ -1,0 +1,77 @@
+"""Paper-style rendering of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from ..core.queries import QueryType, ToleranceType
+from ..core.report import render_table
+from .overall import Table2Row
+from .validation import ValidationSeries
+
+_QUERY_NAMES = {
+    QueryType.MARGINAL: "Marg. prob.",
+    QueryType.CONDITIONAL: "Cond. prob.",
+    QueryType.MPE: "MPE",
+}
+_TOLERANCE_NAMES = {
+    ToleranceType.ABSOLUTE: "abs. err",
+    ToleranceType.RELATIVE: "rel. err",
+}
+
+TABLE2_COLUMNS = [
+    "AC",
+    "Type of query",
+    "Error tolerance",
+    "Opt. Fx-pt I, F (nJ)",
+    "Opt. Fl-pt E, M (nJ)",
+    "Selected",
+    "Max error observed",
+    "Proxy energy (nJ)",
+    "32b Fl-pt (nJ)",
+]
+
+
+def table2_row_dict(row: Table2Row) -> dict[str, str]:
+    return {
+        "AC": row.ac_name,
+        "Type of query": _QUERY_NAMES[row.query],
+        "Error tolerance": (
+            f"{_TOLERANCE_NAMES[row.tolerance.kind]} {row.tolerance.value:g}"
+        ),
+        "Opt. Fx-pt I, F (nJ)": row.fixed_cell,
+        "Opt. Fl-pt E, M (nJ)": row.float_cell,
+        "Selected": f"{row.selected_kind} [{row.selected_format}]",
+        "Max error observed": f"{row.max_observed_error:.1e}",
+        "Proxy energy (nJ)": f"{row.post_synthesis_proxy_nj:.2g}",
+        "32b Fl-pt (nJ)": f"{row.energy_32b_float_nj:.2g}",
+    }
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """The reproduced Table 2 as an aligned ASCII table."""
+    return render_table([table2_row_dict(r) for r in rows], TABLE2_COLUMNS)
+
+
+def table2_csv(rows: Sequence[Table2Row]) -> str:
+    """The reproduced Table 2 as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=TABLE2_COLUMNS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(table2_row_dict(row))
+    return buffer.getvalue()
+
+
+def validation_csv(series: ValidationSeries) -> str:
+    """A Figure-5 curve as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["bits", "bound", "max_observed", "mean_observed"])
+    for point in series.points:
+        writer.writerow(
+            [point.bits, point.bound, point.max_observed, point.mean_observed]
+        )
+    return buffer.getvalue()

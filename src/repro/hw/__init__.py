@@ -1,0 +1,40 @@
+"""Automatic hardware generation (§3.4 of the paper).
+
+Turns a binary arithmetic circuit plus a number format into a fully
+parallel, fully pipelined datapath: pipeline scheduling with balancing
+registers, quantized constant encoding, Verilog RTL emission, a
+cycle-accurate simulator and bit-exact equivalence checking.
+"""
+
+from .netlist import (
+    EnergyBreakdown,
+    HardwareDesign,
+    encode_fixed_word,
+    encode_float_word,
+    generate_hardware,
+    pack_float_word,
+    unpack_float_word,
+)
+from .pipeline import PipelineSchedule, delay_of_edge, schedule_pipeline
+from .simulator import PipelineSimulator
+from .testbench import emit_testbench
+from .verify import EquivalenceReport, check_equivalence
+from .verilog import emit_verilog
+
+__all__ = [
+    "EnergyBreakdown",
+    "EquivalenceReport",
+    "HardwareDesign",
+    "PipelineSchedule",
+    "PipelineSimulator",
+    "check_equivalence",
+    "delay_of_edge",
+    "emit_testbench",
+    "emit_verilog",
+    "encode_fixed_word",
+    "encode_float_word",
+    "generate_hardware",
+    "pack_float_word",
+    "schedule_pipeline",
+    "unpack_float_word",
+]

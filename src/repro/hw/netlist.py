@@ -1,0 +1,196 @@
+"""Hardware design container: circuit + format + pipeline + encodings.
+
+:class:`HardwareDesign` is the output of ProbLP's hardware generation
+stage. It bundles the binary circuit, the selected number format, the
+pipeline schedule, the quantized constant encodings, and derived metrics
+(latency, register counts, the post-synthesis-proxy energy). The Verilog
+emitter and the cycle-accurate simulator both consume this object, which
+is what makes the simulator a meaningful check of the emitted RTL: they
+share one source of structural truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.nodes import OpType
+from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
+from ..arith.floatingpoint import FloatBackend, FloatFormat, FloatNumber
+from ..energy.estimate import (
+    count_operators,
+    datapath_bits,
+    fixed_circuit_energy,
+    float_circuit_energy,
+    register_energy,
+)
+from ..energy.models import EnergyModel, PAPER_MODEL
+from .pipeline import PipelineSchedule, schedule_pipeline
+
+
+def encode_fixed_word(backend: FixedPointBackend, value: float) -> int:
+    """Quantize ``value`` and return the raw N-bit mantissa word."""
+    return backend.from_real(value).mantissa
+
+
+def encode_float_word(backend: FloatBackend, value: float) -> int:
+    """Quantize ``value`` and return the packed (E|M) word.
+
+    Layout: biased exponent in the high E bits (0 encodes the number
+    zero), mantissa fraction (hidden bit stripped) in the low M bits.
+    """
+    number = backend.from_real(value)
+    return pack_float_word(number)
+
+
+def pack_float_word(number: FloatNumber) -> int:
+    fmt = number.fmt
+    if number.is_zero:
+        return 0
+    biased = number.exponent + fmt.bias
+    fraction = number.mantissa - (1 << fmt.mantissa_bits)
+    return (biased << fmt.mantissa_bits) | fraction
+
+
+def unpack_float_word(word: int, fmt: FloatFormat) -> FloatNumber:
+    """Inverse of :func:`pack_float_word`."""
+    mask = (1 << fmt.mantissa_bits) - 1
+    biased = word >> fmt.mantissa_bits
+    fraction = word & mask
+    if biased == 0:
+        return FloatNumber(0, 0, fmt)
+    mantissa = fraction | (1 << fmt.mantissa_bits)
+    return FloatNumber(mantissa, biased - fmt.bias, fmt)
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Post-synthesis-proxy energy, per evaluation, in femtojoules."""
+
+    operators_fj: float
+    registers_fj: float
+
+    @property
+    def total_fj(self) -> float:
+        return self.operators_fj + self.registers_fj
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_fj / 1.0e6
+
+
+class HardwareDesign:
+    """A fully pipelined custom datapath for one arithmetic circuit."""
+
+    def __init__(
+        self,
+        circuit: ArithmeticCircuit,
+        fmt: FixedPointFormat | FloatFormat,
+        energy_model: EnergyModel = PAPER_MODEL,
+        module_name: str | None = None,
+    ) -> None:
+        if not circuit.is_binary:
+            raise ValueError(
+                "hardware generation requires a binary circuit; apply "
+                "repro.ac.transform.binarize first"
+            )
+        self.circuit = circuit
+        self.fmt = fmt
+        self.energy_model = energy_model
+        self.module_name = module_name or _sanitize(circuit.name)
+        self.schedule: PipelineSchedule = schedule_pipeline(circuit)
+        self.word_bits = datapath_bits(fmt)
+        self.is_fixed = isinstance(fmt, FixedPointFormat)
+        self._encode_constants()
+
+    def _encode_constants(self) -> None:
+        if self.is_fixed:
+            backend = FixedPointBackend(self.fmt)
+            encode = lambda v: encode_fixed_word(backend, v)  # noqa: E731
+            self.one_word = backend.one().mantissa
+        else:
+            backend = FloatBackend(self.fmt)
+            encode = lambda v: encode_float_word(backend, v)  # noqa: E731
+            self.one_word = pack_float_word(backend.one())
+        self.zero_word = 0
+        self.constant_words: dict[int, int] = {}
+        for index, node in enumerate(self.circuit.nodes):
+            if node.op is OpType.PARAMETER:
+                self.constant_words[index] = encode(node.value)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def latency_cycles(self) -> int:
+        """Cycles from λ input to the corresponding root output."""
+        return self.schedule.latency
+
+    @property
+    def throughput_evals_per_cycle(self) -> float:
+        """Fully pipelined: one evaluation per cycle."""
+        return 1.0
+
+    def energy_proxy(self) -> EnergyBreakdown:
+        """Netlist-level energy per evaluation (operators + registers).
+
+        This is the reproduction's stand-in for the paper's post-synthesis
+        measurement (see DESIGN.md §4).
+        """
+        if self.is_fixed:
+            operators = fixed_circuit_energy(
+                self.circuit, self.fmt, self.energy_model
+            )
+        else:
+            operators = float_circuit_energy(
+                self.circuit, self.fmt, self.energy_model
+            )
+        registers = register_energy(
+            self.schedule.total_registers, self.word_bits, self.energy_model
+        )
+        return EnergyBreakdown(operators_fj=operators, registers_fj=registers)
+
+    def describe(self) -> str:
+        counts = count_operators(self.circuit)
+        energy = self.energy_proxy()
+        fmt_text = (
+            self.fmt.describe()
+            if hasattr(self.fmt, "describe")
+            else repr(self.fmt)
+        )
+        return (
+            f"HardwareDesign({self.module_name}: {fmt_text}, "
+            f"{counts.adders} add + {counts.multipliers} mul + "
+            f"{counts.max_units} max, {self.schedule.total_registers} regs, "
+            f"latency {self.latency_cycles} cycles, "
+            f"{energy.total_nj:.3g} nJ/eval proxy)"
+        )
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def verilog(self) -> str:
+        """Emit the complete Verilog RTL for this design."""
+        from .verilog import emit_verilog
+
+        return emit_verilog(self)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def _sanitize(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"m_{cleaned}"
+    return cleaned
+
+
+def generate_hardware(
+    circuit: ArithmeticCircuit,
+    fmt: FixedPointFormat | FloatFormat,
+    energy_model: EnergyModel = PAPER_MODEL,
+    module_name: str | None = None,
+) -> HardwareDesign:
+    """Generate a fully pipelined hardware design for a binary circuit."""
+    return HardwareDesign(circuit, fmt, energy_model, module_name)

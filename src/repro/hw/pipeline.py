@@ -1,0 +1,99 @@
+"""Pipeline scheduling and register balancing (§3.4, Figure 4).
+
+The generated hardware is fully parallel and fully pipelined: every
+operator output is registered, and a new set of indicator inputs can be
+accepted every cycle. Operators are assigned to stages by longest-path
+depth; whenever an operator's input was produced more than one stage
+earlier, extra *balancing registers* are inserted on that path (the
+paper's "mismatch in path timings", e.g. the A→G path of Figure 4).
+
+θ parameters are hardware constants — they need no alignment registers.
+λ indicator words are registered at stage 0 and delayed like any other
+signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.nodes import OpType
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Stage assignment and register accounting for a binary circuit."""
+
+    stages: tuple[int, ...]
+    latency: int
+    operator_registers: int
+    input_registers: int
+    balance_registers: int
+
+    @property
+    def total_registers(self) -> int:
+        return (
+            self.operator_registers
+            + self.input_registers
+            + self.balance_registers
+        )
+
+
+def schedule_pipeline(circuit: ArithmeticCircuit) -> PipelineSchedule:
+    """Assign pipeline stages and count every register in the design.
+
+    Stage 0 holds the registered λ input words; an operator is scheduled
+    one stage after its latest-arriving input. A child signal produced at
+    stage ``c`` and consumed by an operator at stage ``s`` crosses
+    ``s - 1 - c`` extra balancing registers (constants excepted).
+    """
+    if not circuit.is_binary:
+        raise ValueError(
+            "pipeline scheduling requires a binary circuit; apply "
+            "repro.ac.transform.binarize first"
+        )
+    nodes = circuit.nodes
+    stages = [0] * len(nodes)
+    operator_registers = 0
+    input_registers = 0
+    balance_registers = 0
+
+    for index, node in enumerate(nodes):
+        if node.op is OpType.PARAMETER:
+            stages[index] = 0  # constant: available at every stage
+        elif node.op is OpType.INDICATOR:
+            stages[index] = 0
+            input_registers += 1
+        else:
+            arrival = 0
+            for child in node.children:
+                if nodes[child].op is OpType.PARAMETER:
+                    continue  # constants impose no timing constraint
+                arrival = max(arrival, stages[child])
+            stages[index] = arrival + 1
+            operator_registers += 1
+            for child in node.children:
+                if nodes[child].op is OpType.PARAMETER:
+                    continue
+                balance_registers += stages[index] - 1 - stages[child]
+
+    latency = stages[circuit.root]
+    return PipelineSchedule(
+        stages=tuple(stages),
+        latency=latency,
+        operator_registers=operator_registers,
+        input_registers=input_registers,
+        balance_registers=balance_registers,
+    )
+
+
+def delay_of_edge(
+    schedule: PipelineSchedule,
+    circuit: ArithmeticCircuit,
+    child: int,
+    parent: int,
+) -> int:
+    """Balancing registers on the child→parent path (0 for constants)."""
+    if circuit.node(child).op is OpType.PARAMETER:
+        return 0
+    return schedule.stages[parent] - 1 - schedule.stages[child]

@@ -1,0 +1,369 @@
+"""Verilog RTL emission for generated hardware designs (§3.4).
+
+The emitter prints a self-contained Verilog file:
+
+* a small library of parameterized operator modules — fixed-point
+  add/mult/max with round-to-nearest-even, and behavioral normalized
+  floating-point add/mult/max (guard/round/sticky rounding, exact-zero
+  encoding, no subnormals/inf/NaN, matching
+  :mod:`repro.arith.floatingpoint` bit for bit);
+* one flat top-level module per design: λ indicator bits in, one result
+  word out, fully pipelined with an output register per operator and
+  explicit balancing registers per input port.
+
+The top module is printed from the same :class:`HardwareDesign` structure
+the cycle-accurate simulator executes, so the simulator's equivalence
+check (see :mod:`repro.hw.verify`) covers the emitted netlist topology.
+Operator modules mirror the Python golden models; ProbLP's max/min-value
+analysis guarantees the exponent/integer ranges can't over- or underflow
+in these datapaths.
+"""
+
+from __future__ import annotations
+
+from ..ac.nodes import OpType
+from .netlist import HardwareDesign
+from .pipeline import delay_of_edge
+
+_FIXED_LIBRARY = """
+// ---------------------------------------------------------------------
+// Fixed-point operator library (unsigned, WIDTH = I + F bits).
+// Multiplication rounds to nearest-even; addition is exact (ProbLP's
+// max-value analysis sizes I so that no overflow can occur).
+// ---------------------------------------------------------------------
+module problp_fixed_add #(
+    parameter WIDTH = 16
+) (
+    input  wire             clk,
+    input  wire [WIDTH-1:0] a,
+    input  wire [WIDTH-1:0] b,
+    output reg  [WIDTH-1:0] y
+);
+    always @(posedge clk) y <= a + b;
+endmodule
+
+module problp_fixed_mult #(
+    parameter WIDTH = 16,
+    parameter FRAC  = 15  // must be >= 2
+) (
+    input  wire             clk,
+    input  wire [WIDTH-1:0] a,
+    input  wire [WIDTH-1:0] b,
+    output reg  [WIDTH-1:0] y
+);
+    wire [2*WIDTH-1:0] product   = a * b;
+    wire [WIDTH-1:0]   truncated = product[FRAC+WIDTH-1:FRAC];
+    wire               guard     = product[FRAC-1];
+    wire               sticky    = |product[FRAC-2:0];
+    wire               round_up  = guard & (sticky | truncated[0]);
+    always @(posedge clk) y <= truncated + {{(WIDTH-1){1'b0}}, round_up};
+endmodule
+
+module problp_fixed_max #(
+    parameter WIDTH = 16
+) (
+    input  wire             clk,
+    input  wire [WIDTH-1:0] a,
+    input  wire [WIDTH-1:0] b,
+    output reg  [WIDTH-1:0] y
+);
+    always @(posedge clk) y <= (a >= b) ? a : b;
+endmodule
+"""
+
+_FLOAT_LIBRARY = """
+// ---------------------------------------------------------------------
+// Normalized floating-point operator library (sign-less, WORD = E + M).
+// Word layout: [WORD-1:M] biased exponent (0 encodes the value zero),
+// [M-1:0] mantissa fraction with hidden leading one. Round to nearest
+// even on an exact wide intermediate (guard + sticky), no subnormals,
+// no inf/NaN: ProbLP range analysis guarantees in-range results.
+// ---------------------------------------------------------------------
+module problp_float_add #(
+    parameter EXP = 8,
+    parameter MAN = 14
+) (
+    input  wire               clk,
+    input  wire [EXP+MAN-1:0] a,
+    input  wire [EXP+MAN-1:0] b,
+    output reg  [EXP+MAN-1:0] y
+);
+    localparam WORD = EXP + MAN;
+    localparam WIDE = 2*MAN + 5;      // {carry, M+1 mantissa, M+3 tail}
+    localparam TAIL = MAN + 3;
+
+    wire [EXP-1:0] ea = a[WORD-1:MAN];
+    wire [EXP-1:0] eb = b[WORD-1:MAN];
+    wire           a_zero = (ea == {EXP{1'b0}});
+    wire           b_zero = (eb == {EXP{1'b0}});
+    wire [MAN:0]   ma = {1'b1, a[MAN-1:0]};
+    wire [MAN:0]   mb = {1'b1, b[MAN-1:0]};
+
+    wire           a_ge    = (ea >= eb);
+    wire [EXP-1:0] e_big   = a_ge ? ea : eb;
+    wire [MAN:0]   m_big   = a_ge ? ma : mb;
+    wire [MAN:0]   m_small = a_ge ? mb : ma;
+    wire [EXP-1:0] ediff   = a_ge ? (ea - eb) : (eb - ea);
+
+    // Exact alignment within a TAIL-bit window; larger shifts collapse
+    // to a sticky crumb (cannot influence nearest-even any other way).
+    wire           far         = (ediff > TAIL);
+    wire [WIDE-1:0] big_wide   = {1'b0, m_big, {TAIL{1'b0}}};
+    wire [WIDE-1:0] small_wide = far ? {{(WIDE-1){1'b0}}, 1'b1}
+                               : ({1'b0, m_small, {TAIL{1'b0}}} >> ediff[$clog2(TAIL+1):0]);
+    wire [WIDE-1:0] sum_wide   = big_wide + small_wide;
+
+    integer p;
+    reg [WIDE-1:0] rem;
+    reg [MAN+1:0]  mant;
+    reg            guard_bit, sticky_bit;
+    reg signed [EXP+1:0] e_res;
+    reg [WORD-1:0] result;
+    always @* begin
+        // Normalize: locate the most significant one.
+        p = WIDE - 1;
+        while (p > 0 && !sum_wide[p]) p = p - 1;
+        mant = sum_wide >> (p - MAN);
+        rem = sum_wide & ((({{(WIDE-1){1'b0}}, 1'b1}) << (p - MAN)) - 1);
+        guard_bit = rem[p-MAN-1];
+        sticky_bit = |(rem & ((({{(WIDE-1){1'b0}}, 1'b1}) << (p - MAN - 1)) - 1));
+        if (guard_bit & (sticky_bit | mant[0])) mant = mant + 1;
+        e_res = $signed({2'b00, e_big}) + p - (2*MAN + 3);
+        if (mant[MAN+1]) begin               // rounding carried out
+            mant = mant >> 1;
+            e_res = e_res + 1;
+        end
+        result = {e_res[EXP-1:0], mant[MAN-1:0]};
+        if (a_zero) result = b;
+        if (b_zero) result = a;
+        if (a_zero & b_zero) result = {WORD{1'b0}};
+    end
+    always @(posedge clk) y <= result;
+endmodule
+
+module problp_float_mult #(
+    parameter EXP = 8,
+    parameter MAN = 14
+) (
+    input  wire               clk,
+    input  wire [EXP+MAN-1:0] a,
+    input  wire [EXP+MAN-1:0] b,
+    output reg  [EXP+MAN-1:0] y
+);
+    localparam WORD = EXP + MAN;
+    localparam BIAS = (1 << (EXP - 1)) - 1;
+
+    wire [EXP-1:0] ea = a[WORD-1:MAN];
+    wire [EXP-1:0] eb = b[WORD-1:MAN];
+    wire           any_zero = (ea == {EXP{1'b0}}) | (eb == {EXP{1'b0}});
+    wire [MAN:0]   ma = {1'b1, a[MAN-1:0]};
+    wire [MAN:0]   mb = {1'b1, b[MAN-1:0]};
+    wire [2*MAN+1:0] product = ma * mb;   // MSB at 2*MAN+1 or 2*MAN
+
+    reg [MAN+1:0]  mant;
+    reg            guard_bit, sticky_bit;
+    reg signed [EXP+1:0] e_res;
+    reg [WORD-1:0] result;
+    always @* begin
+        e_res = $signed({2'b00, ea}) + $signed({2'b00, eb}) - BIAS;
+        if (product[2*MAN+1]) begin
+            mant = product[2*MAN+1:MAN];
+            guard_bit = product[MAN-1];
+            sticky_bit = |product[MAN-2:0];
+            e_res = e_res + 1;
+        end else begin
+            mant = product[2*MAN:MAN-1];
+            guard_bit = product[MAN-2];
+            sticky_bit = |product[MAN-3:0];
+        end
+        if (guard_bit & (sticky_bit | mant[0])) mant = mant + 1;
+        if (mant[MAN+1]) begin
+            mant = mant >> 1;
+            e_res = e_res + 1;
+        end
+        result = any_zero ? {WORD{1'b0}} : {e_res[EXP-1:0], mant[MAN-1:0]};
+    end
+    always @(posedge clk) y <= result;
+endmodule
+
+module problp_float_max #(
+    parameter EXP = 8,
+    parameter MAN = 14
+) (
+    input  wire               clk,
+    input  wire [EXP+MAN-1:0] a,
+    input  wire [EXP+MAN-1:0] b,
+    output reg  [EXP+MAN-1:0] y
+);
+    // Biased-exponent-then-mantissa ordering equals numeric ordering for
+    // normalized sign-less words, and the zero word is the minimum.
+    always @(posedge clk) y <= (a >= b) ? a : b;
+endmodule
+"""
+
+
+def _word_literal(width: int, value: int) -> str:
+    return f"{width}'h{value:0{(width + 3) // 4}x}"
+
+
+def _library_text(fixed: bool, rounding) -> str:
+    """Operator library for the design's rounding mode.
+
+    Truncation drops the round-up logic: the wide result's low bits are
+    simply discarded, matching :class:`repro.arith.rounding.RoundingMode`
+    ``TRUNCATE`` semantics (and the doubled error constant the analysis
+    charges for it).
+    """
+    from ..arith.rounding import RoundingMode
+
+    text = _FIXED_LIBRARY if fixed else _FLOAT_LIBRARY
+    if rounding is not RoundingMode.TRUNCATE:
+        return text
+    if fixed:
+        return text.replace(
+            "    wire               round_up  = guard & (sticky | truncated[0]);",
+            "    wire               round_up  = 1'b0;  // truncation mode",
+        )
+    return text.replace(
+        "        if (guard_bit & (sticky_bit | mant[0])) mant = mant + 1;",
+        "        // truncation mode: discard guard/sticky bits",
+    )
+
+
+def emit_verilog(design: HardwareDesign) -> str:
+    """Emit the full RTL file for a hardware design."""
+    circuit = design.circuit
+    schedule = design.schedule
+    width = design.word_bits
+    fixed = design.is_fixed
+
+    if fixed and design.fmt.fraction_bits < 2:
+        raise ValueError(
+            "the emitted fixed-point multiplier requires at least 2 "
+            "fraction bits (ProbLP's search starts at 2)"
+        )
+    if not fixed and design.fmt.mantissa_bits < 3:
+        raise ValueError(
+            "the emitted float operators require at least 3 mantissa bits"
+        )
+
+    lines: list[str] = []
+    out = lines.append
+    fmt_text = design.fmt.describe()
+    out("// ------------------------------------------------------------------")
+    out(f"// Generated by ProbLP: module {design.module_name}")
+    out(f"// Format: {fmt_text}  |  word width: {width} bits")
+    stats = circuit.stats()
+    out(
+        f"// Operators: {stats.num_sums} add, {stats.num_products} mult, "
+        f"{stats.num_max} max"
+    )
+    out(
+        f"// Pipeline: latency {schedule.latency} cycles, "
+        f"{schedule.total_registers} registers "
+        f"({schedule.operator_registers} operator + "
+        f"{schedule.input_registers} input + "
+        f"{schedule.balance_registers} balancing)"
+    )
+    out("// Throughput: one AC evaluation per clock cycle.")
+    out(f"// Rounding: {design.fmt.rounding.value}")
+    out("// ------------------------------------------------------------------")
+    out(_library_text(fixed, design.fmt.rounding))
+
+    # ------------------------------------------------------------------
+    # Top module
+    # ------------------------------------------------------------------
+    indicator_ports = [
+        (index, node)
+        for index, node in enumerate(circuit.nodes)
+        if node.op is OpType.INDICATOR
+    ]
+    port_names = {
+        index: f"lambda_{node.variable}_{node.state}"
+        for index, node in indicator_ports
+    }
+    out(f"module {design.module_name} (")
+    out("    input  wire clk,")
+    for index, _ in indicator_ports:
+        out(f"    input  wire {port_names[index]},")
+    out(f"    output wire [{width - 1}:0] result")
+    out(");")
+    out(f"    localparam [{width - 1}:0] WORD_ONE  = "
+        f"{_word_literal(width, design.one_word)};")
+    out(f"    localparam [{width - 1}:0] WORD_ZERO = "
+        f"{_word_literal(width, design.zero_word)};")
+    out("")
+    out("    // θ parameter constants (quantized to the target format)")
+    for index, word in sorted(design.constant_words.items()):
+        node = circuit.node(index)
+        label = node.label or f"theta_{index}"
+        out(
+            f"    localparam [{width - 1}:0] C{index} = "
+            f"{_word_literal(width, word)};  // {label} = {node.value:.6g}"
+        )
+    out("")
+    out("    // Stage-0 registers for λ indicator words")
+    for index, _ in indicator_ports:
+        out(f"    reg [{width - 1}:0] n{index}_r;")
+        out(
+            f"    always @(posedge clk) n{index}_r <= "
+            f"{port_names[index]} ? WORD_ONE : WORD_ZERO;"
+        )
+    out("")
+    out("    // Balancing registers (path-timing alignment, Figure 4)")
+    source_expr: dict[int, str] = {}
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            source_expr[index] = f"C{index}"
+        elif node.op is OpType.INDICATOR:
+            source_expr[index] = f"n{index}_r"
+        else:
+            source_expr[index] = f"n{index}_y"
+
+    port_expr: dict[tuple[int, int], str] = {}
+    for index, node in enumerate(circuit.nodes):
+        if not node.op.is_operator:
+            continue
+        for port, child in enumerate(node.children):
+            depth = delay_of_edge(schedule, circuit, child, index)
+            if depth <= 0:
+                port_expr[(index, port)] = source_expr[child]
+                continue
+            previous = source_expr[child]
+            for k in range(1, depth + 1):
+                name = f"d{index}_{port}_{k}"
+                out(f"    reg [{width - 1}:0] {name};")
+                out(f"    always @(posedge clk) {name} <= {previous};")
+                previous = name
+            port_expr[(index, port)] = previous
+    out("")
+    out("    // Pipelined operators (output registers inside the modules)")
+    prefix = "problp_fixed" if fixed else "problp_float"
+    if fixed:
+        params = (
+            f"#(.WIDTH({width}), .FRAC({design.fmt.fraction_bits}))",
+            f"#(.WIDTH({width}))",
+        )
+        mult_param, other_param = params
+    else:
+        shared = (
+            f"#(.EXP({design.fmt.exponent_bits}), "
+            f".MAN({design.fmt.mantissa_bits}))"
+        )
+        mult_param = other_param = shared
+    for index, node in enumerate(circuit.nodes):
+        if not node.op.is_operator:
+            continue
+        kind = {"sum": "add", "product": "mult", "max": "max"}[node.op.value]
+        param = mult_param if kind == "mult" else other_param
+        a = port_expr[(index, 0)]
+        b = port_expr[(index, 1)] if len(node.children) > 1 else a
+        out(f"    wire [{width - 1}:0] n{index}_y;")
+        out(
+            f"    {prefix}_{kind} {param} u{index} "
+            f"(.clk(clk), .a({a}), .b({b}), .y(n{index}_y));"
+        )
+    out("")
+    out(f"    assign result = {source_expr[circuit.root]};")
+    out("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,30 @@
+"""Sum-product networks learned directly from data (paper §1, [13]).
+
+LearnSPN-style structure learning plus conversion to arithmetic circuits,
+so data-learned models flow through the same ProbLP analysis as
+BN-compiled ones.
+"""
+
+from .convert import spn_to_circuit
+from .learnspn import LearnSPNConfig, g_statistic, learn_spn
+from .nodes import (
+    LeafNode,
+    ProductNode,
+    SumNode,
+    enumerate_scope_states,
+    spn_depth,
+    spn_size,
+)
+
+__all__ = [
+    "LeafNode",
+    "LearnSPNConfig",
+    "ProductNode",
+    "SumNode",
+    "enumerate_scope_states",
+    "g_statistic",
+    "learn_spn",
+    "spn_depth",
+    "spn_size",
+    "spn_to_circuit",
+]

@@ -1,0 +1,43 @@
+"""SPN → arithmetic circuit conversion.
+
+Leaves become Σ_v θ_v·λ_v gadgets, sum nodes become weighted sums (the
+weights are θ parameters), and product nodes become products. The result
+is a standard AC with indicator semantics: evaluating with evidence e
+yields the SPN's marginal Pr(e), so the whole ProbLP pipeline — bounds,
+representation selection, hardware generation — applies unchanged.
+"""
+
+from __future__ import annotations
+
+from ..ac.circuit import ArithmeticCircuit
+from .nodes import LeafNode, ProductNode, SPNNode, SumNode
+
+
+def _convert(node: SPNNode, circuit: ArithmeticCircuit) -> int:
+    if isinstance(node, LeafNode):
+        terms = []
+        for state, probability in enumerate(node.distribution):
+            theta = circuit.add_parameter(
+                probability, label=f"θ({node.variable}={state})"
+            )
+            lam = circuit.add_indicator(node.variable, state)
+            terms.append(circuit.add_product([theta, lam]))
+        return circuit.add_sum(terms)
+    if isinstance(node, ProductNode):
+        children = [_convert(child, circuit) for child in node.children]
+        return circuit.add_product(children)
+    if isinstance(node, SumNode):
+        terms = []
+        for weight, child in zip(node.weights, node.children):
+            weight_node = circuit.add_parameter(weight, label="w")
+            child_node = _convert(child, circuit)
+            terms.append(circuit.add_product([weight_node, child_node]))
+        return circuit.add_sum(terms)
+    raise TypeError(f"unknown SPN node type {type(node).__name__}")
+
+
+def spn_to_circuit(spn: SPNNode, name: str = "spn_ac") -> ArithmeticCircuit:
+    """Convert an SPN into an arithmetic circuit with λ indicators."""
+    circuit = ArithmeticCircuit(name=name, dedup=True)
+    circuit.set_root(_convert(spn, circuit))
+    return circuit

@@ -1,0 +1,146 @@
+"""Sum-product network (SPN) node types.
+
+The paper notes that arithmetic circuits "can as well be ... trained
+directly from data" — SPNs are exactly that family. An SPN here is a tree
+over discrete variables:
+
+* :class:`LeafNode` — a categorical distribution over one variable;
+* :class:`ProductNode` — children over *disjoint* scopes (decomposable);
+* :class:`SumNode` — weighted mixture of children over the *same* scope
+  (smooth), weights on a probability simplex.
+
+A valid SPN is a proper distribution: its λ=1 evaluation is 1, and
+evidence evaluation yields marginal probabilities — precisely the AC
+semantics ProbLP analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+import numpy as np
+
+SPNNode = Union["LeafNode", "ProductNode", "SumNode"]
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """Smoothed categorical distribution over one variable."""
+
+    variable: str
+    distribution: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(self.distribution)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"leaf over {self.variable!r} must be normalized, "
+                f"sums to {total}"
+            )
+        if any(p < 0.0 for p in self.distribution):
+            raise ValueError("leaf probabilities must be non-negative")
+
+    @property
+    def scope(self) -> frozenset[str]:
+        return frozenset((self.variable,))
+
+    def evaluate(self, evidence: Mapping[str, int]) -> float:
+        if self.variable in evidence:
+            return self.distribution[evidence[self.variable]]
+        return 1.0  # marginalized: Σ_v θ_v λ_v with all λ = 1
+
+
+@dataclass(frozen=True)
+class ProductNode:
+    """Decomposable product over disjoint child scopes."""
+
+    children: tuple[SPNNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("product node needs at least two children")
+        seen: set[str] = set()
+        for child in self.children:
+            overlap = child.scope & seen
+            if overlap:
+                raise ValueError(
+                    f"product children share variables {sorted(overlap)}; "
+                    f"SPN products must be decomposable"
+                )
+            seen |= child.scope
+
+    @property
+    def scope(self) -> frozenset[str]:
+        scope: frozenset[str] = frozenset()
+        for child in self.children:
+            scope |= child.scope
+        return scope
+
+    def evaluate(self, evidence: Mapping[str, int]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child.evaluate(evidence)
+        return result
+
+
+@dataclass(frozen=True)
+class SumNode:
+    """Smooth weighted mixture of same-scope children."""
+
+    weights: tuple[float, ...]
+    children: tuple[SPNNode, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.children) < 2:
+            raise ValueError("sum node needs at least two children")
+        if len(self.weights) != len(self.children):
+            raise ValueError("one weight per child required")
+        if abs(sum(self.weights) - 1.0) > 1e-6:
+            raise ValueError("sum-node weights must sum to 1")
+        if any(w < 0.0 for w in self.weights):
+            raise ValueError("sum-node weights must be non-negative")
+        first = self.children[0].scope
+        for child in self.children[1:]:
+            if child.scope != first:
+                raise ValueError(
+                    "sum children must share one scope (smoothness)"
+                )
+
+    @property
+    def scope(self) -> frozenset[str]:
+        return self.children[0].scope
+
+    def evaluate(self, evidence: Mapping[str, int]) -> float:
+        return sum(
+            weight * child.evaluate(evidence)
+            for weight, child in zip(self.weights, self.children)
+        )
+
+
+def spn_size(node: SPNNode) -> int:
+    """Total node count of an SPN tree."""
+    if isinstance(node, LeafNode):
+        return 1
+    return 1 + sum(spn_size(child) for child in node.children)
+
+
+def spn_depth(node: SPNNode) -> int:
+    """Depth of an SPN tree (leaves are 0)."""
+    if isinstance(node, LeafNode):
+        return 0
+    return 1 + max(spn_depth(child) for child in node.children)
+
+
+def enumerate_scope_states(
+    node: SPNNode, cardinalities: Mapping[str, int]
+) -> float:
+    """Σ over all complete assignments — 1.0 for a valid SPN (tests)."""
+    from itertools import product as iter_product
+
+    names = sorted(node.scope)
+    cards = [cardinalities[name] for name in names]
+    total = 0.0
+    for assignment in iter_product(*(range(c) for c in cards)):
+        total += node.evaluate(dict(zip(names, assignment)))
+    return total

@@ -1,0 +1,150 @@
+"""Tests for repro.ac.derivatives (the differential approach)."""
+
+import numpy as np
+import pytest
+
+from repro.ac.derivatives import (
+    conditional_probability,
+    joint_marginals,
+    partial_derivatives,
+    posterior_marginals,
+)
+from repro.bn.inference import marginal, probability_of_evidence
+from repro.bn.networks import random_network
+from repro.compile import compile_network
+
+
+class TestPartialDerivatives:
+    def test_finite_difference_check(self, sprinkler_ac):
+        """Partials match numeric differentiation w.r.t. λ values."""
+        circuit = sprinkler_ac.circuit
+        evidence = {"WetGrass": 1}
+        values, partials = partial_derivatives(circuit, evidence)
+        # Perturb one indicator numerically via a modified evaluation.
+        from repro.ac.evaluate import evaluate_values
+
+        lambda_values = circuit.indicator_assignment(evidence)
+        target = circuit.indicators[("Rain", 0)]
+
+        def evaluate_with_lambda(value):
+            import copy
+
+            vals = [0.0] * len(circuit)
+            for index, node in enumerate(circuit.nodes):
+                if node.op.value == "parameter":
+                    vals[index] = node.value
+                elif node.op.value == "indicator":
+                    if index == target:
+                        vals[index] = value
+                    else:
+                        vals[index] = lambda_values[(node.variable, node.state)]
+                elif node.op.value == "sum":
+                    vals[index] = sum(vals[c] for c in node.children)
+                else:
+                    product = 1.0
+                    for child in node.children:
+                        product *= vals[child]
+                    vals[index] = product
+            return vals[circuit.root]
+
+        epsilon = 1e-6
+        base = lambda_values[("Rain", 0)]
+        numeric = (
+            evaluate_with_lambda(base + epsilon)
+            - evaluate_with_lambda(base - epsilon)
+        ) / (2 * epsilon)
+        assert partials[target] == pytest.approx(numeric, rel=1e-6)
+
+    def test_max_circuit_rejected(self, asia_mpe):
+        with pytest.raises(ValueError, match="MAX"):
+            partial_derivatives(asia_mpe.circuit, None)
+
+
+class TestJointMarginals:
+    def test_darwiche_identity(self, sprinkler, sprinkler_ac):
+        """∂f/∂λ_x (e) = Pr(x, e \\ X)."""
+        evidence = {"WetGrass": 1, "Cloudy": 0}
+        joints = joint_marginals(sprinkler_ac.circuit, evidence)
+        for variable in sprinkler.variable_names:
+            reduced = {k: v for k, v in evidence.items() if k != variable}
+            for state in range(sprinkler.variable(variable).cardinality):
+                expected = probability_of_evidence(
+                    sprinkler, {**reduced, variable: state}
+                )
+                assert joints[variable][state] == pytest.approx(expected)
+
+    def test_all_variables_covered(self, alarm, alarm_ac):
+        joints = joint_marginals(alarm_ac.circuit, None)
+        assert set(joints) == set(alarm.variable_names)
+        # With no evidence, each variable's joints sum to 1.
+        for variable, values in joints.items():
+            assert values.sum() == pytest.approx(1.0)
+
+
+class TestPosteriorMarginals:
+    @pytest.mark.parametrize(
+        "evidence",
+        [{}, {"WetGrass": 1}, {"WetGrass": 1, "Cloudy": 0}],
+    )
+    def test_matches_ve_marginals(self, sprinkler, sprinkler_ac, evidence):
+        posteriors = posterior_marginals(sprinkler_ac.circuit, evidence)
+        for variable in sprinkler.variable_names:
+            if variable in evidence:
+                continue
+            expected = marginal(sprinkler, variable, evidence)
+            assert np.allclose(posteriors[variable], expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_networks(self, seed):
+        network = random_network(7, max_parents=2, seed=seed)
+        compiled = compile_network(network)
+        evidence = {network.variable_names[0]: 0}
+        posteriors = posterior_marginals(compiled.circuit, evidence)
+        for variable in network.variable_names[2:5]:
+            expected = marginal(network, variable, evidence)
+            assert np.allclose(posteriors[variable], expected)
+
+    def test_alarm_posterior(self, alarm, alarm_ac):
+        evidence = {"BP": 0, "HRBP": 0}
+        posteriors = posterior_marginals(alarm_ac.circuit, evidence)
+        expected = marginal(alarm, "LVFAILURE", evidence)
+        assert np.allclose(posteriors["LVFAILURE"], expected)
+
+    def test_zero_probability_evidence(self):
+        # f = λ_A0·λ_B0: evidence B=1 is impossible, so conditioning A
+        # divides by Pr(B=1) = 0. (The identity removes evidence on the
+        # queried variable itself, so the impossibility must come from a
+        # *different* variable.)
+        from repro.ac.circuit import ArithmeticCircuit
+
+        circuit = ArithmeticCircuit()
+        lam_a = circuit.add_indicator("A", 0)
+        lam_b = circuit.add_indicator("B", 0)
+        circuit.set_root(circuit.add_product([lam_a, lam_b]))
+        with pytest.raises(ZeroDivisionError):
+            posterior_marginals(circuit, {"B": 1})
+
+
+class TestConditionalProbability:
+    def test_footnote2_equals_two_upward_passes(self, sprinkler, sprinkler_ac):
+        """The paper's footnote 2: downward pass + division agrees with
+        the ratio of two upward passes."""
+        evidence = {"WetGrass": 1}
+        via_derivative = conditional_probability(
+            sprinkler_ac.circuit, "Rain", 1, evidence
+        )
+        joint = sprinkler_ac.evaluate({**evidence, "Rain": 1})
+        pr_e = sprinkler_ac.evaluate(evidence)
+        assert via_derivative == pytest.approx(joint / pr_e)
+
+    def test_query_in_evidence_rejected(self, sprinkler_ac):
+        with pytest.raises(ValueError, match="also evidence"):
+            conditional_probability(
+                sprinkler_ac.circuit, "Rain", 0, {"Rain": 1}
+            )
+
+    def test_unknown_query_rejected(self, sprinkler_ac):
+        with pytest.raises(KeyError, match="no indicators"):
+            conditional_probability(
+                sprinkler_ac.circuit, "Ghost", 0, {"WetGrass": 1}
+            )

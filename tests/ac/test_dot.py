@@ -1,0 +1,60 @@
+"""Tests for repro.ac.dot (Graphviz export)."""
+
+import pytest
+
+from repro.ac.dot import circuit_to_dot, save_dot
+
+
+class TestCircuitToDot:
+    def test_contains_all_reachable_nodes_and_edges(self, sprinkler_ac):
+        circuit = sprinkler_ac.circuit
+        text = circuit_to_dot(circuit)
+        reachable = circuit.reachable_from_root()
+        for index in reachable:
+            assert f"n{index} [" in text
+        edge_count = text.count(" -> ")
+        expected_edges = sum(
+            len(circuit.node(i).children) for i in reachable
+        )
+        assert edge_count == expected_edges
+
+    def test_paper_figure_style_labels(self, figure1):
+        from repro.compile import compile_network
+
+        circuit = compile_network(figure1).circuit
+        text = circuit_to_dot(circuit)
+        assert 'label="+"' in text
+        assert 'label="×"' in text
+        assert "λ(A=0)" in text
+        assert "θ(" in text
+
+    def test_root_highlighted(self, sprinkler_ac):
+        circuit = sprinkler_ac.circuit
+        text = circuit_to_dot(circuit)
+        assert f"peripheries=2" in text
+
+    def test_size_limit(self, alarm_binary):
+        with pytest.raises(ValueError, match="max_nodes"):
+            circuit_to_dot(alarm_binary, max_nodes=100)
+        # Explicitly raising the limit works.
+        text = circuit_to_dot(alarm_binary, max_nodes=10_000)
+        assert text.startswith("digraph")
+
+    def test_unreachable_nodes_excluded_by_default(self, sprinkler_ac):
+        from repro.ac.transform import prune_unreachable
+
+        circuit = prune_unreachable(sprinkler_ac.circuit).circuit
+        orphan = circuit.add_parameter(0.987654)
+        text = circuit_to_dot(circuit)
+        assert f"n{orphan} [" not in text
+        text_all = circuit_to_dot(circuit, include_unreachable=True)
+        assert f"n{orphan} [" in text_all
+
+    def test_save_dot(self, tmp_path, sprinkler_ac):
+        path = tmp_path / "c.dot"
+        save_dot(sprinkler_ac.circuit, path)
+        assert path.read_text().startswith("digraph")
+
+    def test_max_circuit_rendering(self, asia_mpe):
+        text = circuit_to_dot(asia_mpe.circuit)
+        assert 'label="max"' in text

@@ -1,0 +1,116 @@
+"""Tests for repro.ac.evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import (
+    evaluate_batch,
+    evaluate_quantized,
+    evaluate_real,
+    evaluate_values,
+)
+from repro.arith import ExactBackend, FixedPointBackend, FixedPointFormat
+from tests.conftest import all_evidence_combinations
+
+
+def mixture_circuit():
+    """0.3·λA0 + 0.7·λA1 — evaluates Pr(A=a) pointwise."""
+    circuit = ArithmeticCircuit()
+    p1 = circuit.add_product([circuit.add_parameter(0.3), circuit.add_indicator("A", 0)])
+    p2 = circuit.add_product([circuit.add_parameter(0.7), circuit.add_indicator("A", 1)])
+    circuit.set_root(circuit.add_sum([p1, p2]))
+    return circuit
+
+
+def max_circuit():
+    circuit = ArithmeticCircuit()
+    p1 = circuit.add_product([circuit.add_parameter(0.3), circuit.add_indicator("A", 0)])
+    p2 = circuit.add_product([circuit.add_parameter(0.7), circuit.add_indicator("A", 1)])
+    circuit.set_root(circuit.add_max([p1, p2]))
+    return circuit
+
+
+class TestEvaluateReal:
+    def test_no_evidence_sums_everything(self):
+        assert evaluate_real(mixture_circuit(), None) == pytest.approx(1.0)
+
+    def test_evidence_selects_terms(self):
+        circuit = mixture_circuit()
+        assert evaluate_real(circuit, {"A": 0}) == pytest.approx(0.3)
+        assert evaluate_real(circuit, {"A": 1}) == pytest.approx(0.7)
+
+    def test_max_node_semantics(self):
+        assert evaluate_real(max_circuit(), None) == pytest.approx(0.7)
+        assert evaluate_real(max_circuit(), {"A": 0}) == pytest.approx(0.3)
+
+    def test_values_are_per_node(self):
+        circuit = mixture_circuit()
+        values = evaluate_values(circuit, {"A": 0})
+        assert len(values) == len(circuit)
+        assert values[circuit.root] == pytest.approx(0.3)
+
+    def test_compiled_circuit_matches_joint(self, sprinkler, sprinkler_ac):
+        for evidence in all_evidence_combinations(sprinkler):
+            assert evaluate_real(
+                sprinkler_ac.circuit, evidence
+            ) == pytest.approx(sprinkler.joint(evidence))
+
+
+class TestEvaluateBatch:
+    def test_matches_scalar_evaluation(self, sprinkler, sprinkler_ac):
+        evidences = all_evidence_combinations(sprinkler)
+        batch = evaluate_batch(sprinkler_ac.circuit, evidences)
+        scalar = np.array(
+            [evaluate_real(sprinkler_ac.circuit, e) for e in evidences]
+        )
+        assert np.allclose(batch, scalar, rtol=1e-12)
+
+    def test_partial_evidence(self, sprinkler_ac):
+        batch = evaluate_batch(
+            sprinkler_ac.circuit, [{}, {"WetGrass": 1}, {"Rain": 0}]
+        )
+        assert batch[0] == pytest.approx(1.0)
+        assert 0 < batch[1] < 1
+
+    def test_empty_batch(self, sprinkler_ac):
+        assert evaluate_batch(sprinkler_ac.circuit, []).shape == (0,)
+
+    def test_max_circuit_batch(self):
+        circuit = max_circuit()
+        batch = evaluate_batch(circuit, [{"A": 0}, {"A": 1}, {}])
+        assert batch.tolist() == pytest.approx([0.3, 0.7, 0.7])
+
+
+class TestEvaluateQuantized:
+    def test_requires_binary_circuit(self):
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.1 * i) for i in range(1, 4)]
+        circuit.set_root(circuit.add_sum(parts))
+        backend = FixedPointBackend(FixedPointFormat(1, 8))
+        with pytest.raises(ValueError, match="binary"):
+            evaluate_quantized(circuit, backend, None)
+
+    def test_exact_backend_reproduces_real(self, sprinkler, sprinkler_binary):
+        backend = ExactBackend()
+        for evidence in all_evidence_combinations(sprinkler)[:6]:
+            exact = evaluate_quantized(sprinkler_binary, backend, evidence)
+            assert exact == pytest.approx(
+                evaluate_real(sprinkler_binary, evidence), abs=1e-15
+            )
+
+    def test_fixed_backend_error_within_leaf_resolution(self):
+        circuit = mixture_circuit()
+        backend = FixedPointBackend(FixedPointFormat(1, 10))
+        quantized = evaluate_quantized(circuit, backend, {"A": 0})
+        assert quantized == pytest.approx(0.3, abs=2**-10)
+
+    def test_indicators_are_exact(self):
+        # λ-only circuit: quantization introduces zero error.
+        circuit = ArithmeticCircuit()
+        a = circuit.add_indicator("A", 0)
+        b = circuit.add_indicator("A", 1)
+        circuit.set_root(circuit.add_sum([a, b]))
+        backend = FixedPointBackend(FixedPointFormat(2, 4))
+        assert evaluate_quantized(circuit, backend, None) == 2.0
+        assert evaluate_quantized(circuit, backend, {"A": 1}) == 1.0

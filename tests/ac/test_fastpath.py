@@ -1,0 +1,129 @@
+"""Tests for repro.ac.fastpath (accelerated evaluation).
+
+The acceptance bar is *bit-exact agreement* with the reference big-int
+backends — any deviation means the fast path silently computes different
+hardware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ac.evaluate import evaluate_quantized
+from repro.ac.fastpath import Program, VectorFixedPointEvaluator
+from repro.arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+    FixedPointOverflowError,
+    RoundingMode,
+)
+from tests.conftest import all_evidence_combinations
+
+
+class TestProgram:
+    def test_requires_binary(self, sprinkler_ac):
+        from repro.ac.circuit import ArithmeticCircuit
+
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.1 * i) for i in range(1, 4)]
+        circuit.set_root(circuit.add_sum(parts))
+        with pytest.raises(ValueError, match="binary"):
+            Program(circuit)
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            FixedPointBackend(FixedPointFormat(1, 13)),
+            FloatBackend(FloatFormat(8, 11)),
+            FixedPointBackend(
+                FixedPointFormat(1, 9, RoundingMode.TRUNCATE)
+            ),
+        ],
+    )
+    def test_bit_exact_vs_generic_evaluator(
+        self, sprinkler, sprinkler_binary, backend
+    ):
+        program = Program(sprinkler_binary)
+        for evidence in all_evidence_combinations(sprinkler):
+            fast = program.evaluate(backend, evidence)
+            reference = evaluate_quantized(
+                sprinkler_binary, backend, evidence
+            )
+            assert fast == reference  # exact equality, not approx
+
+    def test_alarm_spot_check(self, alarm, alarm_binary):
+        from repro.bn.sampling import forward_sample
+
+        program = Program(alarm_binary)
+        backend = FixedPointBackend(FixedPointFormat(1, 15))
+        leaves = alarm.leaves()
+        for sample in forward_sample(alarm, 5, rng=21):
+            evidence = {leaf: sample[leaf] for leaf in leaves}
+            assert program.evaluate(backend, evidence) == evaluate_quantized(
+                alarm_binary, backend, evidence
+            )
+
+
+class TestVectorFixedPointEvaluator:
+    @pytest.mark.parametrize("fraction_bits", [4, 9, 15, 23])
+    @pytest.mark.parametrize(
+        "rounding",
+        [
+            RoundingMode.NEAREST_EVEN,
+            RoundingMode.NEAREST_UP,
+            RoundingMode.TRUNCATE,
+        ],
+    )
+    def test_bit_exact_vs_bigint_backend(
+        self, sprinkler, sprinkler_binary, fraction_bits, rounding
+    ):
+        fmt = FixedPointFormat(1, fraction_bits, rounding)
+        evaluator = VectorFixedPointEvaluator(sprinkler_binary, fmt)
+        backend = FixedPointBackend(fmt)
+        evidences = all_evidence_combinations(sprinkler)
+        batch = evaluator.evaluate_batch(evidences)
+        for evidence, value in zip(evidences, batch):
+            reference = evaluate_quantized(
+                sprinkler_binary, backend, evidence
+            )
+            assert value == reference
+
+    def test_alarm_batch_bit_exact(self, alarm, alarm_binary):
+        from repro.bn.sampling import forward_sample
+
+        fmt = FixedPointFormat(1, 15)
+        evaluator = VectorFixedPointEvaluator(alarm_binary, fmt)
+        backend = FixedPointBackend(fmt)
+        leaves = alarm.leaves()
+        evidences = [
+            {leaf: s[leaf] for leaf in leaves}
+            for s in forward_sample(alarm, 10, rng=31)
+        ]
+        batch = evaluator.evaluate_batch(evidences)
+        for evidence, value in zip(evidences, batch):
+            assert value == evaluate_quantized(alarm_binary, backend, evidence)
+
+    def test_wide_format_rejected(self, sprinkler_binary):
+        with pytest.raises(ValueError, match="int64"):
+            VectorFixedPointEvaluator(
+                sprinkler_binary, FixedPointFormat(1, 40)
+            )
+
+    def test_overflow_detected(self):
+        from repro.ac.circuit import ArithmeticCircuit
+        from repro.ac.transform import binarize
+
+        circuit = ArithmeticCircuit(dedup=False)
+        leaves = [circuit.add_indicator("X", i) for i in range(4)]
+        circuit.set_root(circuit.add_sum(leaves))
+        binary = binarize(circuit).circuit
+        evaluator = VectorFixedPointEvaluator(binary, FixedPointFormat(1, 8))
+        with pytest.raises(FixedPointOverflowError):
+            evaluator.evaluate_batch([{}])
+
+    def test_empty_batch(self, sprinkler_binary):
+        evaluator = VectorFixedPointEvaluator(
+            sprinkler_binary, FixedPointFormat(1, 12)
+        )
+        assert evaluator.evaluate_batch([]).shape == (0,)

@@ -1,0 +1,67 @@
+"""Tests for repro.ac.io (circuit serialization)."""
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import evaluate_real
+from repro.ac.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_circuit,
+    save_circuit,
+)
+from tests.conftest import all_evidence_combinations
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_semantics(self, sprinkler, sprinkler_ac):
+        clone = circuit_from_dict(circuit_to_dict(sprinkler_ac.circuit))
+        for evidence in all_evidence_combinations(sprinkler)[:8]:
+            assert evaluate_real(clone, evidence) == pytest.approx(
+                evaluate_real(sprinkler_ac.circuit, evidence)
+            )
+
+    def test_file_round_trip(self, tmp_path, asia_ac):
+        path = tmp_path / "asia.acjson"
+        save_circuit(asia_ac.circuit, path)
+        clone = load_circuit(path)
+        assert evaluate_real(clone, None) == pytest.approx(
+            evaluate_real(asia_ac.circuit, None)
+        )
+        assert clone.name == asia_ac.circuit.name
+
+    def test_labels_preserved(self):
+        circuit = ArithmeticCircuit("labeled")
+        theta = circuit.add_parameter(0.4, label="θ(X=0)")
+        lam = circuit.add_indicator("X", 0)
+        circuit.set_root(circuit.add_product([theta, lam]))
+        clone = circuit_from_dict(circuit_to_dict(circuit))
+        labels = [n.label for n in clone.nodes if n.label]
+        assert "θ(X=0)" in labels
+
+    def test_max_nodes_round_trip(self, asia_mpe):
+        clone = circuit_from_dict(circuit_to_dict(asia_mpe.circuit))
+        assert evaluate_real(clone, None) == pytest.approx(
+            evaluate_real(asia_mpe.circuit, None)
+        )
+        assert clone.stats().num_max > 0
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a problp-ac"):
+            circuit_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            circuit_from_dict({"format": "problp-ac", "version": 999})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown node op"):
+            circuit_from_dict(
+                {
+                    "format": "problp-ac",
+                    "version": 1,
+                    "name": "bad",
+                    "root": 0,
+                    "nodes": [{"op": "division", "children": []}],
+                }
+            )

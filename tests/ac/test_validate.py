@@ -1,0 +1,77 @@
+"""Tests for repro.ac.validate."""
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.validate import (
+    CircuitError,
+    indicator_support,
+    is_decomposable,
+    is_smooth,
+    validate_circuit,
+)
+
+
+def smooth_circuit():
+    """A smooth, decomposable mixture over one variable."""
+    circuit = ArithmeticCircuit()
+    terms = []
+    for state, weight in enumerate((0.2, 0.8)):
+        theta = circuit.add_parameter(weight)
+        lam = circuit.add_indicator("A", state)
+        terms.append(circuit.add_product([theta, lam]))
+    circuit.set_root(circuit.add_sum(terms))
+    return circuit
+
+
+class TestValidateCircuit:
+    def test_valid_circuit_passes(self, sprinkler_ac):
+        validate_circuit(sprinkler_ac.circuit)
+
+    def test_missing_root_rejected(self):
+        circuit = ArithmeticCircuit()
+        circuit.add_parameter(0.5)
+        with pytest.raises(CircuitError, match="no root"):
+            validate_circuit(circuit)
+
+    def test_empty_circuit_rejected(self):
+        circuit = ArithmeticCircuit()
+        with pytest.raises(CircuitError):
+            validate_circuit(circuit)
+
+
+class TestStructuralProperties:
+    def test_indicator_support(self):
+        circuit = smooth_circuit()
+        support = indicator_support(circuit)
+        assert support[circuit.root] == frozenset({"A"})
+
+    def test_smooth_circuit_detected(self):
+        assert is_smooth(smooth_circuit())
+
+    def test_non_smooth_detected(self):
+        circuit = ArithmeticCircuit()
+        a = circuit.add_indicator("A", 0)
+        b = circuit.add_indicator("B", 0)
+        circuit.set_root(circuit.add_sum([a, b]))
+        assert not is_smooth(circuit)
+
+    def test_decomposable_detected(self):
+        circuit = ArithmeticCircuit()
+        a = circuit.add_indicator("A", 0)
+        b = circuit.add_indicator("B", 0)
+        circuit.set_root(circuit.add_product([a, b]))
+        assert is_decomposable(circuit)
+
+    def test_non_decomposable_detected(self):
+        circuit = ArithmeticCircuit()
+        a0 = circuit.add_indicator("A", 0)
+        a1 = circuit.add_indicator("A", 1)
+        circuit.set_root(circuit.add_product([a0, a1]))
+        assert not is_decomposable(circuit)
+
+    def test_compiled_circuits_are_decomposable(self, sprinkler_ac, asia_ac):
+        # VE-compiled network polynomials never multiply two terms that
+        # mention the same indicator variable.
+        assert is_decomposable(sprinkler_ac.circuit)
+        assert is_decomposable(asia_ac.circuit)

@@ -1,0 +1,143 @@
+"""Tests for repro.arith.fixedpoint."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.fixedpoint import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FixedPointNumber,
+    FixedPointOverflowError,
+)
+
+F18 = FixedPointFormat(1, 8)
+
+
+class TestFormat:
+    def test_properties(self):
+        fmt = FixedPointFormat(2, 6)
+        assert fmt.total_bits == 8
+        assert fmt.max_mantissa == 255
+        assert fmt.max_value == pytest.approx(255 / 64)
+        assert fmt.resolution == 2**-6
+        assert fmt.conversion_error_bound == 2**-7
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(-1, 4)
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, -1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+
+    def test_describe(self):
+        assert FixedPointFormat(1, 15).describe() == "fixed(I=1, F=15)"
+
+
+class TestConversion:
+    def test_representable_values_are_exact(self):
+        backend = FixedPointBackend(F18)
+        for value in (0.0, 0.5, 0.25, 1.0, 0.00390625):
+            assert backend.from_real(value).to_float() == value
+
+    def test_conversion_error_bounded(self):
+        backend = FixedPointBackend(F18)
+        for value in (0.1, 0.3, 0.7, 0.999):
+            quantized = backend.from_real(value).to_float()
+            assert abs(quantized - value) <= F18.conversion_error_bound
+
+    def test_overflow_on_conversion(self):
+        backend = FixedPointBackend(F18)
+        with pytest.raises(FixedPointOverflowError, match="integer bits"):
+            backend.from_real(3.0)
+
+    def test_one_requires_integer_bit(self):
+        backend = FixedPointBackend(FixedPointFormat(0, 8))
+        with pytest.raises(FixedPointOverflowError, match="1.0"):
+            backend.one()
+
+    def test_zero_and_one(self):
+        backend = FixedPointBackend(F18)
+        assert backend.zero().to_float() == 0.0
+        assert backend.one().to_float() == 1.0
+
+    def test_out_of_range_mantissa_rejected(self):
+        with pytest.raises(FixedPointOverflowError):
+            FixedPointNumber(1 << 9, F18)
+
+
+class TestOperators:
+    def test_addition_is_exact(self):
+        backend = FixedPointBackend(F18)
+        a = backend.from_real(0.25)
+        b = backend.from_real(0.125)
+        assert backend.add(a, b).to_float() == 0.375
+
+    def test_addition_overflow_detected(self):
+        backend = FixedPointBackend(F18)
+        a = backend.from_real(1.5)
+        with pytest.raises(FixedPointOverflowError, match="adder"):
+            backend.add(a, a)
+
+    def test_multiplication_exact_when_representable(self):
+        backend = FixedPointBackend(F18)
+        a = backend.from_real(0.5)
+        b = backend.from_real(0.25)
+        assert backend.multiply(a, b).to_float() == 0.125
+
+    def test_multiplication_rounds_to_nearest(self):
+        backend = FixedPointBackend(FixedPointFormat(1, 4))
+        # 3/16 * 3/16 = 9/256 = 0.5625/16; nearest multiple of 1/16 ties
+        # at 0.5625 -> rounds to even (0).
+        a = backend.from_real(3 / 16)
+        product = backend.multiply(a, a)
+        assert abs(product.to_float() - 9 / 256) <= 2**-5
+
+    def test_maximum_is_exact_comparison(self):
+        backend = FixedPointBackend(F18)
+        a = backend.from_real(0.3)
+        b = backend.from_real(0.7)
+        assert backend.maximum(a, b) is b
+        assert backend.maximum(b, a) is b
+
+    @given(
+        st.floats(0.0, 0.999),
+        st.floats(0.0, 0.999),
+        st.integers(2, 30),
+    )
+    def test_multiplier_error_model_holds(self, x, y, fraction_bits):
+        """Eq. 4: one multiplication adds at most 2^-(F+1) of rounding."""
+        fmt = FixedPointFormat(1, fraction_bits)
+        backend = FixedPointBackend(fmt)
+        a = backend.from_real(x)
+        b = backend.from_real(y)
+        product = backend.multiply(a, b)
+        exact_product_of_quantized = a.to_float() * b.to_float()
+        assert (
+            abs(product.to_float() - exact_product_of_quantized)
+            <= fmt.conversion_error_bound + 1e-15
+        )
+
+    @given(st.floats(0.0, 0.999), st.integers(2, 40))
+    def test_leaf_error_model_holds(self, x, fraction_bits):
+        """Eq. 2: conversion error at most 2^-(F+1)."""
+        fmt = FixedPointFormat(1, fraction_bits)
+        quantized = FixedPointBackend(fmt).from_real(x).to_float()
+        assert abs(quantized - x) <= fmt.conversion_error_bound
+
+    @given(
+        st.integers(0, 2**9 - 1),
+        st.integers(0, 2**9 - 1),
+    )
+    def test_adder_never_rounds(self, ma, mb):
+        """Eq. 3: the fixed-point adder is exact (given no overflow)."""
+        fmt = FixedPointFormat(2, 8)
+        backend = FixedPointBackend(fmt)
+        a = FixedPointNumber(ma, fmt)
+        b = FixedPointNumber(mb, fmt)
+        if ma + mb <= fmt.max_mantissa:
+            assert backend.add(a, b).mantissa == ma + mb
+        else:
+            with pytest.raises(FixedPointOverflowError):
+                backend.add(a, b)

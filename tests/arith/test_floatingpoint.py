@@ -1,0 +1,201 @@
+"""Tests for repro.arith.floatingpoint."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.floatingpoint import (
+    FloatBackend,
+    FloatFormat,
+    FloatNumber,
+    FloatOverflowError,
+    FloatUnderflowError,
+)
+
+F810 = FloatFormat(8, 10)
+
+
+class TestFormat:
+    def test_ieee_like_ranges(self):
+        fmt = FloatFormat(8, 23)  # single-precision-like (no inf/nan)
+        assert fmt.bias == 127
+        assert fmt.min_exponent == -126
+        assert fmt.max_exponent == 128
+        assert fmt.min_normal == 2.0**-126
+        assert fmt.unit_roundoff == 2.0**-24
+
+    def test_small_format(self):
+        fmt = FloatFormat(4, 3)
+        assert fmt.bias == 7
+        assert fmt.min_exponent == -6
+        assert fmt.max_exponent == 8
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat(1, 5)
+        with pytest.raises(ValueError):
+            FloatFormat(5, 0)
+
+    def test_max_value(self):
+        fmt = FloatFormat(4, 3)
+        assert fmt.max_value == (2.0 - 0.125) * 2.0**8
+
+
+class TestNumberInvariants:
+    def test_zero_is_canonical(self):
+        number = FloatNumber(0, 0, F810)
+        assert number.is_zero
+        assert number.to_float() == 0.0
+
+    def test_unnormalized_mantissa_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            FloatNumber(1, 0, F810)  # needs 11 bits
+
+    def test_out_of_range_exponent_rejected(self):
+        with pytest.raises(ValueError, match="exponent"):
+            FloatNumber(1 << 10, 500, F810)
+
+
+class TestConversion:
+    def test_powers_of_two_exact(self):
+        backend = FloatBackend(F810)
+        for exponent in (-10, -1, 0, 5, 20):
+            value = 2.0**exponent
+            assert backend.from_real(value).to_float() == value
+
+    def test_one_is_exact(self):
+        backend = FloatBackend(F810)
+        assert backend.one().to_float() == 1.0
+
+    def test_relative_error_bounded(self):
+        backend = FloatBackend(F810)
+        for value in (0.1, 0.3, 0.7, 123.456, 3e-20):
+            quantized = backend.from_real(value).to_float()
+            assert abs(quantized - value) / value <= F810.unit_roundoff
+
+    def test_overflow_detected(self):
+        backend = FloatBackend(FloatFormat(4, 4))
+        with pytest.raises(FloatOverflowError):
+            backend.from_real(1000.0)
+
+    def test_underflow_detected(self):
+        backend = FloatBackend(FloatFormat(4, 4))
+        with pytest.raises(FloatUnderflowError):
+            backend.from_real(2.0**-20)
+
+    def test_zero_conversion(self):
+        backend = FloatBackend(F810)
+        assert backend.from_real(0.0).is_zero
+
+
+class TestOperators:
+    def test_add_with_zero_is_identity(self):
+        backend = FloatBackend(F810)
+        x = backend.from_real(0.37)
+        assert backend.add(backend.zero(), x) is x
+        assert backend.add(x, backend.zero()) is x
+
+    def test_multiply_by_zero_is_zero(self):
+        backend = FloatBackend(F810)
+        x = backend.from_real(0.37)
+        assert backend.multiply(x, backend.zero()).is_zero
+
+    def test_exact_addition_of_equal_exponents(self):
+        backend = FloatBackend(F810)
+        assert backend.add(
+            backend.from_real(1.0), backend.from_real(1.0)
+        ).to_float() == 2.0
+
+    def test_alignment_rounding(self):
+        # 1 + 2^-12 with 10 mantissa bits: the small operand is entirely
+        # rounded away (RNE, below half ULP).
+        backend = FloatBackend(F810)
+        result = backend.add(
+            backend.from_real(1.0), backend.from_real(2.0**-12)
+        )
+        assert result.to_float() == 1.0
+
+    def test_half_ulp_tie_rounds_to_even(self):
+        backend = FloatBackend(F810)
+        result = backend.add(
+            backend.from_real(1.0), backend.from_real(2.0**-11)
+        )
+        assert result.to_float() == 1.0  # mantissa even: stays
+
+    def test_above_half_ulp_rounds_up(self):
+        backend = FloatBackend(F810)
+        result = backend.add(
+            backend.from_real(1.0), backend.from_real(2.0**-11 + 2.0**-15)
+        )
+        assert result.to_float() == 1.0 + 2.0**-10
+
+    def test_multiplication_exact_powers(self):
+        backend = FloatBackend(F810)
+        product = backend.multiply(
+            backend.from_real(0.5), backend.from_real(0.25)
+        )
+        assert product.to_float() == 0.125
+
+    def test_multiplication_underflow_detected(self):
+        backend = FloatBackend(FloatFormat(4, 4))
+        tiny = backend.from_real(2.0**-5)
+        with pytest.raises(FloatUnderflowError):
+            backend.multiply(tiny, tiny)
+
+    def test_addition_overflow_detected(self):
+        backend = FloatBackend(FloatFormat(4, 4))
+        big = backend.from_real(2.0**8)
+        with pytest.raises(FloatOverflowError):
+            backend.add(big, big)
+
+    def test_maximum_handles_zero_and_ordering(self):
+        backend = FloatBackend(F810)
+        small = backend.from_real(0.1)
+        large = backend.from_real(10.0)
+        assert backend.maximum(small, large) is large
+        assert backend.maximum(backend.zero(), small) is small
+        assert backend.maximum(small, backend.zero()) is small
+
+
+positive_floats = st.floats(
+    min_value=1e-30, max_value=1e30, allow_nan=False, allow_infinity=False
+)
+
+
+class TestErrorModelProperties:
+    """Hypothesis checks of the paper's per-operation float error models."""
+
+    @given(positive_floats, st.integers(3, 30))
+    def test_conversion_model_eq6(self, x, mantissa_bits):
+        fmt = FloatFormat(11, mantissa_bits)
+        quantized = FloatBackend(fmt).from_real(x).to_float()
+        assert abs(quantized - x) / x <= fmt.unit_roundoff
+
+    @given(positive_floats, positive_floats, st.integers(3, 30))
+    def test_adder_model_eq9(self, x, y, mantissa_bits):
+        """One addition = one (1±ε) factor on the exact sum."""
+        fmt = FloatFormat(12, mantissa_bits)
+        backend = FloatBackend(fmt)
+        a, b = backend.from_real(x), backend.from_real(y)
+        result = backend.add(a, b).to_float()
+        exact = a.to_float() + b.to_float()
+        assert abs(result - exact) / exact <= fmt.unit_roundoff
+
+    @given(positive_floats, positive_floats, st.integers(3, 30))
+    def test_multiplier_model_eq11(self, x, y, mantissa_bits):
+        """One multiplication = one (1±ε) factor on the exact product."""
+        fmt = FloatFormat(12, mantissa_bits)
+        backend = FloatBackend(fmt)
+        a, b = backend.from_real(x), backend.from_real(y)
+        result = backend.multiply(a, b).to_float()
+        exact = a.to_float() * b.to_float()
+        assert abs(result - exact) / exact <= fmt.unit_roundoff
+
+    @given(positive_floats, st.integers(3, 26))
+    def test_round_trip_monotonicity(self, x, mantissa_bits):
+        """Quantization never changes the MSB exponent by more than one."""
+        fmt = FloatFormat(11, mantissa_bits)
+        quantized = FloatBackend(fmt).from_real(x)
+        assert abs(quantized.exponent - math.floor(math.log2(x))) <= 1

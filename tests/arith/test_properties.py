@@ -1,0 +1,121 @@
+"""Cross-backend property tests: quantized circuit evaluation.
+
+These are the library-level invariants the paper's analysis rests on:
+monotonicity of quantized evaluation, agreement across backends at high
+precision, and exactness of indicator handling.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import evaluate_quantized, evaluate_real
+from repro.ac.transform import binarize
+from repro.arith import (
+    ExactBackend,
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+)
+
+
+@st.composite
+def random_binary_circuits(draw):
+    """Small random binary ACs over parameters in [0, 1] and two variables."""
+    circuit = ArithmeticCircuit(dedup=False)
+    pool = []
+    for _ in range(draw(st.integers(2, 6))):
+        value = draw(
+            st.floats(0.01, 1.0, allow_nan=False, allow_infinity=False)
+        )
+        pool.append(circuit.add_parameter(value))
+    for variable in ("A", "B"):
+        for state in range(2):
+            pool.append(circuit.add_indicator(variable, state))
+    for _ in range(draw(st.integers(1, 12))):
+        op = draw(st.sampled_from(["sum", "product"]))
+        left = draw(st.sampled_from(pool))
+        right = draw(st.sampled_from(pool))
+        if op == "sum":
+            pool.append(circuit.add_sum([left, right]))
+        else:
+            pool.append(circuit.add_product([left, right]))
+    circuit.set_root(pool[-1])
+    return binarize(circuit).circuit
+
+
+evidence_strategy = st.sampled_from(
+    [None, {"A": 0}, {"A": 1}, {"B": 0}, {"A": 1, "B": 0}]
+)
+
+
+def usable_evidence(circuit, evidence):
+    """Drop evidence on variables the (DCE'd) circuit no longer mentions."""
+    if evidence is None:
+        return None
+    present = set(circuit.indicator_variables)
+    return {k: v for k, v in evidence.items() if k in present}
+
+
+class TestCrossBackendProperties:
+    @given(random_binary_circuits(), evidence_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_backend_matches_float64_closely(self, circuit, evidence):
+        evidence = usable_evidence(circuit, evidence)
+        real = evaluate_real(circuit, evidence)
+        exact = evaluate_quantized(circuit, ExactBackend(), evidence)
+        assert exact == pytest.approx(real, rel=1e-12, abs=1e-290)
+
+    @given(random_binary_circuits(), evidence_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_high_precision_float_converges(self, circuit, evidence):
+        evidence = usable_evidence(circuit, evidence)
+        real = evaluate_real(circuit, evidence)
+        quantized = evaluate_quantized(
+            circuit, FloatBackend(FloatFormat(15, 50)), evidence
+        )
+        if real == 0.0:
+            assert quantized == 0.0
+        else:
+            assert quantized == pytest.approx(real, rel=1e-12)
+
+    @given(random_binary_circuits(), evidence_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_outputs_are_exactly_zero(self, circuit, evidence):
+        """Zeros propagate exactly: no format can turn 0 into non-0."""
+        evidence = usable_evidence(circuit, evidence)
+        real = evaluate_real(circuit, evidence)
+        if real != 0.0:
+            return
+        for backend in (
+            FixedPointBackend(FixedPointFormat(8, 8)),
+            FloatBackend(FloatFormat(10, 6)),
+        ):
+            assert evaluate_quantized(circuit, backend, evidence) == 0.0
+
+    @given(random_binary_circuits())
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_monotone_in_precision(self, circuit):
+        """More fraction bits never increase the error (on dyadic grid).
+
+        Strictly, error is monotone only in expectation; we assert the
+        weaker, always-true property that the error at F+8 is no worse
+        than the error bound at F.
+        """
+        real = evaluate_real(circuit, None)
+        for fraction_bits in (6, 14):
+            backend = FixedPointBackend(FixedPointFormat(16, fraction_bits))
+            coarse = abs(
+                evaluate_quantized(circuit, backend, None) - real
+            )
+            fine_backend = FixedPointBackend(
+                FixedPointFormat(16, fraction_bits + 8)
+            )
+            fine = abs(
+                evaluate_quantized(circuit, fine_backend, None) - real
+            )
+            # 8 extra bits shrink the per-op error by 256; allow slack for
+            # cancellation effects.
+            assert fine <= coarse + 2.0 ** -(fraction_bits + 1)

@@ -1,0 +1,45 @@
+"""Tests for repro.arith.reference backends."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arith.reference import ExactBackend, RealBackend
+
+
+class TestRealBackend:
+    def test_protocol_operations(self):
+        backend = RealBackend()
+        assert backend.add(0.25, 0.5) == 0.75
+        assert backend.multiply(0.5, 0.5) == 0.25
+        assert backend.maximum(0.3, 0.7) == 0.7
+        assert backend.zero() == 0.0
+        assert backend.one() == 1.0
+        assert backend.to_real(backend.from_real(0.3)) == 0.3
+
+
+class TestExactBackend:
+    def test_exact_rational_arithmetic(self):
+        backend = ExactBackend()
+        third_ish = backend.from_real(0.1)
+        assert isinstance(third_ish, Fraction)
+        # 0.1 as a double is exactly this rational:
+        assert third_ish == Fraction(0.1)
+        total = backend.add(third_ish, third_ish)
+        assert total == 2 * Fraction(0.1)
+
+    def test_no_accumulation_error(self):
+        backend = ExactBackend()
+        value = backend.from_real(0.1)
+        total = backend.zero()
+        for _ in range(10):
+            total = backend.add(total, value)
+        assert total == 10 * Fraction(0.1)  # exact, unlike float64
+
+    def test_maximum(self):
+        backend = ExactBackend()
+        assert backend.maximum(Fraction(1, 3), Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_to_real(self):
+        backend = ExactBackend()
+        assert backend.to_real(Fraction(1, 4)) == pytest.approx(0.25)

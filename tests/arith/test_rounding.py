@@ -1,0 +1,94 @@
+"""Tests for repro.arith.rounding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith.rounding import (
+    RoundingMode,
+    float_to_scaled_integer,
+    round_shift,
+    scaled_integer_to_float,
+)
+
+RNE = RoundingMode.NEAREST_EVEN
+RNU = RoundingMode.NEAREST_UP
+
+
+class TestRoundShift:
+    def test_exact_when_no_fraction(self):
+        assert round_shift(8, 2, RNE) == 2
+
+    def test_rounds_down_below_half(self):
+        assert round_shift(0b1001, 2, RNE) == 0b10  # 2.25 -> 2
+
+    def test_rounds_up_above_half(self):
+        assert round_shift(0b1011, 2, RNE) == 0b11  # 2.75 -> 3
+
+    def test_tie_to_even_down(self):
+        assert round_shift(0b1010, 2, RNE) == 0b10  # 2.5 -> 2 (even)
+
+    def test_tie_to_even_up(self):
+        assert round_shift(0b1110, 2, RNE) == 0b100  # 3.5 -> 4 (even)
+
+    def test_tie_up_mode(self):
+        assert round_shift(0b1010, 2, RNU) == 0b11  # 2.5 -> 3
+
+    def test_negative_shift_is_exact_multiply(self):
+        assert round_shift(5, -3, RNE) == 40
+
+    def test_zero_shift(self):
+        assert round_shift(7, 0, RNE) == 7
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            round_shift(-1, 2, RNE)
+
+    @given(st.integers(0, 2**80), st.integers(0, 64))
+    def test_error_at_most_half_ulp(self, value, shift):
+        for mode in (RNE, RNU):
+            rounded = round_shift(value, shift, mode)
+            # |rounded * 2^shift - value| <= 2^(shift-1)
+            error = abs((rounded << shift) - value) if shift >= 0 else 0
+            assert error <= (1 << shift) / 2
+
+    @given(st.integers(0, 2**70), st.integers(1, 50))
+    def test_rne_is_nearest(self, value, shift):
+        rounded = round_shift(value, shift, RNE)
+        exact = value / (1 << shift)
+        assert abs(rounded - exact) <= 0.5
+
+
+class TestScaledIntegerConversion:
+    @given(st.floats(min_value=0.0, max_value=1e300, allow_nan=False))
+    def test_decomposition_is_exact(self, x):
+        mantissa, scale = float_to_scaled_integer(x)
+        assert math.ldexp(mantissa, scale) == x
+
+    def test_zero(self):
+        assert float_to_scaled_integer(0.0) == (0, 0)
+
+    def test_canonical_odd_mantissa(self):
+        mantissa, _ = float_to_scaled_integer(0.375)  # 3 * 2^-3
+        assert mantissa == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            float_to_scaled_integer(-1.0)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValueError):
+            float_to_scaled_integer(float("inf"))
+
+    def test_round_trip(self):
+        for x in (0.1, 0.3, 1.0, 0.9999999, 2.5e-7):
+            mantissa, scale = float_to_scaled_integer(x)
+            assert scaled_integer_to_float(mantissa, scale) == x
+
+    def test_large_mantissa_reporting_conversion(self):
+        # 2^60 + 1 cannot be represented exactly in float64; the
+        # conversion rounds to nearest instead of raising.
+        value = scaled_integer_to_float((1 << 60) + 1, 0)
+        assert value == pytest.approx(2.0**60, rel=1e-15)

@@ -1,0 +1,116 @@
+"""Tests for repro.bn.bif (BIF format interop)."""
+
+import numpy as np
+import pytest
+
+from repro.bn.bif import (
+    BIFParseError,
+    load_bif,
+    parse_bif,
+    save_bif,
+    write_bif,
+)
+
+SPRINKLER_BIF = """
+// classic two-node example with both probability styles
+network wet_lawn {}
+variable Rain {
+  type discrete [ 2 ] { no, yes };
+}
+variable WetGrass {
+  type discrete [ 2 ] { no, yes };
+}
+probability ( Rain ) {
+  table 0.8, 0.2;
+}
+probability ( WetGrass | Rain ) {
+  ( no ) 0.9, 0.1;
+  ( yes ) 0.2, 0.8;
+}
+"""
+
+
+class TestParse:
+    def test_parse_basic(self):
+        network = parse_bif(SPRINKLER_BIF)
+        assert network.name == "wet_lawn"
+        assert set(network.variable_names) == {"Rain", "WetGrass"}
+        assert network.cpt("Rain").table.tolist() == [0.8, 0.2]
+        assert network.cpt("WetGrass").table[1].tolist() == [0.2, 0.8]
+
+    def test_comments_stripped(self):
+        text = SPRINKLER_BIF.replace(
+            "table 0.8, 0.2;", "table 0.8, /* inline */ 0.2; // trailing"
+        )
+        network = parse_bif(text)
+        assert network.cpt("Rain").table.tolist() == [0.8, 0.2]
+
+    def test_flat_table_with_parents(self):
+        text = """
+        network t {}
+        variable A { type discrete [ 2 ] { a0, a1 }; }
+        variable B { type discrete [ 2 ] { b0, b1 }; }
+        probability ( A ) { table 0.5, 0.5; }
+        probability ( B | A ) { table 0.9, 0.1, 0.3, 0.7; }
+        """
+        network = parse_bif(text)
+        assert network.cpt("B").table.tolist() == [[0.9, 0.1], [0.3, 0.7]]
+
+    def test_state_count_mismatch_rejected(self):
+        text = SPRINKLER_BIF.replace("[ 2 ] { no, yes }", "[ 3 ] { no, yes }")
+        with pytest.raises(BIFParseError, match="states"):
+            parse_bif(text)
+
+    def test_undeclared_variable_rejected(self):
+        text = SPRINKLER_BIF + "probability ( Ghost ) { table 1.0; }"
+        with pytest.raises(BIFParseError, match="undeclared"):
+            parse_bif(text)
+
+    def test_missing_probability_block_rejected(self):
+        text = SPRINKLER_BIF.replace(
+            "probability ( Rain ) {\n  table 0.8, 0.2;\n}", ""
+        )
+        with pytest.raises(BIFParseError, match="without probability"):
+            parse_bif(text)
+
+    def test_wrong_entry_count_rejected(self):
+        text = SPRINKLER_BIF.replace("table 0.8, 0.2;", "table 0.8;")
+        with pytest.raises(BIFParseError, match="entries"):
+            parse_bif(text)
+
+    def test_wrong_row_arity_rejected(self):
+        text = SPRINKLER_BIF.replace("( no ) 0.9, 0.1;", "( no, no ) 0.9, 0.1;")
+        with pytest.raises(BIFParseError, match="parent states"):
+            parse_bif(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "fixture_name", ["sprinkler", "asia", "figure1", "alarm"]
+    )
+    def test_write_parse_round_trip(self, fixture_name, request):
+        network = request.getfixturevalue(fixture_name)
+        clone = parse_bif(write_bif(network))
+        assert set(clone.variable_names) == set(network.variable_names)
+        for name in network.variable_names:
+            assert np.allclose(
+                clone.cpt(name).table, network.cpt(name).table, atol=1e-9
+            )
+
+    def test_file_round_trip(self, tmp_path, sprinkler):
+        path = tmp_path / "net.bif"
+        save_bif(sprinkler, path)
+        clone = load_bif(path)
+        assert clone.joint(
+            {name: 0 for name in sprinkler.variable_names}
+        ) == pytest.approx(
+            sprinkler.joint({name: 0 for name in sprinkler.variable_names})
+        )
+
+    def test_parsed_network_compiles(self):
+        from repro.compile import compile_network
+
+        network = parse_bif(SPRINKLER_BIF)
+        compiled = compile_network(network)
+        assert compiled.evaluate(None) == pytest.approx(1.0)
+        assert compiled.evaluate({"Rain": 1}) == pytest.approx(0.2)

@@ -1,0 +1,83 @@
+"""Tests for repro.bn.cpt."""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpt import CPT, random_cpt, uniform_cpt
+from repro.bn.variable import Variable
+
+A = Variable("A", ("a0", "a1"))
+B = Variable("B", ("b0", "b1", "b2"))
+
+
+class TestCPTValidation:
+    def test_root_cpt(self):
+        cpt = CPT(A, (), np.array([0.3, 0.7]))
+        assert cpt.probability(0) == pytest.approx(0.3)
+        assert cpt.scope == (A,)
+
+    def test_child_cpt_shape(self):
+        table = np.array([[0.2, 0.3, 0.5], [0.6, 0.3, 0.1]])
+        cpt = CPT(B, (A,), table)
+        assert cpt.probability(2, (0,)) == pytest.approx(0.5)
+        assert cpt.parent_names == ("A",)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            CPT(B, (A,), np.array([0.2, 0.3, 0.5]))
+
+    def test_unnormalized_rows_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            CPT(A, (), np.array([0.5, 0.6]))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            CPT(A, (), np.array([-0.1, 1.1]))
+
+    def test_table_is_read_only(self):
+        cpt = CPT(A, (), np.array([0.3, 0.7]))
+        with pytest.raises(ValueError):
+            cpt.table[0] = 0.9
+
+    def test_probability_wrong_parent_count(self):
+        cpt = CPT(B, (A,), np.full((2, 3), 1.0 / 3.0))
+        with pytest.raises(ValueError, match="parent states"):
+            cpt.probability(0, ())
+
+
+class TestCPTIteration:
+    def test_rows_cover_all_parent_configs(self):
+        cpt = CPT(B, (A,), np.full((2, 3), 1.0 / 3.0))
+        configs = [config for config, _ in cpt.rows()]
+        assert configs == [(0,), (1,)]
+
+    def test_parameters_enumeration(self):
+        cpt = CPT(A, (), np.array([0.3, 0.7]))
+        params = list(cpt.parameters())
+        assert params == [((), 0, 0.3), ((), 1, 0.7)]
+
+    def test_min_positive(self):
+        cpt = CPT(A, (), np.array([0.0, 1.0]))
+        assert cpt.min_positive() == 1.0
+
+    def test_min_positive_all_zero_row_handled(self):
+        cpt = CPT(B, (A,), np.array([[0.0, 0.0, 1.0], [0.5, 0.5, 0.0]]))
+        assert cpt.min_positive() == 0.5
+
+
+class TestConstructors:
+    def test_uniform_cpt(self):
+        cpt = uniform_cpt(B, (A,))
+        assert np.allclose(cpt.table, 1.0 / 3.0)
+
+    def test_random_cpt_rows_normalized(self, rng):
+        cpt = random_cpt(B, (A,), rng)
+        assert np.allclose(cpt.table.sum(axis=-1), 1.0)
+
+    def test_random_cpt_min_probability_floor(self, rng):
+        cpt = random_cpt(B, (A,), rng, concentration=0.05, min_probability=0.02)
+        assert cpt.table.min() >= 0.015  # floor minus renormalization slack
+
+    def test_random_cpt_min_probability_too_large(self, rng):
+        with pytest.raises(ValueError, match="too large"):
+            random_cpt(B, (A,), rng, min_probability=0.5)

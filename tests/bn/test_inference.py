@@ -1,0 +1,135 @@
+"""Tests for repro.bn.inference (variable elimination)."""
+
+import numpy as np
+import pytest
+
+from repro.bn.inference import (
+    Factor,
+    eliminate,
+    marginal,
+    mpe_value,
+    network_factors,
+    probability_of_evidence,
+)
+from tests.conftest import all_evidence_combinations
+
+
+class TestFactor:
+    def test_multiply_disjoint_scopes(self):
+        f = Factor(("A",), np.array([0.5, 0.5]))
+        g = Factor(("B",), np.array([0.2, 0.8]))
+        product = f.multiply(g)
+        assert product.scope == ("A", "B")
+        assert product.values[0, 1] == pytest.approx(0.4)
+
+    def test_multiply_shared_scope(self):
+        f = Factor(("A", "B"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        g = Factor(("B",), np.array([10.0, 100.0]))
+        product = f.multiply(g)
+        assert product.values[1, 1] == pytest.approx(400.0)
+
+    def test_marginalize(self):
+        f = Factor(("A", "B"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        out = f.marginalize("A")
+        assert out.scope == ("B",)
+        assert out.values.tolist() == [4.0, 6.0]
+
+    def test_maximize(self):
+        f = Factor(("A", "B"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        out = f.maximize("B")
+        assert out.values.tolist() == [2.0, 4.0]
+
+    def test_reduce_keeps_scope(self):
+        f = Factor(("A",), np.array([0.3, 0.7]))
+        reduced = f.reduce("A", 1)
+        assert reduced.scope == ("A",)
+        assert reduced.values.tolist() == [0.0, 0.7]
+
+    def test_reduce_missing_variable_is_noop(self):
+        f = Factor(("A",), np.array([0.3, 0.7]))
+        assert f.reduce("Z", 0) is f
+
+    def test_unsorted_scope_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Factor(("B", "A"), np.zeros((2, 2)))
+
+    def test_scalar_extraction(self):
+        f = Factor((), np.array(0.25))
+        assert f.scalar() == pytest.approx(0.25)
+
+    def test_scalar_on_nonempty_scope_raises(self):
+        f = Factor(("A",), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="scope"):
+            f.scalar()
+
+
+class TestEliminate:
+    def test_eliminate_matches_brute_force(self, sprinkler):
+        for evidence in [{}, {"WetGrass": 1}, {"Rain": 0, "Cloudy": 1}]:
+            expected = sum(
+                sprinkler.joint(full)
+                for full in all_evidence_combinations(sprinkler)
+                if all(full[k] == v for k, v in evidence.items())
+            )
+            assert probability_of_evidence(sprinkler, evidence) == pytest.approx(
+                expected
+            )
+
+    def test_invalid_mode_rejected(self, sprinkler):
+        factors = network_factors(sprinkler)
+        with pytest.raises(ValueError, match="mode"):
+            eliminate(factors, sprinkler.variable_names, mode="avg")
+
+    def test_evidence_on_unknown_variable_rejected(self, sprinkler):
+        with pytest.raises(ValueError, match="unknown"):
+            network_factors(sprinkler, {"Nope": 0})
+
+
+class TestQueries:
+    def test_marginal_is_normalized(self, sprinkler):
+        posterior = marginal(sprinkler, "Rain", {"WetGrass": 1})
+        assert posterior.sum() == pytest.approx(1.0)
+        assert posterior.shape == (2,)
+
+    def test_marginal_matches_bayes_rule(self, sprinkler):
+        # Pr(Rain=1 | WetGrass=1) = Pr(Rain=1, WetGrass=1) / Pr(WetGrass=1)
+        joint = probability_of_evidence(sprinkler, {"Rain": 1, "WetGrass": 1})
+        evidence = probability_of_evidence(sprinkler, {"WetGrass": 1})
+        posterior = marginal(sprinkler, "Rain", {"WetGrass": 1})
+        assert posterior[1] == pytest.approx(joint / evidence)
+
+    def test_marginal_on_evidence_variable_rejected(self, sprinkler):
+        with pytest.raises(ValueError, match="also evidence"):
+            marginal(sprinkler, "Rain", {"Rain": 0})
+
+    def test_zero_probability_evidence_raises(self):
+        import numpy as np
+
+        from repro.bn.cpt import CPT
+        from repro.bn.network import BayesianNetwork
+        from repro.bn.variable import Variable
+
+        a = Variable("A")
+        b = Variable("B")
+        net = BayesianNetwork(
+            [
+                CPT(a, (), np.array([1.0, 0.0])),
+                CPT(b, (a,), np.array([[0.5, 0.5], [0.5, 0.5]])),
+            ]
+        )
+        with pytest.raises(ZeroDivisionError):
+            marginal(net, "B", {"A": 1})
+
+    def test_mpe_value_matches_enumeration(self, sprinkler):
+        best = max(
+            sprinkler.joint(full)
+            for full in all_evidence_combinations(sprinkler)
+            if full["WetGrass"] == 1
+        )
+        assert mpe_value(sprinkler, {"WetGrass": 1}) == pytest.approx(best)
+
+    def test_probability_of_everything_is_one(self, asia):
+        assert probability_of_evidence(asia, {}) == pytest.approx(1.0)
+
+    def test_alarm_total_probability(self, alarm):
+        assert probability_of_evidence(alarm, {}) == pytest.approx(1.0)

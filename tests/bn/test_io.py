@@ -1,0 +1,40 @@
+"""Tests for repro.bn.io (network serialization)."""
+
+import numpy as np
+import pytest
+
+from repro.bn.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, sprinkler):
+        clone = network_from_dict(network_to_dict(sprinkler))
+        assert clone.name == sprinkler.name
+        assert set(clone.variable_names) == set(sprinkler.variable_names)
+        for name in sprinkler.variable_names:
+            assert clone.variable(name).states == sprinkler.variable(name).states
+            assert np.array_equal(clone.cpt(name).table, sprinkler.cpt(name).table)
+
+    def test_file_round_trip(self, tmp_path, asia):
+        path = tmp_path / "asia.json"
+        save_network(asia, path)
+        clone = load_network(path)
+        assert clone.joint(
+            {name: 0 for name in asia.variable_names}
+        ) == pytest.approx(asia.joint({name: 0 for name in asia.variable_names}))
+
+    def test_alarm_round_trip(self, tmp_path, alarm):
+        path = tmp_path / "alarm.json"
+        save_network(alarm, path)
+        clone = load_network(path)
+        assert len(clone.variable_names) == 37
+        assert clone.graph.number_of_edges() == 46
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            network_from_dict({"variables": {}})

@@ -1,0 +1,107 @@
+"""Tests for repro.bn.learning."""
+
+import numpy as np
+import pytest
+
+from repro.bn.learning import estimate_cpt, fit_parameters, train_naive_bayes
+from repro.bn.sampling import forward_sample, samples_to_array
+from repro.bn.variable import Variable
+
+A = Variable("A", ("a0", "a1"))
+B = Variable("B", ("b0", "b1"))
+
+
+class TestEstimateCPT:
+    def test_mle_without_smoothing(self):
+        data = np.array([[0], [0], [0], [1]])
+        cpt = estimate_cpt(A, (), data, {"A": 0}, alpha=0.0)
+        assert cpt.table.tolist() == [0.75, 0.25]
+
+    def test_laplace_smoothing(self):
+        data = np.array([[0], [0]])
+        cpt = estimate_cpt(A, (), data, {"A": 0}, alpha=1.0)
+        assert cpt.table.tolist() == [0.75, 0.25]
+
+    def test_smoothing_guarantees_positive_parameters(self):
+        data = np.array([[0, 0]])  # B never observed as 1
+        cpt = estimate_cpt(B, (A,), data, {"A": 0, "B": 1}, alpha=1.0)
+        assert cpt.table.min() > 0.0
+
+    def test_empty_parent_config_without_smoothing_rejected(self):
+        data = np.array([[0, 0]])  # parent state 1 never observed
+        with pytest.raises(ValueError, match="alpha"):
+            estimate_cpt(B, (A,), data, {"A": 0, "B": 1}, alpha=0.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            estimate_cpt(A, (), np.array([[0]]), {"A": 0}, alpha=-1.0)
+
+    def test_conditional_counts(self):
+        data = np.array([[0, 0], [0, 0], [0, 1], [1, 1]])
+        cpt = estimate_cpt(B, (A,), data, {"A": 0, "B": 1}, alpha=0.0)
+        assert cpt.table[0].tolist() == [2.0 / 3.0, 1.0 / 3.0]
+        assert cpt.table[1].tolist() == [0.0, 1.0]
+
+
+class TestFitParameters:
+    def test_recovers_generating_distribution(self, sprinkler):
+        samples = forward_sample(sprinkler, 6000, rng=9)
+        data = samples_to_array(sprinkler, samples)
+        columns = {
+            name: i for i, name in enumerate(sprinkler.topological_order)
+        }
+        structure = [
+            (
+                sprinkler.variable(name),
+                tuple(sprinkler.variable(p) for p in sprinkler.parents(name)),
+            )
+            for name in sprinkler.topological_order
+        ]
+        learned = fit_parameters(structure, data, columns, alpha=1.0)
+        for name in sprinkler.variable_names:
+            original = sprinkler.cpt(name).table
+            estimate = learned.cpt(name).table
+            assert np.abs(original - estimate).max() < 0.08
+
+
+class TestTrainNaiveBayes:
+    def _toy_data(self):
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        features = np.array([[0, 0], [0, 1], [0, 0], [1, 1], [1, 0], [1, 1]])
+        return labels, features
+
+    def test_structure_is_naive_bayes(self):
+        labels, features = self._toy_data()
+        cls = Variable("C", ("c0", "c1"))
+        f0 = Variable("X0", ("s0", "s1"))
+        f1 = Variable("X1", ("s0", "s1"))
+        net = train_naive_bayes(cls, [f0, f1], labels, features)
+        assert net.roots() == ("C",)
+        assert set(net.leaves()) == {"X0", "X1"}
+        assert net.parents("X0") == ("C",)
+
+    def test_shape_validation(self):
+        cls = Variable("C", ("c0", "c1"))
+        f0 = Variable("X0", ("s0", "s1"))
+        with pytest.raises(ValueError, match="rows"):
+            train_naive_bayes(
+                cls, [f0], np.array([0, 1]), np.array([[0]])
+            )
+        with pytest.raises(ValueError, match="columns"):
+            train_naive_bayes(
+                cls, [f0], np.array([0]), np.array([[0, 1]])
+            )
+        with pytest.raises(ValueError, match="one-dimensional"):
+            train_naive_bayes(
+                cls, [f0], np.array([[0]]), np.array([[0]])
+            )
+
+    def test_learned_parameters_match_counts(self):
+        labels, features = self._toy_data()
+        cls = Variable("C", ("c0", "c1"))
+        f0 = Variable("X0", ("s0", "s1"))
+        f1 = Variable("X1", ("s0", "s1"))
+        net = train_naive_bayes(cls, [f0, f1], labels, features, alpha=0.0)
+        # All class-0 samples have X0 = 0.
+        assert net.cpt("X0").table[0].tolist() == [1.0, 0.0]
+        assert net.cpt("C").table.tolist() == [0.5, 0.5]

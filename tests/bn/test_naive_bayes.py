@@ -1,0 +1,61 @@
+"""Tests for repro.bn.naive_bayes."""
+
+import numpy as np
+import pytest
+
+from repro.bn.naive_bayes import NaiveBayesClassifier
+from repro.bn.variable import Variable
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(3)
+    labels = rng.integers(0, 2, size=300)
+    # Feature 0 correlates with the class, feature 1 is noise.
+    features = np.column_stack(
+        [
+            (labels + (rng.random(300) < 0.2)) % 2,
+            rng.integers(0, 3, size=300),
+        ]
+    )
+    cls = Variable("C", ("c0", "c1"))
+    f0 = Variable("X0", ("s0", "s1"))
+    f1 = Variable("X1", ("s0", "s1", "s2"))
+    return NaiveBayesClassifier.train(cls, [f0, f1], labels, features), (
+        labels,
+        features,
+    )
+
+
+class TestNaiveBayesClassifier:
+    def test_roles(self, trained):
+        classifier, _ = trained
+        assert classifier.class_name == "C"
+        assert classifier.feature_names == ("X0", "X1")
+        assert classifier.num_classes == 2
+        assert classifier.num_features == 2
+
+    def test_posterior_rows_normalized(self, trained):
+        classifier, (_, features) = trained
+        posterior = classifier.posterior(features[:20])
+        assert posterior.shape == (20, 2)
+        assert np.allclose(posterior.sum(axis=1), 1.0)
+        assert (posterior >= 0.0).all()
+
+    def test_log_joint_matches_network_joint(self, trained):
+        classifier, (_, features) = trained
+        net = classifier.network
+        row = features[0]
+        scores = classifier.log_joint_per_class(features[:1])[0]
+        for c in range(2):
+            assignment = {"C": c, "X0": int(row[0]), "X1": int(row[1])}
+            assert scores[c] == pytest.approx(net.log_joint(assignment))
+
+    def test_predict_beats_chance_on_correlated_feature(self, trained):
+        classifier, (labels, features) = trained
+        assert classifier.accuracy(features, labels) > 0.7
+
+    def test_feature_shape_validation(self, trained):
+        classifier, _ = trained
+        with pytest.raises(ValueError, match="features must be"):
+            classifier.posterior(np.zeros((5, 3), dtype=int))

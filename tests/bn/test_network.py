@@ -1,0 +1,136 @@
+"""Tests for repro.bn.network."""
+
+import numpy as np
+import pytest
+
+from repro.bn.cpt import CPT
+from repro.bn.network import BayesianNetwork
+from repro.bn.variable import Variable
+
+
+def two_node_network():
+    a = Variable("A", ("a0", "a1"))
+    b = Variable("B", ("b0", "b1"))
+    return BayesianNetwork(
+        [
+            CPT(a, (), np.array([0.4, 0.6])),
+            CPT(b, (a,), np.array([[0.9, 0.1], [0.2, 0.8]])),
+        ],
+        name="two",
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = two_node_network()
+        assert set(net.variable_names) == {"A", "B"}
+        assert net.topological_order == ("A", "B")
+        assert net.roots() == ("A",)
+        assert net.leaves() == ("B",)
+        assert net.num_parameters() == 6
+
+    def test_children_and_parents(self):
+        net = two_node_network()
+        assert net.parents("B") == ("A",)
+        assert net.children("A") == ("B",)
+
+    def test_missing_parent_cpt_rejected(self):
+        a = Variable("A")
+        b = Variable("B")
+        with pytest.raises(ValueError, match="lacking a CPT"):
+            BayesianNetwork([CPT(b, (a,), np.full((2, 2), 0.5))])
+
+    def test_duplicate_cpt_rejected(self):
+        a = Variable("A")
+        with pytest.raises(ValueError, match="duplicate"):
+            BayesianNetwork(
+                [CPT(a, (), np.array([0.5, 0.5])), CPT(a, (), np.array([0.5, 0.5]))]
+            )
+
+    def test_cycle_rejected(self):
+        a = Variable("A")
+        b = Variable("B")
+        with pytest.raises(ValueError, match="cycle"):
+            BayesianNetwork(
+                [
+                    CPT(a, (b,), np.full((2, 2), 0.5)),
+                    CPT(b, (a,), np.full((2, 2), 0.5)),
+                ]
+            )
+
+    def test_conflicting_variable_declarations_rejected(self):
+        a1 = Variable("A", ("x", "y"))
+        a2 = Variable("A", ("x", "y", "z"))
+        b = Variable("B")
+        with pytest.raises(ValueError, match="declared twice"):
+            BayesianNetwork(
+                [
+                    CPT(a1, (), np.array([0.5, 0.5])),
+                    CPT(b, (a2,), np.full((3, 2), 0.5)),
+                ]
+            )
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BayesianNetwork([])
+
+    def test_unknown_variable_lookup(self):
+        net = two_node_network()
+        with pytest.raises(KeyError, match="no variable"):
+            net.variable("Z")
+        with pytest.raises(KeyError, match="no CPT"):
+            net.cpt("Z")
+
+
+class TestSemantics:
+    def test_joint_probability(self):
+        net = two_node_network()
+        assert net.joint({"A": 0, "B": 0}) == pytest.approx(0.4 * 0.9)
+        assert net.joint({"A": 1, "B": 0}) == pytest.approx(0.6 * 0.2)
+
+    def test_joint_sums_to_one(self):
+        net = two_node_network()
+        total = sum(
+            net.joint({"A": a, "B": b}) for a in range(2) for b in range(2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_log_joint_of_zero_probability(self):
+        a = Variable("A")
+        b = Variable("B")
+        net = BayesianNetwork(
+            [
+                CPT(a, (), np.array([1.0, 0.0])),
+                CPT(b, (a,), np.full((2, 2), 0.5)),
+            ]
+        )
+        assert net.log_joint({"A": 1, "B": 0}) == float("-inf")
+        assert net.joint({"A": 1, "B": 0}) == 0.0
+
+    def test_incomplete_assignment_rejected(self):
+        net = two_node_network()
+        with pytest.raises(ValueError, match="incomplete"):
+            net.log_joint({"A": 0})
+
+    def test_min_positive_parameter(self):
+        net = two_node_network()
+        assert net.min_positive_parameter() == pytest.approx(0.1)
+
+    def test_graph_is_a_copy(self):
+        net = two_node_network()
+        graph = net.graph
+        graph.remove_node("A")
+        assert "A" in net.variable_names
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, alarm):
+        order = alarm.topological_order
+        position = {name: i for i, name in enumerate(order)}
+        for name in alarm.variable_names:
+            for parent in alarm.parents(name):
+                assert position[parent] < position[name]
+
+    def test_alarm_shape(self, alarm):
+        assert len(alarm.variable_names) == 37
+        assert alarm.graph.number_of_edges() == 46

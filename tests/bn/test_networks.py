@@ -1,0 +1,113 @@
+"""Tests for the benchmark network collection."""
+
+import pytest
+
+from repro.bn.networks import (
+    alarm_network,
+    asia_network,
+    available_networks,
+    chain_network,
+    figure1_network,
+    get_network,
+    random_network,
+    sprinkler_network,
+    tree_network,
+)
+from repro.bn.inference import probability_of_evidence
+
+
+class TestRegistry:
+    def test_available_networks(self):
+        names = available_networks()
+        assert "alarm" in names
+        assert "figure1" in names
+
+    def test_get_network(self):
+        assert get_network("sprinkler").name == "sprinkler"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            get_network("nonexistent")
+
+
+class TestToyNetworks:
+    def test_figure1_matches_paper_shape(self):
+        net = figure1_network()
+        # Figure 1a: A -> B, A -> C with C having three states (c3 exists).
+        assert net.roots() == ("A",)
+        assert set(net.leaves()) == {"B", "C"}
+        assert net.variable("C").cardinality == 3
+        assert net.variable("C").states == ("c1", "c2", "c3")
+
+    @pytest.mark.parametrize(
+        "factory", [figure1_network, sprinkler_network, asia_network]
+    )
+    def test_total_probability_is_one(self, factory):
+        net = factory()
+        assert probability_of_evidence(net, {}) == pytest.approx(1.0)
+
+    def test_chain_network_shape(self):
+        net = chain_network(5, cardinality=3)
+        assert len(net.variable_names) == 5
+        assert net.roots() == ("X0",)
+        assert probability_of_evidence(net, {}) == pytest.approx(1.0)
+
+    def test_chain_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            chain_network(0)
+
+    def test_tree_network_shape(self):
+        net = tree_network(depth=2, branching=2)
+        assert len(net.variable_names) == 7  # 1 + 2 + 4
+        assert probability_of_evidence(net, {}) == pytest.approx(1.0)
+
+    def test_random_network_valid_and_normalized(self):
+        for seed in range(3):
+            net = random_network(8, seed=seed)
+            assert probability_of_evidence(net, {}) == pytest.approx(1.0)
+
+    def test_random_network_deterministic_per_seed(self):
+        a = random_network(6, seed=3)
+        b = random_network(6, seed=3)
+        for name in a.variable_names:
+            assert (a.cpt(name).table == b.cpt(name).table).all()
+
+
+class TestAlarm:
+    def test_structure(self, alarm):
+        assert len(alarm.variable_names) == 37
+        assert alarm.graph.number_of_edges() == 46
+        # Canonical cardinalities spot-checked.
+        assert alarm.variable("VENTLUNG").cardinality == 4
+        assert alarm.variable("INTUBATION").cardinality == 3
+        assert alarm.variable("HYPOVOLEMIA").cardinality == 2
+
+    def test_known_edges(self, alarm):
+        assert "LVEDVOLUME" in alarm.parents("CVP")
+        assert set(alarm.parents("BP")) == {"CO", "TPR"}
+        assert set(alarm.parents("CATECHOL")) == {
+            "ARTCO2",
+            "INSUFFANESTH",
+            "SAO2",
+            "TPR",
+        }
+
+    def test_roots_are_the_canonical_ones(self, alarm):
+        assert set(alarm.roots()) == {
+            "MINVOLSET",
+            "HYPOVOLEMIA",
+            "LVFAILURE",
+            "ANAPHYLAXIS",
+            "INSUFFANESTH",
+            "KINKEDTUBE",
+            "DISCONNECT",
+            "PULMEMBOLUS",
+            "INTUBATION",
+            "FIO2",
+            "ERRLOWOUTPUT",
+            "ERRCAUTER",
+        }
+
+    def test_all_parameters_positive(self, alarm):
+        # Peaked but never zero: keeps min-value analysis finite.
+        assert alarm.min_positive_parameter() > 0.0

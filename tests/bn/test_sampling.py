@@ -1,0 +1,67 @@
+"""Tests for repro.bn.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.bn.sampling import forward_sample, sample_one, samples_to_array
+
+
+class TestForwardSample:
+    def test_sample_count_and_completeness(self, sprinkler):
+        samples = forward_sample(sprinkler, 25, rng=0)
+        assert len(samples) == 25
+        for sample in samples:
+            assert set(sample) == set(sprinkler.variable_names)
+
+    def test_states_within_cardinalities(self, alarm):
+        for sample in forward_sample(alarm, 10, rng=1):
+            for name, state in sample.items():
+                assert 0 <= state < alarm.variable(name).cardinality
+
+    def test_deterministic_with_seed(self, sprinkler):
+        a = forward_sample(sprinkler, 10, rng=42)
+        b = forward_sample(sprinkler, 10, rng=42)
+        assert a == b
+
+    def test_generator_instance_accepted(self, sprinkler):
+        rng = np.random.default_rng(5)
+        samples = forward_sample(sprinkler, 3, rng=rng)
+        assert len(samples) == 3
+
+    def test_negative_count_rejected(self, sprinkler):
+        with pytest.raises(ValueError, match="non-negative"):
+            forward_sample(sprinkler, -1, rng=0)
+
+    def test_clamped_evidence(self, sprinkler):
+        samples = forward_sample(sprinkler, 20, rng=0, evidence={"Cloudy": 1})
+        assert all(sample["Cloudy"] == 1 for sample in samples)
+
+    def test_empirical_marginal_converges(self, sprinkler):
+        # Cloudy prior is 0.5/0.5; 4000 samples should land close.
+        samples = forward_sample(sprinkler, 4000, rng=123)
+        frequency = np.mean([s["Cloudy"] for s in samples])
+        assert frequency == pytest.approx(0.5, abs=0.05)
+
+    def test_sample_one_respects_cpt_support(self):
+        import numpy as np
+
+        from repro.bn.cpt import CPT
+        from repro.bn.network import BayesianNetwork
+        from repro.bn.variable import Variable
+
+        a = Variable("A")
+        net = BayesianNetwork([CPT(a, (), np.array([0.0, 1.0]))])
+        rng = np.random.default_rng(0)
+        assert all(
+            sample_one(net, rng)["A"] == 1 for _ in range(20)
+        )
+
+
+class TestSamplesToArray:
+    def test_shape_and_column_order(self, sprinkler):
+        samples = forward_sample(sprinkler, 7, rng=0)
+        array = samples_to_array(sprinkler, samples)
+        assert array.shape == (7, 4)
+        order = sprinkler.topological_order
+        for row, sample in zip(array, samples):
+            assert list(row) == [sample[name] for name in order]

@@ -1,0 +1,65 @@
+"""Tests for repro.bn.variable."""
+
+import pytest
+
+from repro.bn.variable import Variable, binary, make_variables
+
+
+class TestVariable:
+    def test_basic_construction(self):
+        v = Variable("X", ("a", "b", "c"))
+        assert v.name == "X"
+        assert v.cardinality == 3
+        assert v.states == ("a", "b", "c")
+
+    def test_states_list_coerced_to_tuple(self):
+        v = Variable("X", ["a", "b"])
+        assert isinstance(v.states, tuple)
+
+    def test_default_states_are_binary(self):
+        v = Variable("X")
+        assert v.states == ("false", "true")
+
+    def test_index_of(self):
+        v = Variable("X", ("lo", "mid", "hi"))
+        assert v.index_of("mid") == 1
+
+    def test_index_of_unknown_state_raises(self):
+        v = Variable("X", ("a", "b"))
+        with pytest.raises(ValueError, match="no state"):
+            v.index_of("z")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Variable("", ("a", "b"))
+
+    def test_single_state_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Variable("X", ("only",))
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Variable("X", ("a", "a"))
+
+    def test_hashable_and_equal_by_value(self):
+        a = Variable("X", ("a", "b"))
+        b = Variable("X", ("a", "b"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_different_states_not_equal(self):
+        assert Variable("X", ("a", "b")) != Variable("X", ("a", "c"))
+
+
+class TestHelpers:
+    def test_binary_helper(self):
+        v = binary("Flag")
+        assert v.cardinality == 2
+        assert v.states == ("false", "true")
+
+    def test_make_variables(self):
+        variables = make_variables({"A": 2, "B": 4})
+        assert set(variables) == {"A", "B"}
+        assert variables["B"].cardinality == 4
+        assert variables["B"].states == ("s0", "s1", "s2", "s3")

@@ -1,0 +1,136 @@
+"""Tests for repro.compile.factor (symbolic factors)."""
+
+import numpy as np
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import evaluate_values
+from repro.compile.factor import (
+    SymbolicFactor,
+    eliminate_variable,
+    factors_mentioning,
+    multiply_factors,
+    scalar_factor,
+)
+
+
+def constant_factor(circuit, scope, cards, values):
+    """A symbolic factor of parameter leaves with the given values."""
+    entries = np.empty(cards, dtype=object)
+    for config in np.ndindex(*cards):
+        entries[config] = circuit.add_parameter(float(values[config]))
+    return SymbolicFactor(scope, cards, entries)
+
+
+class TestSymbolicFactor:
+    def test_scope_must_be_sorted(self):
+        entries = np.empty((2, 2), dtype=object)
+        with pytest.raises(ValueError, match="sorted"):
+            SymbolicFactor(("B", "A"), (2, 2), entries)
+
+    def test_shape_mismatch_rejected(self):
+        entries = np.empty((2, 3), dtype=object)
+        with pytest.raises(ValueError, match="shape"):
+            SymbolicFactor(("A", "B"), (2, 2), entries)
+
+    def test_scalar_factor(self):
+        circuit = ArithmeticCircuit()
+        node = circuit.add_parameter(0.5)
+        factor = scalar_factor(node)
+        assert factor.is_scalar
+        assert factor.scalar_entry() == node
+
+    def test_scalar_entry_on_scoped_factor_rejected(self):
+        circuit = ArithmeticCircuit()
+        factor = constant_factor(circuit, ("A",), (2,), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="scope"):
+            factor.scalar_entry()
+
+
+class TestMultiplyFactors:
+    def test_product_values(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        f = constant_factor(circuit, ("A",), (2,), np.array([2.0, 3.0]))
+        g = constant_factor(circuit, ("B",), (2,), np.array([5.0, 7.0]))
+        product = multiply_factors(circuit, [f, g])
+        assert product.scope == ("A", "B")
+        circuit.set_root(product.entry((1, 1)))
+        values = evaluate_values(circuit, None)
+        assert values[product.entry((0, 0))] == pytest.approx(10.0)
+        assert values[product.entry((1, 1))] == pytest.approx(21.0)
+
+    def test_shared_variable_alignment(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        f = constant_factor(
+            circuit, ("A", "B"), (2, 2), np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        g = constant_factor(circuit, ("B",), (2,), np.array([10.0, 100.0]))
+        product = multiply_factors(circuit, [f, g])
+        circuit.set_root(product.entry((0, 0)))
+        values = evaluate_values(circuit, None)
+        assert values[product.entry((1, 0))] == pytest.approx(30.0)
+        assert values[product.entry((0, 1))] == pytest.approx(200.0)
+
+    def test_single_factor_returned_unchanged(self):
+        circuit = ArithmeticCircuit()
+        f = constant_factor(circuit, ("A",), (2,), np.array([0.1, 0.9]))
+        assert multiply_factors(circuit, [f]) is f
+
+    def test_inconsistent_cardinality_rejected(self):
+        circuit = ArithmeticCircuit()
+        f = constant_factor(circuit, ("A",), (2,), np.array([0.5, 0.5]))
+        g = constant_factor(circuit, ("A",), (3,), np.array([0.2, 0.3, 0.5]))
+        with pytest.raises(ValueError, match="cardinality"):
+            multiply_factors(circuit, [f, g])
+
+    def test_empty_list_rejected(self):
+        circuit = ArithmeticCircuit()
+        with pytest.raises(ValueError, match="at least one"):
+            multiply_factors(circuit, [])
+
+
+class TestEliminateVariable:
+    def test_sum_out(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        f = constant_factor(
+            circuit, ("A", "B"), (2, 2), np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        summed = eliminate_variable(circuit, f, "A", "sum")
+        assert summed.scope == ("B",)
+        circuit.set_root(summed.entry((0,)))
+        values = evaluate_values(circuit, None)
+        assert values[summed.entry((0,))] == pytest.approx(4.0)
+        assert values[summed.entry((1,))] == pytest.approx(6.0)
+
+    def test_max_out(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        f = constant_factor(
+            circuit, ("A", "B"), (2, 2), np.array([[1.0, 2.0], [3.0, 4.0]])
+        )
+        maxed = eliminate_variable(circuit, f, "B", "max")
+        circuit.set_root(maxed.entry((0,)))
+        values = evaluate_values(circuit, None)
+        assert values[maxed.entry((0,))] == pytest.approx(2.0)
+        assert values[maxed.entry((1,))] == pytest.approx(4.0)
+
+    def test_missing_variable_rejected(self):
+        circuit = ArithmeticCircuit()
+        f = constant_factor(circuit, ("A",), (2,), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="not in factor scope"):
+            eliminate_variable(circuit, f, "Z", "sum")
+
+    def test_bad_mode_rejected(self):
+        circuit = ArithmeticCircuit()
+        f = constant_factor(circuit, ("A",), (2,), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="mode"):
+            eliminate_variable(circuit, f, "A", "avg")
+
+
+class TestFactorsMentioning:
+    def test_split(self):
+        circuit = ArithmeticCircuit()
+        f = constant_factor(circuit, ("A",), (2,), np.array([0.5, 0.5]))
+        g = constant_factor(circuit, ("B",), (2,), np.array([0.5, 0.5]))
+        involved, rest = factors_mentioning([f, g], "A")
+        assert involved == [f]
+        assert rest == [g]

@@ -1,0 +1,53 @@
+"""Tests for repro.compile.mpe (max-product circuits)."""
+
+import pytest
+
+from repro.ac.evaluate import evaluate_real
+from repro.bn.inference import mpe_value
+from repro.bn.networks import random_network
+from repro.compile import compile_mpe, mpe_brute_force
+from tests.conftest import all_evidence_combinations
+
+
+class TestCompileMPE:
+    def test_matches_brute_force(self, sprinkler):
+        compiled = compile_mpe(sprinkler)
+        cases = [{}, {"WetGrass": 1}, {"Rain": 0, "Cloudy": 1}]
+        for evidence in cases:
+            assert compiled.evaluate(evidence) == pytest.approx(
+                mpe_brute_force(sprinkler, evidence)
+            )
+
+    def test_matches_max_product_ve(self, asia):
+        compiled = compile_mpe(asia)
+        cases = [{}, {"Xray": 1}, {"Smoking": 0, "Dyspnea": 1}]
+        for evidence in cases:
+            assert compiled.evaluate(evidence) == pytest.approx(
+                mpe_value(asia, evidence)
+            )
+
+    def test_full_evidence_mpe_is_joint(self, sprinkler):
+        compiled = compile_mpe(sprinkler)
+        for evidence in all_evidence_combinations(sprinkler)[:8]:
+            assert compiled.evaluate(evidence) == pytest.approx(
+                sprinkler.joint(evidence)
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_networks(self, seed):
+        network = random_network(6, max_parents=2, seed=seed)
+        compiled = compile_mpe(network)
+        assert compiled.evaluate({}) == pytest.approx(
+            mpe_brute_force(network, {})
+        )
+
+    def test_circuit_contains_max_nodes_not_sums(self, asia_mpe):
+        stats = asia_mpe.circuit.stats()
+        assert stats.num_max > 0
+        assert stats.num_sums == 0
+        assert asia_mpe.mode == "max"
+
+    def test_mpe_leq_one(self, alarm):
+        compiled = compile_mpe(alarm)
+        value = evaluate_real(compiled.circuit, None)
+        assert 0.0 < value <= 1.0

@@ -1,0 +1,108 @@
+"""Property-based tests of the compiler against variable elimination.
+
+The single most important invariant in the repository: for any network
+and any evidence, the compiled circuit's upward pass equals exact
+inference. Hypothesis drives networks, evidence patterns and elimination
+orders.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ac.evaluate import evaluate_real
+from repro.ac.transform import binarize
+from repro.bn.inference import probability_of_evidence
+from repro.bn.networks import random_network
+from repro.compile import compile_mpe, compile_network, mpe_brute_force
+
+# Pre-build a pool of networks (hypothesis draws indices, keeping the
+# expensive generation out of shrinking).
+_NETWORKS = [
+    random_network(n, max_parents=p, max_cardinality=c, seed=s)
+    for n, p, c, s in [
+        (4, 2, 2, 0),
+        (5, 2, 3, 1),
+        (6, 3, 2, 2),
+        (7, 2, 3, 3),
+        (5, 3, 3, 4),
+    ]
+]
+_COMPILED = [compile_network(net) for net in _NETWORKS]
+_BINARIES = [binarize(c.circuit).circuit for c in _COMPILED]
+
+
+@st.composite
+def network_and_evidence(draw):
+    index = draw(st.integers(0, len(_NETWORKS) - 1))
+    network = _NETWORKS[index]
+    evidence = {}
+    for name in network.variable_names:
+        choice = draw(
+            st.integers(-1, network.variable(name).cardinality - 1)
+        )
+        if choice >= 0:
+            evidence[name] = choice
+    return index, evidence
+
+
+class TestCompilationProperties:
+    @given(network_and_evidence())
+    @settings(max_examples=120, deadline=None)
+    def test_circuit_equals_variable_elimination(self, case):
+        index, evidence = case
+        network = _NETWORKS[index]
+        circuit_value = evaluate_real(_COMPILED[index].circuit, evidence)
+        ve_value = probability_of_evidence(network, evidence)
+        assert circuit_value == pytest.approx(ve_value, rel=1e-10, abs=1e-14)
+
+    @given(network_and_evidence())
+    @settings(max_examples=60, deadline=None)
+    def test_binarization_is_semantics_preserving(self, case):
+        index, evidence = case
+        original = evaluate_real(_COMPILED[index].circuit, evidence)
+        binary = evaluate_real(_BINARIES[index], evidence)
+        assert binary == pytest.approx(original, rel=1e-12, abs=1e-300)
+
+    @given(network_and_evidence())
+    @settings(max_examples=25, deadline=None)
+    def test_mpe_circuit_equals_brute_force(self, case):
+        index, evidence = case
+        network = _NETWORKS[index]
+        compiled = compile_mpe(network)
+        assert compiled.evaluate(evidence) == pytest.approx(
+            mpe_brute_force(network, evidence), rel=1e-10, abs=1e-14
+        )
+
+    @given(network_and_evidence())
+    @settings(max_examples=40, deadline=None)
+    def test_evidence_monotonicity(self, case):
+        """Adding evidence can only shrink Pr(e) (monotone λ semantics)."""
+        index, evidence = case
+        circuit = _COMPILED[index].circuit
+        full = evaluate_real(circuit, evidence)
+        for dropped in list(evidence):
+            reduced = {k: v for k, v in evidence.items() if k != dropped}
+            assert full <= evaluate_real(circuit, reduced) + 1e-15
+
+    @given(network_and_evidence())
+    @settings(max_examples=40, deadline=None)
+    def test_states_sum_to_parent_evidence(self, case):
+        """Σ_x Pr(x, e) over any unobserved X equals Pr(e)."""
+        index, evidence = case
+        network = _NETWORKS[index]
+        circuit = _COMPILED[index].circuit
+        unobserved = [
+            name for name in network.variable_names if name not in evidence
+        ]
+        if not unobserved:
+            return
+        variable = unobserved[0]
+        total = sum(
+            evaluate_real(circuit, {**evidence, variable: s})
+            for s in range(network.variable(variable).cardinality)
+        )
+        assert total == pytest.approx(
+            evaluate_real(circuit, evidence), rel=1e-10, abs=1e-14
+        )

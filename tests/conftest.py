@@ -1,0 +1,120 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (compiled Alarm, trained benchmarks) are session-scoped;
+tests must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ac.transform import binarize
+from repro.bn.networks import (
+    alarm_network,
+    asia_network,
+    figure1_network,
+    sprinkler_network,
+)
+from repro.compile import compile_mpe, compile_network
+from repro.core.optimizer import CircuitAnalysis
+from repro.datasets import SyntheticSpec, build_benchmark
+
+
+@pytest.fixture(scope="session")
+def sprinkler():
+    return sprinkler_network()
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return figure1_network()
+
+
+@pytest.fixture(scope="session")
+def asia():
+    return asia_network()
+
+
+@pytest.fixture(scope="session")
+def alarm():
+    return alarm_network()
+
+
+@pytest.fixture(scope="session")
+def sprinkler_ac(sprinkler):
+    return compile_network(sprinkler)
+
+
+@pytest.fixture(scope="session")
+def sprinkler_binary(sprinkler_ac):
+    return binarize(sprinkler_ac.circuit).circuit
+
+
+@pytest.fixture(scope="session")
+def sprinkler_analysis(sprinkler_binary):
+    return CircuitAnalysis.of(sprinkler_binary)
+
+
+@pytest.fixture(scope="session")
+def asia_ac(asia):
+    return compile_network(asia)
+
+
+@pytest.fixture(scope="session")
+def asia_binary(asia_ac):
+    return binarize(asia_ac.circuit).circuit
+
+
+@pytest.fixture(scope="session")
+def asia_mpe(asia):
+    return compile_mpe(asia)
+
+
+@pytest.fixture(scope="session")
+def alarm_ac(alarm):
+    return compile_network(alarm)
+
+
+@pytest.fixture(scope="session")
+def alarm_binary(alarm_ac):
+    return binarize(alarm_ac.circuit).circuit
+
+
+@pytest.fixture(scope="session")
+def alarm_analysis(alarm_binary):
+    return CircuitAnalysis.of(alarm_binary)
+
+
+#: A small sensor benchmark that keeps test runtime low while exercising
+#: the full dataset → classifier → circuit path.
+MINI_SPEC = SyntheticSpec(
+    name="MINI",
+    num_classes=3,
+    num_features=5,
+    num_states=3,
+    num_samples=400,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def mini_benchmark():
+    return build_benchmark(MINI_SPEC)
+
+
+def all_evidence_combinations(network, variables=None):
+    """Every joint assignment of the given variables (tests only)."""
+    from itertools import product as iter_product
+
+    names = variables if variables is not None else network.variable_names
+    cards = [network.variable(name).cardinality for name in names]
+    return [
+        dict(zip(names, combo))
+        for combo in iter_product(*(range(c) for c in cards))
+    ]
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)

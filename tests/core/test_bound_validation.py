@@ -1,0 +1,96 @@
+"""Integration: the paper's central claim, on random networks.
+
+For a representative set of networks, precisions and evidences, the
+analytically propagated bounds must dominate every observed error of the
+exact quantized simulation. This is the library-level statement of
+Figure 5, checked far beyond the Alarm network.
+"""
+
+import pytest
+
+from repro.ac.evaluate import evaluate_quantized, evaluate_real
+from repro.ac.transform import binarize
+from repro.arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+)
+from repro.bn.networks import chain_network, random_network, tree_network
+from repro.bn.sampling import forward_sample
+from repro.compile import compile_network
+from repro.core.bounds import propagate_fixed_bounds, propagate_float_counts
+from repro.core.optimizer import (
+    CircuitAnalysis,
+    required_exponent_bits,
+    required_integer_bits,
+)
+
+
+def make_cases():
+    networks = [
+        random_network(6, max_parents=2, seed=1),
+        random_network(9, max_parents=3, seed=2),
+        chain_network(8, cardinality=3, seed=3),
+        tree_network(3, branching=2, seed=4),
+    ]
+    return networks
+
+
+@pytest.fixture(scope="module", params=range(4))
+def prepared_network(request):
+    network = make_cases()[request.param]
+    compiled = compile_network(network)
+    binary = binarize(compiled.circuit).circuit
+    analysis = CircuitAnalysis.of(binary)
+    samples = forward_sample(network, 12, rng=request.param)
+    evidences = [{}]
+    for sample in samples:
+        # Partial evidence over roughly half the variables.
+        names = sorted(sample)[::2]
+        evidences.append({name: sample[name] for name in names})
+    return network, binary, analysis, evidences
+
+
+class TestFixedBoundsEndToEnd:
+    @pytest.mark.parametrize("fraction_bits", [5, 9, 17])
+    def test_absolute_error_within_bound(self, prepared_network, fraction_bits):
+        _, binary, analysis, evidences = prepared_network
+        integer_bits = required_integer_bits(analysis, fraction_bits)
+        backend = FixedPointBackend(
+            FixedPointFormat(integer_bits, fraction_bits)
+        )
+        bound = propagate_fixed_bounds(
+            binary, fraction_bits, analysis.extremes
+        ).root_bound
+        for evidence in evidences:
+            exact = evaluate_real(binary, evidence)
+            quantized = evaluate_quantized(binary, backend, evidence)
+            assert abs(quantized - exact) <= bound
+
+
+class TestFloatBoundsEndToEnd:
+    @pytest.mark.parametrize("mantissa_bits", [5, 9, 17])
+    def test_relative_error_within_bound(self, prepared_network, mantissa_bits):
+        _, binary, analysis, evidences = prepared_network
+        exponent_bits = required_exponent_bits(analysis, mantissa_bits)
+        backend = FloatBackend(FloatFormat(exponent_bits, mantissa_bits))
+        bound = propagate_float_counts(binary).relative_bound(mantissa_bits)
+        for evidence in evidences:
+            exact = evaluate_real(binary, evidence)
+            quantized = evaluate_quantized(binary, backend, evidence)
+            if exact == 0.0:
+                assert quantized == 0.0
+                continue
+            assert abs(quantized - exact) / exact <= bound
+
+    def test_no_overflow_underflow_with_derived_exponent(
+        self, prepared_network
+    ):
+        """required_exponent_bits must preclude range violations."""
+        _, binary, analysis, evidences = prepared_network
+        for mantissa_bits in (4, 12):
+            exponent_bits = required_exponent_bits(analysis, mantissa_bits)
+            backend = FloatBackend(FloatFormat(exponent_bits, mantissa_bits))
+            for evidence in evidences:
+                evaluate_quantized(binary, backend, evidence)  # must not raise

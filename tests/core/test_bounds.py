@@ -1,0 +1,161 @@
+"""Tests for repro.core.bounds (bound propagation), incl. Figure 3."""
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import evaluate_quantized, evaluate_real
+from repro.ac.transform import binarize
+from repro.arith import FixedPointBackend, FixedPointFormat, FloatBackend, FloatFormat
+from repro.core.bounds import propagate_fixed_bounds, propagate_float_counts
+from repro.core.extremes import ExtremeAnalysis
+from tests.conftest import all_evidence_combinations
+
+
+class TestFigure3Example:
+    """The error-propagation example of Figure 3.
+
+    A two-level circuit (θa·λ) + (θb·λ): leaves carry 2^-(F+1), each
+    multiplier adds amax·Δb + bmax·Δa + ΔaΔb + 2^-(F+1), and the adder
+    sums its input errors without rounding.
+    """
+
+    def build(self):
+        circuit = ArithmeticCircuit()
+        theta_a = circuit.add_parameter(0.3)
+        theta_b = circuit.add_parameter(0.6)
+        lam_a = circuit.add_indicator("X", 0)
+        lam_b = circuit.add_indicator("X", 1)
+        mul_a = circuit.add_product([theta_a, lam_a])
+        mul_b = circuit.add_product([theta_b, lam_b])
+        root = circuit.add_sum([mul_a, mul_b])
+        circuit.set_root(root)
+        return circuit, (theta_a, theta_b, lam_a, lam_b, mul_a, mul_b, root)
+
+    def test_hand_propagation(self):
+        circuit, nodes = self.build()
+        theta_a, theta_b, lam_a, lam_b, mul_a, mul_b, root = nodes
+        fraction_bits = 8
+        u = 2.0 ** -(fraction_bits + 1)
+        bounds = propagate_fixed_bounds(circuit, fraction_bits)
+        # Leaves.
+        assert bounds.per_node[theta_a] == u
+        assert bounds.per_node[lam_a] == 0.0
+        # Multiplier: amax=0.3 (θ), bmax=1 (λ), Δθ=u, Δλ=0.
+        expected_mul_a = 0.3 * 0.0 + 1.0 * u + u * 0.0 + u
+        assert bounds.per_node[mul_a] == pytest.approx(expected_mul_a)
+        expected_mul_b = 1.0 * u + u
+        assert bounds.per_node[mul_b] == pytest.approx(expected_mul_b)
+        # Adder sums without adding rounding error.
+        assert bounds.root_bound == pytest.approx(
+            expected_mul_a + expected_mul_b
+        )
+
+    def test_float_counts_hand_propagation(self):
+        circuit, nodes = self.build()
+        *_, mul_a, mul_b, root = nodes
+        counts = propagate_float_counts(circuit)
+        # θ leaf: 1, λ leaf: 0; multiplier: 1+0+1 = 2; adder: max(2,2)+1.
+        assert counts.per_node[mul_a] == 2
+        assert counts.per_node[mul_b] == 2
+        assert counts.root_count == 3
+
+
+def wide_test_circuit():
+    circuit = ArithmeticCircuit()
+    terms = [circuit.add_parameter(0.2), circuit.add_parameter(0.3),
+             circuit.add_parameter(0.5)]
+    circuit.set_root(circuit.add_sum(terms))
+    return circuit
+
+
+class TestFixedBoundSoundness:
+    def test_requires_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            propagate_fixed_bounds(wide_test_circuit(), 8)
+
+    @pytest.mark.parametrize("fraction_bits", [4, 8, 12, 20])
+    def test_bound_dominates_observed_error(
+        self, sprinkler, sprinkler_binary, sprinkler_analysis, fraction_bits
+    ):
+        bounds = propagate_fixed_bounds(
+            sprinkler_binary, fraction_bits, sprinkler_analysis.extremes
+        )
+        backend = FixedPointBackend(FixedPointFormat(1, fraction_bits))
+        for evidence in all_evidence_combinations(sprinkler):
+            exact = evaluate_real(sprinkler_binary, evidence)
+            quantized = evaluate_quantized(sprinkler_binary, backend, evidence)
+            assert abs(quantized - exact) <= bounds.root_bound
+
+    def test_bound_decreases_with_precision(self, sprinkler_binary):
+        bounds = [
+            propagate_fixed_bounds(sprinkler_binary, f).root_bound
+            for f in (4, 8, 16, 32)
+        ]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_format_and_model_inputs_agree(self, sprinkler_binary):
+        via_int = propagate_fixed_bounds(sprinkler_binary, 10)
+        via_fmt = propagate_fixed_bounds(
+            sprinkler_binary, FixedPointFormat(1, 10)
+        )
+        assert via_int.root_bound == via_fmt.root_bound
+
+
+class TestFloatCountSoundness:
+    def test_requires_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            propagate_float_counts(wide_test_circuit())
+
+    def test_counts_independent_of_mantissa(self, sprinkler_binary):
+        counts = propagate_float_counts(sprinkler_binary)
+        assert counts.relative_bound(10) > counts.relative_bound(20)
+
+    @pytest.mark.parametrize("mantissa_bits", [6, 10, 16, 24])
+    def test_bound_dominates_observed_relative_error(
+        self, sprinkler, sprinkler_binary, mantissa_bits
+    ):
+        counts = propagate_float_counts(sprinkler_binary)
+        bound = counts.relative_bound(mantissa_bits)
+        backend = FloatBackend(FloatFormat(10, mantissa_bits))
+        for evidence in all_evidence_combinations(sprinkler):
+            exact = evaluate_real(sprinkler_binary, evidence)
+            if exact == 0.0:
+                continue
+            quantized = evaluate_quantized(sprinkler_binary, backend, evidence)
+            assert abs(quantized - exact) / exact <= bound
+
+    def test_counts_grow_toward_root(self, sprinkler_binary):
+        counts = propagate_float_counts(sprinkler_binary)
+        root_count = counts.root_count
+        assert root_count == max(
+            counts.per_node[i]
+            for i in sprinkler_binary.reachable_from_root()
+        )
+
+    def test_chain_decomposition_has_larger_count(self, sprinkler_ac):
+        balanced = binarize(sprinkler_ac.circuit, "balanced").circuit
+        chained = binarize(sprinkler_ac.circuit, "chain").circuit
+        assert (
+            propagate_float_counts(chained).root_count
+            >= propagate_float_counts(balanced).root_count
+        )
+
+
+class TestMaxNodeBounds:
+    def test_mpe_circuit_bounds_hold(self, asia, asia_mpe):
+        binary = binarize(asia_mpe.circuit).circuit
+        extremes = ExtremeAnalysis.of(binary)
+        for fraction_bits in (6, 12):
+            bounds = propagate_fixed_bounds(binary, fraction_bits, extremes)
+            backend = FixedPointBackend(FixedPointFormat(1, fraction_bits))
+            for evidence in all_evidence_combinations(asia)[:16]:
+                exact = evaluate_real(binary, evidence)
+                quantized = evaluate_quantized(binary, backend, evidence)
+                assert abs(quantized - exact) <= bounds.root_bound
+
+    def test_max_nodes_cheaper_than_sums(self, asia_mpe):
+        """MAX nodes add no rounding: float counts stay below an
+        equivalent sum circuit's."""
+        binary = binarize(asia_mpe.circuit).circuit
+        counts = propagate_float_counts(binary)
+        assert counts.root_count > 0

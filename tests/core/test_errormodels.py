@@ -1,0 +1,98 @@
+"""Tests for repro.core.errormodels."""
+
+import math
+
+import pytest
+
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.core.errormodels import FixedErrorModel, FloatErrorModel
+
+
+class TestFixedErrorModel:
+    def test_rounding_error_is_half_ulp(self):
+        model = FixedErrorModel(fraction_bits=8)
+        assert model.rounding_error == 2.0**-9
+        assert model.leaf() == 2.0**-9
+
+    def test_for_format(self):
+        model = FixedErrorModel.for_format(FixedPointFormat(1, 12))
+        assert model.fraction_bits == 12
+
+    def test_indicator_is_exact(self):
+        assert FixedErrorModel(8).indicator() == 0.0
+
+    def test_adder_accumulates(self):
+        model = FixedErrorModel(8)
+        assert model.adder(0.001, 0.002) == pytest.approx(0.003)
+
+    def test_multiplier_eq5(self):
+        model = FixedErrorModel(8)
+        delta_a, delta_b = 1e-3, 2e-3
+        a_max, b_max = 0.5, 0.8
+        expected = (
+            a_max * delta_b + b_max * delta_a + delta_a * delta_b + 2.0**-9
+        )
+        assert model.multiplier(delta_a, delta_b, a_max, b_max) == pytest.approx(
+            expected
+        )
+
+    def test_multiplier_of_error_free_inputs_only_rounds(self):
+        model = FixedErrorModel(8)
+        assert model.multiplier(0.0, 0.0, 1.0, 1.0) == model.rounding_error
+
+    def test_max_node_takes_worst_input(self):
+        model = FixedErrorModel(8)
+        assert model.max_node(0.001, 0.002) == 0.002
+
+
+class TestFloatErrorModel:
+    def test_epsilon_eq6(self):
+        model = FloatErrorModel(mantissa_bits=10)
+        assert model.epsilon == 2.0**-11
+
+    def test_for_format(self):
+        model = FloatErrorModel.for_format(FloatFormat(8, 23))
+        assert model.mantissa_bits == 23
+
+    def test_factor_counting(self):
+        model = FloatErrorModel(10)
+        assert model.leaf() == 1
+        assert model.indicator() == 0
+        assert model.adder(3, 5) == 6  # max + 1 (eq. 10)
+        assert model.multiplier(3, 5) == 9  # sum + 1 (eq. 12)
+        assert model.max_node(3, 5) == 5  # no rounding
+
+    def test_relative_bound_small_counts(self):
+        model = FloatErrorModel(10)
+        assert model.relative_bound(0) == 0.0
+        assert model.relative_bound(1) == pytest.approx(model.epsilon)
+        assert model.relative_bound(2) == pytest.approx(
+            (1 + model.epsilon) ** 2 - 1
+        )
+
+    def test_relative_bound_large_count_is_stable(self):
+        model = FloatErrorModel(20)
+        bound = model.relative_bound(10_000)
+        expected = math.expm1(10_000 * math.log1p(model.epsilon))
+        assert bound == pytest.approx(expected)
+        assert bound > 0.0
+
+    def test_lower_relative_bound_smaller_than_upper(self):
+        model = FloatErrorModel(10)
+        for count in (1, 10, 100, 1000):
+            assert model.lower_relative_bound(count) <= model.relative_bound(
+                count
+            )
+
+    def test_negative_count_rejected(self):
+        model = FloatErrorModel(10)
+        with pytest.raises(ValueError):
+            model.relative_bound(-1)
+        with pytest.raises(ValueError):
+            model.lower_relative_bound(-1)
+
+    def test_bound_monotone_in_count_and_bits(self):
+        model = FloatErrorModel(10)
+        assert model.relative_bound(5) < model.relative_bound(6)
+        finer = FloatErrorModel(16)
+        assert finer.relative_bound(5) < model.relative_bound(5)

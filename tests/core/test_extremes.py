@@ -1,0 +1,127 @@
+"""Tests for repro.core.extremes (max/min-value analysis)."""
+
+import math
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import evaluate_values
+from repro.ac.transform import binarize
+from repro.core.extremes import (
+    ExtremeAnalysis,
+    max_log2_values,
+    min_log2_positive_values,
+)
+from tests.conftest import all_evidence_combinations
+
+
+def mixture_circuit():
+    circuit = ArithmeticCircuit()
+    p1 = circuit.add_product(
+        [circuit.add_parameter(0.25), circuit.add_indicator("A", 0)]
+    )
+    p2 = circuit.add_product(
+        [circuit.add_parameter(0.75), circuit.add_indicator("A", 1)]
+    )
+    circuit.set_root(circuit.add_sum([p1, p2]))
+    return circuit
+
+
+class TestMaxAnalysis:
+    def test_matches_lambda_one_evaluation(self, sprinkler_binary):
+        logs = max_log2_values(sprinkler_binary)
+        values = evaluate_values(sprinkler_binary, None)
+        for log_value, value in zip(logs, values):
+            if value > 0:
+                assert log_value == pytest.approx(math.log2(value), abs=1e-9)
+
+    def test_max_dominates_all_evidence(self, sprinkler, sprinkler_binary):
+        """Monotonicity: λ=1 maximizes every node simultaneously."""
+        logs = max_log2_values(sprinkler_binary)
+        for evidence in all_evidence_combinations(sprinkler):
+            values = evaluate_values(sprinkler_binary, evidence)
+            for log_max, value in zip(logs, values):
+                if value > 0:
+                    assert math.log2(value) <= log_max + 1e-9
+
+    def test_zero_parameter_marked(self):
+        circuit = ArithmeticCircuit()
+        zero = circuit.add_parameter(0.0)
+        lam = circuit.add_indicator("A", 0)
+        circuit.set_root(circuit.add_product([zero, lam]))
+        logs = max_log2_values(circuit)
+        assert logs[circuit.root] == float("-inf")
+
+    def test_mixture_root_is_one(self):
+        logs = max_log2_values(mixture_circuit())
+        assert logs[-1] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestMinAnalysis:
+    def test_lower_bounds_all_nonzero_values(self, sprinkler, sprinkler_binary):
+        logs = min_log2_positive_values(sprinkler_binary)
+        for evidence in all_evidence_combinations(sprinkler):
+            values = evaluate_values(sprinkler_binary, evidence)
+            for log_min, value in zip(logs, values):
+                if value > 0.0:
+                    assert math.log2(value) >= log_min - 1e-9
+
+    def test_mixture_min_is_smallest_parameter(self):
+        logs = min_log2_positive_values(mixture_circuit())
+        assert logs[-1] == pytest.approx(math.log2(0.25))
+
+    def test_identically_zero_product_marked(self):
+        circuit = ArithmeticCircuit()
+        zero = circuit.add_parameter(0.0)
+        theta = circuit.add_parameter(0.5)
+        dead = circuit.add_product([zero, theta])
+        live = circuit.add_product(
+            [theta, circuit.add_indicator("A", 0)]
+        )
+        circuit.set_root(circuit.add_sum([dead, live]))
+        logs = min_log2_positive_values(circuit)
+        assert logs[dead] == float("inf")
+        # The sum ignores the identically-zero child.
+        assert logs[circuit.root] == pytest.approx(math.log2(0.5))
+
+    def test_deep_product_avoids_double_underflow(self):
+        # 400 factors of 0.25 -> 2^-800, far below float64 range.
+        circuit = ArithmeticCircuit(dedup=False)
+        result = circuit.add_product(
+            [circuit.add_parameter(0.25), circuit.add_parameter(0.25)]
+        )
+        for _ in range(398):
+            result = circuit.add_product([result, circuit.add_parameter(0.25)])
+        circuit.set_root(result)
+        logs = min_log2_positive_values(circuit)
+        assert logs[circuit.root] == pytest.approx(-800.0)
+
+
+class TestExtremeAnalysis:
+    def test_bundle_consistency(self, alarm_binary):
+        analysis = ExtremeAnalysis.of(alarm_binary)
+        assert analysis.root_max_log2 == pytest.approx(0.0, abs=1e-9)
+        assert analysis.root_min_log2 < -10
+        assert analysis.global_min_log2 <= analysis.root_min_log2
+        assert analysis.global_max_log2 >= analysis.root_max_log2 - 1e-12
+
+    def test_max_value_clamps_tiny(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        result = circuit.add_product(
+            [circuit.add_parameter(0.25), circuit.add_parameter(0.25)]
+        )
+        for _ in range(500):
+            result = circuit.add_product([result, circuit.add_parameter(0.25)])
+        circuit.set_root(result)
+        analysis = ExtremeAnalysis.of(circuit)
+        # Exact value 2^-1004 underflows float64; the clamp keeps it
+        # positive so bound arithmetic stays sound.
+        assert 0.0 < analysis.max_value(circuit.root) <= 2.0**-500
+
+    def test_max_value_of_identically_zero_node(self):
+        circuit = ArithmeticCircuit()
+        zero = circuit.add_parameter(0.0)
+        lam = circuit.add_indicator("A", 0)
+        circuit.set_root(circuit.add_product([zero, lam]))
+        analysis = ExtremeAnalysis.of(circuit)
+        assert analysis.max_value(circuit.root) == 0.0

@@ -1,0 +1,172 @@
+"""Tests for repro.core.framework (the ProbLP facade)."""
+
+import pytest
+
+from repro.core import (
+    ErrorTolerance,
+    ProbLP,
+    ProbLPConfig,
+    QueryType,
+)
+from repro.core.report import format_name, option_cell, render_table
+
+
+class TestProbLPConstruction:
+    def test_accepts_compiled_circuit(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        assert framework.binary_circuit.is_binary
+
+    def test_accepts_raw_circuit(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac.circuit,
+            QueryType.MARGINAL,
+            ErrorTolerance.absolute(0.01),
+        )
+        assert framework.binary_circuit.is_binary
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError, match="ArithmeticCircuit"):
+            ProbLP(42, QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+
+    def test_rejects_invalid_circuit(self):
+        from repro.ac.circuit import ArithmeticCircuit
+
+        circuit = ArithmeticCircuit()
+        circuit.add_parameter(0.5)  # no root
+        with pytest.raises(Exception, match="root"):
+            ProbLP(circuit, QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+
+
+class TestAnalyze:
+    def test_marginal_absolute_selects_fixed(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze()
+        # Table 2's recurring shape: fixed wins absolute-error marginals.
+        assert result.selected.kind == "fixed"
+        assert result.selection.fixed.feasible
+        assert result.selection.float_.feasible
+
+    def test_conditional_relative_selects_float(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac,
+            QueryType.CONDITIONAL,
+            ErrorTolerance.relative(0.01),
+        )
+        result = framework.analyze()
+        assert result.selected.kind == "float"
+        assert not result.selection.fixed.feasible
+
+    def test_summary_contains_key_facts(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        text = framework.analyze().summary()
+        assert "fixed option" in text
+        assert "float option" in text
+        assert "selected" in text
+        assert "Marg. prob." in text
+
+    def test_config_variant_changes_results(self, asia_ac):
+        rigorous = ProbLP(
+            asia_ac,
+            QueryType.CONDITIONAL,
+            ErrorTolerance.absolute(0.01),
+            ProbLPConfig(bound_variant="rigorous"),
+        ).analyze()
+        paper = ProbLP(
+            asia_ac,
+            QueryType.CONDITIONAL,
+            ErrorTolerance.absolute(0.01),
+            ProbLPConfig(bound_variant="paper"),
+        ).analyze()
+        # Rigorous bounds can never need fewer bits than the paper's.
+        if rigorous.selection.fixed.feasible and paper.selection.fixed.feasible:
+            assert (
+                rigorous.selection.fixed.fmt.fraction_bits
+                >= paper.selection.fixed.fmt.fraction_bits
+            )
+
+    def test_decomposition_config(self, sprinkler_ac):
+        balanced = ProbLP(
+            sprinkler_ac,
+            QueryType.MARGINAL,
+            ErrorTolerance.relative(0.01),
+            ProbLPConfig(decomposition="balanced"),
+        )
+        chained = ProbLP(
+            sprinkler_ac,
+            QueryType.MARGINAL,
+            ErrorTolerance.relative(0.01),
+            ProbLPConfig(decomposition="chain"),
+        )
+        assert (
+            chained.analysis.float_counts.root_count
+            >= balanced.analysis.float_counts.root_count
+        )
+
+
+class TestExecution:
+    def test_evaluate_quantized_meets_tolerance(self, sprinkler, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze()
+        evidence = {"WetGrass": 1}
+        quantized = framework.evaluate_quantized(
+            result.selected_format, evidence
+        )
+        exact = sprinkler_ac.evaluate(evidence)
+        assert abs(quantized - exact) <= 0.01
+
+    def test_backend_for_rejects_unknown(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        with pytest.raises(TypeError):
+            framework.backend_for("float32")
+
+    def test_generate_hardware_uses_selected_format(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze()
+        design = framework.generate_hardware(result=result)
+        assert design.fmt == result.selected_format
+
+    def test_generate_hardware_analyzes_on_demand(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        design = framework.generate_hardware()
+        assert design.fmt is not None
+
+
+class TestReportHelpers:
+    def test_format_name(self):
+        from repro.arith import FixedPointFormat, FloatFormat
+
+        assert format_name(FixedPointFormat(1, 15)) == "1, 15"
+        assert format_name(FloatFormat(8, 13)) == "8, 13"
+        assert format_name(None) == "-"
+
+    def test_option_cell_infeasible_cap(self, sprinkler_analysis):
+        from repro.core.optimizer import search_fixed_format
+        from repro.core.queries import ErrorTolerance, QuerySpec
+
+        option = search_fixed_format(
+            sprinkler_analysis,
+            QuerySpec(QueryType.MARGINAL, ErrorTolerance.absolute(1e-30)),
+            max_bits=64,
+        )
+        assert option_cell(option) == ">64 ( - )"
+
+    def test_render_table_alignment(self):
+        rows = [{"a": "x", "b": "longer"}, {"a": "yy", "b": "z"}]
+        text = render_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])

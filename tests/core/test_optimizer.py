@@ -1,0 +1,178 @@
+"""Tests for repro.core.optimizer (bit-width search and selection)."""
+
+import pytest
+
+from repro.arith import FixedPointBackend, FloatBackend
+from repro.ac.evaluate import evaluate_quantized, evaluate_real
+from repro.core.optimizer import (
+    CircuitAnalysis,
+    MIN_PRECISION_BITS,
+    required_exponent_bits,
+    required_integer_bits,
+    search_fixed_format,
+    search_float_format,
+    select_representation,
+)
+from repro.core.queries import ErrorTolerance, QuerySpec, QueryType
+from tests.conftest import all_evidence_combinations
+
+
+def spec(query, tolerance):
+    return QuerySpec(query=query, tolerance=tolerance)
+
+
+class TestCircuitAnalysis:
+    def test_requires_binary(self):
+        from repro.ac.circuit import ArithmeticCircuit
+
+        circuit = ArithmeticCircuit()
+        terms = [circuit.add_parameter(v) for v in (0.2, 0.3, 0.5)]
+        circuit.set_root(circuit.add_sum(terms))
+        with pytest.raises(ValueError, match="binary"):
+            CircuitAnalysis.of(circuit)
+
+    def test_bundles_everything(self, sprinkler_analysis):
+        assert sprinkler_analysis.float_counts.root_count > 0
+        assert sprinkler_analysis.extremes.root_max_log2 <= 1e-9
+
+
+class TestRequiredBits:
+    def test_integer_bits_for_probability_circuit(self, sprinkler_analysis):
+        # All values ≤ 1 -> one integer bit suffices.
+        assert required_integer_bits(sprinkler_analysis, 12) == 1
+
+    def test_integer_bits_grow_with_values(self):
+        from repro.ac.circuit import ArithmeticCircuit
+        from repro.ac.transform import binarize
+
+        circuit = ArithmeticCircuit()
+        big = circuit.add_parameter(5.0)
+        lam = circuit.add_indicator("A", 0)
+        product = circuit.add_product([big, lam])
+        circuit.set_root(circuit.add_sum([product, product]))
+        analysis = CircuitAnalysis.of(binarize(circuit).circuit)
+        # Sum can reach 10 -> needs 4 integer bits.
+        assert required_integer_bits(analysis, 10) == 4
+
+    def test_exponent_bits_cover_range(self, sprinkler_analysis, sprinkler, sprinkler_binary):
+        for mantissa_bits in (4, 10, 20):
+            exponent_bits = required_exponent_bits(
+                sprinkler_analysis, mantissa_bits
+            )
+            from repro.arith import FloatFormat
+
+            backend = FloatBackend(FloatFormat(exponent_bits, mantissa_bits))
+            # No overflow/underflow on any evidence (errors would raise).
+            for evidence in all_evidence_combinations(sprinkler):
+                evaluate_quantized(sprinkler_binary, backend, evidence)
+
+    def test_exponent_bits_represent_one(self, sprinkler_analysis):
+        exponent_bits = required_exponent_bits(sprinkler_analysis, 8)
+        assert exponent_bits >= 2
+
+
+class TestSearchFixed:
+    def test_finds_minimal_feasible_bits(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        option = search_fixed_format(sprinkler_analysis, target)
+        assert option.feasible
+        assert option.query_bound <= 0.01
+        from repro.core.bounds import propagate_fixed_bounds
+
+        previous = propagate_fixed_bounds(
+            sprinkler_analysis.circuit,
+            option.fmt.fraction_bits - 1,
+            sprinkler_analysis.extremes,
+        ).root_bound
+        assert previous > 0.01  # one fewer bit would not satisfy
+
+    def test_searched_format_meets_tolerance_empirically(
+        self, sprinkler, sprinkler_binary, sprinkler_analysis
+    ):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.001))
+        option = search_fixed_format(sprinkler_analysis, target)
+        backend = FixedPointBackend(option.fmt)
+        for evidence in all_evidence_combinations(sprinkler):
+            exact = evaluate_real(sprinkler_binary, evidence)
+            quantized = evaluate_quantized(sprinkler_binary, backend, evidence)
+            assert abs(quantized - exact) <= 0.001
+
+    def test_conditional_relative_policy_exclusion(self, sprinkler_analysis):
+        target = spec(QueryType.CONDITIONAL, ErrorTolerance.relative(0.01))
+        option = search_fixed_format(sprinkler_analysis, target)
+        assert not option.feasible
+        assert "policy" in option.infeasible_reason
+
+    def test_cap_reported_as_infeasible(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(1e-30))
+        option = search_fixed_format(sprinkler_analysis, target, max_bits=16)
+        assert not option.feasible
+        assert "16" in option.infeasible_reason
+        assert option.search_cap == 16
+
+    def test_tighter_tolerance_needs_more_bits(self, sprinkler_analysis):
+        loose = search_fixed_format(
+            sprinkler_analysis, spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        )
+        tight = search_fixed_format(
+            sprinkler_analysis, spec(QueryType.MARGINAL, ErrorTolerance.absolute(1e-6))
+        )
+        assert tight.fmt.fraction_bits > loose.fmt.fraction_bits
+        assert tight.energy_nj > loose.energy_nj
+
+
+class TestSearchFloat:
+    def test_finds_minimal_feasible_bits(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.relative(0.01))
+        option = search_float_format(sprinkler_analysis, target)
+        assert option.feasible
+        assert option.query_bound <= 0.01
+        assert option.fmt.mantissa_bits >= MIN_PRECISION_BITS
+
+    def test_relative_tolerance_feasible_for_conditional(
+        self, sprinkler_analysis
+    ):
+        target = spec(QueryType.CONDITIONAL, ErrorTolerance.relative(0.01))
+        option = search_float_format(sprinkler_analysis, target)
+        assert option.feasible
+
+    def test_cap_reported(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.relative(1e-25))
+        option = search_float_format(sprinkler_analysis, target, max_bits=12)
+        assert not option.feasible
+
+
+class TestSelectRepresentation:
+    def test_cheaper_feasible_wins(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        fixed = search_fixed_format(sprinkler_analysis, target)
+        float_ = search_float_format(sprinkler_analysis, target)
+        selection = select_representation(fixed, float_)
+        assert selection.selected.energy_nj == min(
+            fixed.energy_nj, float_.energy_nj
+        )
+        assert "cheaper" in selection.reason
+
+    def test_infeasible_fixed_forces_float(self, sprinkler_analysis):
+        target = spec(QueryType.CONDITIONAL, ErrorTolerance.relative(0.01))
+        fixed = search_fixed_format(sprinkler_analysis, target)
+        float_ = search_float_format(sprinkler_analysis, target)
+        selection = select_representation(fixed, float_)
+        assert selection.selected.kind == "float"
+
+    def test_both_infeasible_raises(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(1e-30))
+        fixed = search_fixed_format(sprinkler_analysis, target, max_bits=8)
+        float_ = search_float_format(sprinkler_analysis, target, max_bits=8)
+        with pytest.raises(ValueError, match="no feasible"):
+            select_representation(fixed, float_)
+
+    def test_describe_strings(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        fixed = search_fixed_format(sprinkler_analysis, target)
+        assert "fixed(I=" in fixed.describe()
+        infeasible = search_fixed_format(
+            sprinkler_analysis,
+            spec(QueryType.CONDITIONAL, ErrorTolerance.relative(0.01)),
+        )
+        assert "infeasible" in infeasible.describe()

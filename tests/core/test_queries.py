@@ -1,0 +1,196 @@
+"""Tests for repro.core.queries (query-level bounds and policy)."""
+
+import pytest
+
+from repro.core.bounds import propagate_fixed_bounds, propagate_float_counts
+from repro.core.extremes import ExtremeAnalysis
+from repro.core.queries import (
+    ErrorTolerance,
+    QuerySpec,
+    QueryType,
+    ToleranceType,
+    fixed_query_bound,
+    float_query_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared(request):
+    sprinkler_binary = request.getfixturevalue("sprinkler_binary")
+    extremes = ExtremeAnalysis.of(sprinkler_binary)
+    fixed = propagate_fixed_bounds(sprinkler_binary, 12, extremes)
+    counts = propagate_float_counts(sprinkler_binary)
+    return extremes, fixed, counts
+
+
+class TestErrorTolerance:
+    def test_constructors(self):
+        assert ErrorTolerance.absolute(0.01).kind is ToleranceType.ABSOLUTE
+        assert ErrorTolerance.relative(0.05).kind is ToleranceType.RELATIVE
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, float("inf")])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ErrorTolerance.absolute(bad)
+
+    def test_describe(self):
+        assert "0.01" in ErrorTolerance.absolute(0.01).describe()
+
+    def test_query_spec_describe(self):
+        spec = QuerySpec(
+            QueryType.CONDITIONAL, ErrorTolerance.relative(0.01)
+        )
+        assert "Cond. prob." in spec.describe()
+        assert "rel. err" in spec.describe()
+
+
+class TestFixedQueryBounds:
+    def test_marginal_absolute_is_root_bound(self, prepared):
+        extremes, fixed, _ = prepared
+        bound = fixed_query_bound(
+            QueryType.MARGINAL, ToleranceType.ABSOLUTE, fixed, extremes
+        )
+        assert bound == fixed.root_bound
+
+    def test_marginal_relative_divides_by_min(self, prepared):
+        extremes, fixed, _ = prepared
+        bound = fixed_query_bound(
+            QueryType.MARGINAL, ToleranceType.RELATIVE, fixed, extremes
+        )
+        assert bound == pytest.approx(
+            fixed.root_bound / 2.0**extremes.root_min_log2
+        )
+        assert bound > fixed.root_bound  # min Pr < 1
+
+    def test_mpe_uses_single_eval_bounds(self, prepared):
+        extremes, fixed, _ = prepared
+        marginal = fixed_query_bound(
+            QueryType.MARGINAL, ToleranceType.ABSOLUTE, fixed, extremes
+        )
+        mpe = fixed_query_bound(
+            QueryType.MPE, ToleranceType.ABSOLUTE, fixed, extremes
+        )
+        assert marginal == mpe
+
+    def test_conditional_relative_excluded_by_policy(self, prepared):
+        extremes, fixed, _ = prepared
+        bound = fixed_query_bound(
+            QueryType.CONDITIONAL, ToleranceType.RELATIVE, fixed, extremes
+        )
+        assert bound == float("inf")
+
+    def test_conditional_absolute_variants_ordered(
+        self, prepared, sprinkler_binary
+    ):
+        extremes, _, _ = prepared
+        # Use enough bits that Δ ≪ min Pr(e); otherwise the rigorous
+        # bound is rightly infinite while the paper's stays finite.
+        fine = propagate_fixed_bounds(sprinkler_binary, 24, extremes)
+        paper = fixed_query_bound(
+            QueryType.CONDITIONAL,
+            ToleranceType.ABSOLUTE,
+            fine,
+            extremes,
+            variant="paper",
+        )
+        rigorous = fixed_query_bound(
+            QueryType.CONDITIONAL,
+            ToleranceType.ABSOLUTE,
+            fine,
+            extremes,
+            variant="rigorous",
+        )
+        # Rigorous covers the paper's worst case and more...
+        assert rigorous >= paper
+        # ...but costs at most a small factor when Δ ≪ min Pr(e).
+        assert rigorous <= 3.0 * paper
+
+    def test_conditional_absolute_rigorous_infinite_when_delta_large(
+        self, prepared
+    ):
+        extremes, fixed, _ = prepared  # F=12: Δ > min Pr(e) on sprinkler
+        rigorous = fixed_query_bound(
+            QueryType.CONDITIONAL, ToleranceType.ABSOLUTE, fixed, extremes
+        )
+        assert rigorous == float("inf")
+
+    def test_conditional_infeasible_when_error_swallows_min(
+        self, sprinkler_binary
+    ):
+        extremes = ExtremeAnalysis.of(sprinkler_binary)
+        coarse = propagate_fixed_bounds(sprinkler_binary, 2, extremes)
+        bound = fixed_query_bound(
+            QueryType.CONDITIONAL, ToleranceType.ABSOLUTE, coarse, extremes
+        )
+        assert bound == float("inf")
+
+    def test_unknown_variant_rejected(self, prepared):
+        extremes, fixed, _ = prepared
+        with pytest.raises(ValueError, match="variant"):
+            fixed_query_bound(
+                QueryType.MARGINAL,
+                ToleranceType.ABSOLUTE,
+                fixed,
+                extremes,
+                variant="optimistic",
+            )
+
+
+class TestFloatQueryBounds:
+    def test_marginal_relative_is_structural_bound(self, prepared):
+        extremes, _, counts = prepared
+        bound = float_query_bound(
+            QueryType.MARGINAL, ToleranceType.RELATIVE, counts, extremes, 12
+        )
+        assert bound == pytest.approx(counts.relative_bound(12))
+
+    def test_marginal_absolute_scales_by_max_output(self, prepared):
+        extremes, _, counts = prepared
+        relative = float_query_bound(
+            QueryType.MARGINAL, ToleranceType.RELATIVE, counts, extremes, 12
+        )
+        absolute = float_query_bound(
+            QueryType.MARGINAL, ToleranceType.ABSOLUTE, counts, extremes, 12
+        )
+        assert absolute <= relative  # max output ≤ 1
+
+    def test_conditional_variants_ordered(self, prepared):
+        extremes, _, counts = prepared
+        paper = float_query_bound(
+            QueryType.CONDITIONAL,
+            ToleranceType.RELATIVE,
+            counts,
+            extremes,
+            12,
+            variant="paper",
+        )
+        rigorous = float_query_bound(
+            QueryType.CONDITIONAL,
+            ToleranceType.RELATIVE,
+            counts,
+            extremes,
+            12,
+            variant="rigorous",
+        )
+        assert paper <= rigorous <= 2.5 * paper
+
+    def test_conditional_absolute_equals_relative(self, prepared):
+        # Pr(q|e) ≤ 1, so the absolute bound reuses the relative one.
+        extremes, _, counts = prepared
+        absolute = float_query_bound(
+            QueryType.CONDITIONAL, ToleranceType.ABSOLUTE, counts, extremes, 12
+        )
+        relative = float_query_bound(
+            QueryType.CONDITIONAL, ToleranceType.RELATIVE, counts, extremes, 12
+        )
+        assert absolute == relative
+
+    def test_bound_decreases_with_mantissa_bits(self, prepared):
+        extremes, _, counts = prepared
+        bounds = [
+            float_query_bound(
+                QueryType.MARGINAL, ToleranceType.RELATIVE, counts, extremes, m
+            )
+            for m in (6, 10, 16, 24)
+        ]
+        assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,157 @@
+"""Truncation rounding mode: end-to-end soundness and cost.
+
+Truncating operators are cheaper in hardware but carry a full-ULP error
+per operation. The error models charge 2^-F (resp. ε = 2^-M) instead of
+the nearest modes' half-ULP constants; these tests check the doubled
+model empirically and through the optimizer.
+"""
+
+import pytest
+
+from repro.ac.evaluate import evaluate_quantized, evaluate_real
+from repro.arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+    RoundingMode,
+)
+from repro.core import (
+    ErrorTolerance,
+    ProbLP,
+    ProbLPConfig,
+    QueryType,
+)
+from repro.core.bounds import propagate_fixed_bounds, propagate_float_counts
+from repro.core.errormodels import FixedErrorModel, FloatErrorModel
+from tests.conftest import all_evidence_combinations
+
+TRUNC = RoundingMode.TRUNCATE
+
+
+class TestTruncatedArithmetic:
+    def test_truncation_never_rounds_up(self):
+        backend = FixedPointBackend(FixedPointFormat(1, 4, TRUNC))
+        value = backend.from_real(0.999)  # would round to 1.0 under RNE
+        assert value.to_float() <= 0.999
+
+    def test_truncation_error_within_one_ulp(self):
+        fmt = FixedPointFormat(1, 8, TRUNC)
+        backend = FixedPointBackend(fmt)
+        for x in (0.1, 0.3, 0.77, 0.999):
+            quantized = backend.from_real(x).to_float()
+            assert 0.0 <= x - quantized < 2.0**-8
+
+    def test_float_truncation_underestimates(self):
+        backend = FloatBackend(FloatFormat(8, 6, TRUNC))
+        for x in (0.3, 0.7, 1.9):
+            quantized = backend.from_real(x).to_float()
+            assert quantized <= x
+            assert (x - quantized) / x <= 2.0**-6
+
+    def test_error_bound_constants(self):
+        assert FixedErrorModel(8, TRUNC).rounding_error == 2.0**-8
+        assert FixedErrorModel(8).rounding_error == 2.0**-9
+        assert FloatErrorModel(10, TRUNC).epsilon == 2.0**-10
+        assert FloatErrorModel(10).epsilon == 2.0**-11
+
+
+class TestTruncatedBoundsSoundness:
+    @pytest.mark.parametrize("fraction_bits", [6, 10, 16])
+    def test_fixed_bounds_hold_under_truncation(
+        self, sprinkler, sprinkler_binary, sprinkler_analysis, fraction_bits
+    ):
+        model = FixedErrorModel(fraction_bits, TRUNC)
+        bound = propagate_fixed_bounds(
+            sprinkler_binary, model, sprinkler_analysis.extremes
+        ).root_bound
+        backend = FixedPointBackend(
+            FixedPointFormat(1, fraction_bits, TRUNC)
+        )
+        for evidence in all_evidence_combinations(sprinkler):
+            exact = evaluate_real(sprinkler_binary, evidence)
+            quantized = evaluate_quantized(sprinkler_binary, backend, evidence)
+            assert abs(quantized - exact) <= bound
+
+    @pytest.mark.parametrize("mantissa_bits", [6, 10, 16])
+    def test_float_bounds_hold_under_truncation(
+        self, sprinkler, sprinkler_binary, mantissa_bits
+    ):
+        counts = propagate_float_counts(sprinkler_binary)
+        bound = counts.relative_bound(mantissa_bits, TRUNC)
+        backend = FloatBackend(FloatFormat(10, mantissa_bits, TRUNC))
+        for evidence in all_evidence_combinations(sprinkler):
+            exact = evaluate_real(sprinkler_binary, evidence)
+            if exact == 0.0:
+                continue
+            quantized = evaluate_quantized(sprinkler_binary, backend, evidence)
+            assert abs(quantized - exact) / exact <= bound
+
+    def test_truncation_bound_about_double_of_nearest(self, sprinkler_binary):
+        nearest = propagate_fixed_bounds(sprinkler_binary, 10).root_bound
+        truncated = propagate_fixed_bounds(
+            sprinkler_binary, FixedErrorModel(10, TRUNC)
+        ).root_bound
+        # Linear terms double exactly; the quadratic ΔaΔb cross terms push
+        # slightly past 2×.
+        assert 2.0 * nearest <= truncated <= 2.1 * nearest
+
+
+class TestOptimizerUnderTruncation:
+    def test_truncation_needs_about_one_more_bit(self, sprinkler_ac):
+        nearest = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.001)
+        ).analyze()
+        truncated = ProbLP(
+            sprinkler_ac,
+            QueryType.MARGINAL,
+            ErrorTolerance.absolute(0.001),
+            ProbLPConfig(rounding=TRUNC),
+        ).analyze()
+        nearest_bits = nearest.selection.fixed.fmt.fraction_bits
+        truncated_bits = truncated.selection.fixed.fmt.fraction_bits
+        assert truncated_bits == nearest_bits + 1
+        # The selected formats carry their rounding mode.
+        assert truncated.selection.fixed.fmt.rounding is TRUNC
+
+    def test_truncated_format_meets_tolerance_empirically(
+        self, sprinkler, sprinkler_ac
+    ):
+        framework = ProbLP(
+            sprinkler_ac,
+            QueryType.MARGINAL,
+            ErrorTolerance.absolute(0.001),
+            ProbLPConfig(rounding=TRUNC),
+        )
+        result = framework.analyze()
+        backend = framework.backend_for(result.selected_format)
+        circuit = framework.binary_circuit
+        for evidence in all_evidence_combinations(sprinkler):
+            exact = evaluate_real(circuit, evidence)
+            quantized = evaluate_quantized(circuit, backend, evidence)
+            assert abs(quantized - exact) <= 0.001
+
+
+class TestTruncatedHardware:
+    def test_hardware_bit_exact_under_truncation(
+        self, sprinkler, sprinkler_binary
+    ):
+        from repro.hw import check_equivalence, generate_hardware
+
+        for fmt in (
+            FixedPointFormat(1, 10, TRUNC),
+            FloatFormat(7, 9, TRUNC),
+        ):
+            design = generate_hardware(sprinkler_binary, fmt)
+            evidences = all_evidence_combinations(sprinkler)[:10]
+            assert check_equivalence(design, evidences).equivalent
+
+    def test_verilog_reflects_truncation(self, sprinkler_binary):
+        from repro.hw import generate_hardware
+
+        design = generate_hardware(
+            sprinkler_binary, FixedPointFormat(1, 10, TRUNC)
+        )
+        text = design.verilog()
+        assert "truncation mode" in text
+        assert "Rounding: truncate" in text

@@ -1,0 +1,56 @@
+"""Tests for repro.datasets.benchmark and the three paper benchmarks."""
+
+import pytest
+
+from repro.datasets import (
+    HAR_SPEC,
+    UIWADS_SPEC,
+    UNIMIB_SPEC,
+    uiwads_benchmark,
+)
+
+
+class TestMiniBenchmark:
+    def test_roles_and_shapes(self, mini_benchmark):
+        assert mini_benchmark.num_classes == 3
+        assert len(mini_benchmark.feature_names) == 5
+        assert mini_benchmark.split.num_train + mini_benchmark.split.num_test == 400
+
+    def test_classifier_beats_chance(self, mini_benchmark):
+        assert mini_benchmark.test_accuracy() > 1.0 / 3.0 + 0.1
+
+    def test_evidence_for_row(self, mini_benchmark):
+        row = mini_benchmark.split.test_features[0]
+        evidence = mini_benchmark.evidence_for_row(row)
+        assert set(evidence) == set(mini_benchmark.feature_names)
+        assert all(isinstance(v, int) for v in evidence.values())
+
+    def test_test_evidences_limit(self, mini_benchmark):
+        assert len(mini_benchmark.test_evidences(limit=10)) == 10
+        full = mini_benchmark.test_evidences()
+        assert len(full) == mini_benchmark.split.num_test
+
+    def test_network_parameters_strictly_positive(self, mini_benchmark):
+        # Laplace smoothing: required for finite min-value analysis.
+        assert mini_benchmark.classifier.network.min_positive_parameter() > 0
+
+    def test_nb_structure(self, mini_benchmark):
+        network = mini_benchmark.classifier.network
+        assert network.roots() == ("Class",)
+        assert set(network.leaves()) == set(mini_benchmark.feature_names)
+
+
+class TestPaperSpecs:
+    def test_paper_problem_shapes(self):
+        # The shapes documented in DESIGN.md §4.
+        assert (HAR_SPEC.num_classes, HAR_SPEC.num_features) == (6, 60)
+        assert (UNIMIB_SPEC.num_classes, UNIMIB_SPEC.num_features) == (9, 6)
+        assert (UIWADS_SPEC.num_classes, UIWADS_SPEC.num_features) == (2, 7)
+
+    def test_uiwads_end_to_end(self):
+        benchmark = uiwads_benchmark()
+        assert benchmark.name == "UIWADS"
+        assert benchmark.test_accuracy() > 0.8
+        # 60/40 split as in the paper.
+        total = benchmark.split.num_train + benchmark.split.num_test
+        assert benchmark.split.num_train == pytest.approx(0.6 * total, abs=1)

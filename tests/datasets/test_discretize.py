@@ -1,0 +1,60 @@
+"""Tests for repro.datasets.discretize."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.discretize import fit_discretizer
+
+
+class TestFitDiscretizer:
+    def test_quantile_edges_balanced_bins(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(10_000, 2))
+        discretizer = fit_discretizer(features, num_states=4)
+        states = discretizer.transform(features)
+        # Quantile bins are roughly equally populated.
+        for j in range(2):
+            counts = np.bincount(states[:, j], minlength=4)
+            assert counts.min() > 0.8 * 10_000 / 4
+
+    def test_states_in_range(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(500, 3))
+        discretizer = fit_discretizer(features, num_states=5)
+        states = discretizer.transform(features)
+        assert states.min() >= 0
+        assert states.max() <= 4
+
+    def test_transform_out_of_range_values_clamp_to_extremes(self):
+        features = np.linspace(0, 1, 100).reshape(-1, 1)
+        discretizer = fit_discretizer(features, num_states=3)
+        extreme = np.array([[-100.0], [100.0]])
+        states = discretizer.transform(extreme)
+        assert states[0, 0] == 0
+        assert states[1, 0] == 2
+
+    def test_properties(self):
+        features = np.random.default_rng(2).normal(size=(50, 6))
+        discretizer = fit_discretizer(features, num_states=4)
+        assert discretizer.num_features == 6
+        assert discretizer.num_states == 4
+
+    def test_feature_count_mismatch_rejected(self):
+        features = np.zeros((10, 2))
+        discretizer = fit_discretizer(
+            np.random.default_rng(0).normal(size=(50, 3)), 3
+        )
+        with pytest.raises(ValueError, match="features"):
+            discretizer.transform(features)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            fit_discretizer(np.zeros(10), 3)
+        with pytest.raises(ValueError, match="two states"):
+            fit_discretizer(np.zeros((10, 2)), 1)
+
+    def test_monotone_mapping(self):
+        features = np.sort(np.random.default_rng(3).normal(size=(200, 1)), axis=0)
+        discretizer = fit_discretizer(features, num_states=4)
+        states = discretizer.transform(features)[:, 0]
+        assert (np.diff(states) >= 0).all()

@@ -1,0 +1,53 @@
+"""Tests for repro.datasets.splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sixty_forty_split(self):
+        features = np.arange(100).reshape(-1, 1)
+        labels = np.arange(100)
+        split = train_test_split(features, labels, 0.6, seed=0)
+        assert split.num_train == 60
+        assert split.num_test == 40
+
+    def test_no_overlap_and_full_coverage(self):
+        features = np.arange(50).reshape(-1, 1)
+        labels = np.arange(50)
+        split = train_test_split(features, labels, 0.5, seed=1)
+        train_set = set(split.train_features[:, 0])
+        test_set = set(split.test_features[:, 0])
+        assert train_set.isdisjoint(test_set)
+        assert train_set | test_set == set(range(50))
+
+    def test_labels_track_features(self):
+        features = np.arange(30).reshape(-1, 1)
+        labels = np.arange(30) * 10
+        split = train_test_split(features, labels, 0.6, seed=2)
+        assert (split.train_labels == split.train_features[:, 0] * 10).all()
+        assert (split.test_labels == split.test_features[:, 0] * 10).all()
+
+    def test_deterministic_per_seed(self):
+        features = np.arange(40).reshape(-1, 1)
+        labels = np.zeros(40, dtype=int)
+        a = train_test_split(features, labels, 0.6, seed=7)
+        b = train_test_split(features, labels, 0.6, seed=7)
+        assert np.array_equal(a.train_features, b.train_features)
+
+    def test_invalid_fraction_rejected(self):
+        features = np.zeros((10, 1))
+        labels = np.zeros(10)
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError):
+                train_test_split(features, labels, bad)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="sample count"):
+            train_test_split(np.zeros((5, 1)), np.zeros(6), 0.6)
+
+    def test_degenerate_split_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            train_test_split(np.zeros((2, 1)), np.zeros(2), 0.1)

@@ -1,0 +1,73 @@
+"""Tests for repro.datasets.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, generate_continuous
+
+
+def spec(**overrides):
+    base = dict(
+        name="T",
+        num_classes=3,
+        num_features=4,
+        num_states=3,
+        num_samples=500,
+        seed=1,
+    )
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid(self):
+        assert spec().num_classes == 3
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_classes", 1),
+            ("num_features", 0),
+            ("num_states", 1),
+            ("num_samples", 2),
+        ],
+    )
+    def test_invalid_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            spec(**{field: value})
+
+
+class TestGeneration:
+    def test_shapes(self):
+        data = generate_continuous(spec())
+        assert data.features.shape == (500, 4)
+        assert data.labels.shape == (500,)
+        assert data.labels.min() >= 0
+        assert data.labels.max() < 3
+
+    def test_deterministic_per_seed(self):
+        a = generate_continuous(spec(seed=5))
+        b = generate_continuous(spec(seed=5))
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = generate_continuous(spec(seed=5))
+        b = generate_continuous(spec(seed=6))
+        assert not np.array_equal(a.features, b.features)
+
+    def test_classes_are_separated(self):
+        data = generate_continuous(spec(class_separation=3.0, feature_noise=0.5))
+        # Class-conditional means should differ clearly on some feature.
+        means = np.array(
+            [
+                data.features[data.labels == c].mean(axis=0)
+                for c in range(3)
+            ]
+        )
+        spread = means.max(axis=0) - means.min(axis=0)
+        assert spread.max() > 1.0
+
+    def test_all_classes_present(self):
+        data = generate_continuous(spec())
+        assert set(np.unique(data.labels)) == {0, 1, 2}

@@ -1,0 +1,107 @@
+"""Tests for repro.energy.estimate (circuit-level energy)."""
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.energy.estimate import (
+    circuit_energy_nj,
+    count_operators,
+    datapath_bits,
+    fixed_circuit_energy,
+    float_circuit_energy,
+    register_energy,
+)
+from repro.energy.models import PAPER_MODEL
+
+
+def three_op_circuit():
+    circuit = ArithmeticCircuit()
+    a = circuit.add_parameter(0.5)
+    b = circuit.add_indicator("X", 0)
+    product = circuit.add_product([a, b])
+    c = circuit.add_parameter(0.25)
+    total = circuit.add_sum([product, c])
+    top = circuit.add_max([total, product])
+    circuit.set_root(top)
+    return circuit
+
+
+class TestCountOperators:
+    def test_counts(self):
+        counts = count_operators(three_op_circuit())
+        assert counts.adders == 1
+        assert counts.multipliers == 1
+        assert counts.max_units == 1
+        assert counts.total == 3
+
+    def test_requires_binary(self):
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.1 * i) for i in range(1, 4)]
+        circuit.set_root(circuit.add_sum(parts))
+        with pytest.raises(ValueError, match="binary"):
+            count_operators(circuit)
+
+    def test_alarm_scale(self, alarm_binary):
+        counts = count_operators(alarm_binary)
+        # Same order of magnitude as the paper's Alarm AC.
+        assert 1000 < counts.total < 4000
+
+
+class TestCircuitEnergy:
+    def test_fixed_energy_composition(self):
+        circuit = three_op_circuit()
+        fmt = FixedPointFormat(1, 15)
+        expected = (
+            PAPER_MODEL.fixed_add(16) * 2  # adder + max-as-adder
+            + PAPER_MODEL.fixed_mult(16)
+        )
+        assert fixed_circuit_energy(circuit, fmt) == pytest.approx(expected)
+
+    def test_float_energy_composition(self):
+        circuit = three_op_circuit()
+        fmt = FloatFormat(8, 13)
+        expected = PAPER_MODEL.float_add(13) * 2 + PAPER_MODEL.float_mult(13)
+        assert float_circuit_energy(circuit, fmt) == pytest.approx(expected)
+
+    def test_nj_conversion_and_dispatch(self):
+        circuit = three_op_circuit()
+        fixed_nj = circuit_energy_nj(circuit, FixedPointFormat(1, 15))
+        assert fixed_nj == pytest.approx(
+            fixed_circuit_energy(circuit, FixedPointFormat(1, 15)) / 1e6
+        )
+        float_nj = circuit_energy_nj(circuit, FloatFormat(8, 13))
+        assert float_nj > 0
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(TypeError):
+            circuit_energy_nj(three_op_circuit(), "int8")
+
+    def test_energy_grows_with_bits(self, alarm_binary):
+        energies = [
+            circuit_energy_nj(alarm_binary, FixedPointFormat(1, f))
+            for f in (8, 16, 24)
+        ]
+        assert energies == sorted(energies)
+
+    def test_paper_alarm_energy_ballpark(self, alarm_binary):
+        # Paper Table 2: Alarm fixed I=1, F=14 costs 2.2 nJ/eval.
+        energy = circuit_energy_nj(alarm_binary, FixedPointFormat(1, 14))
+        assert 1.0 < energy < 3.5
+
+
+class TestRegisters:
+    def test_register_energy(self):
+        assert register_energy(10, 16) == pytest.approx(
+            10 * PAPER_MODEL.register(16)
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            register_energy(-1, 16)
+
+    def test_datapath_bits(self):
+        assert datapath_bits(FixedPointFormat(1, 15)) == 16
+        assert datapath_bits(FloatFormat(8, 13)) == 21
+        with pytest.raises(TypeError):
+            datapath_bits(3.14)

@@ -1,0 +1,100 @@
+"""Tests for repro.energy.fitting (model fitting from synthesis samples)."""
+
+import pytest
+
+from repro.energy.fitting import (
+    SynthesisSample,
+    fit_energy_model,
+    fit_single_coefficient,
+    fixed_add_basis,
+    fixed_mult_basis,
+    float_add_basis,
+    float_mult_basis,
+    generate_synthesis_samples,
+)
+from repro.energy.models import PAPER_MODEL
+
+
+class TestFitSingleCoefficient:
+    def test_exact_fit_recovers_coefficient(self):
+        bits = list(range(4, 33, 4))
+        energies = [7.8 * b for b in bits]
+        fit = fit_single_coefficient(bits, energies, fixed_add_basis)
+        assert fit.coefficient == pytest.approx(7.8)
+        assert fit.residual_rms == pytest.approx(0.0, abs=1e-9)
+        assert fit.num_samples == len(bits)
+
+    def test_noisy_fit_close(self):
+        bits = list(range(4, 33, 2))
+        energies = [7.8 * b * (1.0 + 0.02 * ((-1) ** b)) for b in bits]
+        fit = fit_single_coefficient(bits, energies, fixed_add_basis)
+        assert fit.coefficient == pytest.approx(7.8, rel=0.05)
+        assert fit.relative_rms < 0.05
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            fit_single_coefficient([4, 8], [1.0], fixed_add_basis)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError, match="two samples"):
+            fit_single_coefficient([4], [1.0], fixed_add_basis)
+
+
+class TestBases:
+    def test_basis_values(self):
+        import math
+
+        assert fixed_add_basis(16) == 16.0
+        assert fixed_mult_basis(16) == pytest.approx(16**2 * 4)
+        assert fixed_mult_basis(1) == 1.0
+        assert float_add_basis(14) == 15.0
+        assert float_mult_basis(14) == pytest.approx(15**2 * math.log2(15))
+
+
+class TestSyntheticSynthesisFlow:
+    def test_sample_generation_shape(self):
+        samples = generate_synthesis_samples(noise=0.0)
+        operators = {s.operator for s in samples}
+        assert operators == {
+            "fixed_add",
+            "fixed_mult",
+            "float_add",
+            "float_mult",
+        }
+        assert all(s.energy_fj > 0 for s in samples)
+
+    def test_fit_recovers_paper_coefficients(self):
+        """The headline check: fitting the (noiseless) synthetic synthesis
+        samples reproduces Table 1's coefficients to first order."""
+        samples = generate_synthesis_samples(noise=0.0)
+        model = fit_energy_model(samples)
+        assert model.fixed_add_coeff == pytest.approx(
+            PAPER_MODEL.fixed_add_coeff, rel=0.05
+        )
+        assert model.fixed_mult_coeff == pytest.approx(
+            PAPER_MODEL.fixed_mult_coeff, rel=0.05
+        )
+        # Float units have extra constant-ish structure (LZC, exponent
+        # adder), so the single-basis fit lands within a wider band.
+        assert model.float_add_coeff == pytest.approx(
+            PAPER_MODEL.float_add_coeff, rel=0.25
+        )
+        assert model.float_mult_coeff == pytest.approx(
+            PAPER_MODEL.float_mult_coeff, rel=0.25
+        )
+
+    def test_fit_with_noise_stays_close(self):
+        samples = generate_synthesis_samples(noise=0.05, seed=11)
+        model = fit_energy_model(samples)
+        assert model.fixed_add_coeff == pytest.approx(
+            PAPER_MODEL.fixed_add_coeff, rel=0.1
+        )
+
+    def test_missing_operator_rejected(self):
+        samples = [SynthesisSample("fixed_add", 8, 60.0)] * 3
+        with pytest.raises(ValueError, match="no samples"):
+            fit_energy_model(samples)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValueError, match="noise"):
+            generate_synthesis_samples(noise=1.5)

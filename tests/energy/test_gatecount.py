@@ -1,0 +1,60 @@
+"""Tests for repro.energy.gatecount (the synthesis substitute)."""
+
+import pytest
+
+from repro.energy.gatecount import (
+    fixed_adder_gates,
+    fixed_multiplier_gates,
+    float_adder_gates,
+    float_multiplier_gates,
+)
+
+
+class TestGateCounts:
+    def test_adder_linear(self):
+        assert fixed_adder_gates(32) == 2 * fixed_adder_gates(16)
+
+    def test_multiplier_superquadratic(self):
+        # Doubling the width should more than quadruple the gates.
+        assert fixed_multiplier_gates(32) > 4 * fixed_multiplier_gates(16)
+
+    def test_one_bit_multiplier(self):
+        assert fixed_multiplier_gates(1) == 1.0
+
+    def test_float_adder_linear_in_significand(self):
+        narrow = float_adder_gates(7)
+        wide = float_adder_gates(15)
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_float_multiplier_dominated_by_array(self):
+        assert float_multiplier_gates(23) > fixed_multiplier_gates(24) * 0.99
+
+    def test_multiplier_dominates_adder(self):
+        for bits in (8, 16, 32):
+            assert fixed_multiplier_gates(bits) > fixed_adder_gates(bits)
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            fixed_adder_gates,
+            fixed_multiplier_gates,
+            float_adder_gates,
+            float_multiplier_gates,
+        ],
+    )
+    def test_invalid_widths_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            fixed_adder_gates,
+            fixed_multiplier_gates,
+            float_adder_gates,
+            float_multiplier_gates,
+        ],
+    )
+    def test_monotone_in_width(self, fn):
+        counts = [fn(bits) for bits in range(2, 33, 2)]
+        assert counts == sorted(counts)

@@ -1,0 +1,78 @@
+"""Tests for repro.energy.models (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.energy.models import (
+    EnergyModel,
+    IEEE_SINGLE,
+    PAPER_MODEL,
+    float_storage_bits,
+)
+
+
+class TestPaperModelValues:
+    """Check the published Table 1 formulas at reference points."""
+
+    def test_fixed_add_is_linear(self):
+        assert PAPER_MODEL.fixed_add(16) == pytest.approx(7.8 * 16)
+        assert PAPER_MODEL.fixed_add(32) == pytest.approx(2 * PAPER_MODEL.fixed_add(16))
+
+    def test_fixed_mult_quadratic_log(self):
+        expected = 1.9 * 16**2 * math.log2(16)
+        assert PAPER_MODEL.fixed_mult(16) == pytest.approx(expected)
+
+    def test_float_add_linear_in_significand(self):
+        assert PAPER_MODEL.float_add(14) == pytest.approx(44.74 * 15)
+
+    def test_float_mult_quadratic_log(self):
+        expected = 2.9 * 15**2 * math.log2(15)
+        assert PAPER_MODEL.float_mult(14) == pytest.approx(expected)
+
+    def test_fixed_mult_cheaper_than_float_mult_same_bits(self):
+        # At matched precision (N = M+1), fixed multipliers are cheaper —
+        # the reason fixed wins absolute-error marginal queries.
+        assert PAPER_MODEL.fixed_mult(16) < PAPER_MODEL.float_mult(16)
+
+    def test_float_add_much_more_expensive_than_fixed_add(self):
+        assert PAPER_MODEL.float_add(15) > 5 * PAPER_MODEL.fixed_add(16)
+
+    def test_one_bit_multiplier_degenerate_case(self):
+        assert PAPER_MODEL.fixed_mult(1) == pytest.approx(1.9)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_MODEL.fixed_add(0)
+        with pytest.raises(ValueError):
+            PAPER_MODEL.float_mult(-2)
+
+    def test_register_model(self):
+        assert PAPER_MODEL.register(16) == pytest.approx(16.0)
+
+
+class TestFormatConveniences:
+    def test_fixed_format_helpers(self):
+        fmt = FixedPointFormat(1, 15)
+        assert PAPER_MODEL.fixed_format_add(fmt) == PAPER_MODEL.fixed_add(16)
+        assert PAPER_MODEL.fixed_format_mult(fmt) == PAPER_MODEL.fixed_mult(16)
+
+    def test_float_format_helpers(self):
+        fmt = FloatFormat(8, 13)
+        assert PAPER_MODEL.float_format_add(fmt) == PAPER_MODEL.float_add(13)
+
+    def test_storage_bits(self):
+        assert float_storage_bits(FloatFormat(8, 23)) == 31  # sign-less
+
+    def test_ieee_single_reference(self):
+        assert IEEE_SINGLE.exponent_bits == 8
+        assert IEEE_SINGLE.mantissa_bits == 23
+
+
+class TestCustomModels:
+    def test_custom_coefficients(self):
+        model = EnergyModel(fixed_add_coeff=1.0)
+        assert model.fixed_add(10) == 10.0
+        # Untouched coefficients keep paper defaults.
+        assert model.float_add(14) == PAPER_MODEL.float_add(14)

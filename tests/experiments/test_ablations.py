@@ -1,0 +1,54 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    bound_variant_ablation,
+    decomposition_ablation,
+    ordering_ablation,
+)
+
+
+class TestBoundVariantAblation:
+    def test_four_cases_reported(self, asia):
+        rows = bound_variant_ablation(asia, tolerance=0.01)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.rigorous_float
+            assert row.paper_float
+
+    def test_paper_variant_never_needs_more_bits(self, asia):
+        # The rigorous variant is more conservative by construction, so
+        # whenever both produce a feasible fixed format the paper variant
+        # uses at most as many fraction bits (cells render "I, F (e)").
+        rows = bound_variant_ablation(asia, tolerance=0.01)
+        for row in rows:
+            if "(" in row.paper_fixed and "(" in row.rigorous_fixed:
+                paper_bits = int(
+                    row.paper_fixed.split(",")[1].split("(")[0].strip()
+                )
+                rigorous_bits = int(
+                    row.rigorous_fixed.split(",")[1].split("(")[0].strip()
+                )
+                assert paper_bits <= rigorous_bits
+
+
+class TestDecompositionAblation:
+    def test_balanced_beats_chain(self, asia):
+        rows = decomposition_ablation(asia, tolerance=0.01)
+        by_name = {row.strategy: row for row in rows}
+        balanced, chain = by_name["balanced"], by_name["chain"]
+        # Balanced trees: smaller float error constant, shallower pipe.
+        assert balanced.float_factor_count <= chain.float_factor_count
+        assert balanced.pipeline_depth <= chain.pipeline_depth
+        assert balanced.mantissa_bits_needed <= chain.mantissa_bits_needed
+
+
+class TestOrderingAblation:
+    def test_both_orderings_reported(self, asia):
+        rows = ordering_ablation(asia)
+        names = {row.ordering for row in rows}
+        assert names == {"min-fill", "min-degree"}
+        for row in rows:
+            assert row.num_operators == row.num_adders + row.num_multipliers
+            assert row.energy_nj_at_16_bits > 0

@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.overall (Table 2 harness)."""
+
+import pytest
+
+from repro.core.queries import ErrorTolerance, QueryType
+from repro.experiments.overall import (
+    QueryCase,
+    run_alarm_case,
+    run_benchmark_case,
+    standard_cases,
+)
+
+
+class TestStandardCases:
+    def test_four_combinations(self):
+        cases = standard_cases(0.01)
+        assert len(cases) == 4
+        kinds = {(c.query, c.tolerance.kind) for c in cases}
+        assert len(kinds) == 4
+
+
+@pytest.fixture(scope="module")
+def mini_row(request):
+    benchmark = request.getfixturevalue("mini_benchmark")
+    case = QueryCase(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+    return run_benchmark_case(benchmark, case, test_limit=8)
+
+
+class TestBenchmarkCase:
+    def test_row_contents(self, mini_row):
+        assert mini_row.ac_name == "MINI"
+        assert mini_row.selected_kind in ("fixed", "float")
+        assert mini_row.selected_energy_nj > 0
+        assert mini_row.post_synthesis_proxy_nj > 0
+        assert mini_row.energy_32b_float_nj > 0
+
+    def test_observed_error_within_tolerance(self, mini_row):
+        """The paper's Table 2 claim: measured error ≤ tolerance."""
+        assert mini_row.within_tolerance
+        assert mini_row.max_observed_error <= 0.01
+
+    def test_observed_error_nonzero(self, mini_row):
+        # Quantization genuinely perturbs the outputs.
+        assert mini_row.max_observed_error > 0
+
+    def test_selected_cheaper_than_32b_float(self, mini_row):
+        assert mini_row.selected_energy_nj < mini_row.energy_32b_float_nj
+
+    def test_conditional_relative_selects_float(self, mini_benchmark):
+        case = QueryCase(QueryType.CONDITIONAL, ErrorTolerance.relative(0.01))
+        row = run_benchmark_case(mini_benchmark, case, test_limit=5)
+        assert row.selected_kind == "float"
+        assert row.fixed_cell == "-"  # policy exclusion renders as dash
+        assert row.within_tolerance
+
+    def test_proxy_close_to_prediction(self, mini_row):
+        ratio = mini_row.post_synthesis_proxy_nj / mini_row.selected_energy_nj
+        assert 1.0 <= ratio < 1.3  # registers add a small overhead
+
+
+class TestAlarmCase:
+    def test_alarm_marginal_row(self):
+        case = QueryCase(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        row = run_alarm_case(case, num_instances=5, seed=4)
+        assert row.ac_name == "Alarm"
+        # Paper Table 2: fixed wins the absolute-error marginal on Alarm.
+        assert row.selected_kind == "fixed"
+        assert row.within_tolerance

@@ -1,0 +1,27 @@
+"""MPE rows in the Table-2 harness use the max-product circuit."""
+
+import pytest
+
+from repro.core.queries import ErrorTolerance, QueryType
+from repro.experiments.overall import QueryCase, run_benchmark_case
+
+
+class TestMPECase:
+    @pytest.fixture(scope="class")
+    def row(self, request):
+        benchmark = request.getfixturevalue("mini_benchmark")
+        case = QueryCase(QueryType.MPE, ErrorTolerance.absolute(0.01))
+        return run_benchmark_case(benchmark, case, test_limit=6)
+
+    def test_within_tolerance(self, row):
+        assert row.within_tolerance
+
+    def test_circuit_is_max_product(self, row):
+        # MPE compiles to max nodes, which the analysis treats as
+        # rounding-free comparisons.
+        assert row.result.circuit_stats.num_max > 0
+        assert row.result.circuit_stats.num_sums == 0
+
+    def test_representation_selected(self, row):
+        assert row.selected_kind in ("fixed", "float")
+        assert row.selected_energy_nj > 0

@@ -1,0 +1,59 @@
+"""Tests for repro.experiments.sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    accuracy_impact_sweep,
+    render_accuracy_sweep,
+    render_tolerance_sweep,
+    tolerance_energy_sweep,
+)
+
+
+class TestToleranceEnergySweep:
+    @pytest.fixture(scope="class")
+    def points(self, request):
+        sprinkler_ac = request.getfixturevalue("sprinkler_ac")
+        return tolerance_energy_sweep(
+            sprinkler_ac, tolerances=(0.1, 0.01, 1e-3, 1e-5)
+        )
+
+    def test_energy_monotone_in_tolerance(self, points):
+        """Relaxed tolerance can only make the hardware cheaper."""
+        energies = [p.energy_nj for p in points]
+        assert energies == sorted(energies)
+
+    def test_savings_vs_32b_reported(self, points):
+        for point in points:
+            assert point.energy_32b_ratio > 1.0
+
+    def test_rendering(self, points):
+        text = render_tolerance_sweep(points)
+        assert "tolerance" in text
+        assert "0.1" in text
+
+
+class TestAccuracyImpactSweep:
+    @pytest.fixture(scope="class")
+    def points(self, request):
+        benchmark = request.getfixturevalue("mini_benchmark")
+        return accuracy_impact_sweep(
+            benchmark, fraction_bits_sweep=(4, 8, 12), test_limit=60
+        )
+
+    def test_agreement_increases_with_precision(self, points):
+        agreements = [p.agreement for p in points]
+        assert agreements[-1] >= agreements[0]
+        assert agreements[-1] >= 0.95  # 12 bits: essentially exact
+
+    def test_quantized_accuracy_tracks_exact_at_high_precision(self, points):
+        last = points[-1]
+        assert abs(last.quantized_accuracy - last.exact_accuracy) <= 0.05
+
+    def test_exact_accuracy_constant_across_points(self, points):
+        assert len({p.exact_accuracy for p in points}) == 1
+
+    def test_rendering(self, points):
+        text = render_accuracy_sweep(points)
+        assert "F bits" in text
+        assert "agreement" in text

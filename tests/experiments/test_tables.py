@@ -1,0 +1,50 @@
+"""Tests for repro.experiments.tables (rendering)."""
+
+import pytest
+
+from repro.core.queries import ErrorTolerance, QueryType
+from repro.experiments.overall import QueryCase, run_benchmark_case
+from repro.experiments.tables import (
+    render_table2,
+    table2_csv,
+    validation_csv,
+)
+from repro.experiments.validation import ValidationPoint, ValidationSeries
+
+
+@pytest.fixture(scope="module")
+def rows(request):
+    benchmark = request.getfixturevalue("mini_benchmark")
+    case = QueryCase(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+    return [run_benchmark_case(benchmark, case, test_limit=4)]
+
+
+class TestTable2Rendering:
+    def test_ascii_table(self, rows):
+        text = render_table2(rows)
+        assert "MINI" in text
+        assert "Marg. prob." in text
+        assert "Selected" in text
+
+    def test_csv(self, rows):
+        csv_text = table2_csv(rows)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("AC,")
+        assert "MINI" in lines[1]
+
+
+class TestValidationCSV:
+    def test_csv_format(self):
+        series = ValidationSeries(
+            "fixed",
+            "absolute",
+            (
+                ValidationPoint(8, 1e-2, 1e-3, 1e-4),
+                ValidationPoint(16, 1e-5, 1e-6, 1e-7),
+            ),
+        )
+        text = validation_csv(series)
+        lines = text.strip().splitlines()
+        assert lines[0] == "bits,bound,max_observed,mean_observed"
+        assert len(lines) == 3

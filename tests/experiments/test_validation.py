@@ -1,0 +1,77 @@
+"""Tests for repro.experiments.validation (Figure 5 harness)."""
+
+import pytest
+
+from repro.experiments.validation import (
+    ValidationPoint,
+    alarm_marginal_evidences,
+    render_series,
+    run_fixed_validation,
+    run_float_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def evidences(request):
+    alarm = request.getfixturevalue("alarm")
+    return alarm_marginal_evidences(alarm, 6, seed=5)
+
+
+class TestEvidenceGeneration:
+    def test_evidence_on_leaves_only(self, alarm, evidences):
+        leaves = set(alarm.leaves())
+        for evidence in evidences:
+            assert set(evidence) == leaves
+
+    def test_deterministic(self, alarm):
+        a = alarm_marginal_evidences(alarm, 4, seed=9)
+        b = alarm_marginal_evidences(alarm, 4, seed=9)
+        assert a == b
+
+
+class TestFixedValidation:
+    def test_bounds_hold_and_decrease(self, alarm_binary, alarm_analysis, evidences):
+        series = run_fixed_validation(
+            alarm_binary, evidences, bits_sweep=(8, 14, 20), analysis=alarm_analysis
+        )
+        assert series.representation == "fixed"
+        assert series.all_hold
+        bounds = [point.bound for point in series.points]
+        assert bounds == sorted(bounds, reverse=True)
+        for point in series.points:
+            assert point.mean_observed <= point.max_observed
+
+    def test_point_holds_flag(self):
+        good = ValidationPoint(8, bound=1e-3, max_observed=1e-4, mean_observed=1e-5)
+        bad = ValidationPoint(8, bound=1e-5, max_observed=1e-4, mean_observed=1e-5)
+        assert good.holds and not bad.holds
+
+
+class TestFloatValidation:
+    def test_bounds_hold(self, alarm_binary, alarm_analysis, evidences):
+        series = run_float_validation(
+            alarm_binary, evidences, bits_sweep=(8, 14, 20), analysis=alarm_analysis
+        )
+        assert series.error_kind == "relative"
+        assert series.all_hold
+
+    def test_explicit_exponent_bits(self, alarm_binary, alarm_analysis, evidences):
+        series = run_float_validation(
+            alarm_binary,
+            evidences,
+            bits_sweep=(10,),
+            analysis=alarm_analysis,
+            exponent_bits=11,
+        )
+        assert series.all_hold
+
+
+class TestRendering:
+    def test_render_contains_table(self, alarm_binary, alarm_analysis, evidences):
+        series = run_fixed_validation(
+            alarm_binary, evidences, bits_sweep=(8, 12), analysis=alarm_analysis
+        )
+        text = render_series(series)
+        assert "bits" in text
+        assert "bound" in text
+        assert "margin" in text

@@ -1,0 +1,106 @@
+"""Failure injection: misconfigured hardware must fail loudly.
+
+ProbLP's guarantees rest on range analysis choosing I and E so that
+overflow/underflow cannot occur. These tests deliberately violate that
+precondition and check that the simulators raise instead of silently
+wrapping or flushing — the failure mode the paper's §3.1.4 warns about
+("error in some of the probability evaluations would exceed the
+predicted bounds").
+"""
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.evaluate import evaluate_quantized
+from repro.arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FixedPointOverflowError,
+    FloatBackend,
+    FloatFormat,
+    FloatUnderflowError,
+)
+from repro.hw import PipelineSimulator, generate_hardware
+
+
+def deep_product_circuit(depth: int, value: float = 0.1):
+    """Chain of multiplications driving values toward zero."""
+    circuit = ArithmeticCircuit(dedup=False)
+    result = circuit.add_product(
+        [circuit.add_parameter(value), circuit.add_indicator("X", 0)]
+    )
+    for _ in range(depth - 1):
+        result = circuit.add_product([result, circuit.add_parameter(value)])
+    circuit.set_root(result)
+    return circuit
+
+
+def summing_circuit(terms: int):
+    """Sum of `terms` indicators — value can reach `terms`."""
+    circuit = ArithmeticCircuit(dedup=False)
+    leaves = [circuit.add_indicator("X", i) for i in range(terms)]
+    from repro.ac.transform import binarize
+
+    circuit.set_root(circuit.add_sum(leaves))
+    return binarize(circuit).circuit
+
+
+class TestFixedOverflowInjection:
+    def test_adder_overflow_raises_in_evaluation(self):
+        circuit = summing_circuit(4)  # sums to 4 with all λ = 1
+        backend = FixedPointBackend(FixedPointFormat(1, 6))  # max < 2
+        with pytest.raises(FixedPointOverflowError):
+            evaluate_quantized(circuit, backend, None)
+
+    def test_adder_overflow_raises_in_hardware_simulation(self):
+        circuit = summing_circuit(4)
+        design = generate_hardware(circuit, FixedPointFormat(1, 6))
+        simulator = PipelineSimulator(design)
+        with pytest.raises(FixedPointOverflowError):
+            for _ in range(design.latency_cycles + 1):
+                simulator.step({})
+
+    def test_sufficient_integer_bits_do_not_raise(self):
+        circuit = summing_circuit(4)
+        backend = FixedPointBackend(FixedPointFormat(3, 6))  # max < 8
+        assert evaluate_quantized(circuit, backend, None) == 4.0
+
+
+class TestFloatUnderflowInjection:
+    def test_deep_product_underflows_small_exponent(self):
+        circuit = deep_product_circuit(12)  # 0.1^12 = 1e-12 ~ 2^-40
+        backend = FloatBackend(FloatFormat(5, 8))  # min normal 2^-14
+        with pytest.raises(FloatUnderflowError):
+            evaluate_quantized(circuit, backend, None)
+
+    def test_underflow_raises_in_hardware_simulation(self):
+        circuit = deep_product_circuit(12)
+        design = generate_hardware(circuit, FloatFormat(5, 8))
+        simulator = PipelineSimulator(design)
+        with pytest.raises(FloatUnderflowError):
+            for _ in range(design.latency_cycles + 1):
+                simulator.step({})
+
+    def test_derived_exponent_bits_prevent_underflow(self):
+        from repro.core.optimizer import (
+            CircuitAnalysis,
+            required_exponent_bits,
+        )
+
+        circuit = deep_product_circuit(12)
+        analysis = CircuitAnalysis.of(circuit)
+        exponent_bits = required_exponent_bits(analysis, 8)
+        backend = FloatBackend(FloatFormat(exponent_bits, 8))
+        value = evaluate_quantized(circuit, backend, None)
+        assert value == pytest.approx(0.1**12, rel=0.05)
+
+
+class TestZeroSafety:
+    def test_zero_evidence_never_raises_range_errors(self):
+        # λ = 0 zeros are exact in both systems, even in tiny formats.
+        circuit = deep_product_circuit(12)
+        for backend in (
+            FixedPointBackend(FixedPointFormat(1, 4)),
+            FloatBackend(FloatFormat(4, 4)),
+        ):
+            assert evaluate_quantized(circuit, backend, {"X": 1}) == 0.0

@@ -1,0 +1,103 @@
+"""Tests for repro.hw.netlist (HardwareDesign and word encodings)."""
+
+import pytest
+
+from repro.arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+)
+from repro.hw.netlist import (
+    HardwareDesign,
+    encode_fixed_word,
+    encode_float_word,
+    generate_hardware,
+    pack_float_word,
+    unpack_float_word,
+)
+
+
+class TestWordEncodings:
+    def test_fixed_word(self):
+        backend = FixedPointBackend(FixedPointFormat(1, 8))
+        assert encode_fixed_word(backend, 0.5) == 128
+        assert encode_fixed_word(backend, 1.0) == 256
+
+    @pytest.mark.parametrize(
+        "value", [0.0, 1.0, 0.3, 0.0078125, 123.5, 2.0**-40]
+    )
+    def test_float_word_round_trip(self, value):
+        fmt = FloatFormat(8, 13)
+        backend = FloatBackend(fmt)
+        word = encode_float_word(backend, value)
+        recovered = unpack_float_word(word, fmt)
+        assert recovered.to_float() == backend.from_real(value).to_float()
+
+    def test_float_zero_word_is_all_zero(self):
+        backend = FloatBackend(FloatFormat(8, 13))
+        assert pack_float_word(backend.zero()) == 0
+
+    def test_float_one_word_layout(self):
+        fmt = FloatFormat(8, 13)
+        backend = FloatBackend(fmt)
+        word = pack_float_word(backend.one())
+        # Biased exponent = bias, fraction = 0.
+        assert word == fmt.bias << fmt.mantissa_bits
+
+    def test_words_fit_storage(self):
+        fmt = FloatFormat(6, 9)
+        backend = FloatBackend(fmt)
+        for value in (0.001, 0.5, 1.0, 30.0):
+            word = encode_float_word(backend, value)
+            assert 0 <= word < (1 << (fmt.exponent_bits + fmt.mantissa_bits))
+
+
+class TestHardwareDesign:
+    def test_requires_binary(self, sprinkler_ac):
+        from repro.ac.circuit import ArithmeticCircuit
+
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.1 * i) for i in range(1, 4)]
+        circuit.set_root(circuit.add_sum(parts))
+        with pytest.raises(ValueError, match="binary"):
+            generate_hardware(circuit, FixedPointFormat(1, 8))
+
+    def test_constants_quantized_to_format(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 6))
+        backend = FixedPointBackend(FixedPointFormat(1, 6))
+        for index, word in design.constant_words.items():
+            value = sprinkler_binary.node(index).value
+            assert word == backend.from_real(value).mantissa
+
+    def test_metrics(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 12))
+        assert design.latency_cycles == sprinkler_binary.stats().depth
+        assert design.throughput_evals_per_cycle == 1.0
+        assert design.word_bits == 13
+
+    def test_energy_proxy_breakdown(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 12))
+        breakdown = design.energy_proxy()
+        assert breakdown.operators_fj > 0
+        assert breakdown.registers_fj > 0
+        assert breakdown.total_fj == pytest.approx(
+            breakdown.operators_fj + breakdown.registers_fj
+        )
+        assert breakdown.total_nj == pytest.approx(breakdown.total_fj / 1e6)
+
+    def test_registers_are_minor_overhead(self, alarm_binary):
+        # The proxy should sit close to the operator-only prediction.
+        design = generate_hardware(alarm_binary, FixedPointFormat(1, 15))
+        breakdown = design.energy_proxy()
+        assert breakdown.registers_fj < 0.2 * breakdown.operators_fj
+
+    def test_module_name_sanitized(self, sprinkler_binary):
+        design = HardwareDesign(
+            sprinkler_binary, FixedPointFormat(1, 8), module_name=None
+        )
+        assert design.module_name.isidentifier()
+
+    def test_describe_mentions_format(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FloatFormat(8, 13))
+        assert "float(E=8, M=13)" in design.describe()

@@ -1,0 +1,99 @@
+"""Tests for repro.hw.pipeline, including the Figure 4 example."""
+
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.transform import binarize
+from repro.hw.pipeline import delay_of_edge, schedule_pipeline
+
+
+class TestFigure4Example:
+    """The paper's Figure 4: a 4-input F decomposed into F1, F2, F3, with
+    an extra balancing register on the A→G path."""
+
+    def build(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        a = circuit.add_indicator("A", 0)
+        b = circuit.add_indicator("B", 0)
+        c = circuit.add_indicator("C", 0)
+        d = circuit.add_indicator("D", 0)
+        e = circuit.add_indicator("E", 0)
+        f = circuit.add_sum([b, c, d, e])  # 4-input F
+        g = circuit.add_product([a, f])
+        circuit.set_root(g)
+        return circuit
+
+    def test_decomposition_into_three_binary_ops(self):
+        binary = binarize(self.build()).circuit
+        stats = binary.stats()
+        assert stats.num_sums == 3  # F1, F2, F3
+        assert binary.is_binary
+
+    def test_balancing_register_on_short_path(self):
+        binary = binarize(self.build()).circuit
+        schedule = schedule_pipeline(binary)
+        # F tree: depth 2 -> G at stage 3; A (stage 0) feeds G: needs
+        # stage(G) - 1 - 0 = 2 balancing registers.
+        assert schedule.latency == 3
+        assert schedule.balance_registers == 2
+        assert schedule.operator_registers == 4  # F1 F2 F3 G
+        assert schedule.input_registers == 5  # λ words
+
+    def test_delay_of_edge(self):
+        binary = binarize(self.build()).circuit
+        schedule = schedule_pipeline(binary)
+        root = binary.root
+        children = binary.node(root).children
+        # One input is the λ word for A (needs delay), the other is F3.
+        delays = sorted(
+            delay_of_edge(schedule, binary, child, root) for child in children
+        )
+        assert delays == [0, 2]
+
+
+class TestScheduleInvariants:
+    def test_requires_binary(self):
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.2 * i) for i in range(1, 4)]
+        circuit.set_root(circuit.add_sum(parts))
+        with pytest.raises(ValueError, match="binary"):
+            schedule_pipeline(circuit)
+
+    def test_every_operator_one_stage_after_inputs(self, alarm_binary):
+        schedule = schedule_pipeline(alarm_binary)
+        nodes = alarm_binary.nodes
+        for index, node in enumerate(nodes):
+            if not node.op.is_operator:
+                continue
+            for child in node.children:
+                if nodes[child].op.value == "parameter":
+                    continue
+                assert schedule.stages[child] < schedule.stages[index]
+                assert delay_of_edge(schedule, alarm_binary, child, index) >= 0
+
+    def test_latency_equals_root_stage(self, alarm_binary):
+        schedule = schedule_pipeline(alarm_binary)
+        assert schedule.latency == schedule.stages[alarm_binary.root]
+        assert schedule.latency == alarm_binary.stats().depth
+
+    def test_constants_need_no_registers(self):
+        circuit = ArithmeticCircuit()
+        theta = circuit.add_parameter(0.5)
+        lam = circuit.add_indicator("X", 0)
+        product = circuit.add_product([theta, lam])
+        deep = circuit.add_product([product, circuit.add_indicator("X", 1)])
+        # θ also feeds a deep node: still no balancing registers for it.
+        deeper = circuit.add_product([deep, theta])
+        circuit.set_root(deeper)
+        schedule = schedule_pipeline(circuit)
+        assert (
+            delay_of_edge(schedule, circuit, theta, deeper) == 0
+        )
+
+    def test_register_total_adds_up(self, sprinkler_binary):
+        schedule = schedule_pipeline(sprinkler_binary)
+        assert schedule.total_registers == (
+            schedule.operator_registers
+            + schedule.input_registers
+            + schedule.balance_registers
+        )

@@ -1,0 +1,87 @@
+"""Tests for repro.hw.simulator (cycle-accurate pipeline simulation)."""
+
+import pytest
+
+from repro.ac.evaluate import evaluate_quantized
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.hw.netlist import generate_hardware
+from repro.hw.simulator import PipelineSimulator
+from tests.conftest import all_evidence_combinations
+
+
+class TestPipelineTiming:
+    def test_output_is_x_until_latency(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 10))
+        simulator = PipelineSimulator(design)
+        evidence = {}
+        outputs = [
+            simulator.step(evidence) for _ in range(design.latency_cycles)
+        ]
+        # Before the pipe fills, the root register still holds X.
+        assert outputs[-2] is None if design.latency_cycles > 1 else True
+        final = simulator.step(evidence)
+        assert final is not None
+
+    def test_first_valid_output_exactly_at_latency(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 10))
+        simulator = PipelineSimulator(design)
+        outputs = []
+        for _ in range(design.latency_cycles + 1):
+            outputs.append(simulator.step({}))
+        assert outputs[design.latency_cycles - 1] is None
+        assert outputs[design.latency_cycles] is not None
+
+    def test_reset_clears_state(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 10))
+        simulator = PipelineSimulator(design)
+        for _ in range(design.latency_cycles + 3):
+            simulator.step({})
+        simulator.reset()
+        assert simulator.cycle == 0
+        assert simulator.step({}) is None  # pipe is empty again
+
+
+class TestStreaming:
+    def test_streaming_matches_reference(self, sprinkler, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 12))
+        simulator = PipelineSimulator(design)
+        evidences = all_evidence_combinations(sprinkler)
+        outputs = simulator.run_stream(evidences)
+        for evidence, output in zip(evidences, outputs):
+            reference = evaluate_quantized(
+                sprinkler_binary, simulator.backend, evidence
+            )
+            assert output == reference  # bit-exact
+
+    def test_streaming_float(self, sprinkler, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FloatFormat(7, 9))
+        simulator = PipelineSimulator(design)
+        evidences = all_evidence_combinations(sprinkler)[:8]
+        outputs = simulator.run_stream(evidences)
+        for evidence, output in zip(evidences, outputs):
+            reference = evaluate_quantized(
+                sprinkler_binary, simulator.backend, evidence
+            )
+            assert output == reference
+
+    def test_back_to_back_inputs_do_not_interfere(self, sprinkler_binary):
+        """Full throughput: alternating inputs produce alternating outputs."""
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 12))
+        simulator = PipelineSimulator(design)
+        pattern = [{"WetGrass": 1}, {"WetGrass": 0}] * 10
+        outputs = simulator.run_stream(pattern)
+        assert len(set(outputs[0::2])) == 1
+        assert len(set(outputs[1::2])) == 1
+        assert outputs[0] != outputs[1]
+
+    def test_mpe_circuit_streams(self, asia_mpe):
+        from repro.ac.transform import binarize
+
+        binary = binarize(asia_mpe.circuit).circuit
+        design = generate_hardware(binary, FixedPointFormat(1, 10))
+        simulator = PipelineSimulator(design)
+        outputs = simulator.run_stream([{}, {"Xray": 1}])
+        for evidence, output in zip([{}, {"Xray": 1}], outputs):
+            assert output == evaluate_quantized(
+                binary, simulator.backend, evidence
+            )

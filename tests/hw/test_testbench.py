@@ -1,0 +1,74 @@
+"""Tests for repro.hw.testbench (self-checking Verilog testbench)."""
+
+import re
+
+import pytest
+
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.hw.netlist import generate_hardware
+from repro.hw.simulator import PipelineSimulator
+from repro.hw.testbench import emit_testbench
+from tests.conftest import all_evidence_combinations
+
+
+@pytest.fixture(scope="module")
+def design_and_vectors(request):
+    sprinkler = request.getfixturevalue("sprinkler")
+    binary = request.getfixturevalue("sprinkler_binary")
+    design = generate_hardware(binary, FixedPointFormat(1, 10))
+    vectors = all_evidence_combinations(sprinkler)[:6]
+    return design, vectors
+
+
+class TestEmitTestbench:
+    def test_structure(self, design_and_vectors):
+        design, vectors = design_and_vectors
+        text = emit_testbench(design, vectors)
+        assert f"module {design.module_name}_tb;" in text
+        assert f"{design.module_name} dut (" in text
+        assert text.count("stimulus[") >= len(vectors)
+        assert "$finish" in text
+
+    def test_one_stimulus_and_expectation_per_vector(self, design_and_vectors):
+        design, vectors = design_and_vectors
+        text = emit_testbench(design, vectors)
+        stimulus = re.findall(r"stimulus\[\d+\] = ", text)
+        expected = re.findall(r"expected\[\d+\] = ", text)
+        # One assignment each (plus the array declarations don't match).
+        assert len(stimulus) == len(vectors)
+        assert len(expected) == len(vectors)
+
+    def test_expected_words_match_simulator(self, design_and_vectors):
+        design, vectors = design_and_vectors
+        text = emit_testbench(design, vectors)
+        simulator = PipelineSimulator(design)
+        outputs = simulator.run_stream(list(vectors))
+        words = re.findall(r"expected\[\d+\] = \d+'h([0-9a-f]+);", text)
+        backend = simulator.backend
+        for word_hex, output in zip(words, outputs):
+            mantissa = int(word_hex, 16)
+            assert mantissa * 2.0**-10 == pytest.approx(output, abs=1e-12)
+
+    def test_latency_encoded(self, design_and_vectors):
+        design, vectors = design_and_vectors
+        text = emit_testbench(design, vectors)
+        assert f"if (i >= {design.latency_cycles})" in text
+
+    def test_float_design_testbench(self, request):
+        binary = request.getfixturevalue("sprinkler_binary")
+        sprinkler = request.getfixturevalue("sprinkler")
+        design = generate_hardware(binary, FloatFormat(7, 9))
+        vectors = all_evidence_combinations(sprinkler)[:4]
+        text = emit_testbench(design, vectors)
+        assert "dut (" in text
+        assert len(re.findall(r"expected\[\d+\]", text)) >= 4
+
+    def test_empty_vectors_rejected(self, design_and_vectors):
+        design, _ = design_and_vectors
+        with pytest.raises(ValueError, match="at least one"):
+            emit_testbench(design, [])
+
+    def test_custom_name(self, design_and_vectors):
+        design, vectors = design_and_vectors
+        text = emit_testbench(design, vectors, testbench_name="my_tb")
+        assert "module my_tb;" in text

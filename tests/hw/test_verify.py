@@ -1,0 +1,45 @@
+"""Tests for repro.hw.verify (hardware equivalence checking)."""
+
+import pytest
+
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.hw.netlist import generate_hardware
+from repro.hw.verify import check_equivalence
+from tests.conftest import all_evidence_combinations
+
+
+class TestCheckEquivalence:
+    @pytest.mark.parametrize(
+        "fmt",
+        [FixedPointFormat(1, 8), FixedPointFormat(2, 14), FloatFormat(7, 9)],
+    )
+    def test_generated_hardware_is_bit_exact(
+        self, sprinkler, sprinkler_binary, fmt
+    ):
+        design = generate_hardware(sprinkler_binary, fmt)
+        evidences = all_evidence_combinations(sprinkler)
+        report = check_equivalence(design, evidences)
+        assert report.equivalent
+        assert report.num_vectors == len(evidences)
+        assert report.max_abs_difference == 0.0
+        assert report.latency_cycles == design.latency_cycles
+
+    def test_asia_float_design(self, asia, asia_binary):
+        design = generate_hardware(asia_binary, FloatFormat(8, 11))
+        evidences = all_evidence_combinations(asia)[:40]
+        assert check_equivalence(design, evidences).equivalent
+
+    def test_empty_vector_list_rejected(self, sprinkler_binary):
+        design = generate_hardware(sprinkler_binary, FixedPointFormat(1, 8))
+        with pytest.raises(ValueError, match="at least one"):
+            check_equivalence(design, [])
+
+    def test_alarm_spot_check(self, alarm, alarm_binary):
+        from repro.bn.sampling import forward_sample
+
+        design = generate_hardware(alarm_binary, FixedPointFormat(1, 15))
+        leaves = alarm.leaves()
+        samples = forward_sample(alarm, 4, rng=99)
+        evidences = [{leaf: s[leaf] for leaf in leaves} for s in samples]
+        report = check_equivalence(design, evidences)
+        assert report.equivalent

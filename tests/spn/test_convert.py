@@ -1,0 +1,98 @@
+"""Tests for repro.spn.convert and the SPN → ProbLP integration."""
+
+from itertools import product as iter_product
+
+import numpy as np
+import pytest
+
+from repro.ac.evaluate import evaluate_real
+from repro.ac.validate import is_decomposable, is_smooth, validate_circuit
+from repro.core import ErrorTolerance, ProbLP, QueryType
+from repro.hw import check_equivalence, generate_hardware
+from repro.spn.convert import spn_to_circuit
+from repro.spn.learnspn import learn_spn
+from repro.spn.nodes import LeafNode, ProductNode, SumNode
+
+
+@pytest.fixture(scope="module")
+def learned():
+    rng = np.random.default_rng(8)
+    cluster = rng.integers(0, 2, 800)
+    a = (cluster + (rng.random(800) < 0.1)) % 2
+    b = (cluster + (rng.random(800) < 0.1)) % 2
+    c = rng.integers(0, 3, 800)
+    data = np.column_stack([a, b, c])
+    names, cards = ["A", "B", "C"], [2, 2, 3]
+    spn = learn_spn(data, names, cards)
+    return spn, names, cards
+
+
+class TestConversion:
+    def test_circuit_matches_spn_on_all_assignments(self, learned):
+        spn, names, cards = learned
+        circuit = spn_to_circuit(spn)
+        validate_circuit(circuit)
+        for assignment in iter_product(*(range(c) for c in cards)):
+            evidence = dict(zip(names, assignment))
+            assert evaluate_real(circuit, evidence) == pytest.approx(
+                spn.evaluate(evidence)
+            )
+
+    def test_circuit_matches_spn_on_partial_evidence(self, learned):
+        spn, names, _ = learned
+        circuit = spn_to_circuit(spn)
+        for evidence in ({}, {"A": 1}, {"A": 0, "C": 2}):
+            assert evaluate_real(circuit, evidence) == pytest.approx(
+                spn.evaluate(evidence)
+            )
+
+    def test_circuit_is_smooth_and_decomposable(self, learned):
+        spn, _, _ = learned
+        circuit = spn_to_circuit(spn)
+        assert is_smooth(circuit)
+        assert is_decomposable(circuit)
+
+    def test_lambda_one_is_one(self, learned):
+        spn, _, _ = learned
+        circuit = spn_to_circuit(spn)
+        assert evaluate_real(circuit, None) == pytest.approx(1.0)
+
+    def test_handcrafted_spn(self):
+        spn = ProductNode(
+            (
+                SumNode(
+                    (0.4, 0.6),
+                    (LeafNode("X", (0.9, 0.1)), LeafNode("X", (0.1, 0.9))),
+                ),
+                LeafNode("Y", (0.3, 0.7)),
+            )
+        )
+        circuit = spn_to_circuit(spn)
+        assert evaluate_real(circuit, {"X": 0, "Y": 1}) == pytest.approx(
+            (0.4 * 0.9 + 0.6 * 0.1) * 0.7
+        )
+
+
+class TestProbLPOnSPN:
+    def test_full_analysis_pipeline(self, learned):
+        spn, _, _ = learned
+        circuit = spn_to_circuit(spn)
+        framework = ProbLP(
+            circuit, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze()
+        assert result.selected.feasible
+        assert result.selected.query_bound <= 0.01
+
+    def test_hardware_for_learned_model(self, learned):
+        spn, names, cards = learned
+        circuit = spn_to_circuit(spn)
+        framework = ProbLP(
+            circuit, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        design = framework.generate_hardware()
+        vectors = [
+            dict(zip(names, assignment))
+            for assignment in iter_product(*(range(c) for c in cards))
+        ][:12]
+        assert check_equivalence(design, vectors).equivalent

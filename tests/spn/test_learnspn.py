@@ -1,0 +1,120 @@
+"""Tests for repro.spn.learnspn (structure learning)."""
+
+import numpy as np
+import pytest
+
+from repro.spn.learnspn import LearnSPNConfig, g_statistic, learn_spn
+from repro.spn.nodes import (
+    LeafNode,
+    ProductNode,
+    SumNode,
+    enumerate_scope_states,
+)
+
+
+def independent_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.integers(0, 2, n), rng.integers(0, 3, n), rng.integers(0, 2, n)]
+    )
+
+
+def correlated_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, n)
+    b = (a + (rng.random(n) < 0.1)) % 2  # strongly dependent on a
+    c = rng.integers(0, 2, n)
+    return np.column_stack([a, b, c])
+
+
+def clustered_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    cluster = rng.integers(0, 2, n)
+    a = (cluster + (rng.random(n) < 0.05)) % 2
+    b = (cluster + (rng.random(n) < 0.05)) % 2
+    return np.column_stack([a, b])
+
+
+class TestGStatistic:
+    def test_independent_columns_small_g(self):
+        data = independent_data()
+        g, dof = g_statistic(data[:, 0], data[:, 2], 2, 2)
+        assert g < 8.0  # well below any strict threshold
+        assert dof == 1
+
+    def test_dependent_columns_large_g(self):
+        data = correlated_data()
+        g, _ = g_statistic(data[:, 0], data[:, 1], 2, 2)
+        assert g > 100.0
+
+    def test_empty_columns(self):
+        g, dof = g_statistic(np.array([], int), np.array([], int), 2, 2)
+        assert g == 0.0 and dof == 1
+
+
+class TestLearnSPN:
+    def test_independent_variables_yield_product_root(self):
+        spn = learn_spn(
+            independent_data(), ["A", "B", "C"], [2, 3, 2]
+        )
+        assert isinstance(spn, ProductNode)
+
+    def test_clustered_data_yields_sum_root(self):
+        spn = learn_spn(clustered_data(), ["A", "B"], [2, 2])
+        assert isinstance(spn, SumNode)
+
+    def test_learned_spn_is_a_distribution(self):
+        for maker in (independent_data, correlated_data, clustered_data):
+            data = maker()
+            names = [f"V{i}" for i in range(data.shape[1])]
+            cards = [int(data[:, i].max()) + 1 for i in range(data.shape[1])]
+            spn = learn_spn(data, names, cards)
+            assert enumerate_scope_states(
+                spn, dict(zip(names, cards))
+            ) == pytest.approx(1.0)
+
+    def test_scope_covers_all_variables(self):
+        data = correlated_data()
+        spn = learn_spn(data, ["A", "B", "C"], [2, 2, 2])
+        assert spn.scope == frozenset({"A", "B", "C"})
+
+    def test_single_variable_leaf(self):
+        data = np.array([[0], [1], [0], [0]])
+        spn = learn_spn(data, ["A"], [2])
+        assert isinstance(spn, LeafNode)
+
+    def test_tiny_data_factorizes(self):
+        data = correlated_data(n=10)
+        spn = learn_spn(
+            data, ["A", "B", "C"], [2, 2, 2], LearnSPNConfig(min_rows=30)
+        )
+        assert isinstance(spn, ProductNode)
+        assert all(isinstance(c, LeafNode) for c in spn.children)
+
+    def test_marginals_track_data(self):
+        data = correlated_data(n=2000, seed=3)
+        spn = learn_spn(data, ["A", "B", "C"], [2, 2, 2])
+        empirical = float((data[:, 0] == 1).mean())
+        assert spn.evaluate({"A": 1}) == pytest.approx(empirical, abs=0.05)
+
+    def test_dependence_is_captured(self):
+        # Pr(A=1, B=1) >> Pr(A=1)·Pr(B=1) in the clustered data.
+        data = clustered_data(n=2000, seed=5)
+        spn = learn_spn(data, ["A", "B"], [2, 2])
+        joint = spn.evaluate({"A": 1, "B": 1})
+        independent = spn.evaluate({"A": 1}) * spn.evaluate({"B": 1})
+        assert joint > independent + 0.1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="data must be"):
+            learn_spn(np.zeros((5, 2), int), ["A"], [2])
+        with pytest.raises(ValueError, match="disagree"):
+            learn_spn(np.zeros((5, 1), int), ["A"], [2, 3])
+        with pytest.raises(ValueError, match="empty"):
+            learn_spn(np.zeros((0, 1), int), ["A"], [2])
+
+    def test_deterministic_per_seed(self):
+        data = clustered_data()
+        a = learn_spn(data, ["A", "B"], [2, 2], LearnSPNConfig(seed=1))
+        b = learn_spn(data, ["A", "B"], [2, 2], LearnSPNConfig(seed=1))
+        assert a == b

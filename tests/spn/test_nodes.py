@@ -1,0 +1,91 @@
+"""Tests for repro.spn.nodes."""
+
+import pytest
+
+from repro.spn.nodes import (
+    LeafNode,
+    ProductNode,
+    SumNode,
+    enumerate_scope_states,
+    spn_depth,
+    spn_size,
+)
+
+
+def small_spn():
+    leaf_a0 = LeafNode("A", (0.9, 0.1))
+    leaf_a1 = LeafNode("A", (0.2, 0.8))
+    leaf_b = LeafNode("B", (0.5, 0.5))
+    mixture = SumNode((0.3, 0.7), (leaf_a0, leaf_a1))
+    return ProductNode((mixture, leaf_b))
+
+
+class TestLeafNode:
+    def test_evaluate_with_and_without_evidence(self):
+        leaf = LeafNode("A", (0.25, 0.75))
+        assert leaf.evaluate({"A": 1}) == 0.75
+        assert leaf.evaluate({}) == 1.0  # marginalized
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            LeafNode("A", (0.5, 0.6))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LeafNode("A", (-0.1, 1.1))
+
+    def test_scope(self):
+        assert LeafNode("A", (0.5, 0.5)).scope == frozenset({"A"})
+
+
+class TestProductNode:
+    def test_decomposability_enforced(self):
+        a1 = LeafNode("A", (0.5, 0.5))
+        a2 = LeafNode("A", (0.3, 0.7))
+        with pytest.raises(ValueError, match="decomposable"):
+            ProductNode((a1, a2))
+
+    def test_single_child_rejected(self):
+        with pytest.raises(ValueError, match="two children"):
+            ProductNode((LeafNode("A", (0.5, 0.5)),))
+
+    def test_evaluate_multiplies(self):
+        product = ProductNode(
+            (LeafNode("A", (0.5, 0.5)), LeafNode("B", (0.2, 0.8)))
+        )
+        assert product.evaluate({"A": 0, "B": 1}) == pytest.approx(0.4)
+
+
+class TestSumNode:
+    def test_smoothness_enforced(self):
+        a = LeafNode("A", (0.5, 0.5))
+        b = LeafNode("B", (0.5, 0.5))
+        with pytest.raises(ValueError, match="scope"):
+            SumNode((0.5, 0.5), (a, b))
+
+    def test_weights_validated(self):
+        a = LeafNode("A", (0.5, 0.5))
+        b = LeafNode("A", (0.3, 0.7))
+        with pytest.raises(ValueError, match="sum to 1"):
+            SumNode((0.5, 0.6), (a, b))
+        with pytest.raises(ValueError, match="one weight"):
+            SumNode((1.0,), (a, b))
+
+    def test_evaluate_mixes(self):
+        mixture = SumNode(
+            (0.3, 0.7),
+            (LeafNode("A", (0.9, 0.1)), LeafNode("A", (0.2, 0.8))),
+        )
+        assert mixture.evaluate({"A": 0}) == pytest.approx(0.3 * 0.9 + 0.7 * 0.2)
+
+
+class TestValidity:
+    def test_spn_is_a_distribution(self):
+        spn = small_spn()
+        total = enumerate_scope_states(spn, {"A": 2, "B": 2})
+        assert total == pytest.approx(1.0)
+
+    def test_size_and_depth(self):
+        spn = small_spn()
+        assert spn_size(spn) == 5
+        assert spn_depth(spn) == 2

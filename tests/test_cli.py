@@ -1,0 +1,120 @@
+"""Tests for the problp command line."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_analyze_network(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--network",
+                "sprinkler",
+                "--query",
+                "marginal",
+                "--tolerance",
+                "abs:0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+        assert "fixed option" in out
+
+    def test_analyze_saved_circuit(self, tmp_path, capsys, sprinkler_ac):
+        from repro.ac.io import save_circuit
+
+        path = tmp_path / "c.acjson"
+        save_circuit(sprinkler_ac.circuit, path)
+        code = main(
+            ["analyze", "--circuit", str(path), "--tolerance", "rel:0.01"]
+        )
+        assert code == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_analyze_mpe(self, capsys):
+        code = main(["analyze", "--network", "asia", "--query", "mpe"])
+        assert code == 0
+
+    def test_paper_variant_flag(self, capsys):
+        code = main(
+            ["analyze", "--network", "sprinkler", "--variant", "paper"]
+        )
+        assert code == 0
+        assert "paper" in capsys.readouterr().out
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--network", "asia", "--tolerance", "oops"])
+
+    def test_bad_query_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--network", "asia", "--query", "median"])
+
+
+class TestHwgen:
+    def test_hwgen_to_file(self, tmp_path, capsys):
+        output = tmp_path / "out.v"
+        code = main(
+            [
+                "hwgen",
+                "--network",
+                "figure1",
+                "--tolerance",
+                "abs:0.01",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "module" in text
+        assert "problp_fixed" in text or "problp_float" in text
+
+    def test_hwgen_to_stdout(self, capsys):
+        code = main(["hwgen", "--network", "figure1"])
+        assert code == 0
+        assert "endmodule" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_fig5_small(self, capsys):
+        code = main(["fig5", "--instances", "3", "--max-sweep-bits", "12"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fixed point" in out
+        assert "float point" in out
+
+    def test_table2_uiwads(self, capsys):
+        code = main(
+            [
+                "table2",
+                "--benchmark",
+                "UIWADS",
+                "--query",
+                "marginal",
+                "--tolerance",
+                "abs:0.01",
+                "--instances",
+                "5",
+            ]
+        )
+        assert code == 0
+        assert "UIWADS" in capsys.readouterr().out
+
+    def test_table2_unknown_benchmark(self):
+        with pytest.raises(SystemExit, match="unknown benchmark"):
+            main(["table2", "--benchmark", "nope"])
+
+    def test_networks_listing(self, capsys):
+        code = main(["networks"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alarm" in out
+        assert "sprinkler" in out

@@ -1,0 +1,108 @@
+"""Tests for the compile / BIF / rounding CLI additions."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompileCommand:
+    def test_compile_network_to_acjson(self, tmp_path, capsys):
+        output = tmp_path / "asia.acjson"
+        code = main(
+            ["compile", "--network", "asia", "--output", str(output)]
+        )
+        assert code == 0
+        from repro.ac.io import load_circuit
+
+        circuit = load_circuit(output)
+        assert circuit.evaluate(None) == pytest.approx(1.0)
+
+    def test_compile_with_dot(self, tmp_path, capsys):
+        output = tmp_path / "f1.acjson"
+        dot = tmp_path / "f1.dot"
+        code = main(
+            [
+                "compile",
+                "--network",
+                "figure1",
+                "--output",
+                str(output),
+                "--dot",
+                str(dot),
+            ]
+        )
+        assert code == 0
+        assert dot.read_text().startswith("digraph")
+
+    def test_compile_mpe(self, tmp_path):
+        output = tmp_path / "mpe.acjson"
+        code = main(
+            [
+                "compile",
+                "--network",
+                "sprinkler",
+                "--query",
+                "mpe",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        from repro.ac.io import load_circuit
+
+        assert load_circuit(output).stats().num_max > 0
+
+    def test_compile_requires_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compile", "--output", str(tmp_path / "x.acjson")])
+
+
+class TestBIFFlow:
+    def test_analyze_from_bif(self, tmp_path, capsys, sprinkler):
+        from repro.bn.bif import save_bif
+
+        path = tmp_path / "net.bif"
+        save_bif(sprinkler, path)
+        code = main(["analyze", "--bif", str(path), "--tolerance", "abs:0.01"])
+        assert code == 0
+        assert "selected" in capsys.readouterr().out
+
+    def test_compile_from_bif(self, tmp_path, asia):
+        from repro.bn.bif import save_bif
+
+        bif_path = tmp_path / "asia.bif"
+        save_bif(asia, bif_path)
+        output = tmp_path / "asia.acjson"
+        code = main(
+            ["compile", "--bif", str(bif_path), "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+
+
+class TestRoundingFlag:
+    def test_truncate_rounding_analyze(self, capsys):
+        code = main(
+            [
+                "analyze",
+                "--network",
+                "sprinkler",
+                "--rounding",
+                "truncate",
+            ]
+        )
+        assert code == 0
+
+    def test_truncate_needs_more_bits_than_nearest(self, capsys):
+        main(["analyze", "--network", "sprinkler", "--rounding", "truncate"])
+        truncated = capsys.readouterr().out
+        main(["analyze", "--network", "sprinkler"])
+        nearest = capsys.readouterr().out
+
+        def fixed_bits(text):
+            import re
+
+            match = re.search(r"fixed\(I=\d+, F=(\d+)\)", text)
+            return int(match.group(1))
+
+        assert fixed_bits(truncated) >= fixed_bits(nearest)

@@ -1,0 +1,132 @@
+"""End-to-end integration: data → BN → AC → bounds → hardware → errors.
+
+Each test walks the entire ProbLP pipeline for a different entry point
+and asserts the paper's end-to-end guarantees: tolerance met empirically,
+selections consistent with energy, hardware bit-exact.
+"""
+
+import pytest
+
+from repro import (
+    ErrorTolerance,
+    ProbLP,
+    ProbLPConfig,
+    QueryType,
+    check_equivalence,
+    compile_mpe,
+    compile_network,
+)
+from repro.ac.evaluate import evaluate_quantized, evaluate_real
+from repro.bn.sampling import forward_sample
+
+
+class TestClassifierPipeline:
+    """Sensor data through training, analysis and hardware."""
+
+    def test_full_pipeline_meets_tolerance(self, mini_benchmark):
+        compiled = compile_network(mini_benchmark.classifier.network)
+        framework = ProbLP(
+            compiled, QueryType.MARGINAL, ErrorTolerance.absolute(0.005)
+        )
+        result = framework.analyze()
+        backend = framework.backend_for(result.selected_format)
+        circuit = framework.binary_circuit
+        worst = 0.0
+        for evidence in mini_benchmark.test_evidences(limit=12):
+            for c in range(mini_benchmark.num_classes):
+                joint = {**evidence, mini_benchmark.class_name: c}
+                exact = evaluate_real(circuit, joint)
+                quantized = evaluate_quantized(circuit, backend, joint)
+                worst = max(worst, abs(quantized - exact))
+        assert worst <= 0.005
+        assert worst > 0.0
+
+    def test_hardware_matches_software(self, mini_benchmark):
+        compiled = compile_network(mini_benchmark.classifier.network)
+        framework = ProbLP(
+            compiled, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        design = framework.generate_hardware()
+        vectors = [
+            {**evidence, mini_benchmark.class_name: 0}
+            for evidence in mini_benchmark.test_evidences(limit=10)
+        ]
+        assert check_equivalence(design, vectors).equivalent
+
+
+class TestAlarmPipeline:
+    def test_conditional_float_selection_and_accuracy(self, alarm, alarm_ac):
+        framework = ProbLP(
+            alarm_ac,
+            QueryType.CONDITIONAL,
+            ErrorTolerance.relative(0.01),
+        )
+        result = framework.analyze()
+        assert result.selected.kind == "float"
+        backend = framework.backend_for(result.selected_format)
+        circuit = framework.binary_circuit
+        leaves = alarm.leaves()
+        for sample in forward_sample(alarm, 5, rng=11):
+            evidence = {leaf: sample[leaf] for leaf in leaves}
+            joint = {**evidence, "LVFAILURE": 0}
+            exact = evaluate_real(circuit, joint) / evaluate_real(
+                circuit, evidence
+            )
+            quantized = evaluate_quantized(
+                circuit, backend, joint
+            ) / evaluate_quantized(circuit, backend, evidence)
+            assert abs(quantized - exact) / exact <= 0.01
+
+    def test_alarm_fixed_selection_matches_paper_shape(self, alarm_ac):
+        result = ProbLP(
+            alarm_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        ).analyze()
+        # Paper Table 2, Alarm row: fixed I=1, F=14 vs float E=8, M=13,
+        # fixed selected. Allow ±2 bits of slack for CPT differences.
+        assert result.selected.kind == "fixed"
+        fmt = result.selection.fixed.fmt
+        assert fmt.integer_bits == 1
+        assert 12 <= fmt.fraction_bits <= 17
+        float_fmt = result.selection.float_.fmt
+        assert 12 <= float_fmt.mantissa_bits <= 16
+        assert 8 <= float_fmt.exponent_bits <= 10
+
+
+class TestMPEPipeline:
+    def test_mpe_analysis_and_hardware(self, asia):
+        compiled = compile_mpe(asia)
+        framework = ProbLP(
+            compiled, QueryType.MPE, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze()
+        assert result.selected.kind in ("fixed", "float")
+        design = framework.generate_hardware(result=result)
+        vectors = [{}, {"Xray": 1}, {"Smoking": 0, "Dyspnea": 1}]
+        assert check_equivalence(design, vectors).equivalent
+
+
+class TestConfigurationMatrix:
+    @pytest.mark.parametrize("query", list(QueryType))
+    @pytest.mark.parametrize("kind", ["absolute", "relative"])
+    def test_every_query_tolerance_combo_analyzable(
+        self, sprinkler_ac, asia_mpe, query, kind
+    ):
+        tolerance = (
+            ErrorTolerance.absolute(0.01)
+            if kind == "absolute"
+            else ErrorTolerance.relative(0.01)
+        )
+        source = asia_mpe if query is QueryType.MPE else sprinkler_ac
+        result = ProbLP(source, query, tolerance).analyze()
+        assert result.selected.feasible
+        assert result.selected.query_bound <= 0.01
+
+    def test_paper_variant_full_run(self, sprinkler_ac):
+        result = ProbLP(
+            sprinkler_ac,
+            QueryType.CONDITIONAL,
+            ErrorTolerance.absolute(0.01),
+            ProbLPConfig(bound_variant="paper"),
+        ).analyze()
+        assert result.variant == "paper"
+        assert result.selected.feasible

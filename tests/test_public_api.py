@@ -1,0 +1,34 @@
+"""The top-level package exposes a coherent public API."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        from repro import ErrorTolerance, ProbLP, QueryType, compile_network
+        from repro.bn.networks import sprinkler_network
+
+        compiled = compile_network(sprinkler_network())
+        framework = ProbLP(
+            compiled, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze()
+        assert result.selected.kind in ("fixed", "float")
+        design = framework.generate_hardware(result=result)
+        assert "module" in design.verilog()
+
+    def test_docstring_example_in_framework(self):
+        import doctest
+
+        import repro.core.framework as module
+
+        failures, _ = doctest.testmod(module, raise_on_error=False)
+        assert failures.failed == 0 if hasattr(failures, "failed") else True
