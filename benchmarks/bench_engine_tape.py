@@ -1,0 +1,151 @@
+"""Legacy-vs-tape micro-benchmark for the execution engine.
+
+Compares, on the binarized Alarm circuit:
+
+* scalar float64: seed per-node loop vs tape replay;
+* batched float64: seed per-node numpy sweep vs tape executor;
+* batched quantized fixed point: the seed's only options were the
+  per-node big-int loop (``evaluate_quantized`` per instance) — the
+  "legacy per-node Python loop" baseline — vs the vectorized int64 tape
+  executor;
+* batched quantized float: scalar big-int loop vs the engine's new
+  vectorized float emulation (the seed had no fast float path at all).
+
+Run with ``-s`` to see the speedup table::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_tape.py -q -s
+
+The quantized-batch speedup is asserted ≥ 5× (it is typically well
+beyond 10×); pure-overhead comparisons print but do not gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ac.evaluate import evaluate_quantized
+from repro.arith import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FloatBackend,
+    FloatFormat,
+)
+from repro.engine import (
+    FixedPointBatchExecutor,
+    FloatBatchExecutor,
+    execute_batch,
+    execute_real,
+    tape_for,
+)
+from repro.engine.reference import (
+    reference_evaluate_batch,
+    reference_evaluate_real,
+)
+from repro.experiments.validation import alarm_marginal_evidences
+
+from conftest import BENCH_INSTANCES, write_result
+
+
+def _time(function, *args, repeats: int = 3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def bench_setup(alarm, alarm_binary):
+    tape = tape_for(alarm_binary)
+    evidences = alarm_marginal_evidences(
+        alarm, max(BENCH_INSTANCES, 40), seed=77
+    )
+    # Vectorized executors amortize per-op numpy overhead over the
+    # batch; measure quantized sweeps at a serving-sized batch.
+    quant_evidences = alarm_marginal_evidences(
+        alarm, max(BENCH_INSTANCES, 200), seed=78
+    )
+    return tape, alarm_binary, evidences, quant_evidences
+
+
+def test_engine_tape_speedups(bench_setup):
+    tape, circuit, evidences, quant_evidences = bench_setup
+    fixed_fmt = FixedPointFormat(1, 15)
+    float_fmt = FloatFormat(9, 14)
+    rows = []
+
+    # Scalar float64 (per evaluation).
+    legacy_time, legacy_value = _time(
+        reference_evaluate_real, circuit, evidences[0]
+    )
+    tape_time, tape_value = _time(execute_real, tape, evidences[0])
+    assert tape_value == legacy_value
+    rows.append(("scalar float64", legacy_time, tape_time, 1))
+
+    # Batched float64.
+    legacy_time, legacy_batch = _time(
+        reference_evaluate_batch, circuit, evidences
+    )
+    tape_time, tape_batch = _time(execute_batch, tape, evidences)
+    assert abs(tape_batch - legacy_batch).max() < 1e-12
+    rows.append(("batched float64", legacy_time, tape_time, len(evidences)))
+
+    # Batched quantized fixed point: legacy = scalar big-int loop.
+    backend = FixedPointBackend(fixed_fmt)
+
+    def legacy_fixed_batch():
+        return [
+            evaluate_quantized(circuit, backend, evidence)
+            for evidence in quant_evidences
+        ]
+
+    legacy_time, legacy_quant = _time(legacy_fixed_batch, repeats=1)
+    executor = FixedPointBatchExecutor(tape, fixed_fmt)
+    tape_time, tape_quant = _time(executor.evaluate_batch, quant_evidences)
+    assert list(tape_quant) == legacy_quant  # bit-identical
+    fixed_speedup = legacy_time / tape_time
+    rows.append(
+        ("batched fixed(1,15)", legacy_time, tape_time, len(quant_evidences))
+    )
+
+    # Batched quantized float: legacy = scalar big-int loop.
+    float_backend = FloatBackend(float_fmt)
+
+    def legacy_float_batch():
+        return [
+            evaluate_quantized(circuit, float_backend, evidence)
+            for evidence in quant_evidences
+        ]
+
+    legacy_time, legacy_quant = _time(legacy_float_batch, repeats=1)
+    float_executor = FloatBatchExecutor(tape, float_fmt)
+    tape_time, tape_quant = _time(
+        float_executor.evaluate_batch, quant_evidences
+    )
+    assert list(tape_quant) == legacy_quant  # bit-identical
+    float_speedup = legacy_time / tape_time
+    rows.append(
+        ("batched float(9,14)", legacy_time, tape_time, len(quant_evidences))
+    )
+
+    lines = [
+        f"engine tape benchmark — alarm binary, {len(evidences)} instances",
+        f"{'sweep':>22} {'legacy':>12} {'tape':>12} {'speedup':>9}",
+    ]
+    for name, legacy_time, tape_time, _ in rows:
+        lines.append(
+            f"{name:>22} {legacy_time * 1e3:>10.2f}ms {tape_time * 1e3:>10.2f}ms "
+            f"{legacy_time / tape_time:>8.1f}x"
+        )
+    report = "\n".join(lines)
+    print("\n" + report)
+    write_result("engine_tape.txt", report + "\n")
+
+    # Acceptance gate: vectorized quantized sweeps must beat the legacy
+    # per-node Python loop by at least 5x.
+    assert fixed_speedup >= 5.0, report
+    assert float_speedup >= 5.0, report

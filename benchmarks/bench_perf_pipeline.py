@@ -114,3 +114,55 @@ def test_perf_vectorized_fixed_batch_100(benchmark, alarm, alarm_binary):
     evidences = alarm_marginal_evidences(alarm, 100, seed=6)
     values = benchmark(evaluator.evaluate_batch, evidences)
     assert values.shape == (100,)
+
+
+# ---------------------------------------------------------------------
+# Compiled-tape engine (see bench_engine_tape.py for legacy-vs-tape
+# speedup measurements; these track absolute engine throughput).
+# ---------------------------------------------------------------------
+def test_perf_tape_compile_alarm(benchmark, alarm_binary):
+    from repro.engine import compile_tape
+
+    tape = benchmark(compile_tape, alarm_binary)
+    assert tape.num_operations > 0
+
+
+def test_perf_tape_scalar_real(benchmark, alarm_binary, alarm_evidence):
+    from repro.engine import InferenceSession
+
+    session = InferenceSession(alarm_binary)
+    value = benchmark(session.evaluate, alarm_evidence)
+    assert 0.0 <= value <= 1.0
+
+
+def test_perf_tape_batch_100(benchmark, alarm, alarm_binary):
+    from repro.engine import InferenceSession
+    from repro.experiments.validation import alarm_marginal_evidences
+
+    session = InferenceSession(alarm_binary)
+    evidences = alarm_marginal_evidences(alarm, 100, seed=8)
+    values = benchmark(session.evaluate_batch, evidences)
+    assert values.shape == (100,)
+
+
+def test_perf_tape_float_batch_100(benchmark, alarm, alarm_binary):
+    from repro.arith import FloatFormat
+    from repro.engine import InferenceSession
+    from repro.experiments.validation import alarm_marginal_evidences
+
+    session = InferenceSession(alarm_binary)
+    evidences = alarm_marginal_evidences(alarm, 100, seed=9)
+    values = benchmark(
+        session.evaluate_quantized_batch, FloatFormat(9, 14), evidences
+    )
+    assert values.shape == (100,)
+
+
+def test_perf_evidence_encoder_batch_1000(benchmark, alarm, alarm_binary):
+    from repro.engine import EvidenceEncoder, tape_for
+    from repro.experiments.validation import alarm_marginal_evidences
+
+    encoder = EvidenceEncoder.for_tape(tape_for(alarm_binary))
+    evidences = alarm_marginal_evidences(alarm, 1000, seed=10)
+    matrix = benchmark(encoder.encode, evidences)
+    assert matrix.shape == (encoder.num_indicators, 1000)

@@ -41,6 +41,7 @@ from .core import (
     ToleranceType,
 )
 from .energy import EnergyModel, PAPER_MODEL
+from .engine import InferenceSession, Tape, compile_tape, session_for
 from .hw import HardwareDesign, check_equivalence, generate_hardware
 
 __version__ = "1.0.0"
@@ -57,8 +58,10 @@ __all__ = [
     "FloatBackend",
     "FloatFormat",
     "HardwareDesign",
+    "InferenceSession",
     "NaiveBayesClassifier",
     "OpType",
+    "Tape",
     "PAPER_MODEL",
     "ProbLP",
     "ProbLPConfig",
@@ -70,6 +73,8 @@ __all__ = [
     "check_equivalence",
     "compile_mpe",
     "compile_network",
+    "compile_tape",
     "generate_hardware",
+    "session_for",
     "__version__",
 ]

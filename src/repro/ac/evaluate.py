@@ -10,6 +10,17 @@ Three evaluators are provided:
   number system (fixed- or floating-point simulators from
   :mod:`repro.arith`), which must implement :class:`QuantizedBackend`.
 
+The float64 entry points are thin wrappers over the compiled-tape
+engine (:mod:`repro.engine`): the circuit is linearized once into a
+cached :class:`~repro.engine.tape.Tape` and each call replays the tape.
+Results are bit-identical to the original per-node sweeps (which are
+preserved verbatim in :mod:`repro.engine.reference` and differentially
+tested against the engine).
+
+``evaluate_quantized`` / ``evaluate_quantized_values`` intentionally
+keep the original per-node loop: they are the golden reference all
+accelerated quantized executors are validated against.
+
 Quantized evaluation requires a **binary** circuit: every rounding the
 hardware performs corresponds to exactly one two-input operator, so
 evaluating an n-ary node would silently disagree with the error analysis
@@ -61,23 +72,12 @@ def evaluate_values(
     evidence: Mapping[str, int] | None = None,
 ) -> list[float]:
     """Float64 value of every node under the given evidence."""
-    lambda_values = circuit.indicator_assignment(evidence)
-    values: list[float] = [0.0] * len(circuit)
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            values[index] = node.value
-        elif node.op is OpType.INDICATOR:
-            values[index] = lambda_values[(node.variable, node.state)]
-        elif node.op is OpType.SUM:
-            values[index] = sum(values[c] for c in node.children)
-        elif node.op is OpType.PRODUCT:
-            result = 1.0
-            for child in node.children:
-                result *= values[child]
-            values[index] = result
-        else:  # MAX
-            values[index] = max(values[c] for c in node.children)
-    return values
+    # Imported lazily: repro.ac.__init__ loads this module while the
+    # engine package (which imports repro.ac.circuit) may still be
+    # initializing.
+    from ..engine import execute_values, tape_for
+
+    return execute_values(tape_for(circuit), evidence)
 
 
 def evaluate_real(
@@ -85,7 +85,9 @@ def evaluate_real(
     evidence: Mapping[str, int] | None = None,
 ) -> float:
     """Float64 value of the root under the given evidence."""
-    return evaluate_values(circuit, evidence)[circuit.root]
+    from ..engine import execute_real, tape_for
+
+    return execute_real(tape_for(circuit), evidence)
 
 
 def evaluate_batch(
@@ -94,34 +96,12 @@ def evaluate_batch(
 ) -> np.ndarray:
     """Float64 root values for a batch of evidence assignments.
 
-    Vectorizes over the batch: one numpy operation per circuit node.
+    Vectorizes over the batch: one numpy operation per tape operation.
     Returns an array of shape ``(len(evidence_batch),)``.
     """
-    batch_size = len(evidence_batch)
-    if batch_size == 0:
-        return np.empty(0)
-    # Precompute indicator value matrices.
-    lambda_matrix: dict[tuple[str, int], np.ndarray] = {}
-    for (variable, state) in circuit.indicators:
-        column = np.ones(batch_size)
-        for row, evidence in enumerate(evidence_batch):
-            if variable in evidence and evidence[variable] != state:
-                column[row] = 0.0
-        lambda_matrix[(variable, state)] = column
+    from ..engine import execute_batch, tape_for
 
-    values = np.empty((len(circuit), batch_size))
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            values[index] = node.value
-        elif node.op is OpType.INDICATOR:
-            values[index] = lambda_matrix[(node.variable, node.state)]
-        elif node.op is OpType.SUM:
-            values[index] = values[list(node.children)].sum(axis=0)
-        elif node.op is OpType.PRODUCT:
-            values[index] = values[list(node.children)].prod(axis=0)
-        else:  # MAX
-            values[index] = values[list(node.children)].max(axis=0)
-    return values[circuit.root].copy()
+    return execute_batch(tape_for(circuit), evidence_batch)
 
 
 def evaluate_quantized_values(

@@ -1,158 +1,104 @@
-"""Fast evaluation paths for quantized sweeps.
+"""Fast evaluation paths for quantized sweeps (tape-backed).
 
-The bound-validation and Table 2 experiments evaluate the same circuit
-thousands of times. Two accelerators keep that pure-Python-tractable:
+Historically this module carried its own linearizer (``Program``) and a
+hand-rolled int64 batch evaluator (``VectorFixedPointEvaluator``). Both
+are now thin wrappers over the compiled-tape engine
+(:mod:`repro.engine`), which owns the single linearization every sweep
+shares. The classes stay because experiments, benchmarks and downstream
+code construct them by name; new code should prefer
+:class:`repro.engine.InferenceSession`.
 
-* :class:`Program` — the circuit linearized into plain opcode tuples,
-  removing per-node attribute lookups from the inner loop (works with
-  any backend, ~2× faster than the generic evaluator);
-* :class:`VectorFixedPointEvaluator` — an **exact** numpy int64
-  implementation of fixed-point evaluation over a whole evidence batch
-  at once. Exactness requires products to fit in int64, i.e.
-  ``2·(I+F) ≤ 62``; wider formats must use the big-int path. Results are
-  bit-identical to :class:`repro.arith.FixedPointBackend` (tested).
+* :class:`Program` — compiles the circuit's cached
+  :class:`~repro.engine.tape.Tape` and evaluates it with any
+  :class:`~repro.ac.evaluate.QuantizedBackend`;
+* :class:`VectorFixedPointEvaluator` — exact numpy int64 fixed-point
+  batch evaluation, bit-identical to
+  :class:`repro.arith.FixedPointBackend` (tested), valid for formats
+  with ``2·(I+F) ≤ 62``. Unlike the pre-engine version it also accepts
+  ``F = 0`` integer formats.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..arith.fixedpoint import FixedPointFormat, FixedPointOverflowError
-from ..arith.rounding import RoundingMode
+from ..arith.fixedpoint import FixedPointFormat
 from .circuit import ArithmeticCircuit
-from .nodes import OpType
 
-# Opcodes of the linearized program.
+# Legacy public opcode names. They mirror repro.engine.tape (where the
+# canonical definitions live); redefined literally here to keep this
+# module importable while the engine package is still initializing.
 OP_SUM, OP_PRODUCT, OP_MAX = 0, 1, 2
 
 
+def _require_binary(circuit: ArithmeticCircuit) -> None:
+    if not circuit.is_binary:
+        raise ValueError(
+            "program compilation requires a binary circuit; apply "
+            "repro.ac.transform.binarize first"
+        )
+
+
 class Program:
-    """A circuit linearized for fast repeated quantized evaluation."""
+    """A circuit linearized for fast repeated quantized evaluation.
+
+    Wraps the circuit's cached tape plus a
+    :class:`~repro.engine.executors.QuantizedTapeEvaluator`. The legacy
+    introspection attributes (``parameters``, ``indicators``,
+    ``operations``, ``num_slots``, ``root``) are preserved.
+    """
 
     def __init__(self, circuit: ArithmeticCircuit) -> None:
-        if not circuit.is_binary:
-            raise ValueError(
-                "program compilation requires a binary circuit; apply "
-                "repro.ac.transform.binarize first"
-            )
+        from ..engine import QuantizedTapeEvaluator, tape_for
+
+        _require_binary(circuit)
         self.circuit = circuit
-        self.num_slots = len(circuit)
-        self.root = circuit.root
-        self.parameters: list[tuple[int, float]] = []
-        self.indicators: list[tuple[int, str, int]] = []
-        self.operations: list[tuple[int, int, int, int]] = []
-        for index, node in enumerate(circuit.nodes):
-            if node.op is OpType.PARAMETER:
-                self.parameters.append((index, node.value))
-            elif node.op is OpType.INDICATOR:
-                self.indicators.append((index, node.variable, node.state))
-            else:
-                opcode = {
-                    OpType.SUM: OP_SUM,
-                    OpType.PRODUCT: OP_PRODUCT,
-                    OpType.MAX: OP_MAX,
-                }[node.op]
-                left = node.children[0]
-                right = node.children[1] if len(node.children) > 1 else left
-                self.operations.append((opcode, index, left, right))
+        self.tape = tape_for(circuit)
+        self._evaluator = QuantizedTapeEvaluator(self.tape)
+        self.num_slots = self.tape.num_slots
+        self.root = self.tape.require_root()
+        self.parameters: list[tuple[int, float]] = [
+            (int(slot), float(self.tape.param_values[value_id]))
+            for slot, value_id in zip(
+                self.tape.param_slots, self.tape.param_ids
+            )
+        ]
+        self.indicators: list[tuple[int, str, int]] = [
+            (int(slot), variable, state)
+            for slot, (variable, state) in zip(
+                self.tape.indicator_slots, self.tape.indicator_keys
+            )
+        ]
+        self.operations: list[tuple[int, int, int, int]] = [
+            (opcode, dest, left, right)
+            for opcode, dest, left, right in self.tape.op_tuples
+        ]
 
     def evaluate(self, backend, evidence: Mapping[str, int] | None = None) -> float:
         """Quantized evaluation; same semantics as ``evaluate_quantized``."""
-        lambda_values = self.circuit.indicator_assignment(evidence)
-        slots: list[Any] = [None] * self.num_slots
-        quantized_cache: dict[float, Any] = {}
-        for index, value in self.parameters:
-            cached = quantized_cache.get(value)
-            if cached is None:
-                cached = quantized_cache[value] = backend.from_real(value)
-            slots[index] = cached
-        one, zero = backend.one(), backend.zero()
-        for index, variable, state in self.indicators:
-            slots[index] = (
-                one if lambda_values[(variable, state)] == 1.0 else zero
-            )
-        add, multiply, maximum = backend.add, backend.multiply, backend.maximum
-        for opcode, destination, left, right in self.operations:
-            if opcode == OP_SUM:
-                slots[destination] = add(slots[left], slots[right])
-            elif opcode == OP_PRODUCT:
-                slots[destination] = multiply(slots[left], slots[right])
-            else:
-                slots[destination] = maximum(slots[left], slots[right])
-        return backend.to_real(slots[self.root])
+        return self._evaluator.evaluate(backend, evidence)
 
 
 class VectorFixedPointEvaluator:
     """Exact batched fixed-point evaluation on numpy int64 mantissas."""
 
     def __init__(self, circuit: ArithmeticCircuit, fmt: FixedPointFormat) -> None:
-        if 2 * fmt.total_bits > 62:
-            raise ValueError(
-                f"vectorized fixed point needs 2·(I+F) ≤ 62 bits to stay "
-                f"exact in int64; {fmt.describe()} has {fmt.total_bits} "
-                f"total bits — use the big-int backend instead"
-            )
-        self.program = Program(circuit)
+        from ..engine import FixedPointBatchExecutor, tape_for
+
+        _require_binary(circuit)
+        self.circuit = circuit
         self.fmt = fmt
-        self._max_mantissa = fmt.max_mantissa
-        # Pre-quantize parameter mantissas once (exact big-int path).
-        from ..arith.fixedpoint import FixedPointBackend
-
-        backend = FixedPointBackend(fmt)
-        self._parameter_words = [
-            (index, backend.from_real(value).mantissa)
-            for index, value in self.program.parameters
-        ]
-        self._one_word = backend.one().mantissa
-
-    def _round_products(self, products: np.ndarray) -> np.ndarray:
-        """Vectorized rounding of 2F-fraction products back to F bits."""
-        fraction_bits = self.fmt.fraction_bits
-        quotient = products >> fraction_bits
-        remainder = products & ((1 << fraction_bits) - 1)
-        mode = self.fmt.rounding
-        if mode is RoundingMode.TRUNCATE:
-            return quotient
-        half = 1 << (fraction_bits - 1)
-        if mode is RoundingMode.NEAREST_UP:
-            return quotient + (remainder >= half)
-        round_up = (remainder > half) | (
-            (remainder == half) & ((quotient & 1) == 1)
-        )
-        return quotient + round_up
+        self._executor = FixedPointBatchExecutor(tape_for(circuit), fmt)
 
     def evaluate_batch(
         self, evidence_batch: Sequence[Mapping[str, int]]
     ) -> np.ndarray:
         """Evaluate the batch; returns float64 values of the root word.
 
-        Raises :class:`FixedPointOverflowError` if any intermediate
-        exceeds the representable range, exactly like the scalar backend.
+        Raises :class:`repro.arith.FixedPointOverflowError` if any
+        intermediate exceeds the representable range, exactly like the
+        scalar backend.
         """
-        batch = len(evidence_batch)
-        if batch == 0:
-            return np.empty(0)
-        slots = np.zeros((self.program.num_slots, batch), dtype=np.int64)
-        for index, word in self._parameter_words:
-            slots[index] = word
-        for index, variable, state in self.program.indicators:
-            column = np.full(batch, self._one_word, dtype=np.int64)
-            for row, evidence in enumerate(evidence_batch):
-                if variable in evidence and evidence[variable] != state:
-                    column[row] = 0
-            slots[index] = column
-        for opcode, destination, left, right in self.program.operations:
-            if opcode == OP_SUM:
-                result = slots[left] + slots[right]
-            elif opcode == OP_PRODUCT:
-                result = self._round_products(slots[left] * slots[right])
-            else:  # OP_MAX
-                result = np.maximum(slots[left], slots[right])
-            if result.max(initial=0) > self._max_mantissa:
-                raise FixedPointOverflowError(
-                    f"overflow at node {destination} in {self.fmt.describe()}"
-                )
-            slots[destination] = result
-        return slots[self.program.root] * 2.0 ** (-self.fmt.fraction_bits)
+        return self._executor.evaluate_batch(evidence_batch)

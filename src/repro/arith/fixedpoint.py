@@ -71,6 +71,16 @@ class FixedPointFormat:
         return 2.0 ** (-self.fraction_bits)
 
     @property
+    def fits_int64_products(self) -> bool:
+        """True when 2F-fraction products stay exact in int64 lanes.
+
+        The contract of the vectorized tape executor
+        (:class:`repro.engine.FixedPointBatchExecutor`): ``2·(I+F) ≤ 62``.
+        Wider formats must use the scalar big-int backend.
+        """
+        return 2 * self.total_bits <= 62
+
+    @property
     def conversion_error_bound(self) -> float:
         """Worst-case rounding error of a single conversion.
 

@@ -81,6 +81,17 @@ class FloatFormat:
         return (2.0 - 2.0 ** (-self.mantissa_bits)) * 2.0 ** self.max_exponent
 
     @property
+    def fits_int64_products(self) -> bool:
+        """True when mantissa products stay exact in int64 lanes.
+
+        The contract of the vectorized tape executor
+        (:class:`repro.engine.FloatBatchExecutor`): ``2·(M+1) ≤ 62`` and
+        bounded exponents (``E ≤ 32``). Wider formats must use the scalar
+        big-int backend.
+        """
+        return 2 * (self.mantissa_bits + 1) <= 62 and self.exponent_bits <= 32
+
+    @property
     def unit_roundoff(self) -> float:
         """The per-operation relative error bound ε.
 

@@ -5,6 +5,8 @@ Subcommands:
 * ``analyze`` — run the ProbLP analysis for a circuit (from a benchmark
   network name or a saved ``.acjson`` file) and print the report;
 * ``hwgen`` — generate Verilog for the selected (or a forced) format;
+* ``eval`` — serve evidence batches from the compiled-tape engine
+  (exact float64 and/or a quantized format);
 * ``fig5`` — regenerate the Figure-5 bound-validation series;
 * ``table2`` — regenerate one Table-2 row for a named benchmark;
 * ``networks`` — list the built-in benchmark networks.
@@ -16,6 +18,9 @@ Examples::
         --tolerance rel:0.01 --variant paper
     problp hwgen --network sprinkler --query marginal \\
         --tolerance abs:0.01 --output sprinkler.v
+    problp eval --network alarm --evidence-file batch.json \\
+        --format fixed:1:15
+    problp eval --network sprinkler --sample 1000 --format float:8:14
     problp fig5 --instances 100
     problp table2 --benchmark UIWADS --query marginal --tolerance abs:0.01
 """
@@ -228,6 +233,102 @@ def cmd_table2(args) -> int:
     return 0
 
 
+def _parse_format(text: str):
+    """``fixed:I:F`` or ``float:E:M`` → a number format."""
+    from .arith import FixedPointFormat, FloatFormat
+
+    try:
+        kind, first, second = text.split(":", 2)
+        first, second = int(first), int(second)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"format must look like 'fixed:1:15' (I:F) or 'float:8:14' "
+            f"(E:M), got {text!r}"
+        ) from None
+    if kind == "fixed":
+        return FixedPointFormat(first, second)
+    if kind == "float":
+        return FloatFormat(first, second)
+    raise argparse.ArgumentTypeError(
+        f"format kind must be 'fixed' or 'float', got {kind!r}"
+    )
+
+
+def cmd_eval(args) -> int:
+    """Serve an evidence batch from a compiled-tape InferenceSession."""
+    import json
+    import time
+
+    from .ac.transform import binarize
+    from .engine import InferenceSession
+
+    circuit = _load_circuit(args)
+    if hasattr(circuit, "circuit"):  # CompiledCircuit and friends
+        circuit = circuit.circuit
+    if args.format is not None and not circuit.is_binary:
+        circuit = binarize(circuit).circuit
+
+    if args.evidence_file is not None:
+        batch = json.loads(Path(args.evidence_file).read_text())
+        if isinstance(batch, dict):
+            batch = [batch]
+        if not isinstance(batch, list):
+            raise SystemExit(
+                "evidence file must hold a JSON object or list of objects"
+            )
+    elif args.sample:
+        network = _load_network(args)
+        if network is None:
+            raise SystemExit("--sample needs --network or --bif")
+        from .bn.sampling import forward_sample
+
+        leaves = network.leaves()
+        batch = [
+            {leaf: sample[leaf] for leaf in leaves}
+            for sample in forward_sample(network, args.sample, rng=args.seed)
+        ]
+    else:
+        batch = [{}]
+
+    fmt = args.format
+    if fmt is not None:
+        from dataclasses import replace
+
+        from .arith.rounding import RoundingMode
+
+        fmt = replace(fmt, rounding=RoundingMode(args.rounding))
+
+    session = InferenceSession(circuit)
+    start = time.perf_counter()
+    try:
+        # Strict: a typo'd variable name at the CLI should fail loudly,
+        # not silently read as "unobserved".
+        exact = session.evaluate_batch(batch, strict=True)
+        quantized = (
+            session.evaluate_quantized_batch(fmt, batch)
+            if fmt is not None
+            else None
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    except ArithmeticError as error:
+        raise SystemExit(
+            f"quantized evaluation failed in {fmt.describe()}: {error}"
+        ) from None
+    elapsed = time.perf_counter() - start
+    for row in range(len(batch)):
+        if quantized is None:
+            print(f"{exact[row]:.17g}")
+        else:
+            print(f"{exact[row]:.17g}\t{quantized[row]:.17g}")
+    print(
+        f"# {len(batch)} evaluations in {elapsed * 1e3:.2f} ms on "
+        f"{session.tape.describe()}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_networks(_args) -> int:
     from .bn.networks import available_networks, get_network
 
@@ -271,6 +372,29 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--dot-max-nodes", type=int, default=500)
     compile_cmd.set_defaults(handler=cmd_compile)
 
+    eval_cmd = subparsers.add_parser(
+        "eval", help="evaluate evidence batches on the compiled tape"
+    )
+    _add_model_arguments(eval_cmd)
+    eval_cmd.add_argument(
+        "--evidence-file",
+        type=Path,
+        help="JSON file: one evidence object or a list of them",
+    )
+    eval_cmd.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="sample N leaf-evidence instances from the network instead",
+    )
+    eval_cmd.add_argument("--seed", type=int, default=1000)
+    eval_cmd.add_argument(
+        "--format",
+        type=_parse_format,
+        help="also evaluate quantized, e.g. fixed:1:15 or float:8:14",
+    )
+    eval_cmd.set_defaults(handler=cmd_eval)
+
     fig5 = subparsers.add_parser(
         "fig5", help="regenerate the Figure-5 bound validation"
     )
@@ -303,7 +427,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

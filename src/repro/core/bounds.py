@@ -13,6 +13,11 @@ error from the leaves to the root:
 Propagation requires a **binary** circuit: each 2-input operator is one
 hardware rounding. Bounds computed on any other decomposition would not
 describe the generated hardware.
+
+Both propagations iterate the circuit's compiled tape
+(:mod:`repro.engine.tape`) — the same flat operation stream every
+evaluator replays — so the bound analysis and the simulated hardware are
+structurally guaranteed to walk identical operator DAGs.
 """
 
 from __future__ import annotations
@@ -20,19 +25,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ac.circuit import ArithmeticCircuit
-from ..ac.nodes import OpType
 from ..arith.fixedpoint import FixedPointFormat
-from ..arith.floatingpoint import FloatFormat
+from ..engine.tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape, tape_for
 from .errormodels import FixedErrorModel, FloatErrorModel
 from .extremes import ExtremeAnalysis
 
 
-def _require_binary(circuit: ArithmeticCircuit) -> None:
+def _binary_tape(circuit: ArithmeticCircuit) -> Tape:
     if not circuit.is_binary:
         raise ValueError(
             "bound propagation requires a binary circuit; apply "
             "repro.ac.transform.binarize first"
         )
+    return tape_for(circuit)
+
+
+def _leaf_errors(tape: Tape, model, deltas: list) -> None:
+    """Seed θ and λ slots with the model's per-leaf error terms."""
+    leaf = model.leaf()
+    for slot in tape.param_slots:
+        deltas[slot] = leaf
+    indicator = model.indicator()
+    for slot in tape.indicator_slots:
+        deltas[slot] = indicator
 
 
 @dataclass(frozen=True)
@@ -60,7 +75,7 @@ def propagate_fixed_bounds(
     count. ``extremes`` (max-value analysis) is computed on demand; pass
     it in when analyzing many precisions of the same circuit.
     """
-    _require_binary(circuit)
+    tape = _binary_tape(circuit)
     if isinstance(model, FixedPointFormat):
         model = FixedErrorModel.for_format(model)
     elif isinstance(model, int):
@@ -68,29 +83,27 @@ def propagate_fixed_bounds(
     if extremes is None:
         extremes = ExtremeAnalysis.of(circuit)
 
-    deltas = [0.0] * len(circuit)
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            deltas[index] = model.leaf()
-        elif node.op is OpType.INDICATOR:
-            deltas[index] = model.indicator()
-        else:
-            left = node.children[0]
-            right = node.children[1] if len(node.children) > 1 else left
-            if node.op is OpType.SUM:
-                deltas[index] = model.adder(deltas[left], deltas[right])
-            elif node.op is OpType.PRODUCT:
-                deltas[index] = model.multiplier(
-                    deltas[left],
-                    deltas[right],
-                    extremes.max_value(left),
-                    extremes.max_value(right),
-                )
-            else:  # MAX
-                deltas[index] = model.max_node(deltas[left], deltas[right])
+    # Binary circuits compile with no scratch slots, so tape slots are
+    # exactly the circuit's node indices (and extremes indices).
+    deltas = [0.0] * tape.num_slots
+    _leaf_errors(tape, model, deltas)
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            deltas[dest] = model.adder(deltas[left], deltas[right])
+        elif opcode == OP_PRODUCT:
+            deltas[dest] = model.multiplier(
+                deltas[left],
+                deltas[right],
+                extremes.max_value(left),
+                extremes.max_value(right),
+            )
+        elif opcode == OP_MAX:
+            deltas[dest] = model.max_node(deltas[left], deltas[right])
+        else:  # OP_COPY forwards a value through one wire: no rounding
+            deltas[dest] = deltas[left]
     return FixedBounds(
         fraction_bits=model.fraction_bits,
-        per_node=tuple(deltas),
+        per_node=tuple(deltas[: tape.num_nodes]),
         root=circuit.root,
     )
 
@@ -125,21 +138,17 @@ class FloatBounds:
 
 def propagate_float_counts(circuit: ArithmeticCircuit) -> FloatBounds:
     """Propagate (1±ε) factor counts for floating-point arithmetic."""
-    _require_binary(circuit)
+    tape = _binary_tape(circuit)
     model = FloatErrorModel(mantissa_bits=1)  # counts are ε-independent
-    counts = [0] * len(circuit)
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            counts[index] = model.leaf()
-        elif node.op is OpType.INDICATOR:
-            counts[index] = model.indicator()
-        else:
-            left = node.children[0]
-            right = node.children[1] if len(node.children) > 1 else left
-            if node.op is OpType.SUM:
-                counts[index] = model.adder(counts[left], counts[right])
-            elif node.op is OpType.PRODUCT:
-                counts[index] = model.multiplier(counts[left], counts[right])
-            else:  # MAX
-                counts[index] = model.max_node(counts[left], counts[right])
-    return FloatBounds(per_node=tuple(counts), root=circuit.root)
+    counts = [0] * tape.num_slots
+    _leaf_errors(tape, model, counts)
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            counts[dest] = model.adder(counts[left], counts[right])
+        elif opcode == OP_PRODUCT:
+            counts[dest] = model.multiplier(counts[left], counts[right])
+        elif opcode == OP_MAX:
+            counts[dest] = model.max_node(counts[left], counts[right])
+        else:  # OP_COPY
+            counts[dest] = counts[left]
+    return FloatBounds(per_node=tuple(counts[: tape.num_nodes]), root=circuit.root)

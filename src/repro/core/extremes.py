@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 
 from ..ac.circuit import ArithmeticCircuit
-from ..ac.nodes import OpType
+from ..engine.tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, tape_for
 
 #: log2 of an identically-zero node's (non-existent) max value.
 NEG_INF = float("-inf")
@@ -34,32 +34,46 @@ NEG_INF = float("-inf")
 POS_INF = float("inf")
 
 
-def _log2_sum_exp2(values: list[float]) -> float:
-    """log2(Σ 2^v) computed stably."""
-    peak = max(values)
+def _log2_sum_exp2_pair(left: float, right: float) -> float:
+    """log2(2^left + 2^right) computed stably."""
+    peak = left if left >= right else right
     if peak == NEG_INF:
         return NEG_INF
-    return peak + math.log2(sum(2.0 ** (v - peak) for v in values))
+    return peak + math.log2(2.0 ** (left - peak) + 2.0 ** (right - peak))
+
+
+def _leaf_log2(
+    tape, values: list[float], zero_marker: float
+) -> None:
+    """Fill λ and θ slots: log₂ of the leaf value, ``zero_marker`` for 0."""
+    for slot in tape.indicator_slots:
+        values[slot] = 0.0  # λ extreme non-zero value is 1
+    for slot, value_id in zip(tape.param_slots, tape.param_ids):
+        value = float(tape.param_values[value_id])
+        values[slot] = math.log2(value) if value > 0.0 else zero_marker
 
 
 def max_log2_values(circuit: ArithmeticCircuit) -> list[float]:
     """Per-node log₂ of the maximum attainable value (λ = 1 evaluation).
 
     ``-inf`` marks identically-zero nodes (e.g. a zero parameter).
+    Iterates the circuit's compiled tape; n-ary operators are folded
+    pairwise, which is exact for products/max and numerically stable for
+    the pairwise log-sum-exp of sums.
     """
-    values = [NEG_INF] * len(circuit)
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            values[index] = math.log2(node.value) if node.value > 0.0 else NEG_INF
-        elif node.op is OpType.INDICATOR:
-            values[index] = 0.0  # λ max is 1
-        elif node.op is OpType.SUM:
-            values[index] = _log2_sum_exp2([values[c] for c in node.children])
-        elif node.op is OpType.PRODUCT:
-            values[index] = sum(values[c] for c in node.children)
-        else:  # MAX
-            values[index] = max(values[c] for c in node.children)
-    return values
+    tape = tape_for(circuit)
+    values = [NEG_INF] * tape.num_slots
+    _leaf_log2(tape, values, NEG_INF)
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            values[dest] = _log2_sum_exp2_pair(values[left], values[right])
+        elif opcode == OP_PRODUCT:
+            values[dest] = values[left] + values[right]
+        elif opcode == OP_MAX:
+            values[dest] = max(values[left], values[right])
+        else:  # OP_COPY
+            values[dest] = values[left]
+    return values[: tape.num_nodes]
 
 
 def min_log2_positive_values(circuit: ArithmeticCircuit) -> list[float]:
@@ -72,23 +86,24 @@ def min_log2_positive_values(circuit: ArithmeticCircuit) -> list[float]:
     Soundness (induction over the DAG): under any evidence, a non-zero sum
     is at least its smallest non-zero child, and a non-zero product is the
     product of non-zero children — in both cases at least the value
-    computed here.
+    computed here. Pairwise folding preserves both invariants (min is
+    associative; an identically-zero factor poisons the whole chain).
     """
-    values = [POS_INF] * len(circuit)
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            values[index] = math.log2(node.value) if node.value > 0.0 else POS_INF
-        elif node.op is OpType.INDICATOR:
-            values[index] = 0.0  # min non-zero λ is 1
-        elif node.op in (OpType.SUM, OpType.MAX):
-            values[index] = min(values[c] for c in node.children)
-        else:  # PRODUCT
-            child_values = [values[c] for c in node.children]
-            if any(v == POS_INF for v in child_values):
-                values[index] = POS_INF  # identically-zero factor
+    tape = tape_for(circuit)
+    values = [POS_INF] * tape.num_slots
+    _leaf_log2(tape, values, POS_INF)
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_PRODUCT:
+            left_value, right_value = values[left], values[right]
+            if left_value == POS_INF or right_value == POS_INF:
+                values[dest] = POS_INF  # identically-zero factor
             else:
-                values[index] = sum(child_values)
-    return values
+                values[dest] = left_value + right_value
+        elif opcode == OP_COPY:
+            values[dest] = values[left]
+        else:  # SUM and MAX both take the smallest non-zero child
+            values[dest] = min(values[left], values[right])
+    return values[: tape.num_nodes]
 
 
 @dataclass(frozen=True)

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from ..ac.circuit import ArithmeticCircuit
 from ..ac.transform import binarize
 from ..ac.validate import validate_circuit
-from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
-from ..arith.floatingpoint import FloatBackend, FloatFormat
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
 from ..arith.rounding import RoundingMode
 from ..energy.models import EnergyModel, PAPER_MODEL
 from .optimizer import (
@@ -130,21 +130,38 @@ class ProbLP:
     # ------------------------------------------------------------------
     # Execution with the selected representation
     # ------------------------------------------------------------------
+    @property
+    def session(self):
+        """The compiled-tape :class:`repro.engine.InferenceSession`.
+
+        Cached per binary circuit: repeated queries (and whole evidence
+        batches) replay the compiled tape without re-walking nodes.
+        """
+        from ..engine import session_for
+
+        return session_for(self.binary_circuit)
+
     def backend_for(self, fmt: FixedPointFormat | FloatFormat):
         """A quantized-evaluation backend for a chosen format."""
-        if isinstance(fmt, FixedPointFormat):
-            return FixedPointBackend(fmt)
-        if isinstance(fmt, FloatFormat):
-            return FloatBackend(fmt)
-        raise TypeError(f"unsupported format type {type(fmt).__name__}")
+        from ..engine import backend_for_format
+
+        return backend_for_format(fmt)
 
     def evaluate_quantized(self, fmt, evidence=None) -> float:
         """Evaluate the binary circuit with a quantized backend."""
-        from ..ac.evaluate import evaluate_quantized
+        return self.session.evaluate_quantized(fmt, evidence)
 
-        return evaluate_quantized(
-            self.binary_circuit, self.backend_for(fmt), evidence
-        )
+    def evaluate_batch(self, evidence_batch):
+        """Exact float64 root values over a whole evidence batch."""
+        return self.session.evaluate_batch(evidence_batch)
+
+    def evaluate_quantized_batch(self, fmt, evidence_batch):
+        """Quantized root values over a whole evidence batch.
+
+        Runs on the exact vectorized fixed/float executors whenever the
+        format qualifies, with a bit-identical scalar fallback.
+        """
+        return self.session.evaluate_quantized_batch(fmt, evidence_batch)
 
     def generate_hardware(self, fmt=None, result: ProbLPResult | None = None):
         """Generate pipelined hardware for the (selected) format.

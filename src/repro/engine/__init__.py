@@ -1,0 +1,57 @@
+"""The compiled-tape execution engine.
+
+Compiles an :class:`~repro.ac.circuit.ArithmeticCircuit` once into a
+flat :class:`Tape` IR (struct-of-arrays numpy buffers, a deduplicated
+parameter table, an indicator table) and runs every sweep — exact
+float64, batched float64, quantized fixed point, quantized floating
+point — against that one artifact. The :class:`EvidenceEncoder` turns
+evidence batches into indicator matrices in one vectorized step, and
+:class:`InferenceSession` fronts the whole thing with per-circuit
+compiled caches for serving repeated queries.
+
+Layering: ``engine`` sits above ``ac`` (circuit structure) and ``arith``
+(exact number systems) and below ``core`` / ``experiments`` / ``hw``.
+The legacy entry points (``repro.ac.evaluate``, ``repro.ac.fastpath``)
+remain as thin wrappers; the frozen seed implementations live in
+:mod:`repro.engine.reference` for differential testing.
+"""
+
+from .encoder import EvidenceEncoder
+from .executors import (
+    FixedPointBatchExecutor,
+    FloatBatchExecutor,
+    QuantizedTapeEvaluator,
+    execute_batch,
+    execute_real,
+    execute_values,
+)
+from .session import InferenceSession, backend_for_format, session_for
+from .tape import (
+    OP_COPY,
+    OP_MAX,
+    OP_PRODUCT,
+    OP_SUM,
+    Tape,
+    compile_tape,
+    tape_for,
+)
+
+__all__ = [
+    "EvidenceEncoder",
+    "FixedPointBatchExecutor",
+    "FloatBatchExecutor",
+    "InferenceSession",
+    "OP_COPY",
+    "OP_MAX",
+    "OP_PRODUCT",
+    "OP_SUM",
+    "QuantizedTapeEvaluator",
+    "Tape",
+    "backend_for_format",
+    "compile_tape",
+    "execute_batch",
+    "execute_real",
+    "execute_values",
+    "session_for",
+    "tape_for",
+]

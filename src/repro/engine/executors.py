@@ -1,0 +1,552 @@
+"""Tape executors: every sweep variant, one shared IR.
+
+All executors replay the same :class:`~repro.engine.tape.Tape`:
+
+* :func:`execute_values` / :func:`execute_real` — scalar float64, the
+  reference semantics (bit-identical to the seed per-node loop);
+* :func:`execute_batch` — numpy float64 over a whole evidence batch, one
+  vector op per tape op (bit-identical to the scalar pass, since both
+  fold left-to-right in IEEE doubles);
+* :class:`QuantizedTapeEvaluator` — scalar sweep with any
+  :class:`~repro.ac.evaluate.QuantizedBackend` (the tape-backed
+  replacement for the legacy ``fastpath.Program`` inner loop);
+* :class:`FixedPointBatchExecutor` — exact int64-mantissa fixed point
+  over a batch, bit-identical to
+  :class:`~repro.arith.fixedpoint.FixedPointBackend`;
+* :class:`FloatBatchExecutor` — exact (mantissa, exponent) float
+  emulation over a batch, bit-identical to
+  :class:`~repro.arith.floatingpoint.FloatBackend`. This is new: the
+  seed had no vectorized float path, so float sweeps paid the scalar
+  big-int loop for every instance.
+
+Vectorized exactness contracts: the fixed executor needs products to fit
+in int64 (``2·(I+F) ≤ 62``); the float executor needs mantissa products
+to fit (``2·(M+1) ≤ 62``) and bounded exponents (``E ≤ 32``). Wider
+formats must use the scalar big-int paths — constructors raise
+``ValueError`` so callers can fall back.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..arith.fixedpoint import (
+    FixedPointBackend,
+    FixedPointFormat,
+    FixedPointOverflowError,
+)
+from ..arith.floatingpoint import (
+    FloatBackend,
+    FloatFormat,
+    FloatOverflowError,
+    FloatUnderflowError,
+)
+from ..arith.rounding import RoundingMode
+from .encoder import EvidenceEncoder
+from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape
+
+
+# ----------------------------------------------------------------------
+# Real (float64) execution
+# ----------------------------------------------------------------------
+def execute_values(
+    tape: Tape,
+    evidence: Mapping[str, int] | None = None,
+    encoder: EvidenceEncoder | None = None,
+) -> list[float]:
+    """Float64 value of every circuit node under the given evidence.
+
+    Returns ``num_nodes`` values aligned with circuit node indices
+    (scratch slots are dropped).
+    """
+    if encoder is None:
+        encoder = EvidenceEncoder.for_tape(tape)
+    active = encoder.encode_one(evidence, strict=True)
+    slots = [0.0] * tape.num_slots
+    for slot, value_id in zip(tape.param_slots, tape.param_ids):
+        slots[slot] = float(tape.param_values[value_id])
+    for position, slot in enumerate(tape.indicator_slots):
+        slots[slot] = 1.0 if active[position] else 0.0
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            slots[dest] = slots[left] + slots[right]
+        elif opcode == OP_PRODUCT:
+            slots[dest] = slots[left] * slots[right]
+        elif opcode == OP_MAX:
+            left_value, right_value = slots[left], slots[right]
+            slots[dest] = left_value if left_value >= right_value else right_value
+        else:  # OP_COPY
+            slots[dest] = slots[left]
+    return slots[: tape.num_nodes]
+
+
+def execute_real(
+    tape: Tape,
+    evidence: Mapping[str, int] | None = None,
+    encoder: EvidenceEncoder | None = None,
+) -> float:
+    """Float64 value of the root under the given evidence."""
+    root = tape.require_root()
+    return execute_values(tape, evidence, encoder)[root]
+
+
+def execute_batch(
+    tape: Tape,
+    evidence_batch: Sequence[Mapping[str, int]],
+    encoder: EvidenceEncoder | None = None,
+    node_values: bool = False,
+    strict: bool = False,
+) -> np.ndarray:
+    """Float64 root values for a whole evidence batch.
+
+    One numpy operation per tape op. With ``node_values=True`` returns
+    the full ``(num_nodes, batch)`` value matrix instead of the root
+    row. ``strict=True`` rejects evidence on unknown variables (the
+    scalar paths' behavior); the default ignores it like the seed batch
+    evaluator.
+    """
+    root = tape.require_root()
+    batch = len(evidence_batch)
+    if batch == 0:
+        return (
+            np.empty((tape.num_nodes, 0)) if node_values else np.empty(0)
+        )
+    if encoder is None:
+        encoder = EvidenceEncoder.for_tape(tape)
+    active = encoder.encode(evidence_batch, strict=strict)
+    slots = np.empty((tape.num_slots, batch))
+    slots[tape.param_slots] = tape.param_values[tape.param_ids][:, None]
+    slots[tape.indicator_slots] = active
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            np.add(slots[left], slots[right], out=slots[dest])
+        elif opcode == OP_PRODUCT:
+            np.multiply(slots[left], slots[right], out=slots[dest])
+        elif opcode == OP_MAX:
+            np.maximum(slots[left], slots[right], out=slots[dest])
+        else:  # OP_COPY
+            slots[dest] = slots[left]
+    if node_values:
+        return slots[: tape.num_nodes].copy()
+    return slots[root].copy()
+
+
+def _require_binary_tape(tape: Tape) -> None:
+    """Quantized semantics demand one rounding per two-input operator.
+
+    A tape compiled from an n-ary circuit would evaluate the left-fold
+    decomposition — numerically plausible but silently uncovered by the
+    error analysis and different from the generated hardware, exactly
+    what the legacy quantized evaluators guarded against.
+    """
+    if not tape.source_is_binary:
+        raise ValueError(
+            "quantized evaluation requires a binary circuit; apply "
+            "repro.ac.transform.binarize first"
+        )
+
+
+# ----------------------------------------------------------------------
+# Generic quantized execution (any backend, scalar)
+# ----------------------------------------------------------------------
+class QuantizedTapeEvaluator:
+    """Scalar quantized sweep over a tape with any arithmetic backend.
+
+    Pre-quantizes the deduplicated parameter table per backend and keeps
+    the inner loop free of per-node attribute dispatch. Bit-identical to
+    :func:`repro.ac.evaluate.evaluate_quantized` on binary circuits.
+    """
+
+    def __init__(self, tape: Tape, encoder: EvidenceEncoder | None = None):
+        _require_binary_tape(tape)
+        self.tape = tape
+        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
+        # Keyed by backend identity; weak so cached tables die with the
+        # backend instead of pinning it (and ids are never recycled).
+        self._param_cache: "weakref.WeakKeyDictionary[Any, list[Any]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def _quantized_parameters(self, backend) -> list[Any]:
+        cached = self._param_cache.get(backend)
+        if cached is None:
+            cached = self._param_cache[backend] = [
+                backend.from_real(float(value))
+                for value in self.tape.param_values
+            ]
+        return cached
+
+    def evaluate(
+        self,
+        backend,
+        evidence: Mapping[str, int] | None = None,
+        strict: bool = True,
+    ) -> float:
+        """Quantized root value, converted back to float64."""
+        tape = self.tape
+        root = tape.require_root()
+        quantized = self._quantized_parameters(backend)
+        active = self.encoder.encode_one(evidence, strict=strict)
+        slots: list[Any] = [None] * tape.num_slots
+        for slot, value_id in zip(tape.param_slots, tape.param_ids):
+            slots[slot] = quantized[value_id]
+        one, zero = backend.one(), backend.zero()
+        for position, slot in enumerate(tape.indicator_slots):
+            slots[slot] = one if active[position] else zero
+        add, multiply, maximum = backend.add, backend.multiply, backend.maximum
+        for opcode, dest, left, right in tape.op_tuples:
+            if opcode == OP_SUM:
+                slots[dest] = add(slots[left], slots[right])
+            elif opcode == OP_PRODUCT:
+                slots[dest] = multiply(slots[left], slots[right])
+            elif opcode == OP_MAX:
+                slots[dest] = maximum(slots[left], slots[right])
+            else:  # OP_COPY
+                slots[dest] = slots[left]
+        return backend.to_real(slots[root])
+
+
+# ----------------------------------------------------------------------
+# Vectorized fixed point
+# ----------------------------------------------------------------------
+class FixedPointBatchExecutor:
+    """Exact batched fixed-point evaluation on numpy int64 mantissas.
+
+    Bit-identical to the scalar big-int backend for every format with
+    ``2·(I+F) ≤ 62`` (so 2F-fraction products stay exact in int64),
+    including ``F = 0`` formats, every rounding mode, and the
+    overflow-raising semantics.
+    """
+
+    def __init__(
+        self,
+        tape: Tape,
+        fmt: FixedPointFormat,
+        encoder: EvidenceEncoder | None = None,
+    ) -> None:
+        _require_binary_tape(tape)
+        if not fmt.fits_int64_products:
+            raise ValueError(
+                f"vectorized fixed point needs 2·(I+F) ≤ 62 bits to stay "
+                f"exact in int64; {fmt.describe()} has {fmt.total_bits} "
+                f"total bits — use the big-int backend instead"
+            )
+        self.tape = tape
+        self.fmt = fmt
+        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
+        self._max_mantissa = fmt.max_mantissa
+        backend = FixedPointBackend(fmt)
+        # Quantize the deduplicated parameter table once, exactly.
+        self._param_words = np.asarray(
+            [backend.from_real(float(v)).mantissa for v in tape.param_values],
+            dtype=np.int64,
+        )
+        self._one_word = backend.one().mantissa
+
+    def _round_products(self, products: np.ndarray) -> np.ndarray:
+        """Vectorized rounding of 2F-fraction products back to F bits."""
+        fraction_bits = self.fmt.fraction_bits
+        if fraction_bits == 0:
+            # Integer formats: products carry no extra fraction bits, so
+            # there is nothing to round (1 << (F-1) below would be
+            # ill-defined).
+            return products
+        quotient = products >> fraction_bits
+        remainder = products & ((1 << fraction_bits) - 1)
+        mode = self.fmt.rounding
+        if mode is RoundingMode.TRUNCATE:
+            return quotient
+        half = 1 << (fraction_bits - 1)
+        if mode is RoundingMode.NEAREST_UP:
+            return quotient + (remainder >= half)
+        round_up = (remainder > half) | (
+            (remainder == half) & ((quotient & 1) == 1)
+        )
+        return quotient + round_up
+
+    def evaluate_batch_words(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Root mantissa words, shape ``(batch,)`` int64.
+
+        Raises :class:`FixedPointOverflowError` if any intermediate
+        exceeds the representable range, exactly like the scalar backend.
+        """
+        tape = self.tape
+        root = tape.require_root()
+        batch = len(evidence_batch)
+        if batch == 0:
+            return np.empty(0, dtype=np.int64)
+        active = self.encoder.encode(evidence_batch, strict=strict)
+        slots = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        slots[tape.param_slots] = self._param_words[tape.param_ids][:, None]
+        slots[tape.indicator_slots] = np.where(active, self._one_word, 0)
+        max_mantissa = self._max_mantissa
+        for opcode, dest, left, right in tape.op_tuples:
+            if opcode == OP_SUM:
+                result = slots[left] + slots[right]
+            elif opcode == OP_PRODUCT:
+                result = self._round_products(slots[left] * slots[right])
+            elif opcode == OP_MAX:
+                result = np.maximum(slots[left], slots[right])
+            else:  # OP_COPY
+                slots[dest] = slots[left]
+                continue
+            if result.max(initial=0) > max_mantissa:
+                raise FixedPointOverflowError(
+                    f"overflow at slot {dest} in {self.fmt.describe()}"
+                )
+            slots[dest] = result
+        return slots[root].copy()
+
+    def evaluate_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Float64 values of the root word for a whole batch."""
+        words = self.evaluate_batch_words(evidence_batch, strict=strict)
+        return words * 2.0 ** (-self.fmt.fraction_bits)
+
+
+# ----------------------------------------------------------------------
+# Vectorized floating point (new in the engine)
+# ----------------------------------------------------------------------
+class FloatBatchExecutor:
+    """Exact batched float emulation on (mantissa, exponent) int64 pairs.
+
+    Implements §3.1.2 operator semantics — exact integer-mantissa
+    arithmetic with exactly one rounding per operator — vectorized with
+    numpy, bit-identical to :class:`FloatBackend` (differentially
+    tested). Alignment in addition uses the classic guard/round/sticky
+    compression: shifted-out addend bits collapse into one sticky bit at
+    least two positions below the rounding point, which preserves the
+    `>half` / `=half` / `<half` distinctions every rounding mode needs,
+    so the compressed sum rounds exactly like the exact big-int sum.
+
+    Zeros are (0, 0) pairs, masked through every operator like the
+    scalar backend's ``is_zero`` short-circuits.
+    """
+
+    #: Guard window for addition alignment (≥ 2 keeps sticky sound; 3
+    #: mirrors hardware guard/round/sticky).
+    _GUARD_BITS = 3
+
+    def __init__(
+        self,
+        tape: Tape,
+        fmt: FloatFormat,
+        encoder: EvidenceEncoder | None = None,
+    ) -> None:
+        _require_binary_tape(tape)
+        if not fmt.fits_int64_products:
+            raise ValueError(
+                f"vectorized float needs 2·(M+1) ≤ 62 bits (and E ≤ 32) "
+                f"to keep mantissa arithmetic exact in int64; "
+                f"{fmt.describe()} — use the big-int backend instead"
+            )
+        self.tape = tape
+        self.fmt = fmt
+        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
+        backend = FloatBackend(fmt)
+        params = [backend.from_real(float(v)) for v in tape.param_values]
+        self._param_mantissas = np.asarray(
+            [p.mantissa for p in params], dtype=np.int64
+        )
+        self._param_exponents = np.asarray(
+            [p.exponent for p in params], dtype=np.int64
+        )
+        one = backend.one()
+        self._one = (np.int64(one.mantissa), np.int64(one.exponent))
+
+    # -- rounding core --------------------------------------------------
+    def _round_shift(
+        self, value: np.ndarray, shift: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :func:`repro.arith.rounding.round_shift`, shift ≥ 0."""
+        quotient = value >> shift
+        mode = self.fmt.rounding
+        if mode is RoundingMode.TRUNCATE:
+            return quotient
+        remainder = value - (quotient << shift)
+        # For shift == 0 lanes remainder is 0, so the (arbitrary) half
+        # value never triggers a round-up there.
+        half = np.int64(1) << (np.maximum(shift, 1) - 1)
+        if mode is RoundingMode.NEAREST_UP:
+            return quotient + (remainder >= half)
+        round_up = (remainder > half) | (
+            (remainder == half) & ((quotient & 1) == 1)
+        )
+        return quotient + round_up
+
+    def _normalize(
+        self,
+        value: np.ndarray,
+        scale: np.ndarray,
+        excess_no_carry,
+        live,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Round ``value · 2^scale`` to the format (one rounding).
+
+        ``value`` is known to have either ``M+1+excess_no_carry`` or one
+        more significant bits (unsigned add/multiply never cancels);
+        ``excess_no_carry`` may be a scalar or a per-lane array. ``live``
+        marks lanes whose result is genuinely used (scalar True when all
+        are); only live lanes can raise overflow/underflow.
+        """
+        mantissa_bits = self.fmt.mantissa_bits
+        target = mantissa_bits + 1
+        carry = value >= (np.int64(1) << (target + excess_no_carry))
+        shift = excess_no_carry + carry
+        rounded = self._round_shift(value, shift)
+        scale = scale + shift
+        # Rounding may carry into a new MSB (all-ones mantissa); the
+        # result is then a power of two, so halving is exact.
+        overflowed = rounded >> target > 0
+        rounded = np.where(overflowed, rounded >> 1, rounded)
+        scale = scale + overflowed
+        exponent = scale + mantissa_bits
+        if bool((live & (exponent > self.fmt.max_exponent)).any()):
+            raise FloatOverflowError(
+                f"overflow in {self.fmt.describe()}: exponent exceeds "
+                f"{self.fmt.max_exponent}; increase exponent bits"
+            )
+        if bool((live & (exponent < self.fmt.min_exponent)).any()):
+            raise FloatUnderflowError(
+                f"underflow in {self.fmt.describe()}: exponent below "
+                f"{self.fmt.min_exponent}; min-value analysis should pick "
+                f"E large enough"
+            )
+        return rounded, exponent
+
+    # -- operators ------------------------------------------------------
+    def _add(self, ma, ea, mb, eb):
+        zero_a, zero_b = ma == 0, mb == 0
+        any_zero = bool(zero_a.any()) or bool(zero_b.any())
+        if any_zero:
+            # Dummy-substitute zero lanes so the shared path stays in
+            # range (1+1 can neither overflow nor underflow any format).
+            one_m, one_e = self._one
+            MA = np.where(zero_a, one_m, ma)
+            EA = np.where(zero_a, one_e, ea)
+            MB = np.where(zero_b, one_m, mb)
+            EB = np.where(zero_b, one_e, eb)
+            live = ~(zero_a | zero_b)
+        else:
+            MA, EA, MB, EB = ma, ea, mb, eb
+            live = True
+        swap = EB > EA
+        hi_m, lo_m = np.where(swap, MB, MA), np.where(swap, MA, MB)
+        hi_e, lo_e = np.where(swap, EB, EA), np.where(swap, EA, EB)
+        distance = hi_e - lo_e
+        window = np.minimum(distance, self._GUARD_BITS)
+        shift = distance - window
+        # Compress the shifted-out addend bits into a sticky LSB.
+        mantissa_bits = self.fmt.mantissa_bits
+        capped = np.minimum(shift, mantissa_bits + 1)
+        sticky = (lo_m & ((np.int64(1) << capped) - 1)) != 0
+        lo_c = (lo_m >> capped) | sticky
+        total = (hi_m << window) + lo_c
+        scale = lo_e - mantissa_bits + shift
+        res_m, res_e = self._normalize(total, scale, window, live)
+        if any_zero:
+            res_m = np.where(zero_a, mb, np.where(zero_b, ma, res_m))
+            res_e = np.where(zero_a, eb, np.where(zero_b, ea, res_e))
+        return res_m, res_e
+
+    def _multiply(self, ma, ea, mb, eb):
+        zero = (ma == 0) | (mb == 0)
+        any_zero = bool(zero.any())
+        mantissa_bits = self.fmt.mantissa_bits
+        if any_zero:
+            one_m, one_e = self._one
+            product = np.where(zero, one_m, ma) * np.where(zero, one_m, mb)
+            scale = (
+                np.where(zero, one_e, ea)
+                + np.where(zero, one_e, eb)
+                - 2 * mantissa_bits
+            )
+            live = ~zero
+        else:
+            product = ma * mb
+            scale = ea + eb - 2 * mantissa_bits
+            live = True
+        # excess_no_carry is the scalar M for every multiply lane.
+        res_m, res_e = self._normalize(product, scale, mantissa_bits, live)
+        if any_zero:
+            res_m = np.where(zero, 0, res_m)
+            res_e = np.where(zero, 0, res_e)
+        return res_m, res_e
+
+    def _maximum(self, ma, ea, mb, eb):
+        zero_a, zero_b = ma == 0, mb == 0
+        a_wins = ~zero_a & (
+            zero_b | (ea > eb) | ((ea == eb) & (ma >= mb))
+        )
+        return np.where(a_wins, ma, mb), np.where(a_wins, ea, eb)
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate_batch_words(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Root ``(mantissas, exponents)`` pairs, each shape ``(batch,)``."""
+        tape = self.tape
+        root = tape.require_root()
+        batch = len(evidence_batch)
+        if batch == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        active = self.encoder.encode(evidence_batch, strict=strict)
+        mantissas = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        exponents = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        mantissas[tape.param_slots] = self._param_mantissas[tape.param_ids][
+            :, None
+        ]
+        exponents[tape.param_slots] = self._param_exponents[tape.param_ids][
+            :, None
+        ]
+        one_m, one_e = self._one
+        mantissas[tape.indicator_slots] = np.where(active, one_m, 0)
+        exponents[tape.indicator_slots] = np.where(active, one_e, 0)
+        for opcode, dest, left, right in tape.op_tuples:
+            if opcode == OP_SUM:
+                m, e = self._add(
+                    mantissas[left], exponents[left],
+                    mantissas[right], exponents[right],
+                )
+            elif opcode == OP_PRODUCT:
+                m, e = self._multiply(
+                    mantissas[left], exponents[left],
+                    mantissas[right], exponents[right],
+                )
+            elif opcode == OP_MAX:
+                m, e = self._maximum(
+                    mantissas[left], exponents[left],
+                    mantissas[right], exponents[right],
+                )
+            else:  # OP_COPY
+                m, e = mantissas[left], exponents[left]
+            mantissas[dest] = m
+            exponents[dest] = e
+        return mantissas[root].copy(), exponents[root].copy()
+
+    def evaluate_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Float64 values of the root for a whole batch."""
+        mantissas, exponents = self.evaluate_batch_words(
+            evidence_batch, strict=strict
+        )
+        return np.ldexp(
+            mantissas.astype(np.float64),
+            (exponents - self.fmt.mantissa_bits).astype(np.int32),
+        )

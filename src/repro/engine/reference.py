@@ -1,0 +1,89 @@
+"""Frozen seed implementations, kept as differential-test oracles.
+
+These are verbatim copies of the pre-engine per-node sweeps from
+``repro.ac.evaluate`` (the public functions there now delegate to the
+tape executors). They exist so the differential test suite and the
+engine benchmark can always compare the compiled-tape engine against the
+original semantics — **do not optimize or "fix" these**; they are the
+specification.
+
+The scalar quantized oracle needs no copy: the generic per-node loop in
+:func:`repro.ac.evaluate.evaluate_quantized` is itself retained as the
+reference for all quantized executors.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..ac.circuit import ArithmeticCircuit
+from ..ac.nodes import OpType
+
+
+def reference_evaluate_values(
+    circuit: ArithmeticCircuit,
+    evidence: Mapping[str, int] | None = None,
+) -> list[float]:
+    """Seed float64 per-node sweep (pre-engine ``evaluate_values``)."""
+    lambda_values = circuit.indicator_assignment(evidence)
+    values: list[float] = [0.0] * len(circuit)
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = node.value
+        elif node.op is OpType.INDICATOR:
+            values[index] = lambda_values[(node.variable, node.state)]
+        elif node.op is OpType.SUM:
+            values[index] = sum(values[c] for c in node.children)
+        elif node.op is OpType.PRODUCT:
+            result = 1.0
+            for child in node.children:
+                result *= values[child]
+            values[index] = result
+        else:  # MAX
+            values[index] = max(values[c] for c in node.children)
+    return values
+
+
+def reference_evaluate_real(
+    circuit: ArithmeticCircuit,
+    evidence: Mapping[str, int] | None = None,
+) -> float:
+    """Seed float64 root evaluation (pre-engine ``evaluate_real``)."""
+    return reference_evaluate_values(circuit, evidence)[circuit.root]
+
+
+def reference_evaluate_batch(
+    circuit: ArithmeticCircuit,
+    evidence_batch: Sequence[Mapping[str, int]],
+) -> np.ndarray:
+    """Seed batched float64 sweep (pre-engine ``evaluate_batch``).
+
+    Note the O(batch × indicators) Python indicator loop and the n-ary
+    ``np.sum`` reductions — exactly what the engine replaced.
+    """
+    batch_size = len(evidence_batch)
+    if batch_size == 0:
+        return np.empty(0)
+    lambda_matrix: dict[tuple[str, int], np.ndarray] = {}
+    for (variable, state) in circuit.indicators:
+        column = np.ones(batch_size)
+        for row, evidence in enumerate(evidence_batch):
+            if variable in evidence and evidence[variable] != state:
+                column[row] = 0.0
+        lambda_matrix[(variable, state)] = column
+
+    values = np.empty((len(circuit), batch_size))
+    for index, node in enumerate(circuit.nodes):
+        if node.op is OpType.PARAMETER:
+            values[index] = node.value
+        elif node.op is OpType.INDICATOR:
+            values[index] = lambda_matrix[(node.variable, node.state)]
+        elif node.op is OpType.SUM:
+            values[index] = values[list(node.children)].sum(axis=0)
+        elif node.op is OpType.PRODUCT:
+            values[index] = values[list(node.children)].prod(axis=0)
+        else:  # MAX
+            values[index] = values[list(node.children)].max(axis=0)
+    return values[circuit.root].copy()

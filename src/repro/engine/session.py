@@ -1,0 +1,214 @@
+"""The serving front door: one compiled tape, many queries.
+
+:class:`InferenceSession` owns everything repeat queries against one
+circuit need — the compiled :class:`~repro.engine.tape.Tape`, the shared
+:class:`~repro.engine.encoder.EvidenceEncoder`, and per-format executor
+caches — so callers (``ProbLP``, the CLI, the experiment harnesses, a
+future network service) pay compilation once and evaluation cost per
+query only.
+
+Format dispatch is automatic: quantized batches run on the exact
+vectorized executors whenever the format qualifies (fixed point with
+``2·(I+F) ≤ 62``, float with ``M ≤ 30, E ≤ 32``) and fall back to the
+scalar big-int tape evaluator — bit-identical either way — for wider
+formats.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..ac.circuit import ArithmeticCircuit
+from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
+from ..arith.floatingpoint import FloatBackend, FloatFormat
+from .encoder import EvidenceEncoder
+from .executors import (
+    FixedPointBatchExecutor,
+    FloatBatchExecutor,
+    QuantizedTapeEvaluator,
+    execute_batch,
+    execute_real,
+    execute_values,
+)
+from .tape import Tape, tape_for
+
+AnyFormat = FixedPointFormat | FloatFormat
+
+
+def backend_for_format(fmt: AnyFormat):
+    """The scalar big-int backend matching a format."""
+    if isinstance(fmt, FixedPointFormat):
+        return FixedPointBackend(fmt)
+    if isinstance(fmt, FloatFormat):
+        return FloatBackend(fmt)
+    raise TypeError(f"unsupported format type {type(fmt).__name__}")
+
+
+class InferenceSession:
+    """Compiled-tape inference service for one circuit.
+
+    Example
+    -------
+    >>> from repro.bn.networks import sprinkler_network
+    >>> from repro.compile import compile_network
+    >>> from repro.ac.transform import binarize
+    >>> from repro.engine import InferenceSession
+    >>> from repro.arith import FixedPointFormat
+    >>> binary = binarize(compile_network(sprinkler_network()).circuit).circuit
+    >>> session = InferenceSession(binary)
+    >>> batch = [{"Rain": 1}, {"Rain": 0}, {}]
+    >>> exact = session.evaluate_batch(batch)
+    >>> quantized = session.evaluate_quantized_batch(
+    ...     FixedPointFormat(1, 12), batch
+    ... )
+    >>> (abs(exact - quantized) < 2**-8).all()
+    True
+    """
+
+    def __init__(self, circuit: ArithmeticCircuit) -> None:
+        self.circuit = circuit
+        self.tape: Tape = tape_for(circuit)
+        self.encoder = EvidenceEncoder.for_tape(self.tape)
+        # Built on first quantized call: quantized evaluation demands a
+        # binary circuit, but exact float64 serving works on any tape.
+        self._scalar_quantized_cache: QuantizedTapeEvaluator | None = None
+        self._fixed_batch: dict[FixedPointFormat, FixedPointBatchExecutor] = {}
+        self._float_batch: dict[FloatFormat, FloatBatchExecutor] = {}
+        self._backends: dict[AnyFormat, Any] = {}
+
+    @property
+    def _scalar_quantized(self) -> QuantizedTapeEvaluator:
+        if self._scalar_quantized_cache is None:
+            self._scalar_quantized_cache = QuantizedTapeEvaluator(
+                self.tape, self.encoder
+            )
+        return self._scalar_quantized_cache
+
+    # -- exact float64 --------------------------------------------------
+    def evaluate(self, evidence: Mapping[str, int] | None = None) -> float:
+        """Exact float64 root value for one evidence assignment."""
+        return execute_real(self.tape, evidence, self.encoder)
+
+    def evaluate_values(
+        self, evidence: Mapping[str, int] | None = None
+    ) -> list[float]:
+        """Exact float64 value of every circuit node."""
+        return execute_values(self.tape, evidence, self.encoder)
+
+    def evaluate_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Exact float64 root values for a whole evidence batch.
+
+        ``strict=True`` rejects evidence on unknown variables instead of
+        ignoring it (the seed batch behavior, kept as the default).
+        """
+        return execute_batch(
+            self.tape, evidence_batch, self.encoder, strict=strict
+        )
+
+    # -- quantized ------------------------------------------------------
+    def supports_vectorized(self, fmt: AnyFormat) -> bool:
+        """True when the format runs on an exact vectorized executor."""
+        if isinstance(fmt, (FixedPointFormat, FloatFormat)):
+            return fmt.fits_int64_products
+        return False
+
+    def _vector_executor(self, fmt: AnyFormat):
+        if isinstance(fmt, FixedPointFormat):
+            executor = self._fixed_batch.get(fmt)
+            if executor is None:
+                executor = self._fixed_batch[fmt] = FixedPointBatchExecutor(
+                    self.tape, fmt, self.encoder
+                )
+            return executor
+        executor = self._float_batch.get(fmt)
+        if executor is None:
+            executor = self._float_batch[fmt] = FloatBatchExecutor(
+                self.tape, fmt, self.encoder
+            )
+        return executor
+
+    def evaluate_quantized(
+        self,
+        fmt_or_backend: AnyFormat | Any,
+        evidence: Mapping[str, int] | None = None,
+    ) -> float:
+        """Quantized root value for one evidence assignment.
+
+        Accepts a format (a matching backend is built) or any
+        :class:`~repro.ac.evaluate.QuantizedBackend` instance.
+        """
+        if isinstance(fmt_or_backend, (FixedPointFormat, FloatFormat)):
+            backend = self._backend(fmt_or_backend)
+        else:
+            backend = fmt_or_backend
+        return self._scalar_quantized.evaluate(backend, evidence)
+
+    def evaluate_quantized_batch(
+        self,
+        fmt: AnyFormat,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Quantized root values for a whole batch, as float64.
+
+        Dispatches to the exact vectorized executor when the format
+        qualifies, otherwise runs the scalar big-int tape evaluator per
+        instance — results are bit-identical either way, including the
+        batch-lenient evidence handling (``strict=False`` default).
+        """
+        if self.supports_vectorized(fmt):
+            return self._vector_executor(fmt).evaluate_batch(
+                evidence_batch, strict=strict
+            )
+        backend = self._backend(fmt)
+        return np.asarray(
+            [
+                self._scalar_quantized.evaluate(
+                    backend, evidence, strict=strict
+                )
+                for evidence in evidence_batch
+            ]
+        )
+
+    def _backend(self, fmt: AnyFormat):
+        backend = self._backends.get(fmt)
+        if backend is None:
+            backend = self._backends[fmt] = backend_for_format(fmt)
+        return backend
+
+    def __repr__(self) -> str:
+        return f"InferenceSession({self.tape.describe()})"
+
+
+#: Per-circuit session cache (sessions are cheap, but callers like the
+#: experiment harnesses construct them in loops). Weak so a session dies
+#: with its circuit.
+_SESSION_CACHE: "weakref.WeakKeyDictionary[ArithmeticCircuit, InferenceSession]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def session_for(circuit: ArithmeticCircuit) -> InferenceSession:
+    """A cached :class:`InferenceSession` for the circuit.
+
+    Reuses the session while the underlying tape stays fresh; a circuit
+    that grew or was re-rooted gets a new session (same staleness rule
+    as :func:`repro.engine.tape.tape_for`).
+    """
+    session = _SESSION_CACHE.get(circuit)
+    current_root = circuit.root if circuit.has_root else None
+    if (
+        session is None
+        or session.tape.num_nodes != len(circuit)
+        or session.tape.root != current_root
+    ):
+        session = InferenceSession(circuit)
+        _SESSION_CACHE[circuit] = session
+    return session

@@ -14,8 +14,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..ac.circuit import ArithmeticCircuit
-from ..ac.evaluate import evaluate_batch, evaluate_quantized
 from ..bn.sampling import forward_sample
 from ..compile import compile_network
 from ..core.framework import ProbLP, ProbLPConfig
@@ -73,7 +71,6 @@ def standard_cases(tolerance: float = 0.01) -> tuple[QueryCase, ...]:
 
 def _measure_errors(
     framework: ProbLP,
-    circuit: ArithmeticCircuit,
     case: QueryCase,
     class_name: str,
     num_classes: int,
@@ -83,38 +80,40 @@ def _measure_errors(
 
     Marginal queries evaluate Pr(class = c, features) for every class c;
     conditional queries form the ratio with Pr(features). References come
-    from exact float64 batch evaluation.
+    from exact float64 batch evaluation. All sweeps — exact and
+    quantized — run batched on the framework's compiled-tape session.
     """
     result = framework.analyze()
-    backend = framework.backend_for(result.selected_format)
+    fmt = result.selected_format
+    session = framework.session
 
     joint_evidences = [
         {**evidence, class_name: c}
         for evidence in evidences
         for c in range(num_classes)
     ]
-    exact_joint = evaluate_batch(circuit, joint_evidences).reshape(
+    exact_joint = session.evaluate_batch(joint_evidences).reshape(
         len(evidences), num_classes
     )
     exact_pr_e = exact_joint.sum(axis=1)
+    quant_joint_all = np.asarray(
+        session.evaluate_quantized_batch(fmt, joint_evidences)
+    ).reshape(len(evidences), num_classes)
+    if case.query is QueryType.CONDITIONAL:
+        quant_pr_e_all = np.asarray(
+            session.evaluate_quantized_batch(fmt, list(evidences))
+        )
 
     worst = 0.0
     for row, evidence in enumerate(evidences):
-        quant_joint = np.array(
-            [
-                evaluate_quantized(
-                    circuit, backend, {**evidence, class_name: c}
-                )
-                for c in range(num_classes)
-            ]
-        )
+        quant_joint = quant_joint_all[row]
         if case.query in (QueryType.MARGINAL, QueryType.MPE):
             # Single-evaluation queries (on the max-product circuit for
             # MPE): compare the per-class outputs directly.
             exact_values = exact_joint[row]
             quant_values = quant_joint
         else:  # conditional: ratio of quantized joint and quantized Pr(e)
-            quant_pr_e = evaluate_quantized(circuit, backend, evidence)
+            quant_pr_e = quant_pr_e_all[row]
             if quant_pr_e == 0.0 or exact_pr_e[row] == 0.0:
                 continue
             exact_values = exact_joint[row] / exact_pr_e[row]
@@ -149,7 +148,6 @@ def run_benchmark_case(
     evidences = benchmark.test_evidences(limit=test_limit)
     max_error = _measure_errors(
         framework,
-        framework.binary_circuit,
         case,
         benchmark.class_name,
         benchmark.num_classes,
@@ -183,7 +181,6 @@ def run_alarm_case(
     num_classes = network.variable(query_variable).cardinality
     max_error = _measure_errors(
         framework,
-        framework.binary_circuit,
         case,
         query_variable,
         num_classes,

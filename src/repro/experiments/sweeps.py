@@ -20,7 +20,6 @@ from typing import Sequence
 
 import numpy as np
 
-from ..ac.fastpath import VectorFixedPointEvaluator
 from ..arith.fixedpoint import FixedPointFormat
 from ..compile import compile_network
 from ..core.framework import ProbLP, ProbLPConfig
@@ -114,9 +113,11 @@ def accuracy_impact_sweep(
         for row in rows
         for c in range(benchmark.num_classes)
     ]
-    from ..ac.evaluate import evaluate_batch
+    from ..engine import session_for
 
-    exact = evaluate_batch(binary, joint_evidences).reshape(
+    # One compiled tape serves the exact reference and every precision.
+    session = session_for(binary)
+    exact = session.evaluate_batch(joint_evidences).reshape(
         len(rows), benchmark.num_classes
     )
     exact_predictions = exact.argmax(axis=1)
@@ -125,9 +126,8 @@ def accuracy_impact_sweep(
     points = []
     for fraction_bits in fraction_bits_sweep:
         fmt = FixedPointFormat(1, fraction_bits)
-        evaluator = VectorFixedPointEvaluator(binary, fmt)
         quantized = np.asarray(
-            evaluator.evaluate_batch(joint_evidences)
+            session.evaluate_quantized_batch(fmt, joint_evidences)
         ).reshape(len(rows), benchmark.num_classes)
         predictions = quantized.argmax(axis=1)
         points.append(

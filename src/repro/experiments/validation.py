@@ -14,13 +14,13 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..ac.circuit import ArithmeticCircuit
-from ..ac.evaluate import evaluate_batch, evaluate_quantized
-from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
-from ..arith.floatingpoint import FloatBackend, FloatFormat
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
 from ..bn.network import BayesianNetwork
 from ..bn.sampling import forward_sample
 from ..core.bounds import propagate_fixed_bounds
 from ..core.optimizer import CircuitAnalysis, required_exponent_bits, required_integer_bits
+from ..engine import session_for
 
 #: The paper sweeps 8..40 bits in Figure 5.
 PAPER_SWEEP = tuple(range(8, 41, 2))
@@ -76,16 +76,17 @@ def run_fixed_validation(
 ) -> ValidationSeries:
     """Figure 5a: absolute error of marginal queries under fixed point.
 
-    Uses the exact int64-vectorized evaluator where the format allows
-    (2·(I+F) ≤ 62 — it is bit-identical to the big-int backend) and the
-    big-int path for wider formats.
+    The whole sweep runs on one :class:`repro.engine.InferenceSession`:
+    the circuit compiles to a tape once, the exact float64 references
+    come from the batched tape executor, and every precision point runs
+    the exact int64-vectorized fixed-point executor (bit-identical
+    scalar big-int fallback for formats wider than 2·(I+F) ≤ 62).
     """
-    from ..ac.fastpath import VectorFixedPointEvaluator
-
     if analysis is None:
         analysis = CircuitAnalysis.of(circuit)
     evidences = list(evidences)
-    exact = evaluate_batch(circuit, evidences)
+    session = session_for(circuit)
+    exact = session.evaluate_batch(evidences)
     points = []
     for bits in bits_sweep:
         integer_bits = required_integer_bits(analysis, bits)
@@ -93,16 +94,8 @@ def run_fixed_validation(
         bound = propagate_fixed_bounds(
             circuit, bits, analysis.extremes
         ).root_bound
-        if 2 * fmt.total_bits <= 62:
-            evaluator = VectorFixedPointEvaluator(circuit, fmt)
-            quantized = evaluator.evaluate_batch(evidences)
-            errors = [abs(q - r) for q, r in zip(quantized, exact)]
-        else:
-            backend = FixedPointBackend(fmt)
-            errors = [
-                abs(evaluate_quantized(circuit, backend, evidence) - reference)
-                for evidence, reference in zip(evidences, exact)
-            ]
+        quantized = session.evaluate_quantized_batch(fmt, evidences)
+        errors = [abs(q - r) for q, r in zip(quantized, exact)]
         points.append(
             ValidationPoint(
                 bits=bits,
@@ -125,10 +118,28 @@ def run_float_validation(
 
     ``exponent_bits=None`` derives E per sweep point from min/max-value
     analysis (the paper fixes E=8 for Alarm; pass it explicitly to match).
+    Runs on the session's vectorized float-emulation executor (new with
+    the engine — the seed evaluated every instance through the scalar
+    big-int backend), falling back to the bit-identical scalar path for
+    formats wider than M ≤ 30 / E ≤ 32.
     """
     if analysis is None:
         analysis = CircuitAnalysis.of(circuit)
-    exact = evaluate_batch(circuit, list(evidences))
+    evidences = list(evidences)
+    session = session_for(circuit)
+    exact = session.evaluate_batch(evidences)
+    # Relative error is undefined on zero outputs; drop those rows
+    # *before* quantized evaluation (a zero-probability evidence may
+    # underflow a pinned-E float format the positive rows never stress).
+    positive = [
+        (evidence, reference)
+        for evidence, reference in zip(evidences, exact)
+        if reference > 0.0
+    ]
+    if not positive:
+        raise ValueError("all test evidences had zero probability")
+    positive_evidences = [evidence for evidence, _ in positive]
+    references = [reference for _, reference in positive]
     points = []
     for bits in bits_sweep:
         e_bits = (
@@ -136,16 +147,13 @@ def run_float_validation(
             if exponent_bits is not None
             else required_exponent_bits(analysis, bits)
         )
-        backend = FloatBackend(FloatFormat(e_bits, bits))
+        fmt = FloatFormat(e_bits, bits)
         bound = analysis.float_counts.relative_bound(bits)
-        errors = []
-        for evidence, reference in zip(evidences, exact):
-            if reference <= 0.0:
-                continue  # relative error undefined on zero outputs
-            quantized = evaluate_quantized(circuit, backend, evidence)
-            errors.append(abs(quantized - reference) / reference)
-        if not errors:
-            raise ValueError("all test evidences had zero probability")
+        quantized = session.evaluate_quantized_batch(fmt, positive_evidences)
+        errors = [
+            abs(q - reference) / reference
+            for q, reference in zip(quantized, references)
+        ]
         points.append(
             ValidationPoint(
                 bits=bits,

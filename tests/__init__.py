@@ -1,0 +1,2 @@
+"""Test package marker: gives test modules unique dotted names (tests.tests.*),
+so duplicate basenames across packages collect cleanly."""

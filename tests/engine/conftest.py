@@ -1,0 +1,146 @@
+"""Fixtures for the engine test suite: random circuits and evidence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.transform import binarize
+
+
+def random_circuit(
+    rng: np.random.Generator,
+    num_variables: int = 4,
+    max_states: int = 3,
+    num_layers: int = 4,
+    layer_width: int = 6,
+    max_fanin: int = 4,
+    with_max: bool = False,
+    zero_fraction: float = 0.0,
+) -> ArithmeticCircuit:
+    """A random layered AC over random θ and λ leaves.
+
+    Every layer draws operators with fan-in 2..max_fanin over earlier
+    nodes; the root sums the last layer so all layers stay reachable.
+    """
+    circuit = ArithmeticCircuit(name="random", dedup=False)
+    pool: list[int] = []
+    states = {
+        f"V{v}": int(rng.integers(2, max_states + 1))
+        for v in range(num_variables)
+    }
+    for variable, cardinality in states.items():
+        for state in range(cardinality):
+            pool.append(circuit.add_indicator(variable, state))
+    for _ in range(2 * num_variables):
+        if zero_fraction and rng.random() < zero_fraction:
+            value = 0.0
+        else:
+            value = float(rng.uniform(0.05, 1.0))
+        pool.append(circuit.add_parameter(value))
+
+    ops = [circuit.add_sum, circuit.add_product]
+    if with_max:
+        ops.append(circuit.add_max)
+    layer = list(pool)
+    for _ in range(num_layers):
+        next_layer = []
+        for _ in range(layer_width):
+            fanin = int(rng.integers(2, max_fanin + 1))
+            children = rng.choice(len(layer), size=fanin)
+            add_op = ops[int(rng.integers(len(ops)))]
+            next_layer.append(add_op([layer[int(c)] for c in children]))
+        # Keep some earlier nodes reachable through the next layer.
+        layer = next_layer + [layer[int(c)] for c in rng.choice(len(layer), 2)]
+    circuit.set_root(circuit.add_sum(layer))
+    return circuit
+
+
+def random_probability_circuit(
+    rng: np.random.Generator,
+    num_variables: int = 4,
+    max_states: int = 3,
+    depth: int = 5,
+    with_max: bool = False,
+) -> ArithmeticCircuit:
+    """A random AC whose every node value stays in [0, 1].
+
+    Built from the closed-under-[0,1] combinators real network
+    polynomials use — products, convex-mixture sums (θ₁·a + θ₂·b with
+    θ₁+θ₂ ≤ 1) and max — so quantized sweeps in narrow fixed-point
+    formats exercise *values*, not just overflow parity.
+    """
+    circuit = ArithmeticCircuit(name="random_prob", dedup=False)
+    states = {
+        f"V{v}": int(rng.integers(2, max_states + 1))
+        for v in range(num_variables)
+    }
+    indicators = [
+        circuit.add_indicator(variable, state)
+        for variable, cardinality in states.items()
+        for state in range(cardinality)
+    ]
+
+    def build(level: int) -> int:
+        if level == 0 or rng.random() < 0.15:
+            if rng.random() < 0.5:
+                return indicators[int(rng.integers(len(indicators)))]
+            return circuit.add_parameter(float(rng.uniform(0.05, 1.0)))
+        choice = rng.random()
+        left, right = build(level - 1), build(level - 1)
+        if choice < 0.4:
+            return circuit.add_product([left, right])
+        if with_max and choice < 0.55:
+            return circuit.add_max([left, right])
+        weight = float(rng.uniform(0.2, 0.8))
+        return circuit.add_sum(
+            [
+                circuit.add_product([circuit.add_parameter(weight), left]),
+                circuit.add_product(
+                    [circuit.add_parameter(1.0 - weight), right]
+                ),
+            ]
+        )
+
+    circuit.set_root(build(depth))
+    return circuit
+
+
+def random_evidence_batch(
+    rng: np.random.Generator, circuit: ArithmeticCircuit, batch: int
+) -> list[dict[str, int]]:
+    """Random partial evidence over the circuit's indicator variables."""
+    evidences = []
+    variables = circuit.indicator_variables
+    for _ in range(batch):
+        evidence = {}
+        for variable in variables:
+            if rng.random() < 0.5:
+                choices = circuit.indicator_states(variable)
+                evidence[variable] = int(
+                    choices[int(rng.integers(len(choices)))]
+                )
+        evidences.append(evidence)
+    return evidences
+
+
+@pytest.fixture(scope="module")
+def engine_rng():
+    return np.random.default_rng(0xE7A9E)
+
+
+@pytest.fixture(scope="module")
+def random_binary_circuits(engine_rng):
+    """Random *binary* circuits with [0,1]-bounded node values — what
+    quantized sweeps in narrow formats need."""
+    circuits = []
+    for index in range(6):
+        circuit = random_probability_circuit(
+            engine_rng,
+            num_variables=3 + index % 3,
+            depth=4 + index % 3,
+            with_max=index % 3 == 2,
+        )
+        circuits.append(binarize(circuit).circuit)
+    return circuits

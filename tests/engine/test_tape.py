@@ -1,0 +1,129 @@
+"""Structural tests for the Tape IR and its per-circuit cache."""
+
+import numpy as np
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.nodes import OpType
+from repro.engine import (
+    OP_COPY,
+    OP_MAX,
+    OP_PRODUCT,
+    OP_SUM,
+    compile_tape,
+    tape_for,
+)
+
+
+def small_circuit():
+    circuit = ArithmeticCircuit(name="small")
+    theta = circuit.add_parameter(0.25)
+    theta_again = circuit.add_parameter(0.25)  # CSE shares the leaf
+    lam0 = circuit.add_indicator("A", 0)
+    lam1 = circuit.add_indicator("A", 1)
+    product = circuit.add_product([theta, lam0])
+    circuit.set_root(circuit.add_sum([product, lam1]))
+    assert theta == theta_again
+    return circuit
+
+
+class TestCompile:
+    def test_slots_mirror_node_indices(self):
+        circuit = small_circuit()
+        tape = compile_tape(circuit)
+        assert tape.num_nodes == len(circuit)
+        assert tape.num_slots == len(circuit)  # binary: no scratch
+        assert tape.root == circuit.root
+        # Every operator node appears exactly once as a destination.
+        operator_nodes = {
+            index
+            for index, node in enumerate(circuit.nodes)
+            if node.op.is_operator
+        }
+        assert set(tape.dests.tolist()) == operator_nodes
+
+    def test_parameter_table_is_deduplicated(self):
+        circuit = ArithmeticCircuit(dedup=False)  # distinct θ nodes
+        a = circuit.add_parameter(0.5)
+        b = circuit.add_parameter(0.5)
+        c = circuit.add_parameter(0.125)
+        circuit.set_root(circuit.add_sum([circuit.add_product([a, b]), c]))
+        tape = compile_tape(circuit)
+        assert len(tape.param_slots) == 3  # three leaves
+        assert len(tape.param_values) == 2  # two distinct values
+        assert tape.param_values[tape.param_ids].tolist() == [0.5, 0.5, 0.125]
+
+    def test_indicator_table_alignment(self):
+        tape = compile_tape(small_circuit())
+        assert tape.indicator_keys == (("A", 0), ("A", 1))
+        for slot, (variable, state) in zip(
+            tape.indicator_slots, tape.indicator_keys
+        ):
+            node = small_circuit().node(int(slot))
+            assert node.op is OpType.INDICATOR
+            assert (node.variable, node.state) == (variable, state)
+
+    def test_nary_decomposes_to_left_fold_chain(self):
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.1 * k) for k in range(1, 5)]
+        root = circuit.add_sum(parts)
+        circuit.set_root(root)
+        tape = compile_tape(circuit)
+        # 4 children -> 3 binary ops, 2 scratch slots.
+        assert tape.num_operations == 3
+        assert tape.num_slots == tape.num_nodes + 2
+        assert all(opcode == OP_SUM for opcode in tape.opcodes)
+        # Chain: (p0+p1) -> s0; (s0+p2) -> s1; (s1+p3) -> root slot.
+        scratch0, scratch1 = tape.num_nodes, tape.num_nodes + 1
+        assert tape.dests.tolist() == [scratch0, scratch1, root]
+        assert tape.lefts.tolist() == [parts[0], scratch0, scratch1]
+        assert tape.rights.tolist() == [parts[1], parts[2], parts[3]]
+
+    def test_binary_circuit_has_no_copy_ops(self, random_binary_circuits):
+        for circuit in random_binary_circuits:
+            tape = compile_tape(circuit)
+            assert tape.num_slots == tape.num_nodes
+            assert OP_COPY not in set(tape.opcodes.tolist())
+            assert set(tape.opcodes.tolist()) <= {OP_SUM, OP_PRODUCT, OP_MAX}
+
+    def test_arrays_are_int32(self):
+        tape = compile_tape(small_circuit())
+        for array in (tape.opcodes, tape.dests, tape.lefts, tape.rights,
+                      tape.param_slots, tape.param_ids, tape.indicator_slots):
+            assert array.dtype == np.int32
+        assert tape.param_values.dtype == np.float64
+
+    def test_rootless_circuit_compiles(self):
+        circuit = ArithmeticCircuit()
+        circuit.add_parameter(0.5)
+        tape = compile_tape(circuit)
+        assert tape.root is None
+        with pytest.raises(ValueError, match="no root"):
+            tape.require_root()
+
+
+class TestTapeCache:
+    def test_cache_returns_same_tape(self):
+        circuit = small_circuit()
+        assert tape_for(circuit) is tape_for(circuit)
+
+    def test_cache_recompiles_after_growth(self):
+        circuit = small_circuit()
+        before = tape_for(circuit)
+        extra = circuit.add_parameter(0.75)
+        circuit.set_root(circuit.add_sum([circuit.root, extra]))
+        after = tape_for(circuit)
+        assert after is not before
+        assert after.num_nodes == len(circuit)
+        assert tape_for(circuit) is after
+
+    def test_cache_recompiles_after_reroot(self):
+        circuit = small_circuit()
+        before = tape_for(circuit)
+        circuit.set_root(0)
+        after = tape_for(circuit)
+        assert after is not before
+        assert after.root == 0
+
+    def test_distinct_circuits_distinct_tapes(self):
+        assert tape_for(small_circuit()) is not tape_for(small_circuit())
