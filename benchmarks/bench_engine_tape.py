@@ -9,14 +9,19 @@ Compares, on the binarized Alarm circuit:
   "legacy per-node Python loop" baseline — vs the vectorized int64 tape
   executor;
 * batched quantized float: scalar big-int loop vs the engine's new
-  vectorized float emulation (the seed had no fast float path at all).
+  vectorized float emulation (the seed had no fast float path at all);
+* **backward sweep** (all-marginals): the frozen per-query node-walking
+  derivative pass vs the batched tape backward executors, in exact
+  float64 and in emulated fixed point.
 
-Run with ``-s`` to see the speedup table::
+Run with ``-s`` to see the speedup tables::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine_tape.py -q -s
 
-The quantized-batch speedup is asserted ≥ 5× (it is typically well
-beyond 10×); pure-overhead comparisons print but do not gate.
+The quantized-batch and backward-sweep speedups are asserted ≥ 5× (they
+are typically well beyond 10×); pure-overhead comparisons print but do
+not gate. Results are persisted as text and JSON under
+``benchmarks/results/`` — CI uploads the JSON as a build artifact.
 """
 
 from __future__ import annotations
@@ -35,17 +40,20 @@ from repro.arith import (
 from repro.engine import (
     FixedPointBatchExecutor,
     FloatBatchExecutor,
+    QuantizedTapeEvaluator,
     execute_batch,
     execute_real,
+    session_for,
     tape_for,
 )
 from repro.engine.reference import (
     reference_evaluate_batch,
     reference_evaluate_real,
+    reference_partial_derivatives,
 )
 from repro.experiments.validation import alarm_marginal_evidences
 
-from conftest import BENCH_INSTANCES, write_result
+from conftest import BENCH_INSTANCES, write_json_result, write_result
 
 
 def _time(function, *args, repeats: int = 3):
@@ -132,20 +140,118 @@ def test_engine_tape_speedups(bench_setup):
         ("batched float(9,14)", legacy_time, tape_time, len(quant_evidences))
     )
 
-    lines = [
+    report = _render_rows(
         f"engine tape benchmark — alarm binary, {len(evidences)} instances",
-        f"{'sweep':>22} {'legacy':>12} {'tape':>12} {'speedup':>9}",
-    ]
-    for name, legacy_time, tape_time, _ in rows:
-        lines.append(
-            f"{name:>22} {legacy_time * 1e3:>10.2f}ms {tape_time * 1e3:>10.2f}ms "
-            f"{legacy_time / tape_time:>8.1f}x"
-        )
-    report = "\n".join(lines)
+        rows,
+    )
     print("\n" + report)
     write_result("engine_tape.txt", report + "\n")
+    write_json_result("engine_tape.json", _rows_payload(rows))
 
     # Acceptance gate: vectorized quantized sweeps must beat the legacy
     # per-node Python loop by at least 5x.
     assert fixed_speedup >= 5.0, report
     assert float_speedup >= 5.0, report
+
+
+def _render_rows(title, rows):
+    lines = [
+        title,
+        f"{'sweep':>26} {'legacy':>12} {'tape':>12} {'speedup':>9}",
+    ]
+    for name, legacy_time, tape_time, _ in rows:
+        lines.append(
+            f"{name:>26} {legacy_time * 1e3:>10.2f}ms {tape_time * 1e3:>10.2f}ms "
+            f"{legacy_time / tape_time:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def _rows_payload(rows):
+    return [
+        {
+            "sweep": name,
+            "instances": instances,
+            "legacy_ms": legacy_time * 1e3,
+            "tape_ms": tape_time * 1e3,
+            "speedup": legacy_time / tape_time,
+        }
+        for name, legacy_time, tape_time, instances in rows
+    ]
+
+
+def test_backward_sweep_speedups(bench_setup):
+    """Batched all-marginals vs the per-query legacy derivative loop."""
+    tape, circuit, evidences, quant_evidences = bench_setup
+    session = session_for(circuit)
+    rows = []
+
+    # Exact float64 all-marginals: legacy = one node-walking
+    # forward+backward pass per query (the frozen oracle), tape = two
+    # batched replays for the whole evidence set.
+    def legacy_marginals():
+        return [
+            reference_partial_derivatives(circuit, evidence)
+            for evidence in quant_evidences
+        ]
+
+    legacy_time, legacy_results = _time(legacy_marginals, repeats=1)
+    tape_time, (values, partials) = _time(
+        session.partials_batch, quant_evidences
+    )
+    for column, (ref_values, ref_partials) in enumerate(legacy_results):
+        assert (values[:, column] == ref_values).all()
+        assert (partials[:, column] == ref_partials).all()  # bit-identical
+    backward_speedup = legacy_time / tape_time
+    rows.append(
+        (
+            "batched all-marginals f64",
+            legacy_time,
+            tape_time,
+            len(quant_evidences),
+        )
+    )
+
+    # Quantized all-marginals (fixed point): legacy = scalar big-int
+    # backward loop per query, tape = vectorized int64 backward executor.
+    fixed_fmt = FixedPointFormat(3, 15)
+    backend = FixedPointBackend(fixed_fmt)
+    evaluator = QuantizedTapeEvaluator(tape)
+
+    def legacy_quant_marginals():
+        return [
+            evaluator.partials(backend, evidence, strict=False)
+            for evidence in quant_evidences
+        ]
+
+    legacy_time, legacy_quant = _time(legacy_quant_marginals, repeats=1)
+    executor = FixedPointBatchExecutor(tape, fixed_fmt)
+    tape_time, (_, adjoint_words) = _time(
+        executor.partials_batch_words, quant_evidences
+    )
+    for column, (_, adjoints) in enumerate(legacy_quant):
+        expected = [value.mantissa for value in adjoints]
+        assert adjoint_words[:, column].tolist() == expected  # bit-identical
+    quant_backward_speedup = legacy_time / tape_time
+    rows.append(
+        (
+            "batched all-marginals fixed(3,15)",
+            legacy_time,
+            tape_time,
+            len(quant_evidences),
+        )
+    )
+
+    report = _render_rows(
+        f"backward sweep benchmark — alarm binary, "
+        f"{len(quant_evidences)} instances",
+        rows,
+    )
+    print("\n" + report)
+    write_result("engine_tape_backward.txt", report + "\n")
+    write_json_result("engine_tape_backward.json", _rows_payload(rows))
+
+    # Acceptance gate: batched all-marginals must beat the per-query
+    # legacy loop by at least 5x, exact and quantized alike.
+    assert backward_speedup >= 5.0, report
+    assert quant_backward_speedup >= 5.0, report

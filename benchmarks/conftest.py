@@ -38,6 +38,16 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def write_json_result(name: str, payload) -> Path:
+    """Persist a machine-readable benchmark result (CI uploads these)."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 @pytest.fixture(scope="session")
 def alarm():
     return alarm_network()

@@ -42,6 +42,7 @@ from .core import (
 )
 from .energy import EnergyModel, PAPER_MODEL
 from .engine import InferenceSession, Tape, compile_tape, session_for
+from .errors import ZeroEvidenceError
 from .hw import HardwareDesign, check_equivalence, generate_hardware
 
 __version__ = "1.0.0"
@@ -69,6 +70,7 @@ __all__ = [
     "QueryType",
     "ToleranceType",
     "Variable",
+    "ZeroEvidenceError",
     "binarize",
     "check_equivalence",
     "compile_mpe",

@@ -8,6 +8,7 @@ transformations (binary decomposition), validation and serialization.
 
 from .circuit import ArithmeticCircuit, CircuitStats, topological_check
 from .derivatives import (
+    ZeroEvidenceError,
     conditional_probability,
     joint_marginals,
     partial_derivatives,
@@ -45,6 +46,7 @@ __all__ = [
     "QuantizedBackend",
     "TransformResult",
     "VectorFixedPointEvaluator",
+    "ZeroEvidenceError",
     "binarize",
     "circuit_from_dict",
     "circuit_to_dict",

@@ -13,8 +13,20 @@ after normalization. This is also the paper's footnote 2: conditional
 probabilities "can also be estimated by an upward and a downward pass in
 an AC followed with a division".
 
+These functions are thin wrappers over the compiled-tape engine
+(:mod:`repro.engine`): the circuit is linearized once into a cached
+:class:`~repro.engine.tape.Tape` and both passes replay it (the backward
+pass through the cached :class:`~repro.engine.tape.BackwardProgram`,
+whose binary fold chains apply the product rule in O(k) per k-ary
+product). Results are bit-identical to the frozen node-walking sweep
+preserved in :func:`repro.engine.reference.reference_partial_derivatives`
+and differentially tested against it. Batched all-marginals serving
+lives on :meth:`repro.engine.InferenceSession.marginals_batch`.
+
 Derivative passes are defined for sum/product circuits; MAX nodes (MPE
-circuits) are not differentiable and are rejected.
+circuits) are not differentiable and are rejected. Conditioning on
+zero-probability evidence raises the typed
+:class:`~repro.errors.ZeroEvidenceError`.
 """
 
 from __future__ import annotations
@@ -23,9 +35,16 @@ from typing import Mapping
 
 import numpy as np
 
+from ..errors import ZeroEvidenceError
 from .circuit import ArithmeticCircuit
-from .evaluate import evaluate_values
-from .nodes import OpType
+
+__all__ = [
+    "ZeroEvidenceError",
+    "conditional_probability",
+    "joint_marginals",
+    "partial_derivatives",
+    "posterior_marginals",
+]
 
 
 def partial_derivatives(
@@ -37,33 +56,12 @@ def partial_derivatives(
     Returns ``(values, partials)``. Only nodes in the root cone receive
     non-zero partials.
     """
-    for node in circuit.nodes:
-        if node.op is OpType.MAX:
-            raise ValueError(
-                "derivative passes are undefined for MAX nodes; "
-                "use a sum-product circuit"
-            )
-    values = evaluate_values(circuit, evidence)
-    partials = [0.0] * len(circuit)
-    partials[circuit.root] = 1.0
-    # Reverse topological order: parents before children.
-    for index in range(len(circuit) - 1, -1, -1):
-        node = circuit.node(index)
-        if not node.op.is_operator or partials[index] == 0.0:
-            continue
-        seed = partials[index]
-        if node.op is OpType.SUM:
-            for child in node.children:
-                partials[child] += seed
-        else:  # PRODUCT
-            children = node.children
-            for position, child in enumerate(children):
-                product = seed
-                for other_position, other in enumerate(children):
-                    if other_position != position:
-                        product *= values[other]
-                partials[child] += product
-    return values, partials
+    # Imported lazily: repro.ac.__init__ loads this module while the
+    # engine package (which imports repro.ac.circuit) may still be
+    # initializing.
+    from ..engine import session_for
+
+    return session_for(circuit).partials(evidence)
 
 
 def joint_marginals(
@@ -74,14 +72,9 @@ def joint_marginals(
 
     One upward + one downward pass computes all of them at once.
     """
-    _, partials = partial_derivatives(circuit, evidence)
-    marginals: dict[str, np.ndarray] = {}
-    for (variable, state), node_index in circuit.indicators.items():
-        card = len(circuit.indicator_states(variable))
-        if variable not in marginals:
-            marginals[variable] = np.zeros(card)
-        marginals[variable][state] = partials[node_index]
-    return marginals
+    from ..engine import session_for
+
+    return session_for(circuit).marginals(evidence, joint=True)
 
 
 def posterior_marginals(
@@ -90,19 +83,13 @@ def posterior_marginals(
 ) -> dict[str, np.ndarray]:
     """``Pr(X | e)`` for every variable, via the differential approach.
 
-    Raises ``ZeroDivisionError`` when the evidence has probability zero.
+    Raises :class:`~repro.errors.ZeroEvidenceError` (a
+    ``ZeroDivisionError`` subclass) when the evidence has probability
+    zero.
     """
-    joints = joint_marginals(circuit, evidence)
-    posteriors = {}
-    for variable, joint in joints.items():
-        total = joint.sum()
-        if total == 0.0:
-            raise ZeroDivisionError(
-                f"evidence has probability zero; cannot condition "
-                f"{variable!r}"
-            )
-        posteriors[variable] = joint / total
-    return posteriors
+    from ..engine import session_for
+
+    return session_for(circuit).marginals(evidence)
 
 
 def conditional_probability(
@@ -113,11 +100,16 @@ def conditional_probability(
 ) -> float:
     """``Pr(query = state | e)`` by upward+downward pass and a division.
 
-    The paper's footnote-2 alternative to two upward passes.
+    The paper's footnote-2 alternative to two upward passes. Served from
+    the circuit's cached :class:`~repro.engine.InferenceSession`, so
+    repeated calls replay the compiled tape instead of recompiling and
+    re-walking the circuit per query.
     """
+    from ..engine import session_for
+
     if query in evidence:
         raise ValueError(f"query variable {query!r} is also evidence")
-    posterior = posterior_marginals(circuit, evidence)
+    posterior = session_for(circuit).marginals(evidence)
     try:
         return float(posterior[query][state])
     except KeyError:

@@ -16,6 +16,7 @@ from .inference import (
     network_factors,
     probability_of_evidence,
 )
+from ..errors import ZeroEvidenceError
 from .io import load_network, network_from_dict, network_to_dict, save_network
 from .learning import estimate_cpt, fit_parameters, train_naive_bayes
 from .naive_bayes import NaiveBayesClassifier
@@ -30,6 +31,7 @@ __all__ = [
     "Factor",
     "NaiveBayesClassifier",
     "Variable",
+    "ZeroEvidenceError",
     "binary",
     "eliminate",
     "estimate_cpt",

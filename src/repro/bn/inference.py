@@ -13,6 +13,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from ..errors import ZeroEvidenceError
 from .network import BayesianNetwork
 
 
@@ -167,7 +168,12 @@ def marginal(
     evidence: Mapping[str, int] | None = None,
     order: Iterable[str] | None = None,
 ) -> np.ndarray:
-    """Exact posterior ``Pr(query | evidence)`` as a distribution array."""
+    """Exact posterior ``Pr(query | evidence)`` as a distribution array.
+
+    Raises :class:`~repro.errors.ZeroEvidenceError` (a
+    ``ZeroDivisionError`` subclass) when the evidence has probability
+    zero.
+    """
     evidence = dict(evidence or {})
     if query in evidence:
         raise ValueError(f"query variable {query!r} is also evidence")
@@ -179,7 +185,7 @@ def marginal(
         )
     total = joint.sum()
     if total == 0.0:
-        raise ZeroDivisionError(
+        raise ZeroEvidenceError(
             f"evidence has probability zero; cannot condition {query!r}"
         )
     return joint / total

@@ -7,6 +7,8 @@ Subcommands:
 * ``hwgen`` — generate Verilog for the selected (or a forced) format;
 * ``eval`` — serve evidence batches from the compiled-tape engine
   (exact float64 and/or a quantized format);
+* ``marginals`` — all posterior marginals of every instance via the
+  backward (derivative) tape sweep, optionally quantized, as JSON lines;
 * ``fig5`` — regenerate the Figure-5 bound-validation series;
 * ``table2`` — regenerate one Table-2 row for a named benchmark;
 * ``networks`` — list the built-in benchmark networks.
@@ -21,6 +23,8 @@ Examples::
     problp eval --network alarm --evidence-file batch.json \\
         --format fixed:1:15
     problp eval --network sprinkler --sample 1000 --format float:8:14
+    problp marginals --network alarm --sample 100 --variables HYPOVOLEMIA
+    problp marginals --network sprinkler --format fixed:4:20
     problp fig5 --instances 100
     problp table2 --benchmark UIWADS --query marginal --tolerance abs:0.01
 """
@@ -254,13 +258,11 @@ def _parse_format(text: str):
     )
 
 
-def cmd_eval(args) -> int:
-    """Serve an evidence batch from a compiled-tape InferenceSession."""
+def _resolve_eval_setup(args):
+    """Shared setup of ``eval``/``marginals``: circuit, batch, format."""
     import json
-    import time
 
     from .ac.transform import binarize
-    from .engine import InferenceSession
 
     circuit = _load_circuit(args)
     if hasattr(circuit, "circuit"):  # CompiledCircuit and friends
@@ -297,7 +299,16 @@ def cmd_eval(args) -> int:
         from .arith.rounding import RoundingMode
 
         fmt = replace(fmt, rounding=RoundingMode(args.rounding))
+    return circuit, batch, fmt
 
+
+def cmd_eval(args) -> int:
+    """Serve an evidence batch from a compiled-tape InferenceSession."""
+    import time
+
+    from .engine import InferenceSession
+
+    circuit, batch, fmt = _resolve_eval_setup(args)
     session = InferenceSession(circuit)
     start = time.perf_counter()
     try:
@@ -324,6 +335,69 @@ def cmd_eval(args) -> int:
     print(
         f"# {len(batch)} evaluations in {elapsed * 1e3:.2f} ms on "
         f"{session.tape.describe()}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_marginals(args) -> int:
+    """Serve batched all-marginals from the backward tape sweep."""
+    import json
+    import time
+
+    from .engine import InferenceSession
+    from .errors import ZeroEvidenceError
+
+    circuit, batch, fmt = _resolve_eval_setup(args)
+    variables = (
+        [v.strip() for v in args.variables.split(",") if v.strip()]
+        if args.variables
+        else None
+    )
+    session = InferenceSession(circuit)
+    if variables is not None:
+        known = set(session.marginal_index.variables)
+        unknown = [v for v in variables if v not in known]
+        if unknown:
+            raise SystemExit(
+                f"circuit has no indicators for variable(s) {unknown}"
+            )
+    start = time.perf_counter()
+    try:
+        exact = session.marginals_batch(batch, strict=True, joint=args.joint)
+        quantized = (
+            session.quantized_marginals_batch(fmt, batch, joint=args.joint)
+            if fmt is not None
+            else None
+        )
+    except ZeroEvidenceError as error:
+        raise SystemExit(f"cannot normalize marginals: {error}") from None
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    except ArithmeticError as error:
+        raise SystemExit(
+            f"quantized marginals failed in {fmt.describe()}: {error}"
+        ) from None
+    elapsed = time.perf_counter() - start
+    kind = "joint" if args.joint else "posterior"
+    for row in range(len(batch)):
+        for variable in variables if variables is not None else exact:
+            record = {
+                "instance": row,
+                "variable": variable,
+                kind: [float(p) for p in exact[variable][:, row]],
+            }
+            if quantized is not None:
+                record["quantized"] = [
+                    float(p) for p in quantized[variable][:, row]
+                ]
+            print(json.dumps(record))
+    num_queries = len(batch) * (
+        len(variables) if variables is not None else len(exact)
+    )
+    print(
+        f"# {num_queries} {kind} distributions ({len(batch)} instances) in "
+        f"{elapsed * 1e3:.2f} ms on {session.tape.describe()}",
         file=sys.stderr,
     )
     return 0
@@ -372,28 +446,48 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--dot-max-nodes", type=int, default=500)
     compile_cmd.set_defaults(handler=cmd_compile)
 
+    def _add_evidence_arguments(parser: argparse.ArgumentParser) -> None:
+        _add_model_arguments(parser)
+        parser.add_argument(
+            "--evidence-file",
+            type=Path,
+            help="JSON file: one evidence object or a list of them",
+        )
+        parser.add_argument(
+            "--sample",
+            type=int,
+            default=0,
+            help="sample N leaf-evidence instances from the network instead",
+        )
+        parser.add_argument("--seed", type=int, default=1000)
+        parser.add_argument(
+            "--format",
+            type=_parse_format,
+            help="also evaluate quantized, e.g. fixed:1:15 or float:8:14",
+        )
+
     eval_cmd = subparsers.add_parser(
         "eval", help="evaluate evidence batches on the compiled tape"
     )
-    _add_model_arguments(eval_cmd)
-    eval_cmd.add_argument(
-        "--evidence-file",
-        type=Path,
-        help="JSON file: one evidence object or a list of them",
-    )
-    eval_cmd.add_argument(
-        "--sample",
-        type=int,
-        default=0,
-        help="sample N leaf-evidence instances from the network instead",
-    )
-    eval_cmd.add_argument("--seed", type=int, default=1000)
-    eval_cmd.add_argument(
-        "--format",
-        type=_parse_format,
-        help="also evaluate quantized, e.g. fixed:1:15 or float:8:14",
-    )
+    _add_evidence_arguments(eval_cmd)
     eval_cmd.set_defaults(handler=cmd_eval)
+
+    marginals_cmd = subparsers.add_parser(
+        "marginals",
+        help="all posterior marginals per instance via the backward tape "
+        "sweep (one upward + one downward pass)",
+    )
+    _add_evidence_arguments(marginals_cmd)
+    marginals_cmd.add_argument(
+        "--variables",
+        help="comma-separated variables to report (default: all)",
+    )
+    marginals_cmd.add_argument(
+        "--joint",
+        action="store_true",
+        help="print unnormalized joints Pr(x, e \\ X) instead of posteriors",
+    )
+    marginals_cmd.set_defaults(handler=cmd_marginals)
 
     fig5 = subparsers.add_parser(
         "fig5", help="regenerate the Figure-5 bound validation"

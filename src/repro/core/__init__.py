@@ -1,8 +1,10 @@
 """ProbLP core: error models, bounds, extremes, optimizer, framework."""
 
 from .bounds import (
+    AdjointFloatBounds,
     FixedBounds,
     FloatBounds,
+    propagate_adjoint_float_counts,
     propagate_fixed_bounds,
     propagate_float_counts,
 )
@@ -36,6 +38,7 @@ from .queries import (
 from .report import ProbLPResult, format_name, option_cell, render_table
 
 __all__ = [
+    "AdjointFloatBounds",
     "CircuitAnalysis",
     "DEFAULT_MAX_PRECISION_BITS",
     "ErrorTolerance",
@@ -59,6 +62,7 @@ __all__ = [
     "max_log2_values",
     "min_log2_positive_values",
     "option_cell",
+    "propagate_adjoint_float_counts",
     "propagate_fixed_bounds",
     "propagate_float_counts",
     "render_table",

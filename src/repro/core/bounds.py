@@ -136,9 +136,8 @@ class FloatBounds:
         return model.relative_bound(self.root_count)
 
 
-def propagate_float_counts(circuit: ArithmeticCircuit) -> FloatBounds:
-    """Propagate (1±ε) factor counts for floating-point arithmetic."""
-    tape = _binary_tape(circuit)
+def _forward_float_counts(tape: Tape) -> list[int]:
+    """Per-slot (1±ε) factor counts of the upward pass."""
     model = FloatErrorModel(mantissa_bits=1)  # counts are ε-independent
     counts = [0] * tape.num_slots
     _leaf_errors(tape, model, counts)
@@ -151,4 +150,108 @@ def propagate_float_counts(circuit: ArithmeticCircuit) -> FloatBounds:
             counts[dest] = model.max_node(counts[left], counts[right])
         else:  # OP_COPY
             counts[dest] = counts[left]
+    return counts
+
+
+def propagate_float_counts(circuit: ArithmeticCircuit) -> FloatBounds:
+    """Propagate (1±ε) factor counts for floating-point arithmetic."""
+    tape = _binary_tape(circuit)
+    counts = _forward_float_counts(tape)
     return FloatBounds(per_node=tuple(counts[: tape.num_nodes]), root=circuit.root)
+
+
+@dataclass(frozen=True)
+class AdjointFloatBounds:
+    """Float factor counts of the *downward* (derivative) pass.
+
+    ``per_node[i]`` is the count c with ``∂̃f/∂v_i = ∂f/∂v_i (1±ε)^c``
+    when both sweeps run in quantized float arithmetic (the engine's
+    backward executors); ``indicator_counts`` projects it onto the λ
+    leaves, whose adjoints are exactly the joints ``Pr(x, e \\ X)`` of
+    the differential approach.
+    """
+
+    per_node: tuple[int, ...]
+    indicator_counts: "dict[tuple[str, int], int]"
+
+    @property
+    def max_indicator_count(self) -> int:
+        """The worst factor count over all joint-marginal outputs."""
+        return max(self.indicator_counts.values(), default=0)
+
+    def posterior_bound(self, mantissa_bits: int, rounding=None) -> float:
+        """Worst-case error of any normalized posterior marginal.
+
+        Every quantized joint satisfies ``j̃ = j(1±ε)^c`` with
+        ``c ≤ max_indicator_count``; the normalizing denominator is a
+        same-sign float64 sum of such joints, so its relative error obeys
+        the same count. The ratio is therefore bounded by
+        ``(1+ε)^c / (1−ε)^c − 1`` relative — which also bounds the
+        absolute error, since posteriors are at most 1.
+        """
+        import math
+
+        from ..arith.rounding import RoundingMode
+
+        model = FloatErrorModel(
+            mantissa_bits=mantissa_bits,
+            rounding=rounding or RoundingMode.NEAREST_EVEN,
+        )
+        count = self.max_indicator_count
+        return math.expm1(
+            count * (math.log1p(model.epsilon) - math.log1p(-model.epsilon))
+        )
+
+
+def propagate_adjoint_float_counts(
+    circuit: ArithmeticCircuit,
+) -> AdjointFloatBounds:
+    """Propagate (1±ε) factor counts through the backward sweep.
+
+    Mirrors what the quantized backward executors compute: each adjoint
+    contribution is one rounded multiply with the sibling's upward value
+    (product rule) and one accumulate add — except the first accumulate
+    into an exactly-zero adjoint, which the backends short-circuit
+    without rounding. Replays the same cached
+    :class:`~repro.engine.tape.BackwardProgram` as the executors, so the
+    bound walks the operator DAG the emulated hardware walks.
+    """
+    tape = _binary_tape(circuit)
+    tape.require_differentiable()
+    root = tape.require_root()
+    model = FloatErrorModel(mantissa_bits=1)  # counts are ε-independent
+    value_counts = _forward_float_counts(tape)
+    adjoints: list[int | None] = [None] * tape.num_slots
+    adjoints[root] = 0
+
+    def accumulate(slot: int, contribution: int) -> None:
+        current = adjoints[slot]
+        adjoints[slot] = (
+            contribution
+            if current is None
+            else model.adder(current, contribution)
+        )
+
+    for opcode, dest, left, right in tape.backward.op_tuples:
+        seed = adjoints[dest]
+        if seed is None:
+            continue  # outside the root cone: adjoint is exactly zero
+        if opcode == OP_PRODUCT:
+            accumulate(left, model.multiplier(seed, value_counts[right]))
+            accumulate(right, model.multiplier(seed, value_counts[left]))
+        elif opcode == OP_SUM:
+            accumulate(left, seed)
+            accumulate(right, seed)
+        else:  # OP_COPY
+            accumulate(left, seed)
+    per_node = tuple(
+        0 if count is None else count
+        for count in adjoints[: tape.num_nodes]
+    )
+    indicator_counts = {
+        key: per_node[slot]
+        for slot, key in zip(tape.indicator_slots, tape.indicator_keys)
+    }
+    return AdjointFloatBounds(
+        per_node=per_node, indicator_counts=indicator_counts
+    )

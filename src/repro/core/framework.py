@@ -163,6 +163,36 @@ class ProbLP:
         """
         return self.session.evaluate_quantized_batch(fmt, evidence_batch)
 
+    def marginals(self, evidence=None, joint=False):
+        """All posterior marginals ``Pr(X | e)`` of one query.
+
+        One upward + one downward replay of the compiled tape (the
+        paper's footnote-2 query style). Raises
+        :class:`~repro.errors.ZeroEvidenceError` on zero-probability
+        evidence; rejects MPE (max) circuits.
+        """
+        return self.session.marginals(evidence, joint=joint)
+
+    def marginals_batch(self, evidence_batch, joint=False):
+        """All posterior marginals of a whole evidence batch.
+
+        Returns ``{variable: (card, batch) array}`` from two batched
+        tape replays — every marginal of every instance at batch
+        throughput.
+        """
+        return self.session.marginals_batch(evidence_batch, joint=joint)
+
+    def quantized_marginals_batch(self, fmt, evidence_batch, joint=False):
+        """Batched all-marginals with both sweeps in quantized arithmetic.
+
+        Upward and downward passes run with the format's §3.1 operator
+        semantics (vectorized executors with a bit-identical scalar
+        big-int fallback); the normalizing division is float64.
+        """
+        return self.session.quantized_marginals_batch(
+            fmt, evidence_batch, joint=joint
+        )
+
     def generate_hardware(self, fmt=None, result: ProbLPResult | None = None):
         """Generate pipelined hardware for the (selected) format.
 

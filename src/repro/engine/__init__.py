@@ -4,8 +4,12 @@ Compiles an :class:`~repro.ac.circuit.ArithmeticCircuit` once into a
 flat :class:`Tape` IR (struct-of-arrays numpy buffers, a deduplicated
 parameter table, an indicator table) and runs every sweep — exact
 float64, batched float64, quantized fixed point, quantized floating
-point — against that one artifact. The :class:`EvidenceEncoder` turns
-evidence batches into indicator matrices in one vectorized step, and
+point, and the **backward (derivative) sweeps** behind all-marginals
+queries — against that one artifact (forward sweeps replay the op
+stream, backward sweeps replay the cached :class:`BackwardProgram`).
+The :class:`EvidenceEncoder` turns evidence batches into indicator
+matrices in one vectorized step, :class:`MarginalIndex` groups the
+downward pass into per-variable posteriors, and
 :class:`InferenceSession` fronts the whole thing with per-circuit
 compiled caches for serving repeated queries.
 
@@ -16,40 +20,50 @@ remain as thin wrappers; the frozen seed implementations live in
 :mod:`repro.engine.reference` for differential testing.
 """
 
+from ..errors import ZeroEvidenceError
 from .encoder import EvidenceEncoder
 from .executors import (
     FixedPointBatchExecutor,
     FloatBatchExecutor,
     QuantizedTapeEvaluator,
     execute_batch,
+    execute_partials,
+    execute_partials_batch,
     execute_real,
     execute_values,
 )
+from .marginals import MarginalIndex
 from .session import InferenceSession, backend_for_format, session_for
 from .tape import (
     OP_COPY,
     OP_MAX,
     OP_PRODUCT,
     OP_SUM,
+    BackwardProgram,
     Tape,
     compile_tape,
     tape_for,
 )
 
 __all__ = [
+    "BackwardProgram",
     "EvidenceEncoder",
     "FixedPointBatchExecutor",
     "FloatBatchExecutor",
     "InferenceSession",
+    "MarginalIndex",
     "OP_COPY",
     "OP_MAX",
     "OP_PRODUCT",
     "OP_SUM",
     "QuantizedTapeEvaluator",
     "Tape",
+    "ZeroEvidenceError",
     "backend_for_format",
     "compile_tape",
     "execute_batch",
+    "execute_partials",
+    "execute_partials_batch",
     "execute_real",
     "execute_values",
     "session_for",

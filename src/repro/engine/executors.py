@@ -52,16 +52,12 @@ from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape
 # ----------------------------------------------------------------------
 # Real (float64) execution
 # ----------------------------------------------------------------------
-def execute_values(
+def _forward_slots(
     tape: Tape,
-    evidence: Mapping[str, int] | None = None,
-    encoder: EvidenceEncoder | None = None,
+    evidence: Mapping[str, int] | None,
+    encoder: EvidenceEncoder | None,
 ) -> list[float]:
-    """Float64 value of every circuit node under the given evidence.
-
-    Returns ``num_nodes`` values aligned with circuit node indices
-    (scratch slots are dropped).
-    """
+    """Scalar float64 forward sweep over *all* slots (scratch included)."""
     if encoder is None:
         encoder = EvidenceEncoder.for_tape(tape)
     active = encoder.encode_one(evidence, strict=True)
@@ -80,7 +76,20 @@ def execute_values(
             slots[dest] = left_value if left_value >= right_value else right_value
         else:  # OP_COPY
             slots[dest] = slots[left]
-    return slots[: tape.num_nodes]
+    return slots
+
+
+def execute_values(
+    tape: Tape,
+    evidence: Mapping[str, int] | None = None,
+    encoder: EvidenceEncoder | None = None,
+) -> list[float]:
+    """Float64 value of every circuit node under the given evidence.
+
+    Returns ``num_nodes`` values aligned with circuit node indices
+    (scratch slots are dropped).
+    """
+    return _forward_slots(tape, evidence, encoder)[: tape.num_nodes]
 
 
 def execute_real(
@@ -114,10 +123,23 @@ def execute_batch(
         return (
             np.empty((tape.num_nodes, 0)) if node_values else np.empty(0)
         )
+    slots = _forward_slots_batch(tape, evidence_batch, encoder, strict)
+    if node_values:
+        return slots[: tape.num_nodes].copy()
+    return slots[root].copy()
+
+
+def _forward_slots_batch(
+    tape: Tape,
+    evidence_batch: Sequence[Mapping[str, int]],
+    encoder: EvidenceEncoder | None,
+    strict: bool,
+) -> np.ndarray:
+    """Batched float64 forward sweep over *all* slots (scratch included)."""
     if encoder is None:
         encoder = EvidenceEncoder.for_tape(tape)
     active = encoder.encode(evidence_batch, strict=strict)
-    slots = np.empty((tape.num_slots, batch))
+    slots = np.empty((tape.num_slots, len(evidence_batch)))
     slots[tape.param_slots] = tape.param_values[tape.param_ids][:, None]
     slots[tape.indicator_slots] = active
     for opcode, dest, left, right in tape.op_tuples:
@@ -129,9 +151,81 @@ def execute_batch(
             np.maximum(slots[left], slots[right], out=slots[dest])
         else:  # OP_COPY
             slots[dest] = slots[left]
-    if node_values:
-        return slots[: tape.num_nodes].copy()
-    return slots[root].copy()
+    return slots
+
+
+# ----------------------------------------------------------------------
+# Real (float64) backward (derivative) execution
+# ----------------------------------------------------------------------
+def execute_partials(
+    tape: Tape,
+    evidence: Mapping[str, int] | None = None,
+    encoder: EvidenceEncoder | None = None,
+) -> tuple[list[float], list[float]]:
+    """Upward values and downward partials ``∂f/∂v_i`` for every node.
+
+    One forward replay plus one backward replay of the cached
+    :class:`~repro.engine.tape.BackwardProgram`. Returns
+    ``(values, partials)`` aligned with circuit node indices;
+    bit-identical to the frozen node-walking oracle
+    (:func:`repro.engine.reference.reference_partial_derivatives`) —
+    the binary fold chains apply exactly its prefix/suffix product rule.
+    Rejects MAX circuits (derivatives are undefined there).
+    """
+    tape.require_differentiable()
+    root = tape.require_root()
+    slots = _forward_slots(tape, evidence, encoder)
+    partials = [0.0] * tape.num_slots
+    partials[root] = 1.0
+    for opcode, dest, left, right in tape.backward.op_tuples:
+        seed = partials[dest]
+        if seed == 0.0:
+            continue  # zero contributions are exact no-ops
+        if opcode == OP_SUM:
+            partials[left] += seed
+            partials[right] += seed
+        elif opcode == OP_PRODUCT:
+            partials[left] += seed * slots[right]
+            partials[right] += seed * slots[left]
+        else:  # OP_COPY
+            partials[left] += seed
+    return slots[: tape.num_nodes], partials[: tape.num_nodes]
+
+
+def execute_partials_batch(
+    tape: Tape,
+    evidence_batch: Sequence[Mapping[str, int]],
+    encoder: EvidenceEncoder | None = None,
+    strict: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched upward values and downward partials for every node.
+
+    Returns ``(values, partials)``, each of shape
+    ``(num_nodes, batch)`` — the joint of *every* state of *every*
+    variable for a whole evidence batch in two tape replays (one numpy
+    op per tape op per direction). Row-for-row bit-identical to
+    :func:`execute_partials`.
+    """
+    tape.require_differentiable()
+    root = tape.require_root()
+    batch = len(evidence_batch)
+    if batch == 0:
+        empty = np.empty((tape.num_nodes, 0))
+        return empty, empty.copy()
+    slots = _forward_slots_batch(tape, evidence_batch, encoder, strict)
+    partials = np.zeros((tape.num_slots, batch))
+    partials[root] = 1.0
+    for opcode, dest, left, right in tape.backward.op_tuples:
+        seed = partials[dest]
+        if opcode == OP_SUM:
+            partials[left] += seed
+            partials[right] += seed
+        elif opcode == OP_PRODUCT:
+            partials[left] += seed * slots[right]
+            partials[right] += seed * slots[left]
+        else:  # OP_COPY
+            partials[left] += seed
+    return slots[: tape.num_nodes].copy(), partials[: tape.num_nodes].copy()
 
 
 def _require_binary_tape(tape: Tape) -> None:
@@ -179,15 +273,14 @@ class QuantizedTapeEvaluator:
             ]
         return cached
 
-    def evaluate(
+    def _forward_slots(
         self,
         backend,
-        evidence: Mapping[str, int] | None = None,
-        strict: bool = True,
-    ) -> float:
-        """Quantized root value, converted back to float64."""
+        evidence: Mapping[str, int] | None,
+        strict: bool,
+    ) -> list[Any]:
+        """Quantized forward sweep over all slots (scratch included)."""
         tape = self.tape
-        root = tape.require_root()
         quantized = self._quantized_parameters(backend)
         active = self.encoder.encode_one(evidence, strict=strict)
         slots: list[Any] = [None] * tape.num_slots
@@ -206,7 +299,59 @@ class QuantizedTapeEvaluator:
                 slots[dest] = maximum(slots[left], slots[right])
             else:  # OP_COPY
                 slots[dest] = slots[left]
+        return slots
+
+    def evaluate(
+        self,
+        backend,
+        evidence: Mapping[str, int] | None = None,
+        strict: bool = True,
+    ) -> float:
+        """Quantized root value, converted back to float64."""
+        root = self.tape.require_root()
+        slots = self._forward_slots(backend, evidence, strict)
         return backend.to_real(slots[root])
+
+    def partials(
+        self,
+        backend,
+        evidence: Mapping[str, int] | None = None,
+        strict: bool = True,
+    ) -> tuple[list[Any], list[Any]]:
+        """Quantized upward values and downward partials per node.
+
+        The quantized differential approach: the backward sweep runs in
+        the *same* number system as the forward sweep — every adjoint
+        addition and product-rule multiplication is one rounded backend
+        operation, exactly what a hardware downward pass would do. With
+        a big-int backend this is the golden reference the vectorized
+        backward executors are differentially tested against.
+
+        Returns ``(values, partials)`` as backend values aligned with
+        circuit node indices.
+        """
+        tape = self.tape
+        tape.require_differentiable()
+        root = tape.require_root()
+        slots = self._forward_slots(backend, evidence, strict)
+        add, multiply = backend.add, backend.multiply
+        adjoints: list[Any] = [backend.zero()] * tape.num_slots
+        adjoints[root] = backend.one()
+        for opcode, dest, left, right in tape.backward.op_tuples:
+            seed = adjoints[dest]
+            if opcode == OP_SUM:
+                adjoints[left] = add(adjoints[left], seed)
+                adjoints[right] = add(adjoints[right], seed)
+            elif opcode == OP_PRODUCT:
+                adjoints[left] = add(
+                    adjoints[left], multiply(seed, slots[right])
+                )
+                adjoints[right] = add(
+                    adjoints[right], multiply(seed, slots[left])
+                )
+            else:  # OP_COPY
+                adjoints[left] = add(adjoints[left], seed)
+        return slots[: tape.num_nodes], adjoints[: tape.num_nodes]
 
 
 # ----------------------------------------------------------------------
@@ -267,26 +412,25 @@ class FixedPointBatchExecutor:
         )
         return quotient + round_up
 
-    def evaluate_batch_words(
+    def _checked(self, result: np.ndarray, dest: int) -> np.ndarray:
+        """Overflow-check an op result, like the scalar backend raises."""
+        if result.max(initial=0) > self._max_mantissa:
+            raise FixedPointOverflowError(
+                f"overflow at slot {dest} in {self.fmt.describe()}"
+            )
+        return result
+
+    def _forward_slot_words(
         self,
         evidence_batch: Sequence[Mapping[str, int]],
-        strict: bool = False,
+        strict: bool,
     ) -> np.ndarray:
-        """Root mantissa words, shape ``(batch,)`` int64.
-
-        Raises :class:`FixedPointOverflowError` if any intermediate
-        exceeds the representable range, exactly like the scalar backend.
-        """
+        """Mantissa words of *all* slots, shape ``(num_slots, batch)``."""
         tape = self.tape
-        root = tape.require_root()
-        batch = len(evidence_batch)
-        if batch == 0:
-            return np.empty(0, dtype=np.int64)
         active = self.encoder.encode(evidence_batch, strict=strict)
-        slots = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        slots = np.zeros((tape.num_slots, len(evidence_batch)), dtype=np.int64)
         slots[tape.param_slots] = self._param_words[tape.param_ids][:, None]
         slots[tape.indicator_slots] = np.where(active, self._one_word, 0)
-        max_mantissa = self._max_mantissa
         for opcode, dest, left, right in tape.op_tuples:
             if opcode == OP_SUM:
                 result = slots[left] + slots[right]
@@ -297,12 +441,24 @@ class FixedPointBatchExecutor:
             else:  # OP_COPY
                 slots[dest] = slots[left]
                 continue
-            if result.max(initial=0) > max_mantissa:
-                raise FixedPointOverflowError(
-                    f"overflow at slot {dest} in {self.fmt.describe()}"
-                )
-            slots[dest] = result
-        return slots[root].copy()
+            slots[dest] = self._checked(result, dest)
+        return slots
+
+    def evaluate_batch_words(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> np.ndarray:
+        """Root mantissa words, shape ``(batch,)`` int64.
+
+        Raises :class:`FixedPointOverflowError` if any intermediate
+        exceeds the representable range, exactly like the scalar backend.
+        """
+        root = self.tape.require_root()
+        batch = len(evidence_batch)
+        if batch == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._forward_slot_words(evidence_batch, strict)[root].copy()
 
     def evaluate_batch(
         self,
@@ -312,6 +468,68 @@ class FixedPointBatchExecutor:
         """Float64 values of the root word for a whole batch."""
         words = self.evaluate_batch_words(evidence_batch, strict=strict)
         return words * 2.0 ** (-self.fmt.fraction_bits)
+
+    # -- backward (derivative) sweep ------------------------------------
+    def partials_batch_words(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantized ``(values, partials)`` mantissa words per node.
+
+        Both arrays have shape ``(num_nodes, batch)``. The backward
+        sweep applies the product rule in the emulated fixed-point
+        arithmetic — one rounded multiply and one checked add per
+        adjoint contribution — bit-identical to replaying
+        :meth:`QuantizedTapeEvaluator.partials` with the big-int
+        :class:`~repro.arith.fixedpoint.FixedPointBackend`.
+        """
+        tape = self.tape
+        tape.require_differentiable()
+        root = tape.require_root()
+        batch = len(evidence_batch)
+        if batch == 0:
+            empty = np.empty((tape.num_nodes, 0), dtype=np.int64)
+            return empty, empty.copy()
+        slots = self._forward_slot_words(evidence_batch, strict)
+        adjoints = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        adjoints[root] = self._one_word
+        for opcode, dest, left, right in tape.backward.op_tuples:
+            seed = adjoints[dest]
+            if opcode == OP_SUM:
+                adjoints[left] = self._checked(adjoints[left] + seed, left)
+                adjoints[right] = self._checked(adjoints[right] + seed, right)
+            elif opcode == OP_PRODUCT:
+                contribution = self._checked(
+                    self._round_products(seed * slots[right]), left
+                )
+                adjoints[left] = self._checked(
+                    adjoints[left] + contribution, left
+                )
+                contribution = self._checked(
+                    self._round_products(seed * slots[left]), right
+                )
+                adjoints[right] = self._checked(
+                    adjoints[right] + contribution, right
+                )
+            else:  # OP_COPY
+                adjoints[left] = self._checked(adjoints[left] + seed, left)
+        return (
+            slots[: tape.num_nodes].copy(),
+            adjoints[: tape.num_nodes].copy(),
+        )
+
+    def partials_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Float64 ``(values, partials)`` per node for a whole batch."""
+        values, partials = self.partials_batch_words(
+            evidence_batch, strict=strict
+        )
+        scale = 2.0 ** (-self.fmt.fraction_bits)
+        return values * scale, partials * scale
 
 
 # ----------------------------------------------------------------------
@@ -491,19 +709,15 @@ class FloatBatchExecutor:
         return np.where(a_wins, ma, mb), np.where(a_wins, ea, eb)
 
     # -- evaluation -----------------------------------------------------
-    def evaluate_batch_words(
+    def _forward_word_slots(
         self,
         evidence_batch: Sequence[Mapping[str, int]],
-        strict: bool = False,
+        strict: bool,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Root ``(mantissas, exponents)`` pairs, each shape ``(batch,)``."""
+        """``(mantissas, exponents)`` of all slots, ``(num_slots, batch)``."""
         tape = self.tape
-        root = tape.require_root()
-        batch = len(evidence_batch)
-        if batch == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty.copy()
         active = self.encoder.encode(evidence_batch, strict=strict)
+        batch = len(evidence_batch)
         mantissas = np.zeros((tape.num_slots, batch), dtype=np.int64)
         exponents = np.zeros((tape.num_slots, batch), dtype=np.int64)
         mantissas[tape.param_slots] = self._param_mantissas[tape.param_ids][
@@ -535,7 +749,99 @@ class FloatBatchExecutor:
                 m, e = mantissas[left], exponents[left]
             mantissas[dest] = m
             exponents[dest] = e
+        return mantissas, exponents
+
+    def evaluate_batch_words(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Root ``(mantissas, exponents)`` pairs, each shape ``(batch,)``."""
+        root = self.tape.require_root()
+        if len(evidence_batch) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        mantissas, exponents = self._forward_word_slots(evidence_batch, strict)
         return mantissas[root].copy(), exponents[root].copy()
+
+    # -- backward (derivative) sweep ------------------------------------
+    def partials_batch_words(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[
+        tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]
+    ]:
+        """Quantized values and partials as ``(mantissa, exponent)`` pairs.
+
+        Returns ``((value_m, value_e), (partial_m, partial_e))``, each
+        array of shape ``(num_nodes, batch)``. The backward sweep runs
+        entirely in the emulated float arithmetic — one rounded multiply
+        plus one rounded add per adjoint contribution — bit-identical to
+        :meth:`QuantizedTapeEvaluator.partials` with the big-int
+        :class:`~repro.arith.floatingpoint.FloatBackend`.
+        """
+        tape = self.tape
+        tape.require_differentiable()
+        root = tape.require_root()
+        batch = len(evidence_batch)
+        if batch == 0:
+            empty = np.empty((tape.num_nodes, 0), dtype=np.int64)
+            return (empty, empty.copy()), (empty.copy(), empty.copy())
+        mantissas, exponents = self._forward_word_slots(evidence_batch, strict)
+        adj_m = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        adj_e = np.zeros((tape.num_slots, batch), dtype=np.int64)
+        one_m, one_e = self._one
+        adj_m[root] = one_m
+        adj_e[root] = one_e
+        for opcode, dest, left, right in tape.backward.op_tuples:
+            seed_m, seed_e = adj_m[dest], adj_e[dest]
+            if opcode == OP_PRODUCT:
+                contrib_m, contrib_e = self._multiply(
+                    seed_m, seed_e, mantissas[right], exponents[right]
+                )
+                m, e = self._add(
+                    adj_m[left], adj_e[left], contrib_m, contrib_e
+                )
+                adj_m[left], adj_e[left] = m, e
+                contrib_m, contrib_e = self._multiply(
+                    seed_m, seed_e, mantissas[left], exponents[left]
+                )
+                m, e = self._add(
+                    adj_m[right], adj_e[right], contrib_m, contrib_e
+                )
+                adj_m[right], adj_e[right] = m, e
+            else:  # OP_SUM / OP_COPY: adjoints flow through unscaled
+                m, e = self._add(adj_m[left], adj_e[left], seed_m, seed_e)
+                adj_m[left], adj_e[left] = m, e
+                if opcode == OP_SUM:
+                    m, e = self._add(
+                        adj_m[right], adj_e[right], seed_m, seed_e
+                    )
+                    adj_m[right], adj_e[right] = m, e
+        n = tape.num_nodes
+        return (
+            (mantissas[:n].copy(), exponents[:n].copy()),
+            (adj_m[:n].copy(), adj_e[:n].copy()),
+        )
+
+    def partials_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Float64 ``(values, partials)`` per node for a whole batch."""
+        (value_m, value_e), (adj_m, adj_e) = self.partials_batch_words(
+            evidence_batch, strict=strict
+        )
+        shift = self.fmt.mantissa_bits
+        values = np.ldexp(
+            value_m.astype(np.float64), (value_e - shift).astype(np.int32)
+        )
+        partials = np.ldexp(
+            adj_m.astype(np.float64), (adj_e - shift).astype(np.int32)
+        )
+        return values, partials
 
     def evaluate_batch(
         self,

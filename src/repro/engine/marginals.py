@@ -1,0 +1,103 @@
+"""From partial derivatives to (posterior) marginals.
+
+The differential approach (Darwiche; the paper's footnote 2) reads
+``Pr(x, e \\ X)`` for *every* state of *every* variable straight off the
+downward pass: it is the partial derivative at that state's λ leaf. This
+module holds the tape-level bookkeeping that turns a partials array into
+per-variable joint arrays and normalized posteriors — shared by
+:class:`~repro.engine.session.InferenceSession`, the ``ac`` derivative
+wrappers and the ``bn`` posterior front end.
+
+Works on scalars and batches alike: a ``(num_nodes,)`` partials vector
+yields ``(card,)`` joints per variable; a ``(num_nodes, batch)`` matrix
+yields ``(card, batch)`` — all queries of a whole serving batch in one
+grouping pass.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ZeroEvidenceError
+
+__all__ = ["MarginalIndex", "ZeroEvidenceError"]
+
+
+class MarginalIndex:
+    """Per-variable view of a tape's indicator slots.
+
+    Compiled once per tape: for each indicator variable, the int array
+    of its λ slots and the state each slot testifies for. Variables keep
+    the first-appearance order of the circuit's indicator table, like
+    the legacy ``joint_marginals`` dict did.
+    """
+
+    def __init__(self, tape) -> None:
+        groups: dict[str, tuple[list[int], list[int]]] = {}
+        for slot, (variable, state) in zip(
+            tape.indicator_slots, tape.indicator_keys
+        ):
+            slots, states = groups.setdefault(variable, ([], []))
+            slots.append(int(slot))
+            states.append(int(state))
+        self._groups: dict[str, tuple[np.ndarray, np.ndarray, int]] = {
+            variable: (
+                np.asarray(slots, dtype=np.intp),
+                np.asarray(states, dtype=np.intp),
+                max(states) + 1,
+            )
+            for variable, (slots, states) in groups.items()
+        }
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self._groups)
+
+    def joints(self, partials) -> dict[str, np.ndarray]:
+        """Group a partials array into per-variable joint arrays.
+
+        ``partials`` is ``(num_nodes,)`` or ``(num_nodes, batch)``;
+        each value of the result has shape ``(card,)`` respectively
+        ``(card, batch)``, indexed by state.
+        """
+        partials = np.asarray(partials)
+        joints: dict[str, np.ndarray] = {}
+        for variable, (slots, states, card) in self._groups.items():
+            joint = np.zeros((card,) + partials.shape[1:])
+            joint[states] = partials[slots]
+            joints[variable] = joint
+        return joints
+
+    def posteriors(
+        self, partials, context: str = ""
+    ) -> dict[str, np.ndarray]:
+        """Normalized ``Pr(X | e)`` per variable (same shapes as joints).
+
+        Raises :class:`ZeroEvidenceError` when any instance's evidence
+        has probability zero; ``context`` is appended to the message so
+        front ends can name the offending query/instance.
+        """
+        posteriors: dict[str, np.ndarray] = {}
+        for variable, joint in self.joints(partials).items():
+            total = joint.sum(axis=0)
+            zero = total == 0.0
+            if np.any(zero):
+                where = ""
+                if np.ndim(total) > 0:
+                    lanes = np.flatnonzero(zero).tolist()
+                    where = f" (batch instance(s) {lanes})"
+                raise ZeroEvidenceError(
+                    f"evidence has probability zero; cannot condition "
+                    f"{variable!r}{where}{context}"
+                )
+            posteriors[variable] = joint / total
+        return posteriors
+
+
+def describe_evidence(evidence: Mapping[str, int] | None) -> str:
+    """A short evidence rendering for error messages."""
+    if not evidence:
+        return "{}"
+    return "{" + ", ".join(f"{k}={v}" for k, v in evidence.items()) + "}"

@@ -54,6 +54,54 @@ def reference_evaluate_real(
     return reference_evaluate_values(circuit, evidence)[circuit.root]
 
 
+def reference_partial_derivatives(
+    circuit: ArithmeticCircuit,
+    evidence: Mapping[str, int] | None = None,
+) -> tuple[list[float], list[float]]:
+    """Frozen node-walking derivative sweep (the backward-pass oracle).
+
+    The seed's downward pass from ``repro.ac.derivatives`` (the public
+    functions there now replay the compiled tape), with one repair made
+    *before* freezing: the product rule runs in O(k) per k-ary product
+    via a left-folded prefix table and a suffix-folded adjoint seed,
+    instead of the seed's O(k²) skip-one inner loop. Children are
+    visited right-to-left so contribution order — and therefore every
+    float64 bit, duplicates included — matches the tape's binary fold
+    chains, which compute exactly these prefix/suffix products.
+    """
+    for node in circuit.nodes:
+        if node.op is OpType.MAX:
+            raise ValueError(
+                "derivative passes are undefined for MAX nodes; "
+                "use a sum-product circuit"
+            )
+    values = reference_evaluate_values(circuit, evidence)
+    partials = [0.0] * len(circuit)
+    partials[circuit.root] = 1.0
+    # Reverse topological order: parents before children.
+    for index in range(len(circuit) - 1, -1, -1):
+        node = circuit.node(index)
+        seed = partials[index]
+        if not node.op.is_operator or seed == 0.0:
+            continue
+        if node.op is OpType.SUM:
+            for child in node.children:
+                partials[child] += seed
+        else:  # PRODUCT
+            children = node.children
+            arity = len(children)
+            prefix = [1.0] * arity  # prefix[i] = Π values[children[:i]]
+            for position in range(1, arity):
+                prefix[position] = (
+                    prefix[position - 1] * values[children[position - 1]]
+                )
+            suffix_seed = seed  # seed · Π values[children[i+1:]]
+            for position in range(arity - 1, -1, -1):
+                partials[children[position]] += suffix_seed * prefix[position]
+                suffix_seed *= values[children[position]]
+    return values, partials
+
+
 def reference_evaluate_batch(
     circuit: ArithmeticCircuit,
     evidence_batch: Sequence[Mapping[str, int]],

@@ -30,9 +30,12 @@ from .executors import (
     FloatBatchExecutor,
     QuantizedTapeEvaluator,
     execute_batch,
+    execute_partials,
+    execute_partials_batch,
     execute_real,
     execute_values,
 )
+from .marginals import MarginalIndex, describe_evidence
 from .tape import Tape, tape_for
 
 AnyFormat = FixedPointFormat | FloatFormat
@@ -78,6 +81,7 @@ class InferenceSession:
         self._fixed_batch: dict[FixedPointFormat, FixedPointBatchExecutor] = {}
         self._float_batch: dict[FloatFormat, FloatBatchExecutor] = {}
         self._backends: dict[AnyFormat, Any] = {}
+        self._marginal_index: MarginalIndex | None = None
 
     @property
     def _scalar_quantized(self) -> QuantizedTapeEvaluator:
@@ -111,6 +115,119 @@ class InferenceSession:
         return execute_batch(
             self.tape, evidence_batch, self.encoder, strict=strict
         )
+
+    # -- marginals (backward sweep) -------------------------------------
+    @property
+    def marginal_index(self) -> MarginalIndex:
+        """Per-variable indicator-slot grouping (compiled lazily)."""
+        if self._marginal_index is None:
+            self._marginal_index = MarginalIndex(self.tape)
+        return self._marginal_index
+
+    def partials(
+        self, evidence: Mapping[str, int] | None = None
+    ) -> tuple[list[float], list[float]]:
+        """Exact float64 ``(values, partials)`` per node (one up+down pass)."""
+        return execute_partials(self.tape, evidence, self.encoder)
+
+    def partials_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched ``(values, partials)`` matrices, ``(num_nodes, batch)``."""
+        return execute_partials_batch(
+            self.tape, evidence_batch, self.encoder, strict=strict
+        )
+
+    def marginals(
+        self,
+        evidence: Mapping[str, int] | None = None,
+        joint: bool = False,
+    ) -> dict[str, np.ndarray]:
+        """All marginals of one query: ``Pr(X | e)`` for every variable.
+
+        One upward plus one downward tape replay yields the joint of
+        every state of every variable (the paper's footnote-2 query
+        style); normalization turns them into posteriors. ``joint=True``
+        returns the unnormalized ``Pr(x, e \\ X)`` arrays instead.
+        Raises :class:`~repro.errors.ZeroEvidenceError` when the
+        evidence has probability zero (posteriors only).
+        """
+        _, partials = self.partials(evidence)
+        index = self.marginal_index
+        if joint:
+            return index.joints(partials)
+        return index.posteriors(
+            partials, context=f" under evidence {describe_evidence(evidence)}"
+        )
+
+    def marginals_batch(
+        self,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+        joint: bool = False,
+    ) -> dict[str, np.ndarray]:
+        """All marginals of a whole evidence batch at batch throughput.
+
+        Returns ``{variable: (card, batch) array}`` — every posterior of
+        every instance from exactly two batched tape replays, instead of
+        one circuit walk per query.
+        """
+        _, partials = self.partials_batch(evidence_batch, strict=strict)
+        index = self.marginal_index
+        if joint:
+            return index.joints(partials)
+        return index.posteriors(partials)
+
+    def quantized_marginals_batch(
+        self,
+        fmt: AnyFormat,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool = False,
+        joint: bool = False,
+    ) -> dict[str, np.ndarray]:
+        """All marginals of a batch, computed in quantized arithmetic.
+
+        Both sweeps — upward values and downward partials — run with the
+        format's §3.1 operator semantics (one rounding per two-input
+        operator), on the exact vectorized executors whenever the format
+        qualifies and the bit-identical scalar big-int path otherwise;
+        the final normalizing division happens in float64, mirroring the
+        paper's "followed with a division". ``joint=True`` skips the
+        division and returns the quantized joints.
+        """
+        quantized_partials = self._quantized_partials_matrix(
+            fmt, evidence_batch, strict
+        )
+        index = self.marginal_index
+        if joint:
+            return index.joints(quantized_partials)
+        return index.posteriors(
+            quantized_partials, context=f" in {fmt.describe()}"
+        )
+
+    def _quantized_partials_matrix(
+        self,
+        fmt: AnyFormat,
+        evidence_batch: Sequence[Mapping[str, int]],
+        strict: bool,
+    ) -> np.ndarray:
+        """Float64 matrix of quantized partials, ``(num_nodes, batch)``."""
+        if self.supports_vectorized(fmt):
+            _, partials = self._vector_executor(fmt).partials_batch(
+                evidence_batch, strict=strict
+            )
+            return partials
+        backend = self._backend(fmt)
+        evaluator = self._scalar_quantized
+        columns = []
+        for evidence in evidence_batch:
+            _, adjoints = evaluator.partials(backend, evidence, strict=strict)
+            columns.append([backend.to_real(value) for value in adjoints])
+        if not columns:
+            return np.empty((self.tape.num_nodes, 0))
+        return np.asarray(columns).T
 
     # -- quantized ------------------------------------------------------
     def supports_vectorized(self, fmt: AnyFormat) -> bool:

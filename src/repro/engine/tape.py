@@ -48,6 +48,44 @@ _OPCODE_OF = {OpType.SUM: OP_SUM, OpType.PRODUCT: OP_PRODUCT, OpType.MAX: OP_MAX
 
 
 @dataclass(frozen=True, eq=False)
+class BackwardProgram:
+    """The reverse-order replay program of a tape.
+
+    Derivative sweeps visit operations parents-first; reversing the
+    forward stream gives exactly that order (ops are emitted in node
+    order, and scratch chains are contiguous). Because PR 1 decomposes
+    n-ary operators into binary fold chains, replaying this program
+    applies the product rule in O(k) multiplies per k-ary product — the
+    chain's scratch values *are* the prefix products, and the adjoint
+    flowing down the chain *is* the suffix-seeded product — instead of
+    the seed sweep's O(k²) inner loop.
+    """
+
+    #: Reversed copies of the forward tape's op arrays.
+    opcodes: np.ndarray
+    dests: np.ndarray
+    lefts: np.ndarray
+    rights: np.ndarray
+    _op_tuples: list[tuple[int, int, int, int]] | None = field(
+        default=None, repr=False
+    )
+
+    @property
+    def op_tuples(self) -> list[tuple[int, int, int, int]]:
+        """The reversed operation stream as plain int tuples (cached)."""
+        cached = self._op_tuples
+        if cached is None:
+            cached = [
+                (int(o), int(d), int(l), int(r))
+                for o, d, l, r in zip(
+                    self.opcodes, self.dests, self.lefts, self.rights
+                )
+            ]
+            object.__setattr__(self, "_op_tuples", cached)
+        return cached
+
+
+@dataclass(frozen=True, eq=False)
 class Tape:
     """A circuit compiled to flat numeric buffers (see module docstring).
 
@@ -82,10 +120,38 @@ class Tape:
     _op_tuples: list[tuple[int, int, int, int]] | None = field(
         default=None, repr=False
     )
+    _backward: BackwardProgram | None = field(default=None, repr=False)
 
     @property
     def num_operations(self) -> int:
         return len(self.opcodes)
+
+    @property
+    def has_max(self) -> bool:
+        """True when the circuit contains MAX operators."""
+        return bool((self.opcodes == OP_MAX).any())
+
+    @property
+    def backward(self) -> BackwardProgram:
+        """The cached reverse-order program for derivative sweeps."""
+        cached = self._backward
+        if cached is None:
+            cached = BackwardProgram(
+                opcodes=self.opcodes[::-1].copy(),
+                dests=self.dests[::-1].copy(),
+                lefts=self.lefts[::-1].copy(),
+                rights=self.rights[::-1].copy(),
+            )
+            object.__setattr__(self, "_backward", cached)
+        return cached
+
+    def require_differentiable(self) -> None:
+        """Reject tapes of MPE (max) circuits for derivative sweeps."""
+        if self.has_max:
+            raise ValueError(
+                "derivative passes are undefined for MAX nodes; "
+                "use a sum-product circuit"
+            )
 
     @property
     def op_tuples(self) -> list[tuple[int, int, int, int]]:

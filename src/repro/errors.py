@@ -1,0 +1,20 @@
+"""Library-wide typed exceptions.
+
+Kept dependency-free so every layer (``bn``, ``ac``, ``engine``,
+``core``, the CLI) can raise and catch the same types without import
+cycles.
+"""
+
+from __future__ import annotations
+
+
+class ZeroEvidenceError(ZeroDivisionError):
+    """The conditioning evidence has probability zero.
+
+    Posterior distributions ``Pr(X | e)`` are undefined when
+    ``Pr(e) = 0``; every layer that normalizes joints raises this typed
+    error (a :class:`ZeroDivisionError` subclass, so legacy ``except``
+    clauses keep working) with a message naming the query it broke. The
+    CLI and ``bn`` front ends catch it and print the message instead of
+    a traceback.
+    """

@@ -32,6 +32,7 @@ from .validation import (
     render_series,
     run_fixed_validation,
     run_float_validation,
+    run_posterior_validation,
 )
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "run_benchmark_case",
     "run_fixed_validation",
     "run_float_validation",
+    "run_posterior_validation",
     "standard_cases",
     "table2_csv",
     "tolerance_energy_sweep",

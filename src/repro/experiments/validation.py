@@ -165,6 +165,63 @@ def run_float_validation(
     return ValidationSeries("float", "relative", tuple(points))
 
 
+def run_posterior_validation(
+    circuit: ArithmeticCircuit,
+    evidences: Sequence[Mapping[str, int]],
+    bits_sweep: Sequence[int] = PAPER_SWEEP,
+    analysis: CircuitAnalysis | None = None,
+    exponent_bits: int | None = None,
+) -> ValidationSeries:
+    """Posterior-marginal error of the quantized backward sweep.
+
+    The paper's footnote-2 query style end to end: for every mantissa
+    width, *all* posterior marginals of *all* instances come from one
+    batched upward plus one batched downward pass in emulated float
+    arithmetic (`InferenceSession.quantized_marginals_batch`), compared
+    against the exact float64 backward sweep. The bound column is the
+    rigorous ratio bound from the backward factor-count propagation (:func:`repro.core.bounds.propagate_adjoint_float_counts`)
+    — every observed maximum must sit below it. Float is the natural
+    representation here, matching the paper's §3.2.2 policy for
+    division-normalized (conditional-style) queries: relative precision
+    survives the division, where absolute fixed-point bounds do not.
+    """
+    from ..core.bounds import propagate_adjoint_float_counts
+
+    if analysis is None:
+        analysis = CircuitAnalysis.of(circuit)
+    evidences = list(evidences)
+    session = session_for(circuit)
+    adjoint_counts = propagate_adjoint_float_counts(circuit)
+    exact = session.marginals_batch(evidences)
+    points = []
+    for bits in bits_sweep:
+        e_bits = (
+            exponent_bits
+            if exponent_bits is not None
+            else required_exponent_bits(analysis, bits) + 1
+        )  # +1: downward intermediates can undershoot the upward minimum
+        fmt = FloatFormat(e_bits, bits)
+        bound = adjoint_counts.posterior_bound(bits)
+        quantized = session.quantized_marginals_batch(fmt, evidences)
+        worst = 0.0
+        total = 0.0
+        count = 0
+        for variable, reference in exact.items():
+            errors = abs(quantized[variable] - reference)
+            worst = max(worst, float(errors.max()))
+            total += float(errors.sum())
+            count += errors.size
+        points.append(
+            ValidationPoint(
+                bits=bits,
+                bound=bound,
+                max_observed=worst,
+                mean_observed=total / count,
+            )
+        )
+    return ValidationSeries("float posterior", "absolute", tuple(points))
+
+
 def render_series(series: ValidationSeries) -> str:
     """ASCII rendering of a Figure-5 curve (log10 values)."""
     import math

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ac.derivatives import (
+    ZeroEvidenceError,
     conditional_probability,
     joint_marginals,
     partial_derivatives,
@@ -121,7 +122,11 @@ class TestPosteriorMarginals:
         lam_a = circuit.add_indicator("A", 0)
         lam_b = circuit.add_indicator("B", 0)
         circuit.set_root(circuit.add_product([lam_a, lam_b]))
+        # The typed error is a ZeroDivisionError subclass, so both
+        # spellings catch it.
         with pytest.raises(ZeroDivisionError):
+            posterior_marginals(circuit, {"B": 1})
+        with pytest.raises(ZeroEvidenceError, match="probability zero"):
             posterior_marginals(circuit, {"B": 1})
 
 
@@ -148,3 +153,17 @@ class TestConditionalProbability:
             conditional_probability(
                 sprinkler_ac.circuit, "Ghost", 0, {"WetGrass": 1}
             )
+
+    def test_repeated_calls_reuse_cached_session(self, sprinkler_ac):
+        """Satellite: conditional_probability serves from the circuit's
+        cached InferenceSession instead of recompiling per call."""
+        from repro.engine import session_for
+
+        circuit = sprinkler_ac.circuit
+        first = conditional_probability(circuit, "Rain", 1, {"WetGrass": 1})
+        session = session_for(circuit)
+        tape = session.tape
+        second = conditional_probability(circuit, "Rain", 1, {"WetGrass": 1})
+        assert second == first
+        assert session_for(circuit) is session
+        assert session_for(circuit).tape is tape

@@ -75,3 +75,23 @@ class TestRendering:
         assert "bits" in text
         assert "bound" in text
         assert "margin" in text
+
+
+class TestPosteriorValidation:
+    def test_adjoint_bound_holds_and_decreases(
+        self, alarm_binary, alarm_analysis, evidences
+    ):
+        from repro.experiments.validation import run_posterior_validation
+
+        series = run_posterior_validation(
+            alarm_binary,
+            evidences,
+            bits_sweep=(12, 18, 24),
+            analysis=alarm_analysis,
+        )
+        assert series.representation == "float posterior"
+        assert series.all_hold
+        maxima = [point.max_observed for point in series.points]
+        assert maxima == sorted(maxima, reverse=True)
+        bounds = [point.bound for point in series.points]
+        assert bounds == sorted(bounds, reverse=True)

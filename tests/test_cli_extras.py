@@ -106,3 +106,84 @@ class TestRoundingFlag:
             return int(match.group(1))
 
         assert fixed_bits(truncated) >= fixed_bits(nearest)
+
+
+class TestMarginalsCommand:
+    def test_posteriors_as_json_lines(self, capsys):
+        import json
+
+        code = main(["marginals", "--network", "sprinkler"])
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {r["variable"] for r in records} == {
+            "Cloudy", "Sprinkler", "Rain", "WetGrass",
+        }
+        for record in records:
+            assert record["instance"] == 0
+            assert sum(record["posterior"]) == pytest.approx(1.0)
+
+    def test_quantized_column_and_variable_filter(self, capsys):
+        import json
+
+        code = main(
+            [
+                "marginals",
+                "--network",
+                "sprinkler",
+                "--format",
+                "fixed:4:20",
+                "--variables",
+                "Rain",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["variable"] for r in records] == ["Rain"]
+        assert records[0]["quantized"] == pytest.approx(
+            records[0]["posterior"], abs=1e-4
+        )
+
+    def test_joint_flag_skips_normalization(self, capsys):
+        import json
+
+        code = main(["marginals", "--network", "sprinkler", "--joint"])
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        # With no evidence every variable's joints sum to Pr() = 1.
+        for record in records:
+            assert sum(record["joint"]) == pytest.approx(1.0)
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(SystemExit, match="no indicators"):
+            main(
+                [
+                    "marginals",
+                    "--network",
+                    "sprinkler",
+                    "--variables",
+                    "Ghost",
+                ]
+            )
+
+    def test_zero_probability_evidence_clean_message(self, tmp_path):
+        evidence = tmp_path / "impossible.json"
+        evidence.write_text('{"WetGrass": 7}')
+        with pytest.raises(SystemExit, match="probability zero"):
+            main(
+                [
+                    "marginals",
+                    "--network",
+                    "sprinkler",
+                    "--evidence-file",
+                    str(evidence),
+                ]
+            )
+
+    def test_mpe_circuit_rejected_cleanly(self):
+        with pytest.raises(SystemExit, match="MAX"):
+            main(["marginals", "--network", "asia", "--query", "mpe"])
