@@ -12,7 +12,13 @@ Compares, on the binarized Alarm circuit:
   vectorized float emulation (the seed had no fast float path at all);
 * **backward sweep** (all-marginals): the frozen per-query node-walking
   derivative pass vs the batched tape backward executors, in exact
-  float64 and in emulated fixed point.
+  float64 and in emulated fixed point;
+* **analysis sweeps** (PR 3): the frozen sequential op-stream walkers
+  for extremes / factor counts / adjoint counts / fixed-bound
+  propagation vs the level-scheduled vectorized replays of
+  ``repro.engine.analysis`` — including the §3.3 search's fixed-bound
+  sweep across the whole 2..64-bit candidate range in one batched
+  replay.
 
 Run with ``-s`` to see the speedup tables::
 
@@ -47,8 +53,13 @@ from repro.engine import (
     tape_for,
 )
 from repro.engine.reference import (
+    reference_adjoint_float_counts,
     reference_evaluate_batch,
     reference_evaluate_real,
+    reference_fixed_deltas,
+    reference_forward_float_counts,
+    reference_max_log2_values,
+    reference_min_log2_positive_values,
     reference_partial_derivatives,
 )
 from repro.experiments.validation import alarm_marginal_evidences
@@ -255,3 +266,101 @@ def test_backward_sweep_speedups(bench_setup):
     # legacy loop by at least 5x, exact and quantized alike.
     assert backward_speedup >= 5.0, report
     assert quant_backward_speedup >= 5.0, report
+
+
+def test_analysis_speedups(bench_setup):
+    """Vectorized tape analysis vs the frozen sequential walkers (PR 3).
+
+    Compares, on the same warm compiled artifacts both sides replay
+    (the tape's cached op tuples for the walkers, the cached level
+    schedules for the vectorized sweeps):
+
+    * the four precision-independent analyses — max/min log2 extremes,
+      forward (1±ε) factor counts, adjoint factor counts;
+    * the §3.3 fixed-format search's bound propagation across the whole
+      F = 2..64 candidate range (63 sequential walks vs one batched
+      vectorized replay);
+    * the combined "format-search analysis" (all of the above), which
+      is what ``CircuitAnalysis`` + ``search_fixed_format`` now cost
+      per circuit.
+    """
+    import numpy as np
+
+    from repro.engine.analysis import TapeAnalysis
+
+    tape, circuit, _evidences, _quant = bench_setup
+    analysis = TapeAnalysis(tape)
+    analysis.adjoint_counts  # warm the schedules (cached per tape)
+    tape.op_tuples, tape.backward.op_tuples  # warm the walker inputs
+    max_values = np.asarray(
+        [
+            0.0 if value == float("-inf") else 2.0 ** max(value, -500.0)
+            for value in analysis.max_log2.tolist()
+        ]
+    )
+    max_values_list = max_values.tolist()
+    # The §3.3 search range: F = 2..64, nearest rounding (0.5 ulp).
+    rounding_errors = 0.5 * np.power(2.0, -np.arange(2, 65, dtype=float))
+    rows = []
+
+    def legacy_sweeps():
+        reference_max_log2_values(circuit)
+        reference_min_log2_positive_values(circuit)
+        reference_forward_float_counts(circuit)
+        reference_adjoint_float_counts(circuit)
+
+    def tape_sweeps():
+        analysis._sweep_max()
+        analysis._sweep_min()
+        analysis._sweep_forward_counts()
+        analysis._adjoint_schedule.replay()
+
+    legacy_time, _ = _time(legacy_sweeps)
+    tape_time, _ = _time(tape_sweeps)
+    rows.append(("analysis sweeps (4x)", legacy_time, tape_time, 1))
+
+    def legacy_fixed_sweep():
+        return [
+            reference_fixed_deltas(circuit, float(err), max_values_list)
+            for err in rounding_errors
+        ]
+
+    def tape_fixed_sweep():
+        return analysis.fixed_deltas(rounding_errors, max_values)
+
+    legacy_time, legacy_deltas = _time(legacy_fixed_sweep)
+    tape_time, tape_deltas = _time(tape_fixed_sweep)
+    for column, reference in enumerate(legacy_deltas):
+        assert tape_deltas[:, column].tolist() == reference  # bit-identical
+    fixed_sweep_speedup = legacy_time / tape_time
+    rows.append(
+        ("fixed bounds F=2..64", legacy_time, tape_time, len(rounding_errors))
+    )
+
+    def legacy_search_analysis():
+        legacy_sweeps()
+        legacy_fixed_sweep()
+
+    def tape_search_analysis():
+        tape_sweeps()
+        tape_fixed_sweep()
+
+    legacy_time, _ = _time(legacy_search_analysis)
+    tape_time, _ = _time(tape_search_analysis)
+    search_speedup = legacy_time / tape_time
+    rows.append(("format-search analysis", legacy_time, tape_time, 1))
+
+    report = _render_rows(
+        "analysis benchmark — alarm binary, frozen walkers vs "
+        "vectorized tape replays",
+        rows,
+    )
+    print("\n" + report)
+    write_result("engine_tape_analysis.txt", report + "\n")
+    write_json_result("engine_tape_analysis.json", _rows_payload(rows))
+
+    # Acceptance gate: the vectorized analysis must beat the frozen
+    # sequential walkers by at least 5x on the format-search workload
+    # (the fixed-bound sweep alone is typically >10x).
+    assert fixed_sweep_speedup >= 5.0, report
+    assert search_speedup >= 5.0, report

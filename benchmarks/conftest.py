@@ -38,13 +38,50 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
+def artifact_meta() -> dict:
+    """Provenance stamp for benchmark artifacts.
+
+    Git SHA, UTC timestamp and python/numpy versions, so the JSON
+    results CI uploads are comparable across runs and machines.
+    """
+    import datetime
+    import platform
+    import subprocess
+
+    import numpy
+
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "bench_instances": BENCH_INSTANCES,
+    }
+
+
 def write_json_result(name: str, payload) -> Path:
-    """Persist a machine-readable benchmark result (CI uploads these)."""
+    """Persist a machine-readable benchmark result (CI uploads these).
+
+    The payload is wrapped as ``{"meta": ..., "results": ...}`` with the
+    provenance stamp from :func:`artifact_meta`.
+    """
     import json
 
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / name
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    document = {"meta": artifact_meta(), "results": payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -39,10 +39,22 @@ from .core import (
     ProbLPResult,
     QueryType,
     ToleranceType,
+    Workload,
 )
 from .energy import EnergyModel, PAPER_MODEL
-from .engine import InferenceSession, Tape, compile_tape, session_for
-from .errors import ZeroEvidenceError
+from .engine import (
+    InferenceSession,
+    Tape,
+    TapeAnalysis,
+    analysis_for,
+    compile_tape,
+    session_for,
+)
+from .errors import (
+    InfeasibleFormatError,
+    NonBinaryCircuitError,
+    ZeroEvidenceError,
+)
 from .hw import HardwareDesign, check_equivalence, generate_hardware
 
 __version__ = "1.0.0"
@@ -59,10 +71,13 @@ __all__ = [
     "FloatBackend",
     "FloatFormat",
     "HardwareDesign",
+    "InfeasibleFormatError",
     "InferenceSession",
     "NaiveBayesClassifier",
+    "NonBinaryCircuitError",
     "OpType",
     "Tape",
+    "TapeAnalysis",
     "PAPER_MODEL",
     "ProbLP",
     "ProbLPConfig",
@@ -70,7 +85,9 @@ __all__ = [
     "QueryType",
     "ToleranceType",
     "Variable",
+    "Workload",
     "ZeroEvidenceError",
+    "analysis_for",
     "binarize",
     "check_equivalence",
     "compile_mpe",

@@ -15,7 +15,7 @@ produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from .nodes import Node, OpType
 

@@ -177,6 +177,54 @@ class BayesianNetwork:
             self._marginal_circuit = circuit
         return session_for(circuit).marginals(evidence)
 
+    def optimize_precision(
+        self,
+        tolerance: float = 0.01,
+        tolerance_kind: str = "absolute",
+        query: str = "marginal",
+        workload: str = "joint",
+        config=None,
+        validation_batch=None,
+    ):
+        """Workload-aware low-precision format selection for this network.
+
+        Compiles the network once (cached, shared with
+        :meth:`posterior_marginals`), runs the ProbLP §3.3 search for
+        the given workload — ``"joint"`` targets single evaluations,
+        ``"marginals"`` targets the posterior-marginal backward sweep
+        via the adjoint factor-count bound — and returns the
+        :class:`~repro.core.report.ProbLPResult`. ``validation_batch``
+        (evidence mappings) additionally measures the selected format
+        on real queries through the engine's quantized executors.
+
+        ``tolerance`` may be a plain float (interpreted per
+        ``tolerance_kind``) or a ready-made
+        :class:`~repro.core.queries.ErrorTolerance`; ``query`` a string
+        or :class:`~repro.core.queries.QueryType`.
+        """
+        # Imported lazily: repro.compile imports this module.
+        from ..compile import compile_mpe, compile_network
+        from ..core.framework import ProbLP
+        from ..core.queries import ErrorTolerance, QueryType, ToleranceType
+
+        if not isinstance(query, QueryType):
+            query = QueryType(query)
+        if not isinstance(tolerance, ErrorTolerance):
+            tolerance = ErrorTolerance(
+                ToleranceType(tolerance_kind), float(tolerance)
+            )
+        if query is QueryType.MPE:
+            circuit = compile_mpe(self).circuit
+        else:
+            circuit = getattr(self, "_marginal_circuit", None)
+            if circuit is None:
+                circuit = compile_network(self).circuit
+                self._marginal_circuit = circuit
+        framework = ProbLP(circuit, query, tolerance, config)
+        return framework.optimize(
+            workload=workload, validation_batch=validation_batch
+        )
+
     def __repr__(self) -> str:
         return (
             f"BayesianNetwork({self.name!r}, {len(self._variables)} variables, "

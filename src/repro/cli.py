@@ -9,6 +9,8 @@ Subcommands:
   (exact float64 and/or a quantized format);
 * ``marginals`` — all posterior marginals of every instance via the
   backward (derivative) tape sweep, optionally quantized, as JSON lines;
+* ``optimize`` — workload-aware §3.3 format search (joint evaluations
+  vs posterior marginals) with optional empirical validation, as JSON;
 * ``fig5`` — regenerate the Figure-5 bound-validation series;
 * ``table2`` — regenerate one Table-2 row for a named benchmark;
 * ``networks`` — list the built-in benchmark networks.
@@ -25,6 +27,8 @@ Examples::
     problp eval --network sprinkler --sample 1000 --format float:8:14
     problp marginals --network alarm --sample 100 --variables HYPOVOLEMIA
     problp marginals --network sprinkler --format fixed:4:20
+    problp optimize --network alarm --tolerance abs:0.01 \\
+        --workload marginals --validate 100
     problp fig5 --instances 100
     problp table2 --benchmark UIWADS --query marginal --tolerance abs:0.01
 """
@@ -78,12 +82,13 @@ def _load_network(args):
     return None
 
 
-def _load_circuit(args) -> object:
+def _load_circuit(args, network=None) -> object:
     if args.circuit is not None:
         from .ac.io import load_circuit
 
         return load_circuit(args.circuit)
-    network = _load_network(args)
+    if network is None:
+        network = _load_network(args)
     if network is not None:
         from .compile import compile_mpe, compile_network
 
@@ -135,7 +140,7 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _build_framework(args) -> ProbLP:
+def _build_framework(args, network=None) -> ProbLP:
     from .arith.rounding import RoundingMode
 
     config = ProbLPConfig(
@@ -143,7 +148,9 @@ def _build_framework(args) -> ProbLP:
         bound_variant=args.variant,
         rounding=RoundingMode(getattr(args, "rounding", "nearest-even")),
     )
-    return ProbLP(_load_circuit(args), args.query, args.tolerance, config)
+    return ProbLP(
+        _load_circuit(args, network), args.query, args.tolerance, config
+    )
 
 
 def cmd_compile(args) -> int:
@@ -169,15 +176,64 @@ def cmd_compile(args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    from .errors import InfeasibleFormatError, NonBinaryCircuitError
+
     framework = _build_framework(args)
-    result = framework.analyze()
+    try:
+        result = framework.analyze()
+    except (InfeasibleFormatError, NonBinaryCircuitError) as error:
+        raise SystemExit(str(error)) from None
     print(result.summary())
     return 0
 
 
+def cmd_optimize(args) -> int:
+    """Workload-aware format search with JSON output (§3.3, Figure 2)."""
+    import json
+
+    from .errors import (
+        InfeasibleFormatError,
+        NonBinaryCircuitError,
+        ZeroEvidenceError,
+    )
+
+    network = _load_network(args)
+    framework = _build_framework(args, network)
+    validation_batch = None
+    if args.validate:
+        if network is None:
+            raise SystemExit("--validate needs --network or --bif")
+        from .bn.sampling import forward_sample
+
+        leaves = network.leaves()
+        validation_batch = [
+            {leaf: sample[leaf] for leaf in leaves}
+            for sample in forward_sample(network, args.validate, rng=args.seed)
+        ]
+    try:
+        result = framework.optimize(
+            workload=args.workload, validation_batch=validation_batch
+        )
+    except (InfeasibleFormatError, NonBinaryCircuitError, ValueError) as error:
+        raise SystemExit(str(error)) from None
+    except ZeroEvidenceError as error:
+        raise SystemExit(
+            f"cannot validate posterior marginals: {error}"
+        ) from None
+    print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    if args.summary:
+        print(result.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_hwgen(args) -> int:
+    from .errors import InfeasibleFormatError
+
     framework = _build_framework(args)
-    result = framework.analyze()
+    try:
+        result = framework.analyze()
+    except InfeasibleFormatError as error:
+        raise SystemExit(str(error)) from None
     design = framework.generate_hardware(result=result)
     verilog = design.verilog()
     if args.output:
@@ -432,6 +488,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(hwgen)
     hwgen.add_argument("--output", type=Path, help="output .v file")
     hwgen.set_defaults(handler=cmd_hwgen)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="workload-aware format search (joint vs marginals) as JSON",
+    )
+    _add_model_arguments(optimize)
+    optimize.add_argument(
+        "--workload",
+        choices=("joint", "marginals"),
+        default="joint",
+        help="what the format must bound: joint evaluations (default) or "
+        "posterior marginals served by the backward sweep",
+    )
+    optimize.add_argument(
+        "--validate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also measure the selected format on N sampled leaf-evidence "
+        "instances (needs --network or --bif)",
+    )
+    optimize.add_argument("--seed", type=int, default=1000)
+    optimize.add_argument(
+        "--summary",
+        action="store_true",
+        help="additionally print the human-readable report to stderr",
+    )
+    optimize.set_defaults(handler=cmd_optimize)
 
     compile_cmd = subparsers.add_parser(
         "compile", help="compile a BN to an .acjson circuit"

@@ -24,7 +24,6 @@ from .factor import (
     eliminate_variable,
     factors_mentioning,
     multiply_factors,
-    scalar_factor,
 )
 from .ordering import min_fill_order, validate_order
 

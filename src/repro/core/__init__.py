@@ -3,9 +3,11 @@
 from .bounds import (
     AdjointFloatBounds,
     FixedBounds,
+    FixedBoundsBatch,
     FloatBounds,
     propagate_adjoint_float_counts,
     propagate_fixed_bounds,
+    propagate_fixed_bounds_batch,
     propagate_float_counts,
 )
 from .errormodels import FixedErrorModel, FloatErrorModel
@@ -21,6 +23,7 @@ from .optimizer import (
     MIN_PRECISION_BITS,
     RepresentationOption,
     SelectionResult,
+    Workload,
     required_exponent_bits,
     required_integer_bits,
     search_fixed_format,
@@ -33,17 +36,26 @@ from .queries import (
     QueryType,
     ToleranceType,
     fixed_query_bound,
+    fixed_query_bound_from_delta,
     float_query_bound,
 )
-from .report import ProbLPResult, format_name, option_cell, render_table
+from .report import (
+    EmpiricalValidation,
+    ProbLPResult,
+    format_name,
+    option_cell,
+    render_table,
+)
 
 __all__ = [
     "AdjointFloatBounds",
     "CircuitAnalysis",
     "DEFAULT_MAX_PRECISION_BITS",
+    "EmpiricalValidation",
     "ErrorTolerance",
     "ExtremeAnalysis",
     "FixedBounds",
+    "FixedBoundsBatch",
     "FixedErrorModel",
     "FloatBounds",
     "FloatErrorModel",
@@ -56,7 +68,9 @@ __all__ = [
     "RepresentationOption",
     "SelectionResult",
     "ToleranceType",
+    "Workload",
     "fixed_query_bound",
+    "fixed_query_bound_from_delta",
     "float_query_bound",
     "format_name",
     "max_log2_values",
@@ -64,6 +78,7 @@ __all__ = [
     "option_cell",
     "propagate_adjoint_float_counts",
     "propagate_fixed_bounds",
+    "propagate_fixed_bounds_batch",
     "propagate_float_counts",
     "render_table",
     "required_exponent_bits",

@@ -1,4 +1,4 @@
-"""Recursive error-bound propagation over an AC (§3.1.3, Figure 3).
+"""Error-bound propagation over an AC (§3.1.3, Figure 3).
 
 The per-node error models of :mod:`repro.core.errormodels` output bounds
 in the same form as their inputs, so a single forward sweep propagates the
@@ -12,42 +12,40 @@ error from the leaves to the root:
 
 Propagation requires a **binary** circuit: each 2-input operator is one
 hardware rounding. Bounds computed on any other decomposition would not
-describe the generated hardware.
+describe the generated hardware
+(:class:`~repro.errors.NonBinaryCircuitError` otherwise).
 
-Both propagations iterate the circuit's compiled tape
-(:mod:`repro.engine.tape`) — the same flat operation stream every
-evaluator replays — so the bound analysis and the simulated hardware are
-structurally guaranteed to walk identical operator DAGs.
+Since PR 3 every propagation — forward fixed deltas (for *batches* of
+candidate precisions at once), forward float counts, and the adjoint
+counts of the backward program — replays the circuit's cached,
+level-scheduled :class:`~repro.engine.analysis.TapeAnalysis` with
+vectorized numpy instead of iterating the op stream in Python, so the
+bound analysis, the §3.3 format search and the simulated hardware are
+structurally guaranteed to walk identical operator DAGs. The frozen
+sequential walkers live in :mod:`repro.engine.reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..ac.circuit import ArithmeticCircuit
 from ..arith.fixedpoint import FixedPointFormat
-from ..engine.tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape, tape_for
+from ..engine.analysis import TapeAnalysis, analysis_for
+from ..errors import NonBinaryCircuitError
 from .errormodels import FixedErrorModel, FloatErrorModel
 from .extremes import ExtremeAnalysis
 
 
-def _binary_tape(circuit: ArithmeticCircuit) -> Tape:
+def _binary_analysis(circuit: ArithmeticCircuit) -> TapeAnalysis:
     if not circuit.is_binary:
-        raise ValueError(
+        raise NonBinaryCircuitError(
             "bound propagation requires a binary circuit; apply "
             "repro.ac.transform.binarize first"
         )
-    return tape_for(circuit)
-
-
-def _leaf_errors(tape: Tape, model, deltas: list) -> None:
-    """Seed θ and λ slots with the model's per-leaf error terms."""
-    leaf = model.leaf()
-    for slot in tape.param_slots:
-        deltas[slot] = leaf
-    indicator = model.indicator()
-    for slot in tape.indicator_slots:
-        deltas[slot] = indicator
+    return analysis_for(circuit)
 
 
 @dataclass(frozen=True)
@@ -73,9 +71,11 @@ def propagate_fixed_bounds(
 
     ``model`` may be an error model, a format, or a raw fraction-bit
     count. ``extremes`` (max-value analysis) is computed on demand; pass
-    it in when analyzing many precisions of the same circuit.
+    it in when analyzing many precisions of the same circuit — or use
+    :func:`propagate_fixed_bounds_batch` to run all precisions in one
+    vectorized replay.
     """
-    tape = _binary_tape(circuit)
+    analysis = _binary_analysis(circuit)
     if isinstance(model, FixedPointFormat):
         model = FixedErrorModel.for_format(model)
     elif isinstance(model, int):
@@ -85,26 +85,70 @@ def propagate_fixed_bounds(
 
     # Binary circuits compile with no scratch slots, so tape slots are
     # exactly the circuit's node indices (and extremes indices).
-    deltas = [0.0] * tape.num_slots
-    _leaf_errors(tape, model, deltas)
-    for opcode, dest, left, right in tape.op_tuples:
-        if opcode == OP_SUM:
-            deltas[dest] = model.adder(deltas[left], deltas[right])
-        elif opcode == OP_PRODUCT:
-            deltas[dest] = model.multiplier(
-                deltas[left],
-                deltas[right],
-                extremes.max_value(left),
-                extremes.max_value(right),
-            )
-        elif opcode == OP_MAX:
-            deltas[dest] = model.max_node(deltas[left], deltas[right])
-        else:  # OP_COPY forwards a value through one wire: no rounding
-            deltas[dest] = deltas[left]
+    deltas = analysis.fixed_deltas(
+        np.asarray([model.rounding_error]),
+        np.asarray(extremes.linear_max_values),
+    )[:, 0]
     return FixedBounds(
         fraction_bits=model.fraction_bits,
-        per_node=tuple(deltas[: tape.num_nodes]),
+        per_node=tuple(deltas.tolist()),
         root=circuit.root,
+    )
+
+
+@dataclass(frozen=True)
+class FixedBoundsBatch:
+    """Fixed-point bounds of many precisions from one vectorized replay.
+
+    ``deltas[i, j]`` is the absolute-error bound of node ``i`` at
+    ``fraction_bits[j]`` — each column bit-identical to the scalar
+    propagation at that precision. This is the §3.3 search's hot loop
+    collapsed into a single scheduled sweep.
+    """
+
+    fraction_bits: tuple[int, ...]
+    deltas: np.ndarray
+    root: int
+
+    @property
+    def root_bounds(self) -> np.ndarray:
+        """Worst-case root error per candidate precision."""
+        return self.deltas[self.root]
+
+    def bounds_for(self, index: int) -> FixedBounds:
+        """The classic :class:`FixedBounds` view of one candidate."""
+        return FixedBounds(
+            fraction_bits=self.fraction_bits[index],
+            per_node=tuple(self.deltas[:, index].tolist()),
+            root=self.root,
+        )
+
+
+def propagate_fixed_bounds_batch(
+    circuit: ArithmeticCircuit,
+    fraction_bits: "list[int] | tuple[int, ...] | range",
+    rounding=None,
+    extremes: ExtremeAnalysis | None = None,
+) -> FixedBoundsBatch:
+    """Propagate fixed-point bounds for a whole batch of precisions."""
+    from ..arith.rounding import RoundingMode
+
+    analysis = _binary_analysis(circuit)
+    if extremes is None:
+        extremes = ExtremeAnalysis.of(circuit)
+    rounding = rounding or RoundingMode.NEAREST_EVEN
+    bits = tuple(int(b) for b in fraction_bits)
+    rounding_errors = np.asarray(
+        [
+            FixedErrorModel(fraction_bits=b, rounding=rounding).rounding_error
+            for b in bits
+        ]
+    )
+    deltas = analysis.fixed_deltas(
+        rounding_errors, np.asarray(extremes.linear_max_values)
+    )
+    return FixedBoundsBatch(
+        fraction_bits=bits, deltas=deltas, root=circuit.root
     )
 
 
@@ -136,28 +180,11 @@ class FloatBounds:
         return model.relative_bound(self.root_count)
 
 
-def _forward_float_counts(tape: Tape) -> list[int]:
-    """Per-slot (1±ε) factor counts of the upward pass."""
-    model = FloatErrorModel(mantissa_bits=1)  # counts are ε-independent
-    counts = [0] * tape.num_slots
-    _leaf_errors(tape, model, counts)
-    for opcode, dest, left, right in tape.op_tuples:
-        if opcode == OP_SUM:
-            counts[dest] = model.adder(counts[left], counts[right])
-        elif opcode == OP_PRODUCT:
-            counts[dest] = model.multiplier(counts[left], counts[right])
-        elif opcode == OP_MAX:
-            counts[dest] = model.max_node(counts[left], counts[right])
-        else:  # OP_COPY
-            counts[dest] = counts[left]
-    return counts
-
-
 def propagate_float_counts(circuit: ArithmeticCircuit) -> FloatBounds:
     """Propagate (1±ε) factor counts for floating-point arithmetic."""
-    tape = _binary_tape(circuit)
-    counts = _forward_float_counts(tape)
-    return FloatBounds(per_node=tuple(counts[: tape.num_nodes]), root=circuit.root)
+    analysis = _binary_analysis(circuit)
+    counts = analysis.forward_counts[: analysis.tape.num_nodes]
+    return FloatBounds(per_node=tuple(counts.tolist()), root=circuit.root)
 
 
 @dataclass(frozen=True)
@@ -213,45 +240,14 @@ def propagate_adjoint_float_counts(
     (product rule) and one accumulate add — except the first accumulate
     into an exactly-zero adjoint, which the backends short-circuit
     without rounding. Replays the same cached
-    :class:`~repro.engine.tape.BackwardProgram` as the executors, so the
-    bound walks the operator DAG the emulated hardware walks.
+    :class:`~repro.engine.tape.BackwardProgram` as the executors (via
+    the tape analysis' precompiled adjoint schedule and its closed-form
+    accumulate fold), so the bound walks the operator DAG the emulated
+    hardware walks.
     """
-    tape = _binary_tape(circuit)
-    tape.require_differentiable()
-    root = tape.require_root()
-    model = FloatErrorModel(mantissa_bits=1)  # counts are ε-independent
-    value_counts = _forward_float_counts(tape)
-    adjoints: list[int | None] = [None] * tape.num_slots
-    adjoints[root] = 0
-
-    def accumulate(slot: int, contribution: int) -> None:
-        current = adjoints[slot]
-        adjoints[slot] = (
-            contribution
-            if current is None
-            else model.adder(current, contribution)
-        )
-
-    for opcode, dest, left, right in tape.backward.op_tuples:
-        seed = adjoints[dest]
-        if seed is None:
-            continue  # outside the root cone: adjoint is exactly zero
-        if opcode == OP_PRODUCT:
-            accumulate(left, model.multiplier(seed, value_counts[right]))
-            accumulate(right, model.multiplier(seed, value_counts[left]))
-        elif opcode == OP_SUM:
-            accumulate(left, seed)
-            accumulate(right, seed)
-        else:  # OP_COPY
-            accumulate(left, seed)
-    per_node = tuple(
-        0 if count is None else count
-        for count in adjoints[: tape.num_nodes]
-    )
-    indicator_counts = {
-        key: per_node[slot]
-        for slot, key in zip(tape.indicator_slots, tape.indicator_keys)
-    }
+    analysis = _binary_analysis(circuit)
+    counts = analysis.adjoint_counts[: analysis.tape.num_nodes]
     return AdjointFloatBounds(
-        per_node=per_node, indicator_counts=indicator_counts
+        per_node=tuple(counts.tolist()),
+        indicator_counts=analysis.indicator_adjoint_counts,
     )

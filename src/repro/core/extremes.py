@@ -18,15 +18,21 @@ Everything is computed in the log₂ domain: min values of realistic ACs
 (e.g. products over 60 Naive Bayes features) sit far below the smallest
 positive IEEE double, so a linear-domain pass would silently flush them
 to zero and corrupt the exponent-bit selection.
+
+Since PR 3 both sweeps replay the circuit's cached, level-scheduled
+:class:`~repro.engine.analysis.TapeAnalysis` (vectorized numpy over the
+compiled op stream) instead of iterating ops one by one; the frozen
+sequential walkers live in :mod:`repro.engine.reference` as the
+differential-test oracles.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..ac.circuit import ArithmeticCircuit
-from ..engine.tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, tape_for
+from ..engine.analysis import analysis_for
 
 #: log2 of an identically-zero node's (non-existent) max value.
 NEG_INF = float("-inf")
@@ -34,46 +40,16 @@ NEG_INF = float("-inf")
 POS_INF = float("inf")
 
 
-def _log2_sum_exp2_pair(left: float, right: float) -> float:
-    """log2(2^left + 2^right) computed stably."""
-    peak = left if left >= right else right
-    if peak == NEG_INF:
-        return NEG_INF
-    return peak + math.log2(2.0 ** (left - peak) + 2.0 ** (right - peak))
-
-
-def _leaf_log2(
-    tape, values: list[float], zero_marker: float
-) -> None:
-    """Fill λ and θ slots: log₂ of the leaf value, ``zero_marker`` for 0."""
-    for slot in tape.indicator_slots:
-        values[slot] = 0.0  # λ extreme non-zero value is 1
-    for slot, value_id in zip(tape.param_slots, tape.param_ids):
-        value = float(tape.param_values[value_id])
-        values[slot] = math.log2(value) if value > 0.0 else zero_marker
-
-
 def max_log2_values(circuit: ArithmeticCircuit) -> list[float]:
     """Per-node log₂ of the maximum attainable value (λ = 1 evaluation).
 
     ``-inf`` marks identically-zero nodes (e.g. a zero parameter).
-    Iterates the circuit's compiled tape; n-ary operators are folded
-    pairwise, which is exact for products/max and numerically stable for
-    the pairwise log-sum-exp of sums.
+    Replays the circuit's cached tape analysis; n-ary operators are
+    folded pairwise, which is exact for products/max and numerically
+    stable for the pairwise log-sum-exp of sums.
     """
-    tape = tape_for(circuit)
-    values = [NEG_INF] * tape.num_slots
-    _leaf_log2(tape, values, NEG_INF)
-    for opcode, dest, left, right in tape.op_tuples:
-        if opcode == OP_SUM:
-            values[dest] = _log2_sum_exp2_pair(values[left], values[right])
-        elif opcode == OP_PRODUCT:
-            values[dest] = values[left] + values[right]
-        elif opcode == OP_MAX:
-            values[dest] = max(values[left], values[right])
-        else:  # OP_COPY
-            values[dest] = values[left]
-    return values[: tape.num_nodes]
+    analysis = analysis_for(circuit)
+    return analysis.max_log2[: analysis.tape.num_nodes].tolist()
 
 
 def min_log2_positive_values(circuit: ArithmeticCircuit) -> list[float]:
@@ -89,21 +65,8 @@ def min_log2_positive_values(circuit: ArithmeticCircuit) -> list[float]:
     computed here. Pairwise folding preserves both invariants (min is
     associative; an identically-zero factor poisons the whole chain).
     """
-    tape = tape_for(circuit)
-    values = [POS_INF] * tape.num_slots
-    _leaf_log2(tape, values, POS_INF)
-    for opcode, dest, left, right in tape.op_tuples:
-        if opcode == OP_PRODUCT:
-            left_value, right_value = values[left], values[right]
-            if left_value == POS_INF or right_value == POS_INF:
-                values[dest] = POS_INF  # identically-zero factor
-            else:
-                values[dest] = left_value + right_value
-        elif opcode == OP_COPY:
-            values[dest] = values[left]
-        else:  # SUM and MAX both take the smallest non-zero child
-            values[dest] = min(values[left], values[right])
-    return values[: tape.num_nodes]
+    analysis = analysis_for(circuit)
+    return analysis.min_log2[: analysis.tape.num_nodes].tolist()
 
 
 @dataclass(frozen=True)
@@ -116,9 +79,11 @@ class ExtremeAnalysis:
 
     @classmethod
     def of(cls, circuit: ArithmeticCircuit) -> "ExtremeAnalysis":
+        analysis = analysis_for(circuit)
+        num_nodes = analysis.tape.num_nodes
         return cls(
-            max_log2=tuple(max_log2_values(circuit)),
-            min_log2=tuple(min_log2_positive_values(circuit)),
+            max_log2=tuple(analysis.max_log2[:num_nodes].tolist()),
+            min_log2=tuple(analysis.min_log2[:num_nodes].tolist()),
             root=circuit.root,
         )
 
@@ -144,6 +109,18 @@ class ExtremeAnalysis:
         if not finite:
             raise ValueError("circuit is identically zero everywhere")
         return min(finite)
+
+    @cached_property
+    def linear_max_values(self) -> tuple[float, ...]:
+        """:meth:`max_value` of every node, precomputed once.
+
+        The vectorized bound sweeps consume this as one array instead of
+        calling :meth:`max_value` per node per format.
+        """
+        return tuple(
+            0.0 if value == NEG_INF else 2.0 ** max(value, -500.0)
+            for value in self.max_log2
+        )
 
     def max_value(self, index: int) -> float:
         """Linear-domain max value of a node, clamped away from 0.

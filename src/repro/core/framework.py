@@ -21,12 +21,13 @@ from ..energy.models import EnergyModel, PAPER_MODEL
 from .optimizer import (
     CircuitAnalysis,
     DEFAULT_MAX_PRECISION_BITS,
+    Workload,
     search_fixed_format,
     search_float_format,
     select_representation,
 )
-from .queries import ErrorTolerance, QuerySpec, QueryType
-from .report import ProbLPResult
+from .queries import ErrorTolerance, QuerySpec, QueryType, ToleranceType
+from .report import EmpiricalValidation, ProbLPResult
 
 
 @dataclass(frozen=True)
@@ -96,8 +97,19 @@ class ProbLP:
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
-    def analyze(self) -> ProbLPResult:
-        """Run bound searches, energy estimation and selection."""
+    def analyze(
+        self, workload: Workload | str = Workload.JOINT
+    ) -> ProbLPResult:
+        """Run bound searches, energy estimation and selection.
+
+        ``workload`` selects what the chosen format must bound:
+        ``Workload.JOINT`` (default) targets root-query evaluations with
+        the paper's §3.2 bounds; ``Workload.MARGINALS`` targets the
+        batched posterior-marginal backward sweep, driving the float
+        search with the adjoint ``posterior_bound`` (fixed point is
+        excluded by the normalizing-division policy).
+        """
+        workload = Workload.coerce(workload)
         fixed = search_fixed_format(
             self.analysis,
             self.spec,
@@ -105,6 +117,7 @@ class ProbLP:
             variant=self.config.bound_variant,
             energy_model=self.config.energy_model,
             rounding=self.config.rounding,
+            workload=workload,
         )
         float_ = search_float_format(
             self.analysis,
@@ -113,8 +126,10 @@ class ProbLP:
             variant=self.config.bound_variant,
             energy_model=self.config.energy_model,
             rounding=self.config.rounding,
+            workload=workload,
         )
         selection = select_representation(fixed, float_)
+        adjoint = self.analysis.adjoint
         return ProbLPResult(
             circuit_name=self.source_circuit.name,
             circuit_stats=self.binary_circuit.stats(),
@@ -125,6 +140,89 @@ class ProbLP:
             root_max_log2=self.analysis.extremes.root_max_log2,
             root_min_log2=self.analysis.extremes.root_min_log2,
             global_min_log2=self.analysis.extremes.global_min_log2,
+            workload=workload.value,
+            posterior_factor_count=(
+                None if adjoint is None else adjoint.max_indicator_count
+            ),
+        )
+
+    def optimize(
+        self,
+        workload: Workload | str = Workload.JOINT,
+        validation_batch=None,
+    ) -> ProbLPResult:
+        """Workload-aware format selection, optionally measured.
+
+        Runs :meth:`analyze` for the given workload; when
+        ``validation_batch`` (a sequence of evidence mappings) is given,
+        additionally replays the batch through the engine's vectorized
+        quantized executors with the selected format — forward sweeps
+        for the joint workload, forward+backward all-marginals for the
+        marginals workload — and attaches the measured error next to the
+        rigorous bound (``result.empirical``).
+        """
+        workload = Workload.coerce(workload)
+        result = self.analyze(workload)
+        if not validation_batch:
+            return result
+        from dataclasses import replace
+
+        empirical = self._measure(
+            workload, result, list(validation_batch)
+        )
+        return replace(result, empirical=empirical)
+
+    def _measure(
+        self, workload: Workload, result: ProbLPResult, batch: list
+    ) -> EmpiricalValidation:
+        """Measured max/mean error of the selected format on a batch."""
+        import numpy as np
+
+        if (
+            workload is Workload.JOINT
+            and result.spec.query is QueryType.CONDITIONAL
+        ):
+            # A leaf-evidence batch only exercises root evaluations;
+            # measuring those against the conditional-ratio bound would
+            # claim validation of a quantity never computed.
+            raise ValueError(
+                "empirical validation is not supported for conditional "
+                "queries: the evidence batch holds no (query, evidence) "
+                "pairs to measure the ratio against its bound"
+            )
+        fmt = result.selected_format
+        session = self.session
+        if workload is Workload.MARGINALS:
+            exact = session.marginals_batch(batch)
+            quantized = session.quantized_marginals_batch(fmt, batch)
+            errors = np.concatenate(
+                [
+                    np.abs(quantized[variable] - exact[variable]).ravel()
+                    for variable in exact
+                ]
+            )
+            error_kind = "absolute"
+        else:
+            exact = session.evaluate_batch(batch)
+            quantized = session.evaluate_quantized_batch(fmt, batch)
+            errors = np.abs(quantized - exact)
+            error_kind = "absolute"
+            if result.spec.tolerance.kind is ToleranceType.RELATIVE:
+                positive = exact > 0.0
+                if not positive.any():
+                    raise ValueError(
+                        "relative-error validation needs at least one "
+                        "evidence instance with non-zero probability"
+                    )
+                errors = errors[positive] / exact[positive]
+                error_kind = "relative"
+        return EmpiricalValidation(
+            workload=workload.value,
+            instances=len(batch),
+            error_kind=error_kind,
+            max_error=float(errors.max()),
+            mean_error=float(errors.mean()),
+            bound=float(result.selected.query_bound),
         )
 
     # ------------------------------------------------------------------

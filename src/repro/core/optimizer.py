@@ -9,12 +9,31 @@ margins, so the no-overflow/no-underflow preconditions of the error
 models hold for the *quantized* values, not just the real ones. Finally
 it prices both representations with the energy model and selects the
 cheaper feasible one.
+
+Two things changed in PR 3:
+
+* the search is **tape-native** — all candidate fixed precisions
+  propagate in one vectorized batched replay of the circuit's cached
+  :class:`~repro.engine.analysis.TapeAnalysis`
+  (:func:`repro.core.bounds.propagate_fixed_bounds_batch`) instead of
+  one op-stream walk per precision;
+* the search is **workload-aware** — a :class:`Workload` spec selects
+  between the classic root-query bounds (``Workload.JOINT``, one upward
+  evaluation per query) and the adjoint
+  :meth:`~repro.core.bounds.AdjointFloatBounds.posterior_bound`
+  (``Workload.MARGINALS``, the batched all-marginals backward sweep the
+  engine serves), so formats are picked for the queries the session
+  will actually run.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from enum import Enum
+from functools import cached_property
+
+import numpy as np
 
 from ..ac.circuit import ArithmeticCircuit
 from ..arith.fixedpoint import FixedPointFormat
@@ -22,17 +41,19 @@ from ..arith.floatingpoint import FloatFormat
 from ..arith.rounding import RoundingMode
 from ..energy.estimate import circuit_energy_nj
 from ..energy.models import EnergyModel, PAPER_MODEL
+from ..errors import InfeasibleFormatError, NonBinaryCircuitError
 from .bounds import (
+    AdjointFloatBounds,
     FloatBounds,
-    propagate_fixed_bounds,
+    propagate_adjoint_float_counts,
+    propagate_fixed_bounds_batch,
     propagate_float_counts,
 )
-from .errormodels import FloatErrorModel
 from .extremes import ExtremeAnalysis
 from .queries import (
     QuerySpec,
     ToleranceType,
-    fixed_query_bound,
+    fixed_query_bound_from_delta,
     float_query_bound,
 )
 
@@ -44,9 +65,42 @@ DEFAULT_MAX_PRECISION_BITS = 64
 MAX_EXPONENT_BITS = 64
 
 
+class Workload(Enum):
+    """What the session will serve with the chosen format.
+
+    * ``JOINT`` — joint-evaluation queries (one upward sweep per query);
+      bounds come from root-query error propagation, the paper's §3.2
+      setting.
+    * ``MARGINALS`` — batched posterior-marginal queries (one upward plus
+      one downward sweep); bounds come from the adjoint factor counts of
+      the backward program
+      (:meth:`~repro.core.bounds.AdjointFloatBounds.posterior_bound`).
+    """
+
+    JOINT = "joint"
+    MARGINALS = "marginals"
+
+    @classmethod
+    def coerce(cls, value: "Workload | str") -> "Workload":
+        if isinstance(value, Workload):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(workload.value for workload in cls)
+            raise ValueError(
+                f"workload must be one of: {choices}; got {value!r}"
+            ) from None
+
+
 @dataclass(frozen=True)
 class CircuitAnalysis:
-    """Precomputed, precision-independent analysis of a binary circuit."""
+    """Precomputed, precision-independent analysis of a binary circuit.
+
+    A thin, query-oriented view over the engine's cached
+    :class:`~repro.engine.analysis.TapeAnalysis`: constructing a second
+    ``CircuitAnalysis`` of the same circuit reuses every sweep.
+    """
 
     circuit: ArithmeticCircuit
     extremes: ExtremeAnalysis
@@ -55,7 +109,7 @@ class CircuitAnalysis:
     @classmethod
     def of(cls, circuit: ArithmeticCircuit) -> "CircuitAnalysis":
         if not circuit.is_binary:
-            raise ValueError(
+            raise NonBinaryCircuitError(
                 "CircuitAnalysis requires a binary circuit; apply "
                 "repro.ac.transform.binarize first"
             )
@@ -64,6 +118,19 @@ class CircuitAnalysis:
             extremes=ExtremeAnalysis.of(circuit),
             float_counts=propagate_float_counts(circuit),
         )
+
+    @cached_property
+    def adjoint(self) -> AdjointFloatBounds | None:
+        """Adjoint factor counts for the posterior-marginal workload.
+
+        ``None`` for MPE (max) circuits, whose backward sweep is
+        undefined.
+        """
+        from ..engine.tape import tape_for
+
+        if tape_for(self.circuit).has_max:
+            return None
+        return propagate_adjoint_float_counts(self.circuit)
 
 
 @dataclass(frozen=True)
@@ -89,6 +156,32 @@ class RepresentationOption:
         return f"{self.kind}({shape}), energy {self.energy_nj:.3g} nJ/eval"
 
 
+def _infeasible(
+    kind: str, search_cap: int, reason: str
+) -> RepresentationOption:
+    return RepresentationOption(
+        kind=kind,
+        fmt=None,
+        feasible=False,
+        query_bound=None,
+        energy_nj=None,
+        search_cap=search_cap,
+        infeasible_reason=reason,
+    )
+
+
+def _integer_bits_from_deltas(
+    extremes: ExtremeAnalysis, deltas: np.ndarray
+) -> int:
+    """Smallest I covering every quantized node value (shared helper)."""
+    largest = float(
+        np.max(np.asarray(extremes.linear_max_values) + deltas)
+    )
+    # Indicators are 1.0 even if parameters are all smaller.
+    largest = max(largest, 1.0)
+    return max(1, math.floor(math.log2(largest)) + 1)
+
+
 def required_integer_bits(
     analysis: CircuitAnalysis,
     fraction_bits: int,
@@ -99,20 +192,10 @@ def required_integer_bits(
     Accounts for the error bound: quantized values can exceed the real
     maxima by the per-node absolute error.
     """
-    from .errormodels import FixedErrorModel
-
-    bounds = propagate_fixed_bounds(
-        analysis.circuit,
-        FixedErrorModel(fraction_bits=fraction_bits, rounding=rounding),
-        analysis.extremes,
+    batch = propagate_fixed_bounds_batch(
+        analysis.circuit, (fraction_bits,), rounding, analysis.extremes
     )
-    largest = 0.0
-    for index in range(len(analysis.circuit)):
-        value = analysis.extremes.max_value(index) + bounds.per_node[index]
-        largest = max(largest, value)
-    # Indicators are 1.0 even if parameters are all smaller.
-    largest = max(largest, 1.0)
-    return max(1, math.floor(math.log2(largest)) + 1)
+    return _integer_bits_from_deltas(analysis.extremes, batch.deltas[:, 0])
 
 
 def required_exponent_bits(
@@ -127,6 +210,8 @@ def required_exponent_bits(
     the root, so the root count dominates every node). One extra exponent
     of safety margin is added on each side.
     """
+    from .errormodels import FloatErrorModel
+
     model = FloatErrorModel(mantissa_bits=mantissa_bits, rounding=rounding)
     count = analysis.float_counts.root_count
     upper_margin = count * math.log1p(model.epsilon) / math.log(2.0)
@@ -157,39 +242,53 @@ def search_fixed_format(
     variant: str = "rigorous",
     energy_model: EnergyModel = PAPER_MODEL,
     rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    workload: Workload | str = Workload.JOINT,
 ) -> RepresentationOption:
-    """Find the cheapest feasible fixed-point format for a query spec."""
-    from .errormodels import FixedErrorModel
+    """Find the cheapest feasible fixed-point format for a query spec.
+
+    All candidate precisions (``2..max_bits``) propagate in a single
+    vectorized tape replay; the loop below only compares precomputed
+    root bounds against the tolerance.
+    """
     from .queries import QueryType
 
+    workload = Workload.coerce(workload)
+    if workload is Workload.MARGINALS:
+        # Posterior marginals are normalized by a division, so absolute
+        # fixed-point bounds do not survive into the output — mirror the
+        # paper's §3.2.2 conditional-query policy and always use float.
+        return _infeasible(
+            "fixed",
+            max_bits,
+            "posterior-marginals workload excluded by policy "
+            "(normalizing division)",
+        )
     if (
         spec.query is QueryType.CONDITIONAL
         and spec.tolerance.kind is ToleranceType.RELATIVE
     ):
         # §3.2.2: the bound denominator Pr(e)·Pr(q|e) is unquantifiable;
         # ProbLP always chooses float for this combination.
-        return RepresentationOption(
-            kind="fixed",
-            fmt=None,
-            feasible=False,
-            query_bound=None,
-            energy_nj=None,
-            search_cap=max_bits,
-            infeasible_reason="conditional+relative excluded by policy",
+        return _infeasible(
+            "fixed", max_bits, "conditional+relative excluded by policy"
         )
 
-    for fraction_bits in range(MIN_PRECISION_BITS, max_bits + 1):
-        bounds = propagate_fixed_bounds(
-            analysis.circuit,
-            FixedErrorModel(fraction_bits=fraction_bits, rounding=rounding),
+    candidates = range(MIN_PRECISION_BITS, max_bits + 1)
+    batch = propagate_fixed_bounds_batch(
+        analysis.circuit, candidates, rounding, analysis.extremes
+    )
+    root_bounds = batch.root_bounds
+    for index, fraction_bits in enumerate(candidates):
+        query_bound = fixed_query_bound_from_delta(
+            spec.query,
+            spec.tolerance.kind,
+            float(root_bounds[index]),
             analysis.extremes,
-        )
-        query_bound = fixed_query_bound(
-            spec.query, spec.tolerance.kind, bounds, analysis.extremes, variant
+            variant,
         )
         if query_bound <= spec.tolerance.value:
-            integer_bits = required_integer_bits(
-                analysis, fraction_bits, rounding
+            integer_bits = _integer_bits_from_deltas(
+                analysis.extremes, batch.deltas[:, index]
             )
             fmt = FixedPointFormat(integer_bits, fraction_bits, rounding)
             energy = circuit_energy_nj(analysis.circuit, fmt, energy_model)
@@ -201,14 +300,8 @@ def search_fixed_format(
                 energy_nj=energy,
                 search_cap=max_bits,
             )
-    return RepresentationOption(
-        kind="fixed",
-        fmt=None,
-        feasible=False,
-        query_bound=None,
-        energy_nj=None,
-        search_cap=max_bits,
-        infeasible_reason=f"needs more than {max_bits} fraction bits",
+    return _infeasible(
+        "fixed", max_bits, f"needs more than {max_bits} fraction bits"
     )
 
 
@@ -219,22 +312,47 @@ def search_float_format(
     variant: str = "rigorous",
     energy_model: EnergyModel = PAPER_MODEL,
     rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    workload: Workload | str = Workload.JOINT,
 ) -> RepresentationOption:
-    """Find the cheapest feasible floating-point format for a query spec."""
+    """Find the cheapest feasible floating-point format for a query spec.
+
+    Under ``Workload.MARGINALS`` the bound driving the search is the
+    adjoint :meth:`~repro.core.bounds.AdjointFloatBounds.posterior_bound`
+    — the worst-case error of any normalized posterior marginal served
+    by the quantized backward sweep — instead of the root-query bound;
+    it bounds the relative *and* absolute posterior error (posteriors
+    are ≤ 1), so it is compared against either tolerance kind. The
+    exponent width gets one extra bit of headroom because downward
+    intermediates can undershoot the upward minimum.
+    """
+    workload = Workload.coerce(workload)
+    adjoint = None
+    if workload is Workload.MARGINALS:
+        adjoint = analysis.adjoint
+        if adjoint is None:
+            raise ValueError(
+                "MPE (max) circuits have no posterior-marginals workload; "
+                "use Workload.JOINT"
+            )
     for mantissa_bits in range(MIN_PRECISION_BITS, max_bits + 1):
-        query_bound = float_query_bound(
-            spec.query,
-            spec.tolerance.kind,
-            analysis.float_counts,
-            analysis.extremes,
-            mantissa_bits,
-            variant,
-            rounding,
-        )
+        if adjoint is not None:
+            query_bound = adjoint.posterior_bound(mantissa_bits, rounding)
+        else:
+            query_bound = float_query_bound(
+                spec.query,
+                spec.tolerance.kind,
+                analysis.float_counts,
+                analysis.extremes,
+                mantissa_bits,
+                variant,
+                rounding,
+            )
         if query_bound <= spec.tolerance.value:
             exponent_bits = required_exponent_bits(
                 analysis, mantissa_bits, rounding
             )
+            if adjoint is not None:
+                exponent_bits += 1  # downward-sweep underflow headroom
             fmt = FloatFormat(exponent_bits, mantissa_bits, rounding)
             energy = circuit_energy_nj(analysis.circuit, fmt, energy_model)
             return RepresentationOption(
@@ -245,14 +363,8 @@ def search_float_format(
                 energy_nj=energy,
                 search_cap=max_bits,
             )
-    return RepresentationOption(
-        kind="float",
-        fmt=None,
-        feasible=False,
-        query_bound=None,
-        energy_nj=None,
-        search_cap=max_bits,
-        infeasible_reason=f"needs more than {max_bits} mantissa bits",
+    return _infeasible(
+        "float", max_bits, f"needs more than {max_bits} mantissa bits"
     )
 
 
@@ -269,7 +381,12 @@ class SelectionResult:
 def select_representation(
     fixed: RepresentationOption, float_: RepresentationOption
 ) -> SelectionResult:
-    """Pick the lower-energy feasible representation (paper Figure 2)."""
+    """Pick the lower-energy feasible representation (paper Figure 2).
+
+    Raises the typed :class:`~repro.errors.InfeasibleFormatError` when
+    neither representation fits within the search cap (Table 2's
+    ``>64`` rows).
+    """
     if fixed.feasible and float_.feasible:
         if fixed.energy_nj <= float_.energy_nj:
             winner, reason = fixed, (
@@ -288,9 +405,7 @@ def select_representation(
             f"fixed infeasible ({fixed.infeasible_reason})"
         )
     else:
-        raise ValueError(
-            "no feasible representation within the search cap: "
-            f"fixed: {fixed.infeasible_reason}; "
-            f"float: {float_.infeasible_reason}"
+        raise InfeasibleFormatError(
+            fixed.infeasible_reason, float_.infeasible_reason
         )
     return SelectionResult(fixed=fixed, float_=float_, selected=winner, reason=reason)

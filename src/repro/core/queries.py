@@ -96,8 +96,25 @@ def fixed_query_bound(
     combination (conditional + relative, per the paper's policy, or a
     denominator bound that the error swallows).
     """
+    return fixed_query_bound_from_delta(
+        query, tolerance_kind, bounds.root_bound, extremes, variant
+    )
+
+
+def fixed_query_bound_from_delta(
+    query: QueryType,
+    tolerance_kind: ToleranceType,
+    delta: float,
+    extremes: ExtremeAnalysis,
+    variant: str = "rigorous",
+) -> float:
+    """:func:`fixed_query_bound` from a raw root error bound.
+
+    The vectorized format search propagates all candidate precisions in
+    one batched sweep, so it has root deltas without per-precision
+    :class:`~repro.core.bounds.FixedBounds` objects.
+    """
     _check_variant(variant)
-    delta = bounds.root_bound
 
     if query in (QueryType.MARGINAL, QueryType.MPE):
         if tolerance_kind is ToleranceType.ABSOLUTE:

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..ac.circuit import CircuitStats
 from ..arith.fixedpoint import FixedPointFormat
 from ..arith.floatingpoint import FloatFormat
+from ..arith.rounding import RoundingMode
 from .optimizer import RepresentationOption, SelectionResult
-from .queries import QuerySpec
+from .queries import ErrorTolerance, QuerySpec, QueryType, ToleranceType
 
 
 def format_name(fmt: FixedPointFormat | FloatFormat | None) -> str:
@@ -29,6 +30,94 @@ def option_cell(option: RepresentationOption) -> str:
     return f">{option.search_cap} ( - )"
 
 
+def format_payload(fmt: FixedPointFormat | FloatFormat | None):
+    """JSON-friendly rendering of a number format (``None`` passes through)."""
+    if fmt is None:
+        return None
+    if isinstance(fmt, FixedPointFormat):
+        return {
+            "kind": "fixed",
+            "integer_bits": fmt.integer_bits,
+            "fraction_bits": fmt.fraction_bits,
+            "rounding": fmt.rounding.value,
+        }
+    return {
+        "kind": "float",
+        "exponent_bits": fmt.exponent_bits,
+        "mantissa_bits": fmt.mantissa_bits,
+        "rounding": fmt.rounding.value,
+    }
+
+
+def format_from_payload(payload) -> FixedPointFormat | FloatFormat | None:
+    """Inverse of :func:`format_payload`."""
+    if payload is None:
+        return None
+    rounding = RoundingMode(payload["rounding"])
+    if payload["kind"] == "fixed":
+        return FixedPointFormat(
+            payload["integer_bits"], payload["fraction_bits"], rounding
+        )
+    return FloatFormat(
+        payload["exponent_bits"], payload["mantissa_bits"], rounding
+    )
+
+
+def _option_payload(option: RepresentationOption) -> dict:
+    return {
+        "kind": option.kind,
+        "format": format_payload(option.fmt),
+        "feasible": option.feasible,
+        "query_bound": option.query_bound,
+        "energy_nj": option.energy_nj,
+        "search_cap": option.search_cap,
+        "infeasible_reason": option.infeasible_reason,
+    }
+
+
+def _option_from_payload(payload: dict) -> RepresentationOption:
+    return RepresentationOption(
+        kind=payload["kind"],
+        fmt=format_from_payload(payload["format"]),
+        feasible=payload["feasible"],
+        query_bound=payload["query_bound"],
+        energy_nj=payload["energy_nj"],
+        search_cap=payload["search_cap"],
+        infeasible_reason=payload["infeasible_reason"],
+    )
+
+
+@dataclass(frozen=True)
+class EmpiricalValidation:
+    """Measured error of the selected format on a real evidence batch.
+
+    The optimizer's optional validation stage replays the batch through
+    the engine's vectorized quantized executors (forward only for the
+    joint workload, forward+backward for marginals) and compares against
+    exact float64 — the observed maximum must sit below the rigorous
+    bound that drove the search.
+    """
+
+    workload: str
+    instances: int
+    error_kind: str  # "absolute" or "relative"
+    max_error: float
+    mean_error: float
+    bound: float
+
+    @property
+    def holds(self) -> bool:
+        return self.max_error <= self.bound
+
+    def describe(self) -> str:
+        return (
+            f"measured {self.error_kind} error over {self.instances} "
+            f"instances: max {self.max_error:.3e}, mean "
+            f"{self.mean_error:.3e} (bound {self.bound:.3e}, "
+            f"{'holds' if self.holds else 'VIOLATED'})"
+        )
+
+
 @dataclass(frozen=True)
 class ProbLPResult:
     """Full outcome of a ProbLP analysis for one circuit and query spec."""
@@ -42,6 +131,9 @@ class ProbLPResult:
     root_max_log2: float
     root_min_log2: float
     global_min_log2: float
+    workload: str = "joint"
+    posterior_factor_count: int | None = None
+    empirical: EmpiricalValidation | None = None
 
     @property
     def selected(self) -> RepresentationOption:
@@ -59,6 +151,7 @@ class ProbLPResult:
         lines = [
             f"ProbLP analysis of {self.circuit_name!r}",
             f"  query          : {self.spec.describe()}",
+            f"  workload       : {self.workload}",
             f"  circuit        : {stats.num_operators} binary ops "
             f"({stats.num_sums}+ {stats.num_products}* {stats.num_max}max), "
             f"depth {stats.depth}",
@@ -66,13 +159,90 @@ class ProbLPResult:
             f"2^{self.root_max_log2:.1f} at root, "
             f"global min 2^{self.global_min_log2:.1f}",
             f"  float (1±ε)^c  : c = {self.float_factor_count}",
-            f"  fixed option   : {self.selection.fixed.describe()}",
-            f"  float option   : {self.selection.float_.describe()}",
-            f"  selected       : {self.selection.selected.kind} "
-            f"— {self.selection.reason}",
-            f"  bound variant  : {self.variant}",
         ]
+        if self.posterior_factor_count is not None:
+            lines.append(
+                f"  adjoint (1±ε)^c: c = {self.posterior_factor_count} "
+                f"(drives the marginals workload)"
+            )
+        lines.extend(
+            [
+                f"  fixed option   : {self.selection.fixed.describe()}",
+                f"  float option   : {self.selection.float_.describe()}",
+                f"  selected       : {self.selection.selected.kind} "
+                f"— {self.selection.reason}",
+                f"  bound variant  : {self.variant}",
+            ]
+        )
+        if self.empirical is not None:
+            lines.append(f"  validation     : {self.empirical.describe()}")
         return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        """A JSON-serializable rendering of the whole result.
+
+        Inverse: :meth:`from_json_dict` — the round-trip reconstructs an
+        equal ``ProbLPResult`` (the ``problp optimize`` subcommand emits
+        exactly this payload).
+        """
+        return {
+            "circuit_name": self.circuit_name,
+            "circuit_stats": asdict(self.circuit_stats),
+            "query": self.spec.query.value,
+            "tolerance": {
+                "kind": self.spec.tolerance.kind.value,
+                "value": self.spec.tolerance.value,
+            },
+            "workload": self.workload,
+            "variant": self.variant,
+            "float_factor_count": self.float_factor_count,
+            "posterior_factor_count": self.posterior_factor_count,
+            "root_max_log2": self.root_max_log2,
+            "root_min_log2": self.root_min_log2,
+            "global_min_log2": self.global_min_log2,
+            "fixed": _option_payload(self.selection.fixed),
+            "float": _option_payload(self.selection.float_),
+            "selected": self.selection.selected.kind,
+            "reason": self.selection.reason,
+            "empirical": (
+                None if self.empirical is None else asdict(self.empirical)
+            ),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ProbLPResult":
+        """Rebuild a result from :meth:`to_json_dict` output."""
+        fixed = _option_from_payload(payload["fixed"])
+        float_ = _option_from_payload(payload["float"])
+        selected = fixed if payload["selected"] == "fixed" else float_
+        empirical = payload.get("empirical")
+        return cls(
+            circuit_name=payload["circuit_name"],
+            circuit_stats=CircuitStats(**payload["circuit_stats"]),
+            spec=QuerySpec(
+                query=QueryType(payload["query"]),
+                tolerance=ErrorTolerance(
+                    ToleranceType(payload["tolerance"]["kind"]),
+                    payload["tolerance"]["value"],
+                ),
+            ),
+            selection=SelectionResult(
+                fixed=fixed,
+                float_=float_,
+                selected=selected,
+                reason=payload["reason"],
+            ),
+            variant=payload["variant"],
+            float_factor_count=payload["float_factor_count"],
+            root_max_log2=payload["root_max_log2"],
+            root_min_log2=payload["root_min_log2"],
+            global_min_log2=payload["global_min_log2"],
+            workload=payload.get("workload", "joint"),
+            posterior_factor_count=payload.get("posterior_factor_count"),
+            empirical=(
+                None if empirical is None else EmpiricalValidation(**empirical)
+            ),
+        )
 
 
 def render_table(rows: list[dict[str, str]], columns: list[str]) -> str:

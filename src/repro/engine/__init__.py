@@ -21,6 +21,7 @@ remain as thin wrappers; the frozen seed implementations live in
 """
 
 from ..errors import ZeroEvidenceError
+from .analysis import TapeAnalysis, analysis_for, tape_analysis_for
 from .encoder import EvidenceEncoder
 from .executors import (
     FixedPointBatchExecutor,
@@ -58,7 +59,9 @@ __all__ = [
     "OP_SUM",
     "QuantizedTapeEvaluator",
     "Tape",
+    "TapeAnalysis",
     "ZeroEvidenceError",
+    "analysis_for",
     "backend_for_format",
     "compile_tape",
     "execute_batch",
@@ -67,5 +70,6 @@ __all__ = [
     "execute_real",
     "execute_values",
     "session_for",
+    "tape_analysis_for",
     "tape_for",
 ]

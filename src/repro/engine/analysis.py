@@ -1,0 +1,463 @@
+"""Tape-native, vectorized precision-independent analysis (PR 3).
+
+Every precision-independent analysis the optimizer needs — max/min-value
+extremes (§3.1.4), forward (1±ε) factor counts (§3.1.3) and the adjoint
+factor counts of the backward sweep — is a replay of the compiled
+:class:`~repro.engine.tape.Tape`. Before this module each replay was a
+pure-Python loop over ``tape.op_tuples`` with per-op dispatch; here the
+op stream is scheduled **once** into dependency levels and every sweep
+runs as a handful of numpy gather/compute/scatter calls per
+``(level, opcode)`` segment instead of one Python iteration per op.
+
+Scheduling is sound because the tape writes every slot exactly once and
+each op only reads slots written at strictly lower levels, so all ops of
+one level are independent: executing them element-wise under fancy
+indexing computes bit-for-bit the same per-op arithmetic as the
+sequential loop.
+
+The **adjoint** (backward) sweep is harder: adjoint accumulation folds
+contributions into a slot in reversed-stream order, and the float-count
+adder ``max(a, b) + 1`` is order-*dependent*. The fold has a closed
+form, though: for contributions ``c_1 .. c_k`` arriving in order, the
+folded count is ``max(c_1 + k - 1, max_{i>=2}(c_i + k - i + 1))`` — the
+position weights are structural, so the whole backward analysis
+precompiles into flat contribution arrays (sorted by adjoint level,
+slot, and stream position) that replay with ``np.maximum.reduceat``.
+
+:class:`TapeAnalysis` bundles the schedules and lazily-computed results
+and is cached per tape (:func:`tape_analysis_for`) and per circuit
+(:func:`analysis_for`); :class:`~repro.engine.session.InferenceSession`
+exposes it as ``session.analysis`` next to the tape itself. The frozen
+sequential implementations live in :mod:`repro.engine.reference` as the
+differential-test oracles.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ac.circuit import ArithmeticCircuit
+from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape, tape_for
+
+#: log2 marker for "identically zero" in max analysis.
+NEG_INF = float("-inf")
+#: log2 marker for "never non-zero" in min analysis.
+POS_INF = float("inf")
+
+
+def _slot_levels(tape: Tape) -> list[int]:
+    """Dependency level of every slot (leaves are level 0)."""
+    levels = [0] * tape.num_slots
+    for _opcode, dest, left, right in tape.op_tuples:
+        left_level = levels[left]
+        right_level = levels[right]
+        levels[dest] = (
+            left_level if left_level >= right_level else right_level
+        ) + 1
+    return levels
+
+
+@dataclass(frozen=True, eq=False)
+class ForwardSchedule:
+    """The forward op stream grouped into ``(level, opcode)`` segments.
+
+    Each segment holds pre-gathered dest/left/right slot arrays whose ops
+    are mutually independent; replaying segments in order is equivalent
+    to the sequential stream.
+    """
+
+    #: ``(opcode, dests, lefts, rights)`` per segment, level-major.
+    segments: tuple[tuple[int, np.ndarray, np.ndarray, np.ndarray], ...]
+
+    @classmethod
+    def of(cls, tape: Tape) -> "ForwardSchedule":
+        if tape.num_operations == 0:
+            return cls(segments=())
+        levels = np.asarray(_slot_levels(tape), dtype=np.int32)
+        op_levels = levels[tape.dests]
+        order = np.lexsort(
+            (np.arange(tape.num_operations), tape.opcodes, op_levels)
+        )
+        opcodes = tape.opcodes[order]
+        dests = tape.dests[order]
+        lefts = tape.lefts[order]
+        rights = tape.rights[order]
+        keys_change = np.flatnonzero(
+            (np.diff(op_levels[order]) != 0) | (np.diff(opcodes) != 0)
+        )
+        starts = np.concatenate(([0], keys_change + 1))
+        ends = np.concatenate((keys_change + 1, [tape.num_operations]))
+        segments = tuple(
+            (
+                int(opcodes[start]),
+                dests[start:end],
+                lefts[start:end],
+                rights[start:end],
+            )
+            for start, end in zip(starts, ends)
+        )
+        return cls(segments=segments)
+
+
+@dataclass(frozen=True, eq=False)
+class AdjointSchedule:
+    """The backward sweep compiled to flat contribution arrays.
+
+    Walking the cached :class:`~repro.engine.tape.BackwardProgram`, each
+    op whose destination is inside the root cone contributes to its
+    children's adjoints. Contributions are stored sorted by (adjoint
+    level of the receiving slot, slot, stream position) so each adjoint
+    level replays as one gather plus one ``np.maximum.reduceat``; the
+    order-dependent ``max(a, b) + 1`` fold is folded into the
+    precomputed per-contribution ``bonus`` (sibling factor count plus
+    closed-form position weight, see module docstring).
+    """
+
+    num_slots: int
+    #: Slots with a non-zero-seeded adjoint (the root cone), bool mask.
+    reachable: np.ndarray
+    #: Receiving slots, one entry per adjoint level group, concatenated.
+    slots: np.ndarray
+    #: Start of each slot's contribution run inside the contrib arrays.
+    slot_starts: np.ndarray
+    #: ``[start, end)`` index pairs into :attr:`slots` per adjoint level.
+    group_bounds: tuple[tuple[int, int], ...]
+    #: Per contribution: the contributing op's destination slot.
+    contrib_dests: np.ndarray
+    #: Per contribution: sibling count + multiplier/fold-weight bonus.
+    contrib_bonus: np.ndarray
+
+    @classmethod
+    def of(cls, tape: Tape, forward_counts: np.ndarray) -> "AdjointSchedule":
+        root = tape.require_root()
+        num_slots = tape.num_slots
+        backward = tape.backward.op_tuples
+
+        reachable = np.zeros(num_slots, dtype=bool)
+        reachable[root] = True
+        alevel = [0] * num_slots
+        reachable_list = reachable.tolist()
+        for opcode, dest, left, right in backward:
+            if not reachable_list[dest]:
+                continue
+            reachable_list[left] = True
+            child_level = alevel[dest] + 1
+            if child_level > alevel[left]:
+                alevel[left] = child_level
+            if opcode != OP_COPY:
+                reachable_list[right] = True
+                if child_level > alevel[right]:
+                    alevel[right] = child_level
+        reachable = np.asarray(reachable_list, dtype=bool)
+        alevel_arr = np.asarray(alevel, dtype=np.int64)
+
+        opcodes = tape.backward.opcodes
+        dests = tape.backward.dests
+        lefts = tape.backward.lefts
+        rights = tape.backward.rights
+        n_ops = len(opcodes)
+        live = reachable[dests]
+        positions = np.arange(n_ops, dtype=np.int64)
+        is_product = opcodes == OP_PRODUCT
+        # A product contribution is one rounded multiply with the
+        # sibling's forward value: seed + counts[sibling] + 1. Sums and
+        # copies forward the seed unrounded.
+        left_valid = live
+        right_valid = live & (opcodes != OP_COPY)
+        targets = np.concatenate((lefts[left_valid], rights[right_valid]))
+        sources = np.concatenate((dests[left_valid], dests[right_valid]))
+        mul_bonus = np.concatenate(
+            (
+                np.where(
+                    is_product[left_valid],
+                    forward_counts[rights[left_valid]] + 1,
+                    0,
+                ),
+                np.where(
+                    is_product[right_valid],
+                    forward_counts[lefts[right_valid]] + 1,
+                    0,
+                ),
+            )
+        )
+        stream_pos = np.concatenate(
+            (2 * positions[left_valid], 2 * positions[right_valid] + 1)
+        )
+
+        order = np.lexsort((stream_pos, targets, alevel_arr[targets]))
+        targets = targets[order]
+        sources = sources[order]
+        mul_bonus = mul_bonus[order]
+
+        if len(targets) == 0:
+            return cls(
+                num_slots=num_slots,
+                reachable=reachable,
+                slots=np.empty(0, dtype=np.int64),
+                slot_starts=np.empty(0, dtype=np.int64),
+                group_bounds=(),
+                contrib_dests=sources,
+                contrib_bonus=mul_bonus,
+            )
+
+        slot_change = np.flatnonzero(np.diff(targets) != 0)
+        slot_starts = np.concatenate(([0], slot_change + 1))
+        slots = targets[slot_starts]
+        run_lengths = np.diff(np.concatenate((slot_starts, [len(targets)])))
+        # Closed-form fold weights: contribution i (1-based) of a run of
+        # length k carries weight k - i + 1, except the first (which
+        # seeds the adjoint without an adder rounding) carrying k - 1.
+        index_in_run = (
+            np.arange(len(targets), dtype=np.int64)
+            - np.repeat(slot_starts, run_lengths)
+        )
+        run_k = np.repeat(run_lengths, run_lengths)
+        weights = np.where(index_in_run == 0, run_k - 1, run_k - index_in_run)
+
+        slot_levels = alevel_arr[slots]
+        level_change = np.flatnonzero(np.diff(slot_levels) != 0)
+        group_starts = np.concatenate(([0], level_change + 1))
+        group_ends = np.concatenate((level_change + 1, [len(slots)]))
+        return cls(
+            num_slots=num_slots,
+            reachable=reachable,
+            slots=slots,
+            slot_starts=slot_starts,
+            group_bounds=tuple(zip(group_starts, group_ends)),
+            contrib_dests=sources,
+            contrib_bonus=mul_bonus + weights,
+        )
+
+    def replay(self) -> np.ndarray:
+        """Adjoint (1±ε) factor counts of every slot (root cone only)."""
+        adjoints = np.zeros(self.num_slots, dtype=np.int64)
+        total = len(self.contrib_dests)
+        for start, end in self.group_bounds:
+            contrib_start = self.slot_starts[start]
+            contrib_end = (
+                self.slot_starts[end] if end < len(self.slots) else total
+            )
+            values = (
+                adjoints[self.contrib_dests[contrib_start:contrib_end]]
+                + self.contrib_bonus[contrib_start:contrib_end]
+            )
+            adjoints[self.slots[start:end]] = np.maximum.reduceat(
+                values, self.slot_starts[start:end] - contrib_start
+            )
+        return adjoints
+
+
+def _param_log2(tape: Tape, zero_marker: float) -> np.ndarray:
+    """log₂ of the deduplicated θ table (``zero_marker`` for zeros).
+
+    Computed with :func:`math.log2` per unique value so the leaf logs are
+    bit-identical to the sequential reference walkers (numpy's SIMD
+    ``log2`` can differ from libm in the last ulp).
+    """
+    return np.asarray(
+        [
+            math.log2(value) if value > 0.0 else zero_marker
+            for value in tape.param_values
+        ],
+        dtype=np.float64,
+    )
+
+
+class TapeAnalysis:
+    """Vectorized precision-independent analysis of one compiled tape.
+
+    Results are numpy arrays over *slots* (scratch slots included);
+    circuit-node views are the first ``tape.num_nodes`` entries. All
+    sweeps are lazy and cached — construct once per tape (see
+    :func:`tape_analysis_for`) and reuse across every query, exactly
+    like the tape itself.
+    """
+
+    def __init__(self, tape: Tape) -> None:
+        self.tape = tape
+        self.schedule = ForwardSchedule.of(tape)
+        self._max_log2: np.ndarray | None = None
+        self._min_log2: np.ndarray | None = None
+        self._forward_counts: np.ndarray | None = None
+        self._adjoint_schedule: AdjointSchedule | None = None
+        self._adjoint_counts: np.ndarray | None = None
+
+    # -- extremes -------------------------------------------------------
+    @property
+    def max_log2(self) -> np.ndarray:
+        """Per-slot log₂ of the maximum attainable value (λ=1 sweep)."""
+        if self._max_log2 is None:
+            self._max_log2 = self._sweep_max()
+        return self._max_log2
+
+    @property
+    def min_log2(self) -> np.ndarray:
+        """Per-slot log₂ lower bound of the minimum non-zero value."""
+        if self._min_log2 is None:
+            self._min_log2 = self._sweep_min()
+        return self._min_log2
+
+    def _sweep_max(self) -> np.ndarray:
+        tape = self.tape
+        values = np.full(tape.num_slots, NEG_INF)
+        values[tape.indicator_slots] = 0.0
+        values[tape.param_slots] = _param_log2(tape, NEG_INF)[tape.param_ids]
+        # The errstate guard covers -inf − -inf = nan inside identically
+        # zero sums; the nan rows are re-marked -inf below.
+        with np.errstate(invalid="ignore"):
+            for opcode, dests, lefts, rights in self.schedule.segments:
+                left = values[lefts]
+                right = values[rights]
+                if opcode == OP_SUM:
+                    peak = np.maximum(left, right)
+                    result = peak + np.log2(
+                        np.exp2(left - peak) + np.exp2(right - peak)
+                    )
+                    values[dests] = np.where(peak == NEG_INF, NEG_INF, result)
+                elif opcode == OP_PRODUCT:
+                    # -inf + inf never occurs (no +inf in the max domain).
+                    values[dests] = left + right
+                elif opcode == OP_MAX:
+                    values[dests] = np.maximum(left, right)
+                else:  # OP_COPY
+                    values[dests] = left
+        return values
+
+    def _sweep_min(self) -> np.ndarray:
+        tape = self.tape
+        values = np.full(tape.num_slots, POS_INF)
+        values[tape.indicator_slots] = 0.0
+        values[tape.param_slots] = _param_log2(tape, POS_INF)[tape.param_ids]
+        for opcode, dests, lefts, rights in self.schedule.segments:
+            left = values[lefts]
+            right = values[rights]
+            if opcode == OP_PRODUCT:
+                # The min domain holds no -inf, so an identically-zero
+                # (+inf) factor poisons the product through plain
+                # addition, exactly like the sequential walker.
+                values[dests] = left + right
+            elif opcode == OP_COPY:
+                values[dests] = left
+            else:  # SUM and MAX both take the smallest non-zero child
+                values[dests] = np.minimum(left, right)
+        return values
+
+    # -- float factor counts -------------------------------------------
+    @property
+    def forward_counts(self) -> np.ndarray:
+        """Per-slot (1±ε) factor counts of the upward pass (int64)."""
+        if self._forward_counts is None:
+            self._forward_counts = self._sweep_forward_counts()
+        return self._forward_counts
+
+    def _sweep_forward_counts(self) -> np.ndarray:
+        tape = self.tape
+        counts = np.zeros(tape.num_slots, dtype=np.int64)
+        counts[tape.param_slots] = 1  # one conversion rounding per θ
+        for opcode, dests, lefts, rights in self.schedule.segments:
+            left = counts[lefts]
+            right = counts[rights]
+            if opcode == OP_SUM:
+                counts[dests] = np.maximum(left, right) + 1
+            elif opcode == OP_PRODUCT:
+                counts[dests] = left + right + 1
+            elif opcode == OP_MAX:
+                counts[dests] = np.maximum(left, right)
+            else:  # OP_COPY
+                counts[dests] = left
+        return counts
+
+    @property
+    def adjoint_counts(self) -> np.ndarray:
+        """Per-slot (1±ε) factor counts of the downward (adjoint) sweep.
+
+        Counts of slots outside the root cone are 0, mirroring the
+        sequential walker's ``None``-to-0 projection. Raises for MAX
+        (MPE) tapes and rootless tapes like the backward executors do.
+        """
+        if self._adjoint_counts is None:
+            self.tape.require_differentiable()
+            if self._adjoint_schedule is None:
+                self._adjoint_schedule = AdjointSchedule.of(
+                    self.tape, self.forward_counts
+                )
+            self._adjoint_counts = self._adjoint_schedule.replay()
+        return self._adjoint_counts
+
+    @property
+    def indicator_adjoint_counts(self) -> dict[tuple[str, int], int]:
+        """Adjoint counts projected onto the λ leaves (joint marginals)."""
+        counts = self.adjoint_counts
+        return {
+            key: int(counts[slot])
+            for slot, key in zip(
+                self.tape.indicator_slots, self.tape.indicator_keys
+            )
+        }
+
+    # -- fixed-point absolute-error deltas ------------------------------
+    def fixed_deltas(
+        self,
+        rounding_errors: np.ndarray,
+        max_values: np.ndarray,
+    ) -> np.ndarray:
+        """Fixed-point error deltas for a whole batch of precisions.
+
+        ``rounding_errors`` is the per-format per-operation rounding
+        constant (``ulp_fraction · 2^-F``, shape ``(n_formats,)``);
+        ``max_values`` the per-slot linear-domain max-value clamp from
+        extreme analysis. Returns ``(num_slots, n_formats)`` deltas —
+        one §3.1.3 propagation per format, all from a single scheduled
+        replay. Element-wise arithmetic matches the sequential walker's
+        association order, so each column is bit-identical to a scalar
+        propagation at that format.
+        """
+        tape = self.tape
+        rounding_errors = np.atleast_1d(
+            np.asarray(rounding_errors, dtype=np.float64)
+        )
+        deltas = np.zeros((tape.num_slots, len(rounding_errors)))
+        deltas[tape.param_slots] = rounding_errors
+        for opcode, dests, lefts, rights in self.schedule.segments:
+            left = deltas[lefts]
+            right = deltas[rights]
+            if opcode == OP_SUM:
+                deltas[dests] = left + right
+            elif opcode == OP_PRODUCT:
+                # In-place accumulation in the sequential walker's
+                # association order, so every column stays bit-identical.
+                result = max_values[lefts, None] * right
+                result += max_values[rights, None] * left
+                result += left * right
+                result += rounding_errors
+                deltas[dests] = result
+            elif opcode == OP_MAX:
+                deltas[dests] = np.maximum(left, right)
+            else:  # OP_COPY
+                deltas[dests] = left
+        return deltas
+
+
+#: Per-tape analysis cache; an analysis dies with its tape (and the tape
+#: with its circuit), so long-lived services never leak.
+_ANALYSIS_CACHE: "weakref.WeakKeyDictionary[Tape, TapeAnalysis]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def tape_analysis_for(tape: Tape) -> TapeAnalysis:
+    """The cached :class:`TapeAnalysis` of a compiled tape."""
+    analysis = _ANALYSIS_CACHE.get(tape)
+    if analysis is None:
+        analysis = TapeAnalysis(tape)
+        _ANALYSIS_CACHE[tape] = analysis
+    return analysis
+
+
+def analysis_for(circuit: ArithmeticCircuit) -> TapeAnalysis:
+    """The cached analysis of a circuit's tape (recompiles when stale)."""
+    return tape_analysis_for(tape_for(circuit))

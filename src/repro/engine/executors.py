@@ -46,7 +46,7 @@ from ..arith.floatingpoint import (
 )
 from ..arith.rounding import RoundingMode
 from .encoder import EvidenceEncoder
-from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape
+from .tape import OP_MAX, OP_PRODUCT, OP_SUM, Tape
 
 
 # ----------------------------------------------------------------------

@@ -10,16 +10,26 @@ specification.
 The scalar quantized oracle needs no copy: the generic per-node loop in
 :func:`repro.ac.evaluate.evaluate_quantized` is itself retained as the
 reference for all quantized executors.
+
+PR 3 adds the frozen **analysis** walkers: the sequential op-by-op
+sweeps for max/min-value extremes, forward (1±ε) factor counts,
+fixed-point error-delta propagation, and the adjoint factor counts of
+the backward program — exactly the pre-vectorization implementations of
+``repro.core.extremes`` / ``repro.core.bounds`` (which now delegate to
+:mod:`repro.engine.analysis`). They remain the specification the
+vectorized schedules are differentially tested against.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..ac.circuit import ArithmeticCircuit
 from ..ac.nodes import OpType
+from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, tape_for
 
 
 def reference_evaluate_values(
@@ -100,6 +110,163 @@ def reference_partial_derivatives(
                 partials[children[position]] += suffix_seed * prefix[position]
                 suffix_seed *= values[children[position]]
     return values, partials
+
+
+def _reference_leaf_log2(tape, values: list[float], zero_marker: float) -> None:
+    """Frozen leaf seeding of the log₂ analysis walkers."""
+    for slot in tape.indicator_slots:
+        values[slot] = 0.0  # λ extreme non-zero value is 1
+    for slot, value_id in zip(tape.param_slots, tape.param_ids):
+        value = float(tape.param_values[value_id])
+        values[slot] = math.log2(value) if value > 0.0 else zero_marker
+
+
+def reference_max_log2_values(circuit: ArithmeticCircuit) -> list[float]:
+    """Frozen sequential max-value analysis (pre-vectorization sweep)."""
+    tape = tape_for(circuit)
+    neg_inf = float("-inf")
+    values = [neg_inf] * tape.num_slots
+    _reference_leaf_log2(tape, values, neg_inf)
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            left_value, right_value = values[left], values[right]
+            peak = left_value if left_value >= right_value else right_value
+            if peak == neg_inf:
+                values[dest] = neg_inf
+            else:
+                values[dest] = peak + math.log2(
+                    2.0 ** (left_value - peak) + 2.0 ** (right_value - peak)
+                )
+        elif opcode == OP_PRODUCT:
+            values[dest] = values[left] + values[right]
+        elif opcode == OP_MAX:
+            values[dest] = max(values[left], values[right])
+        else:  # OP_COPY
+            values[dest] = values[left]
+    return values[: tape.num_nodes]
+
+
+def reference_min_log2_positive_values(
+    circuit: ArithmeticCircuit,
+) -> list[float]:
+    """Frozen sequential min-value analysis (pre-vectorization sweep)."""
+    tape = tape_for(circuit)
+    pos_inf = float("inf")
+    values = [pos_inf] * tape.num_slots
+    _reference_leaf_log2(tape, values, pos_inf)
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_PRODUCT:
+            left_value, right_value = values[left], values[right]
+            if left_value == pos_inf or right_value == pos_inf:
+                values[dest] = pos_inf  # identically-zero factor
+            else:
+                values[dest] = left_value + right_value
+        elif opcode == OP_COPY:
+            values[dest] = values[left]
+        else:  # SUM and MAX both take the smallest non-zero child
+            values[dest] = min(values[left], values[right])
+    return values[: tape.num_nodes]
+
+
+def reference_forward_float_counts(circuit: ArithmeticCircuit) -> list[int]:
+    """Frozen sequential (1±ε) factor-count sweep (§3.1.3, eqs. 10/12)."""
+    tape = tape_for(circuit)
+    counts = [0] * tape.num_slots
+    for slot in tape.param_slots:
+        counts[slot] = 1  # one conversion rounding per θ leaf
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            counts[dest] = max(counts[left], counts[right]) + 1
+        elif opcode == OP_PRODUCT:
+            counts[dest] = counts[left] + counts[right] + 1
+        elif opcode == OP_MAX:
+            counts[dest] = max(counts[left], counts[right])
+        else:  # OP_COPY
+            counts[dest] = counts[left]
+    return counts[: tape.num_nodes]
+
+
+def reference_fixed_deltas(
+    circuit: ArithmeticCircuit,
+    rounding_error: float,
+    max_values: Sequence[float],
+) -> list[float]:
+    """Frozen sequential fixed-point error-delta propagation (eqs. 3/5).
+
+    ``rounding_error`` is the per-operation constant
+    ``ulp_fraction · 2^-F``; ``max_values`` the per-node linear-domain
+    maxima from extreme analysis (binary circuits: slots == nodes).
+    """
+    tape = tape_for(circuit)
+    deltas = [0.0] * tape.num_slots
+    for slot in tape.param_slots:
+        deltas[slot] = rounding_error
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            deltas[dest] = deltas[left] + deltas[right]
+        elif opcode == OP_PRODUCT:
+            deltas[dest] = (
+                max_values[left] * deltas[right]
+                + max_values[right] * deltas[left]
+                + deltas[left] * deltas[right]
+                + rounding_error
+            )
+        elif opcode == OP_MAX:
+            deltas[dest] = max(deltas[left], deltas[right])
+        else:  # OP_COPY
+            deltas[dest] = deltas[left]
+    return deltas[: tape.num_nodes]
+
+
+def reference_adjoint_float_counts(circuit: ArithmeticCircuit) -> list[int]:
+    """Frozen sequential adjoint factor-count sweep (the PR 2 walker).
+
+    Replays the reversed op stream with the order-dependent
+    ``max(a, b) + 1`` accumulate fold and the ``None`` short-circuit on
+    the first contribution into an exactly-zero adjoint — the semantics
+    the vectorized closed-form fold must reproduce exactly.
+    """
+    tape = tape_for(circuit)
+    tape.require_differentiable()
+    root = tape.require_root()
+    value_counts = [0] * tape.num_slots
+    for slot in tape.param_slots:
+        value_counts[slot] = 1
+    for opcode, dest, left, right in tape.op_tuples:
+        if opcode == OP_SUM:
+            value_counts[dest] = max(value_counts[left], value_counts[right]) + 1
+        elif opcode == OP_PRODUCT:
+            value_counts[dest] = value_counts[left] + value_counts[right] + 1
+        else:  # OP_COPY (MAX rejected above)
+            value_counts[dest] = value_counts[left]
+
+    adjoints: list[int | None] = [None] * tape.num_slots
+    adjoints[root] = 0
+
+    def accumulate(slot: int, contribution: int) -> None:
+        current = adjoints[slot]
+        adjoints[slot] = (
+            contribution
+            if current is None
+            else max(current, contribution) + 1
+        )
+
+    for opcode, dest, left, right in tape.backward.op_tuples:
+        seed = adjoints[dest]
+        if seed is None:
+            continue  # outside the root cone: adjoint is exactly zero
+        if opcode == OP_PRODUCT:
+            accumulate(left, seed + value_counts[right] + 1)
+            accumulate(right, seed + value_counts[left] + 1)
+        elif opcode == OP_SUM:
+            accumulate(left, seed)
+            accumulate(right, seed)
+        else:  # OP_COPY
+            accumulate(left, seed)
+    return [
+        0 if count is None else count
+        for count in adjoints[: tape.num_nodes]
+    ]
 
 
 def reference_evaluate_batch(

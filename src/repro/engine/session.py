@@ -24,6 +24,7 @@ import numpy as np
 from ..ac.circuit import ArithmeticCircuit
 from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
 from ..arith.floatingpoint import FloatBackend, FloatFormat
+from .analysis import TapeAnalysis, tape_analysis_for
 from .encoder import EvidenceEncoder
 from .executors import (
     FixedPointBatchExecutor,
@@ -90,6 +91,18 @@ class InferenceSession:
                 self.tape, self.encoder
             )
         return self._scalar_quantized_cache
+
+    @property
+    def analysis(self) -> TapeAnalysis:
+        """The cached precision-independent analysis of this tape.
+
+        One vectorized :class:`~repro.engine.analysis.TapeAnalysis` per
+        compiled tape, shared with :func:`repro.engine.analysis_for` —
+        the optimizer's extreme values and factor counts are computed
+        once per circuit and reused by every format search, exactly
+        like the tape is reused by every evaluation.
+        """
+        return tape_analysis_for(self.tape)
 
     # -- exact float64 --------------------------------------------------
     def evaluate(self, evidence: Mapping[str, int] | None = None) -> float:

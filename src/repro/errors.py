@@ -8,6 +8,38 @@ cycles.
 from __future__ import annotations
 
 
+class NonBinaryCircuitError(ValueError):
+    """An analysis that models 2-input hardware got an n-ary circuit.
+
+    Bound propagation, extreme-driven format search and hardware
+    generation all assume each operator is one 2-input rounding; running
+    them on a wider decomposition would describe hardware that is never
+    generated. Raised with a message naming the fix
+    (``repro.ac.transform.binarize``); a :class:`ValueError` subclass so
+    legacy ``except`` clauses keep working.
+    """
+
+
+class InfeasibleFormatError(ValueError):
+    """No number format within the search cap meets the tolerance.
+
+    Raised by representation selection when both the fixed- and
+    floating-point searches fail (the paper's Table 2 prints these cases
+    as ``>64``). Carries both per-representation reasons in the message;
+    the CLI catches it and prints the message instead of a traceback. A
+    :class:`ValueError` subclass so legacy ``except`` clauses keep
+    working.
+    """
+
+    def __init__(self, fixed_reason: str | None, float_reason: str | None):
+        self.fixed_reason = fixed_reason
+        self.float_reason = float_reason
+        super().__init__(
+            "no feasible representation within the search cap: "
+            f"fixed: {fixed_reason}; float: {float_reason}"
+        )
+
+
 class ZeroEvidenceError(ZeroDivisionError):
     """The conditioning evidence has probability zero.
 

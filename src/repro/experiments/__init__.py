@@ -34,6 +34,11 @@ from .validation import (
     run_float_validation,
     run_posterior_validation,
 )
+from .workloads import (
+    WorkloadComparisonPoint,
+    render_workload_sweep,
+    workload_format_sweep,
+)
 
 __all__ = [
     "AccuracyPoint",
@@ -46,6 +51,7 @@ __all__ = [
     "ValidationPoint",
     "ValidationSeries",
     "VariantAblationRow",
+    "WorkloadComparisonPoint",
     "accuracy_impact_sweep",
     "alarm_marginal_evidences",
     "bound_variant_ablation",
@@ -55,6 +61,7 @@ __all__ = [
     "render_series",
     "render_table2",
     "render_tolerance_sweep",
+    "render_workload_sweep",
     "run_alarm_case",
     "run_benchmark_case",
     "run_fixed_validation",
@@ -64,4 +71,5 @@ __all__ = [
     "table2_csv",
     "tolerance_energy_sweep",
     "validation_csv",
+    "workload_format_sweep",
 ]

@@ -1,0 +1,124 @@
+"""Joint-vs-marginals workload comparison for the §3.3 optimizer (PR 3).
+
+The engine serves two repeated-query workloads from the same compiled
+tape: joint evaluations (one upward sweep per query) and batched
+posterior marginals (one upward plus one downward sweep). The adjoint
+factor counts of the backward program are strictly larger than the
+forward counts, so a format chosen for joints is *not* automatically
+safe for marginals — this sweep quantifies the gap by running the
+workload-aware search for both workloads across a tolerance range and
+reporting the selected formats, bounds and energy side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.framework import ProbLP, ProbLPConfig
+from ..core.optimizer import Workload
+from ..core.queries import ErrorTolerance, QueryType
+from ..core.report import ProbLPResult, format_name
+
+
+@dataclass(frozen=True)
+class WorkloadComparisonPoint:
+    """Formats selected for the two workloads at one tolerance."""
+
+    tolerance: float
+    joint: ProbLPResult
+    marginals: ProbLPResult
+
+    @property
+    def joint_format(self) -> str:
+        return f"{self.joint.selected.kind} [{format_name(self.joint.selected_format)}]"
+
+    @property
+    def marginals_format(self) -> str:
+        return (
+            f"{self.marginals.selected.kind} "
+            f"[{format_name(self.marginals.selected_format)}]"
+        )
+
+    @property
+    def marginals_bits_premium(self) -> int:
+        """Extra precision bits the marginals workload demands.
+
+        Compared between the float candidates of both searches (the
+        marginals workload always selects float): how many more mantissa
+        bits the adjoint ``posterior_bound`` requires than the forward
+        root-query bound at the same tolerance.
+        """
+        joint_float = self.joint.selection.float_
+        marginals_float = self.marginals.selection.float_
+        if joint_float.fmt is None or marginals_float.fmt is None:
+            return 0
+        return (
+            marginals_float.fmt.mantissa_bits - joint_float.fmt.mantissa_bits
+        )
+
+
+def workload_format_sweep(
+    circuit,
+    tolerances: Sequence[float] = (0.1, 0.03, 0.01, 0.003, 1e-3, 1e-4),
+    query: QueryType = QueryType.MARGINAL,
+    config: ProbLPConfig | None = None,
+    validation_batch: Sequence[Mapping[str, int]] | None = None,
+) -> list[WorkloadComparisonPoint]:
+    """Run the workload-aware search for both workloads per tolerance.
+
+    One :class:`~repro.core.framework.ProbLP` instance per tolerance,
+    but every search replays the same cached tape analysis — the whole
+    sweep walks the circuit's extremes/counts exactly once. Passing
+    ``validation_batch`` measures each selected format empirically
+    through the engine's vectorized quantized executors.
+    """
+    points = []
+    for tolerance in tolerances:
+        framework = ProbLP(
+            circuit, query, ErrorTolerance.absolute(tolerance), config
+        )
+        points.append(
+            WorkloadComparisonPoint(
+                tolerance=tolerance,
+                joint=framework.optimize(
+                    Workload.JOINT, validation_batch=validation_batch
+                ),
+                marginals=framework.optimize(
+                    Workload.MARGINALS, validation_batch=validation_batch
+                ),
+            )
+        )
+    return points
+
+
+def render_workload_sweep(
+    points: list[WorkloadComparisonPoint],
+) -> str:
+    """ASCII table of the joint-vs-marginals format comparison."""
+    from ..core.report import render_table
+
+    rows = []
+    for point in points:
+        row = {
+            "abs tol": f"{point.tolerance:g}",
+            "joint pick": point.joint_format,
+            "marginals pick": point.marginals_format,
+            "extra M bits": f"+{point.marginals_bits_premium}",
+            "posterior c": str(point.marginals.posterior_factor_count),
+        }
+        if point.marginals.empirical is not None:
+            row["measured max err"] = (
+                f"{point.marginals.empirical.max_error:.2e}"
+            )
+        rows.append(row)
+    columns = [
+        "abs tol",
+        "joint pick",
+        "marginals pick",
+        "extra M bits",
+        "posterior c",
+    ]
+    if points and points[0].marginals.empirical is not None:
+        columns.append("measured max err")
+    return render_table(rows, columns)

@@ -19,8 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Union
 
-import numpy as np
-
 SPNNode = Union["LeafNode", "ProductNode", "SumNode"]
 
 

@@ -22,14 +22,10 @@ class TestPartialDerivatives:
         evidence = {"WetGrass": 1}
         values, partials = partial_derivatives(circuit, evidence)
         # Perturb one indicator numerically via a modified evaluation.
-        from repro.ac.evaluate import evaluate_values
-
         lambda_values = circuit.indicator_assignment(evidence)
         target = circuit.indicators[("Rain", 0)]
 
         def evaluate_with_lambda(value):
-            import copy
-
             vals = [0.0] * len(circuit)
             for index, node in enumerate(circuit.nodes):
                 if node.op.value == "parameter":

@@ -31,7 +31,7 @@ class TestCircuitToDot:
     def test_root_highlighted(self, sprinkler_ac):
         circuit = sprinkler_ac.circuit
         text = circuit_to_dot(circuit)
-        assert f"peripheries=2" in text
+        assert "peripheries=2" in text
 
     def test_size_limit(self, alarm_binary):
         with pytest.raises(ValueError, match="max_nodes"):

@@ -5,7 +5,6 @@ backends — any deviation means the fast path silently computes different
 hardware.
 """
 
-import numpy as np
 import pytest
 
 from repro.ac.evaluate import evaluate_quantized

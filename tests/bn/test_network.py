@@ -123,6 +123,46 @@ class TestSemantics:
         assert "A" in net.variable_names
 
 
+class TestOptimizePrecision:
+    def test_joint_default(self, sprinkler):
+        result = sprinkler.optimize_precision(tolerance=0.01)
+        assert result.workload == "joint"
+        assert result.selected.feasible
+        assert result.selected.query_bound <= 0.01
+
+    def test_marginals_workload_selects_float(self, sprinkler):
+        result = sprinkler.optimize_precision(
+            tolerance=0.01, workload="marginals"
+        )
+        assert result.workload == "marginals"
+        assert result.selected.kind == "float"
+        assert result.posterior_factor_count >= result.float_factor_count
+
+    def test_reuses_cached_circuit(self, sprinkler):
+        sprinkler.posterior_marginals({})
+        circuit = sprinkler._marginal_circuit
+        sprinkler.optimize_precision(tolerance=0.01)
+        assert sprinkler._marginal_circuit is circuit
+
+    def test_typed_arguments_accepted(self, sprinkler):
+        from repro.core import ErrorTolerance, QueryType
+
+        result = sprinkler.optimize_precision(
+            tolerance=ErrorTolerance.relative(0.01),
+            query=QueryType.CONDITIONAL,
+        )
+        assert result.selected.kind == "float"
+
+    def test_validation_batch_measured(self, sprinkler):
+        result = sprinkler.optimize_precision(
+            tolerance=0.01,
+            workload="marginals",
+            validation_batch=[{"Rain": 1}, {}],
+        )
+        assert result.empirical is not None
+        assert result.empirical.max_error <= result.selected.query_bound
+
+
 class TestTopology:
     def test_topological_order_respects_edges(self, alarm):
         order = alarm.topological_order

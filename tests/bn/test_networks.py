@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bn.networks import (
-    alarm_network,
     asia_network,
     available_networks,
     chain_network,

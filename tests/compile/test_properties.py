@@ -6,7 +6,6 @@ inference. Hypothesis drives networks, evidence patterns and elimination
 orders.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

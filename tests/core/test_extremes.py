@@ -6,7 +6,6 @@ import pytest
 
 from repro.ac.circuit import ArithmeticCircuit
 from repro.ac.evaluate import evaluate_values
-from repro.ac.transform import binarize
 from repro.core.extremes import (
     ExtremeAnalysis,
     max_log2_values,

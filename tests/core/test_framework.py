@@ -122,6 +122,31 @@ class TestExecution:
         exact = sprinkler_ac.evaluate(evidence)
         assert abs(quantized - exact) <= 0.01
 
+    def test_optimize_validates_against_the_measured_bound(
+        self, sprinkler_ac
+    ):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.optimize(
+            workload="joint", validation_batch=[{"Rain": 1}, {}]
+        )
+        assert result.empirical is not None
+        assert result.empirical.max_error <= result.selected.query_bound
+
+    def test_optimize_refuses_conditional_validation(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac,
+            QueryType.CONDITIONAL,
+            ErrorTolerance.absolute(0.01),
+        )
+        # The batch holds evidence only — no (q, e) pairs — so measuring
+        # root evaluations against the conditional bound would be bogus.
+        with pytest.raises(ValueError, match="conditional"):
+            framework.optimize(validation_batch=[{"Rain": 1}])
+        # Without a batch the conditional search itself still works.
+        assert framework.optimize().selected.feasible
+
     def test_backend_for_rejects_unknown(self, sprinkler_ac):
         framework = ProbLP(
             sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)

@@ -7,6 +7,7 @@ from repro.ac.evaluate import evaluate_quantized, evaluate_real
 from repro.core.optimizer import (
     CircuitAnalysis,
     MIN_PRECISION_BITS,
+    Workload,
     required_exponent_bits,
     required_integer_bits,
     search_fixed_format,
@@ -14,6 +15,7 @@ from repro.core.optimizer import (
     select_representation,
 )
 from repro.core.queries import ErrorTolerance, QuerySpec, QueryType
+from repro.errors import InfeasibleFormatError, NonBinaryCircuitError
 from tests.conftest import all_evidence_combinations
 
 
@@ -30,10 +32,28 @@ class TestCircuitAnalysis:
         circuit.set_root(circuit.add_sum(terms))
         with pytest.raises(ValueError, match="binary"):
             CircuitAnalysis.of(circuit)
+        with pytest.raises(NonBinaryCircuitError):
+            CircuitAnalysis.of(circuit)
 
     def test_bundles_everything(self, sprinkler_analysis):
         assert sprinkler_analysis.float_counts.root_count > 0
         assert sprinkler_analysis.extremes.root_max_log2 <= 1e-9
+
+    def test_adjoint_counts_exceed_forward(self, sprinkler_analysis):
+        adjoint = sprinkler_analysis.adjoint
+        assert adjoint is not None
+        assert (
+            adjoint.max_indicator_count
+            >= sprinkler_analysis.float_counts.root_count
+        )
+
+    def test_adjoint_none_for_mpe_circuits(self, sprinkler):
+        from repro.ac.transform import binarize
+        from repro.compile import compile_mpe
+
+        binary = binarize(compile_mpe(sprinkler).circuit).circuit
+        analysis = CircuitAnalysis.of(binary)
+        assert analysis.adjoint is None
 
 
 class TestRequiredBits:
@@ -142,6 +162,89 @@ class TestSearchFloat:
         assert not option.feasible
 
 
+class TestWorkloadAwareSearch:
+    def test_workload_coerce(self):
+        assert Workload.coerce("joint") is Workload.JOINT
+        assert Workload.coerce("marginals") is Workload.MARGINALS
+        assert Workload.coerce(Workload.MARGINALS) is Workload.MARGINALS
+        with pytest.raises(ValueError, match="workload"):
+            Workload.coerce("posteriors")
+
+    def test_marginals_excludes_fixed_by_policy(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        option = search_fixed_format(
+            sprinkler_analysis, target, workload=Workload.MARGINALS
+        )
+        assert not option.feasible
+        assert "policy" in option.infeasible_reason
+
+    def test_marginals_float_uses_posterior_bound(self, sprinkler_analysis):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        option = search_float_format(
+            sprinkler_analysis, target, workload="marginals"
+        )
+        assert option.feasible
+        adjoint = sprinkler_analysis.adjoint
+        bound = adjoint.posterior_bound(option.fmt.mantissa_bits)
+        assert option.query_bound == pytest.approx(bound)
+        assert bound <= 0.01
+        # One fewer mantissa bit would not satisfy the posterior bound.
+        assert adjoint.posterior_bound(option.fmt.mantissa_bits - 1) > 0.01
+
+    def test_marginals_needs_at_least_joint_precision(
+        self, sprinkler_analysis
+    ):
+        target = spec(QueryType.MARGINAL, ErrorTolerance.relative(0.001))
+        joint = search_float_format(
+            sprinkler_analysis, target, workload=Workload.JOINT
+        )
+        marginals = search_float_format(
+            sprinkler_analysis, target, workload=Workload.MARGINALS
+        )
+        assert (
+            marginals.fmt.mantissa_bits >= joint.fmt.mantissa_bits
+        )
+        # Extra exponent headroom for downward intermediates.
+        assert marginals.fmt.exponent_bits >= joint.fmt.exponent_bits
+
+    def test_marginals_rejects_mpe_circuits(self, sprinkler):
+        from repro.ac.transform import binarize
+        from repro.compile import compile_mpe
+
+        binary = binarize(compile_mpe(sprinkler).circuit).circuit
+        analysis = CircuitAnalysis.of(binary)
+        target = spec(QueryType.MPE, ErrorTolerance.absolute(0.01))
+        with pytest.raises(ValueError, match="MPE"):
+            search_float_format(
+                analysis, target, workload=Workload.MARGINALS
+            )
+
+    def test_marginals_bound_validated_empirically(
+        self, sprinkler, sprinkler_binary, sprinkler_analysis
+    ):
+        from repro.engine import session_for
+
+        target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.001))
+        option = search_float_format(
+            sprinkler_analysis, target, workload=Workload.MARGINALS
+        )
+        session = session_for(sprinkler_binary)
+        batch = all_evidence_combinations(sprinkler)
+        # Posteriors are undefined under zero-probability evidence.
+        probabilities = session.evaluate_batch(batch)
+        batch = [
+            evidence
+            for evidence, probability in zip(batch, probabilities)
+            if probability > 0.0
+        ]
+        exact = session.marginals_batch(batch)
+        quantized = session.quantized_marginals_batch(option.fmt, batch)
+        worst = max(
+            float(abs(quantized[v] - exact[v]).max()) for v in exact
+        )
+        assert worst <= option.query_bound <= 0.001
+
+
 class TestSelectRepresentation:
     def test_cheaper_feasible_wins(self, sprinkler_analysis):
         target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
@@ -166,6 +269,10 @@ class TestSelectRepresentation:
         float_ = search_float_format(sprinkler_analysis, target, max_bits=8)
         with pytest.raises(ValueError, match="no feasible"):
             select_representation(fixed, float_)
+        with pytest.raises(InfeasibleFormatError) as info:
+            select_representation(fixed, float_)
+        assert info.value.fixed_reason == fixed.infeasible_reason
+        assert info.value.float_reason == float_.infeasible_reason
 
     def test_describe_strings(self, sprinkler_analysis):
         target = spec(QueryType.MARGINAL, ErrorTolerance.absolute(0.01))

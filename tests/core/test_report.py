@@ -1,0 +1,146 @@
+"""Tests for repro.core.report: serialization round-trip and rendering."""
+
+import json
+
+import pytest
+
+from repro.arith import FixedPointFormat, FloatFormat, RoundingMode
+from repro.core import ErrorTolerance, ProbLP, QueryType, Workload
+from repro.core.report import (
+    EmpiricalValidation,
+    ProbLPResult,
+    format_from_payload,
+    format_name,
+    format_payload,
+    option_cell,
+    render_table,
+)
+
+
+@pytest.fixture(scope="module")
+def framework(sprinkler):
+    from repro.compile import compile_network
+
+    return ProbLP(
+        compile_network(sprinkler),
+        QueryType.MARGINAL,
+        ErrorTolerance.absolute(0.01),
+    )
+
+
+@pytest.fixture(scope="module")
+def joint_result(framework):
+    return framework.analyze()
+
+
+class TestFormatPayload:
+    def test_fixed_round_trip(self):
+        fmt = FixedPointFormat(3, 17, RoundingMode.TRUNCATE)
+        assert format_from_payload(format_payload(fmt)) == fmt
+
+    def test_float_round_trip(self):
+        fmt = FloatFormat(8, 23, RoundingMode.NEAREST_UP)
+        assert format_from_payload(format_payload(fmt)) == fmt
+
+    def test_none_passes_through(self):
+        assert format_payload(None) is None
+        assert format_from_payload(None) is None
+
+
+class TestResultRoundTrip:
+    def test_json_round_trip_joint(self, joint_result):
+        payload = json.loads(json.dumps(joint_result.to_json_dict()))
+        rebuilt = ProbLPResult.from_json_dict(payload)
+        assert rebuilt == joint_result
+        assert rebuilt.selected_format == joint_result.selected_format
+
+    def test_json_round_trip_marginals_with_validation(self, framework):
+        batch = [{"Rain": 1}, {"Sprinkler": 0}, {}]
+        result = framework.optimize(
+            workload=Workload.MARGINALS, validation_batch=batch
+        )
+        payload = json.loads(json.dumps(result.to_json_dict()))
+        rebuilt = ProbLPResult.from_json_dict(payload)
+        assert rebuilt == result
+        assert rebuilt.empirical is not None
+        assert rebuilt.empirical.instances == 3
+        assert rebuilt.workload == "marginals"
+
+    def test_payload_is_plain_json(self, joint_result):
+        payload = joint_result.to_json_dict()
+        text = json.dumps(payload, sort_keys=True)
+        assert json.loads(text) == payload
+
+    def test_selected_identity_preserved(self, joint_result):
+        rebuilt = ProbLPResult.from_json_dict(joint_result.to_json_dict())
+        assert rebuilt.selected.kind == joint_result.selected.kind
+        assert rebuilt.selection.selected in (
+            rebuilt.selection.fixed,
+            rebuilt.selection.float_,
+        )
+
+    def test_missing_optional_fields_default(self, joint_result):
+        payload = joint_result.to_json_dict()
+        payload.pop("workload")
+        payload.pop("posterior_factor_count")
+        payload.pop("empirical")
+        rebuilt = ProbLPResult.from_json_dict(payload)
+        assert rebuilt.workload == "joint"
+        assert rebuilt.posterior_factor_count is None
+        assert rebuilt.empirical is None
+
+
+class TestRendering:
+    def test_summary_mentions_everything(self, framework):
+        batch = [{"Rain": 1}, {}]
+        result = framework.optimize(
+            workload="marginals", validation_batch=batch
+        )
+        text = result.summary()
+        assert "workload       : marginals" in text
+        assert "adjoint (1±ε)^c" in text
+        assert "validation     :" in text
+        assert "holds" in text
+
+    def test_summary_joint_omits_validation(self, joint_result):
+        text = joint_result.summary()
+        assert "validation" not in text
+        assert "workload       : joint" in text
+
+    def test_format_name(self):
+        assert format_name(FixedPointFormat(1, 15)) == "1, 15"
+        assert format_name(FloatFormat(8, 23)) == "8, 23"
+        assert format_name(None) == "-"
+
+    def test_option_cell_variants(self, joint_result):
+        feasible = joint_result.selection.selected
+        assert "(" in option_cell(feasible)
+
+    def test_empirical_describe(self):
+        validation = EmpiricalValidation(
+            workload="joint",
+            instances=5,
+            error_kind="absolute",
+            max_error=1e-4,
+            mean_error=5e-5,
+            bound=1e-3,
+        )
+        assert validation.holds
+        assert "5 instances" in validation.describe()
+        violated = EmpiricalValidation(
+            workload="joint",
+            instances=5,
+            error_kind="absolute",
+            max_error=2e-3,
+            mean_error=5e-5,
+            bound=1e-3,
+        )
+        assert not violated.holds
+        assert "VIOLATED" in violated.describe()
+
+    def test_render_table_alignment(self):
+        rows = [{"a": "x", "b": "long-value"}, {"a": "yy"}]
+        text = render_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1

@@ -1,0 +1,244 @@
+"""Differential tests: vectorized tape analysis vs the frozen walkers.
+
+The level-scheduled numpy sweeps of :mod:`repro.engine.analysis` must
+reproduce the sequential op-stream walkers frozen in
+:mod:`repro.engine.reference` on random circuits:
+
+* **exactly** for every integer analysis (forward and adjoint factor
+  counts), the min-value analysis (pure +/min arithmetic) and the
+  fixed-point delta propagation given shared max values — reordering
+  independent ops cannot change their per-op arithmetic;
+* to float64 round-off for the max-value analysis, whose log-sum-exp
+  goes through numpy's SIMD ``log2``/``exp2`` kernels (bit-equal to
+  libm on most inputs, an ulp apart on some).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ac.circuit import ArithmeticCircuit
+from repro.ac.transform import binarize
+from repro.engine import tape_for
+from repro.engine.analysis import (
+    AdjointSchedule,
+    ForwardSchedule,
+    TapeAnalysis,
+    analysis_for,
+    tape_analysis_for,
+)
+from repro.engine.reference import (
+    reference_adjoint_float_counts,
+    reference_fixed_deltas,
+    reference_forward_float_counts,
+    reference_max_log2_values,
+    reference_min_log2_positive_values,
+)
+
+from .conftest import random_circuit
+
+
+def random_cases(rng, count=10):
+    """Random circuits in both n-ary and binarized form."""
+    for index in range(count):
+        circuit = random_circuit(
+            rng,
+            num_variables=3 + index % 3,
+            max_fanin=2 + index % 4,
+            with_max=index % 3 == 2,
+            zero_fraction=0.25 if index % 2 == 0 else 0.0,
+        )
+        yield circuit
+        yield binarize(circuit).circuit
+
+
+class TestForwardSchedule:
+    def test_levels_respect_dependencies(self, engine_rng):
+        circuit = random_circuit(engine_rng, max_fanin=5)
+        tape = tape_for(circuit)
+        schedule = ForwardSchedule.of(tape)
+        seen = set(tape.param_slots.tolist())
+        seen.update(tape.indicator_slots.tolist())
+        for _opcode, dests, lefts, rights in schedule.segments:
+            for left, right in zip(lefts.tolist(), rights.tolist()):
+                assert left in seen and right in seen
+            seen.update(dests.tolist())
+        assert len(seen) == tape.num_slots
+
+    def test_covers_every_op_once(self, engine_rng):
+        circuit = random_circuit(engine_rng, max_fanin=6)
+        tape = tape_for(circuit)
+        schedule = ForwardSchedule.of(tape)
+        total = sum(len(dests) for _o, dests, _l, _r in schedule.segments)
+        assert total == tape.num_operations
+
+    def test_empty_tape(self):
+        circuit = ArithmeticCircuit()
+        circuit.set_root(circuit.add_parameter(0.5))
+        schedule = ForwardSchedule.of(tape_for(circuit))
+        assert schedule.segments == ()
+
+
+class TestExtremesDifferential:
+    def test_max_log2_matches_walker(self, engine_rng):
+        for circuit in random_cases(engine_rng):
+            result = TapeAnalysis(tape_for(circuit)).max_log2[: len(circuit)]
+            reference = np.asarray(reference_max_log2_values(circuit))
+            finite = np.isfinite(reference)
+            assert (np.isneginf(result) == np.isneginf(reference)).all()
+            np.testing.assert_allclose(
+                result[finite], reference[finite], rtol=1e-12, atol=1e-9
+            )
+
+    def test_min_log2_identical_to_walker(self, engine_rng):
+        for circuit in random_cases(engine_rng):
+            result = TapeAnalysis(tape_for(circuit)).min_log2[: len(circuit)]
+            reference = np.asarray(
+                reference_min_log2_positive_values(circuit)
+            )
+            assert (
+                (result == reference)
+                | (np.isposinf(result) & np.isposinf(reference))
+            ).all()
+
+
+class TestFactorCountsDifferential:
+    def test_forward_counts_identical_to_walker(self, engine_rng):
+        for circuit in random_cases(engine_rng):
+            result = TapeAnalysis(tape_for(circuit)).forward_counts
+            reference = reference_forward_float_counts(circuit)
+            assert result[: len(circuit)].tolist() == reference
+
+    def test_adjoint_counts_identical_to_walker(self, engine_rng):
+        for circuit in random_cases(engine_rng, count=12):
+            tape = tape_for(circuit)
+            if tape.has_max:
+                continue
+            result = TapeAnalysis(tape).adjoint_counts
+            reference = reference_adjoint_float_counts(circuit)
+            assert result[: len(circuit)].tolist() == reference
+
+    def test_adjoint_rejects_max_circuits(self, engine_rng):
+        circuit = ArithmeticCircuit()
+        a = circuit.add_parameter(0.25)
+        b = circuit.add_indicator("A", 0)
+        circuit.set_root(circuit.add_max([a, b]))
+        with pytest.raises(ValueError, match="MAX"):
+            TapeAnalysis(tape_for(circuit)).adjoint_counts
+
+    def test_adjoint_fold_is_order_sensitive_like_walker(self):
+        """A fan-out node accumulating from parents at mixed depths.
+
+        The closed-form fold must reproduce the walker's reversed-stream
+        accumulate order, which interleaves contributions from parents
+        of different depths.
+        """
+        circuit = ArithmeticCircuit(dedup=False)
+        shared = circuit.add_parameter(0.5)
+        lam = circuit.add_indicator("A", 0)
+        deep = circuit.add_product([shared, lam])
+        deeper = circuit.add_product([deep, shared])
+        mix = circuit.add_sum([shared, deeper])
+        circuit.set_root(circuit.add_product([mix, shared]))
+        result = TapeAnalysis(tape_for(circuit)).adjoint_counts
+        reference = reference_adjoint_float_counts(circuit)
+        assert result[: len(circuit)].tolist() == reference
+
+    def test_indicator_projection(self, sprinkler_binary):
+        analysis = analysis_for(sprinkler_binary)
+        tape = tape_for(sprinkler_binary)
+        projected = analysis.indicator_adjoint_counts
+        assert set(projected) == set(tape.indicator_keys)
+        counts = analysis.adjoint_counts
+        for slot, key in zip(tape.indicator_slots, tape.indicator_keys):
+            assert projected[key] == int(counts[slot])
+
+
+class TestFixedDeltasDifferential:
+    def test_batch_columns_identical_to_walker(self, engine_rng):
+        for circuit in random_cases(engine_rng, count=8):
+            analysis = TapeAnalysis(tape_for(circuit))
+            max_values = np.asarray(
+                [
+                    0.0 if value == -math.inf else 2.0 ** max(value, -500.0)
+                    for value in analysis.max_log2.tolist()
+                ]
+            )
+            rounding_errors = np.asarray([2.0**-9, 2.0**-17, 2.0**-33])
+            deltas = analysis.fixed_deltas(rounding_errors, max_values)
+            for column, err in enumerate(rounding_errors.tolist()):
+                reference = reference_fixed_deltas(
+                    circuit, err, max_values.tolist()
+                )
+                assert (
+                    deltas[: len(circuit), column].tolist() == reference
+                )
+
+
+class TestAdjointScheduleEdges:
+    def test_single_leaf_root(self):
+        circuit = ArithmeticCircuit()
+        circuit.set_root(circuit.add_parameter(0.7))
+        analysis = TapeAnalysis(tape_for(circuit))
+        assert analysis.adjoint_counts.tolist() == [0]
+
+    def test_rootless_tape_raises(self):
+        circuit = ArithmeticCircuit()
+        circuit.add_parameter(0.5)
+        with pytest.raises(ValueError, match="root"):
+            TapeAnalysis(tape_for(circuit)).adjoint_counts
+
+    def test_nodes_outside_root_cone_are_zero(self):
+        circuit = ArithmeticCircuit(dedup=False)
+        theta = circuit.add_parameter(0.5)
+        lam = circuit.add_indicator("A", 0)
+        dead = circuit.add_product([theta, theta])  # never re-rooted
+        live = circuit.add_product([theta, lam])
+        circuit.set_root(live)
+        circuit.add_sum([dead, live])  # parent *after* the root
+        analysis = TapeAnalysis(tape_for(circuit))
+        counts = analysis.adjoint_counts
+        assert counts[dead] == 0
+        assert counts[circuit.root] == 0
+        reference = reference_adjoint_float_counts(circuit)
+        assert counts[: len(circuit)].tolist() == reference
+
+    def test_schedule_groups_cover_reachable_nonroot_slots(
+        self, sprinkler_binary
+    ):
+        tape = tape_for(sprinkler_binary)
+        analysis = TapeAnalysis(tape)
+        analysis.adjoint_counts
+        schedule = analysis._adjoint_schedule
+        assert isinstance(schedule, AdjointSchedule)
+        covered = set(schedule.slots.tolist())
+        reachable = set(np.flatnonzero(schedule.reachable).tolist())
+        assert covered == reachable - {tape.root}
+
+
+class TestCaching:
+    def test_cached_per_tape(self, sprinkler_binary):
+        tape = tape_for(sprinkler_binary)
+        assert tape_analysis_for(tape) is tape_analysis_for(tape)
+        assert analysis_for(sprinkler_binary) is tape_analysis_for(tape)
+
+    def test_session_exposes_analysis(self, sprinkler_binary):
+        from repro.engine import InferenceSession
+
+        session = InferenceSession(sprinkler_binary)
+        assert session.analysis is analysis_for(sprinkler_binary)
+        assert session.analysis.tape is session.tape
+
+    def test_recompiles_with_circuit(self):
+        circuit = ArithmeticCircuit()
+        theta = circuit.add_parameter(0.5)
+        lam = circuit.add_indicator("A", 0)
+        circuit.set_root(circuit.add_product([theta, lam]))
+        first = analysis_for(circuit)
+        circuit.set_root(
+            circuit.add_sum([circuit.root, circuit.add_parameter(0.1)])
+        )
+        second = analysis_for(circuit)
+        assert second is not first
+        assert second.tape.num_nodes == len(circuit)

@@ -34,7 +34,6 @@ from repro.engine import (
     FixedPointBatchExecutor,
     FloatBatchExecutor,
     QuantizedTapeEvaluator,
-    execute_batch,
     execute_values,
     tape_for,
 )

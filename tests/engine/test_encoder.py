@@ -1,6 +1,5 @@
 """EvidenceEncoder vs the circuit's reference indicator semantics."""
 
-import numpy as np
 import pytest
 
 from repro.ac.circuit import ArithmeticCircuit

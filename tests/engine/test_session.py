@@ -8,7 +8,6 @@ from repro.ac.fastpath import VectorFixedPointEvaluator
 from repro.arith import (
     FixedPointBackend,
     FixedPointFormat,
-    FloatBackend,
     FloatFormat,
 )
 from repro.core import ErrorTolerance, ProbLP, QueryType

@@ -1,7 +1,5 @@
 """Tests for repro.experiments.ablations."""
 
-import pytest
-
 from repro.experiments.ablations import (
     bound_variant_ablation,
     decomposition_ablation,

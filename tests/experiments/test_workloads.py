@@ -1,0 +1,66 @@
+"""Tests for the joint-vs-marginals workload comparison sweep."""
+
+import pytest
+
+from repro.compile import compile_network
+from repro.experiments.workloads import (
+    render_workload_sweep,
+    workload_format_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_points(sprinkler):
+    return workload_format_sweep(
+        compile_network(sprinkler), tolerances=(0.01, 1e-3)
+    )
+
+
+class TestWorkloadSweep:
+    def test_marginals_always_float(self, sweep_points):
+        for point in sweep_points:
+            assert point.marginals.selected.kind == "float"
+            assert point.marginals.workload == "marginals"
+            assert point.joint.workload == "joint"
+
+    def test_marginals_demand_no_less_precision(self, sweep_points):
+        for point in sweep_points:
+            assert point.marginals_bits_premium >= 0
+
+    def test_bounds_meet_tolerance(self, sweep_points):
+        for point in sweep_points:
+            assert point.joint.selected.query_bound <= point.tolerance
+            assert point.marginals.selected.query_bound <= point.tolerance
+
+    def test_posterior_count_reported(self, sweep_points):
+        for point in sweep_points:
+            assert (
+                point.marginals.posterior_factor_count
+                >= point.marginals.float_factor_count
+            )
+
+    def test_tighter_tolerance_needs_no_fewer_bits(self, sweep_points):
+        loose, tight = sweep_points
+        assert (
+            tight.marginals.selected_format.mantissa_bits
+            >= loose.marginals.selected_format.mantissa_bits
+        )
+
+    def test_validation_batch_measures_error(self, sprinkler):
+        points = workload_format_sweep(
+            compile_network(sprinkler),
+            tolerances=(0.01,),
+            validation_batch=[{"Rain": 1}, {"GrassWet": 1}, {}],
+        )
+        (point,) = points
+        for result in (point.joint, point.marginals):
+            assert result.empirical is not None
+            assert result.empirical.instances == 3
+            assert result.empirical.max_error <= result.selected.query_bound
+
+    def test_render_table(self, sweep_points):
+        text = render_workload_sweep(sweep_points)
+        assert "joint pick" in text
+        assert "marginals pick" in text
+        assert "posterior c" in text
+        assert len(text.splitlines()) == 2 + len(sweep_points)

@@ -1,7 +1,5 @@
 """Tests for repro.hw.simulator (cycle-accurate pipeline simulation)."""
 
-import pytest
-
 from repro.ac.evaluate import evaluate_quantized
 from repro.arith import FixedPointFormat, FloatFormat
 from repro.hw.netlist import generate_hardware

@@ -8,7 +8,7 @@ import pytest
 from repro.ac.evaluate import evaluate_real
 from repro.ac.validate import is_decomposable, is_smooth, validate_circuit
 from repro.core import ErrorTolerance, ProbLP, QueryType
-from repro.hw import check_equivalence, generate_hardware
+from repro.hw import check_equivalence
 from repro.spn.convert import spn_to_circuit
 from repro.spn.learnspn import learn_spn
 from repro.spn.nodes import LeafNode, ProductNode, SumNode

@@ -49,6 +49,21 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze"])
 
+    def test_infeasible_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(
+                [
+                    "analyze",
+                    "--network",
+                    "sprinkler",
+                    "--tolerance",
+                    "abs:1e-30",
+                    "--max-bits",
+                    "8",
+                ]
+            )
+        assert "no feasible representation" in str(info.value)
+
     def test_bad_tolerance_rejected(self):
         with pytest.raises(SystemExit):
             main(["analyze", "--network", "asia", "--tolerance", "oops"])
@@ -111,6 +126,90 @@ class TestExperimentCommands:
     def test_table2_unknown_benchmark(self):
         with pytest.raises(SystemExit, match="unknown benchmark"):
             main(["table2", "--benchmark", "nope"])
+
+    def test_optimize_joint_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "optimize",
+                "--network",
+                "sprinkler",
+                "--tolerance",
+                "abs:0.01",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "joint"
+        assert payload["selected"] in ("fixed", "float")
+        assert payload[payload["selected"]]["feasible"] is True
+        assert payload["empirical"] is None
+
+    def test_optimize_marginals_uses_posterior_bound(self, capsys):
+        import json
+
+        from repro.core.report import ProbLPResult
+
+        code = main(
+            [
+                "optimize",
+                "--network",
+                "alarm",
+                "--tolerance",
+                "abs:0.01",
+                "--workload",
+                "marginals",
+                "--validate",
+                "10",
+                "--summary",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["workload"] == "marginals"
+        assert payload["selected"] == "float"
+        assert "policy" in payload["fixed"]["infeasible_reason"]
+        assert payload["posterior_factor_count"] > payload["float_factor_count"]
+        result = ProbLPResult.from_json_dict(payload)
+        # The float search was driven by the adjoint posterior bound.
+        adjoint_bound = payload["float"]["query_bound"]
+        assert adjoint_bound <= 0.01
+        assert result.empirical.max_error <= adjoint_bound
+        assert "workload       : marginals" in captured.err
+
+    def test_optimize_validate_needs_network(self, tmp_path, sprinkler_ac):
+        from repro.ac.io import save_circuit
+
+        path = tmp_path / "c.acjson"
+        save_circuit(sprinkler_ac.circuit, path)
+        with pytest.raises(SystemExit) as info:
+            main(
+                [
+                    "optimize",
+                    "--circuit",
+                    str(path),
+                    "--validate",
+                    "5",
+                ]
+            )
+        assert "--validate needs" in str(info.value)
+
+    def test_optimize_infeasible_exits_cleanly(self):
+        with pytest.raises(SystemExit) as info:
+            main(
+                [
+                    "optimize",
+                    "--network",
+                    "sprinkler",
+                    "--tolerance",
+                    "abs:1e-30",
+                    "--max-bits",
+                    "6",
+                ]
+            )
+        assert "no feasible representation" in str(info.value)
 
     def test_networks_listing(self, capsys):
         code = main(["networks"])
