@@ -18,7 +18,12 @@ Compares, on the binarized Alarm circuit:
   propagation vs the level-scheduled vectorized replays of
   ``repro.engine.analysis`` — including the §3.3 search's fixed-bound
   sweep across the whole 2..64-bit candidate range in one batched
-  replay.
+  replay;
+* **hardware stream simulation** (PR 4): the per-cycle oracle
+  ``PipelineSimulator`` (one Python object per operator per cycle) vs
+  the vectorized ``StreamSimulator`` replaying the datapath program as
+  batched ``(level, opcode)`` sweeps — on the forward evaluation design
+  and on the backward-program marginal accelerator.
 
 Run with ``-s`` to see the speedup tables::
 
@@ -364,3 +369,67 @@ def test_analysis_speedups(bench_setup):
     # (the fixed-bound sweep alone is typically >10x).
     assert fixed_sweep_speedup >= 5.0, report
     assert search_speedup >= 5.0, report
+
+
+def test_stream_simulator_speedups(bench_setup):
+    """Vectorized stream simulation vs the per-cycle oracle (PR 4).
+
+    Streams the same evidence vectors through the Alarm forward design
+    and the backward-program marginal accelerator with both simulators;
+    outputs must agree exactly (the differential suites in
+    ``tests/hw/test_stream.py`` pin them bit-identical across formats),
+    and the stream simulator must be ≥ 5× faster (typically ≫ 20×:
+    the oracle costs one Python dispatch per operator per *cycle*).
+    """
+    from repro.hw import PipelineSimulator, StreamSimulator, generate_hardware
+
+    _tape, circuit, evidences, _quant = bench_setup
+    # Per-cycle simulation costs O(cycles × operators) Python dispatches:
+    # keep the stream short enough for a minutes-free benchmark while the
+    # vectorized side still amortizes numpy overhead.
+    stream = evidences[:25]
+    rows = []
+
+    forward = generate_hardware(circuit, FixedPointFormat(1, 15))
+    legacy_time, legacy_out = _time(
+        PipelineSimulator(forward).run_stream, list(stream), repeats=1
+    )
+    simulator = StreamSimulator(forward)
+    tape_time, stream_out = _time(simulator.run_stream, stream)
+    assert stream_out == legacy_out  # identical aligned outputs
+    forward_speedup = legacy_time / tape_time
+    rows.append(
+        ("stream fwd fixed(1,15)", legacy_time, tape_time, len(stream))
+    )
+
+    marginal = generate_hardware(
+        circuit, FloatFormat(10, 14), workload="marginals"
+    )
+    legacy_time, legacy_out = _time(
+        PipelineSimulator(marginal).run_stream_outputs,
+        list(stream),
+        repeats=1,
+    )
+    simulator = StreamSimulator(marginal)
+    tape_time, stream_out = _time(simulator.run_stream_outputs, stream)
+    assert stream_out.keys() == legacy_out.keys()
+    for key in legacy_out:
+        assert stream_out[key] == legacy_out[key]  # identical outputs
+    backward_speedup = legacy_time / tape_time
+    rows.append(
+        ("stream marg float(10,14)", legacy_time, tape_time, len(stream))
+    )
+
+    report = _render_rows(
+        f"hardware stream simulation — alarm binary, {len(stream)} vectors, "
+        f"per-cycle oracle vs vectorized stream",
+        rows,
+    )
+    print("\n" + report)
+    write_result("engine_tape_stream.txt", report + "\n")
+    write_json_result("engine_tape_stream.json", _rows_payload(rows))
+
+    # Acceptance gate: long-stream hardware verification must beat the
+    # per-cycle oracle by at least 5x on both sweep directions.
+    assert forward_speedup >= 5.0, report
+    assert backward_speedup >= 5.0, report

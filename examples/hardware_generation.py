@@ -4,9 +4,12 @@
 Runs the complete ProbLP back end for the UIWADS user-verification
 benchmark: trains the classifier, compiles and analyzes the AC, generates
 the fully pipelined datapath in the selected format, streams test vectors
-through the cycle-accurate netlist simulator at one evaluation per cycle,
+through the vectorized stream simulator at one evaluation per cycle,
 checks bit-exact equivalence against the reference quantized evaluation,
-and writes the Verilog RTL next to this script.
+and writes the Verilog RTL next to this script. A second pass builds the
+backward-program *marginal accelerator* — hardware that emits every joint
+marginal per cycle — and verifies it against the engine's quantized
+backward sweep.
 
 Run:  python examples/hardware_generation.py
 """
@@ -62,6 +65,23 @@ def main() -> None:
     output = Path(__file__).with_name("uiwads_datapath.v")
     output.write_text(design.verilog())
     print(f"wrote {output} ({len(design.verilog().splitlines())} lines)")
+    print()
+
+    # The backward program is a tape like any other: generate hardware
+    # for the marginal-serving workload and verify it bit-exactly against
+    # the engine's quantized backward sweep.
+    marginal_result = framework.analyze(workload="marginals")
+    accelerator = framework.generate_hardware(
+        result=marginal_result, workload="marginals"
+    )
+    print(accelerator.describe())
+    report = check_equivalence(accelerator, joint_vectors[:10])
+    print(
+        f"marginal accelerator: {len(accelerator.program.output_slots)} "
+        f"joint-marginal outputs per cycle, {report.num_vectors} vectors "
+        f"verified, {report.num_mismatches} mismatches"
+    )
+    assert report.equivalent, "marginal accelerator disagrees with engine!"
 
 
 if __name__ == "__main__":

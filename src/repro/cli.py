@@ -5,6 +5,10 @@ Subcommands:
 * ``analyze`` — run the ProbLP analysis for a circuit (from a benchmark
   network name or a saved ``.acjson`` file) and print the report;
 * ``hwgen`` — generate Verilog for the selected (or a forced) format;
+* ``hw`` — full hardware-generation report as JSON: format search (or a
+  forced format), forward or backward-pass (marginal accelerator)
+  datapath, latency/register/energy metrics and a stream-simulated
+  bit-exactness verdict; ``--output`` additionally writes the RTL;
 * ``eval`` — serve evidence batches from the compiled-tape engine
   (exact float64 and/or a quantized format);
 * ``marginals`` — all posterior marginals of every instance via the
@@ -22,6 +26,9 @@ Examples::
         --tolerance rel:0.01 --variant paper
     problp hwgen --network sprinkler --query marginal \\
         --tolerance abs:0.01 --output sprinkler.v
+    problp hw --network alarm --tolerance abs:0.01 --verify 50
+    problp hw --network alarm --workload marginals --verify 20 \\
+        --output alarm_marginals.v
     problp eval --network alarm --evidence-file batch.json \\
         --format fixed:1:15
     problp eval --network sprinkler --sample 1000 --format float:8:14
@@ -203,13 +210,9 @@ def cmd_optimize(args) -> int:
     if args.validate:
         if network is None:
             raise SystemExit("--validate needs --network or --bif")
-        from .bn.sampling import forward_sample
-
-        leaves = network.leaves()
-        validation_batch = [
-            {leaf: sample[leaf] for leaf in leaves}
-            for sample in forward_sample(network, args.validate, rng=args.seed)
-        ]
+        validation_batch = _sample_leaf_evidence(
+            network, args.validate, args.seed
+        )
     try:
         result = framework.optimize(
             workload=args.workload, validation_batch=validation_batch
@@ -241,6 +244,84 @@ def cmd_hwgen(args) -> int:
         print(f"wrote {args.output}: {design.describe()}")
     else:
         print(verilog)
+    return 0
+
+
+def _sample_leaf_evidence(network, count: int, seed: int) -> list[dict]:
+    """Leaf-evidence instances for verification/validation batches."""
+    from .bn.sampling import forward_sample
+
+    leaves = network.leaves()
+    return [
+        {leaf: sample[leaf] for leaf in leaves}
+        for sample in forward_sample(network, count, rng=seed)
+    ]
+
+
+def cmd_hw(args) -> int:
+    """Tape-native hardware generation with a JSON design report."""
+    import json
+
+    from .errors import InfeasibleFormatError, NonBinaryCircuitError
+
+    network = _load_network(args)
+    framework = _build_framework(args, network)
+    try:
+        fmt = args.format
+        result = None
+        if fmt is not None:
+            from dataclasses import replace
+
+            from .arith.rounding import RoundingMode
+
+            fmt = replace(fmt, rounding=RoundingMode(args.rounding))
+        else:
+            result = framework.analyze(args.workload)
+            fmt = result.selected_format
+        design = framework.generate_hardware(
+            fmt=fmt, result=result, workload=args.workload
+        )
+    except (InfeasibleFormatError, NonBinaryCircuitError) as error:
+        raise SystemExit(str(error)) from None
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+    payload = design.report_dict()
+    payload["selected_by_search"] = result is not None
+    if result is not None:
+        payload["query_bound"] = result.selected.query_bound
+        payload["tolerance"] = {
+            "kind": result.spec.tolerance.kind.value,
+            "value": result.spec.tolerance.value,
+        }
+
+    if args.verify:
+        from .hw.verify import check_equivalence
+
+        if network is None:
+            raise SystemExit("--verify needs --network or --bif")
+        batch = _sample_leaf_evidence(network, args.verify, args.seed)
+        try:
+            report = check_equivalence(design, batch)
+        except ArithmeticError as error:
+            raise SystemExit(
+                f"stream simulation failed in {design.fmt.describe()}: "
+                f"{error}"
+            ) from None
+        payload["verification"] = {
+            "vectors": report.num_vectors,
+            "mismatches": report.num_mismatches,
+            "max_abs_difference": report.max_abs_difference,
+            "equivalent": report.equivalent,
+        }
+    else:
+        payload["verification"] = None
+
+    if args.output:
+        Path(args.output).write_text(design.verilog())
+        payload["verilog"] = str(args.output)
+        print(f"wrote {args.output}: {design.describe()}", file=sys.stderr)
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -488,6 +569,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(hwgen)
     hwgen.add_argument("--output", type=Path, help="output .v file")
     hwgen.set_defaults(handler=cmd_hwgen)
+
+    hw = subparsers.add_parser(
+        "hw",
+        help="hardware generation report (forward or marginal datapath, "
+        "stream-verified) as JSON",
+    )
+    _add_model_arguments(hw)
+    hw.add_argument(
+        "--workload",
+        choices=("joint", "marginals"),
+        default="joint",
+        help="datapath direction: joint evaluations (default) or the "
+        "backward-pass marginal accelerator",
+    )
+    hw.add_argument(
+        "--format",
+        type=_parse_format,
+        help="skip the search and force a format, e.g. fixed:1:15",
+    )
+    hw.add_argument(
+        "--verify",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stream-simulate N sampled leaf-evidence vectors and check "
+        "bit-exactness against the engine (needs --network or --bif)",
+    )
+    hw.add_argument("--seed", type=int, default=1000)
+    hw.add_argument("--output", type=Path, help="also write the .v file")
+    hw.set_defaults(handler=cmd_hw)
 
     optimize = subparsers.add_parser(
         "optimize",

@@ -156,10 +156,13 @@ class ProbLP:
         Runs :meth:`analyze` for the given workload; when
         ``validation_batch`` (a sequence of evidence mappings) is given,
         additionally replays the batch through the engine's vectorized
-        quantized executors with the selected format — forward sweeps
-        for the joint workload, forward+backward all-marginals for the
-        marginals workload — and attaches the measured error next to the
-        rigorous bound (``result.empirical``).
+        quantized executors — forward sweeps for the joint workload,
+        forward+backward all-marginals for the marginals workload — and
+        attaches the measured error next to the rigorous bound. The
+        selected format's measurement lands in ``result.empirical``;
+        *every* feasible candidate (the runner-up representation rides
+        the same cached executors) lands in ``result.measured_front``,
+        an empirical Pareto front next to the rigorous one.
         """
         workload = Workload.coerce(workload)
         result = self.analyze(workload)
@@ -167,17 +170,49 @@ class ProbLP:
             return result
         from dataclasses import replace
 
-        empirical = self._measure(
-            workload, result, list(validation_batch)
+        from .report import ParetoPoint
+
+        batch = list(validation_batch)
+        self._check_measurable(workload, result)
+        front = []
+        empirical = None
+        options = [result.selection.selected] + [
+            option
+            for option in (result.selection.fixed, result.selection.float_)
+            if option.feasible and option is not result.selection.selected
+        ]
+        for option in options:
+            selected = option is result.selection.selected
+            max_error, mean_error, error_kind = self._measure_format(
+                workload, result, option.fmt, batch
+            )
+            if selected:
+                empirical = EmpiricalValidation(
+                    workload=workload.value,
+                    instances=len(batch),
+                    error_kind=error_kind,
+                    max_error=max_error,
+                    mean_error=mean_error,
+                    bound=float(option.query_bound),
+                )
+            front.append(
+                ParetoPoint(
+                    kind=option.kind,
+                    fmt=option.fmt,
+                    energy_nj=float(option.energy_nj),
+                    bound=float(option.query_bound),
+                    max_error=max_error,
+                    mean_error=mean_error,
+                    selected=selected,
+                )
+            )
+        return replace(
+            result, empirical=empirical, measured_front=tuple(front)
         )
-        return replace(result, empirical=empirical)
 
-    def _measure(
-        self, workload: Workload, result: ProbLPResult, batch: list
-    ) -> EmpiricalValidation:
-        """Measured max/mean error of the selected format on a batch."""
-        import numpy as np
-
+    def _check_measurable(
+        self, workload: Workload, result: ProbLPResult
+    ) -> None:
         if (
             workload is Workload.JOINT
             and result.spec.query is QueryType.CONDITIONAL
@@ -190,7 +225,18 @@ class ProbLP:
                 "queries: the evidence batch holds no (query, evidence) "
                 "pairs to measure the ratio against its bound"
             )
-        fmt = result.selected_format
+
+    def _measure_format(
+        self, workload: Workload, result: ProbLPResult, fmt, batch: list
+    ) -> tuple[float, float, str]:
+        """Measured (max, mean, kind) error of one format on a batch.
+
+        Runs on the session's cached quantized executors — measuring the
+        runner-up formats reuses the same compiled tape and per-format
+        executor cache as the winner.
+        """
+        import numpy as np
+
         session = self.session
         if workload is Workload.MARGINALS:
             exact = session.marginals_batch(batch)
@@ -216,14 +262,7 @@ class ProbLP:
                     )
                 errors = errors[positive] / exact[positive]
                 error_kind = "relative"
-        return EmpiricalValidation(
-            workload=workload.value,
-            instances=len(batch),
-            error_kind=error_kind,
-            max_error=float(errors.max()),
-            mean_error=float(errors.mean()),
-            bound=float(result.selected.query_bound),
-        )
+        return float(errors.max()), float(errors.mean()), error_kind
 
     # ------------------------------------------------------------------
     # Execution with the selected representation
@@ -291,18 +330,37 @@ class ProbLP:
             fmt, evidence_batch, joint=joint
         )
 
-    def generate_hardware(self, fmt=None, result: ProbLPResult | None = None):
+    def generate_hardware(
+        self,
+        fmt=None,
+        result: ProbLPResult | None = None,
+        workload: Workload | str | None = None,
+    ):
         """Generate pipelined hardware for the (selected) format.
 
-        Returns a :class:`repro.hw.HardwareDesign`; call ``.verilog()`` on
-        it for the RTL text.
+        ``workload`` picks the datapath direction: ``Workload.JOINT``
+        (default) builds the forward evaluation pipeline;
+        ``Workload.MARGINALS`` builds hardware for the backward program
+        — a marginal-serving accelerator emitting every joint marginal
+        ``Pr(x, e\\X)`` per cycle. When neither ``fmt`` nor ``result``
+        is given, the format search runs for that same workload, so the
+        datapath is sized by the bounds of the queries it will serve.
+
+        Returns a :class:`repro.hw.HardwareDesign`; call ``.verilog()``
+        on it for the RTL text.
         """
         from ..hw import generate_hardware
 
+        if workload is None:
+            workload = result.workload if result is not None else Workload.JOINT
+        workload = Workload.coerce(workload)
         if fmt is None:
             if result is None:
-                result = self.analyze()
+                result = self.analyze(workload)
             fmt = result.selected_format
         return generate_hardware(
-            self.binary_circuit, fmt, energy_model=self.config.energy_model
+            self.binary_circuit,
+            fmt,
+            energy_model=self.config.energy_model,
+            workload=workload.value,
         )

@@ -88,6 +88,63 @@ def _option_from_payload(payload: dict) -> RepresentationOption:
 
 
 @dataclass(frozen=True)
+class ParetoPoint:
+    """One measured (energy, error) point of the empirical Pareto front.
+
+    ``ProbLP.optimize(validation_batch=...)`` measures not just the
+    winning format but every feasible candidate the search produced —
+    the runner-up representation rides through the same cached quantized
+    executors — so the rigorous bound-driven choice can be compared
+    against a *measured* energy/error trade-off.
+    """
+
+    kind: str  # "fixed" or "float"
+    fmt: FixedPointFormat | FloatFormat
+    energy_nj: float
+    bound: float
+    max_error: float
+    mean_error: float
+    selected: bool
+
+    @property
+    def holds(self) -> bool:
+        return self.max_error <= self.bound
+
+    def describe(self) -> str:
+        marker = "*" if self.selected else " "
+        return (
+            f"{marker} {self.kind}({format_name(self.fmt)}): "
+            f"{self.energy_nj:.3g} nJ, measured max {self.max_error:.3e} "
+            f"(bound {self.bound:.3e}, "
+            f"{'holds' if self.holds else 'VIOLATED'})"
+        )
+
+
+def _pareto_payload(point: ParetoPoint) -> dict:
+    return {
+        "kind": point.kind,
+        "format": format_payload(point.fmt),
+        "energy_nj": point.energy_nj,
+        "bound": point.bound,
+        "max_error": point.max_error,
+        "mean_error": point.mean_error,
+        "selected": point.selected,
+    }
+
+
+def _pareto_from_payload(payload: dict) -> ParetoPoint:
+    return ParetoPoint(
+        kind=payload["kind"],
+        fmt=format_from_payload(payload["format"]),
+        energy_nj=payload["energy_nj"],
+        bound=payload["bound"],
+        max_error=payload["max_error"],
+        mean_error=payload["mean_error"],
+        selected=payload["selected"],
+    )
+
+
+@dataclass(frozen=True)
 class EmpiricalValidation:
     """Measured error of the selected format on a real evidence batch.
 
@@ -134,6 +191,9 @@ class ProbLPResult:
     workload: str = "joint"
     posterior_factor_count: int | None = None
     empirical: EmpiricalValidation | None = None
+    #: Measured energy/error points of every feasible candidate format
+    #: (selected first), populated by ``optimize(validation_batch=...)``.
+    measured_front: tuple[ParetoPoint, ...] | None = None
 
     @property
     def selected(self) -> RepresentationOption:
@@ -176,6 +236,10 @@ class ProbLPResult:
         )
         if self.empirical is not None:
             lines.append(f"  validation     : {self.empirical.describe()}")
+        if self.measured_front:
+            lines.append("  measured front :")
+            for point in self.measured_front:
+                lines.append(f"    {point.describe()}")
         return "\n".join(lines)
 
     def to_json_dict(self) -> dict:
@@ -207,6 +271,11 @@ class ProbLPResult:
             "empirical": (
                 None if self.empirical is None else asdict(self.empirical)
             ),
+            "measured_front": (
+                None
+                if self.measured_front is None
+                else [_pareto_payload(point) for point in self.measured_front]
+            ),
         }
 
     @classmethod
@@ -216,6 +285,7 @@ class ProbLPResult:
         float_ = _option_from_payload(payload["float"])
         selected = fixed if payload["selected"] == "fixed" else float_
         empirical = payload.get("empirical")
+        front = payload.get("measured_front")
         return cls(
             circuit_name=payload["circuit_name"],
             circuit_stats=CircuitStats(**payload["circuit_stats"]),
@@ -241,6 +311,11 @@ class ProbLPResult:
             posterior_factor_count=payload.get("posterior_factor_count"),
             empirical=(
                 None if empirical is None else EmpiricalValidation(**empirical)
+            ),
+            measured_front=(
+                None
+                if front is None
+                else tuple(_pareto_from_payload(point) for point in front)
             ),
         )
 

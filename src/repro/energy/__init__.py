@@ -5,9 +5,11 @@ from .estimate import (
     OperatorCounts,
     circuit_energy_nj,
     count_operators,
+    counts_from_opcodes,
     datapath_bits,
     fixed_circuit_energy,
     float_circuit_energy,
+    operator_energy,
     register_energy,
 )
 from .fitting import (
@@ -35,7 +37,9 @@ __all__ = [
     "SynthesisSample",
     "circuit_energy_nj",
     "count_operators",
+    "counts_from_opcodes",
     "datapath_bits",
+    "operator_energy",
     "fit_energy_model",
     "fit_single_coefficient",
     "fixed_adder_gates",

@@ -10,12 +10,15 @@ DESIGN.md §4 on the substitution).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..ac.circuit import ArithmeticCircuit
-from ..ac.nodes import OpType
 from ..arith.fixedpoint import FixedPointFormat
 from ..arith.floatingpoint import FloatFormat
+from ..errors import NonBinaryCircuitError
 from .models import EnergyModel, PAPER_MODEL, float_storage_bits
 
 #: Conversion from femtojoules to the nanojoules used in the paper's tables.
@@ -35,24 +38,72 @@ class OperatorCounts:
         return self.adders + self.multipliers + self.max_units
 
 
+def counts_from_opcodes(opcodes: np.ndarray) -> OperatorCounts:
+    """Operator counts of a flat opcode array (tape or datapath program)."""
+    from ..engine.tape import OP_MAX, OP_PRODUCT, OP_SUM
+
+    histogram = np.bincount(opcodes, minlength=3)
+    return OperatorCounts(
+        adders=int(histogram[OP_SUM]),
+        multipliers=int(histogram[OP_PRODUCT]),
+        max_units=int(histogram[OP_MAX]),
+    )
+
+
+#: Per-tape operator-count cache; a count dies with its tape (and the
+#: tape with its circuit), so repeated energy/netlist/report queries of
+#: one circuit never re-count.
+_COUNTS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def count_operators(circuit: ArithmeticCircuit) -> OperatorCounts:
-    """Count 2-input operators; requires a binary circuit."""
+    """Count 2-input operators; requires a binary circuit.
+
+    Derived once from the cached tape's opcode arrays (one
+    ``np.bincount`` instead of a node walk) and memoized per tape, so
+    the netlist, energy and report paths all reuse one count.
+    """
     if not circuit.is_binary:
-        raise ValueError(
+        raise NonBinaryCircuitError(
             "energy estimation needs a binary circuit; apply "
             "repro.ac.transform.binarize first"
         )
-    adders = multipliers = max_units = 0
-    for node in circuit.nodes:
-        if len(node.children) != 2:
-            continue
-        if node.op is OpType.SUM:
-            adders += 1
-        elif node.op is OpType.PRODUCT:
-            multipliers += 1
-        elif node.op is OpType.MAX:
-            max_units += 1
-    return OperatorCounts(adders, multipliers, max_units)
+    from ..engine.tape import tape_for
+
+    tape = tape_for(circuit)
+    counts = _COUNTS_CACHE.get(tape)
+    if counts is None:
+        counts = counts_from_opcodes(tape.opcodes)
+        _COUNTS_CACHE[tape] = counts
+    return counts
+
+
+def operator_energy(
+    counts: OperatorCounts,
+    fmt: FixedPointFormat | FloatFormat,
+    model: EnergyModel = PAPER_MODEL,
+) -> float:
+    """Predicted operator energy in fJ for explicit operator counts.
+
+    The shared pricing core: fixed adders/multipliers at N = I + F bits,
+    float ones at M mantissa bits, comparators costed as adders. Used by
+    the circuit-level helpers below and by datapath programs whose op
+    counts come straight from their opcode arrays (e.g. backward-pass
+    hardware, which has no one-node-per-operator circuit to walk).
+    """
+    if isinstance(fmt, FixedPointFormat):
+        add_energy = model.fixed_add(fmt.total_bits)
+        mult_energy = model.fixed_mult(fmt.total_bits)
+    elif isinstance(fmt, FloatFormat):
+        add_energy = model.float_add(fmt.mantissa_bits)
+        mult_energy = model.float_mult(fmt.mantissa_bits)
+    else:
+        raise TypeError(f"unsupported format type {type(fmt).__name__}")
+    return (
+        counts.adders * add_energy
+        + counts.multipliers * mult_energy
+        + counts.max_units * add_energy  # comparators costed as adders
+    )
 
 
 def fixed_circuit_energy(
@@ -61,14 +112,7 @@ def fixed_circuit_energy(
     model: EnergyModel = PAPER_MODEL,
 ) -> float:
     """Predicted energy per AC evaluation in fJ, fixed-point operators."""
-    counts = count_operators(circuit)
-    add_energy = model.fixed_add(fmt.total_bits)
-    mult_energy = model.fixed_mult(fmt.total_bits)
-    return (
-        counts.adders * add_energy
-        + counts.multipliers * mult_energy
-        + counts.max_units * add_energy  # comparators costed as adders
-    )
+    return operator_energy(count_operators(circuit), fmt, model)
 
 
 def float_circuit_energy(
@@ -77,14 +121,7 @@ def float_circuit_energy(
     model: EnergyModel = PAPER_MODEL,
 ) -> float:
     """Predicted energy per AC evaluation in fJ, float operators."""
-    counts = count_operators(circuit)
-    add_energy = model.float_add(fmt.mantissa_bits)
-    mult_energy = model.float_mult(fmt.mantissa_bits)
-    return (
-        counts.adders * add_energy
-        + counts.multipliers * mult_energy
-        + counts.max_units * add_energy
-    )
+    return operator_energy(count_operators(circuit), fmt, model)
 
 
 def circuit_energy_nj(

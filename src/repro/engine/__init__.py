@@ -21,11 +21,19 @@ remain as thin wrappers; the frozen seed implementations live in
 """
 
 from ..errors import ZeroEvidenceError
-from .analysis import TapeAnalysis, analysis_for, tape_analysis_for
+from .analysis import (
+    ForwardSchedule,
+    TapeAnalysis,
+    analysis_for,
+    schedule_segments,
+    tape_analysis_for,
+)
 from .encoder import EvidenceEncoder
 from .executors import (
     FixedPointBatchExecutor,
+    FixedWordKernel,
     FloatBatchExecutor,
+    FloatWordKernel,
     QuantizedTapeEvaluator,
     execute_batch,
     execute_partials,
@@ -50,7 +58,10 @@ __all__ = [
     "BackwardProgram",
     "EvidenceEncoder",
     "FixedPointBatchExecutor",
+    "FixedWordKernel",
     "FloatBatchExecutor",
+    "FloatWordKernel",
+    "ForwardSchedule",
     "InferenceSession",
     "MarginalIndex",
     "OP_COPY",
@@ -69,6 +80,7 @@ __all__ = [
     "execute_partials_batch",
     "execute_real",
     "execute_values",
+    "schedule_segments",
     "session_for",
     "tape_analysis_for",
     "tape_for",

@@ -61,46 +61,80 @@ def _slot_levels(tape: Tape) -> list[int]:
     return levels
 
 
+def schedule_segments(
+    opcodes: np.ndarray,
+    dests: np.ndarray,
+    lefts: np.ndarray,
+    rights: np.ndarray,
+    op_levels: np.ndarray,
+) -> tuple[tuple[int, np.ndarray, np.ndarray, np.ndarray], ...]:
+    """Group an op stream into level-major ``(level, opcode)`` segments.
+
+    Shared by :class:`ForwardSchedule` (tape analysis sweeps) and the
+    hardware layer's :class:`~repro.hw.program.DatapathProgram` (the
+    vectorized stream simulator) — one scheduling implementation for
+    every batched replay of a single-assignment op stream. Ops inside a
+    segment are mutually independent (each op reads only strictly lower
+    levels), so replaying segments in order is equivalent to the
+    sequential stream.
+    """
+    n_ops = len(opcodes)
+    if n_ops == 0:
+        return ()
+    order = np.lexsort((np.arange(n_ops), opcodes, op_levels))
+    opcodes = opcodes[order]
+    dests = dests[order]
+    lefts = lefts[order]
+    rights = rights[order]
+    keys_change = np.flatnonzero(
+        (np.diff(op_levels[order]) != 0) | (np.diff(opcodes) != 0)
+    )
+    starts = np.concatenate(([0], keys_change + 1))
+    ends = np.concatenate((keys_change + 1, [n_ops]))
+    return tuple(
+        (
+            int(opcodes[start]),
+            dests[start:end],
+            lefts[start:end],
+            rights[start:end],
+        )
+        for start, end in zip(starts, ends)
+    )
+
+
 @dataclass(frozen=True, eq=False)
 class ForwardSchedule:
     """The forward op stream grouped into ``(level, opcode)`` segments.
 
     Each segment holds pre-gathered dest/left/right slot arrays whose ops
     are mutually independent; replaying segments in order is equivalent
-    to the sequential stream.
+    to the sequential stream. :attr:`levels` — the per-slot dependency
+    level the grouping derives from — is exposed because it is exactly
+    the stage assignment a fully pipelined hardware mapping needs:
+    :mod:`repro.hw.pipeline` consumes it as the one source of
+    levelization truth shared by analysis, netlist and Verilog.
     """
 
     #: ``(opcode, dests, lefts, rights)`` per segment, level-major.
     segments: tuple[tuple[int, np.ndarray, np.ndarray, np.ndarray], ...]
+    #: ``(num_slots,)`` int32 dependency level of every slot (leaves 0).
+    levels: np.ndarray
 
     @classmethod
     def of(cls, tape: Tape) -> "ForwardSchedule":
-        if tape.num_operations == 0:
-            return cls(segments=())
         levels = np.asarray(_slot_levels(tape), dtype=np.int32)
-        op_levels = levels[tape.dests]
-        order = np.lexsort(
-            (np.arange(tape.num_operations), tape.opcodes, op_levels)
+        if tape.num_operations == 0:
+            return cls(segments=(), levels=levels)
+        return cls(
+            segments=schedule_segments(
+                tape.opcodes,
+                tape.dests,
+                tape.lefts,
+                tape.rights,
+                levels[tape.dests],
+            ),
+            levels=levels,
         )
-        opcodes = tape.opcodes[order]
-        dests = tape.dests[order]
-        lefts = tape.lefts[order]
-        rights = tape.rights[order]
-        keys_change = np.flatnonzero(
-            (np.diff(op_levels[order]) != 0) | (np.diff(opcodes) != 0)
-        )
-        starts = np.concatenate(([0], keys_change + 1))
-        ends = np.concatenate((keys_change + 1, [tape.num_operations]))
-        segments = tuple(
-            (
-                int(opcodes[start]),
-                dests[start:end],
-                lefts[start:end],
-                rights[start:end],
-            )
-            for start, end in zip(starts, ends)
-        )
-        return cls(segments=segments)
 
 
 @dataclass(frozen=True, eq=False)

@@ -357,41 +357,37 @@ class QuantizedTapeEvaluator:
 # ----------------------------------------------------------------------
 # Vectorized fixed point
 # ----------------------------------------------------------------------
-class FixedPointBatchExecutor:
-    """Exact batched fixed-point evaluation on numpy int64 mantissas.
+class FixedWordKernel:
+    """Bit-exact vectorized fixed-point operator semantics on int64 words.
 
-    Bit-identical to the scalar big-int backend for every format with
-    ``2·(I+F) ≤ 62`` (so 2F-fraction products stay exact in int64),
-    including ``F = 0`` formats, every rounding mode, and the
-    overflow-raising semantics.
+    The operator core shared by :class:`FixedPointBatchExecutor` (tape
+    sweeps) and the hardware stream simulator
+    (:class:`repro.hw.stream.StreamSimulator`): exact 2F-fraction
+    products rounded back to F bits, exact sums, and the scalar
+    backend's overflow-raising semantics. Valid for every format with
+    ``2·(I+F) ≤ 62`` so products stay exact in int64 lanes.
     """
 
-    def __init__(
-        self,
-        tape: Tape,
-        fmt: FixedPointFormat,
-        encoder: EvidenceEncoder | None = None,
-    ) -> None:
-        _require_binary_tape(tape)
+    def __init__(self, fmt: FixedPointFormat) -> None:
         if not fmt.fits_int64_products:
             raise ValueError(
                 f"vectorized fixed point needs 2·(I+F) ≤ 62 bits to stay "
                 f"exact in int64; {fmt.describe()} has {fmt.total_bits} "
                 f"total bits — use the big-int backend instead"
             )
-        self.tape = tape
         self.fmt = fmt
-        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
-        self._max_mantissa = fmt.max_mantissa
-        backend = FixedPointBackend(fmt)
-        # Quantize the deduplicated parameter table once, exactly.
-        self._param_words = np.asarray(
-            [backend.from_real(float(v)).mantissa for v in tape.param_values],
+        self.max_mantissa = fmt.max_mantissa
+        self.one_word = np.int64(FixedPointBackend(fmt).one().mantissa)
+
+    def encode_params(self, values: Sequence[float]) -> np.ndarray:
+        """Quantize real parameter values to int64 mantissa words."""
+        backend = FixedPointBackend(self.fmt)
+        return np.asarray(
+            [backend.from_real(float(v)).mantissa for v in values],
             dtype=np.int64,
         )
-        self._one_word = backend.one().mantissa
 
-    def _round_products(self, products: np.ndarray) -> np.ndarray:
+    def round_products(self, products: np.ndarray) -> np.ndarray:
         """Vectorized rounding of 2F-fraction products back to F bits."""
         fraction_bits = self.fmt.fraction_bits
         if fraction_bits == 0:
@@ -412,13 +408,59 @@ class FixedPointBatchExecutor:
         )
         return quotient + round_up
 
-    def _checked(self, result: np.ndarray, dest: int) -> np.ndarray:
+    def check(self, result: np.ndarray, where: str = "operator") -> np.ndarray:
         """Overflow-check an op result, like the scalar backend raises."""
-        if result.max(initial=0) > self._max_mantissa:
+        if result.max(initial=0) > self.max_mantissa:
             raise FixedPointOverflowError(
-                f"overflow at slot {dest} in {self.fmt.describe()}"
+                f"overflow at {where} in {self.fmt.describe()}"
             )
         return result
+
+    # Composite checked operators (one rounding per two-input operator).
+    def add(self, a: np.ndarray, b: np.ndarray, where: str = "adder"):
+        return self.check(a + b, where)
+
+    def multiply(self, a: np.ndarray, b: np.ndarray, where: str = "multiplier"):
+        return self.check(self.round_products(a * b), where)
+
+    def maximum(self, a: np.ndarray, b: np.ndarray, where: str = "max"):
+        return self.check(np.maximum(a, b), where)
+
+    def to_real(self, words: np.ndarray) -> np.ndarray:
+        """Float64 values of mantissa words."""
+        return words * 2.0 ** (-self.fmt.fraction_bits)
+
+
+class FixedPointBatchExecutor:
+    """Exact batched fixed-point evaluation on numpy int64 mantissas.
+
+    Bit-identical to the scalar big-int backend for every format with
+    ``2·(I+F) ≤ 62`` (so 2F-fraction products stay exact in int64),
+    including ``F = 0`` formats, every rounding mode, and the
+    overflow-raising semantics. Operator semantics live in the shared
+    :class:`FixedWordKernel`.
+    """
+
+    def __init__(
+        self,
+        tape: Tape,
+        fmt: FixedPointFormat,
+        encoder: EvidenceEncoder | None = None,
+    ) -> None:
+        _require_binary_tape(tape)
+        self._kernel = FixedWordKernel(fmt)
+        self.tape = tape
+        self.fmt = fmt
+        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
+        # Quantize the deduplicated parameter table once, exactly.
+        self._param_words = self._kernel.encode_params(tape.param_values)
+        self._one_word = self._kernel.one_word
+
+    def _round_products(self, products: np.ndarray) -> np.ndarray:
+        return self._kernel.round_products(products)
+
+    def _checked(self, result: np.ndarray, dest: int) -> np.ndarray:
+        return self._kernel.check(result, f"slot {dest}")
 
     def _forward_slot_words(
         self,
@@ -535,17 +577,20 @@ class FixedPointBatchExecutor:
 # ----------------------------------------------------------------------
 # Vectorized floating point (new in the engine)
 # ----------------------------------------------------------------------
-class FloatBatchExecutor:
-    """Exact batched float emulation on (mantissa, exponent) int64 pairs.
+class FloatWordKernel:
+    """Bit-exact vectorized float operator semantics on (m, e) pairs.
 
-    Implements §3.1.2 operator semantics — exact integer-mantissa
-    arithmetic with exactly one rounding per operator — vectorized with
-    numpy, bit-identical to :class:`FloatBackend` (differentially
-    tested). Alignment in addition uses the classic guard/round/sticky
-    compression: shifted-out addend bits collapse into one sticky bit at
-    least two positions below the rounding point, which preserves the
-    `>half` / `=half` / `<half` distinctions every rounding mode needs,
-    so the compressed sum rounds exactly like the exact big-int sum.
+    The operator core shared by :class:`FloatBatchExecutor` (tape
+    sweeps) and the hardware stream simulator
+    (:class:`repro.hw.stream.StreamSimulator`). Implements §3.1.2
+    operator semantics — exact integer-mantissa arithmetic with exactly
+    one rounding per operator — vectorized with numpy, bit-identical to
+    :class:`FloatBackend` (differentially tested). Alignment in addition
+    uses the classic guard/round/sticky compression: shifted-out addend
+    bits collapse into one sticky bit at least two positions below the
+    rounding point, which preserves the `>half` / `=half` / `<half`
+    distinctions every rounding mode needs, so the compressed sum rounds
+    exactly like the exact big-int sum.
 
     Zeros are (0, 0) pairs, masked through every operator like the
     scalar backend's ``is_zero`` short-circuits.
@@ -555,32 +600,27 @@ class FloatBatchExecutor:
     #: mirrors hardware guard/round/sticky).
     _GUARD_BITS = 3
 
-    def __init__(
-        self,
-        tape: Tape,
-        fmt: FloatFormat,
-        encoder: EvidenceEncoder | None = None,
-    ) -> None:
-        _require_binary_tape(tape)
+    def __init__(self, fmt: FloatFormat) -> None:
         if not fmt.fits_int64_products:
             raise ValueError(
                 f"vectorized float needs 2·(M+1) ≤ 62 bits (and E ≤ 32) "
                 f"to keep mantissa arithmetic exact in int64; "
                 f"{fmt.describe()} — use the big-int backend instead"
             )
-        self.tape = tape
         self.fmt = fmt
-        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
-        backend = FloatBackend(fmt)
-        params = [backend.from_real(float(v)) for v in tape.param_values]
-        self._param_mantissas = np.asarray(
-            [p.mantissa for p in params], dtype=np.int64
+        one = FloatBackend(fmt).one()
+        self.one = (np.int64(one.mantissa), np.int64(one.exponent))
+
+    def encode_params(
+        self, values: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantize real parameter values to (mantissa, exponent) arrays."""
+        backend = FloatBackend(self.fmt)
+        params = [backend.from_real(float(v)) for v in values]
+        return (
+            np.asarray([p.mantissa for p in params], dtype=np.int64),
+            np.asarray([p.exponent for p in params], dtype=np.int64),
         )
-        self._param_exponents = np.asarray(
-            [p.exponent for p in params], dtype=np.int64
-        )
-        one = backend.one()
-        self._one = (np.int64(one.mantissa), np.int64(one.exponent))
 
     # -- rounding core --------------------------------------------------
     def _round_shift(
@@ -643,13 +683,13 @@ class FloatBatchExecutor:
         return rounded, exponent
 
     # -- operators ------------------------------------------------------
-    def _add(self, ma, ea, mb, eb):
+    def add(self, ma, ea, mb, eb):
         zero_a, zero_b = ma == 0, mb == 0
         any_zero = bool(zero_a.any()) or bool(zero_b.any())
         if any_zero:
             # Dummy-substitute zero lanes so the shared path stays in
             # range (1+1 can neither overflow nor underflow any format).
-            one_m, one_e = self._one
+            one_m, one_e = self.one
             MA = np.where(zero_a, one_m, ma)
             EA = np.where(zero_a, one_e, ea)
             MB = np.where(zero_b, one_m, mb)
@@ -677,12 +717,12 @@ class FloatBatchExecutor:
             res_e = np.where(zero_a, eb, np.where(zero_b, ea, res_e))
         return res_m, res_e
 
-    def _multiply(self, ma, ea, mb, eb):
+    def multiply(self, ma, ea, mb, eb):
         zero = (ma == 0) | (mb == 0)
         any_zero = bool(zero.any())
         mantissa_bits = self.fmt.mantissa_bits
         if any_zero:
-            one_m, one_e = self._one
+            one_m, one_e = self.one
             product = np.where(zero, one_m, ma) * np.where(zero, one_m, mb)
             scale = (
                 np.where(zero, one_e, ea)
@@ -701,12 +741,64 @@ class FloatBatchExecutor:
             res_e = np.where(zero, 0, res_e)
         return res_m, res_e
 
-    def _maximum(self, ma, ea, mb, eb):
+    def maximum(self, ma, ea, mb, eb):
         zero_a, zero_b = ma == 0, mb == 0
         a_wins = ~zero_a & (
             zero_b | (ea > eb) | ((ea == eb) & (ma >= mb))
         )
         return np.where(a_wins, ma, mb), np.where(a_wins, ea, eb)
+
+    # -- conversions ----------------------------------------------------
+    def pack(self, mantissas: np.ndarray, exponents: np.ndarray) -> np.ndarray:
+        """Pack (m, e) pairs into (E|M) storage words, zero → 0.
+
+        Vectorized :func:`repro.hw.netlist.pack_float_word`: biased
+        exponent in the high E bits (0 encodes zero), hidden-bit-stripped
+        fraction in the low M bits.
+        """
+        mantissa_bits = self.fmt.mantissa_bits
+        biased = exponents + self.fmt.bias
+        fraction = mantissas - (np.int64(1) << mantissa_bits)
+        return np.where(
+            mantissas == 0, 0, (biased << mantissa_bits) | fraction
+        )
+
+    def to_real(self, mantissas: np.ndarray, exponents: np.ndarray):
+        """Float64 values of (m, e) pairs."""
+        return np.ldexp(
+            mantissas.astype(np.float64),
+            (exponents - self.fmt.mantissa_bits).astype(np.int32),
+        )
+
+
+class FloatBatchExecutor:
+    """Exact batched float emulation on (mantissa, exponent) int64 pairs.
+
+    The tape-sweep front end of :class:`FloatWordKernel` (see its
+    docstring for the operator semantics and exactness argument); this
+    is new in the engine — the seed had no vectorized float path, so
+    float sweeps paid the scalar big-int loop for every instance.
+    """
+
+    def __init__(
+        self,
+        tape: Tape,
+        fmt: FloatFormat,
+        encoder: EvidenceEncoder | None = None,
+    ) -> None:
+        _require_binary_tape(tape)
+        kernel = FloatWordKernel(fmt)
+        self._kernel = kernel
+        self.tape = tape
+        self.fmt = fmt
+        self.encoder = encoder or EvidenceEncoder.for_tape(tape)
+        self._param_mantissas, self._param_exponents = kernel.encode_params(
+            tape.param_values
+        )
+        self._one = kernel.one
+        self._add = kernel.add
+        self._multiply = kernel.multiply
+        self._maximum = kernel.maximum
 
     # -- evaluation -----------------------------------------------------
     def _forward_word_slots(

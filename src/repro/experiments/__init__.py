@@ -8,6 +8,12 @@ from .ablations import (
     decomposition_ablation,
     ordering_ablation,
 )
+from .hardware import (
+    HardwareSurveyRow,
+    render_hardware_survey,
+    run_hardware_survey,
+    survey_network_hardware,
+)
 from .overall import (
     QueryCase,
     Table2Row,
@@ -43,6 +49,7 @@ from .workloads import (
 __all__ = [
     "AccuracyPoint",
     "DecompositionAblationRow",
+    "HardwareSurveyRow",
     "OrderingAblationRow",
     "PAPER_SWEEP",
     "QueryCase",
@@ -58,16 +65,19 @@ __all__ = [
     "decomposition_ablation",
     "ordering_ablation",
     "render_accuracy_sweep",
+    "render_hardware_survey",
     "render_series",
     "render_table2",
     "render_tolerance_sweep",
     "render_workload_sweep",
     "run_alarm_case",
     "run_benchmark_case",
+    "run_hardware_survey",
     "run_fixed_validation",
     "run_float_validation",
     "run_posterior_validation",
     "standard_cases",
+    "survey_network_hardware",
     "table2_csv",
     "tolerance_energy_sweep",
     "validation_csv",

@@ -1,0 +1,133 @@
+"""Hardware-design survey: forward vs backward-pass accelerators (PR 4).
+
+For each benchmark network and workload, run the workload-aware §3.3
+format search, lower the selected format to a pipelined datapath
+(:class:`~repro.hw.netlist.HardwareDesign` — the forward evaluation
+pipeline for the joint workload, the backward-program marginal
+accelerator for the marginals workload), collect latency / register /
+energy metrics, and verify a sampled evidence stream bit-exactly against
+the engine's quantized executors with the vectorized stream simulator.
+
+This is the end-to-end path the ``problp hw`` subcommand serves, bundled
+as a harness so the whole survey regenerates as one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..bn.networks import get_network
+from ..bn.sampling import forward_sample
+from ..compile import compile_network
+from ..core.framework import ProbLP
+from ..core.optimizer import Workload
+from ..core.queries import ErrorTolerance, QueryType
+from ..core.report import format_name, render_table
+from ..hw.verify import check_equivalence
+
+
+@dataclass(frozen=True)
+class HardwareSurveyRow:
+    """Design metrics of one (network, workload) accelerator."""
+
+    network: str
+    workload: str
+    fmt: str
+    outputs: int
+    latency_cycles: int
+    registers: int
+    energy_nj: float
+    verified_vectors: int
+    equivalent: bool
+
+
+def survey_network_hardware(
+    network_name: str,
+    workload: Workload | str,
+    tolerance: float = 0.01,
+    verify_vectors: int = 16,
+    seed: int = 4242,
+) -> HardwareSurveyRow:
+    """Search, generate and stream-verify one accelerator."""
+    workload = Workload.coerce(workload)
+    network = get_network(network_name)
+    framework = ProbLP(
+        compile_network(network),
+        QueryType.MARGINAL,
+        ErrorTolerance.absolute(tolerance),
+    )
+    result = framework.analyze(workload)
+    design = framework.generate_hardware(result=result, workload=workload)
+    leaves = network.leaves()
+    batch = [
+        {leaf: sample[leaf] for leaf in leaves}
+        for sample in forward_sample(network, verify_vectors, rng=seed)
+    ]
+    report = check_equivalence(design, batch)
+    return HardwareSurveyRow(
+        network=network_name,
+        workload=workload.value,
+        fmt=f"{result.selected.kind} [{format_name(design.fmt)}]",
+        outputs=len(design.program.output_slots),
+        latency_cycles=design.latency_cycles,
+        registers=design.program.total_registers,
+        energy_nj=design.energy_proxy().total_nj,
+        verified_vectors=report.num_vectors,
+        equivalent=report.equivalent,
+    )
+
+
+def run_hardware_survey(
+    networks: Sequence[str] = ("sprinkler", "asia"),
+    tolerance: float = 0.01,
+    verify_vectors: int = 16,
+    seed: int = 4242,
+) -> list[HardwareSurveyRow]:
+    """Both workloads' accelerators for each benchmark network."""
+    rows = []
+    for name in networks:
+        for workload in (Workload.JOINT, Workload.MARGINALS):
+            rows.append(
+                survey_network_hardware(
+                    name,
+                    workload,
+                    tolerance=tolerance,
+                    verify_vectors=verify_vectors,
+                    seed=seed,
+                )
+            )
+    return rows
+
+
+def render_hardware_survey(rows: Sequence[HardwareSurveyRow]) -> str:
+    """ASCII table of the survey (the benchmark artifact rendering)."""
+    table_rows = [
+        {
+            "network": row.network,
+            "workload": row.workload,
+            "format": row.fmt,
+            "outputs": str(row.outputs),
+            "latency": str(row.latency_cycles),
+            "registers": str(row.registers),
+            "energy (nJ)": f"{row.energy_nj:.3g}",
+            "verified": (
+                f"{row.verified_vectors} vectors "
+                f"{'bit-exact' if row.equivalent else 'MISMATCH'}"
+            ),
+        }
+        for row in rows
+    ]
+    return render_table(
+        table_rows,
+        [
+            "network",
+            "workload",
+            "format",
+            "outputs",
+            "latency",
+            "registers",
+            "energy (nJ)",
+            "verified",
+        ],
+    )

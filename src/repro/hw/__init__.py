@@ -1,9 +1,13 @@
 """Automatic hardware generation (§3.4 of the paper).
 
 Turns a binary arithmetic circuit plus a number format into a fully
-parallel, fully pipelined datapath: pipeline scheduling with balancing
-registers, quantized constant encoding, Verilog RTL emission, a
-cycle-accurate simulator and bit-exact equivalence checking.
+parallel, fully pipelined datapath: tape-native pipeline scheduling with
+balancing registers, quantized constant encoding, Verilog RTL emission,
+a cycle-accurate oracle simulator, a vectorized whole-stream simulator
+and bit-exact equivalence checking. The whole stack is lowered from the
+engine's compiled tape (:mod:`repro.hw.program`), and both sweep
+directions are first-class: ``workload="marginals"`` builds hardware for
+the backward (derivative) pass, serving every joint marginal per cycle.
 """
 
 from .netlist import (
@@ -16,24 +20,41 @@ from .netlist import (
     unpack_float_word,
 )
 from .pipeline import PipelineSchedule, delay_of_edge, schedule_pipeline
+from .program import (
+    DatapathProgram,
+    forward_program,
+    lower_program,
+    marginals_program,
+)
 from .simulator import PipelineSimulator
+from .stream import StreamSimulator
 from .testbench import emit_testbench
-from .verify import EquivalenceReport, check_equivalence
+from .verify import (
+    EquivalenceReport,
+    check_equivalence,
+    check_marginals_equivalence,
+)
 from .verilog import emit_verilog
 
 __all__ = [
+    "DatapathProgram",
     "EnergyBreakdown",
     "EquivalenceReport",
     "HardwareDesign",
     "PipelineSchedule",
     "PipelineSimulator",
+    "StreamSimulator",
     "check_equivalence",
+    "check_marginals_equivalence",
     "delay_of_edge",
     "emit_testbench",
     "emit_verilog",
     "encode_fixed_word",
     "encode_float_word",
+    "forward_program",
     "generate_hardware",
+    "lower_program",
+    "marginals_program",
     "pack_float_word",
     "schedule_pipeline",
     "unpack_float_word",

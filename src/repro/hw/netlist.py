@@ -1,12 +1,14 @@
-"""Hardware design container: circuit + format + pipeline + encodings.
+"""Hardware design container: datapath program + format + encodings.
 
 :class:`HardwareDesign` is the output of ProbLP's hardware generation
 stage. It bundles the binary circuit, the selected number format, the
-pipeline schedule, the quantized constant encodings, and derived metrics
-(latency, register counts, the post-synthesis-proxy energy). The Verilog
-emitter and the cycle-accurate simulator both consume this object, which
-is what makes the simulator a meaningful check of the emitted RTL: they
-share one source of structural truth.
+lowered :class:`~repro.hw.program.DatapathProgram` (forward evaluation
+or the backward marginal pass), the shared pipeline schedule, the
+quantized constant encodings, and derived metrics (latency, register
+counts, the post-synthesis-proxy energy). The Verilog emitter and both
+simulators consume the same program object, which is what makes the
+simulators a meaningful check of the emitted RTL: they share one source
+of structural truth, itself derived from the engine's compiled tape.
 """
 
 from __future__ import annotations
@@ -14,18 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ac.circuit import ArithmeticCircuit
-from ..ac.nodes import OpType
 from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
 from ..arith.floatingpoint import FloatBackend, FloatFormat, FloatNumber
 from ..energy.estimate import (
-    count_operators,
     datapath_bits,
-    fixed_circuit_energy,
-    float_circuit_energy,
+    operator_energy,
     register_energy,
 )
 from ..energy.models import EnergyModel, PAPER_MODEL
+from ..errors import NonBinaryCircuitError
 from .pipeline import PipelineSchedule, schedule_pipeline
+from .program import DatapathProgram, coerce_direction, lower_program
 
 
 def encode_fixed_word(backend: FixedPointBackend, value: float) -> int:
@@ -80,7 +81,15 @@ class EnergyBreakdown:
 
 
 class HardwareDesign:
-    """A fully pipelined custom datapath for one arithmetic circuit."""
+    """A fully pipelined custom datapath for one arithmetic circuit.
+
+    ``workload`` selects what the datapath computes: ``"joint"`` (or
+    ``"forward"``, the default) implements the upward evaluation with the
+    circuit root as its one result; ``"marginals"`` (or ``"backward"``)
+    additionally implements the backward (derivative) pass, emitting the
+    joint marginal ``Pr(x, e\\X)`` of every λ leaf as one aligned output
+    word per indicator — a marginal-serving accelerator.
+    """
 
     def __init__(
         self,
@@ -88,20 +97,45 @@ class HardwareDesign:
         fmt: FixedPointFormat | FloatFormat,
         energy_model: EnergyModel = PAPER_MODEL,
         module_name: str | None = None,
+        workload: str = "joint",
     ) -> None:
         if not circuit.is_binary:
-            raise ValueError(
+            raise NonBinaryCircuitError(
                 "hardware generation requires a binary circuit; apply "
                 "repro.ac.transform.binarize first"
             )
         self.circuit = circuit
         self.fmt = fmt
         self.energy_model = energy_model
-        self.module_name = module_name or _sanitize(circuit.name)
-        self.schedule: PipelineSchedule = schedule_pipeline(circuit)
+        self.direction = coerce_direction(workload)
+        self.program: DatapathProgram = lower_program(circuit, self.direction)
+        default_name = _sanitize(circuit.name)
+        if self.is_marginal:
+            default_name = f"{default_name}_marginals"
+        self.module_name = module_name or default_name
+        self._schedule: PipelineSchedule | None = None
         self.word_bits = datapath_bits(fmt)
         self.is_fixed = isinstance(fmt, FixedPointFormat)
         self._encode_constants()
+
+    @property
+    def is_marginal(self) -> bool:
+        """True for backward-pass (marginal-serving) designs."""
+        return self.direction == "marginals"
+
+    @property
+    def schedule(self) -> PipelineSchedule:
+        """The *forward evaluation* pipeline schedule of the circuit.
+
+        Stage map and register accounting of the upward sweep only —
+        identical to this design's datapath on forward designs. On
+        marginal designs the implemented datapath is the backward
+        program; its latency/register metrics live on :attr:`program`
+        (and :attr:`latency_cycles`), not here.
+        """
+        if self._schedule is None:
+            self._schedule = schedule_pipeline(self.circuit)
+        return self._schedule
 
     def _encode_constants(self) -> None:
         if self.is_fixed:
@@ -113,18 +147,20 @@ class HardwareDesign:
             encode = lambda v: encode_float_word(backend, v)  # noqa: E731
             self.one_word = pack_float_word(backend.one())
         self.zero_word = 0
-        self.constant_words: dict[int, int] = {}
-        for index, node in enumerate(self.circuit.nodes):
-            if node.op is OpType.PARAMETER:
-                self.constant_words[index] = encode(node.value)
+        self.constant_words: dict[int, int] = {
+            int(slot): encode(float(value))
+            for slot, value in zip(
+                self.program.param_slots, self.program.param_values
+            )
+        }
 
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     @property
     def latency_cycles(self) -> int:
-        """Cycles from λ input to the corresponding root output."""
-        return self.schedule.latency
+        """Cycles from λ input to the corresponding (aligned) outputs."""
+        return self.program.latency
 
     @property
     def throughput_evals_per_cycle(self) -> float:
@@ -135,36 +171,81 @@ class HardwareDesign:
         """Netlist-level energy per evaluation (operators + registers).
 
         This is the reproduction's stand-in for the paper's post-synthesis
-        measurement (see DESIGN.md §4).
+        measurement (see DESIGN.md §4). Operator counts come straight from
+        the datapath program's opcode arrays, so backward-pass designs are
+        priced by the hardware they actually instantiate.
         """
-        if self.is_fixed:
-            operators = fixed_circuit_energy(
-                self.circuit, self.fmt, self.energy_model
-            )
-        else:
-            operators = float_circuit_energy(
-                self.circuit, self.fmt, self.energy_model
-            )
+        operators = operator_energy(
+            self.program.operator_counts, self.fmt, self.energy_model
+        )
         registers = register_energy(
-            self.schedule.total_registers, self.word_bits, self.energy_model
+            self.program.total_registers, self.word_bits, self.energy_model
         )
         return EnergyBreakdown(operators_fj=operators, registers_fj=registers)
 
     def describe(self) -> str:
-        counts = count_operators(self.circuit)
+        counts = self.program.operator_counts
         energy = self.energy_proxy()
         fmt_text = (
             self.fmt.describe()
             if hasattr(self.fmt, "describe")
             else repr(self.fmt)
         )
+        kind = " [marginals]" if self.is_marginal else ""
         return (
-            f"HardwareDesign({self.module_name}: {fmt_text}, "
+            f"HardwareDesign({self.module_name}{kind}: {fmt_text}, "
             f"{counts.adders} add + {counts.multipliers} mul + "
-            f"{counts.max_units} max, {self.schedule.total_registers} regs, "
+            f"{counts.max_units} max, {self.program.total_registers} regs, "
             f"latency {self.latency_cycles} cycles, "
             f"{energy.total_nj:.3g} nJ/eval proxy)"
         )
+
+    def report_dict(self) -> dict:
+        """JSON-friendly design report (the ``problp hw`` payload)."""
+        counts = self.program.operator_counts
+        energy = self.energy_proxy()
+        if self.is_fixed:
+            fmt_payload = {
+                "kind": "fixed",
+                "integer_bits": self.fmt.integer_bits,
+                "fraction_bits": self.fmt.fraction_bits,
+                "rounding": self.fmt.rounding.value,
+            }
+        else:
+            fmt_payload = {
+                "kind": "float",
+                "exponent_bits": self.fmt.exponent_bits,
+                "mantissa_bits": self.fmt.mantissa_bits,
+                "rounding": self.fmt.rounding.value,
+            }
+        return {
+            "module": self.module_name,
+            "circuit": self.circuit.name,
+            "workload": (
+                "marginals" if self.is_marginal else "joint"
+            ),
+            "format": fmt_payload,
+            "word_bits": self.word_bits,
+            "latency_cycles": self.latency_cycles,
+            "throughput_evals_per_cycle": self.throughput_evals_per_cycle,
+            "outputs": len(self.program.output_slots),
+            "operators": {
+                "adders": counts.adders,
+                "multipliers": counts.multipliers,
+                "max_units": counts.max_units,
+            },
+            "registers": {
+                "operator": self.program.operator_registers,
+                "input": self.program.input_registers,
+                "balance": self.program.balance_registers,
+                "total": self.program.total_registers,
+            },
+            "energy": {
+                "operators_fj": energy.operators_fj,
+                "registers_fj": energy.registers_fj,
+                "total_nj": energy.total_nj,
+            },
+        }
 
     # ------------------------------------------------------------------
     # Emission
@@ -191,6 +272,18 @@ def generate_hardware(
     fmt: FixedPointFormat | FloatFormat,
     energy_model: EnergyModel = PAPER_MODEL,
     module_name: str | None = None,
+    workload: str = "joint",
 ) -> HardwareDesign:
     """Generate a fully pipelined hardware design for a binary circuit."""
-    return HardwareDesign(circuit, fmt, energy_model, module_name)
+    return HardwareDesign(circuit, fmt, energy_model, module_name, workload)
+
+
+__all__ = [
+    "EnergyBreakdown",
+    "HardwareDesign",
+    "encode_fixed_word",
+    "encode_float_word",
+    "generate_hardware",
+    "pack_float_word",
+    "unpack_float_word",
+]

@@ -10,14 +10,29 @@ paper's "mismatch in path timings", e.g. the A→G path of Figure 4).
 θ parameters are hardware constants — they need no alignment registers.
 λ indicator words are registered at stage 0 and delayed like any other
 signal.
+
+Stage assignment is **tape-native**: the dependency levels the engine's
+:class:`~repro.engine.analysis.ForwardSchedule` computes for vectorized
+analysis sweeps are exactly the stage boundaries a fully pipelined
+mapping needs (constants and λ leaves at level 0, each operator one
+level after its latest input — constants sit at level 0, so they impose
+no constraint), so this module reads the cached schedule instead of
+re-walking nodes, and register accounting is a vectorized reduction over
+the tape's edge arrays. One source of levelization truth for analysis,
+netlist, Verilog and both simulators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..ac.circuit import ArithmeticCircuit
 from ..ac.nodes import OpType
+from ..engine.analysis import tape_analysis_for
+from ..engine.tape import OP_COPY, tape_for
+from ..errors import NonBinaryCircuitError
 
 
 @dataclass(frozen=True)
@@ -46,43 +61,49 @@ def schedule_pipeline(circuit: ArithmeticCircuit) -> PipelineSchedule:
     one stage after its latest-arriving input. A child signal produced at
     stage ``c`` and consumed by an operator at stage ``s`` crosses
     ``s - 1 - c`` extra balancing registers (constants excepted).
+
+    Stages are read off the tape's cached
+    :class:`~repro.engine.analysis.ForwardSchedule` dependency levels
+    (byte-equal: a binary circuit's tape has one op per operator node and
+    slot indices coincide with node indices); register counts reduce over
+    the tape's edge arrays instead of walking node objects.
     """
     if not circuit.is_binary:
-        raise ValueError(
+        raise NonBinaryCircuitError(
             "pipeline scheduling requires a binary circuit; apply "
             "repro.ac.transform.binarize first"
         )
-    nodes = circuit.nodes
-    stages = [0] * len(nodes)
-    operator_registers = 0
-    input_registers = 0
-    balance_registers = 0
+    tape = tape_for(circuit)
+    levels = tape_analysis_for(tape).schedule.levels
+    # Binary circuits compile without scratch slots: slots == nodes.
+    stages = tuple(int(level) for level in levels)
 
-    for index, node in enumerate(nodes):
-        if node.op is OpType.PARAMETER:
-            stages[index] = 0  # constant: available at every stage
-        elif node.op is OpType.INDICATOR:
-            stages[index] = 0
-            input_registers += 1
-        else:
-            arrival = 0
-            for child in node.children:
-                if nodes[child].op is OpType.PARAMETER:
-                    continue  # constants impose no timing constraint
-                arrival = max(arrival, stages[child])
-            stages[index] = arrival + 1
-            operator_registers += 1
-            for child in node.children:
-                if nodes[child].op is OpType.PARAMETER:
-                    continue
-                balance_registers += stages[index] - 1 - stages[child]
+    is_constant = np.zeros(tape.num_slots, dtype=bool)
+    is_constant[tape.param_slots] = True
+    if tape.num_operations:
+        dest_levels = levels[tape.dests]
+        left_delays = np.where(
+            is_constant[tape.lefts],
+            0,
+            dest_levels - 1 - levels[tape.lefts],
+        )
+        # Copies (degenerate fan-in-1 operators) have one input; their
+        # duplicated right operand must not be double-counted.
+        right_delays = np.where(
+            is_constant[tape.rights] | (tape.opcodes == OP_COPY),
+            0,
+            dest_levels - 1 - levels[tape.rights],
+        )
+        balance_registers = int(left_delays.sum() + right_delays.sum())
+    else:
+        balance_registers = 0
 
     latency = stages[circuit.root]
     return PipelineSchedule(
-        stages=tuple(stages),
+        stages=stages,
         latency=latency,
-        operator_registers=operator_registers,
-        input_registers=input_registers,
+        operator_registers=tape.num_operations,
+        input_registers=len(tape.indicator_slots),
         balance_registers=balance_registers,
     )
 

@@ -5,39 +5,46 @@ vectors at full rate (one per cycle) and compares every output word
 against the expected values computed by the golden Python model
 (:class:`repro.hw.simulator.PipelineSimulator`). Running the testbench
 under any Verilog simulator re-establishes offline exactly the
-equivalence our cycle-accurate simulator checks in-process.
+equivalence our simulators check in-process. Backward-pass (marginal)
+designs are supported: every aligned result port gets its own expected
+array and comparison.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from ..ac.nodes import OpType
 from .netlist import HardwareDesign
 from .simulator import PipelineSimulator
 
 
 def _expected_words(
     design: HardwareDesign, vectors: Sequence[Mapping[str, int]]
-) -> list[int]:
-    """Golden output words for each vector, via the Python model."""
+) -> list[list[int]]:
+    """Golden output words per output port, via the Python model."""
     from .netlist import pack_float_word
 
     simulator = PipelineSimulator(design)
     raw: list = []
     for vector in vectors:
-        raw.append(simulator.step(vector))
+        simulator.step(vector)
+        raw.append(simulator.output_values())
     for _ in range(design.latency_cycles):
-        raw.append(simulator.step(None))
-    words = []
+        simulator.step(None)
+        raw.append(simulator.output_values())
+    num_outputs = len(design.program.output_slots)
+    words: list[list[int]] = [[] for _ in range(num_outputs)]
     for index in range(len(vectors)):
-        value = raw[index + design.latency_cycles]
-        if value is None:
-            raise RuntimeError("pipeline produced X at expected-output time")
-        if design.is_fixed:
-            words.append(value.mantissa)
-        else:
-            words.append(pack_float_word(value))
+        values = raw[index + design.latency_cycles]
+        for position, value in enumerate(values):
+            if value is None:
+                raise RuntimeError(
+                    "pipeline produced X at expected-output time"
+                )
+            if design.is_fixed:
+                words[position].append(value.mantissa)
+            else:
+                words[position].append(pack_float_word(value))
     return words
 
 
@@ -49,26 +56,22 @@ def emit_testbench(
     """Emit a self-checking testbench for ``design`` over ``vectors``."""
     if not vectors:
         raise ValueError("need at least one test vector")
-    circuit = design.circuit
-    indicator_nodes = [
-        (index, node)
-        for index, node in enumerate(circuit.nodes)
-        if node.op is OpType.INDICATOR
-    ]
-    num_inputs = len(indicator_nodes)
+    program = design.program
+    indicator_slots = [int(slot) for slot in program.indicator_slots]
+    num_inputs = len(indicator_slots)
     width = design.word_bits
     latency = design.latency_cycles
     name = testbench_name or f"{design.module_name}_tb"
+    output_names = program.output_names
 
     # Input bit per vector, in indicator order; λ = 1 unless contradicted.
+    encoder = PipelineSimulator(design).encoder
     stimulus_bits = []
     for vector in vectors:
-        lambda_values = circuit.indicator_assignment(vector)
+        active = encoder.encode_one(vector, strict=True)
         bits = "".join(
-            "1"
-            if lambda_values[(node.variable, node.state)] == 1.0
-            else "0"
-            for _, node in reversed(indicator_nodes)
+            "1" if active[position] else "0"
+            for position in reversed(range(num_inputs))
         )
         stimulus_bits.append(bits)
     expected = _expected_words(design, vectors)
@@ -80,30 +83,44 @@ def emit_testbench(
     out("    reg clk = 1'b0;")
     out("    always #5 clk = ~clk;")
     out(f"    reg [{num_inputs - 1}:0] lambda_bits;")
-    out(f"    wire [{width - 1}:0] result;")
+    for port in output_names:
+        out(f"    wire [{width - 1}:0] {port};")
     out("")
     out(f"    {design.module_name} dut (")
     out("        .clk(clk),")
-    for position, (index, node) in enumerate(indicator_nodes):
+    for position, (slot, (variable, state)) in enumerate(
+        zip(indicator_slots, program.indicator_keys)
+    ):
         out(
-            f"        .lambda_{node.variable}_{node.state}"
+            f"        .lambda_{variable}_{state}"
             f"(lambda_bits[{position}]),"
         )
-    out("        .result(result)")
+    for position, port in enumerate(output_names):
+        comma = "," if position < len(output_names) - 1 else ""
+        out(f"        .{port}({port}){comma}")
     out("    );")
     out("")
     total = len(vectors)
+    # Single-output designs keep the seed's plain ``expected`` array name;
+    # multi-output (marginal) designs get one array per result port.
+    array_names = (
+        ["expected"]
+        if len(output_names) == 1
+        else [f"expected{position}" for position in range(len(output_names))]
+    )
     out(f"    reg [{num_inputs - 1}:0] stimulus [0:{total - 1}];")
-    out(f"    reg [{width - 1}:0] expected [0:{total - 1}];")
+    for array in array_names:
+        out(f"    reg [{width - 1}:0] {array} [0:{total - 1}];")
     out("    integer i, errors;")
     out("    initial begin")
     for index, bits in enumerate(stimulus_bits):
         out(f"        stimulus[{index}] = {num_inputs}'b{bits};")
-    for index, word in enumerate(expected):
-        out(
-            f"        expected[{index}] = "
-            f"{width}'h{word:0{(width + 3) // 4}x};"
-        )
+    for position, array in enumerate(array_names):
+        for index, word in enumerate(expected[position]):
+            out(
+                f"        {array}[{index}] = "
+                f"{width}'h{word:0{(width + 3) // 4}x};"
+            )
     out("        errors = 0;")
     out("        // Fill the pipe while streaming one vector per cycle.")
     out(f"        for (i = 0; i < {total + latency}; i = i + 1) begin")
@@ -111,13 +128,18 @@ def emit_testbench(
     out("            @(posedge clk);")
     out("            #1;")
     out(f"            if (i >= {latency}) begin")
-    out(f"                if (result !== expected[i - {latency}]) begin")
-    out(
-        '                    $display("MISMATCH vector %0d: got %h, '
-        f'expected %h", i - {latency}, result, expected[i - {latency}]);'
-    )
-    out("                    errors = errors + 1;")
-    out("                end")
+    for port, array in zip(output_names, array_names):
+        out(
+            f"                if ({port} !== "
+            f"{array}[i - {latency}]) begin"
+        )
+        out(
+            f'                    $display("MISMATCH {port} vector %0d: '
+            f'got %h, expected %h", i - {latency}, {port}, '
+            f"{array}[i - {latency}]);"
+        )
+        out("                    errors = errors + 1;")
+        out("                end")
     out("            end")
     out("        end")
     out('        if (errors == 0) $display("PASS: %0d vectors", '

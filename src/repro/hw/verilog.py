@@ -11,19 +11,20 @@ The emitter prints a self-contained Verilog file:
   word out, fully pipelined with an output register per operator and
   explicit balancing registers per input port.
 
-The top module is printed from the same :class:`HardwareDesign` structure
-the cycle-accurate simulator executes, so the simulator's equivalence
-check (see :mod:`repro.hw.verify`) covers the emitted netlist topology.
-Operator modules mirror the Python golden models; ProbLP's max/min-value
-analysis guarantees the exponent/integer ranges can't over- or underflow
-in these datapaths.
+The top module is printed from the same
+:class:`~repro.hw.program.DatapathProgram` both simulators execute, so
+the simulators' equivalence checks (see :mod:`repro.hw.verify`) cover
+the emitted netlist topology — forward evaluation datapaths and
+backward-pass marginal accelerators alike (the latter emit one aligned
+result port per λ leaf). Operator modules mirror the Python golden
+models; ProbLP's max/min-value analysis guarantees the exponent/integer
+ranges can't over- or underflow in these datapaths.
 """
 
 from __future__ import annotations
 
-from ..ac.nodes import OpType
+from ..engine.tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM
 from .netlist import HardwareDesign
-from .pipeline import delay_of_edge
 
 _FIXED_LIBRARY = """
 // ---------------------------------------------------------------------
@@ -231,9 +232,17 @@ def _library_text(fixed: bool, rounding) -> str:
 
 
 def emit_verilog(design: HardwareDesign) -> str:
-    """Emit the full RTL file for a hardware design."""
-    circuit = design.circuit
-    schedule = design.schedule
+    """Emit the full RTL file for a hardware design.
+
+    Walks the design's :class:`~repro.hw.program.DatapathProgram` — the
+    same schedule-shared structure both simulators execute — so forward
+    and backward-pass designs print through one path. Wire names keep the
+    seed convention (slot indices coincide with circuit node indices on
+    forward designs): ``n<slot>_r`` for λ registers, ``n<slot>_y`` for
+    operator outputs, ``C<slot>`` for θ constants, ``d<slot>_<port>_<k>``
+    for balancing registers, ``o<index>_<k>`` for output alignment.
+    """
+    program = design.program
     width = design.word_bits
     fixed = design.is_fixed
 
@@ -250,20 +259,22 @@ def emit_verilog(design: HardwareDesign) -> str:
     lines: list[str] = []
     out = lines.append
     fmt_text = design.fmt.describe()
+    counts = program.operator_counts
     out("// ------------------------------------------------------------------")
     out(f"// Generated by ProbLP: module {design.module_name}")
+    workload = "marginals (backward pass)" if design.is_marginal else "joint"
+    out(f"// Workload: {workload}  |  outputs: {len(program.output_slots)}")
     out(f"// Format: {fmt_text}  |  word width: {width} bits")
-    stats = circuit.stats()
     out(
-        f"// Operators: {stats.num_sums} add, {stats.num_products} mult, "
-        f"{stats.num_max} max"
+        f"// Operators: {counts.adders} add, {counts.multipliers} mult, "
+        f"{counts.max_units} max"
     )
     out(
-        f"// Pipeline: latency {schedule.latency} cycles, "
-        f"{schedule.total_registers} registers "
-        f"({schedule.operator_registers} operator + "
-        f"{schedule.input_registers} input + "
-        f"{schedule.balance_registers} balancing)"
+        f"// Pipeline: latency {design.latency_cycles} cycles, "
+        f"{program.total_registers} registers "
+        f"({program.operator_registers} operator + "
+        f"{program.input_registers} input + "
+        f"{program.balance_registers} balancing)"
     )
     out("// Throughput: one AC evaluation per clock cycle.")
     out(f"// Rounding: {design.fmt.rounding.value}")
@@ -273,20 +284,20 @@ def emit_verilog(design: HardwareDesign) -> str:
     # ------------------------------------------------------------------
     # Top module
     # ------------------------------------------------------------------
-    indicator_ports = [
-        (index, node)
-        for index, node in enumerate(circuit.nodes)
-        if node.op is OpType.INDICATOR
-    ]
+    indicator_slots = [int(slot) for slot in program.indicator_slots]
     port_names = {
-        index: f"lambda_{node.variable}_{node.state}"
-        for index, node in indicator_ports
+        slot: f"lambda_{variable}_{state}"
+        for slot, (variable, state) in zip(
+            indicator_slots, program.indicator_keys
+        )
     }
     out(f"module {design.module_name} (")
     out("    input  wire clk,")
-    for index, _ in indicator_ports:
-        out(f"    input  wire {port_names[index]},")
-    out(f"    output wire [{width - 1}:0] result")
+    for slot in indicator_slots:
+        out(f"    input  wire {port_names[slot]},")
+    for position, name in enumerate(program.output_names):
+        comma = "," if position < len(program.output_names) - 1 else ""
+        out(f"    output wire [{width - 1}:0] {name}{comma}")
     out(");")
     out(f"    localparam [{width - 1}:0] WORD_ONE  = "
         f"{_word_literal(width, design.one_word)};")
@@ -294,76 +305,101 @@ def emit_verilog(design: HardwareDesign) -> str:
         f"{_word_literal(width, design.zero_word)};")
     out("")
     out("    // θ parameter constants (quantized to the target format)")
-    for index, word in sorted(design.constant_words.items()):
-        node = circuit.node(index)
-        label = node.label or f"theta_{index}"
+    labels = dict(
+        zip((int(s) for s in program.param_slots), program.param_labels)
+    )
+    values = dict(
+        zip((int(s) for s in program.param_slots), program.param_values)
+    )
+    for slot, word in sorted(design.constant_words.items()):
         out(
-            f"    localparam [{width - 1}:0] C{index} = "
-            f"{_word_literal(width, word)};  // {label} = {node.value:.6g}"
+            f"    localparam [{width - 1}:0] C{slot} = "
+            f"{_word_literal(width, word)};  // {labels[slot]} = "
+            f"{float(values[slot]):.6g}"
         )
     out("")
     out("    // Stage-0 registers for λ indicator words")
-    for index, _ in indicator_ports:
-        out(f"    reg [{width - 1}:0] n{index}_r;")
+    for slot in indicator_slots:
+        out(f"    reg [{width - 1}:0] n{slot}_r;")
         out(
-            f"    always @(posedge clk) n{index}_r <= "
-            f"{port_names[index]} ? WORD_ONE : WORD_ZERO;"
+            f"    always @(posedge clk) n{slot}_r <= "
+            f"{port_names[slot]} ? WORD_ONE : WORD_ZERO;"
         )
     out("")
     out("    // Balancing registers (path-timing alignment, Figure 4)")
-    source_expr: dict[int, str] = {}
-    for index, node in enumerate(circuit.nodes):
-        if node.op is OpType.PARAMETER:
-            source_expr[index] = f"C{index}"
-        elif node.op is OpType.INDICATOR:
-            source_expr[index] = f"n{index}_r"
-        else:
-            source_expr[index] = f"n{index}_y"
+    source_expr: dict[int, str] = {
+        int(slot): f"C{int(slot)}" for slot in program.param_slots
+    }
+    for slot in indicator_slots:
+        source_expr[slot] = f"n{slot}_r"
+    for dest in program.dests:
+        source_expr[int(dest)] = f"n{int(dest)}_y"
+
+    def emit_chain(source: int, depth: int, stem: str) -> str:
+        """Print a delay chain and return its tail expression."""
+        previous = source_expr[source]
+        for k in range(1, depth + 1):
+            name = f"{stem}_{k}"
+            out(f"    reg [{width - 1}:0] {name};")
+            out(f"    always @(posedge clk) {name} <= {previous};")
+            previous = name
+        return previous
 
     port_expr: dict[tuple[int, int], str] = {}
-    for index, node in enumerate(circuit.nodes):
-        if not node.op.is_operator:
-            continue
-        for port, child in enumerate(node.children):
-            depth = delay_of_edge(schedule, circuit, child, index)
+    for position, (opcode, dest, left, right) in enumerate(
+        program.op_tuples
+    ):
+        ports = ((0, left),) if opcode == OP_COPY else ((0, left), (1, right))
+        for port, source in ports:
+            depth = program.input_delay(position, port)
             if depth <= 0:
-                port_expr[(index, port)] = source_expr[child]
-                continue
-            previous = source_expr[child]
-            for k in range(1, depth + 1):
-                name = f"d{index}_{port}_{k}"
-                out(f"    reg [{width - 1}:0] {name};")
-                out(f"    always @(posedge clk) {name} <= {previous};")
-                previous = name
-            port_expr[(index, port)] = previous
+                port_expr[(dest, port)] = source_expr[source]
+            else:
+                port_expr[(dest, port)] = emit_chain(
+                    source, depth, f"d{dest}_{port}"
+                )
     out("")
     out("    // Pipelined operators (output registers inside the modules)")
     prefix = "problp_fixed" if fixed else "problp_float"
     if fixed:
-        params = (
-            f"#(.WIDTH({width}), .FRAC({design.fmt.fraction_bits}))",
-            f"#(.WIDTH({width}))",
-        )
-        mult_param, other_param = params
+        mult_param = f"#(.WIDTH({width}), .FRAC({design.fmt.fraction_bits}))"
+        other_param = f"#(.WIDTH({width}))"
     else:
         shared = (
             f"#(.EXP({design.fmt.exponent_bits}), "
             f".MAN({design.fmt.mantissa_bits}))"
         )
         mult_param = other_param = shared
-    for index, node in enumerate(circuit.nodes):
-        if not node.op.is_operator:
+    kind_of = {OP_SUM: "add", OP_PRODUCT: "mult", OP_MAX: "max"}
+    for opcode, dest, left, right in program.op_tuples:
+        if opcode == OP_COPY:
+            # Degenerate fan-in-1 operator: a plain pipeline register.
+            out(f"    reg [{width - 1}:0] n{dest}_y;")
+            out(
+                f"    always @(posedge clk) n{dest}_y <= "
+                f"{port_expr[(dest, 0)]};"
+            )
             continue
-        kind = {"sum": "add", "product": "mult", "max": "max"}[node.op.value]
+        kind = kind_of[opcode]
         param = mult_param if kind == "mult" else other_param
-        a = port_expr[(index, 0)]
-        b = port_expr[(index, 1)] if len(node.children) > 1 else a
-        out(f"    wire [{width - 1}:0] n{index}_y;")
+        a = port_expr[(dest, 0)]
+        b = port_expr[(dest, 1)]
+        out(f"    wire [{width - 1}:0] n{dest}_y;")
         out(
-            f"    {prefix}_{kind} {param} u{index} "
-            f"(.clk(clk), .a({a}), .b({b}), .y(n{index}_y));"
+            f"    {prefix}_{kind} {param} u{dest} "
+            f"(.clk(clk), .a({a}), .b({b}), .y(n{dest}_y));"
         )
     out("")
-    out(f"    assign result = {source_expr[circuit.root]};")
+    if design.is_marginal:
+        out("    // Output alignment registers (all results in one cycle)")
+    for index, name in enumerate(program.output_names):
+        slot = int(program.output_slots[index])
+        depth = program.output_delay(index)
+        expr = (
+            emit_chain(slot, depth, f"o{index}")
+            if depth > 0
+            else source_expr[slot]
+        )
+        out(f"    assign {name} = {expr};")
     out("endmodule")
     return "\n".join(lines) + "\n"

@@ -195,3 +195,82 @@ class TestReportHelpers:
         lines = text.splitlines()
         assert len(lines) == 4
         assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestMeasuredParetoFront:
+    def _optimized(self, sprinkler_ac, workload="joint"):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        return framework.optimize(
+            workload=workload,
+            validation_batch=[{"Rain": 1}, {"WetGrass": 0}, {}],
+        )
+
+    def test_front_covers_every_feasible_candidate(self, sprinkler_ac):
+        result = self._optimized(sprinkler_ac)
+        assert result.measured_front is not None
+        feasible = [
+            option
+            for option in (result.selection.fixed, result.selection.float_)
+            if option.feasible
+        ]
+        assert len(result.measured_front) == len(feasible)
+        kinds = {point.kind for point in result.measured_front}
+        assert kinds == {option.kind for option in feasible}
+
+    def test_selected_point_first_and_flagged(self, sprinkler_ac):
+        result = self._optimized(sprinkler_ac)
+        front = result.measured_front
+        assert front[0].selected
+        assert front[0].kind == result.selected.kind
+        assert all(not point.selected for point in front[1:])
+
+    def test_measured_errors_sit_below_their_bounds(self, sprinkler_ac):
+        result = self._optimized(sprinkler_ac)
+        for point in result.measured_front:
+            assert point.holds
+            assert point.mean_error <= point.max_error
+        # The selected point's measurement is the classic empirical field.
+        assert result.empirical is not None
+        assert result.empirical.max_error == result.measured_front[0].max_error
+
+    def test_marginals_workload_front_is_float_only(self, sprinkler_ac):
+        result = self._optimized(sprinkler_ac, workload="marginals")
+        # Fixed point is excluded by the normalizing-division policy, so
+        # the front holds exactly the float winner.
+        assert len(result.measured_front) == 1
+        assert result.measured_front[0].kind == "float"
+
+    def test_front_round_trips_through_json(self, sprinkler_ac):
+        from repro.core.report import ProbLPResult
+
+        result = self._optimized(sprinkler_ac)
+        rebuilt = ProbLPResult.from_json_dict(result.to_json_dict())
+        assert rebuilt.measured_front == result.measured_front
+        assert "measured front" in rebuilt.summary()
+
+
+class TestMarginalHardwareGeneration:
+    def test_generate_marginal_accelerator(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        design = framework.generate_hardware(workload="marginals")
+        assert design.is_marginal
+        # The format search ran for the marginals workload: float only.
+        from repro.arith import FloatFormat
+
+        assert isinstance(design.fmt, FloatFormat)
+        assert len(design.program.output_slots) == len(
+            design.program.indicator_slots
+        )
+
+    def test_result_workload_selects_direction(self, sprinkler_ac):
+        framework = ProbLP(
+            sprinkler_ac, QueryType.MARGINAL, ErrorTolerance.absolute(0.01)
+        )
+        result = framework.analyze(workload="marginals")
+        design = framework.generate_hardware(result=result)
+        assert design.is_marginal
+        assert design.fmt == result.selected_format

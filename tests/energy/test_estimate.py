@@ -105,3 +105,61 @@ class TestRegisters:
         assert datapath_bits(FloatFormat(8, 13)) == 21
         with pytest.raises(TypeError):
             datapath_bits(3.14)
+
+
+class TestTapeDerivedCounts:
+    def test_counts_match_node_walk(self, alarm_binary):
+        """Tape-opcode counts equal a literal node walk of the circuit."""
+        from repro.ac.nodes import OpType
+
+        walked = {"sum": 0, "product": 0, "max": 0}
+        for node in alarm_binary.nodes:
+            if len(node.children) == 2:
+                walked[node.op.value] += 1
+        counts = count_operators(alarm_binary)
+        assert counts.adders == walked["sum"]
+        assert counts.multipliers == walked["product"]
+        assert counts.max_units == walked["max"]
+        assert OpType.SUM.value == "sum"
+
+    def test_non_binary_raises_typed_error(self):
+        from repro.errors import NonBinaryCircuitError
+
+        circuit = ArithmeticCircuit()
+        parts = [circuit.add_parameter(0.1 * i) for i in range(1, 4)]
+        circuit.set_root(circuit.add_sum(parts))
+        with pytest.raises(NonBinaryCircuitError):
+            count_operators(circuit)
+
+    def test_counts_cached_per_tape(self, alarm_binary):
+        assert count_operators(alarm_binary) is count_operators(alarm_binary)
+
+    def test_counts_from_opcodes(self):
+        import numpy as np
+
+        from repro.energy.estimate import counts_from_opcodes
+        from repro.engine.tape import OP_PRODUCT, OP_SUM
+
+        counts = counts_from_opcodes(
+            np.asarray([OP_SUM, OP_PRODUCT, OP_SUM], dtype=np.int32)
+        )
+        assert (counts.adders, counts.multipliers, counts.max_units) == (
+            2,
+            1,
+            0,
+        )
+
+    def test_operator_energy_matches_circuit_helpers(self, alarm_binary):
+        from repro.energy.estimate import operator_energy
+
+        counts = count_operators(alarm_binary)
+        fixed_fmt = FixedPointFormat(1, 15)
+        float_fmt = FloatFormat(8, 13)
+        assert operator_energy(counts, fixed_fmt) == pytest.approx(
+            fixed_circuit_energy(alarm_binary, fixed_fmt)
+        )
+        assert operator_energy(counts, float_fmt) == pytest.approx(
+            float_circuit_energy(alarm_binary, float_fmt)
+        )
+        with pytest.raises(TypeError):
+            operator_energy(counts, "int8")

@@ -1,0 +1,49 @@
+"""Tests for repro.experiments.hardware (accelerator survey)."""
+
+from repro.experiments.hardware import (
+    render_hardware_survey,
+    run_hardware_survey,
+    survey_network_hardware,
+)
+
+
+class TestSurveyRow:
+    def test_sprinkler_joint_row(self):
+        row = survey_network_hardware(
+            "sprinkler", "joint", verify_vectors=5
+        )
+        assert row.workload == "joint"
+        assert row.outputs == 1
+        assert row.equivalent
+        assert row.verified_vectors == 5
+        assert row.latency_cycles > 0
+        assert row.energy_nj > 0
+
+    def test_sprinkler_marginals_row(self):
+        row = survey_network_hardware(
+            "sprinkler", "marginals", verify_vectors=5
+        )
+        assert row.workload == "marginals"
+        assert row.outputs > 1
+        assert row.fmt.startswith("float")
+        assert row.equivalent
+
+    def test_marginal_accelerator_costs_more(self):
+        joint = survey_network_hardware("sprinkler", "joint", verify_vectors=3)
+        marginals = survey_network_hardware(
+            "sprinkler", "marginals", verify_vectors=3
+        )
+        # The backward pass roughly triples the datapath.
+        assert marginals.registers > joint.registers
+        assert marginals.latency_cycles >= joint.latency_cycles
+
+
+class TestSurveyTable:
+    def test_runs_both_workloads_per_network(self):
+        rows = run_hardware_survey(
+            networks=("sprinkler",), verify_vectors=3
+        )
+        assert [row.workload for row in rows] == ["joint", "marginals"]
+        text = render_hardware_survey(rows)
+        assert "bit-exact" in text
+        assert "sprinkler" in text

@@ -187,3 +187,142 @@ class TestMarginalsCommand:
     def test_mpe_circuit_rejected_cleanly(self):
         with pytest.raises(SystemExit, match="MAX"):
             main(["marginals", "--network", "asia", "--query", "mpe"])
+
+
+class TestHwCommand:
+    def test_forward_design_report(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "hw",
+                    "--network",
+                    "sprinkler",
+                    "--tolerance",
+                    "abs:0.01",
+                    "--verify",
+                    "6",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "joint"
+        assert payload["selected_by_search"] is True
+        assert payload["latency_cycles"] > 0
+        assert payload["registers"]["total"] == (
+            payload["registers"]["operator"]
+            + payload["registers"]["input"]
+            + payload["registers"]["balance"]
+        )
+        assert payload["verification"]["equivalent"] is True
+        assert payload["verification"]["vectors"] == 6
+
+    def test_marginals_design_verified_bit_exact(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "hw",
+                    "--network",
+                    "sprinkler",
+                    "--workload",
+                    "marginals",
+                    "--verify",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "marginals"
+        assert payload["format"]["kind"] == "float"
+        assert payload["outputs"] > 1
+        assert payload["verification"]["equivalent"] is True
+        assert payload["verification"]["max_abs_difference"] == 0.0
+
+    def test_forced_format_skips_search(self, capsys):
+        import json
+
+        assert (
+            main(
+                ["hw", "--network", "sprinkler", "--format", "fixed:2:12"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["selected_by_search"] is False
+        assert payload["format"] == {
+            "kind": "fixed",
+            "integer_bits": 2,
+            "fraction_bits": 12,
+            "rounding": "nearest-even",
+        }
+        assert payload["verification"] is None
+
+    def test_output_writes_verilog(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "design.v"
+        assert (
+            main(
+                [
+                    "hw",
+                    "--network",
+                    "sprinkler",
+                    "--workload",
+                    "marginals",
+                    "--output",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verilog"] == str(path)
+        text = path.read_text()
+        assert "module" in text and "result_Rain_0" in text
+
+    def test_infeasible_tolerance_clean_message(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "hw",
+                    "--network",
+                    "sprinkler",
+                    "--tolerance",
+                    "abs:1e-30",
+                ]
+            )
+        assert "no feasible representation" in str(excinfo.value)
+
+    def test_marginals_on_mpe_clean_message(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "hw",
+                    "--network",
+                    "sprinkler",
+                    "--query",
+                    "mpe",
+                    "--workload",
+                    "marginals",
+                ]
+            )
+        assert "MPE" in str(excinfo.value)
+
+    def test_verify_needs_network(self, tmp_path):
+        from repro.ac.io import save_circuit
+        from repro.ac.transform import binarize
+        from repro.bn.networks import sprinkler_network
+        from repro.compile import compile_network
+
+        circuit = binarize(
+            compile_network(sprinkler_network()).circuit
+        ).circuit
+        path = tmp_path / "c.acjson"
+        save_circuit(circuit, path)
+        with pytest.raises(SystemExit, match="--verify needs"):
+            main(["hw", "--circuit", str(path), "--verify", "4"])
