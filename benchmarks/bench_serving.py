@@ -1,0 +1,202 @@
+"""Micro-batched serving throughput benchmark (gated ≥ 5×).
+
+Measures the serving layer end to end — sockets, JSON protocol and all —
+on the binarized Alarm circuit:
+
+* **sequential per-request dispatch**: one request on the wire at a
+  time, each answered before the next is sent. Every query pays its own
+  tape replay (a micro-batch of one).
+* **micro-batched dispatch**: the same requests pipelined on one
+  connection; the server's micro-batching queue coalesces them into
+  vectorized tape replays and scatters the answers back.
+
+Both modes run against the same server with the same ``batch_window=0``
+configuration (the window only opens when concurrency exists, so lone
+sequential requests pay no waiting penalty — the comparison isolates
+*coalescing*, not added latency). The speedup is asserted ≥ 5× for
+exact float64 evaluation, quantized evaluation and all-marginals
+serving; answers are additionally checked bit-identical to direct
+:class:`InferenceSession` calls. Results are persisted as a stamped
+JSON artifact (``serving_microbatch.json``) that CI uploads.
+
+Run with ``-s`` to see the table::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import write_json_result, write_result
+from repro.arith import FixedPointFormat
+from repro.serve import (
+    BackgroundServer,
+    CircuitRegistry,
+    CircuitSource,
+    ServeClient,
+)
+
+#: Requests per burst: large enough that coalescing dominates socket
+#: overhead, small enough to keep the whole bench sub-minute in CI.
+EVAL_REQUESTS = 96
+MARGINAL_REQUESTS = 48
+REPEATS = 3
+
+FIXED = FixedPointFormat(1, 15)
+
+
+@pytest.fixture(scope="module")
+def serving():
+    registry = CircuitRegistry([CircuitSource("alarm", "builtin")])
+    with BackgroundServer(registry, batch_window=0.0) as server:
+        with ServeClient(server.host, server.port, timeout=300) as client:
+            # Warm up: compile the tape, executors and backward program.
+            client.eval("alarm", {}, fmt=FIXED)
+            client.marginals("alarm", {})
+            yield registry, client
+
+
+def _measure(worker) -> float:
+    """Best-of-N wall time of a traffic pattern (seconds)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        worker()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _run_pattern(client, requests):
+    """Sequential vs pipelined timings plus the pipelined responses."""
+    sequential = _measure(
+        lambda: [client.request(request) for request in requests]
+    )
+    pipelined_responses = []
+
+    def burst():
+        pipelined_responses.clear()
+        pipelined_responses.extend(client.request_many(requests))
+    pipelined = _measure(burst)
+    for response in pipelined_responses:
+        assert response.ok, response.error_message
+    return sequential, pipelined, pipelined_responses
+
+
+def _row(name, count, sequential, pipelined, largest):
+    return {
+        "workload": name,
+        "requests": count,
+        "sequential_s": sequential,
+        "microbatched_s": pipelined,
+        "speedup": sequential / pipelined,
+        "largest_batch": largest,
+        "sequential_rps": count / sequential,
+        "microbatched_rps": count / pipelined,
+    }
+
+
+def _render(rows) -> str:
+    lines = [
+        f"{'workload':<22}{'requests':>9}{'sequential':>12}"
+        f"{'batched':>10}{'speedup':>9}{'max batch':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['workload']:<22}{row['requests']:>9}"
+            f"{row['sequential_s'] * 1e3:>10.1f}ms"
+            f"{row['microbatched_s'] * 1e3:>8.1f}ms"
+            f"{row['speedup']:>8.1f}x"
+            f"{row['largest_batch']:>10}"
+        )
+    return "\n".join(lines)
+
+
+class TestServingThroughput:
+    def test_microbatching_speedup(self, serving):
+        registry, client = serving
+        session = registry.entry("alarm").session
+        rows = []
+
+        # -- exact float64 eval ----------------------------------------
+        requests = [
+            {"op": "eval", "circuit": "alarm", "evidence": {}}
+            for _ in range(EVAL_REQUESTS)
+        ]
+        sequential, pipelined, responses = _run_pattern(client, requests)
+        expected = float(session.evaluate_batch([{}], strict=True)[0])
+        assert all(
+            response.result["value"] == expected for response in responses
+        )
+        rows.append(
+            _row(
+                "eval float64",
+                EVAL_REQUESTS,
+                sequential,
+                pipelined,
+                max(r.result["batched"] for r in responses),
+            )
+        )
+
+        # -- quantized eval --------------------------------------------
+        requests = [
+            {
+                "op": "eval",
+                "circuit": "alarm",
+                "evidence": {},
+                "format": "fixed:1:15",
+            }
+            for _ in range(EVAL_REQUESTS)
+        ]
+        sequential, pipelined, responses = _run_pattern(client, requests)
+        expected = float(
+            session.evaluate_quantized_batch(FIXED, [{}], strict=True)[0]
+        )
+        assert all(
+            response.result["quantized"] == expected
+            for response in responses
+        )
+        rows.append(
+            _row(
+                "eval fixed:1:15",
+                EVAL_REQUESTS,
+                sequential,
+                pipelined,
+                max(r.result["batched"] for r in responses),
+            )
+        )
+
+        # -- all-marginals ---------------------------------------------
+        requests = [
+            {"op": "marginals", "circuit": "alarm", "evidence": {}}
+            for _ in range(MARGINAL_REQUESTS)
+        ]
+        sequential, pipelined, responses = _run_pattern(client, requests)
+        direct = session.marginals_batch([{}], strict=True)
+        sample = responses[0].result["posteriors"]
+        assert sample["HYPOVOLEMIA"] == [
+            float(p) for p in direct["HYPOVOLEMIA"][:, 0]
+        ]
+        rows.append(
+            _row(
+                "marginals float64",
+                MARGINAL_REQUESTS,
+                sequential,
+                pipelined,
+                max(r.result["batched"] for r in responses),
+            )
+        )
+
+        report = _render(rows)
+        print()
+        print(report)
+        write_result("serving_microbatch.txt", report + "\n")
+        write_json_result("serving_microbatch.json", rows)
+
+        # The acceptance gate: micro-batched serving ≥ 5× sequential
+        # per-request dispatch, on every workload.
+        for row in rows:
+            assert row["speedup"] >= 5.0, report
+            assert row["largest_batch"] > 1, report

@@ -17,7 +17,13 @@ from .inference import (
     probability_of_evidence,
 )
 from ..errors import ZeroEvidenceError
-from .io import load_network, network_from_dict, network_to_dict, save_network
+from .io import (
+    load_any_network,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
 from .learning import estimate_cpt, fit_parameters, train_naive_bayes
 from .naive_bayes import NaiveBayesClassifier
 from .network import BayesianNetwork
@@ -38,6 +44,7 @@ __all__ = [
     "fit_parameters",
     "forward_sample",
     "load_bif",
+    "load_any_network",
     "load_network",
     "make_variables",
     "marginal",

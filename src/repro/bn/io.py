@@ -74,3 +74,19 @@ def save_network(network: BayesianNetwork, path: str | Path) -> None:
 def load_network(path: str | Path) -> BayesianNetwork:
     """Read a network previously written by :func:`save_network`."""
     return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_any_network(path: str | Path) -> BayesianNetwork:
+    """Load a network from ``.bif`` or ``.json``, dispatching on suffix.
+
+    The single entry point the serving registry (and other front ends
+    that accept "a network file") uses: BIF files go through
+    :func:`repro.bn.bif.load_bif`, everything else is treated as the
+    JSON document of :func:`save_network`.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".bif":
+        from .bif import load_bif
+
+        return load_bif(path)
+    return load_network(path)

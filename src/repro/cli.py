@@ -51,20 +51,12 @@ from .core.queries import ErrorTolerance, QueryType
 
 
 def _parse_tolerance(text: str) -> ErrorTolerance:
+    from .specs import SpecError, parse_tolerance_spec
+
     try:
-        kind, raw_value = text.split(":", 1)
-        value = float(raw_value)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"tolerance must look like 'abs:0.01' or 'rel:0.01', got {text!r}"
-        ) from None
-    if kind == "abs":
-        return ErrorTolerance.absolute(value)
-    if kind == "rel":
-        return ErrorTolerance.relative(value)
-    raise argparse.ArgumentTypeError(
-        f"tolerance kind must be 'abs' or 'rel', got {kind!r}"
-    )
+        return parse_tolerance_spec(text)
+    except SpecError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _parse_query(text: str) -> QueryType:
@@ -183,13 +175,10 @@ def cmd_compile(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    from .errors import InfeasibleFormatError, NonBinaryCircuitError
-
     framework = _build_framework(args)
-    try:
-        result = framework.analyze()
-    except (InfeasibleFormatError, NonBinaryCircuitError) as error:
-        raise SystemExit(str(error)) from None
+    # Typed errors (InfeasibleFormatError, NonBinaryCircuitError, …)
+    # are turned into clean one-line exits by main()'s backstop.
+    result = framework.analyze()
     print(result.summary())
     return 0
 
@@ -198,11 +187,7 @@ def cmd_optimize(args) -> int:
     """Workload-aware format search with JSON output (§3.3, Figure 2)."""
     import json
 
-    from .errors import (
-        InfeasibleFormatError,
-        NonBinaryCircuitError,
-        ZeroEvidenceError,
-    )
+    from .errors import ZeroEvidenceError
 
     network = _load_network(args)
     framework = _build_framework(args, network)
@@ -217,12 +202,14 @@ def cmd_optimize(args) -> int:
         result = framework.optimize(
             workload=args.workload, validation_batch=validation_batch
         )
-    except (InfeasibleFormatError, NonBinaryCircuitError, ValueError) as error:
-        raise SystemExit(str(error)) from None
     except ZeroEvidenceError as error:
         raise SystemExit(
             f"cannot validate posterior marginals: {error}"
         ) from None
+    except ValueError as error:
+        # Covers the typed errors (subclasses) plus validation-policy
+        # complaints — one clean line either way.
+        raise SystemExit(str(error)) from None
     print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
     if args.summary:
         print(result.summary(), file=sys.stderr)
@@ -230,13 +217,8 @@ def cmd_optimize(args) -> int:
 
 
 def cmd_hwgen(args) -> int:
-    from .errors import InfeasibleFormatError
-
     framework = _build_framework(args)
-    try:
-        result = framework.analyze()
-    except InfeasibleFormatError as error:
-        raise SystemExit(str(error)) from None
+    result = framework.analyze()
     design = framework.generate_hardware(result=result)
     verilog = design.verilog()
     if args.output:
@@ -262,8 +244,6 @@ def cmd_hw(args) -> int:
     """Tape-native hardware generation with a JSON design report."""
     import json
 
-    from .errors import InfeasibleFormatError, NonBinaryCircuitError
-
     network = _load_network(args)
     framework = _build_framework(args, network)
     try:
@@ -281,9 +261,9 @@ def cmd_hw(args) -> int:
         design = framework.generate_hardware(
             fmt=fmt, result=result, workload=args.workload
         )
-    except (InfeasibleFormatError, NonBinaryCircuitError) as error:
-        raise SystemExit(str(error)) from None
     except ValueError as error:
+        # Covers the typed errors (subclasses) and e.g. "marginals
+        # hardware for a max circuit" — one clean line either way.
         raise SystemExit(str(error)) from None
 
     payload = design.report_dict()
@@ -376,23 +356,12 @@ def cmd_table2(args) -> int:
 
 def _parse_format(text: str):
     """``fixed:I:F`` or ``float:E:M`` → a number format."""
-    from .arith import FixedPointFormat, FloatFormat
+    from .specs import SpecError, parse_format_spec
 
     try:
-        kind, first, second = text.split(":", 2)
-        first, second = int(first), int(second)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"format must look like 'fixed:1:15' (I:F) or 'float:8:14' "
-            f"(E:M), got {text!r}"
-        ) from None
-    if kind == "fixed":
-        return FixedPointFormat(first, second)
-    if kind == "float":
-        return FloatFormat(first, second)
-    raise argparse.ArgumentTypeError(
-        f"format kind must be 'fixed' or 'float', got {kind!r}"
-    )
+        return parse_format_spec(text)
+    except SpecError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _resolve_eval_setup(args):
@@ -537,6 +506,113 @@ def cmd_marginals(args) -> int:
         f"{elapsed * 1e3:.2f} ms on {session.tape.describe()}",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve circuits over the async micro-batching protocol."""
+    import asyncio
+
+    from .serve import CircuitRegistry, ProbLPServer, ShardedServer
+
+    explicit = (
+        args.network or args.bif or args.network_json or args.circuit
+    )
+    try:
+        if explicit:
+            from .bn.networks import available_networks
+
+            registry = CircuitRegistry()
+            for name in args.network or ():
+                if name not in available_networks():
+                    raise SystemExit(
+                        f"unknown built-in network {name!r}; available: "
+                        f"{', '.join(available_networks())}"
+                    )
+                registry.add_builtin(name)
+            for flag, suffix, paths in (
+                ("--bif", ".bif", args.bif or ()),
+                ("--network-json", ".json", args.network_json or ()),
+                ("--circuit", ".acjson", args.circuit or ()),
+            ):
+                for path in paths:
+                    if path.suffix.lower() != suffix:
+                        raise SystemExit(
+                            f"{flag} expects a {suffix} file, got {path}"
+                        )
+                    if not path.is_file():
+                        raise SystemExit(f"{flag}: no such file: {path}")
+                    registry.add_path(path)
+        else:
+            registry = CircuitRegistry.default()
+    except ValueError as error:
+        # e.g. two sources whose stems collide on one circuit name.
+        raise SystemExit(str(error)) from None
+
+    window = args.batch_window_ms / 1000.0
+    if args.shards > 0:
+        sharded = ShardedServer(
+            registry,
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            batch_window=window,
+            max_batch=args.max_batch,
+        )
+        try:
+            sharded.start()
+        except (OSError, RuntimeError) as error:
+            # The front runs on a loop thread, so a bind failure arrives
+            # wrapped — report the root cause in one clean line.
+            raise SystemExit(
+                f"problp serve: {error.__cause__ or error}"
+            ) from None
+        print(
+            f"problp serve: {len(registry)} circuit(s) on "
+            f"{sharded.host}:{sharded.port} across "
+            f"{len(sharded.shard_addresses)} shard worker(s) "
+            f"(batch window {args.batch_window_ms:g} ms) — Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            import threading
+
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            print("problp serve: draining...", file=sys.stderr)
+            sharded.stop()
+        return 0
+
+    async def run() -> None:
+        server = ProbLPServer(
+            registry,
+            args.host,
+            args.port,
+            batch_window=window,
+            max_batch=args.max_batch,
+        )
+        await server.start()
+        print(
+            f"problp serve: {len(registry)} circuit(s) on "
+            f"{server.host}:{server.port} "
+            f"(batch window {args.batch_window_ms:g} ms) — Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("problp serve: stopped", file=sys.stderr)
+    except OSError as error:
+        # e.g. the port is already in use — one clean line, like every
+        # other CLI failure path.
+        raise SystemExit(f"problp serve: {error}") from None
     return 0
 
 
@@ -706,6 +782,65 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--instances", type=int, default=40)
     table2.set_defaults(handler=cmd_table2)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve circuits over the async micro-batching JSON protocol "
+        "(optionally sharded across worker processes)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7501,
+        help="TCP port (0 picks an ephemeral port; default 7501)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition circuits across N worker processes behind a "
+        "routing front (0 = single-process, default)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window: concurrent requests against the "
+        "same (circuit, format, workload) coalesce into one vectorized "
+        "tape replay (default 2 ms)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="flush a micro-batch early at this many requests",
+    )
+    serve.add_argument(
+        "--network",
+        action="append",
+        help="serve this built-in network (repeatable; default: all)",
+    )
+    serve.add_argument(
+        "--bif",
+        action="append",
+        type=Path,
+        help="serve a Bayesian network from a BIF file (repeatable)",
+    )
+    serve.add_argument(
+        "--network-json",
+        action="append",
+        type=Path,
+        help="serve a Bayesian network saved as JSON by "
+        "repro.bn.io.save_network (repeatable)",
+    )
+    serve.add_argument(
+        "--circuit",
+        action="append",
+        type=Path,
+        help="serve a saved .acjson circuit (repeatable)",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
     networks = subparsers.add_parser(
         "networks", help="list built-in benchmark networks"
     )
@@ -724,6 +859,22 @@ def main(argv: list[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except _typed_errors() as error:
+        # Backstop: every subcommand turns the library's typed errors
+        # (infeasible format, non-binary circuit, zero-probability
+        # evidence) into one clean line on stderr and a non-zero exit,
+        # traceback-free — whether or not the handler added context.
+        raise SystemExit(str(error)) from None
+
+
+def _typed_errors() -> tuple[type[BaseException], ...]:
+    from .errors import (
+        InfeasibleFormatError,
+        NonBinaryCircuitError,
+        ZeroEvidenceError,
+    )
+
+    return (InfeasibleFormatError, NonBinaryCircuitError, ZeroEvidenceError)
 
 
 if __name__ == "__main__":

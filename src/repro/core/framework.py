@@ -77,6 +77,8 @@ class ProbLP:
         query: QueryType,
         tolerance: ErrorTolerance,
         config: ProbLPConfig | None = None,
+        *,
+        binary_circuit: ArithmeticCircuit | None = None,
     ) -> None:
         if hasattr(circuit, "circuit"):  # CompiledCircuit and friends
             circuit = circuit.circuit
@@ -89,9 +91,19 @@ class ProbLP:
         self.config = config or ProbLPConfig()
         self.spec = QuerySpec(query=query, tolerance=tolerance)
         self.source_circuit = circuit
-        self.binary_circuit = binarize(
-            circuit, strategy=self.config.decomposition
-        ).circuit
+        if binary_circuit is not None:
+            # A caller that already binarized (the serving registry keeps
+            # one binarized circuit per entry) passes it through so every
+            # framework instance shares the same cached tape/session.
+            if not binary_circuit.is_binary:
+                raise ValueError(
+                    "binary_circuit must satisfy circuit.is_binary"
+                )
+            self.binary_circuit = binary_circuit
+        else:
+            self.binary_circuit = binarize(
+                circuit, strategy=self.config.decomposition
+            ).circuit
         self.analysis = CircuitAnalysis.of(self.binary_circuit)
 
     # ------------------------------------------------------------------

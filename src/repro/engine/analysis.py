@@ -35,6 +35,7 @@ differential-test oracles.
 from __future__ import annotations
 
 import math
+import threading
 import weakref
 from dataclasses import dataclass
 
@@ -481,15 +482,25 @@ class TapeAnalysis:
 _ANALYSIS_CACHE: "weakref.WeakKeyDictionary[Tape, TapeAnalysis]" = (
     weakref.WeakKeyDictionary()
 )
+#: Guards the cache dict only — the analysis sweeps run outside the
+#: lock so different tapes analyze in parallel; same-tape racers
+#: converge on the first installed instance.
+_ANALYSIS_CACHE_LOCK = threading.Lock()
 
 
 def tape_analysis_for(tape: Tape) -> TapeAnalysis:
-    """The cached :class:`TapeAnalysis` of a compiled tape."""
-    analysis = _ANALYSIS_CACHE.get(tape)
-    if analysis is None:
-        analysis = TapeAnalysis(tape)
-        _ANALYSIS_CACHE[tape] = analysis
-    return analysis
+    """The cached :class:`TapeAnalysis` of a compiled tape (thread-safe)."""
+    with _ANALYSIS_CACHE_LOCK:
+        analysis = _ANALYSIS_CACHE.get(tape)
+        if analysis is not None:
+            return analysis
+    computed = TapeAnalysis(tape)
+    with _ANALYSIS_CACHE_LOCK:
+        analysis = _ANALYSIS_CACHE.get(tape)
+        if analysis is not None:
+            return analysis
+        _ANALYSIS_CACHE[tape] = computed
+        return computed
 
 
 def analysis_for(circuit: ArithmeticCircuit) -> TapeAnalysis:

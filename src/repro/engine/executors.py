@@ -28,6 +28,7 @@ formats must use the scalar big-int paths — constructors raise
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Mapping, Sequence
 
@@ -263,15 +264,28 @@ class QuantizedTapeEvaluator:
         self._param_cache: "weakref.WeakKeyDictionary[Any, list[Any]]" = (
             weakref.WeakKeyDictionary()
         )
+        # Concurrent serving threads share one evaluator per session;
+        # the memoized per-backend tables are built under this lock.
+        self._param_lock = threading.Lock()
 
     def _quantized_parameters(self, backend) -> list[Any]:
-        cached = self._param_cache.get(backend)
-        if cached is None:
-            cached = self._param_cache[backend] = [
-                backend.from_real(float(value))
-                for value in self.tape.param_values
-            ]
-        return cached
+        # Quantizing the table is the slow part; build it outside the
+        # lock so different backends don't serialize each other, and
+        # converge same-backend racers on the first install.
+        with self._param_lock:
+            cached = self._param_cache.get(backend)
+        if cached is not None:
+            return cached
+        built = [
+            backend.from_real(float(value))
+            for value in self.tape.param_values
+        ]
+        with self._param_lock:
+            cached = self._param_cache.get(backend)
+            if cached is not None:
+                return cached
+            self._param_cache[backend] = built
+            return built
 
     def _forward_slots(
         self,

@@ -16,6 +16,7 @@ formats.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Mapping, Sequence
 
@@ -83,14 +84,21 @@ class InferenceSession:
         self._float_batch: dict[FloatFormat, FloatBatchExecutor] = {}
         self._backends: dict[AnyFormat, Any] = {}
         self._marginal_index: MarginalIndex | None = None
+        # One session serves many threads (the serve layer runs batch
+        # flushes and optimize/hw work on a thread pool): memoization is
+        # guarded so each executor/backend is built exactly once.
+        # Execution itself is lock-free — executors keep no per-call
+        # mutable state.
+        self._lock = threading.RLock()
 
     @property
     def _scalar_quantized(self) -> QuantizedTapeEvaluator:
-        if self._scalar_quantized_cache is None:
-            self._scalar_quantized_cache = QuantizedTapeEvaluator(
-                self.tape, self.encoder
-            )
-        return self._scalar_quantized_cache
+        with self._lock:
+            if self._scalar_quantized_cache is None:
+                self._scalar_quantized_cache = QuantizedTapeEvaluator(
+                    self.tape, self.encoder
+                )
+            return self._scalar_quantized_cache
 
     @property
     def analysis(self) -> TapeAnalysis:
@@ -133,9 +141,10 @@ class InferenceSession:
     @property
     def marginal_index(self) -> MarginalIndex:
         """Per-variable indicator-slot grouping (compiled lazily)."""
-        if self._marginal_index is None:
-            self._marginal_index = MarginalIndex(self.tape)
-        return self._marginal_index
+        with self._lock:
+            if self._marginal_index is None:
+                self._marginal_index = MarginalIndex(self.tape)
+            return self._marginal_index
 
     def partials(
         self, evidence: Mapping[str, int] | None = None
@@ -250,19 +259,29 @@ class InferenceSession:
         return False
 
     def _vector_executor(self, fmt: AnyFormat):
-        if isinstance(fmt, FixedPointFormat):
-            executor = self._fixed_batch.get(fmt)
-            if executor is None:
-                executor = self._fixed_batch[fmt] = FixedPointBatchExecutor(
-                    self.tape, fmt, self.encoder
-                )
+        # Construction happens outside the lock (it encodes the whole
+        # parameter table) so first touches of different formats build
+        # in parallel; same-format racers converge on the first install.
+        cache = (
+            self._fixed_batch
+            if isinstance(fmt, FixedPointFormat)
+            else self._float_batch
+        )
+        with self._lock:
+            executor = cache.get(fmt)
+        if executor is not None:
             return executor
-        executor = self._float_batch.get(fmt)
-        if executor is None:
-            executor = self._float_batch[fmt] = FloatBatchExecutor(
-                self.tape, fmt, self.encoder
-            )
-        return executor
+        built = (
+            FixedPointBatchExecutor(self.tape, fmt, self.encoder)
+            if isinstance(fmt, FixedPointFormat)
+            else FloatBatchExecutor(self.tape, fmt, self.encoder)
+        )
+        with self._lock:
+            executor = cache.get(fmt)
+            if executor is not None:
+                return executor
+            cache[fmt] = built
+            return built
 
     def evaluate_quantized(
         self,
@@ -308,10 +327,11 @@ class InferenceSession:
         )
 
     def _backend(self, fmt: AnyFormat):
-        backend = self._backends.get(fmt)
-        if backend is None:
-            backend = self._backends[fmt] = backend_for_format(fmt)
-        return backend
+        with self._lock:
+            backend = self._backends.get(fmt)
+            if backend is None:
+                backend = self._backends[fmt] = backend_for_format(fmt)
+            return backend
 
     def __repr__(self) -> str:
         return f"InferenceSession({self.tape.describe()})"
@@ -323,22 +343,37 @@ class InferenceSession:
 _SESSION_CACHE: "weakref.WeakKeyDictionary[ArithmeticCircuit, InferenceSession]" = (
     weakref.WeakKeyDictionary()
 )
+_SESSION_CACHE_LOCK = threading.Lock()
+
+
+def _fresh_session(
+    session: InferenceSession | None, circuit: ArithmeticCircuit
+) -> bool:
+    from .tape import _fresh_tape
+
+    # One staleness rule for tape and session caches: a session is
+    # fresh exactly when its tape still matches the circuit.
+    return session is not None and _fresh_tape(session.tape, circuit)
 
 
 def session_for(circuit: ArithmeticCircuit) -> InferenceSession:
-    """A cached :class:`InferenceSession` for the circuit.
+    """A cached :class:`InferenceSession` for the circuit (thread-safe).
 
     Reuses the session while the underlying tape stays fresh; a circuit
     that grew or was re-rooted gets a new session (same staleness rule
-    as :func:`repro.engine.tape.tape_for`).
+    as :func:`repro.engine.tape.tape_for`). Construction runs outside
+    the cache lock so concurrent first touches of different circuits
+    proceed in parallel; same-circuit racers converge on the first
+    installed session.
     """
-    session = _SESSION_CACHE.get(circuit)
-    current_root = circuit.root if circuit.has_root else None
-    if (
-        session is None
-        or session.tape.num_nodes != len(circuit)
-        or session.tape.root != current_root
-    ):
-        session = InferenceSession(circuit)
-        _SESSION_CACHE[circuit] = session
-    return session
+    with _SESSION_CACHE_LOCK:
+        session = _SESSION_CACHE.get(circuit)
+        if _fresh_session(session, circuit):
+            return session
+    built = InferenceSession(circuit)
+    with _SESSION_CACHE_LOCK:
+        session = _SESSION_CACHE.get(circuit)
+        if _fresh_session(session, circuit):
+            return session
+        _SESSION_CACHE[circuit] = built
+        return built

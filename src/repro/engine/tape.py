@@ -30,6 +30,7 @@ automatically if the circuit grew or was re-rooted since compilation.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 
@@ -265,6 +266,18 @@ def compile_tape(circuit: ArithmeticCircuit) -> Tape:
 _TAPE_CACHE: "weakref.WeakKeyDictionary[ArithmeticCircuit, Tape]" = (
     weakref.WeakKeyDictionary()
 )
+#: Guards the cache dict only — compilation runs outside the lock so
+#: concurrent first touches of *different* circuits proceed in parallel.
+_TAPE_CACHE_LOCK = threading.Lock()
+
+
+def _fresh_tape(tape: Tape | None, circuit: ArithmeticCircuit) -> bool:
+    current_root = circuit.root if circuit.has_root else None
+    return (
+        tape is not None
+        and tape.num_nodes == len(circuit)
+        and tape.root == current_root
+    )
 
 
 def tape_for(circuit: ArithmeticCircuit) -> Tape:
@@ -272,15 +285,19 @@ def tape_for(circuit: ArithmeticCircuit) -> Tape:
 
     Staleness is detected from node count and root: circuits are
     append-only arenas, so any structural change grows ``len(circuit)``
-    or moves the root.
+    or moves the root. Thread-safe: same-circuit racers converge on one
+    cached instance (the first install wins; a racer's duplicate
+    compile is discarded), while different circuits compile in
+    parallel.
     """
-    tape = _TAPE_CACHE.get(circuit)
-    current_root = circuit.root if circuit.has_root else None
-    if (
-        tape is None
-        or tape.num_nodes != len(circuit)
-        or tape.root != current_root
-    ):
-        tape = compile_tape(circuit)
-        _TAPE_CACHE[circuit] = tape
-    return tape
+    with _TAPE_CACHE_LOCK:
+        tape = _TAPE_CACHE.get(circuit)
+        if _fresh_tape(tape, circuit):
+            return tape
+    compiled = compile_tape(circuit)
+    with _TAPE_CACHE_LOCK:
+        tape = _TAPE_CACHE.get(circuit)
+        if _fresh_tape(tape, circuit):
+            return tape
+        _TAPE_CACHE[circuit] = compiled
+        return compiled

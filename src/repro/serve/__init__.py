@@ -1,0 +1,94 @@
+"""``repro.serve`` — the async, shard-aware serving layer.
+
+Wraps the compiled-tape engine in a network service: a
+:class:`CircuitRegistry` of lazily-compiled circuits (each entry owning
+its tape, analysis and per-format quantized executors), a
+newline-delimited JSON protocol covering ``eval`` / ``marginals`` /
+``optimize`` / ``hw`` workloads, an asyncio :class:`ProbLPServer` whose
+micro-batching queue coalesces concurrent queries into single vectorized
+tape replays, and a multi-process :class:`ShardedServer` that partitions
+the registry across workers (the per-circuit cache as the unit of
+distribution). Stdlib-only: asyncio + sockets + multiprocessing.
+
+Quick start::
+
+    from repro.serve import BackgroundServer, CircuitRegistry, ServeClient
+
+    with BackgroundServer(CircuitRegistry.default()) as server:
+        with ServeClient(server.host, server.port) as client:
+            print(client.eval("alarm", {"HRBP": 1}, fmt="fixed:1:15"))
+
+Or from the command line: ``problp serve --port 7501 --shards 2``.
+"""
+
+from .batching import BatchKey, BatcherStats, MicroBatcher
+from .client import ServeClient
+from .protocol import (
+    CircuitsRequest,
+    ERROR_CODES,
+    EvalRequest,
+    HwRequest,
+    MarginalsRequest,
+    OptimizeRequest,
+    PingRequest,
+    ProtocolError,
+    REQUEST_TYPES,
+    Request,
+    Response,
+    ServeError,
+    ShutdownRequest,
+    UnknownCircuitError,
+    error_code_for,
+    error_response,
+    format_spec,
+    ok_response,
+    parse_format_spec,
+    parse_request,
+    parse_tolerance_spec,
+    tolerance_spec,
+)
+from .registry import (
+    CircuitEntry,
+    CircuitRegistry,
+    CircuitSource,
+    routing_table,
+)
+from .server import BackgroundServer, ProbLPServer
+from .sharding import ShardRouter, ShardedServer
+
+__all__ = [
+    "BackgroundServer",
+    "BatchKey",
+    "BatcherStats",
+    "CircuitEntry",
+    "CircuitRegistry",
+    "CircuitSource",
+    "CircuitsRequest",
+    "ERROR_CODES",
+    "EvalRequest",
+    "HwRequest",
+    "MarginalsRequest",
+    "MicroBatcher",
+    "OptimizeRequest",
+    "PingRequest",
+    "ProbLPServer",
+    "ProtocolError",
+    "REQUEST_TYPES",
+    "Request",
+    "Response",
+    "ServeClient",
+    "ServeError",
+    "ShardRouter",
+    "ShardedServer",
+    "ShutdownRequest",
+    "UnknownCircuitError",
+    "error_code_for",
+    "error_response",
+    "format_spec",
+    "ok_response",
+    "parse_format_spec",
+    "parse_request",
+    "parse_tolerance_spec",
+    "routing_table",
+    "tolerance_spec",
+]

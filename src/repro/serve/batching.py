@@ -1,0 +1,194 @@
+"""The micro-batching queue: coalesce concurrent queries into one replay.
+
+Single queries are the natural unit for clients, but the engine's unit
+of throughput is the *batch*: one vectorized tape replay answers a whole
+evidence batch for nearly the cost of one query. The
+:class:`MicroBatcher` bridges the two — concurrent requests that agree
+on a :class:`BatchKey` (circuit, workload kind, format) are held for a
+small window (or until ``max_batch`` accumulate), executed as **one**
+``evaluate_batch`` / ``marginals_batch`` / ``quantized_marginals_batch``
+call on a worker thread, and the per-row results are scattered back to
+each request's future.
+
+Error attribution: when a coalesced batch fails as a whole (one bad
+evidence variable, one zero-probability instance), the batcher falls
+back to per-request execution so each caller receives *its own* error —
+a stranger's malformed query never poisons a neighbor's answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Sequence
+
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+
+AnyFormat = FixedPointFormat | FloatFormat
+
+#: Coalescing window. Long enough to gather a pipelined burst, short
+#: enough to stay invisible next to a tape replay.
+DEFAULT_BATCH_WINDOW = 0.002
+DEFAULT_MAX_BATCH = 256
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """What must agree for two requests to share one tape replay.
+
+    Formats are frozen dataclasses carrying their rounding mode, so the
+    key cleanly separates e.g. ``fixed:1:15`` nearest-even traffic from
+    truncate traffic.
+    """
+
+    circuit: str
+    kind: str  # "eval" | "marginals"
+    fmt: AnyFormat | None = None
+    joint: bool = False
+
+
+@dataclass
+class BatcherStats:
+    """Aggregate counters, surfaced by the server's ``ping`` op."""
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    def record(self, size: int) -> None:
+        self.requests += size
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, size)
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch": (
+                self.requests / self.batches if self.batches else 0.0
+            ),
+        }
+
+
+class MicroBatcher:
+    """Coalesce per-key requests within a window; scatter results back.
+
+    ``dispatch(key, requests)`` is the (blocking) batch executor — it
+    runs on ``executor`` via ``run_in_executor`` and must return one
+    result per request, in order. The batcher itself lives on the event
+    loop: ``submit`` is the only entry point and must be awaited on the
+    loop thread.
+    """
+
+    def __init__(
+        self,
+        dispatch: Callable[[BatchKey, Sequence[Any]], Sequence[Any]],
+        *,
+        window: float = DEFAULT_BATCH_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        executor=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._dispatch = dispatch
+        self.window = window
+        self.max_batch = max_batch
+        self._executor = executor
+        self._pending: dict[BatchKey, list[tuple[Any, asyncio.Future]]] = {}
+        self._timers: dict[BatchKey, asyncio.TimerHandle] = {}
+        self._inflight: set[asyncio.Task] = set()
+        self.stats = BatcherStats()
+
+    def submit(self, key: BatchKey, request: Any) -> Awaitable[Any]:
+        """Enqueue one request; resolves to its scattered result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._pending.setdefault(key, [])
+        bucket.append((request, future))
+        if len(bucket) >= self.max_batch:
+            self._flush(key)
+        elif len(bucket) == 1:
+            # First request of a fresh bucket opens the window.
+            self._timers[key] = loop.call_later(
+                self.window, self._flush, key
+            )
+        return future
+
+    def _flush(self, key: BatchKey) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._pending.pop(key, None)
+        if not batch:
+            return
+        task = asyncio.ensure_future(self._run(key, batch))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run(
+        self, key: BatchKey, batch: list[tuple[Any, asyncio.Future]]
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _ in batch]
+        self.stats.record(len(requests))
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._dispatch, key, requests
+            )
+            # strict: a dispatch returning the wrong count must fail
+            # loudly (and per-request, below) — a silent zip truncation
+            # would strand the trailing futures forever.
+            for (_, future), result in zip(batch, results, strict=True):
+                if not future.done():
+                    future.set_result(result)
+        except Exception as error:  # noqa: BLE001 — mapped to wire errors
+            if len(batch) == 1:
+                _, future = batch[0]
+                if not future.done():
+                    future.set_exception(error)
+            else:
+                # Attribute the failure: re-run each request alone so
+                # only the offending ones error — concurrently, so the
+                # innocent neighbors pay pool latency, not a serial
+                # sweep of up to max_batch single-row replays.
+                await asyncio.gather(
+                    *(
+                        self._fail_over(loop, key, request, future)
+                        for request, future in batch
+                    )
+                )
+
+    async def _fail_over(
+        self, loop, key: BatchKey, request: Any, future: asyncio.Future
+    ) -> None:
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._dispatch, key, [request]
+            )
+            (result,) = results
+        except Exception as error:  # noqa: BLE001 — mapped to wire errors
+            if not future.done():
+                future.set_exception(error)
+            return
+        if not future.done():
+            future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush every open window and wait for in-flight batches."""
+        for key in list(self._pending):
+            self._flush(key)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def close(self) -> None:
+        """Cancel timers and reject whatever is still queued."""
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        for batch in self._pending.values():
+            for _, future in batch:
+                if not future.done():
+                    future.cancel()
+        self._pending.clear()

@@ -1,0 +1,221 @@
+"""A small synchronous client for the serving protocol.
+
+:class:`ServeClient` speaks newline-delimited JSON over a plain socket.
+It supports two shapes of traffic:
+
+* :meth:`request` — send one request, wait for its answer (the
+  "sequential per-request dispatch" baseline);
+* :meth:`request_many` — send a whole burst of requests *pipelined*
+  (all lines written before any response is read). Pipelining is what
+  lets the server's micro-batching queue coalesce the burst into one
+  vectorized tape replay; responses are matched back by id, so order on
+  the wire does not matter.
+
+Used by the test suite, ``benchmarks/bench_serving.py`` and the
+sharding front's drain logic; applications with an event loop of their
+own can speak the protocol directly with ``asyncio.open_connection``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Iterable, Mapping, Sequence
+
+from .protocol import (
+    Request,
+    Response,
+    ServeError,
+    format_spec,
+)
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+def _apply_format(payload: dict, fmt) -> None:
+    """Attach format/rounding wire fields (spec string or format object)."""
+    if fmt is None:
+        return
+    if isinstance(fmt, str):
+        payload["format"] = fmt
+    else:
+        payload["format"] = format_spec(fmt)
+        payload["rounding"] = fmt.rounding.value
+
+
+class ServeClient:
+    """Blocking protocol client (context-manager friendly)."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._recv_file = self._sock.makefile("rb")
+        self._next_id = 0
+        #: Ids awaiting a response (explicit and auto-assigned alike) —
+        #: auto-assignment skips them so it never collides with a
+        #: caller-supplied id in the same pipeline.
+        self._in_flight: set[Any] = set()
+        #: Responses that arrived while waiting for a different id.
+        self._stash: dict[Any, Response] = {}
+
+    # -- plumbing ------------------------------------------------------
+    def _payload_of(
+        self, request: Request | Mapping[str, Any], reserved: set
+    ) -> dict:
+        payload = (
+            dict(request.to_wire())
+            if isinstance(request, Request)
+            else dict(request)
+        )
+        if payload.get("id") is None:
+            while True:
+                self._next_id += 1
+                if (
+                    self._next_id not in reserved
+                    and self._next_id not in self._in_flight
+                ):
+                    break
+            payload["id"] = self._next_id
+        return payload
+
+    def _send_lines(self, payloads: Sequence[dict]) -> None:
+        data = b"".join(
+            (json.dumps(payload) + "\n").encode("utf-8")
+            for payload in payloads
+        )
+        self._sock.sendall(data)
+
+    def _read_response(self) -> Response:
+        try:
+            line = self._recv_file.readline()
+        except (TimeoutError, OSError):
+            # A timed-out buffered read may stop mid-line; the stream
+            # can no longer be trusted to frame responses. Fail loudly
+            # and permanently instead of desynchronizing on reuse.
+            self.close()
+            raise ConnectionError(
+                "timed out mid-response; the connection is no longer "
+                "usable — reconnect with a fresh ServeClient"
+            ) from None
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return Response.from_wire(json.loads(line))
+
+    def _wait_for(self, request_id) -> Response:
+        try:
+            if request_id in self._stash:
+                return self._stash.pop(request_id)
+            while True:
+                response = self._read_response()
+                if response.id == request_id:
+                    return response
+                if response.id is None:
+                    # The server could not attribute the request (e.g.
+                    # it rejected the id itself); surface the error to
+                    # the current waiter instead of stalling forever.
+                    return response
+                self._stash[response.id] = response
+        finally:
+            self._in_flight.discard(request_id)
+
+    # -- request surface -----------------------------------------------
+    def request(self, request: Request | Mapping[str, Any]) -> Response:
+        """One request, one (possibly out-of-order) matched response."""
+        payload = self._payload_of(request, reserved=set())
+        self._in_flight.add(payload["id"])
+        self._send_lines([payload])
+        return self._wait_for(payload["id"])
+
+    def request_many(
+        self, requests: Iterable[Request | Mapping[str, Any]]
+    ) -> list[Response]:
+        """Pipeline a burst; responses returned in request order.
+
+        All request lines hit the server before any response is read —
+        concurrent handling on the server side coalesces compatible
+        requests into micro-batches.
+        """
+        requests = list(requests)
+        explicit = {
+            (
+                request.id
+                if isinstance(request, Request)
+                else request.get("id")
+            )
+            for request in requests
+        }
+        explicit.discard(None)
+        payloads = [
+            self._payload_of(request, reserved=explicit)
+            for request in requests
+        ]
+        self._in_flight.update(payload["id"] for payload in payloads)
+        self._send_lines(payloads)
+        return [self._wait_for(payload["id"]) for payload in payloads]
+
+    # -- convenience wrappers -------------------------------------------
+    def ping(self) -> dict:
+        return dict(self.request({"op": "ping"}).raise_for_error().result)
+
+    def circuits(self) -> list[dict]:
+        response = self.request({"op": "circuits"}).raise_for_error()
+        return list(response.result["circuits"])
+
+    def eval(
+        self,
+        circuit: str,
+        evidence: Mapping[str, int] | None = None,
+        fmt=None,
+    ) -> dict:
+        """One root evaluation; returns the result payload."""
+        payload: dict[str, Any] = {
+            "op": "eval",
+            "circuit": circuit,
+            "evidence": dict(evidence or {}),
+        }
+        _apply_format(payload, fmt)
+        return dict(self.request(payload).raise_for_error().result)
+
+    def marginals(
+        self,
+        circuit: str,
+        evidence: Mapping[str, int] | None = None,
+        fmt=None,
+        joint: bool = False,
+        variables: Sequence[str] | None = None,
+    ) -> dict:
+        payload: dict[str, Any] = {
+            "op": "marginals",
+            "circuit": circuit,
+            "evidence": dict(evidence or {}),
+            "joint": joint,
+        }
+        if variables is not None:
+            payload["variables"] = list(variables)
+        _apply_format(payload, fmt)
+        return dict(self.request(payload).raise_for_error().result)
+
+    def optimize(self, circuit: str, **fields: Any) -> dict:
+        payload = {"op": "optimize", "circuit": circuit, **fields}
+        return dict(self.request(payload).raise_for_error().result)
+
+    def hw(self, circuit: str, **fields: Any) -> dict:
+        payload = {"op": "hw", "circuit": circuit, **fields}
+        return dict(self.request(payload).raise_for_error().result)
+
+    def shutdown(self) -> dict:
+        return dict(self.request({"op": "shutdown"}).raise_for_error().result)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._recv_file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,529 @@
+"""The serving wire protocol: newline-delimited JSON requests/responses.
+
+One request is one JSON object per line; one response is one JSON
+object per line. Responses carry the request ``id`` so clients may
+pipeline requests and match answers out of order — pipelining is what
+lets the server's micro-batching queue coalesce concurrent queries into
+one vectorized tape replay.
+
+Request shapes (``op`` selects the workload)::
+
+    {"op": "eval",      "id": 1, "circuit": "alarm",
+     "evidence": {"X": 1}, "format": "fixed:1:15",
+     "rounding": "nearest-even"}
+    {"op": "marginals", "id": 2, "circuit": "alarm", "evidence": {},
+     "joint": false, "variables": ["HYPOVOLEMIA"]}
+    {"op": "optimize",  "id": 3, "circuit": "alarm",
+     "workload": "marginals", "query": "marginal",
+     "tolerance": "abs:0.01", "max_bits": 64}
+    {"op": "hw",        "id": 4, "circuit": "alarm",
+     "workload": "joint", "format": "fixed:1:15", "include_rtl": false}
+    {"op": "ping"} · {"op": "circuits"} · {"op": "shutdown"}
+
+Responses::
+
+    {"id": 1, "ok": true,  "result": {...}}
+    {"id": 2, "ok": false, "error": {"code": "zero_evidence",
+                                     "message": "..."}}
+
+Typed library errors map to stable error codes (``ERROR_CODES``); the
+malformed-input side raises :class:`ProtocolError` (``bad_request``).
+Everything here is stdlib-only and dependency-light so the multi-process
+sharding front can parse routing fields without compiling anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Mapping
+
+from ..arith.fixedpoint import FixedPointFormat
+from ..arith.floatingpoint import FloatFormat
+from ..arith.rounding import RoundingMode
+from ..core.queries import ErrorTolerance, QueryType
+from ..errors import (
+    InfeasibleFormatError,
+    NonBinaryCircuitError,
+    ZeroEvidenceError,
+)
+from ..specs import SpecError, format_spec, tolerance_spec
+from ..specs import parse_format_spec as _parse_format_spec
+from ..specs import parse_tolerance_spec as _parse_tolerance_spec
+
+AnyFormat = FixedPointFormat | FloatFormat
+
+PROTOCOL_VERSION = 1
+
+#: Per-line stream limit for every asyncio reader on the wire. Far above
+#: asyncio's 64 KiB default: one ``hw`` response with ``include_rtl``
+#: carries whole Verilog modules (~700 KB for Alarm) on a single line.
+STREAM_LIMIT = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed request: unknown op, bad field, unparsable spec."""
+
+
+class UnknownCircuitError(KeyError):
+    """The request names a circuit the registry does not hold."""
+
+    def __init__(self, name: str, available=()):
+        self.name = name
+        self.available = tuple(available)
+        message = f"unknown circuit {name!r}"
+        if self.available:
+            message += f"; served circuits: {', '.join(self.available)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+#: Exception type → wire error code, most specific first. Order matters:
+#: the typed errors subclass stdlib ones (``ZeroEvidenceError`` is a
+#: ``ZeroDivisionError``, ``InfeasibleFormatError`` and
+#: ``NonBinaryCircuitError`` are ``ValueError``).
+ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
+    (ZeroEvidenceError, "zero_evidence"),
+    (NonBinaryCircuitError, "non_binary_circuit"),
+    (InfeasibleFormatError, "infeasible_format"),
+    (UnknownCircuitError, "unknown_circuit"),
+    (ProtocolError, "bad_request"),
+    (ArithmeticError, "arithmetic"),
+    (ValueError, "bad_request"),
+    (KeyError, "bad_request"),
+    (Exception, "internal"),
+)
+
+
+def error_code_for(error: BaseException) -> str:
+    """The stable wire code of an exception (``internal`` fallback)."""
+    for exc_type, code in ERROR_CODES:
+        if isinstance(error, exc_type):
+            return code
+    return "internal"
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing (the textual grammar lives in ``repro.specs``, shared with
+# the CLI; here malformed specs surface as wire-level ``ProtocolError``)
+# ---------------------------------------------------------------------------
+
+
+def parse_format_spec(text: str) -> AnyFormat:
+    """``fixed:I:F`` or ``float:E:M`` → a number format."""
+    try:
+        return _parse_format_spec(text)
+    except SpecError as error:
+        raise ProtocolError(str(error)) from None
+
+
+def parse_tolerance_spec(text: str) -> ErrorTolerance:
+    """``abs:0.01`` or ``rel:0.01`` → an :class:`ErrorTolerance`."""
+    try:
+        return _parse_tolerance_spec(text)
+    except SpecError as error:
+        raise ProtocolError(str(error)) from None
+
+
+def _parse_rounding(payload: Mapping[str, Any]) -> RoundingMode:
+    raw = payload.get("rounding", RoundingMode.NEAREST_EVEN.value)
+    try:
+        return RoundingMode(raw)
+    except ValueError:
+        choices = ", ".join(mode.value for mode in RoundingMode)
+        raise ProtocolError(
+            f"rounding must be one of: {choices}; got {raw!r}"
+        ) from None
+
+
+def _parse_fmt_field(payload: Mapping[str, Any]) -> AnyFormat | None:
+    raw = payload.get("format")
+    if raw is None:
+        return None
+    fmt = parse_format_spec(raw)
+    from dataclasses import replace
+
+    return replace(fmt, rounding=_parse_rounding(payload))
+
+
+def _parse_evidence(payload: Mapping[str, Any]) -> dict[str, int]:
+    raw = payload.get("evidence")
+    if raw is None:
+        return {}
+    if not isinstance(raw, Mapping):
+        raise ProtocolError(
+            f"evidence must be an object mapping variables to states, "
+            f"got {type(raw).__name__}"
+        )
+    evidence = {}
+    for variable, state in raw.items():
+        # Exactly int: bool would silently read as 0/1 and floats or
+        # numeric strings would truncate into a confidently wrong query.
+        if isinstance(state, bool) or not isinstance(state, int):
+            raise ProtocolError(
+                f"evidence states must be integers; got "
+                f"{state!r} for {variable!r}"
+            )
+        evidence[str(variable)] = state
+    return evidence
+
+
+def _require_circuit(payload: Mapping[str, Any]) -> str:
+    circuit = payload.get("circuit")
+    if not circuit or not isinstance(circuit, str):
+        raise ProtocolError("request needs a 'circuit' name")
+    return circuit
+
+
+def _parse_workload(payload: Mapping[str, Any]) -> str:
+    workload = payload.get("workload", "joint")
+    if workload not in ("joint", "marginals"):
+        raise ProtocolError(
+            f"workload must be 'joint' or 'marginals', got {workload!r}"
+        )
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """Common request surface: every request has an op and may carry an id."""
+
+    op: ClassVar[str] = ""
+    id: int | str | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": self.op}
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+
+@dataclass(frozen=True)
+class PingRequest(Request):
+    op: ClassVar[str] = "ping"
+
+
+@dataclass(frozen=True)
+class CircuitsRequest(Request):
+    op: ClassVar[str] = "circuits"
+
+
+@dataclass(frozen=True)
+class ShutdownRequest(Request):
+    """Drain and stop the server (honored only when explicitly enabled)."""
+
+    op: ClassVar[str] = "shutdown"
+
+
+def _wire_format_fields(payload: dict, fmt: AnyFormat | None) -> None:
+    if fmt is not None:
+        payload["format"] = format_spec(fmt)
+        payload["rounding"] = fmt.rounding.value
+
+
+@dataclass(frozen=True)
+class EvalRequest(Request):
+    """One root evaluation, exact float64 plus optionally quantized."""
+
+    op: ClassVar[str] = "eval"
+    circuit: str = ""
+    evidence: Mapping[str, int] = field(default_factory=dict)
+    fmt: AnyFormat | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        payload = super().to_wire()
+        payload["circuit"] = self.circuit
+        payload["evidence"] = dict(self.evidence)
+        _wire_format_fields(payload, self.fmt)
+        return payload
+
+
+@dataclass(frozen=True)
+class MarginalsRequest(Request):
+    """All-marginals of one query via the backward tape sweep."""
+
+    op: ClassVar[str] = "marginals"
+    circuit: str = ""
+    evidence: Mapping[str, int] = field(default_factory=dict)
+    fmt: AnyFormat | None = None
+    joint: bool = False
+    variables: tuple[str, ...] | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        payload = super().to_wire()
+        payload["circuit"] = self.circuit
+        payload["evidence"] = dict(self.evidence)
+        payload["joint"] = self.joint
+        if self.variables is not None:
+            payload["variables"] = list(self.variables)
+        _wire_format_fields(payload, self.fmt)
+        return payload
+
+
+@dataclass(frozen=True)
+class OptimizeRequest(Request):
+    """Workload-aware §3.3 format search on the served circuit."""
+
+    op: ClassVar[str] = "optimize"
+    circuit: str = ""
+    workload: str = "joint"
+    query: QueryType = QueryType.MARGINAL
+    tolerance: ErrorTolerance = field(
+        default_factory=lambda: ErrorTolerance.absolute(0.01)
+    )
+    max_bits: int = 64
+    variant: str = "rigorous"
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN
+
+    def to_wire(self) -> dict[str, Any]:
+        payload = super().to_wire()
+        payload.update(
+            circuit=self.circuit,
+            workload=self.workload,
+            query=self.query.value,
+            tolerance=tolerance_spec(self.tolerance),
+            max_bits=self.max_bits,
+            variant=self.variant,
+            rounding=self.rounding.value,
+        )
+        return payload
+
+
+@dataclass(frozen=True)
+class HwRequest(Request):
+    """Hardware-generation report for the served circuit.
+
+    ``rounding`` is authoritative: a forced ``fmt`` is parsed with it
+    applied, and a search-selected format honors it too.
+    """
+
+    op: ClassVar[str] = "hw"
+    circuit: str = ""
+    workload: str = "joint"
+    fmt: AnyFormat | None = None  # None → run the format search
+    query: QueryType = QueryType.MARGINAL
+    tolerance: ErrorTolerance = field(
+        default_factory=lambda: ErrorTolerance.absolute(0.01)
+    )
+    max_bits: int = 64
+    rounding: RoundingMode = RoundingMode.NEAREST_EVEN
+    include_rtl: bool = False
+
+    def to_wire(self) -> dict[str, Any]:
+        payload = super().to_wire()
+        payload.update(
+            circuit=self.circuit,
+            workload=self.workload,
+            query=self.query.value,
+            tolerance=tolerance_spec(self.tolerance),
+            max_bits=self.max_bits,
+            rounding=self.rounding.value,
+            include_rtl=self.include_rtl,
+        )
+        if self.fmt is not None:
+            payload["format"] = format_spec(self.fmt)
+        return payload
+
+
+def _parse_query_field(payload: Mapping[str, Any]) -> QueryType:
+    raw = payload.get("query", QueryType.MARGINAL.value)
+    try:
+        return QueryType(raw)
+    except ValueError:
+        choices = ", ".join(q.value for q in QueryType)
+        raise ProtocolError(
+            f"query must be one of: {choices}; got {raw!r}"
+        ) from None
+
+
+def _parse_max_bits(payload: Mapping[str, Any]) -> int:
+    raw = payload.get("max_bits", 64)
+    if not isinstance(raw, int) or isinstance(raw, bool) or raw < 1:
+        raise ProtocolError(f"max_bits must be a positive integer, got {raw!r}")
+    return raw
+
+
+def parse_request(payload: Mapping[str, Any]) -> Request:
+    """Parse one wire object into a typed request.
+
+    Raises :class:`ProtocolError` on anything malformed; the message is
+    safe to send back verbatim as a ``bad_request`` error.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError("request id must be an integer or string")
+    if op == "ping":
+        return PingRequest(id=request_id)
+    if op == "circuits":
+        return CircuitsRequest(id=request_id)
+    if op == "shutdown":
+        return ShutdownRequest(id=request_id)
+    if op == "eval":
+        return EvalRequest(
+            id=request_id,
+            circuit=_require_circuit(payload),
+            evidence=_parse_evidence(payload),
+            fmt=_parse_fmt_field(payload),
+        )
+    if op == "marginals":
+        variables = payload.get("variables")
+        if variables is not None:
+            if not isinstance(variables, (list, tuple)) or not all(
+                isinstance(v, str) for v in variables
+            ):
+                raise ProtocolError("variables must be a list of names")
+            variables = tuple(variables)
+        joint = payload.get("joint", False)
+        if not isinstance(joint, bool):
+            raise ProtocolError("joint must be a boolean")
+        return MarginalsRequest(
+            id=request_id,
+            circuit=_require_circuit(payload),
+            evidence=_parse_evidence(payload),
+            fmt=_parse_fmt_field(payload),
+            joint=joint,
+            variables=variables,
+        )
+    if op == "optimize":
+        variant = payload.get("variant", "rigorous")
+        if variant not in ("rigorous", "paper"):
+            raise ProtocolError(
+                f"variant must be 'rigorous' or 'paper', got {variant!r}"
+            )
+        return OptimizeRequest(
+            id=request_id,
+            circuit=_require_circuit(payload),
+            workload=_parse_workload(payload),
+            query=_parse_query_field(payload),
+            tolerance=parse_tolerance_spec(
+                payload.get("tolerance", "abs:0.01")
+            ),
+            max_bits=_parse_max_bits(payload),
+            variant=variant,
+            rounding=_parse_rounding(payload),
+        )
+    if op == "hw":
+        include_rtl = payload.get("include_rtl", False)
+        if not isinstance(include_rtl, bool):
+            raise ProtocolError("include_rtl must be a boolean")
+        return HwRequest(
+            id=request_id,
+            circuit=_require_circuit(payload),
+            workload=_parse_workload(payload),
+            fmt=_parse_fmt_field(payload),
+            query=_parse_query_field(payload),
+            tolerance=parse_tolerance_spec(
+                payload.get("tolerance", "abs:0.01")
+            ),
+            max_bits=_parse_max_bits(payload),
+            rounding=_parse_rounding(payload),
+            include_rtl=include_rtl,
+        )
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+REQUEST_TYPES: tuple[type[Request], ...] = (
+    PingRequest,
+    CircuitsRequest,
+    ShutdownRequest,
+    EvalRequest,
+    MarginalsRequest,
+    OptimizeRequest,
+    HwRequest,
+)
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Response:
+    """One wire response; ``ok`` selects result vs error payload."""
+
+    id: int | str | None
+    ok: bool
+    result: Mapping[str, Any] | None = None
+    error_code: str | None = None
+    error_message: str | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"id": self.id, "ok": self.ok}
+        if self.ok:
+            payload["result"] = (
+                dict(self.result) if self.result is not None else {}
+            )
+        else:
+            payload["error"] = {
+                "code": self.error_code or "internal",
+                "message": self.error_message or "",
+            }
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "Response":
+        if not isinstance(payload, Mapping) or "ok" not in payload:
+            raise ProtocolError("response must be an object with 'ok'")
+        if payload["ok"]:
+            return cls(
+                id=payload.get("id"),
+                ok=True,
+                result=payload.get("result") or {},
+            )
+        error = payload.get("error") or {}
+        return cls(
+            id=payload.get("id"),
+            ok=False,
+            error_code=error.get("code", "internal"),
+            error_message=error.get("message", ""),
+        )
+
+    def raise_for_error(self) -> "Response":
+        """Raise a :class:`ServeError` when the response is an error."""
+        if not self.ok:
+            raise ServeError(self.error_code or "internal",
+                             self.error_message or "")
+        return self
+
+
+class ServeError(RuntimeError):
+    """A server-side error surfaced to the client, with its wire code."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        self.message = message
+        super().__init__(f"[{code}] {message}")
+
+
+def ok_response(request: Request, result: Mapping[str, Any]) -> Response:
+    return Response(id=request.id, ok=True, result=result)
+
+
+def error_response(
+    request_id: int | str | None, error: BaseException
+) -> Response:
+    return Response(
+        id=request_id,
+        ok=False,
+        error_code=error_code_for(error),
+        error_message=str(error),
+    )
+
+
+def request_equal_fields(request: Request) -> tuple:
+    """A request's dataclass fields, for round-trip assertions in tests."""
+    return tuple(
+        getattr(request, spec.name) for spec in fields(request)
+    )

@@ -1,0 +1,303 @@
+"""Named circuits and their lazily-compiled serving artifacts.
+
+A :class:`CircuitRegistry` maps circuit names to :class:`CircuitEntry`
+objects. Each entry owns everything the serving layer replays for that
+circuit — the binarized arithmetic circuit, its compiled-tape
+:class:`~repro.engine.session.InferenceSession` (tape + per-format
+quantized executors), the cached tape analysis, and per-spec
+:class:`~repro.core.framework.ProbLP` frameworks for ``optimize``/``hw``
+requests. Compilation is lazy and thread-safe: nothing is built until
+the first request touches the entry, and concurrent first requests share
+one compilation.
+
+Entries are declared by :class:`CircuitSource` — a built-in network
+name, a ``.bif`` / network-``.json`` file, or a saved ``.acjson``
+circuit. Sources are small picklable records, which is exactly what the
+multi-process sharding mode needs: the per-circuit compiled cache is the
+unit of distribution, so workers receive source specs and compile their
+own shard's entries locally.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..arith.rounding import RoundingMode
+from ..core.queries import ErrorTolerance, QueryType
+from .protocol import UnknownCircuitError
+
+SOURCE_KINDS = ("builtin", "bif", "network-json", "acjson")
+
+
+@dataclass(frozen=True)
+class CircuitSource:
+    """A declarative, picklable recipe for one served circuit."""
+
+    name: str
+    kind: str  # one of SOURCE_KINDS
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ValueError(
+                f"source kind must be one of {SOURCE_KINDS}, got {self.kind!r}"
+            )
+        if self.kind != "builtin" and not self.path:
+            raise ValueError(f"{self.kind} source needs a path")
+
+    @classmethod
+    def for_path(cls, path: str | Path, name: str | None = None):
+        """Infer the source kind from a file suffix."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".bif":
+            kind = "bif"
+        elif suffix == ".acjson":
+            kind = "acjson"
+        elif suffix == ".json":
+            kind = "network-json"
+        else:
+            raise ValueError(
+                f"cannot infer circuit source from suffix {suffix!r} "
+                f"(expected .bif, .json or .acjson): {path}"
+            )
+        return cls(name=name or path.stem, kind=kind, path=str(path))
+
+    def load(self):
+        """``(network, circuit)`` — network is ``None`` for .acjson."""
+        if self.kind == "builtin":
+            from ..bn.networks import get_network
+
+            return get_network(self.name), None
+        if self.kind == "acjson":
+            from ..ac.io import load_circuit
+
+            return None, load_circuit(self.path)
+        from ..bn.io import load_any_network
+
+        return load_any_network(self.path), None
+
+
+class CircuitEntry:
+    """One served circuit: lazily compiled, cached, thread-safe."""
+
+    def __init__(self, source: CircuitSource) -> None:
+        self.source = source
+        self._lock = threading.RLock()
+        self._network = None
+        self._circuit = None
+        self._session = None
+        # optimize/hw frameworks keyed by their full spec; every
+        # framework shares this entry's binary circuit, hence its cached
+        # tape, analysis and executors.
+        self._frameworks: dict[tuple, object] = {}
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    @property
+    def network(self):
+        """The source Bayesian network (``None`` for .acjson sources)."""
+        self._compile()
+        return self._network
+
+    @property
+    def circuit(self):
+        """The binarized arithmetic circuit this entry serves."""
+        self._compile()
+        return self._circuit
+
+    @property
+    def session(self):
+        """The entry's compiled-tape :class:`InferenceSession`."""
+        self._compile()
+        return self._session
+
+    @property
+    def analysis(self):
+        """The cached precision-independent tape analysis."""
+        return self.session.analysis
+
+    @property
+    def compiled(self) -> bool:
+        """True once the first request compiled this entry."""
+        return self._session is not None
+
+    def _compile(self) -> None:
+        if self._session is not None:
+            return
+        with self._lock:
+            if self._session is not None:
+                return
+            from ..ac.transform import binarize
+            from ..engine import session_for
+
+            network, circuit = self.source.load()
+            if circuit is None:
+                from ..compile import compile_network
+
+                circuit = compile_network(network).circuit
+            if not circuit.is_binary:
+                circuit = binarize(circuit).circuit
+            self._network = network
+            self._circuit = circuit
+            self._session = session_for(circuit)
+
+    def framework(
+        self,
+        query: QueryType,
+        tolerance: ErrorTolerance,
+        max_bits: int = 64,
+        variant: str = "rigorous",
+        rounding: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ):
+        """A cached :class:`ProbLP` for one (query, tolerance, …) spec.
+
+        Frameworks are built on the entry's already-binarized circuit,
+        so every spec shares the same compiled tape and executor caches
+        as the eval/marginals fast path.
+        """
+        key = (
+            query.value,
+            tolerance.kind.value,
+            tolerance.value,
+            max_bits,
+            variant,
+            rounding.value,
+        )
+        with self._lock:
+            framework = self._frameworks.get(key)
+            if framework is None:
+                from ..core.framework import ProbLP, ProbLPConfig
+
+                framework = ProbLP(
+                    self.circuit,
+                    query,
+                    tolerance,
+                    ProbLPConfig(
+                        max_precision_bits=max_bits,
+                        bound_variant=variant,
+                        rounding=rounding,
+                    ),
+                    binary_circuit=self.circuit,
+                )
+                self._frameworks[key] = framework
+            return framework
+
+    def describe(self) -> dict:
+        """A JSON-friendly summary for the ``circuits`` op."""
+        info: dict = {
+            "name": self.name,
+            "kind": self.source.kind,
+            "compiled": self.compiled,
+        }
+        if self.source.path:
+            info["path"] = self.source.path
+        if self.compiled:
+            info["tape"] = self.session.tape.describe()
+            info["variables"] = list(self.session.marginal_index.variables)
+        return info
+
+
+class CircuitRegistry:
+    """Name → :class:`CircuitEntry`, with shard partitioning."""
+
+    def __init__(self, sources: Iterable[CircuitSource] = ()) -> None:
+        self._entries: dict[str, CircuitEntry] = {}
+        self._lock = threading.Lock()
+        for source in sources:
+            self.add_source(source)
+
+    @classmethod
+    def default(cls) -> "CircuitRegistry":
+        """A registry serving every built-in benchmark network."""
+        from ..bn.networks import available_networks
+
+        return cls(
+            CircuitSource(name=name, kind="builtin")
+            for name in available_networks()
+        )
+
+    @classmethod
+    def from_sources(
+        cls, sources: Iterable[CircuitSource]
+    ) -> "CircuitRegistry":
+        return cls(sources)
+
+    # -- population ----------------------------------------------------
+    def add_source(self, source: CircuitSource) -> CircuitEntry:
+        with self._lock:
+            if source.name in self._entries:
+                raise ValueError(
+                    f"registry already serves a circuit named "
+                    f"{source.name!r}"
+                )
+            entry = CircuitEntry(source)
+            self._entries[source.name] = entry
+            return entry
+
+    def add_builtin(self, name: str) -> CircuitEntry:
+        return self.add_source(CircuitSource(name=name, kind="builtin"))
+
+    def add_path(
+        self, path: str | Path, name: str | None = None
+    ) -> CircuitEntry:
+        return self.add_source(CircuitSource.for_path(path, name))
+
+    # -- lookup --------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def sources(self) -> tuple[CircuitSource, ...]:
+        with self._lock:
+            return tuple(entry.source for entry in self._entries.values())
+
+    def entry(self, name: str) -> CircuitEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownCircuitError(name, self.names())
+        return entry
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self) -> list[dict]:
+        return [self.entry(name).describe() for name in self.names()]
+
+    # -- sharding ------------------------------------------------------
+    def partition(self, shards: int) -> list[tuple[CircuitSource, ...]]:
+        """Partition entries round-robin into ``shards`` source groups.
+
+        The per-circuit compiled cache (tape + analysis + executors) is
+        the unit of distribution: each group is handed to one worker
+        process, which compiles and serves exactly its own circuits.
+        Groups may be empty when there are more shards than circuits.
+        """
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        groups: list[list[CircuitSource]] = [[] for _ in range(shards)]
+        for index, source in enumerate(self.sources()):
+            groups[index % shards].append(source)
+        return [tuple(group) for group in groups]
+
+
+def routing_table(
+    partitions: Iterable[Iterable[CircuitSource]],
+) -> Mapping[str, int]:
+    """circuit name → shard index, from :meth:`CircuitRegistry.partition`."""
+    table: dict[str, int] = {}
+    for shard, sources in enumerate(partitions):
+        for source in sources:
+            table[source.name] = shard
+    return table

@@ -1,0 +1,509 @@
+"""The asyncio serving layer over cached tapes.
+
+:class:`ProbLPServer` speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` over TCP (stdlib ``asyncio`` only). Its
+core is the :class:`~repro.serve.batching.MicroBatcher`: concurrent
+``eval``/``marginals`` requests against the same (circuit, format,
+workload) coalesce within a small window and are answered by **one**
+vectorized tape replay, results scattered back per request. Heavyweight
+one-off work (``optimize`` format searches, ``hw`` design reports) runs
+on the same worker thread pool without batching.
+
+:class:`BackgroundServer` runs the whole thing on a dedicated event-loop
+thread — the embedding used by tests, the benchmark harness and the
+sharding front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Sequence
+
+from .. import __version__
+from .batching import (
+    DEFAULT_BATCH_WINDOW,
+    DEFAULT_MAX_BATCH,
+    BatchKey,
+    MicroBatcher,
+)
+from .protocol import (
+    STREAM_LIMIT,
+    CircuitsRequest,
+    EvalRequest,
+    HwRequest,
+    MarginalsRequest,
+    OptimizeRequest,
+    PingRequest,
+    ProtocolError,
+    Request,
+    Response,
+    ShutdownRequest,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .registry import CircuitRegistry
+
+#: Default worker threads: enough to overlap a batch flush with an
+#: optimize/hw search without oversubscribing numpy.
+DEFAULT_WORKER_THREADS = 4
+
+
+def _encode_response(response: Response) -> bytes:
+    return (json.dumps(response.to_wire()) + "\n").encode("utf-8")
+
+
+class ProbLPServer:
+    """Serve a :class:`CircuitRegistry` over asyncio TCP.
+
+    Parameters
+    ----------
+    registry:
+        The circuits to serve.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read ``.port``
+        after :meth:`start`).
+    batch_window, max_batch:
+        Micro-batching knobs (seconds, requests).
+    allow_shutdown:
+        Honor the ``shutdown`` op. Off by default; the sharding layer
+        enables it on its (loopback-bound) workers for graceful drain.
+    worker_threads:
+        Thread-pool width for batch flushes and optimize/hw work.
+    """
+
+    def __init__(
+        self,
+        registry: CircuitRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        allow_shutdown: bool = False,
+        worker_threads: int = DEFAULT_WORKER_THREADS,
+    ) -> None:
+        self.registry = registry
+        self._host = host
+        self._port = port
+        self.allow_shutdown = allow_shutdown
+        self._executor = ThreadPoolExecutor(
+            max_workers=worker_threads, thread_name_prefix="problp-serve"
+        )
+        self.batcher = MicroBatcher(
+            self._execute_batch,
+            window=batch_window,
+            max_batch=max_batch,
+            executor=self._executor,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        #: In-flight per-request tasks (shared across connections) so
+        #: stop() can drain responses that are still being computed.
+        self._line_tasks: set[asyncio.Task] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._host, self._port)
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=STREAM_LIMIT,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`request_shutdown` (or the shutdown op)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        """Drain in-flight work, then close sockets and workers.
+
+        Graceful: stop accepting first, let every coalesced batch and
+        pending response finish, then hang up on idle clients (3.12's
+        ``wait_closed`` waits for connection handlers, so lingering
+        clients must be disconnected explicitly).
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        await self.batcher.drain()
+        if self._line_tasks:
+            await asyncio.gather(
+                *list(self._line_tasks), return_exceptions=True
+            )
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        if self._handlers:
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )
+        if server is not None:
+            await server.wait_closed()
+        self.batcher.close()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        self._writers.add(writer)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._handlers.add(handler)
+            handler.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # A line beyond the stream limit cannot be resynced;
+                    # hang up rather than die with an unretrieved error.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                self._line_tasks.add(task)
+                task.add_done_callback(self._line_tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = None
+        try:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ProtocolError(f"request is not valid JSON: {error}")
+            if isinstance(payload, dict):
+                raw_id = payload.get("id")
+                if isinstance(raw_id, (int, str)):
+                    request_id = raw_id
+            request = parse_request(payload)
+            request_id = request.id
+            response = await self._respond(request)
+        except Exception as error:  # noqa: BLE001 — mapped to wire errors
+            response = error_response(request_id, error)
+        try:
+            async with write_lock:
+                writer.write(_encode_response(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to scatter back to
+
+    # -- request dispatch ----------------------------------------------
+    async def _respond(self, request: Request) -> Response:
+        if isinstance(request, PingRequest):
+            return ok_response(
+                request,
+                {
+                    "server": "problp-serve",
+                    "version": __version__,
+                    "protocol": 1,
+                    "circuits": len(self.registry),
+                    "batching": self.batcher.stats.to_dict(),
+                },
+            )
+        if isinstance(request, CircuitsRequest):
+            # describe() may lazily build marginal indexes — off-loop,
+            # like every other potentially heavy request body.
+            loop = asyncio.get_running_loop()
+            circuits = await loop.run_in_executor(
+                self._executor, self.registry.describe
+            )
+            return ok_response(request, {"circuits": circuits})
+        if isinstance(request, ShutdownRequest):
+            if not self.allow_shutdown:
+                raise ProtocolError(
+                    "shutdown is not enabled on this server"
+                )
+            self.request_shutdown()
+            return ok_response(request, {"stopping": True})
+        if isinstance(request, EvalRequest):
+            key = BatchKey(
+                circuit=request.circuit, kind="eval", fmt=request.fmt
+            )
+            result = await self.batcher.submit(key, request)
+            return ok_response(request, result)
+        if isinstance(request, MarginalsRequest):
+            key = BatchKey(
+                circuit=request.circuit,
+                kind="marginals",
+                fmt=request.fmt,
+                joint=request.joint,
+            )
+            result = await self.batcher.submit(key, request)
+            return ok_response(request, result)
+        if isinstance(request, OptimizeRequest):
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._executor, self._run_optimize, request
+            )
+            return ok_response(request, result)
+        if isinstance(request, HwRequest):
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._executor, self._run_hw, request
+            )
+            return ok_response(request, result)
+        raise ProtocolError(f"unhandled request type {type(request).__name__}")
+
+    # -- blocking executors (worker threads) ---------------------------
+    def _execute_batch(
+        self, key: BatchKey, requests: Sequence[Any]
+    ) -> list[dict]:
+        """One coalesced tape replay; one result dict per request."""
+        entry = self.registry.entry(key.circuit)
+        session = entry.session
+        batch = [request.evidence for request in requests]
+        size = len(batch)
+        if key.kind == "eval":
+            exact = session.evaluate_batch(batch, strict=True)
+            quantized = (
+                session.evaluate_quantized_batch(key.fmt, batch, strict=True)
+                if key.fmt is not None
+                else None
+            )
+            results = []
+            for row in range(size):
+                result: dict = {
+                    "value": float(exact[row]),
+                    "batched": size,
+                }
+                if quantized is not None:
+                    result["quantized"] = float(quantized[row])
+                results.append(result)
+            return results
+        if key.kind == "marginals":
+            # Validate the cheap part first: a typo'd variable name must
+            # fail before the batched sweeps run, not after (the whole
+            # coalesced result would be discarded on the way out).
+            per_request_variables = [
+                self._marginal_variables(session, request)
+                for request in requests
+            ]
+            exact = session.marginals_batch(
+                batch, strict=True, joint=key.joint
+            )
+            quantized = (
+                session.quantized_marginals_batch(
+                    key.fmt, batch, strict=True, joint=key.joint
+                )
+                if key.fmt is not None
+                else None
+            )
+            field = "joints" if key.joint else "posteriors"
+            results = []
+            for row, variables in enumerate(per_request_variables):
+                result = {
+                    field: {
+                        variable: [
+                            float(p) for p in exact[variable][:, row]
+                        ]
+                        for variable in variables
+                    },
+                    "batched": size,
+                }
+                if quantized is not None:
+                    result["quantized"] = {
+                        variable: [
+                            float(p) for p in quantized[variable][:, row]
+                        ]
+                        for variable in variables
+                    }
+                results.append(result)
+            return results
+        raise ProtocolError(f"unknown batch kind {key.kind!r}")
+
+    @staticmethod
+    def _marginal_variables(session, request) -> Sequence[str]:
+        known = session.marginal_index.variables
+        if request.variables is None:
+            return known
+        known_set = set(known)
+        unknown = [v for v in request.variables if v not in known_set]
+        if unknown:
+            raise ProtocolError(
+                f"circuit has no indicators for variable(s) {unknown}"
+            )
+        return request.variables
+
+    def _run_optimize(self, request: OptimizeRequest) -> dict:
+        entry = self.registry.entry(request.circuit)
+        framework = entry.framework(
+            request.query,
+            request.tolerance,
+            max_bits=request.max_bits,
+            variant=request.variant,
+            rounding=request.rounding,
+        )
+        result = framework.optimize(workload=request.workload)
+        return result.to_json_dict()
+
+    def _run_hw(self, request: HwRequest) -> dict:
+        entry = self.registry.entry(request.circuit)
+        framework = entry.framework(
+            request.query,
+            request.tolerance,
+            max_bits=request.max_bits,
+            rounding=request.rounding,
+        )
+        result = None
+        fmt = request.fmt
+        if fmt is None:
+            result = framework.analyze(request.workload)
+            fmt = result.selected_format
+        design = framework.generate_hardware(
+            fmt=fmt, result=result, workload=request.workload
+        )
+        payload = design.report_dict()
+        payload["selected_by_search"] = request.fmt is None
+        if request.include_rtl:
+            payload["verilog"] = design.verilog()
+        return payload
+
+
+class BackgroundServer:
+    """A :class:`ProbLPServer` on its own event-loop thread.
+
+    The embedding used wherever the caller is synchronous: tests, the
+    serving benchmark, and the sharding front. ``start()`` blocks until
+    the socket is bound (so ``.port`` is valid), ``stop()`` drains and
+    joins. Usable as a context manager.
+
+    ``factory`` generalizes the runner to any server-shaped object
+    (``start`` / ``serve_until_shutdown`` / ``request_shutdown`` plus
+    ``host`` / ``port``) — the sharding front's router rides the same
+    loop thread this way.
+    """
+
+    def __init__(
+        self,
+        registry: CircuitRegistry | None = None,
+        *,
+        factory: Any = None,
+        **kwargs: Any,
+    ) -> None:
+        if factory is None:
+            if registry is None:
+                raise ValueError("need a registry or a factory")
+            factory = lambda: ProbLPServer(registry, **kwargs)  # noqa: E731
+        elif kwargs or registry is not None:
+            raise ValueError("factory and registry/kwargs are exclusive")
+        self._factory = factory
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.server: Any = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="problp-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "serving loop failed to start"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("serving loop did not come up in time")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 — reported to starter
+            if not self._ready.is_set():
+                self._startup_error = error
+                self._ready.set()
+            else:
+                raise
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = self._factory()
+        await self.server.start()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    @property
+    def host(self) -> str:
+        assert self.server is not None, "call start() first"
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None, "call start() first"
+        return self.server.port
+
+    def stop(self) -> None:
+        """Request shutdown, drain, and join the loop thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=60)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,565 @@
+"""Multi-process serving: circuit shards behind one routing front.
+
+The per-circuit compiled cache (tape + analysis + per-format executors)
+is the unit of distribution: :meth:`CircuitRegistry.partition` splits
+the registry's :class:`CircuitSource` specs round-robin across worker
+processes, each worker compiles and serves *only its own circuits* with
+a full :class:`~repro.serve.server.ProbLPServer` (micro-batching
+included), and a lightweight asyncio front — the :class:`ShardRouter` —
+forwards each request line to the shard that owns its circuit and
+relays the answer back. Requests never cross shards, so every worker's
+caches stay hot and private.
+
+Shutdown is graceful end to end: the front stops accepting, drains its
+in-flight forwards, then sends each worker the ``shutdown`` op (workers
+are loopback-bound with ``allow_shutdown=True``), and each worker drains
+its own micro-batches before exiting.
+
+:class:`ShardedServer` is the synchronous manager the CLI and tests
+use: ``start()`` spawns the workers and the front, ``stop()`` tears
+everything down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+from typing import Any, Iterable, Mapping, Sequence
+
+from .batching import DEFAULT_BATCH_WINDOW, DEFAULT_MAX_BATCH
+from .protocol import (
+    STREAM_LIMIT,
+    ProtocolError,
+    Response,
+    UnknownCircuitError,
+    error_response,
+)
+from .registry import CircuitRegistry, CircuitSource, routing_table
+from .server import BackgroundServer, ProbLPServer
+
+#: How long the front waits for in-flight forwards while draining.
+DRAIN_TIMEOUT = 10.0
+
+
+def _shard_worker_main(
+    sources: Sequence[CircuitSource],
+    host: str,
+    batch_window: float,
+    max_batch: int,
+    worker_threads: int,
+    conn,
+) -> None:
+    """Entry point of one shard process: serve its circuits until told
+    to shut down, reporting the bound address through ``conn``."""
+    import signal
+
+    # Ctrl-C on the front reaches the whole process group; workers must
+    # survive it so the front's graceful drain (shutdown op) can run.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    registry = CircuitRegistry.from_sources(sources)
+
+    async def main() -> None:
+        server = ProbLPServer(
+            registry,
+            host,
+            0,
+            batch_window=batch_window,
+            max_batch=max_batch,
+            allow_shutdown=True,
+            worker_threads=worker_threads,
+        )
+        await server.start()
+        conn.send((server.host, server.port))
+        conn.close()
+        await server.serve_until_shutdown()
+
+    asyncio.run(main())
+
+
+class _ShardLink:
+    """The front's persistent connection to one worker."""
+
+    def __init__(self, shard: int, reader, writer) -> None:
+        self.shard = shard
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.pump: asyncio.Task | None = None
+        #: Set once the worker hangs up; new forwards fail immediately.
+        self.disconnected = False
+
+    async def send(self, payload: Mapping[str, Any]) -> None:
+        async with self.write_lock:
+            self.writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            await self.writer.drain()
+
+    async def close(self) -> None:
+        if self.pump is not None:
+            self.pump.cancel()
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ShardRouter:
+    """Route request lines to circuit shards; relay responses by id.
+
+    The router never compiles anything: it JSON-probes each line for
+    the ``circuit`` routing field, rewrites the request id into a
+    private namespace, and scatters the response back to the right
+    client when the worker answers. Ops without a circuit (``ping``,
+    ``circuits``) are answered locally — ``circuits`` by fanning out to
+    every shard and merging.
+    """
+
+    def __init__(
+        self,
+        shard_addresses: Sequence[tuple[str, int]],
+        table: Mapping[str, int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._shard_addresses = list(shard_addresses)
+        self._table = dict(table)
+        self._host = host
+        self._port = port
+        self._links: list[_ShardLink] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        #: internal id → (link, sink); sink is ``("client", writer,
+        #: lock, original_id)`` or ``("future", future)``. The link is
+        #: kept so a dying worker fails exactly its own entries.
+        self._pending: dict[int, tuple[_ShardLink, tuple]] = {}
+        self._next_internal = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    async def start(self) -> None:
+        for shard, (host, port) in enumerate(self._shard_addresses):
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=STREAM_LIMIT
+            )
+            link = _ShardLink(shard, reader, writer)
+            link.pump = asyncio.ensure_future(self._pump(link))
+            self._links.append(link)
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self._host,
+            self._port,
+            limit=STREAM_LIMIT,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        """Drain forwards, hang up on clients, shut the workers down."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        deadline = asyncio.get_running_loop().time() + DRAIN_TIMEOUT
+        while self._pending:
+            if asyncio.get_running_loop().time() > deadline:
+                break
+            await asyncio.sleep(0.01)
+        for link in self._links:
+            if not link.disconnected:
+                try:
+                    await asyncio.wait_for(
+                        self._shutdown_shard(link), timeout=5
+                    )
+                except (asyncio.TimeoutError, ConnectionError, OSError):
+                    pass
+            await link.close()
+        self._links.clear()
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        if self._handlers:
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )
+        if server is not None:
+            await server.wait_closed()
+
+    async def _shutdown_shard(self, link: _ShardLink) -> None:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        internal = self._register(link, ("future", future))
+        try:
+            await link.send({"op": "shutdown", "id": internal})
+        except (ConnectionError, OSError):
+            self._pending.pop(internal, None)
+            raise
+        await future
+
+    # -- forwarding ----------------------------------------------------
+    def _register(self, link: _ShardLink, sink: tuple) -> int:
+        self._next_internal += 1
+        self._pending[self._next_internal] = (link, sink)
+        return self._next_internal
+
+    async def _pump(self, link: _ShardLink) -> None:
+        """Relay every response line of one worker to its requester."""
+        try:
+            while True:
+                line = await link.reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = json.loads(line)
+                    internal = payload.get("id")
+                except json.JSONDecodeError:
+                    continue
+                entry = self._pending.pop(internal, None)
+                if entry is None:
+                    continue
+                await self._resolve(entry[1], payload)
+        finally:
+            # The worker hung up (crash or shutdown): fail every request
+            # still waiting on this link instead of stranding clients.
+            link.disconnected = True
+            await self._fail_link_pending(link)
+
+    async def _resolve(self, sink: tuple, payload: dict) -> None:
+        if sink[0] == "future":
+            future = sink[1]
+            if not future.done():
+                future.set_result(payload)
+            return
+        _, writer, lock, original_id = sink
+        payload["id"] = original_id
+        try:
+            async with lock:
+                writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _fail_link_pending(self, link: _ShardLink) -> None:
+        stranded = [
+            internal
+            for internal, (owner, _) in self._pending.items()
+            if owner is link
+        ]
+        for internal in stranded:
+            _, sink = self._pending.pop(internal)
+            if sink[0] == "future":
+                future = sink[1]
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("shard worker disconnected")
+                    )
+                continue
+            response = error_response(
+                sink[3], ConnectionError("shard worker disconnected")
+            )
+            await self._resolve(sink, response.to_wire())
+
+    # -- client side ---------------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        self._writers.add(writer)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._handlers.add(handler)
+            handler.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # A line beyond the stream limit cannot be resynced;
+                    # hang up rather than die with an unretrieved error.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # One task per line: a slow inline op (e.g. a circuits
+                # fan-out waiting on a wedged shard) must not head-of-
+                # line block the forwards queued behind it.
+                task = asyncio.ensure_future(
+                    self._route_line(line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            await self._drain_client(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _drain_client(self, writer) -> None:
+        """Wait for this client's forwarded responses before hanging up.
+
+        A pipelining client may half-close its write side (``nc`` does)
+        while its answers are still crossing the shard links; closing
+        the writer at EOF would silently drop them.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + DRAIN_TIMEOUT
+        while any(
+            sink[0] == "client" and sink[1] is writer
+            for _, sink in self._pending.values()
+        ):
+            if loop.time() > deadline:
+                break
+            await asyncio.sleep(0.005)
+
+    async def _route_line(self, line: bytes, writer, lock) -> None:
+        request_id = None
+        try:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ProtocolError(f"request is not valid JSON: {error}")
+            if not isinstance(payload, dict):
+                raise ProtocolError("request must be a JSON object")
+            raw_id = payload.get("id")
+            if isinstance(raw_id, (int, str)):
+                request_id = raw_id
+            elif raw_id is not None:
+                # Same rule as parse_request: reject before forwarding,
+                # or the relayed answer comes back unattributable.
+                raise ProtocolError(
+                    "request id must be an integer or string"
+                )
+            op = payload.get("op")
+            if op == "ping":
+                response = Response(
+                    id=request_id,
+                    ok=True,
+                    result={
+                        "server": "problp-serve-front",
+                        "shards": len(self._links),
+                        "circuits": len(self._table),
+                    },
+                )
+            elif op == "circuits":
+                response = await self._merged_circuits(request_id)
+            elif op == "shutdown":
+                raise ProtocolError(
+                    "shutdown is not enabled on the sharding front"
+                )
+            else:
+                circuit = payload.get("circuit")
+                if not circuit or not isinstance(circuit, str):
+                    raise ProtocolError("request needs a 'circuit' name")
+                shard = self._table.get(circuit)
+                if shard is None:
+                    raise UnknownCircuitError(
+                        circuit, sorted(self._table)
+                    )
+                link = self._links[shard]
+                if link.disconnected:
+                    raise ConnectionError(
+                        f"shard worker {shard} for circuit {circuit!r} "
+                        f"disconnected"
+                    )
+                internal = self._register(
+                    link, ("client", writer, lock, request_id)
+                )
+                forwarded = dict(payload)
+                forwarded["id"] = internal
+                try:
+                    await link.send(forwarded)
+                except (ConnectionError, OSError):
+                    self._pending.pop(internal, None)
+                    raise
+                return  # the pump answers this one
+        except Exception as error:  # noqa: BLE001 — mapped to wire errors
+            response = error_response(request_id, error)
+        try:
+            async with lock:
+                writer.write(
+                    (json.dumps(response.to_wire()) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _merged_circuits(self, request_id) -> Response:
+        futures = []
+        for link in self._links:
+            if link.disconnected:
+                continue
+            future = asyncio.get_running_loop().create_future()
+            internal = self._register(link, ("future", future))
+            try:
+                await link.send({"op": "circuits", "id": internal})
+            except (ConnectionError, OSError):
+                self._pending.pop(internal, None)
+                continue  # a dead shard drops out of the merged listing
+            futures.append((internal, future))
+        merged: list[dict] = []
+        for internal, future in futures:
+            try:
+                payload = await asyncio.wait_for(future, timeout=30)
+            except (asyncio.TimeoutError, ConnectionError):
+                # Unregister a timed-out fan-out so stop()'s drain loop
+                # does not wait on a sink that can never resolve.
+                self._pending.pop(internal, None)
+                continue
+            if payload.get("ok"):
+                merged.extend(payload["result"]["circuits"])
+        return Response(id=request_id, ok=True, result={"circuits": merged})
+
+
+class ShardedServer:
+    """Spawn circuit-shard workers plus a routing front; manage both.
+
+    ``registry`` entries must be declarative (:class:`CircuitSource`):
+    workers re-compile their own shard from the specs — the compiled
+    artifacts themselves never cross process boundaries.
+    """
+
+    def __init__(
+        self,
+        registry: CircuitRegistry | Iterable[CircuitSource],
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        worker_threads: int = 4,
+    ) -> None:
+        if not isinstance(registry, CircuitRegistry):
+            registry = CircuitRegistry.from_sources(registry)
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self._registry = registry
+        self._requested_shards = shards
+        self._host = host
+        self._port = port
+        self._batch_window = batch_window
+        self._max_batch = max_batch
+        self._worker_threads = worker_threads
+        self._processes: list[multiprocessing.Process] = []
+        self._front: BackgroundServer | None = None
+        self.partitions: list[tuple[CircuitSource, ...]] = []
+        self.shard_addresses: list[tuple[str, int]] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ShardedServer":
+        if self._front is not None:
+            raise RuntimeError("sharded server already started")
+        partitions = [
+            group
+            for group in self._registry.partition(self._requested_shards)
+            if group  # skip empty shards when circuits < shards
+        ]
+        if not partitions:
+            raise ValueError("registry holds no circuits to shard")
+        self.partitions = partitions
+        context = multiprocessing.get_context()
+        pipes = []
+        for group in partitions:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(
+                    group,
+                    # Workers are reachable only by the front on this
+                    # machine and honor the shutdown op — loopback
+                    # unconditionally, whatever the front binds.
+                    "127.0.0.1",
+                    self._batch_window,
+                    self._max_batch,
+                    self._worker_threads,
+                    child_conn,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            pipes.append(parent_conn)
+        try:
+            for parent_conn in pipes:
+                if not parent_conn.poll(timeout=120):
+                    raise RuntimeError("shard worker did not come up in time")
+                self.shard_addresses.append(tuple(parent_conn.recv()))
+                parent_conn.close()
+        except BaseException:
+            self._terminate_workers()
+            raise
+        table = routing_table(partitions)
+        addresses = list(self.shard_addresses)
+        host, port = self._host, self._port
+        self._front = BackgroundServer(
+            factory=lambda: ShardRouter(addresses, table, host, port)
+        )
+        try:
+            self._front.start()
+        except BaseException:
+            self._front = None
+            self._terminate_workers()
+            raise
+        return self
+
+    @property
+    def host(self) -> str:
+        assert self._front is not None, "call start() first"
+        return self._front.host
+
+    @property
+    def port(self) -> int:
+        assert self._front is not None, "call start() first"
+        return self._front.port
+
+    def stop(self) -> None:
+        """Drain the front, shut workers down, join the processes."""
+        if self._front is not None:
+            self._front.stop()
+            self._front = None
+        for process in self._processes:
+            process.join(timeout=30)
+        self._terminate_workers()
+
+    def _terminate_workers(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+            if process.is_alive():
+                # SIGTERM ignored (e.g. wedged in native code): escalate
+                # so stop() never leaves orphan workers behind.
+                process.kill()
+                process.join(timeout=5)
+        self._processes = []
+
+    def __enter__(self) -> "ShardedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,71 @@
+"""Textual specs shared by the CLI and the serving protocol.
+
+The one place that knows how ``fixed:1:15`` / ``float:8:14`` and
+``abs:0.01`` / ``rel:0.01`` are spelled. Deliberately light — it pulls
+in only ``arith`` formats and ``core.queries`` tolerances, so front
+ends (``problp`` argument parsing, the serve wire protocol) can share
+the parsers without importing each other's machinery.
+"""
+
+from __future__ import annotations
+
+from .arith.fixedpoint import FixedPointFormat
+from .arith.floatingpoint import FloatFormat
+from .core.queries import ErrorTolerance
+
+AnyFormat = FixedPointFormat | FloatFormat
+
+
+class SpecError(ValueError):
+    """A malformed textual spec; the message is user-presentable."""
+
+
+def parse_format_spec(text: str) -> AnyFormat:
+    """``fixed:I:F`` or ``float:E:M`` → a number format."""
+    try:
+        kind, first, second = str(text).split(":", 2)
+        first, second = int(first), int(second)
+    except ValueError:
+        raise SpecError(
+            f"format must look like 'fixed:1:15' (I:F) or 'float:8:14' "
+            f"(E:M), got {text!r}"
+        ) from None
+    if kind == "fixed":
+        return FixedPointFormat(first, second)
+    if kind == "float":
+        return FloatFormat(first, second)
+    raise SpecError(f"format kind must be 'fixed' or 'float', got {kind!r}")
+
+
+def format_spec(fmt: AnyFormat | None) -> str | None:
+    """The spec spelling of a format (inverse of :func:`parse_format_spec`)."""
+    if fmt is None:
+        return None
+    if isinstance(fmt, FixedPointFormat):
+        return f"fixed:{fmt.integer_bits}:{fmt.fraction_bits}"
+    if isinstance(fmt, FloatFormat):
+        return f"float:{fmt.exponent_bits}:{fmt.mantissa_bits}"
+    raise TypeError(f"unsupported format type {type(fmt).__name__}")
+
+
+def parse_tolerance_spec(text: str) -> ErrorTolerance:
+    """``abs:0.01`` or ``rel:0.01`` → an :class:`ErrorTolerance`."""
+    try:
+        kind, raw_value = str(text).split(":", 1)
+        value = float(raw_value)
+    except ValueError:
+        raise SpecError(
+            f"tolerance must look like 'abs:0.01' or 'rel:0.01', "
+            f"got {text!r}"
+        ) from None
+    if kind == "abs":
+        return ErrorTolerance.absolute(value)
+    if kind == "rel":
+        return ErrorTolerance.relative(value)
+    raise SpecError(f"tolerance kind must be 'abs' or 'rel', got {kind!r}")
+
+
+def tolerance_spec(tolerance: ErrorTolerance) -> str:
+    """The spec spelling of a tolerance (value round-trips exactly)."""
+    kind = "abs" if tolerance.kind.value == "absolute" else "rel"
+    return f"{kind}:{tolerance.value!r}"

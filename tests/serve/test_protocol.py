@@ -1,0 +1,202 @@
+"""Round-trip and error-mapping tests for the serving wire protocol."""
+
+import json
+
+import pytest
+
+from repro.arith import FixedPointFormat, FloatFormat
+from repro.arith.rounding import RoundingMode
+from repro.core.queries import ErrorTolerance, QueryType
+from repro.errors import (
+    InfeasibleFormatError,
+    NonBinaryCircuitError,
+    ZeroEvidenceError,
+)
+from repro.serve.protocol import (
+    CircuitsRequest,
+    EvalRequest,
+    HwRequest,
+    MarginalsRequest,
+    OptimizeRequest,
+    PingRequest,
+    ProtocolError,
+    REQUEST_TYPES,
+    Response,
+    ServeError,
+    ShutdownRequest,
+    UnknownCircuitError,
+    error_code_for,
+    error_response,
+    format_spec,
+    ok_response,
+    parse_format_spec,
+    parse_request,
+    parse_tolerance_spec,
+    tolerance_spec,
+)
+
+FIXED = FixedPointFormat(1, 15)
+FLOAT_TRUNC = FloatFormat(8, 14, rounding=RoundingMode.TRUNCATE)
+
+#: One representative of every request schema (error payloads below).
+REPRESENTATIVES = [
+    PingRequest(id=1),
+    CircuitsRequest(id="c-2"),
+    ShutdownRequest(id=3),
+    EvalRequest(id=4, circuit="alarm", evidence={"HRBP": 1}),
+    EvalRequest(id=5, circuit="alarm", evidence={}, fmt=FIXED),
+    EvalRequest(id=6, circuit="sprinkler", evidence={"Rain": 0},
+                fmt=FLOAT_TRUNC),
+    MarginalsRequest(id=7, circuit="alarm", evidence={"HRBP": 1}),
+    MarginalsRequest(id=8, circuit="alarm", evidence={}, fmt=FIXED,
+                     joint=True, variables=("HYPOVOLEMIA", "HRBP")),
+    OptimizeRequest(id=9, circuit="alarm"),
+    OptimizeRequest(
+        id=10,
+        circuit="alarm",
+        workload="marginals",
+        query=QueryType.CONDITIONAL,
+        tolerance=ErrorTolerance.relative(0.05),
+        max_bits=32,
+        variant="paper",
+        rounding=RoundingMode.TRUNCATE,
+    ),
+    HwRequest(id=11, circuit="alarm"),
+    HwRequest(id=12, circuit="alarm", workload="marginals", fmt=FIXED,
+              include_rtl=True),
+]
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_obj",
+        REPRESENTATIVES,
+        ids=lambda r: f"{r.op}-{r.id}",
+    )
+    def test_wire_round_trip(self, request_obj):
+        wire = request_obj.to_wire()
+        # The wire form must be plain JSON.
+        decoded = json.loads(json.dumps(wire))
+        assert parse_request(decoded) == request_obj
+
+    def test_every_request_type_has_a_representative(self):
+        covered = {type(r) for r in REPRESENTATIVES}
+        assert covered == set(REQUEST_TYPES)
+
+    def test_defaults_fill_in(self):
+        request = parse_request({"op": "optimize", "circuit": "alarm"})
+        assert request == OptimizeRequest(circuit="alarm")
+        assert request.tolerance == ErrorTolerance.absolute(0.01)
+        assert request.query is QueryType.MARGINAL
+
+    def test_rounding_travels_with_the_format(self):
+        request = parse_request(
+            {
+                "op": "eval",
+                "circuit": "a",
+                "format": "float:8:14",
+                "rounding": "truncate",
+            }
+        )
+        assert request.fmt == FLOAT_TRUNC
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "dance"},
+            {"op": "eval"},  # no circuit
+            {"op": "eval", "circuit": "a", "evidence": [1, 2]},
+            {"op": "eval", "circuit": "a", "evidence": {"X": "maybe"}},
+            {"op": "eval", "circuit": "a", "evidence": {"X": "1"}},
+            {"op": "eval", "circuit": "a", "evidence": {"X": 1.7}},
+            {"op": "eval", "circuit": "a", "evidence": {"X": True}},
+            {"op": "eval", "circuit": "a", "format": "fixed:1"},
+            {"op": "eval", "circuit": "a", "format": "decimal:1:2"},
+            {"op": "eval", "circuit": "a", "format": "fixed:1:2",
+             "rounding": "stochastic"},
+            {"op": "eval", "circuit": "a", "id": 1.5},
+            {"op": "marginals", "circuit": "a", "joint": "yes"},
+            {"op": "marginals", "circuit": "a", "variables": [1]},
+            {"op": "optimize", "circuit": "a", "tolerance": "abs"},
+            {"op": "optimize", "circuit": "a", "tolerance": "pct:1"},
+            {"op": "optimize", "circuit": "a", "workload": "mpe"},
+            {"op": "optimize", "circuit": "a", "query": "median"},
+            {"op": "optimize", "circuit": "a", "max_bits": 0},
+            {"op": "optimize", "circuit": "a", "variant": "wild"},
+            {"op": "hw", "circuit": "a", "include_rtl": "yes"},
+            "not an object",
+        ],
+    )
+    def test_malformed_rejected(self, payload):
+        with pytest.raises(ProtocolError):
+            parse_request(payload)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "fmt",
+        [FixedPointFormat(1, 15), FixedPointFormat(4, 20), FloatFormat(8, 14)],
+    )
+    def test_format_spec_round_trip(self, fmt):
+        assert parse_format_spec(format_spec(fmt)) == fmt
+
+    @pytest.mark.parametrize(
+        "tolerance",
+        [
+            ErrorTolerance.absolute(0.01),
+            ErrorTolerance.relative(0.5),
+            # Exact float round-trip: no significant-digit truncation.
+            ErrorTolerance.absolute(0.0123456789012345),
+            ErrorTolerance.absolute(1e-30),
+        ],
+    )
+    def test_tolerance_spec_round_trip(self, tolerance):
+        assert parse_tolerance_spec(tolerance_spec(tolerance)) == tolerance
+
+
+class TestResponseRoundTrip:
+    def test_ok_response(self):
+        response = ok_response(
+            EvalRequest(id=17, circuit="alarm"), {"value": 0.25, "batched": 4}
+        )
+        wire = json.loads(json.dumps(response.to_wire()))
+        assert Response.from_wire(wire) == response
+        assert response.raise_for_error() is response
+
+    @pytest.mark.parametrize(
+        "error, code",
+        [
+            (ZeroEvidenceError("Pr(e) = 0"), "zero_evidence"),
+            (NonBinaryCircuitError("binarize first"), "non_binary_circuit"),
+            (InfeasibleFormatError(">64 bits", ">64 bits"),
+             "infeasible_format"),
+            (UnknownCircuitError("nope", ("alarm",)), "unknown_circuit"),
+            (ProtocolError("bad field"), "bad_request"),
+            (OverflowError("mid-pipe overflow"), "arithmetic"),
+            (ValueError("unknown variable"), "bad_request"),
+            (KeyError("missing"), "bad_request"),
+            (RuntimeError("boom"), "internal"),
+        ],
+    )
+    def test_error_response_round_trip(self, error, code):
+        assert error_code_for(error) == code
+        response = error_response(23, error)
+        wire = json.loads(json.dumps(response.to_wire()))
+        parsed = Response.from_wire(wire)
+        assert parsed == response
+        assert parsed.ok is False
+        assert parsed.error_code == code
+        with pytest.raises(ServeError) as info:
+            parsed.raise_for_error()
+        assert info.value.code == code
+
+    def test_unknown_circuit_message_names_the_available(self):
+        error = UnknownCircuitError("nope", ("alarm", "asia"))
+        assert "alarm" in str(error)
+        assert error_response(None, error).error_message.count("\n") == 0
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(ProtocolError):
+            Response.from_wire({"result": {}})

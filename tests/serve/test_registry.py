@@ -1,0 +1,164 @@
+"""Tests for the serving circuit registry."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.queries import ErrorTolerance, QueryType
+from repro.serve import (
+    CircuitRegistry,
+    CircuitSource,
+    UnknownCircuitError,
+    routing_table,
+)
+
+
+class TestCircuitSource:
+    def test_builtin_needs_no_path(self):
+        source = CircuitSource(name="alarm", kind="builtin")
+        assert source.path is None
+
+    def test_file_kinds_need_a_path(self):
+        with pytest.raises(ValueError, match="needs a path"):
+            CircuitSource(name="x", kind="bif")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="source kind"):
+            CircuitSource(name="x", kind="pickle")
+
+    @pytest.mark.parametrize(
+        "filename, kind",
+        [
+            ("model.bif", "bif"),
+            ("model.json", "network-json"),
+            ("model.acjson", "acjson"),
+        ],
+    )
+    def test_for_path_infers_kind(self, filename, kind):
+        source = CircuitSource.for_path(f"/tmp/{filename}")
+        assert source.kind == kind
+        assert source.name == "model"
+
+    def test_for_path_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError, match="cannot infer"):
+            CircuitSource.for_path("model.verilog")
+
+    def test_sources_are_picklable(self):
+        source = CircuitSource(name="alarm", kind="builtin")
+        assert pickle.loads(pickle.dumps(source)) == source
+
+
+class TestCircuitEntry:
+    def test_lazy_compile(self):
+        registry = CircuitRegistry([CircuitSource("sprinkler", "builtin")])
+        entry = registry.entry("sprinkler")
+        assert not entry.compiled
+        session = entry.session
+        assert entry.compiled
+        assert entry.session is session  # cached
+        assert entry.circuit.is_binary
+        assert entry.network is not None
+
+    def test_concurrent_first_touch_shares_one_compile(self):
+        registry = CircuitRegistry([CircuitSource("sprinkler", "builtin")])
+        entry = registry.entry("sprinkler")
+        sessions = []
+        barrier = threading.Barrier(8)
+
+        def touch():
+            barrier.wait()
+            sessions.append(entry.session)
+
+        threads = [threading.Thread(target=touch) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(session) for session in sessions}) == 1
+
+    def test_framework_cache_shares_the_binary_circuit(self):
+        registry = CircuitRegistry([CircuitSource("sprinkler", "builtin")])
+        entry = registry.entry("sprinkler")
+        spec = (QueryType.MARGINAL, ErrorTolerance.absolute(0.01))
+        first = entry.framework(*spec)
+        assert entry.framework(*spec) is first
+        assert first.binary_circuit is entry.circuit
+        # Framework queries ride the entry's cached session.
+        assert first.session is entry.session
+        other = entry.framework(QueryType.MARGINAL,
+                                ErrorTolerance.absolute(0.05))
+        assert other is not first
+
+    def test_describe_reports_compilation_state(self):
+        registry = CircuitRegistry([CircuitSource("sprinkler", "builtin")])
+        entry = registry.entry("sprinkler")
+        assert entry.describe()["compiled"] is False
+        entry.session  # noqa: B018 — force the compile
+        info = entry.describe()
+        assert info["compiled"] is True
+        assert "Rain" in info["variables"]
+
+
+class TestRegistry:
+    def test_default_serves_all_builtins(self):
+        from repro.bn.networks import available_networks
+
+        registry = CircuitRegistry.default()
+        assert registry.names() == available_networks()
+
+    def test_unknown_circuit_error_names_available(self):
+        registry = CircuitRegistry.default()
+        with pytest.raises(UnknownCircuitError) as info:
+            registry.entry("nope")
+        assert "alarm" in str(info.value)
+
+    def test_duplicate_name_rejected(self):
+        registry = CircuitRegistry([CircuitSource("alarm", "builtin")])
+        with pytest.raises(ValueError, match="already serves"):
+            registry.add_builtin("alarm")
+
+    def test_add_path_kinds(self, tmp_path, sprinkler, sprinkler_ac):
+        from repro.ac.io import save_circuit
+        from repro.bn.io import save_network
+
+        network_path = tmp_path / "net.json"
+        save_network(sprinkler, network_path)
+        circuit_path = tmp_path / "circ.acjson"
+        save_circuit(sprinkler_ac.circuit, circuit_path)
+
+        registry = CircuitRegistry()
+        registry.add_path(network_path, name="from-json")
+        registry.add_path(circuit_path, name="from-acjson")
+        value_json = registry.entry("from-json").session.evaluate({})
+        value_ac = registry.entry("from-acjson").session.evaluate({})
+        assert value_json == pytest.approx(1.0)
+        assert value_ac == pytest.approx(1.0)
+        # acjson sources carry no network.
+        assert registry.entry("from-acjson").network is None
+
+    def test_bif_source(self, tmp_path, sprinkler):
+        pytest.importorskip("repro.bn.bif")
+        from repro.bn.bif import save_bif
+
+        path = tmp_path / "net.bif"
+        save_bif(sprinkler, path)
+        registry = CircuitRegistry()
+        registry.add_path(path)
+        assert registry.entry("net").session.evaluate({}) == pytest.approx(
+            1.0
+        )
+
+    def test_partition_round_robin_and_routing(self):
+        registry = CircuitRegistry(
+            CircuitSource(name, "builtin")
+            for name in ("alarm", "asia", "figure1", "sprinkler")
+        )
+        partitions = registry.partition(3)
+        assert [len(group) for group in partitions] == [2, 1, 1]
+        table = routing_table(partitions)
+        assert set(table) == set(registry.names())
+        assert table["alarm"] == 0 and table["sprinkler"] == 0
+        assert table["asia"] == 1 and table["figure1"] == 2
+        with pytest.raises(ValueError):
+            registry.partition(0)

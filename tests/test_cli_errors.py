@@ -1,0 +1,161 @@
+"""Typed-error exit behavior: one clean line, non-zero, every subcommand.
+
+The library's typed errors (``InfeasibleFormatError``,
+``NonBinaryCircuitError``, ``ZeroEvidenceError``) must never escape a
+subcommand as a traceback: ``main()`` converts them (directly or via a
+handler that adds context) into a ``SystemExit`` whose payload is a
+single message line — which the interpreter prints to stderr with exit
+status 1.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+INFEASIBLE = ["--tolerance", "abs:1e-30", "--max-bits", "8"]
+#: Sprinkler evidence with probability zero.
+ZERO_EVIDENCE = {"Sprinkler": 0, "Rain": 0, "WetGrass": 1}
+
+
+def _zero_evidence_file(tmp_path: Path) -> str:
+    path = tmp_path / "zero.json"
+    path.write_text(json.dumps(ZERO_EVIDENCE))
+    return str(path)
+
+
+CASES = [
+    pytest.param(
+        lambda tmp: ["analyze", "--network", "sprinkler", *INFEASIBLE],
+        "no feasible representation",
+        id="analyze-infeasible",
+    ),
+    pytest.param(
+        lambda tmp: ["optimize", "--network", "sprinkler", *INFEASIBLE],
+        "no feasible representation",
+        id="optimize-infeasible",
+    ),
+    pytest.param(
+        lambda tmp: ["hwgen", "--network", "sprinkler", *INFEASIBLE],
+        "no feasible representation",
+        id="hwgen-infeasible",
+    ),
+    pytest.param(
+        lambda tmp: ["hw", "--network", "sprinkler", *INFEASIBLE],
+        "no feasible representation",
+        id="hw-infeasible",
+    ),
+    pytest.param(
+        lambda tmp: [
+            "marginals",
+            "--network",
+            "sprinkler",
+            "--evidence-file",
+            _zero_evidence_file(tmp),
+        ],
+        "evidence has probability zero",
+        id="marginals-zero-evidence",
+    ),
+    pytest.param(
+        lambda tmp: [
+            "optimize",
+            "--network",
+            "sprinkler",
+            "--workload",
+            "marginals",
+            "--validate",
+            "0",
+            *INFEASIBLE,
+        ],
+        "no feasible representation",
+        id="optimize-marginals-infeasible",
+    ),
+]
+
+
+class TestTypedErrorExits:
+    @pytest.mark.parametrize("argv_builder, snippet", CASES)
+    def test_one_clean_line_nonzero_exit(
+        self, tmp_path, argv_builder, snippet
+    ):
+        with pytest.raises(SystemExit) as info:
+            main(argv_builder(tmp_path))
+        payload = info.value.code
+        # A string payload means "print this line to stderr, exit 1" —
+        # non-zero, traceback-free.
+        assert isinstance(payload, str) and payload
+        assert snippet in payload
+        assert "\n" not in payload
+        assert "Traceback" not in payload
+
+    def test_subprocess_prints_one_stderr_line_and_exits_1(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "analyze",
+                "--network",
+                "sprinkler",
+                *INFEASIBLE,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 1
+        assert "Traceback" not in result.stderr
+        lines = [line for line in result.stderr.splitlines() if line]
+        assert len(lines) == 1
+        assert "no feasible representation" in lines[0]
+
+
+class TestServeSubcommand:
+    def test_serve_is_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--shards", "2", "--network", "asia"]
+        )
+        assert args.handler.__name__ == "cmd_serve"
+        assert args.shards == 2
+        assert args.network == ["asia"]
+        assert args.batch_window_ms == 2.0
+
+    def test_serve_end_to_end_over_subprocess(self):
+        import re
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--network",
+                "sprinkler",
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            match = re.search(r":(\d+) ", banner)
+            assert match, banner
+            from repro.serve import ServeClient
+
+            with ServeClient("127.0.0.1", int(match.group(1))) as client:
+                result = client.eval(
+                    "sprinkler", {"Rain": 1}, fmt="fixed:1:15"
+                )
+            assert result["value"] == pytest.approx(0.5)
+            assert "quantized" in result
+        finally:
+            process.terminate()
+            process.wait(timeout=30)
