@@ -273,6 +273,117 @@ def test_backward_sweep_speedups(bench_setup):
     assert quant_backward_speedup >= 5.0, report
 
 
+def test_native_backend_speedups(bench_setup):
+    """Native fused C kernels vs the numpy executors (PR 6).
+
+    The native backend targets **batch-size-1 serving latency**: a single
+    eval or all-marginals query pays dozens of numpy op dispatches on the
+    numpy executors but one C call on the native backend. Gated ≥ 3× on
+    batch-1 eval and marginals (typically ≳ 10×); batched throughput must
+    stay at parity (the numpy executors already amortize per-op overhead
+    at batch 256, so the gate there is "no regression", ≥ 0.8×).
+    """
+    from repro.engine import InferenceSession, native_available
+
+    if not native_available():
+        pytest.skip("native toolchain unavailable (cffi or C compiler)")
+
+    _tape, circuit, evidences, quant_evidences = bench_setup
+    numpy_session = InferenceSession(circuit, backend="numpy")
+    native_session = InferenceSession(circuit, backend="native")
+    assert native_session.backend == "native", (
+        native_session.backend_fallback_reason
+    )
+    fixed_fmt = FixedPointFormat(1, 15)
+    queries = evidences[:40]
+    rows = []
+
+    def _per_query(function, *args):
+        def sweep():
+            for evidence in queries:
+                function(evidence, *args)
+
+        best, _ = _time(sweep)
+        return best / len(queries)
+
+    # Warm every compiled artifact on both sides before timing.
+    for session in (numpy_session, native_session):
+        session.evaluate(queries[0])
+        session.marginals(queries[0])
+        session.evaluate_quantized(fixed_fmt, queries[0])
+    for evidence in queries:  # bit-identical before fast
+        assert native_session.evaluate(evidence) == numpy_session.evaluate(
+            evidence
+        )
+        got = native_session.marginals(evidence)
+        expected = numpy_session.marginals(evidence)
+        for variable in expected:
+            assert (got[variable] == expected[variable]).all()
+        assert native_session.evaluate_quantized(
+            fixed_fmt, evidence
+        ) == numpy_session.evaluate_quantized(fixed_fmt, evidence)
+
+    numpy_eval = _per_query(numpy_session.evaluate)
+    native_eval = _per_query(native_session.evaluate)
+    eval_speedup = numpy_eval / native_eval
+    rows.append(("batch-1 eval f64", numpy_eval, native_eval, 1))
+
+    numpy_marg = _per_query(numpy_session.marginals)
+    native_marg = _per_query(native_session.marginals)
+    marginals_speedup = numpy_marg / native_marg
+    rows.append(("batch-1 all-marginals f64", numpy_marg, native_marg, 1))
+
+    def _quantized(evidence, fmt):
+        return native_session.evaluate_quantized(fmt, evidence)
+
+    def _quantized_numpy(evidence, fmt):
+        return numpy_session.evaluate_quantized(fmt, evidence)
+
+    numpy_quant = _per_query(_quantized_numpy, fixed_fmt)
+    native_quant = _per_query(_quantized, fixed_fmt)
+    rows.append(("batch-1 eval fixed(1,15)", numpy_quant, native_quant, 1))
+
+    # Batched throughput: both backends sweep the same vectorized-sized
+    # batch; native must at least hold parity.
+    batch = quant_evidences
+    numpy_batch, expected = _time(numpy_session.evaluate_batch, batch)
+    native_batch, got = _time(native_session.evaluate_batch, batch)
+    assert (got == expected).all()
+    batch_ratio = numpy_batch / native_batch
+    rows.append(
+        (f"batched f64 ({len(batch)})", numpy_batch, native_batch, len(batch))
+    )
+
+    report = _render_rows(
+        f"native backend benchmark — alarm binary, numpy executors vs "
+        f"fused C kernels, {len(queries)} single queries",
+        rows,
+    ).replace("legacy", " numpy").replace("tape", "native")
+    print("\n" + report)
+    write_result("engine_tape_native.txt", report + "\n")
+    write_json_result(
+        "engine_tape_native.json",
+        [
+            {
+                "sweep": name,
+                "instances": instances,
+                "numpy_ms": numpy_time * 1e3,
+                "native_ms": native_time * 1e3,
+                "speedup": numpy_time / native_time,
+            }
+            for name, numpy_time, native_time, instances in rows
+        ],
+    )
+
+    # Acceptance gates: batch-1 latency ≥ 3× on eval and marginals
+    # (aspire ~10×), batched throughput at parity (0.7 leaves noise
+    # headroom — both backends sweep the same big batch and typically
+    # land within ~10% of each other).
+    assert eval_speedup >= 3.0, report
+    assert marginals_speedup >= 3.0, report
+    assert batch_ratio >= 0.7, report
+
+
 def test_analysis_speedups(bench_setup):
     """Vectorized tape analysis vs the frozen sequential walkers (PR 3).
 

@@ -415,7 +415,10 @@ def cmd_eval(args) -> int:
     from .engine import InferenceSession
 
     circuit, batch, fmt = _resolve_eval_setup(args)
-    session = InferenceSession(circuit)
+    try:
+        session = InferenceSession(circuit, backend=args.backend)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     start = time.perf_counter()
     try:
         # Strict: a typo'd variable name at the CLI should fail loudly,
@@ -440,7 +443,7 @@ def cmd_eval(args) -> int:
             print(f"{exact[row]:.17g}\t{quantized[row]:.17g}")
     print(
         f"# {len(batch)} evaluations in {elapsed * 1e3:.2f} ms on "
-        f"{session.tape.describe()}",
+        f"{session.tape.describe()} ({session.backend} backend)",
         file=sys.stderr,
     )
     return 0
@@ -460,7 +463,10 @@ def cmd_marginals(args) -> int:
         if args.variables
         else None
     )
-    session = InferenceSession(circuit)
+    try:
+        session = InferenceSession(circuit, backend=args.backend)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     if variables is not None:
         known = set(session.marginal_index.variables)
         unknown = [v for v in variables if v not in known]
@@ -492,6 +498,7 @@ def cmd_marginals(args) -> int:
                 "instance": row,
                 "variable": variable,
                 kind: [float(p) for p in exact[variable][:, row]],
+                "backend": session.backend,
             }
             if quantized is not None:
                 record["quantized"] = [
@@ -503,7 +510,8 @@ def cmd_marginals(args) -> int:
     )
     print(
         f"# {num_queries} {kind} distributions ({len(batch)} instances) in "
-        f"{elapsed * 1e3:.2f} ms on {session.tape.describe()}",
+        f"{elapsed * 1e3:.2f} ms on {session.tape.describe()} "
+        f"({session.backend} backend)",
         file=sys.stderr,
     )
     return 0
@@ -512,8 +520,14 @@ def cmd_marginals(args) -> int:
 def cmd_serve(args) -> int:
     """Serve circuits over the async micro-batching protocol."""
     import asyncio
+    import os
 
     from .serve import CircuitRegistry, ProbLPServer, ShardedServer
+
+    if args.backend is not None:
+        # Environment, not constructor plumbing: shard workers are
+        # separate processes and pick the policy up from PROBLP_BACKEND.
+        os.environ["PROBLP_BACKEND"] = args.backend
 
     explicit = (
         args.network or args.bif or args.network_json or args.circuit
@@ -736,6 +750,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=_parse_format,
             help="also evaluate quantized, e.g. fixed:1:15 or float:8:14",
         )
+        parser.add_argument(
+            "--backend",
+            choices=("auto", "native", "numpy"),
+            help="execution backend: compiled C kernels (native), the "
+            "numpy executors, or auto-select (default; also settable "
+            "via PROBLP_BACKEND)",
+        )
 
     eval_cmd = subparsers.add_parser(
         "eval", help="evaluate evidence batches on the compiled tape"
@@ -814,6 +835,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="flush a micro-batch early at this many requests",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "native", "numpy"),
+        help="execution backend for every served session (exported as "
+        "PROBLP_BACKEND so shard workers inherit it)",
     )
     serve.add_argument(
         "--network",

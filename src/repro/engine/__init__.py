@@ -42,7 +42,20 @@ from .executors import (
     execute_values,
 )
 from .marginals import MarginalIndex
-from .session import InferenceSession, backend_for_format, session_for
+from .memo import KeyedMemo
+from .native import (
+    NativeTapeKernels,
+    native_available,
+    native_kernels_for,
+    native_unavailable_reason,
+)
+from .session import (
+    BACKEND_CHOICES,
+    InferenceSession,
+    backend_for_format,
+    requested_backend,
+    session_for,
+)
 from .tape import (
     OP_COPY,
     OP_MAX,
@@ -55,6 +68,7 @@ from .tape import (
 )
 
 __all__ = [
+    "BACKEND_CHOICES",
     "BackwardProgram",
     "EvidenceEncoder",
     "FixedPointBatchExecutor",
@@ -63,7 +77,9 @@ __all__ = [
     "FloatWordKernel",
     "ForwardSchedule",
     "InferenceSession",
+    "KeyedMemo",
     "MarginalIndex",
+    "NativeTapeKernels",
     "OP_COPY",
     "OP_MAX",
     "OP_PRODUCT",
@@ -80,6 +96,10 @@ __all__ = [
     "execute_partials_batch",
     "execute_real",
     "execute_values",
+    "native_available",
+    "native_kernels_for",
+    "native_unavailable_reason",
+    "requested_backend",
     "schedule_segments",
     "session_for",
     "tape_analysis_for",

@@ -35,13 +35,12 @@ differential-test oracles.
 from __future__ import annotations
 
 import math
-import threading
-import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..ac.circuit import ArithmeticCircuit
+from .memo import KeyedMemo
 from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, Tape, tape_for
 
 #: log2 marker for "identically zero" in max analysis.
@@ -478,29 +477,14 @@ class TapeAnalysis:
 
 
 #: Per-tape analysis cache; an analysis dies with its tape (and the tape
-#: with its circuit), so long-lived services never leak.
-_ANALYSIS_CACHE: "weakref.WeakKeyDictionary[Tape, TapeAnalysis]" = (
-    weakref.WeakKeyDictionary()
-)
-#: Guards the cache dict only — the analysis sweeps run outside the
-#: lock so different tapes analyze in parallel; same-tape racers
-#: converge on the first installed instance.
-_ANALYSIS_CACHE_LOCK = threading.Lock()
+#: with its circuit), so long-lived services never leak. Construction
+#: runs outside the memo's lock so different tapes analyze in parallel.
+_ANALYSIS_MEMO: KeyedMemo = KeyedMemo(weak=True)
 
 
 def tape_analysis_for(tape: Tape) -> TapeAnalysis:
     """The cached :class:`TapeAnalysis` of a compiled tape (thread-safe)."""
-    with _ANALYSIS_CACHE_LOCK:
-        analysis = _ANALYSIS_CACHE.get(tape)
-        if analysis is not None:
-            return analysis
-    computed = TapeAnalysis(tape)
-    with _ANALYSIS_CACHE_LOCK:
-        analysis = _ANALYSIS_CACHE.get(tape)
-        if analysis is not None:
-            return analysis
-        _ANALYSIS_CACHE[tape] = computed
-        return computed
+    return _ANALYSIS_MEMO.get(tape, lambda: TapeAnalysis(tape))
 
 
 def analysis_for(circuit: ArithmeticCircuit) -> TapeAnalysis:

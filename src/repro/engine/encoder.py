@@ -116,7 +116,23 @@ class EvidenceEncoder:
     def encode_one(
         self, evidence: Mapping[str, int] | None, strict: bool = True
     ) -> np.ndarray:
-        """Boolean activity vector of shape ``(num_indicators,)``."""
+        """Boolean activity vector of shape ``(num_indicators,)``.
+
+        Bit-identical to ``encode([evidence])[:, 0]`` but O(observed
+        variables) instead of O(all variables) — this sits on the
+        batch-size-1 serving hot path, where evidence is sparse.
+        """
         if not evidence:
             return np.ones(self.num_indicators, dtype=bool)
-        return self.encode([evidence], strict=strict)[:, 0]
+        if strict:
+            self._check_known([evidence])
+        active = np.ones(self.num_indicators, dtype=bool)
+        for variable, value in evidence.items():
+            rows_states = self._var_rows.get(variable)
+            if rows_states is None:
+                continue
+            rows, states = rows_states
+            # Negative evidence matches no indicator (states are ≥ 0),
+            # zeroing the variable's rows like the batch encoder.
+            active[rows] = states == int(value)
+        return active

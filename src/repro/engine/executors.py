@@ -28,8 +28,6 @@ formats must use the scalar big-int paths — constructors raise
 
 from __future__ import annotations
 
-import threading
-import weakref
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -47,6 +45,7 @@ from ..arith.floatingpoint import (
 )
 from ..arith.rounding import RoundingMode
 from .encoder import EvidenceEncoder
+from .memo import KeyedMemo
 from .tape import OP_MAX, OP_PRODUCT, OP_SUM, Tape
 
 
@@ -260,32 +259,19 @@ class QuantizedTapeEvaluator:
         self.tape = tape
         self.encoder = encoder or EvidenceEncoder.for_tape(tape)
         # Keyed by backend identity; weak so cached tables die with the
-        # backend instead of pinning it (and ids are never recycled).
-        self._param_cache: "weakref.WeakKeyDictionary[Any, list[Any]]" = (
-            weakref.WeakKeyDictionary()
-        )
-        # Concurrent serving threads share one evaluator per session;
-        # the memoized per-backend tables are built under this lock.
-        self._param_lock = threading.Lock()
+        # backend instead of pinning it. Quantizing the table is the
+        # slow part — KeyedMemo builds outside its lock, so different
+        # backends never serialize each other.
+        self._param_memo = KeyedMemo(weak=True)
 
     def _quantized_parameters(self, backend) -> list[Any]:
-        # Quantizing the table is the slow part; build it outside the
-        # lock so different backends don't serialize each other, and
-        # converge same-backend racers on the first install.
-        with self._param_lock:
-            cached = self._param_cache.get(backend)
-        if cached is not None:
-            return cached
-        built = [
-            backend.from_real(float(value))
-            for value in self.tape.param_values
-        ]
-        with self._param_lock:
-            cached = self._param_cache.get(backend)
-            if cached is not None:
-                return cached
-            self._param_cache[backend] = built
-            return built
+        return self._param_memo.get(
+            backend,
+            lambda: [
+                backend.from_real(float(value))
+                for value in self.tape.param_values
+            ],
+        )
 
     def _forward_slots(
         self,

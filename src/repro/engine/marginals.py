@@ -42,14 +42,48 @@ class MarginalIndex:
             slots, states = groups.setdefault(variable, ([], []))
             slots.append(int(slot))
             states.append(int(state))
-        self._groups: dict[str, tuple[np.ndarray, np.ndarray, int]] = {
-            variable: (
-                np.asarray(slots, dtype=np.intp),
-                np.asarray(states, dtype=np.intp),
+        # Each group is sorted by state so the flattened-normalization
+        # path below sums contributions in exactly the state-ascending
+        # order the per-variable ``joint.sum(axis=0)`` used — keeping
+        # posteriors bit-identical to the original per-variable loop.
+        self._groups: dict[str, tuple[np.ndarray, np.ndarray, int]] = {}
+        for variable, (slots, states) in groups.items():
+            order = np.argsort(np.asarray(states), kind="stable")
+            self._groups[variable] = (
+                np.asarray(slots, dtype=np.intp)[order],
+                np.asarray(states, dtype=np.intp)[order],
                 max(states) + 1,
             )
-            for variable, (slots, states) in groups.items()
-        }
+        # Flattened views for the one-gather posteriors fast path: the
+        # per-query marginals cost must stay negligible next to the
+        # native tape sweeps.
+        self._all_slots = (
+            np.concatenate([g[0] for g in self._groups.values()])
+            if self._groups
+            else np.empty(0, dtype=np.intp)
+        )
+        counts = np.asarray(
+            [len(g[0]) for g in self._groups.values()], dtype=np.intp
+        )
+        self._counts = counts
+        self._starts = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(
+            np.intp
+        )
+        self._flat_groups = [
+            (
+                variable,
+                states,
+                card,
+                int(start),
+                int(start + count),
+                bool(
+                    count == card and (states == np.arange(card)).all()
+                ),
+            )
+            for (variable, (slots, states, card)), start, count in zip(
+                self._groups.items(), self._starts, counts
+            )
+        ]
 
     @property
     def variables(self) -> tuple[str, ...]:
@@ -79,20 +113,39 @@ class MarginalIndex:
         has probability zero; ``context`` is appended to the message so
         front ends can name the offending query/instance.
         """
+        partials = np.asarray(partials)
+        if not self._flat_groups:
+            return {}
+        values = partials[self._all_slots]
+        # Segment sums in state-ascending order — bit-identical to the
+        # per-variable ``joint.sum(axis=0)`` (missing states added 0.0,
+        # which is exact on the non-negative partials domain).
+        totals = np.add.reduceat(values, self._starts, axis=0)
+        zero = totals == 0.0
+        if zero.any():
+            for index, (variable, *_rest) in enumerate(self._flat_groups):
+                row_zero = zero[index]
+                if np.any(row_zero):
+                    where = ""
+                    if np.ndim(row_zero) > 0:
+                        lanes = np.flatnonzero(row_zero).tolist()
+                        where = f" (batch instance(s) {lanes})"
+                    raise ZeroEvidenceError(
+                        f"evidence has probability zero; cannot condition "
+                        f"{variable!r}{where}{context}"
+                    )
+        normalized = values / np.repeat(totals, self._counts, axis=0)
         posteriors: dict[str, np.ndarray] = {}
-        for variable, joint in self.joints(partials).items():
-            total = joint.sum(axis=0)
-            zero = total == 0.0
-            if np.any(zero):
-                where = ""
-                if np.ndim(total) > 0:
-                    lanes = np.flatnonzero(zero).tolist()
-                    where = f" (batch instance(s) {lanes})"
-                raise ZeroEvidenceError(
-                    f"evidence has probability zero; cannot condition "
-                    f"{variable!r}{where}{context}"
-                )
-            posteriors[variable] = joint / total
+        for variable, states, card, start, end, contiguous in self._flat_groups:
+            chunk = normalized[start:end]
+            if contiguous:
+                # States are exactly 0..card-1 (sorted above): the chunk
+                # already is the posterior array.
+                posteriors[variable] = chunk
+            else:
+                joint = np.zeros((card,) + chunk.shape[1:])
+                joint[states] = chunk
+                posteriors[variable] = joint
         return posteriors
 
 

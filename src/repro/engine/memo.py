@@ -1,0 +1,97 @@
+"""One keyed-memo utility for every compiled-artifact cache.
+
+Everything the engine compiles — tapes, analyses, sessions, per-format
+executors, quantized parameter tables, and (PR 6) native kernel
+libraries — follows the same memoization discipline, previously
+hand-copied at five sites:
+
+* the cache dict is guarded by a lock, but **construction runs outside
+  it** so concurrent first touches of *different* keys build in
+  parallel;
+* same-key racers converge on the first installed artifact (the loser's
+  duplicate build is discarded) — double-checked locking;
+* optionally, a **freshness predicate** lets a cached artifact be
+  superseded when its key object mutated underneath it (circuits are
+  append-only arenas, so a grown or re-rooted circuit invalidates its
+  tape and session).
+
+:class:`KeyedMemo` packages that discipline once. ``weak=True`` keys the
+cache by object identity in a :class:`weakref.WeakKeyDictionary`, so
+artifacts die with the objects they were compiled from and long-lived
+services never leak.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Callable, Hashable, TypeVar
+
+V = TypeVar("V")
+
+__all__ = ["KeyedMemo"]
+
+
+class KeyedMemo:
+    """Thread-safe keyed memoization with build-outside-the-lock.
+
+    ``get(key, build)`` returns the cached value for ``key`` or installs
+    ``build()``'s result; ``fresh`` (when given) must return True for a
+    cached value to be reused — a stale value is rebuilt and replaced.
+    ``build`` must not return ``None`` (``None`` marks a cache miss).
+    """
+
+    def __init__(self, *, weak: bool = False) -> None:
+        self._entries: Any = weakref.WeakKeyDictionary() if weak else {}
+        self._lock = threading.Lock()
+
+    def get(
+        self,
+        key: Hashable,
+        build: Callable[[], V],
+        *,
+        fresh: Callable[[V], bool] | None = None,
+    ) -> V:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None and (fresh is None or fresh(value)):
+                return value
+        built = build()
+        if built is None:
+            raise ValueError("KeyedMemo build() must not return None")
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None and (fresh is None or fresh(value)):
+                return value
+            self._entries[key] = built
+            return built
+
+    def peek(self, key: Hashable) -> Any | None:
+        """The cached value for ``key`` without building (or ``None``)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop ``key``'s cached value if present."""
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __getitem__(self, key: Hashable) -> Any:
+        with self._lock:
+            return self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> tuple:
+        with self._lock:
+            return tuple(self._entries.keys())

@@ -1,0 +1,39 @@
+"""Native compiled-tape backend: fused C kernels for tape replay.
+
+Lowers a compiled :class:`~repro.engine.tape.Tape` (and its
+:class:`~repro.engine.tape.BackwardProgram`) to a single fused C
+translation unit — float64 forward/backward and exact int64 fixed-point
+forward/backward — built via cffi at first use and cached on disk by
+content hash. The numpy executors remain the semantic oracle: every
+native kernel is differentially pinned bit-identical to them (see
+``tests/engine/test_native.py``).
+
+The package degrades gracefully: when cffi or a C compiler is missing,
+:func:`native_available` is False (with the reason kept) and
+:class:`~repro.engine.session.InferenceSession` silently serves from
+the numpy executors. Backend choice is a runtime policy — see the
+``PROBLP_BACKEND`` environment variable, ``InferenceSession(backend=)``
+and the CLI ``--backend`` flag.
+"""
+
+from .build import (
+    NativeBuildError,
+    build_kernel_module,
+    cache_dir,
+    native_available,
+    native_unavailable_reason,
+)
+from .codegen import CODEGEN_VERSION, generate_source
+from .kernels import NativeTapeKernels, native_kernels_for
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "NativeBuildError",
+    "NativeTapeKernels",
+    "build_kernel_module",
+    "cache_dir",
+    "generate_source",
+    "native_available",
+    "native_kernels_for",
+    "native_unavailable_reason",
+]

@@ -1,0 +1,168 @@
+"""cffi compilation and on-disk caching of generated tape kernels.
+
+Modules are keyed by a content hash of the generated C source (which
+itself encodes the whole tape) plus the cdef and codegen version, so a
+tape recompiled in another process — or another CI step — reuses the
+cached shared object instead of invoking the C compiler again. The
+cache directory is ``$PROBLP_NATIVE_CACHE`` when set, else
+``$XDG_CACHE_HOME/problp/native`` (defaulting under ``~/.cache``).
+
+Builds are cross-process safe: each process compiles into its own
+temporary subdirectory and atomically ``os.replace``s the finished
+shared object into the cache, so racers simply overwrite each other
+with identical artifacts.
+
+Availability is probed by actually compiling a trivial module once per
+process (the probe is disk-cached too, so only the very first run pays
+the compiler): anything that breaks the toolchain — cffi missing, no C
+compiler, unwritable cache — flips :func:`native_available` to False
+with the reason preserved for diagnostics, and callers fall back to the
+numpy executors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import sys
+import tempfile
+import threading
+from typing import Any
+
+from ..memo import KeyedMemo
+from .codegen import CODEGEN_VERSION, KERNEL_CDEF
+
+__all__ = [
+    "NativeBuildError",
+    "build_kernel_module",
+    "cache_dir",
+    "native_available",
+    "native_unavailable_reason",
+]
+
+#: Compile flags that preserve bit-identity with the numpy oracle: -O2
+#: without fast-math, and contraction off so no FMA merges a multiply
+#: and an add into a single differently-rounded instruction.
+_COMPILE_ARGS = ["-O2", "-ffp-contract=off"]
+
+_PROBE_CDEF = "int problp_native_probe(void);"
+_PROBE_SOURCE = "int problp_native_probe(void) { return 42; }\n"
+
+
+class NativeBuildError(RuntimeError):
+    """Generating/compiling/loading a native kernel module failed."""
+
+
+def cache_dir() -> str:
+    """The directory generated kernels are compiled into and loaded from."""
+    configured = os.environ.get("PROBLP_NATIVE_CACHE")
+    if configured:
+        return configured
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(xdg, "problp", "native")
+
+
+def _module_name(source: str) -> str:
+    digest = hashlib.sha256(
+        f"v{CODEGEN_VERSION}\n{KERNEL_CDEF}\n{source}".encode()
+    ).hexdigest()
+    return f"_problp_tape_{digest[:16]}"
+
+
+def _extension_suffix() -> str:
+    import importlib.machinery
+
+    return importlib.machinery.EXTENSION_SUFFIXES[0]
+
+
+def _load_extension(name: str, path: str) -> Any:
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise NativeBuildError(f"cannot load native module at {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _compile_into_cache(name: str, cdef: str, source: str) -> str:
+    """Compile one module into the cache dir; returns the .so path."""
+    try:
+        from cffi import FFI
+    except ImportError as error:
+        raise NativeBuildError(f"cffi is not installed: {error}") from error
+
+    directory = cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    final_path = os.path.join(directory, name + _extension_suffix())
+    if os.path.exists(final_path):
+        return final_path
+    workdir = tempfile.mkdtemp(prefix=name + ".", dir=directory)
+    try:
+        ffi = FFI()
+        ffi.cdef(cdef)
+        ffi.set_source(name, source, extra_compile_args=_COMPILE_ARGS)
+        built = ffi.compile(tmpdir=workdir)
+        os.replace(built, final_path)
+    except NativeBuildError:
+        raise
+    except Exception as error:  # compiler/toolchain failures of any kind
+        raise NativeBuildError(
+            f"native kernel build failed: {type(error).__name__}: {error}"
+        ) from error
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return final_path
+
+
+#: Per-process module cache: one load per source hash, builds outside
+#: the lock so different tapes compile in parallel.
+_MODULE_MEMO: KeyedMemo = KeyedMemo()
+
+_AVAILABILITY_LOCK = threading.Lock()
+_availability: bool | None = None
+_unavailable_reason: str | None = None
+
+
+def build_kernel_module(source: str) -> Any:
+    """The compiled+loaded cffi module for a generated source (cached).
+
+    Raises :class:`NativeBuildError` when the toolchain is unavailable
+    or the build fails; callers treat that as "fall back to numpy".
+    """
+    name = _module_name(source)
+    return _MODULE_MEMO.get(
+        name,
+        lambda: _load_extension(name, _compile_into_cache(name, KERNEL_CDEF, source)),
+    )
+
+
+def native_available() -> bool:
+    """True when native kernels can be built (or loaded) in this process.
+
+    Probes by compiling a trivial module once; the result (and the
+    failure reason, see :func:`native_unavailable_reason`) is cached for
+    the life of the process.
+    """
+    global _availability, _unavailable_reason
+    with _AVAILABILITY_LOCK:
+        if _availability is None:
+            probe = f"_problp_probe_{sys.hexversion:x}"
+            try:
+                _load_extension(
+                    probe, _compile_into_cache(probe, _PROBE_CDEF, _PROBE_SOURCE)
+                )
+                _availability = True
+            except Exception as error:
+                _availability = False
+                _unavailable_reason = str(error)
+        return _availability
+
+
+def native_unavailable_reason() -> str | None:
+    """Why native kernels are unavailable, or ``None`` when they work."""
+    native_available()
+    return _unavailable_reason

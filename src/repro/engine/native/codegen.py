@@ -1,0 +1,336 @@
+"""C source generation for one compiled tape.
+
+The generated translation unit bakes the whole tape — forward and
+reversed op streams, the parameter/indicator tables, float64 parameter
+values as C99 hex literals — into ``static const`` arrays and exposes
+four fused kernels over a row-major ``(num_slots, batch)`` slot matrix:
+
+* ``f64_forward`` / ``f64_backward`` — IEEE float64 replay, bit-identical
+  to the numpy executors because both apply the same ops in the same
+  order (the build pins ``-ffp-contract=off`` so no FMA contraction can
+  change a single rounding);
+* ``fixed_forward`` / ``fixed_backward`` — exact int64-mantissa
+  fixed-point replay with the scalar backend's rounding and
+  overflow-raising semantics. Quantized parameter words are passed in at
+  call time (they depend on the format), so one compiled module serves
+  every fixed-point format of the tape; the rounding mode is a runtime
+  switch (perfectly predicted — it never changes inside a sweep).
+
+Overflow reporting matches the numpy executors' exception attribution:
+the kernels return the destination slot of the first overflowing
+operation in stream order (phases within an op in the numpy check
+order), or ``-1`` on success.
+
+Bit-identity of the fixed path needs arithmetic right shifts and
+two's-complement masking for (theoretical) negative words — both are
+what gcc/clang do on every target we build for, matching Python's and
+numpy's floor-shift semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tape import Tape
+
+#: Bump when kernel semantics change — part of the build cache key.
+CODEGEN_VERSION = 1
+
+#: The cffi declarations of every generated tape module.
+KERNEL_CDEF = """
+void f64_forward(const uint8_t *active, double *slots, int64_t batch);
+void f64_backward(const uint8_t *active, double *slots, double *partials,
+                  int64_t batch);
+int64_t fixed_forward(const int64_t *params, const uint8_t *active,
+                      int64_t batch, int32_t frac_bits, int64_t max_word,
+                      int64_t one_word, int32_t rounding, int64_t *slots);
+int64_t fixed_backward(const int64_t *params, const uint8_t *active,
+                       int64_t batch, int32_t frac_bits, int64_t max_word,
+                       int64_t one_word, int32_t rounding, int64_t *slots,
+                       int64_t *adjoints);
+"""
+
+#: Runtime rounding selectors (see ``fx_round`` in the template).
+ROUND_TRUNCATE, ROUND_NEAREST_UP, ROUND_NEAREST_EVEN = 0, 1, 2
+
+
+def _c_int_array(name: str, values: np.ndarray | list[int]) -> str:
+    items = [str(int(v)) for v in values]
+    if not items:
+        # C forbids zero-length arrays; the matching N_* constant is 0,
+        # so the dummy entry is never read.
+        items = ["0"]
+    body = _wrap(items)
+    return f"static const int32_t {name}[] = {{\n{body}\n}};"
+
+
+def _c_double_array(name: str, values: np.ndarray) -> str:
+    items = []
+    for value in values:
+        value = float(value)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(
+                f"non-finite parameter value {value!r} cannot be lowered "
+                f"to a C literal"
+            )
+        # C99 hex float literals reproduce the double bit-for-bit.
+        items.append(value.hex())
+    if not items:
+        items = ["0x0.0p+0"]
+    body = _wrap(items)
+    return f"static const double {name}[] = {{\n{body}\n}};"
+
+
+def _wrap(items: list[str], per_line: int = 12) -> str:
+    lines = []
+    for start in range(0, len(items), per_line):
+        lines.append("    " + ", ".join(items[start : start + per_line]) + ",")
+    return "\n".join(lines)
+
+
+def generate_source(tape: Tape) -> str:
+    """The complete C translation unit for one tape."""
+    backward = tape.backward
+    root = tape.require_root() if tape.root is not None else -1
+    parts = [
+        "#include <stdint.h>",
+        "#include <string.h>",
+        "",
+        f"/* tape {tape.name!r}: {tape.num_operations} ops, "
+        f"{tape.num_slots} slots (codegen v{CODEGEN_VERSION}) */",
+        f"#define N_OPS {tape.num_operations}",
+        f"#define N_PARAMS {len(tape.param_slots)}",
+        f"#define N_INDICATORS {len(tape.indicator_slots)}",
+        f"#define NUM_SLOTS {tape.num_slots}",
+        f"#define ROOT {root}",
+        "",
+        _c_int_array("OPC", tape.opcodes),
+        _c_int_array("DST", tape.dests),
+        _c_int_array("LFT", tape.lefts),
+        _c_int_array("RGT", tape.rights),
+        _c_int_array("BOPC", backward.opcodes),
+        _c_int_array("BDST", backward.dests),
+        _c_int_array("BLFT", backward.lefts),
+        _c_int_array("BRGT", backward.rights),
+        _c_int_array("PSLOT", tape.param_slots),
+        _c_int_array("PID", tape.param_ids),
+        _c_double_array("PVAL", tape.param_values),
+        _c_int_array("ISLOT", tape.indicator_slots),
+        _KERNEL_TEMPLATE,
+    ]
+    return "\n".join(parts)
+
+
+_KERNEL_TEMPLATE = r"""
+/* ------------------------------------------------------------------ */
+/* float64 kernels                                                     */
+/* ------------------------------------------------------------------ */
+static void seed_f64(const uint8_t *active, double *slots, int64_t batch)
+{
+    for (int32_t i = 0; i < N_PARAMS; i++) {
+        const double value = PVAL[PID[i]];
+        double *row = slots + (int64_t)PSLOT[i] * batch;
+        for (int64_t j = 0; j < batch; j++) row[j] = value;
+    }
+    for (int32_t i = 0; i < N_INDICATORS; i++) {
+        const uint8_t *lane = active + (int64_t)i * batch;
+        double *row = slots + (int64_t)ISLOT[i] * batch;
+        for (int64_t j = 0; j < batch; j++) row[j] = lane[j] ? 1.0 : 0.0;
+    }
+}
+
+void f64_forward(const uint8_t *active, double *slots, int64_t batch)
+{
+    seed_f64(active, slots, batch);
+    for (int32_t op = 0; op < N_OPS; op++) {
+        const double *L = slots + (int64_t)LFT[op] * batch;
+        const double *R = slots + (int64_t)RGT[op] * batch;
+        double *D = slots + (int64_t)DST[op] * batch;
+        switch (OPC[op]) {
+        case 0: /* SUM */
+            for (int64_t j = 0; j < batch; j++) D[j] = L[j] + R[j];
+            break;
+        case 1: /* PRODUCT */
+            for (int64_t j = 0; j < batch; j++) D[j] = L[j] * R[j];
+            break;
+        case 2: /* MAX */
+            for (int64_t j = 0; j < batch; j++)
+                D[j] = L[j] >= R[j] ? L[j] : R[j];
+            break;
+        default: /* COPY */
+            memcpy(D, L, (size_t)batch * sizeof(double));
+            break;
+        }
+    }
+}
+
+void f64_backward(const uint8_t *active, double *slots, double *partials,
+                  int64_t batch)
+{
+    f64_forward(active, slots, batch);
+    memset(partials, 0, (size_t)NUM_SLOTS * (size_t)batch * sizeof(double));
+    {
+        double *root_row = partials + (int64_t)ROOT * batch;
+        for (int64_t j = 0; j < batch; j++) root_row[j] = 1.0;
+    }
+    for (int32_t op = 0; op < N_OPS; op++) {
+        const double *S = partials + (int64_t)BDST[op] * batch;
+        double *PL = partials + (int64_t)BLFT[op] * batch;
+        double *PR = partials + (int64_t)BRGT[op] * batch;
+        switch (BOPC[op]) {
+        case 0: /* SUM: adjoints flow through unscaled */
+            for (int64_t j = 0; j < batch; j++) PL[j] += S[j];
+            for (int64_t j = 0; j < batch; j++) PR[j] += S[j];
+            break;
+        case 1: { /* PRODUCT: product rule with the forward siblings */
+            const double *VL = slots + (int64_t)BLFT[op] * batch;
+            const double *VR = slots + (int64_t)BRGT[op] * batch;
+            for (int64_t j = 0; j < batch; j++) PL[j] += S[j] * VR[j];
+            for (int64_t j = 0; j < batch; j++) PR[j] += S[j] * VL[j];
+            break;
+        }
+        default: /* COPY */
+            for (int64_t j = 0; j < batch; j++) PL[j] += S[j];
+            break;
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* fixed-point kernels (int64 mantissa words)                          */
+/* ------------------------------------------------------------------ */
+static int64_t fx_round(int64_t product, int32_t frac_bits, int32_t rounding)
+{
+    int64_t quotient, remainder, half;
+    if (frac_bits == 0) return product;
+    quotient = product >> frac_bits;
+    if (rounding == 0) return quotient; /* TRUNCATE */
+    remainder = product & (((int64_t)1 << frac_bits) - 1);
+    half = (int64_t)1 << (frac_bits - 1);
+    if (rounding == 1) return quotient + (remainder >= half); /* NEAREST_UP */
+    return quotient
+        + ((remainder > half) || (remainder == half && (quotient & 1)));
+}
+
+static int64_t fixed_forward_sweep(const int64_t *params,
+                                   const uint8_t *active, int64_t batch,
+                                   int32_t frac_bits, int64_t max_word,
+                                   int64_t one_word, int32_t rounding,
+                                   int64_t *slots)
+{
+    for (int32_t i = 0; i < N_PARAMS; i++) {
+        const int64_t value = params[PID[i]];
+        int64_t *row = slots + (int64_t)PSLOT[i] * batch;
+        for (int64_t j = 0; j < batch; j++) row[j] = value;
+    }
+    for (int32_t i = 0; i < N_INDICATORS; i++) {
+        const uint8_t *lane = active + (int64_t)i * batch;
+        int64_t *row = slots + (int64_t)ISLOT[i] * batch;
+        for (int64_t j = 0; j < batch; j++) row[j] = lane[j] ? one_word : 0;
+    }
+    for (int32_t op = 0; op < N_OPS; op++) {
+        const int64_t *L = slots + (int64_t)LFT[op] * batch;
+        const int64_t *R = slots + (int64_t)RGT[op] * batch;
+        int64_t *D = slots + (int64_t)DST[op] * batch;
+        switch (OPC[op]) {
+        case 0: /* SUM: exact adder, checked */
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t v = L[j] + R[j];
+                if (v > max_word) return DST[op];
+                D[j] = v;
+            }
+            break;
+        case 1: /* PRODUCT: exact 2F product rounded back to F, checked */
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t v = fx_round(L[j] * R[j], frac_bits, rounding);
+                if (v > max_word) return DST[op];
+                D[j] = v;
+            }
+            break;
+        case 2: /* MAX */
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t v = L[j] >= R[j] ? L[j] : R[j];
+                if (v > max_word) return DST[op];
+                D[j] = v;
+            }
+            break;
+        default: /* COPY */
+            memcpy(D, L, (size_t)batch * sizeof(int64_t));
+            break;
+        }
+    }
+    return -1;
+}
+
+int64_t fixed_forward(const int64_t *params, const uint8_t *active,
+                      int64_t batch, int32_t frac_bits, int64_t max_word,
+                      int64_t one_word, int32_t rounding, int64_t *slots)
+{
+    return fixed_forward_sweep(params, active, batch, frac_bits, max_word,
+                               one_word, rounding, slots);
+}
+
+int64_t fixed_backward(const int64_t *params, const uint8_t *active,
+                       int64_t batch, int32_t frac_bits, int64_t max_word,
+                       int64_t one_word, int32_t rounding, int64_t *slots,
+                       int64_t *adjoints)
+{
+    const int64_t status = fixed_forward_sweep(params, active, batch,
+                                               frac_bits, max_word, one_word,
+                                               rounding, slots);
+    if (status >= 0) return status;
+    memset(adjoints, 0, (size_t)NUM_SLOTS * (size_t)batch * sizeof(int64_t));
+    {
+        int64_t *root_row = adjoints + (int64_t)ROOT * batch;
+        for (int64_t j = 0; j < batch; j++) root_row[j] = one_word;
+    }
+    for (int32_t op = 0; op < N_OPS; op++) {
+        const int64_t *S = adjoints + (int64_t)BDST[op] * batch;
+        int64_t *AL = adjoints + (int64_t)BLFT[op] * batch;
+        int64_t *AR = adjoints + (int64_t)BRGT[op] * batch;
+        switch (BOPC[op]) {
+        case 0: /* SUM: left phase then right phase, like the numpy path */
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t v = AL[j] + S[j];
+                if (v > max_word) return BLFT[op];
+                AL[j] = v;
+            }
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t v = AR[j] + S[j];
+                if (v > max_word) return BRGT[op];
+                AR[j] = v;
+            }
+            break;
+        case 1: { /* PRODUCT: rounded contribution, checked add, per side */
+            const int64_t *VL = slots + (int64_t)BLFT[op] * batch;
+            const int64_t *VR = slots + (int64_t)BRGT[op] * batch;
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t c = fx_round(S[j] * VR[j], frac_bits, rounding);
+                int64_t v;
+                if (c > max_word) return BLFT[op];
+                v = AL[j] + c;
+                if (v > max_word) return BLFT[op];
+                AL[j] = v;
+            }
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t c = fx_round(S[j] * VL[j], frac_bits, rounding);
+                int64_t v;
+                if (c > max_word) return BRGT[op];
+                v = AR[j] + c;
+                if (v > max_word) return BRGT[op];
+                AR[j] = v;
+            }
+            break;
+        }
+        default: /* COPY */
+            for (int64_t j = 0; j < batch; j++) {
+                const int64_t v = AL[j] + S[j];
+                if (v > max_word) return BLFT[op];
+                AL[j] = v;
+            }
+            break;
+        }
+    }
+    return -1;
+}
+"""

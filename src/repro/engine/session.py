@@ -12,12 +12,22 @@ vectorized executors whenever the format qualifies (fixed point with
 ``2·(I+F) ≤ 62``, float with ``M ≤ 30, E ≤ 32``) and fall back to the
 scalar big-int tape evaluator — bit-identical either way — for wider
 formats.
+
+Backend dispatch is a runtime policy: ``backend="auto"`` (the default,
+overridable via ``PROBLP_BACKEND``) compiles the tape's fused C kernels
+(:mod:`repro.engine.native`) at first use and serves float64 and
+int64-fixed-point sweeps from them, falling back to the numpy executors
+whenever the native toolchain is unavailable; ``backend="numpy"`` pins
+the numpy executors; ``backend="native"`` insists but still degrades
+gracefully (the fallback reason is kept on
+:attr:`InferenceSession.backend_fallback_reason`). Results are
+bit-identical across backends — the numpy executors stay the
+differential oracle.
 """
 
 from __future__ import annotations
 
-import threading
-import weakref
+import os
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -38,9 +48,35 @@ from .executors import (
     execute_values,
 )
 from .marginals import MarginalIndex, describe_evidence
+from .memo import KeyedMemo
 from .tape import Tape, tape_for
 
 AnyFormat = FixedPointFormat | FloatFormat
+
+#: Valid backend policies: "auto" prefers native and falls back,
+#: "native" insists (still degrading gracefully), "numpy" pins numpy.
+BACKEND_CHOICES = ("auto", "native", "numpy")
+
+
+def requested_backend(backend: str | None = None) -> str:
+    """Resolve and validate a backend request (arg > env > "auto")."""
+    requested = backend or os.environ.get("PROBLP_BACKEND") or "auto"
+    if requested not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {requested!r}; expected one of "
+            f"{', '.join(BACKEND_CHOICES)}"
+        )
+    return requested
+
+
+class _NativeState:
+    """Resolved native-kernel state: the kernels or the fallback reason."""
+
+    __slots__ = ("kernels", "reason")
+
+    def __init__(self, kernels: Any, reason: str | None) -> None:
+        self.kernels = kernels
+        self.reason = reason
 
 
 def backend_for_format(fmt: AnyFormat):
@@ -73,32 +109,69 @@ class InferenceSession:
     True
     """
 
-    def __init__(self, circuit: ArithmeticCircuit) -> None:
+    def __init__(
+        self, circuit: ArithmeticCircuit, backend: str | None = None
+    ) -> None:
         self.circuit = circuit
         self.tape: Tape = tape_for(circuit)
         self.encoder = EvidenceEncoder.for_tape(self.tape)
-        # Built on first quantized call: quantized evaluation demands a
-        # binary circuit, but exact float64 serving works on any tape.
-        self._scalar_quantized_cache: QuantizedTapeEvaluator | None = None
-        self._fixed_batch: dict[FixedPointFormat, FixedPointBatchExecutor] = {}
-        self._float_batch: dict[FloatFormat, FloatBatchExecutor] = {}
-        self._backends: dict[AnyFormat, Any] = {}
-        self._marginal_index: MarginalIndex | None = None
+        # Backend policy: explicit argument beats $PROBLP_BACKEND beats
+        # "auto". Native kernels compile lazily on first dispatch.
+        self._requested_backend = requested_backend(backend)
         # One session serves many threads (the serve layer runs batch
-        # flushes and optimize/hw work on a thread pool): memoization is
-        # guarded so each executor/backend is built exactly once.
-        # Execution itself is lock-free — executors keep no per-call
-        # mutable state.
-        self._lock = threading.RLock()
+        # flushes and optimize/hw work on a thread pool): every compiled
+        # artifact lives in a KeyedMemo, so each executor/backend is
+        # built exactly once and execution itself stays lock-free —
+        # executors keep no per-call mutable state. The scalar quantized
+        # evaluator (built on first quantized call: quantized evaluation
+        # demands a binary circuit, exact float64 serving works on any
+        # tape) and the marginal index share the singleton memo.
+        self._fixed_batch: KeyedMemo = KeyedMemo()
+        self._float_batch: KeyedMemo = KeyedMemo()
+        self._backends: KeyedMemo = KeyedMemo()
+        self._singletons: KeyedMemo = KeyedMemo()
 
     @property
     def _scalar_quantized(self) -> QuantizedTapeEvaluator:
-        with self._lock:
-            if self._scalar_quantized_cache is None:
-                self._scalar_quantized_cache = QuantizedTapeEvaluator(
-                    self.tape, self.encoder
-                )
-            return self._scalar_quantized_cache
+        return self._singletons.get(
+            "scalar_quantized",
+            lambda: QuantizedTapeEvaluator(self.tape, self.encoder),
+        )
+
+    # -- backend policy --------------------------------------------------
+    def _resolve_native(self) -> _NativeState:
+        try:
+            from .native import native_kernels_for
+
+            return _NativeState(
+                native_kernels_for(self.tape, self.encoder), None
+            )
+        except Exception as error:  # toolchain/codegen failure → numpy
+            return _NativeState(None, f"{type(error).__name__}: {error}")
+
+    @property
+    def _native(self):
+        """The tape's native kernels, or ``None`` on the numpy backend."""
+        if self._requested_backend == "numpy":
+            return None
+        return self._singletons.get("native_state", self._resolve_native).kernels
+
+    @property
+    def backend(self) -> str:
+        """The *effective* execution backend: ``"native"`` or ``"numpy"``."""
+        return "native" if self._native is not None else "numpy"
+
+    @property
+    def backend_requested(self) -> str:
+        """The requested backend policy (``auto``/``native``/``numpy``)."""
+        return self._requested_backend
+
+    @property
+    def backend_fallback_reason(self) -> str | None:
+        """Why native execution is off despite being requested, if so."""
+        if self._requested_backend == "numpy":
+            return None
+        return self._singletons.get("native_state", self._resolve_native).reason
 
     @property
     def analysis(self) -> TapeAnalysis:
@@ -115,12 +188,18 @@ class InferenceSession:
     # -- exact float64 --------------------------------------------------
     def evaluate(self, evidence: Mapping[str, int] | None = None) -> float:
         """Exact float64 root value for one evidence assignment."""
+        native = self._native
+        if native is not None:
+            return native.evaluate(evidence)
         return execute_real(self.tape, evidence, self.encoder)
 
     def evaluate_values(
         self, evidence: Mapping[str, int] | None = None
     ) -> list[float]:
         """Exact float64 value of every circuit node."""
+        native = self._native
+        if native is not None:
+            return native.evaluate_values(evidence)
         return execute_values(self.tape, evidence, self.encoder)
 
     def evaluate_batch(
@@ -133,6 +212,9 @@ class InferenceSession:
         ``strict=True`` rejects evidence on unknown variables instead of
         ignoring it (the seed batch behavior, kept as the default).
         """
+        native = self._native
+        if native is not None:
+            return native.evaluate_batch(evidence_batch, strict=strict)
         return execute_batch(
             self.tape, evidence_batch, self.encoder, strict=strict
         )
@@ -141,15 +223,17 @@ class InferenceSession:
     @property
     def marginal_index(self) -> MarginalIndex:
         """Per-variable indicator-slot grouping (compiled lazily)."""
-        with self._lock:
-            if self._marginal_index is None:
-                self._marginal_index = MarginalIndex(self.tape)
-            return self._marginal_index
+        return self._singletons.get(
+            "marginal_index", lambda: MarginalIndex(self.tape)
+        )
 
     def partials(
         self, evidence: Mapping[str, int] | None = None
     ) -> tuple[list[float], list[float]]:
         """Exact float64 ``(values, partials)`` per node (one up+down pass)."""
+        native = self._native
+        if native is not None:
+            return native.partials(evidence)
         return execute_partials(self.tape, evidence, self.encoder)
 
     def partials_batch(
@@ -158,6 +242,9 @@ class InferenceSession:
         strict: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Batched ``(values, partials)`` matrices, ``(num_nodes, batch)``."""
+        native = self._native
+        if native is not None:
+            return native.partials_batch(evidence_batch, strict=strict)
         return execute_partials_batch(
             self.tape, evidence_batch, self.encoder, strict=strict
         )
@@ -176,7 +263,13 @@ class InferenceSession:
         Raises :class:`~repro.errors.ZeroEvidenceError` when the
         evidence has probability zero (posteriors only).
         """
-        _, partials = self.partials(evidence)
+        native = self._native
+        if native is not None:
+            # Skip the list round-trip: the marginal index consumes the
+            # kernel's 1-D partials vector directly.
+            _, partials = native.partials_arrays(evidence)
+        else:
+            _, partials = self.partials(evidence)
         index = self.marginal_index
         if joint:
             return index.joints(partials)
@@ -236,6 +329,12 @@ class InferenceSession:
         strict: bool,
     ) -> np.ndarray:
         """Float64 matrix of quantized partials, ``(num_nodes, batch)``."""
+        native = self._native
+        if native is not None and native.supports_format(fmt):
+            _, partials = native.quantized_partials_batch(
+                fmt, evidence_batch, strict=strict
+            )
+            return partials
         if self.supports_vectorized(fmt):
             _, partials = self._vector_executor(fmt).partials_batch(
                 evidence_batch, strict=strict
@@ -259,29 +358,17 @@ class InferenceSession:
         return False
 
     def _vector_executor(self, fmt: AnyFormat):
-        # Construction happens outside the lock (it encodes the whole
-        # parameter table) so first touches of different formats build
-        # in parallel; same-format racers converge on the first install.
-        cache = (
-            self._fixed_batch
-            if isinstance(fmt, FixedPointFormat)
-            else self._float_batch
+        # KeyedMemo builds outside its lock (construction encodes the
+        # whole parameter table) so first touches of different formats
+        # build in parallel; same-format racers converge on one install.
+        if isinstance(fmt, FixedPointFormat):
+            return self._fixed_batch.get(
+                fmt,
+                lambda: FixedPointBatchExecutor(self.tape, fmt, self.encoder),
+            )
+        return self._float_batch.get(
+            fmt, lambda: FloatBatchExecutor(self.tape, fmt, self.encoder)
         )
-        with self._lock:
-            executor = cache.get(fmt)
-        if executor is not None:
-            return executor
-        built = (
-            FixedPointBatchExecutor(self.tape, fmt, self.encoder)
-            if isinstance(fmt, FixedPointFormat)
-            else FloatBatchExecutor(self.tape, fmt, self.encoder)
-        )
-        with self._lock:
-            executor = cache.get(fmt)
-            if executor is not None:
-                return executor
-            cache[fmt] = built
-            return built
 
     def evaluate_quantized(
         self,
@@ -294,6 +381,9 @@ class InferenceSession:
         :class:`~repro.ac.evaluate.QuantizedBackend` instance.
         """
         if isinstance(fmt_or_backend, (FixedPointFormat, FloatFormat)):
+            native = self._native
+            if native is not None and native.supports_format(fmt_or_backend):
+                return native.evaluate_quantized(fmt_or_backend, evidence)
             backend = self._backend(fmt_or_backend)
         else:
             backend = fmt_or_backend
@@ -312,6 +402,11 @@ class InferenceSession:
         instance — results are bit-identical either way, including the
         batch-lenient evidence handling (``strict=False`` default).
         """
+        native = self._native
+        if native is not None and native.supports_format(fmt):
+            return native.evaluate_quantized_batch(
+                fmt, evidence_batch, strict=strict
+            )
         if self.supports_vectorized(fmt):
             return self._vector_executor(fmt).evaluate_batch(
                 evidence_batch, strict=strict
@@ -327,11 +422,7 @@ class InferenceSession:
         )
 
     def _backend(self, fmt: AnyFormat):
-        with self._lock:
-            backend = self._backends.get(fmt)
-            if backend is None:
-                backend = self._backends[fmt] = backend_for_format(fmt)
-            return backend
+        return self._backends.get(fmt, lambda: backend_for_format(fmt))
 
     def __repr__(self) -> str:
         return f"InferenceSession({self.tape.describe()})"
@@ -340,10 +431,7 @@ class InferenceSession:
 #: Per-circuit session cache (sessions are cheap, but callers like the
 #: experiment harnesses construct them in loops). Weak so a session dies
 #: with its circuit.
-_SESSION_CACHE: "weakref.WeakKeyDictionary[ArithmeticCircuit, InferenceSession]" = (
-    weakref.WeakKeyDictionary()
-)
-_SESSION_CACHE_LOCK = threading.Lock()
+_SESSION_MEMO: KeyedMemo = KeyedMemo(weak=True)
 
 
 def _fresh_session(
@@ -361,19 +449,14 @@ def session_for(circuit: ArithmeticCircuit) -> InferenceSession:
 
     Reuses the session while the underlying tape stays fresh; a circuit
     that grew or was re-rooted gets a new session (same staleness rule
-    as :func:`repro.engine.tape.tape_for`). Construction runs outside
-    the cache lock so concurrent first touches of different circuits
-    proceed in parallel; same-circuit racers converge on the first
-    installed session.
+    as :func:`repro.engine.tape.tape_for`). Backed by
+    :class:`~repro.engine.memo.KeyedMemo`: construction runs outside the
+    cache lock so concurrent first touches of different circuits proceed
+    in parallel; same-circuit racers converge on the first installed
+    session.
     """
-    with _SESSION_CACHE_LOCK:
-        session = _SESSION_CACHE.get(circuit)
-        if _fresh_session(session, circuit):
-            return session
-    built = InferenceSession(circuit)
-    with _SESSION_CACHE_LOCK:
-        session = _SESSION_CACHE.get(circuit)
-        if _fresh_session(session, circuit):
-            return session
-        _SESSION_CACHE[circuit] = built
-        return built
+    return _SESSION_MEMO.get(
+        circuit,
+        lambda: InferenceSession(circuit),
+        fresh=lambda session: _fresh_session(session, circuit),
+    )

@@ -30,14 +30,13 @@ automatically if the circuit grew or was re-rooted since compilation.
 
 from __future__ import annotations
 
-import threading
-import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..ac.circuit import ArithmeticCircuit
 from ..ac.nodes import OpType
+from .memo import KeyedMemo
 
 # Opcodes of tape operations. SUM/PRODUCT/MAX intentionally match the
 # legacy repro.ac.fastpath values; COPY forwards a slot unchanged (only
@@ -263,12 +262,7 @@ def compile_tape(circuit: ArithmeticCircuit) -> Tape:
 
 #: Per-circuit tape cache. Keyed by circuit identity (circuits hash by
 #: id); entries die with their circuit, so long-lived services never leak.
-_TAPE_CACHE: "weakref.WeakKeyDictionary[ArithmeticCircuit, Tape]" = (
-    weakref.WeakKeyDictionary()
-)
-#: Guards the cache dict only — compilation runs outside the lock so
-#: concurrent first touches of *different* circuits proceed in parallel.
-_TAPE_CACHE_LOCK = threading.Lock()
+_TAPE_MEMO: KeyedMemo = KeyedMemo(weak=True)
 
 
 def _fresh_tape(tape: Tape | None, circuit: ArithmeticCircuit) -> bool:
@@ -285,19 +279,12 @@ def tape_for(circuit: ArithmeticCircuit) -> Tape:
 
     Staleness is detected from node count and root: circuits are
     append-only arenas, so any structural change grows ``len(circuit)``
-    or moves the root. Thread-safe: same-circuit racers converge on one
-    cached instance (the first install wins; a racer's duplicate
-    compile is discarded), while different circuits compile in
-    parallel.
+    or moves the root. Thread-safe via :class:`~repro.engine.memo.KeyedMemo`:
+    same-circuit racers converge on one cached instance, while different
+    circuits compile in parallel.
     """
-    with _TAPE_CACHE_LOCK:
-        tape = _TAPE_CACHE.get(circuit)
-        if _fresh_tape(tape, circuit):
-            return tape
-    compiled = compile_tape(circuit)
-    with _TAPE_CACHE_LOCK:
-        tape = _TAPE_CACHE.get(circuit)
-        if _fresh_tape(tape, circuit):
-            return tape
-        _TAPE_CACHE[circuit] = compiled
-        return compiled
+    return _TAPE_MEMO.get(
+        circuit,
+        lambda: compile_tape(circuit),
+        fresh=lambda tape: _fresh_tape(tape, circuit),
+    )

@@ -251,6 +251,7 @@ class ProbLPServer:
                     "protocol": 1,
                     "circuits": len(self.registry),
                     "batching": self.batcher.stats.to_dict(),
+                    "backends": self._backend_availability(),
                 },
             )
         if isinstance(request, CircuitsRequest):
@@ -297,6 +298,24 @@ class ProbLPServer:
             return ok_response(request, result)
         raise ProtocolError(f"unhandled request type {type(request).__name__}")
 
+    @staticmethod
+    def _backend_availability() -> dict:
+        from ..engine import (
+            native_available,
+            native_unavailable_reason,
+            requested_backend,
+        )
+
+        payload: dict = {
+            "numpy": True,
+            "native": native_available(),
+            "requested": requested_backend(),
+        }
+        reason = native_unavailable_reason()
+        if reason is not None:
+            payload["native_unavailable_reason"] = reason
+        return payload
+
     # -- blocking executors (worker threads) ---------------------------
     def _execute_batch(
         self, key: BatchKey, requests: Sequence[Any]
@@ -318,6 +337,7 @@ class ProbLPServer:
                 result: dict = {
                     "value": float(exact[row]),
                     "batched": size,
+                    "backend": session.backend,
                 }
                 if quantized is not None:
                     result["quantized"] = float(quantized[row])
@@ -352,6 +372,7 @@ class ProbLPServer:
                         for variable in variables
                     },
                     "batched": size,
+                    "backend": session.backend,
                 }
                 if quantized is not None:
                     result["quantized"] = {

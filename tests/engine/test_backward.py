@@ -30,6 +30,7 @@ from repro.bn.networks import random_network
 from repro.compile import compile_network
 from repro.engine import (
     FixedPointBatchExecutor,
+    InferenceSession,
     FloatBatchExecutor,
     QuantizedTapeEvaluator,
     ZeroEvidenceError,
@@ -370,8 +371,10 @@ class TestBackwardProgramCaching:
 
     def test_backward_executors_share_forward_cache(self, sprinkler_binary):
         """Quantized marginals reuse the per-format executor the forward
-        batch path compiled (per-format caching, one executor each)."""
-        session = session_for(sprinkler_binary)
+        batch path compiled (per-format caching, one executor each).
+        Pins the numpy backend: the cache under test is the numpy
+        per-format executor one, which the native path bypasses."""
+        session = InferenceSession(sprinkler_binary, backend="numpy")
         fmt = FixedPointFormat(4, 20)
         session.evaluate_quantized_batch(fmt, [{}])
         executor = session._fixed_batch[fmt]

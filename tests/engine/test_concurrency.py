@@ -17,7 +17,7 @@ from repro.ac.transform import binarize
 from repro.arith import FixedPointFormat, FloatFormat
 from repro.bn.networks import sprinkler_network
 from repro.compile import compile_network
-from repro.engine import InferenceSession, session_for
+from repro.engine import InferenceSession, KeyedMemo, session_for
 
 FIXED = FixedPointFormat(4, 16)
 FLOAT = FloatFormat(8, 14)
@@ -78,6 +78,101 @@ class TestConcurrentMemoization:
         assert len(session._fixed_batch) == 1
         assert len(session._float_batch) == 1
         assert len(session._backends) == 1
+
+
+class TestKeyedMemo:
+    """Direct coverage of the shared memo utility (PR 6 folded the five
+    hand-copied double-checked-locking sites into it)."""
+
+    def test_builds_once_per_key_under_contention(self):
+        memo = KeyedMemo()
+        builds = []
+
+        def worker(index):
+            key = index % 3
+            value = memo.get(key, lambda: builds.append(key) or object())
+            assert value is memo.peek(key)
+
+        _run_threads(worker)
+        # Racing threads may each run build() (it runs outside the
+        # lock), but every key converges on exactly one installed value.
+        assert len(memo) == 3
+        assert set(memo.keys()) == {0, 1, 2}
+
+    def test_first_install_wins(self):
+        memo = KeyedMemo()
+        first = memo.get("k", lambda: "first")
+        second = memo.get("k", lambda: "second")
+        assert first == second == "first"
+        assert memo["k"] == "first"
+
+    def test_fresh_predicate_triggers_rebuild(self):
+        memo = KeyedMemo()
+        memo.get("k", lambda: {"version": 1})
+        # Still fresh → cached value survives, build not called.
+        value = memo.get(
+            "k",
+            lambda: pytest.fail("build must not run for fresh value"),
+            fresh=lambda v: v["version"] == 1,
+        )
+        assert value["version"] == 1
+        # Stale → rebuilt and replaced.
+        rebuilt = memo.get(
+            "k", lambda: {"version": 2}, fresh=lambda v: v["version"] == 2
+        )
+        assert rebuilt["version"] == 2
+        assert memo["k"] is rebuilt
+
+    def test_weak_keys_do_not_leak(self):
+        import gc
+
+        class Key:
+            pass
+
+        memo = KeyedMemo(weak=True)
+        key = Key()
+        memo.get(key, lambda: "artifact")
+        assert key in memo
+        del key
+        gc.collect()
+        assert len(memo) == 0
+
+    def test_none_build_rejected(self):
+        memo = KeyedMemo()
+        with pytest.raises(ValueError, match="must not return None"):
+            memo.get("k", lambda: None)
+        assert "k" not in memo
+
+    def test_discard_and_clear(self):
+        memo = KeyedMemo()
+        memo.get("a", lambda: 1)
+        memo.get("b", lambda: 2)
+        memo.discard("a")
+        memo.discard("missing")  # no-op
+        assert "a" not in memo and "b" in memo
+        memo.clear()
+        assert len(memo) == 0
+        with pytest.raises(KeyError):
+            memo["b"]
+
+    def test_concurrent_distinct_keys_build_in_parallel(self):
+        # Two builders that each wait for the other to *start* building:
+        # deadlocks (and times out) if construction held the memo lock.
+        memo = KeyedMemo()
+        started = threading.Barrier(2)
+
+        def build(tag):
+            started.wait(timeout=30)
+            return tag
+
+        results = {}
+
+        def worker(index):
+            tag = f"value-{index}"
+            results[index] = memo.get(index, lambda: build(tag))
+
+        _run_threads(worker, count=2)
+        assert results == {0: "value-0", 1: "value-1"}
 
 
 class TestConcurrentResults:

@@ -73,6 +73,25 @@ class TestBasicOps:
         assert info["circuits"] == 2
         assert "batching" in info
 
+    def test_ping_reports_backend_availability(self, client):
+        backends = client.ping()["backends"]
+        assert backends["numpy"] is True
+        assert isinstance(backends["native"], bool)
+        assert backends["requested"] in ("auto", "native", "numpy")
+        if not backends["native"]:
+            assert backends["native_unavailable_reason"]
+
+    def test_responses_name_the_active_backend(self, client, registry):
+        session = registry.entry("sprinkler").session
+        result = client.request(
+            {"op": "eval", "circuit": "sprinkler", "evidence": {}}
+        ).raise_for_error().result
+        assert result["backend"] == session.backend
+        result = client.request(
+            {"op": "marginals", "circuit": "sprinkler", "evidence": {}}
+        ).raise_for_error().result
+        assert result["backend"] == session.backend
+
     def test_circuits(self, client):
         names = {entry["name"] for entry in client.circuits()}
         assert names == {"sprinkler", "asia"}
