@@ -24,7 +24,14 @@ from .io import (
     network_to_dict,
     save_network,
 )
-from .learning import estimate_cpt, fit_parameters, train_naive_bayes
+from .learning import (
+    NetworkParameterMap,
+    cpt_sensitivity_curve,
+    estimate_cpt,
+    fit_parameters,
+    train_naive_bayes,
+    what_if_evaluations,
+)
 from .naive_bayes import NaiveBayesClassifier
 from .network import BayesianNetwork
 from .sampling import forward_sample, sample_one, samples_to_array
@@ -36,9 +43,11 @@ __all__ = [
     "CPT",
     "Factor",
     "NaiveBayesClassifier",
+    "NetworkParameterMap",
     "Variable",
     "ZeroEvidenceError",
     "binary",
+    "cpt_sensitivity_curve",
     "eliminate",
     "estimate_cpt",
     "fit_parameters",
@@ -61,5 +70,6 @@ __all__ = [
     "save_network",
     "train_naive_bayes",
     "uniform_cpt",
+    "what_if_evaluations",
     "write_bif",
 ]

@@ -3,14 +3,26 @@
 Implements maximum-likelihood estimation with Laplace (additive) smoothing
 from complete discrete data, plus the Naive Bayes trainer used for the
 paper's HAR / UniMiB / UIWADS classifiers.
+
+Parameter *re*-estimation questions — "what if this CPT entry were
+different?", "how does ``Pr(e)`` move as one parameter sweeps?" — used to
+mean recompiling one circuit per candidate table. PR 7 reroutes them
+through the engine's θ-batched tape replay: :class:`NetworkParameterMap`
+maps every CPT entry of a network onto its column of the compiled tape's
+deduplicated parameter table, and :func:`what_if_evaluations` /
+:func:`cpt_sensitivity_curve` evaluate thousands of candidate
+parameterizations in one struct-of-arrays sweep, bit-identical to the
+sequential per-θ loop.
 """
 
 from __future__ import annotations
 
 from itertools import product as iter_product
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
+from ..errors import ThetaShapeError
 from .cpt import CPT
 from .network import BayesianNetwork
 from .variable import Variable
@@ -122,3 +134,270 @@ def train_naive_bayes(
 def all_parent_configurations(parents: tuple[Variable, ...]):
     """Iterate every joint parent state tuple (empty tuple for roots)."""
     return iter_product(*(range(p.cardinality) for p in parents))
+
+
+#: A CPT entry address: ``(child, child_state)`` for roots, or
+#: ``(child, child_state, parent_states)`` where ``parent_states`` is a
+#: tuple of ints in the CPT's parent order (or a ``{name: state}`` map).
+EntryKey = tuple
+
+
+class NetworkParameterMap:
+    """Maps CPT entries of a network onto θ columns of its compiled tape.
+
+    The compile layer emits one circuit parameter per CPT entry
+    (``θ(child=x|u)``) and the tape compiler interns them into a
+    deduplicated table — ``tape.param_values`` holds each *distinct*
+    value once. This map recovers the correspondence by value: every
+    entry ``Pr(child=x | parents=u)`` resolves to the column of the
+    tape's parameter table holding its probability, so what-if tables
+    become θ rows that :meth:`InferenceSession.evaluate_theta_batch
+    <repro.engine.session.InferenceSession.evaluate_theta_batch>` can
+    sweep in one batched replay.
+
+    Deduplication is visible on purpose: entries sharing one
+    probability share one column, so a what-if on one of them moves the
+    whole class. :meth:`theta_row` is strict about that by default —
+    an assignment touching a shared column must name every member of
+    the class (or pass ``strict=False`` to opt into class-level
+    semantics); conflicting values for one class raise
+    :class:`~repro.errors.ThetaShapeError`.
+    """
+
+    def __init__(
+        self,
+        network: BayesianNetwork,
+        circuit: Any | None = None,
+    ) -> None:
+        if circuit is None:
+            # Compile lazily: compile depends on bn, not the reverse.
+            from ..compile import compile_network
+
+            circuit = compile_network(network).circuit
+        from ..engine.tape import tape_for
+
+        self.network = network
+        self.circuit = circuit
+        self.tape = tape_for(circuit)
+        column_of_value = {
+            float(value): index
+            for index, value in enumerate(self.tape.param_values)
+        }
+        self._columns: dict[tuple, int] = {}
+        self._class_members: dict[int, list[tuple]] = {}
+        for cpt in network.cpts():
+            for parent_states in all_parent_configurations(cpt.parents):
+                for child_state in range(cpt.child.cardinality):
+                    value = float(cpt.table[parent_states + (child_state,)])
+                    try:
+                        column = column_of_value[value]
+                    except KeyError:
+                        raise ValueError(
+                            f"CPT entry Pr({cpt.child.name}={child_state} | "
+                            f"{parent_states}) = {value!r} does not appear "
+                            f"in the circuit's parameter table; the circuit "
+                            f"was not compiled from this network"
+                        ) from None
+                    key = (cpt.child.name, child_state, parent_states)
+                    self._columns[key] = column
+                    self._class_members.setdefault(column, []).append(key)
+
+    @property
+    def width(self) -> int:
+        """Number of θ columns (distinct parameter values) of the tape."""
+        return len(self.tape.param_values)
+
+    def base_row(self) -> np.ndarray:
+        """The tape's own deduplicated parameter table, as one θ row."""
+        return np.array(self.tape.param_values, dtype=np.float64)
+
+    def _resolve(self, key: EntryKey) -> tuple:
+        if len(key) == 2:
+            child, child_state = key
+            parent_states: Any = ()
+        else:
+            child, child_state, parent_states = key
+        cpt = self.network.cpt(child)
+        if isinstance(parent_states, Mapping):
+            try:
+                parent_states = tuple(
+                    int(parent_states[name]) for name in cpt.parent_names
+                )
+            except KeyError as missing:
+                raise ValueError(
+                    f"what-if on {child!r} needs states for all parents "
+                    f"{cpt.parent_names}; missing {missing}"
+                ) from None
+        else:
+            parent_states = tuple(int(state) for state in parent_states)
+        resolved = (child, int(child_state), parent_states)
+        if resolved not in self._columns:
+            raise ValueError(
+                f"no CPT entry Pr({child}={child_state} | {parent_states}) "
+                f"in network {self.network.name!r}"
+            )
+        return resolved
+
+    def column(self, key: EntryKey) -> int:
+        """The θ column holding this entry's (deduplicated) value."""
+        return self._columns[self._resolve(key)]
+
+    def shared_entries(self, key: EntryKey) -> tuple[tuple, ...]:
+        """Every CPT entry sharing this entry's deduplicated column."""
+        return tuple(self._class_members[self.column(key)])
+
+    def theta_row(
+        self,
+        assignments: Mapping[EntryKey, float],
+        strict: bool = True,
+    ) -> np.ndarray:
+        """One θ row: the base table with the given entries replaced.
+
+        ``strict=True`` (the default) refuses assignments that would
+        silently drag unnamed entries along through value
+        deduplication; ``strict=False`` applies them to the whole
+        class. Conflicting values for one deduplicated column always
+        raise :class:`~repro.errors.ThetaShapeError`.
+        """
+        row = self.base_row()
+        chosen: dict[int, tuple[tuple, float]] = {}
+        claimed: dict[int, set[tuple]] = {}
+        for key, value in assignments.items():
+            resolved = self._resolve(key)
+            column = self._columns[resolved]
+            value = float(value)
+            if column in chosen and chosen[column][1] != value:
+                other = chosen[column][0]
+                raise ThetaShapeError(
+                    f"conflicting what-if values for one deduplicated "
+                    f"parameter: entries {resolved} and {other} share θ "
+                    f"column {column} (value "
+                    f"{self.tape.param_values[column]!r}) but were "
+                    f"assigned {value!r} and {chosen[column][1]!r}"
+                )
+            chosen[column] = (resolved, value)
+            claimed.setdefault(column, set()).add(resolved)
+        if strict:
+            for column, keys in claimed.items():
+                unnamed = [
+                    key
+                    for key in self._class_members[column]
+                    if key not in keys
+                ]
+                if unnamed:
+                    raise ThetaShapeError(
+                        f"what-if on θ column {column} (value "
+                        f"{self.tape.param_values[column]!r}) also moves "
+                        f"deduplicated entries {unnamed}; assign them "
+                        f"explicitly or pass strict=False"
+                    )
+        for column, (_, value) in chosen.items():
+            row[column] = value
+        return row
+
+    def what_if_matrix(
+        self,
+        sweeps: Sequence[Mapping[EntryKey, float]],
+        strict: bool = True,
+    ) -> np.ndarray:
+        """Stack what-if assignments into an ``(n_theta, width)`` batch."""
+        if not sweeps:
+            raise ThetaShapeError("what-if sweep needs at least one row")
+        return np.stack(
+            [self.theta_row(assignments, strict=strict) for assignments in sweeps]
+        )
+
+    def sensitivity_matrix(
+        self,
+        key: EntryKey,
+        values: Sequence[float],
+        renormalize: bool = True,
+        strict: bool = True,
+    ) -> np.ndarray:
+        """θ batch sweeping one CPT entry over candidate values.
+
+        ``renormalize=True`` (the default) rescales the sibling child
+        states of the same parent configuration proportionally so every
+        row stays a distribution — the classical one-way sensitivity
+        scheme. ``renormalize=False`` moves the single entry only.
+        """
+        child, child_state, parent_states = self._resolve(key)
+        cpt = self.network.cpt(child)
+        base = float(cpt.table[parent_states + (child_state,)])
+        complement = 1.0 - base
+        sweeps = []
+        for value in values:
+            value = float(value)
+            assignments: dict[tuple, float] = {
+                (child, child_state, parent_states): value
+            }
+            if renormalize:
+                if complement <= 0.0 and value != base:
+                    raise ValueError(
+                        f"cannot renormalize around Pr({child}="
+                        f"{child_state} | {parent_states}) = {base}: the "
+                        f"sibling states carry no mass to rescale"
+                    )
+                for sibling in range(cpt.child.cardinality):
+                    if sibling == child_state:
+                        continue
+                    sibling_base = float(
+                        cpt.table[parent_states + (sibling,)]
+                    )
+                    assignments[(child, sibling, parent_states)] = (
+                        sibling_base * (1.0 - value) / complement
+                        if complement > 0.0
+                        else sibling_base
+                    )
+            sweeps.append(assignments)
+        return self.what_if_matrix(sweeps, strict=strict)
+
+
+def what_if_evaluations(
+    network: BayesianNetwork,
+    sweeps: Sequence[Mapping[EntryKey, float]],
+    evidence: Mapping[str, int] | None = None,
+    circuit: Any | None = None,
+    strict: bool = True,
+) -> np.ndarray:
+    """``Pr(e)`` under each what-if parameterization, in one θ sweep.
+
+    Builds the θ batch with :class:`NetworkParameterMap` and replays the
+    network's compiled tape once over all candidate tables —
+    bit-identical to evaluating each what-if sequentially, at batched
+    throughput (see ``benchmarks/bench_engine_tape.py``).
+    """
+    parameter_map = NetworkParameterMap(network, circuit)
+    theta = parameter_map.what_if_matrix(sweeps, strict=strict)
+    from ..engine import session_for
+
+    return session_for(parameter_map.circuit).evaluate_theta_batch(
+        theta, evidence
+    )
+
+
+def cpt_sensitivity_curve(
+    network: BayesianNetwork,
+    key: EntryKey,
+    values: Sequence[float],
+    evidence: Mapping[str, int] | None = None,
+    renormalize: bool = True,
+    circuit: Any | None = None,
+    strict: bool = True,
+) -> np.ndarray:
+    """``Pr(e)`` as one CPT entry sweeps over candidate values.
+
+    One batched tape replay instead of one recompilation per point:
+    the response of a Bayesian network query to a single parameter —
+    the what-if curve sensitivity analysis plots — computed through
+    the engine's θ batch axis.
+    """
+    parameter_map = NetworkParameterMap(network, circuit)
+    theta = parameter_map.sensitivity_matrix(
+        key, values, renormalize=renormalize, strict=strict
+    )
+    from ..engine import session_for
+
+    return session_for(parameter_map.circuit).evaluate_theta_batch(
+        theta, evidence
+    )

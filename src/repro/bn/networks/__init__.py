@@ -15,6 +15,7 @@ from .toy import (
     asia_network,
     chain_network,
     figure1_network,
+    landscape_network,
     random_network,
     sprinkler_network,
     tree_network,
@@ -24,6 +25,7 @@ _REGISTRY: dict[str, Callable[[], BayesianNetwork]] = {
     "alarm": alarm_network,
     "asia": asia_network,
     "figure1": figure1_network,
+    "landscape": landscape_network,
     "sprinkler": sprinkler_network,
 }
 
@@ -51,6 +53,7 @@ __all__ = [
     "chain_network",
     "figure1_network",
     "get_network",
+    "landscape_network",
     "random_network",
     "sprinkler_network",
     "tree_network",

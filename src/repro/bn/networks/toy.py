@@ -59,6 +59,43 @@ def sprinkler_network() -> BayesianNetwork:
     )
 
 
+def landscape_network() -> BayesianNetwork:
+    """The per-cell habitat model of the raster landscape workload.
+
+    Rain/soil roots, vegetation, presence — every CPT entry carries a
+    distinct base value on purpose: value deduplication then maps each
+    entry onto its *own* θ column of the compiled tape, so per-cell
+    spatial fields can move any entry independently
+    (see :mod:`repro.experiments.landscape`).
+    """
+    rain = Variable("Rain", ("dry", "wet"))
+    soil = Variable("Soil", ("poor", "rich"))
+    vegetation = Variable("Vegetation", ("sparse", "dense"))
+    presence = Variable("Presence", ("absent", "present"))
+    return BayesianNetwork(
+        [
+            CPT(rain, (), np.array([0.62, 0.38])),
+            CPT(soil, (), np.array([0.55, 0.45])),
+            CPT(
+                vegetation,
+                (rain, soil),
+                np.array(
+                    [
+                        [[0.91, 0.09], [0.66, 0.34]],
+                        [[0.47, 0.53], [0.18, 0.82]],
+                    ]
+                ),
+            ),
+            CPT(
+                presence,
+                (vegetation,),
+                np.array([[0.88, 0.12], [0.27, 0.73]]),
+            ),
+        ],
+        name="landscape",
+    )
+
+
 def asia_network() -> BayesianNetwork:
     """The Lauritzen & Spiegelhalter "Asia" chest-clinic network."""
     asia = Variable("Asia", ("no", "yes"))

@@ -10,7 +10,11 @@ Subcommands:
   datapath, latency/register/energy metrics and a stream-simulated
   bit-exactness verdict; ``--output`` additionally writes the RTL;
 * ``eval`` — serve evidence batches from the compiled-tape engine
-  (exact float64 and/or a quantized format);
+  (exact float64 and/or a quantized format); ``--theta-file`` adds a
+  parameter batch axis, replaying the tape once over a whole
+  ``(n_theta, n_params)`` matrix of CPT instantiations;
+* ``landscape`` — the raster landscape workload: one θ row per map
+  cell, exact and quantized sweeps plus the raster-wide §3 certificate;
 * ``marginals`` — all posterior marginals of every instance via the
   backward (derivative) tape sweep, optionally quantized, as JSON lines;
 * ``optimize`` — workload-aware §3.3 format search (joint evaluations
@@ -32,6 +36,9 @@ Examples::
     problp eval --network alarm --evidence-file batch.json \\
         --format fixed:1:15
     problp eval --network sprinkler --sample 1000 --format float:8:14
+    problp eval --network landscape --theta-file sweep.json \\
+        --format fixed:2:14
+    problp landscape --height 32 --width 48 --format fixed:2:14
     problp marginals --network alarm --sample 100 --variables HYPOVOLEMIA
     problp marginals --network sprinkler --format fixed:4:20
     problp optimize --network alarm --tolerance abs:0.01 \\
@@ -408,6 +415,30 @@ def _resolve_eval_setup(args):
     return circuit, batch, fmt
 
 
+def _load_theta_file(path: Path):
+    """A JSON ``(n_theta, n_params)`` matrix (or ``{"theta": matrix}``)."""
+    import json
+
+    import numpy as np
+
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        data = data.get("theta")
+    try:
+        theta = np.asarray(data, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise SystemExit(
+            "theta file must hold a JSON matrix of numbers "
+            '(a list of equal-length rows, or {"theta": matrix})'
+        ) from None
+    if theta.ndim != 2 or theta.size == 0:
+        raise SystemExit(
+            "theta file must hold a non-empty JSON matrix "
+            "(one row per parameterization)"
+        )
+    return theta
+
+
 def cmd_eval(args) -> int:
     """Serve an evidence batch from a compiled-tape InferenceSession."""
     import time
@@ -415,6 +446,11 @@ def cmd_eval(args) -> int:
     from .engine import InferenceSession
 
     circuit, batch, fmt = _resolve_eval_setup(args)
+    theta = (
+        _load_theta_file(args.theta_file)
+        if args.theta_file is not None
+        else None
+    )
     try:
         session = InferenceSession(circuit, backend=args.backend)
     except ValueError as error:
@@ -423,9 +459,9 @@ def cmd_eval(args) -> int:
     try:
         # Strict: a typo'd variable name at the CLI should fail loudly,
         # not silently read as "unobserved".
-        exact = session.evaluate_batch(batch, strict=True)
+        exact = session.evaluate_batch(batch, strict=True, theta=theta)
         quantized = (
-            session.evaluate_quantized_batch(fmt, batch)
+            session.evaluate_quantized_batch(fmt, batch, theta=theta)
             if fmt is not None
             else None
         )
@@ -436,16 +472,19 @@ def cmd_eval(args) -> int:
             f"quantized evaluation failed in {fmt.describe()}: {error}"
         ) from None
     elapsed = time.perf_counter() - start
-    for row in range(len(batch)):
+    for row in range(len(exact)):
         if quantized is None:
             print(f"{exact[row]:.17g}")
         else:
             print(f"{exact[row]:.17g}\t{quantized[row]:.17g}")
+    sweep = f" ({theta.shape[0]}-row theta sweep)" if theta is not None else ""
     print(
-        f"# {len(batch)} evaluations in {elapsed * 1e3:.2f} ms on "
+        f"# {len(exact)} evaluations{sweep} in {elapsed * 1e3:.2f} ms on "
         f"{session.tape.describe()} ({session.backend} backend)",
         file=sys.stderr,
     )
+    if theta is not None and session.backend_fallback_reason:
+        print(f"# {session.backend_fallback_reason}", file=sys.stderr)
     return 0
 
 
@@ -515,6 +554,27 @@ def cmd_marginals(args) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_landscape(args) -> int:
+    """Raster landscape: θ-batched sweeps plus the §3 certificate."""
+    from .arith.fixedpoint import FixedPointFormat
+    from .experiments.landscape import render_landscape, run_landscape
+
+    fmt = args.format
+    if fmt is not None and not isinstance(fmt, FixedPointFormat):
+        raise SystemExit(
+            "landscape certifies a fixed-point format (fixed:I:F); "
+            f"got {fmt.describe()}"
+        )
+    try:
+        result = run_landscape(args.height, args.width, fmt=fmt)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    print(render_landscape(result, raster=not args.no_raster))
+    # Non-zero exit when the measured raster error escapes the bound:
+    # lets CI smoke-run the workload as an end-to-end certificate check.
+    return 0 if result.certified else 1
 
 
 def cmd_serve(args) -> int:
@@ -762,6 +822,13 @@ def build_parser() -> argparse.ArgumentParser:
         "eval", help="evaluate evidence batches on the compiled tape"
     )
     _add_evidence_arguments(eval_cmd)
+    eval_cmd.add_argument(
+        "--theta-file",
+        type=Path,
+        help="JSON (n_theta, n_params) matrix of CPT instantiations: "
+        "replay the tape once over the whole parameter sweep (rows zip "
+        "against the evidence batch; either side may have one row)",
+    )
     eval_cmd.set_defaults(handler=cmd_eval)
 
     marginals_cmd = subparsers.add_parser(
@@ -802,6 +869,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     table2.add_argument("--instances", type=int, default=40)
     table2.set_defaults(handler=cmd_table2)
+
+    landscape_cmd = subparsers.add_parser(
+        "landscape",
+        help="raster landscape workload: one theta row per map cell, "
+        "exact + quantized sweeps and a raster-wide section-3 "
+        "certificate",
+    )
+    landscape_cmd.add_argument(
+        "--height", type=int, default=24, help="raster rows (default 24)"
+    )
+    landscape_cmd.add_argument(
+        "--width", type=int, default=24, help="raster columns (default 24)"
+    )
+    landscape_cmd.add_argument(
+        "--format",
+        type=_parse_format,
+        help="fixed-point format under certificate (default fixed:2:14)",
+    )
+    landscape_cmd.add_argument(
+        "--no-raster",
+        action="store_true",
+        help="omit the ASCII heat map, print only the certificate summary",
+    )
+    landscape_cmd.set_defaults(handler=cmd_landscape)
 
     serve = subparsers.add_parser(
         "serve",

@@ -20,12 +20,13 @@ remain as thin wrappers; the frozen seed implementations live in
 :mod:`repro.engine.reference` for differential testing.
 """
 
-from ..errors import ZeroEvidenceError
+from ..errors import ThetaShapeError, ZeroEvidenceError
 from .analysis import (
     ForwardSchedule,
     TapeAnalysis,
     analysis_for,
     schedule_segments,
+    sweep_max_log2,
     tape_analysis_for,
 )
 from .encoder import EvidenceEncoder
@@ -66,6 +67,12 @@ from .tape import (
     compile_tape,
     tape_for,
 )
+from .theta import (
+    align_theta,
+    normalize_theta,
+    theta_envelope_max_values,
+    theta_param_matrix,
+)
 
 __all__ = [
     "BACKEND_CHOICES",
@@ -87,7 +94,9 @@ __all__ = [
     "QuantizedTapeEvaluator",
     "Tape",
     "TapeAnalysis",
+    "ThetaShapeError",
     "ZeroEvidenceError",
+    "align_theta",
     "analysis_for",
     "backend_for_format",
     "compile_tape",
@@ -99,9 +108,13 @@ __all__ = [
     "native_available",
     "native_kernels_for",
     "native_unavailable_reason",
+    "normalize_theta",
     "requested_backend",
     "schedule_segments",
     "session_for",
+    "sweep_max_log2",
     "tape_analysis_for",
     "tape_for",
+    "theta_envelope_max_values",
+    "theta_param_matrix",
 ]

@@ -301,6 +301,43 @@ def _param_log2(tape: Tape, zero_marker: float) -> np.ndarray:
     )
 
 
+def sweep_max_log2(
+    tape: Tape, schedule: ForwardSchedule, param_log2: np.ndarray
+) -> np.ndarray:
+    """Scheduled max-value sweep with caller-provided θ log₂ seeds.
+
+    The §3.1.4 sweep body shared by :attr:`TapeAnalysis.max_log2` (which
+    seeds with the tape's own parameter table) and the θ-sweep envelope
+    analysis (:func:`repro.engine.theta.theta_envelope_max_values`,
+    which seeds with column-wise maxima over a whole θ batch).
+    ``param_log2`` has one entry per deduplicated parameter value
+    (``NEG_INF`` marks identically-zero θ).
+    """
+    values = np.full(tape.num_slots, NEG_INF)
+    values[tape.indicator_slots] = 0.0
+    values[tape.param_slots] = param_log2[tape.param_ids]
+    # The errstate guard covers -inf − -inf = nan inside identically
+    # zero sums; the nan rows are re-marked -inf below.
+    with np.errstate(invalid="ignore"):
+        for opcode, dests, lefts, rights in schedule.segments:
+            left = values[lefts]
+            right = values[rights]
+            if opcode == OP_SUM:
+                peak = np.maximum(left, right)
+                result = peak + np.log2(
+                    np.exp2(left - peak) + np.exp2(right - peak)
+                )
+                values[dests] = np.where(peak == NEG_INF, NEG_INF, result)
+            elif opcode == OP_PRODUCT:
+                # -inf + inf never occurs (no +inf in the max domain).
+                values[dests] = left + right
+            elif opcode == OP_MAX:
+                values[dests] = np.maximum(left, right)
+            else:  # OP_COPY
+                values[dests] = left
+    return values
+
+
 class TapeAnalysis:
     """Vectorized precision-independent analysis of one compiled tape.
 
@@ -336,30 +373,9 @@ class TapeAnalysis:
         return self._min_log2
 
     def _sweep_max(self) -> np.ndarray:
-        tape = self.tape
-        values = np.full(tape.num_slots, NEG_INF)
-        values[tape.indicator_slots] = 0.0
-        values[tape.param_slots] = _param_log2(tape, NEG_INF)[tape.param_ids]
-        # The errstate guard covers -inf − -inf = nan inside identically
-        # zero sums; the nan rows are re-marked -inf below.
-        with np.errstate(invalid="ignore"):
-            for opcode, dests, lefts, rights in self.schedule.segments:
-                left = values[lefts]
-                right = values[rights]
-                if opcode == OP_SUM:
-                    peak = np.maximum(left, right)
-                    result = peak + np.log2(
-                        np.exp2(left - peak) + np.exp2(right - peak)
-                    )
-                    values[dests] = np.where(peak == NEG_INF, NEG_INF, result)
-                elif opcode == OP_PRODUCT:
-                    # -inf + inf never occurs (no +inf in the max domain).
-                    values[dests] = left + right
-                elif opcode == OP_MAX:
-                    values[dests] = np.maximum(left, right)
-                else:  # OP_COPY
-                    values[dests] = left
-        return values
+        return sweep_max_log2(
+            self.tape, self.schedule, _param_log2(self.tape, NEG_INF)
+        )
 
     def _sweep_min(self) -> np.ndarray:
         tape = self.tape

@@ -108,6 +108,7 @@ def execute_batch(
     encoder: EvidenceEncoder | None = None,
     node_values: bool = False,
     strict: bool = False,
+    param_matrix: np.ndarray | None = None,
 ) -> np.ndarray:
     """Float64 root values for a whole evidence batch.
 
@@ -115,7 +116,10 @@ def execute_batch(
     the full ``(num_nodes, batch)`` value matrix instead of the root
     row. ``strict=True`` rejects evidence on unknown variables (the
     scalar paths' behavior); the default ignores it like the seed batch
-    evaluator.
+    evaluator. ``param_matrix`` replaces the tape's parameter table with
+    per-lane values — a lane-major ``(n_params, batch)`` float64 matrix
+    (see :func:`repro.engine.theta.theta_param_matrix`) turning the
+    sweep into a θ-batch replay.
     """
     root = tape.require_root()
     batch = len(evidence_batch)
@@ -123,7 +127,9 @@ def execute_batch(
         return (
             np.empty((tape.num_nodes, 0)) if node_values else np.empty(0)
         )
-    slots = _forward_slots_batch(tape, evidence_batch, encoder, strict)
+    slots = _forward_slots_batch(
+        tape, evidence_batch, encoder, strict, param_matrix
+    )
     if node_values:
         return slots[: tape.num_nodes].copy()
     return slots[root].copy()
@@ -134,13 +140,17 @@ def _forward_slots_batch(
     evidence_batch: Sequence[Mapping[str, int]],
     encoder: EvidenceEncoder | None,
     strict: bool,
+    param_matrix: np.ndarray | None = None,
 ) -> np.ndarray:
     """Batched float64 forward sweep over *all* slots (scratch included)."""
     if encoder is None:
         encoder = EvidenceEncoder.for_tape(tape)
     active = encoder.encode(evidence_batch, strict=strict)
     slots = np.empty((tape.num_slots, len(evidence_batch)))
-    slots[tape.param_slots] = tape.param_values[tape.param_ids][:, None]
+    if param_matrix is None:
+        slots[tape.param_slots] = tape.param_values[tape.param_ids][:, None]
+    else:
+        slots[tape.param_slots] = param_matrix[tape.param_ids]
     slots[tape.indicator_slots] = active
     for opcode, dest, left, right in tape.op_tuples:
         if opcode == OP_SUM:
@@ -197,6 +207,7 @@ def execute_partials_batch(
     evidence_batch: Sequence[Mapping[str, int]],
     encoder: EvidenceEncoder | None = None,
     strict: bool = False,
+    param_matrix: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched upward values and downward partials for every node.
 
@@ -204,7 +215,10 @@ def execute_partials_batch(
     ``(num_nodes, batch)`` — the joint of *every* state of *every*
     variable for a whole evidence batch in two tape replays (one numpy
     op per tape op per direction). Row-for-row bit-identical to
-    :func:`execute_partials`.
+    :func:`execute_partials`. ``param_matrix`` seeds per-lane parameter
+    values (lane-major ``(n_params, batch)``) for θ-batch replays; the
+    backward sweep needs no further change — the product rule reads the
+    per-lane forward slots.
     """
     tape.require_differentiable()
     root = tape.require_root()
@@ -212,7 +226,9 @@ def execute_partials_batch(
     if batch == 0:
         empty = np.empty((tape.num_nodes, 0))
         return empty, empty.copy()
-    slots = _forward_slots_batch(tape, evidence_batch, encoder, strict)
+    slots = _forward_slots_batch(
+        tape, evidence_batch, encoder, strict, param_matrix
+    )
     partials = np.zeros((tape.num_slots, batch))
     partials[root] = 1.0
     for opcode, dest, left, right in tape.backward.op_tuples:
@@ -278,10 +294,22 @@ class QuantizedTapeEvaluator:
         backend,
         evidence: Mapping[str, int] | None,
         strict: bool,
+        param_values: Sequence[float] | None = None,
     ) -> list[Any]:
-        """Quantized forward sweep over all slots (scratch included)."""
+        """Quantized forward sweep over all slots (scratch included).
+
+        ``param_values`` overrides the tape's deduplicated parameter
+        table for this sweep (one float per table entry, quantized
+        per call, uncached) — the scalar per-θ path behind θ batches on
+        formats too wide for the vectorized executors.
+        """
         tape = self.tape
-        quantized = self._quantized_parameters(backend)
+        if param_values is None:
+            quantized = self._quantized_parameters(backend)
+        else:
+            quantized = [
+                backend.from_real(float(value)) for value in param_values
+            ]
         active = self.encoder.encode_one(evidence, strict=strict)
         slots: list[Any] = [None] * tape.num_slots
         for slot, value_id in zip(tape.param_slots, tape.param_ids):
@@ -306,10 +334,11 @@ class QuantizedTapeEvaluator:
         backend,
         evidence: Mapping[str, int] | None = None,
         strict: bool = True,
+        param_values: Sequence[float] | None = None,
     ) -> float:
         """Quantized root value, converted back to float64."""
         root = self.tape.require_root()
-        slots = self._forward_slots(backend, evidence, strict)
+        slots = self._forward_slots(backend, evidence, strict, param_values)
         return backend.to_real(slots[root])
 
     def partials(
@@ -317,6 +346,7 @@ class QuantizedTapeEvaluator:
         backend,
         evidence: Mapping[str, int] | None = None,
         strict: bool = True,
+        param_values: Sequence[float] | None = None,
     ) -> tuple[list[Any], list[Any]]:
         """Quantized upward values and downward partials per node.
 
@@ -333,7 +363,7 @@ class QuantizedTapeEvaluator:
         tape = self.tape
         tape.require_differentiable()
         root = tape.require_root()
-        slots = self._forward_slots(backend, evidence, strict)
+        slots = self._forward_slots(backend, evidence, strict, param_values)
         add, multiply = backend.add, backend.multiply
         adjoints: list[Any] = [backend.zero()] * tape.num_slots
         adjoints[root] = backend.one()
@@ -386,6 +416,25 @@ class FixedWordKernel:
             [backend.from_real(float(v)).mantissa for v in values],
             dtype=np.int64,
         )
+
+    def encode_param_matrix(self, theta: np.ndarray) -> np.ndarray:
+        """Quantize an ``(n_theta, n_params)`` θ batch, one row at a time.
+
+        Returns the lane-major ``(n_params, n_theta)`` int64 word matrix
+        the executors seed their parameter slots from — each row of the
+        batch quantized exactly like :meth:`encode_params` quantizes the
+        static table, so per-row sweeps stay bit-identical to a
+        re-quantized scalar run.
+        """
+        backend = FixedPointBackend(self.fmt)
+        words = np.asarray(
+            [
+                [backend.from_real(float(v)).mantissa for v in row]
+                for row in np.asarray(theta, dtype=np.float64)
+            ],
+            dtype=np.int64,
+        )
+        return np.ascontiguousarray(words.T)
 
     def round_products(self, products: np.ndarray) -> np.ndarray:
         """Vectorized rounding of 2F-fraction products back to F bits."""
@@ -462,16 +511,29 @@ class FixedPointBatchExecutor:
     def _checked(self, result: np.ndarray, dest: int) -> np.ndarray:
         return self._kernel.check(result, f"slot {dest}")
 
+    def encode_theta(self, theta: np.ndarray) -> np.ndarray:
+        """Per-row quantized parameter tables for a θ batch.
+
+        Returns the lane-major ``(n_params, n_theta)`` int64 word matrix
+        to pass as ``param_words`` — quantized once per batch, reusable
+        across forward and backward sweeps.
+        """
+        return self._kernel.encode_param_matrix(theta)
+
     def _forward_slot_words(
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool,
+        param_words: np.ndarray | None = None,
     ) -> np.ndarray:
         """Mantissa words of *all* slots, shape ``(num_slots, batch)``."""
         tape = self.tape
         active = self.encoder.encode(evidence_batch, strict=strict)
         slots = np.zeros((tape.num_slots, len(evidence_batch)), dtype=np.int64)
-        slots[tape.param_slots] = self._param_words[tape.param_ids][:, None]
+        if param_words is None:
+            slots[tape.param_slots] = self._param_words[tape.param_ids][:, None]
+        else:
+            slots[tape.param_slots] = param_words[tape.param_ids]
         slots[tape.indicator_slots] = np.where(active, self._one_word, 0)
         for opcode, dest, left, right in tape.op_tuples:
             if opcode == OP_SUM:
@@ -490,25 +552,33 @@ class FixedPointBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: np.ndarray | None = None,
     ) -> np.ndarray:
         """Root mantissa words, shape ``(batch,)`` int64.
 
         Raises :class:`FixedPointOverflowError` if any intermediate
         exceeds the representable range, exactly like the scalar backend.
+        ``param_words`` (from :meth:`encode_theta`) seeds per-lane
+        quantized parameter tables for θ-batch replays.
         """
         root = self.tape.require_root()
         batch = len(evidence_batch)
         if batch == 0:
             return np.empty(0, dtype=np.int64)
-        return self._forward_slot_words(evidence_batch, strict)[root].copy()
+        return self._forward_slot_words(
+            evidence_batch, strict, param_words
+        )[root].copy()
 
     def evaluate_batch(
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: np.ndarray | None = None,
     ) -> np.ndarray:
         """Float64 values of the root word for a whole batch."""
-        words = self.evaluate_batch_words(evidence_batch, strict=strict)
+        words = self.evaluate_batch_words(
+            evidence_batch, strict=strict, param_words=param_words
+        )
         return words * 2.0 ** (-self.fmt.fraction_bits)
 
     # -- backward (derivative) sweep ------------------------------------
@@ -516,6 +586,7 @@ class FixedPointBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Quantized ``(values, partials)`` mantissa words per node.
 
@@ -525,6 +596,8 @@ class FixedPointBatchExecutor:
         adjoint contribution — bit-identical to replaying
         :meth:`QuantizedTapeEvaluator.partials` with the big-int
         :class:`~repro.arith.fixedpoint.FixedPointBackend`.
+        ``param_words`` (from :meth:`encode_theta`) seeds per-lane
+        quantized parameter tables for θ-batch replays.
         """
         tape = self.tape
         tape.require_differentiable()
@@ -533,7 +606,7 @@ class FixedPointBatchExecutor:
         if batch == 0:
             empty = np.empty((tape.num_nodes, 0), dtype=np.int64)
             return empty, empty.copy()
-        slots = self._forward_slot_words(evidence_batch, strict)
+        slots = self._forward_slot_words(evidence_batch, strict, param_words)
         adjoints = np.zeros((tape.num_slots, batch), dtype=np.int64)
         adjoints[root] = self._one_word
         for opcode, dest, left, right in tape.backward.op_tuples:
@@ -565,10 +638,11 @@ class FixedPointBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Float64 ``(values, partials)`` per node for a whole batch."""
         values, partials = self.partials_batch_words(
-            evidence_batch, strict=strict
+            evidence_batch, strict=strict, param_words=param_words
         )
         scale = 2.0 ** (-self.fmt.fraction_bits)
         return values * scale, partials * scale

@@ -50,6 +50,7 @@ from .executors import (
 from .marginals import MarginalIndex, describe_evidence
 from .memo import KeyedMemo
 from .tape import Tape, tape_for
+from .theta import align_theta, normalize_theta, theta_param_matrix
 
 AnyFormat = FixedPointFormat | FloatFormat
 
@@ -130,6 +131,10 @@ class InferenceSession:
         self._float_batch: KeyedMemo = KeyedMemo()
         self._backends: KeyedMemo = KeyedMemo()
         self._singletons: KeyedMemo = KeyedMemo()
+        # θ-batched calls always run on the numpy executors (the native
+        # kernels bake param_values as compile-time constants); the
+        # most recent cause is surfaced via backend_fallback_reason.
+        self._theta_fallback_reason: str | None = None
 
     @property
     def _scalar_quantized(self) -> QuantizedTapeEvaluator:
@@ -168,10 +173,34 @@ class InferenceSession:
 
     @property
     def backend_fallback_reason(self) -> str | None:
-        """Why native execution is off despite being requested, if so."""
+        """Why the latest dispatch left native despite it being requested.
+
+        ``None`` while native serves every request (or the numpy backend
+        was pinned). After a θ-batched call the reason records that
+        θ-sweeps bypass the native kernels (their parameter tables are
+        compile-time constants); a toolchain/codegen failure keeps its
+        own reason as before.
+        """
         if self._requested_backend == "numpy":
             return None
+        if self._theta_fallback_reason is not None:
+            return self._theta_fallback_reason
         return self._singletons.get("native_state", self._resolve_native).reason
+
+    def _theta_dispatch(self) -> None:
+        """Route a θ-batched call to numpy, recording why native is off.
+
+        PR 6's fused C kernels bake ``tape.param_values`` into the
+        generated source as static consts, so there is no way to feed a
+        per-lane parameter matrix through them — θ batches always run on
+        the numpy executors, cleanly, under every backend policy.
+        """
+        if self._requested_backend != "numpy":
+            self._theta_fallback_reason = (
+                "theta-batched replay runs on the numpy executors: the "
+                "native kernels bake the parameter table as compile-time "
+                "constants"
+            )
 
     @property
     def analysis(self) -> TapeAnalysis:
@@ -206,17 +235,62 @@ class InferenceSession:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        theta: Any | None = None,
     ) -> np.ndarray:
         """Exact float64 root values for a whole evidence batch.
 
         ``strict=True`` rejects evidence on unknown variables instead of
         ignoring it (the seed batch behavior, kept as the default).
+        ``theta`` adds the parameter batch axis: an
+        ``(n_theta, n_params)`` matrix zipped row-for-row against the
+        evidence batch (either side may have one row, which broadcasts);
+        lane ``i`` then evaluates under ``theta[i]`` instead of the
+        tape's own parameter table. θ batches run on the numpy
+        executors under every backend policy (see
+        :attr:`backend_fallback_reason`).
         """
+        if theta is not None:
+            evidence_batch, matrix = align_theta(
+                self.tape, theta, evidence_batch
+            )
+            self._theta_dispatch()
+            return execute_batch(
+                self.tape,
+                evidence_batch,
+                self.encoder,
+                strict=strict,
+                param_matrix=theta_param_matrix(matrix),
+            )
         native = self._native
         if native is not None:
             return native.evaluate_batch(evidence_batch, strict=strict)
         return execute_batch(
             self.tape, evidence_batch, self.encoder, strict=strict
+        )
+
+    def evaluate_theta_batch(
+        self,
+        theta: Any,
+        evidence: Mapping[str, int] | None = None,
+        strict: bool = True,
+    ) -> np.ndarray:
+        """Exact float64 root values over a θ batch, one shared evidence.
+
+        Replays the tape once over an ``(n_theta, n_params)`` matrix of
+        parameter instantiations — one struct-of-arrays sweep, one lane
+        per θ row — and returns the ``(n_theta,)`` root values.
+        Bit-identical to evaluating each row sequentially
+        (:func:`repro.engine.reference.reference_theta_forward`).
+        """
+        matrix = normalize_theta(self.tape, theta)
+        self._theta_dispatch()
+        evidence_batch = [evidence or {}] * matrix.shape[0]
+        return execute_batch(
+            self.tape,
+            evidence_batch,
+            self.encoder,
+            strict=strict,
+            param_matrix=theta_param_matrix(matrix),
         )
 
     # -- marginals (backward sweep) -------------------------------------
@@ -240,8 +314,27 @@ class InferenceSession:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        theta: Any | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Batched ``(values, partials)`` matrices, ``(num_nodes, batch)``."""
+        """Batched ``(values, partials)`` matrices, ``(num_nodes, batch)``.
+
+        ``theta`` zips an ``(n_theta, n_params)`` parameter batch against
+        the evidence batch (broadcast-one semantics, like
+        :meth:`evaluate_batch`): both the forward values and the
+        backward partials are computed per lane under that lane's θ row.
+        """
+        if theta is not None:
+            evidence_batch, matrix = align_theta(
+                self.tape, theta, evidence_batch
+            )
+            self._theta_dispatch()
+            return execute_partials_batch(
+                self.tape,
+                evidence_batch,
+                self.encoder,
+                strict=strict,
+                param_matrix=theta_param_matrix(matrix),
+            )
         native = self._native
         if native is not None:
             return native.partials_batch(evidence_batch, strict=strict)
@@ -282,14 +375,20 @@ class InferenceSession:
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
         joint: bool = False,
+        theta: Any | None = None,
     ) -> dict[str, np.ndarray]:
         """All marginals of a whole evidence batch at batch throughput.
 
         Returns ``{variable: (card, batch) array}`` — every posterior of
         every instance from exactly two batched tape replays, instead of
-        one circuit walk per query.
+        one circuit walk per query. ``theta`` zips a parameter batch
+        against the evidence batch; a zero-probability evidence lane
+        raises :class:`~repro.errors.ZeroEvidenceError` naming exactly
+        the offending lane(s), θ-batched or not.
         """
-        _, partials = self.partials_batch(evidence_batch, strict=strict)
+        _, partials = self.partials_batch(
+            evidence_batch, strict=strict, theta=theta
+        )
         index = self.marginal_index
         if joint:
             return index.joints(partials)
@@ -301,6 +400,7 @@ class InferenceSession:
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
         joint: bool = False,
+        theta: Any | None = None,
     ) -> dict[str, np.ndarray]:
         """All marginals of a batch, computed in quantized arithmetic.
 
@@ -310,10 +410,14 @@ class InferenceSession:
         qualifies and the bit-identical scalar big-int path otherwise;
         the final normalizing division happens in float64, mirroring the
         paper's "followed with a division". ``joint=True`` skips the
-        division and returns the quantized joints.
+        division and returns the quantized joints. ``theta`` zips an
+        ``(n_theta, n_params)`` parameter batch against the evidence
+        batch — each lane quantizes *its own* parameter table (per-row
+        quantized tables on the vectorized fixed-point path, per-row
+        scalar re-quantization otherwise).
         """
         quantized_partials = self._quantized_partials_matrix(
-            fmt, evidence_batch, strict
+            fmt, evidence_batch, strict, theta=theta
         )
         index = self.marginal_index
         if joint:
@@ -327,8 +431,35 @@ class InferenceSession:
         fmt: AnyFormat,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool,
+        theta: Any | None = None,
     ) -> np.ndarray:
         """Float64 matrix of quantized partials, ``(num_nodes, batch)``."""
+        if theta is not None:
+            evidence_batch, matrix = align_theta(
+                self.tape, theta, evidence_batch
+            )
+            self._theta_dispatch()
+            if isinstance(fmt, FixedPointFormat) and fmt.fits_int64_products:
+                executor = self._vector_executor(fmt)
+                _, partials = executor.partials_batch(
+                    evidence_batch,
+                    strict=strict,
+                    param_words=executor.encode_theta(matrix),
+                )
+                return partials
+            backend = self._backend(fmt)
+            evaluator = self._scalar_quantized
+            columns = []
+            for evidence, row in zip(evidence_batch, matrix):
+                _, adjoints = evaluator.partials(
+                    backend, evidence, strict=strict, param_values=row
+                )
+                columns.append(
+                    [backend.to_real(value) for value in adjoints]
+                )
+            if not columns:
+                return np.empty((self.tape.num_nodes, 0))
+            return np.asarray(columns).T
         native = self._native
         if native is not None and native.supports_format(fmt):
             _, partials = native.quantized_partials_batch(
@@ -394,6 +525,7 @@ class InferenceSession:
         fmt: AnyFormat,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        theta: Any | None = None,
     ) -> np.ndarray:
         """Quantized root values for a whole batch, as float64.
 
@@ -401,7 +533,34 @@ class InferenceSession:
         qualifies, otherwise runs the scalar big-int tape evaluator per
         instance — results are bit-identical either way, including the
         batch-lenient evidence handling (``strict=False`` default).
+        ``theta`` zips an ``(n_theta, n_params)`` parameter batch
+        against the evidence batch; each lane evaluates under its own
+        per-row quantized parameter table, bit-identical to the frozen
+        per-θ oracle
+        (:func:`repro.engine.reference.reference_theta_fixed_words`).
         """
+        if theta is not None:
+            evidence_batch, matrix = align_theta(
+                self.tape, theta, evidence_batch
+            )
+            self._theta_dispatch()
+            if isinstance(fmt, FixedPointFormat) and fmt.fits_int64_products:
+                executor = self._vector_executor(fmt)
+                return executor.evaluate_batch(
+                    evidence_batch,
+                    strict=strict,
+                    param_words=executor.encode_theta(matrix),
+                )
+            backend = self._backend(fmt)
+            evaluator = self._scalar_quantized
+            return np.asarray(
+                [
+                    evaluator.evaluate(
+                        backend, evidence, strict=strict, param_values=row
+                    )
+                    for evidence, row in zip(evidence_batch, matrix)
+                ]
+            )
         native = self._native
         if native is not None and native.supports_format(fmt):
             return native.evaluate_quantized_batch(

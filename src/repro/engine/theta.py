@@ -1,0 +1,141 @@
+"""θ-sweeps: the deduplicated parameter table as a batch axis (PR 7).
+
+Every batch axis in the engine used to be *evidence*; this module makes
+the tape's deduplicated parameter table (``param_slots`` /
+``param_values``) the other first-class batch axis. A **θ batch** is an
+``(n_theta, n_params)`` float64 matrix — one row per parameter
+instantiation, one column per entry of the tape's deduplicated table
+(``len(tape.param_values)`` wide, *not* one per θ leaf: leaves sharing a
+value share a column, exactly as they share a table entry).
+
+:func:`normalize_theta` validates and canonicalizes a θ batch (typed
+:class:`~repro.errors.ThetaShapeError` on rank/width/NaN/negative
+violations; non-contiguous input is copied, never rejected);
+:func:`align_theta` zips a θ batch against an evidence batch with
+broadcast-one semantics; :func:`theta_param_matrix` transposes to the
+lane-major ``(n_params, n_lanes)`` layout the batch executors seed their
+parameter slots from.
+
+:func:`theta_envelope_max_values` is the §3.1.4 bridge for raster
+workloads: one max-value sweep seeded with the column-wise maxima of a
+θ batch upper-bounds *every* row's sweep (SUM/PRODUCT/MAX are monotone
+in the non-negative leaves), so a single §3 error-bound propagation can
+certify thousands of per-cell parameterizations at once
+(:mod:`repro.experiments.landscape`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ThetaShapeError
+from .analysis import NEG_INF, sweep_max_log2, tape_analysis_for
+from .tape import Tape
+
+
+def normalize_theta(tape: Tape, theta) -> np.ndarray:
+    """Validate a θ batch against a tape; return it as (n_theta, n_params).
+
+    The result is always a C-contiguous float64 ``(n_theta, n_params)``
+    matrix with ``n_params == len(tape.param_values)`` (the deduplicated
+    table width). A 1-D row vector is promoted to a single-row batch.
+    Raises :class:`~repro.errors.ThetaShapeError` on any violation —
+    wrong rank or width, non-finite entries, or negative entries (the
+    network polynomial's θ leaves are probabilities). Non-contiguous or
+    non-float64 input is copied, never rejected.
+    """
+    width = len(tape.param_values)
+    try:
+        matrix = np.asarray(theta, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ThetaShapeError(
+            f"theta batch must be a numeric matrix: {error}"
+        ) from None
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if matrix.ndim != 2:
+        raise ThetaShapeError(
+            f"theta batch must be an (n_theta, {width}) matrix; got a "
+            f"{matrix.ndim}-d array of shape {matrix.shape}"
+        )
+    if matrix.shape[1] != width:
+        raise ThetaShapeError(
+            f"theta batch width {matrix.shape[1]} does not match the "
+            f"{width} deduplicated parameter(s) of {tape.describe()}"
+        )
+    if not np.isfinite(matrix).all():
+        raise ThetaShapeError(
+            "theta batch contains non-finite entries (NaN or inf)"
+        )
+    if matrix.size and float(matrix.min()) < 0.0:
+        raise ThetaShapeError(
+            "theta batch contains negative entries; network-polynomial "
+            "parameters are probabilities"
+        )
+    return np.ascontiguousarray(matrix)
+
+
+def align_theta(
+    tape: Tape,
+    theta,
+    evidence_batch: Sequence[Mapping[str, int] | None],
+) -> tuple[list[Mapping[str, int] | None], np.ndarray]:
+    """Zip a θ batch with an evidence batch (broadcast-one semantics).
+
+    Returns ``(evidence_rows, matrix)`` of equal length: matching
+    lengths zip row-for-row; a single θ row replicates across the
+    evidence batch; a single evidence row replicates across the θ batch.
+    Anything else raises :class:`~repro.errors.ThetaShapeError`.
+    """
+    matrix = normalize_theta(tape, theta)
+    rows = matrix.shape[0]
+    count = len(evidence_batch)
+    if rows == count:
+        return list(evidence_batch), matrix
+    if rows == 1 and count > 1:
+        return list(evidence_batch), np.repeat(matrix, count, axis=0)
+    if count == 1 and rows > 1:
+        return list(evidence_batch) * rows, matrix
+    raise ThetaShapeError(
+        f"cannot zip {rows} theta row(s) with {count} evidence row(s); "
+        f"lengths must match, or either side must have exactly one row"
+    )
+
+
+def theta_param_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Lane-major ``(n_params, n_lanes)`` layout for executor seeding."""
+    return np.ascontiguousarray(matrix.T)
+
+
+def theta_envelope_max_values(tape: Tape, theta) -> np.ndarray:
+    """Per-slot linear-domain maxima valid for *every* row of a θ batch.
+
+    One §3.1.4 max-value sweep seeded with the column-wise maxima of the
+    θ batch. SUM, PRODUCT and MAX are all monotone non-decreasing in
+    their non-negative inputs, so the envelope sweep dominates each
+    row's individual sweep slot-for-slot — feeding the result to
+    :meth:`repro.engine.analysis.TapeAnalysis.fixed_deltas` yields one
+    §3 error bound certified for the whole batch (the raster-landscape
+    certificate). Conversion to the linear domain follows the
+    ``repro.core.extremes`` clamp rule so envelope bounds compose with
+    the per-circuit bound machinery.
+    """
+    matrix = normalize_theta(tape, theta)
+    if matrix.shape[0] == 0:
+        raise ThetaShapeError("theta envelope needs at least one θ row")
+    column_max = matrix.max(axis=0)
+    param_log2 = np.asarray(
+        [
+            math.log2(value) if value > 0.0 else NEG_INF
+            for value in column_max
+        ],
+        dtype=np.float64,
+    )
+    schedule = tape_analysis_for(tape).schedule
+    max_log2 = sweep_max_log2(tape, schedule, param_log2)
+    return np.asarray(
+        [0.0 if value == NEG_INF else 2.0 ** max(value, -500.0) for value in max_log2]
+    )

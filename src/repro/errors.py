@@ -40,6 +40,20 @@ class InfeasibleFormatError(ValueError):
         )
 
 
+class ThetaShapeError(ValueError):
+    """A parameter batch (θ matrix) does not fit the target tape.
+
+    θ-sweeps replay one compiled tape over an ``(n_theta, n_params)``
+    matrix of parameter instantiations, one column per entry of the
+    tape's deduplicated parameter table. Raised when the matrix has the
+    wrong rank or width, contains non-finite or negative entries (the
+    network polynomial's θ leaves are probabilities), or when a
+    higher-level sweep assigns conflicting values to parameters that
+    share one deduplicated table entry. A :class:`ValueError` subclass
+    so legacy ``except`` clauses keep working.
+    """
+
+
 class ZeroEvidenceError(ZeroDivisionError):
     """The conditioning evidence has probability zero.
 

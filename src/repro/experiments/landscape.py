@@ -1,0 +1,235 @@
+"""The raster landscape workload: one tape, one θ row per map cell (PR 7).
+
+A probabilistic raster asks the *same* Bayesian network query in every
+grid cell, but each cell carries its own parameterization — CPT entries
+modulated by smooth spatial fields (moisture, fertility). Classically
+that means recompiling or re-seeding one circuit per cell; here the
+whole raster becomes a single ``(n_cells, n_params)`` θ batch replayed
+over one compiled tape: exact float64 in one struct-of-arrays sweep,
+quantized fixed point in a second, and a §3 error certificate that
+covers *every cell at once* — the envelope max-value analysis over the
+full θ batch feeds the §3.1.3 delta propagation, so one root bound
+certifies the entire raster against the exact surface.
+
+:func:`landscape_tiles` chunks the θ matrix into row tiles, the unit a
+serve client streams as one ``theta_batch`` request per map tile (see
+``repro.serve``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..arith.fixedpoint import FixedPointFormat
+from ..bn.learning import NetworkParameterMap
+from ..bn.network import BayesianNetwork
+from ..bn.networks.toy import landscape_network
+
+#: The per-cell query: probability the species is present in the cell.
+DEFAULT_EVIDENCE: dict[str, int] = {"Presence": 1}
+
+#: Default quantization under certificate: forward values stay in
+#: [0, 1], so 2 integer bits cover range plus rounding slop.
+DEFAULT_FORMAT = FixedPointFormat(2, 14)
+
+#: Per-cell probabilities are clipped into this band so every θ row
+#: stays strictly positive (no zero-probability cells) and normalized.
+PROBABILITY_BAND = (0.01, 0.99)
+
+
+def landscape_parameter_map(
+    network: BayesianNetwork | None = None,
+) -> NetworkParameterMap:
+    """CPT-entry → θ-column map over the binarized landscape circuit.
+
+    The circuit is binarized so the quantized sweep and the §3
+    certificate describe the same two-input operator stream the
+    generated hardware would run.
+    """
+    from ..ac.transform import binarize
+    from ..compile import compile_network
+
+    network = network or landscape_network()
+    circuit = binarize(compile_network(network).circuit).circuit
+    return NetworkParameterMap(network, circuit)
+
+
+def landscape_fields(height: int, width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Two smooth deterministic [0, 1] fields: moisture and fertility."""
+    if height <= 0 or width <= 0:
+        raise ValueError("landscape needs a positive height and width")
+    rows = np.linspace(0.0, 1.0, height)[:, None]
+    cols = np.linspace(0.0, 1.0, width)[None, :]
+    moisture = 0.5 + 0.5 * np.sin(2.0 * np.pi * cols) * np.cos(np.pi * rows)
+    fertility = 0.5 + 0.5 * np.cos(1.5 * np.pi * (rows + cols))
+    return moisture, fertility
+
+
+def landscape_theta(
+    height: int,
+    width: int,
+    parameter_map: NetworkParameterMap | None = None,
+) -> np.ndarray:
+    """The raster's ``(height·width, n_params)`` θ batch, row-major cells.
+
+    Each cell's CPTs are the base tables with every Bernoulli success
+    probability shifted by the cell's moisture/fertility values and
+    clipped into :data:`PROBABILITY_BAND`; complements are set
+    alongside, so every row remains a valid parameterization.
+    """
+    pmap = parameter_map or landscape_parameter_map()
+    network = pmap.network
+    moisture, fertility = landscape_fields(height, width)
+    m = moisture.ravel()
+    f = fertility.ravel()
+    theta = np.tile(pmap.base_row(), (m.size, 1))
+
+    def set_binary(child: str, parents: tuple, positive: np.ndarray) -> None:
+        positive = np.clip(positive, *PROBABILITY_BAND)
+        theta[:, pmap.column((child, 1, parents))] = positive
+        theta[:, pmap.column((child, 0, parents))] = 1.0 - positive
+
+    set_binary("Rain", (), 0.08 + 0.84 * m)
+    set_binary("Soil", (), 0.08 + 0.84 * f)
+    vegetation = network.cpt("Vegetation")
+    for rain_state in (0, 1):
+        for soil_state in (0, 1):
+            base = float(vegetation.table[rain_state, soil_state, 1])
+            set_binary(
+                "Vegetation",
+                (rain_state, soil_state),
+                base + 0.25 * (m - 0.5) + 0.2 * (f - 0.5),
+            )
+    presence = network.cpt("Presence")
+    for veg_state in (0, 1):
+        base = float(presence.table[veg_state, 1])
+        set_binary("Presence", (veg_state,), base + 0.15 * (f - 0.5))
+    return theta
+
+
+def landscape_tiles(
+    theta: np.ndarray, tile_rows: int = 256
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Stream the raster's θ batch as row tiles ``(start, tile)``.
+
+    The serve client sends exactly one ``theta_batch`` request per tile;
+    the micro-batcher coalesces tiles of one circuit back into a single
+    batched replay, so streaming granularity costs no tape sweeps.
+    """
+    theta = np.asarray(theta)
+    if tile_rows <= 0:
+        raise ValueError("tile_rows must be positive")
+    for start in range(0, theta.shape[0], tile_rows):
+        yield start, theta[start : start + tile_rows]
+
+
+def certify_landscape(circuit, theta: np.ndarray, fmt: FixedPointFormat) -> float:
+    """The §3 root bound covering every θ row of the raster at once.
+
+    Seeds the §3.1.3 fixed-point delta propagation with the *envelope*
+    max-value analysis over the whole θ batch
+    (:func:`repro.engine.theta_envelope_max_values`): SUM/PRODUCT/MAX
+    are monotone in their non-negative leaves, so the column-wise θ
+    maxima dominate each cell's node values and one propagation bounds
+    ``|exact − quantized|`` for the entire raster.
+    """
+    from ..core.errormodels import FixedErrorModel
+    from ..engine import tape_analysis_for, tape_for, theta_envelope_max_values
+
+    tape = tape_for(circuit)
+    envelope = theta_envelope_max_values(tape, theta)
+    model = FixedErrorModel.for_format(fmt)
+    deltas = tape_analysis_for(tape).fixed_deltas(
+        np.asarray([model.rounding_error]), envelope
+    )[:, 0]
+    return float(deltas[tape.require_root()])
+
+
+@dataclass(frozen=True)
+class LandscapeResult:
+    """Exact and quantized rasters plus the raster-wide certificate."""
+
+    height: int
+    width: int
+    fmt: FixedPointFormat
+    evidence: dict[str, int]
+    exact: np.ndarray
+    quantized: np.ndarray
+    root_bound: float
+
+    @property
+    def n_cells(self) -> int:
+        return self.height * self.width
+
+    @property
+    def max_abs_error(self) -> float:
+        """Measured worst-case cell error of the quantized raster."""
+        return float(np.abs(self.exact - self.quantized).max())
+
+    @property
+    def certified(self) -> bool:
+        """True when the measured raster error sits under the §3 bound."""
+        return self.max_abs_error <= self.root_bound
+
+
+def run_landscape(
+    height: int = 24,
+    width: int = 24,
+    fmt: FixedPointFormat | None = None,
+    evidence: Mapping[str, int] | None = None,
+    parameter_map: NetworkParameterMap | None = None,
+) -> LandscapeResult:
+    """Evaluate the raster exactly and quantized, then certify it.
+
+    Two batched tape replays for the whole grid — one exact float64
+    θ sweep, one per-row-quantized fixed-point sweep — plus one
+    envelope-seeded bound propagation. No per-cell compilation, no
+    per-cell Python loop.
+    """
+    from ..engine import session_for
+
+    pmap = parameter_map or landscape_parameter_map()
+    fmt = fmt or DEFAULT_FORMAT
+    evidence = DEFAULT_EVIDENCE if evidence is None else dict(evidence)
+    theta = landscape_theta(height, width, pmap)
+    session = session_for(pmap.circuit)
+    exact = session.evaluate_theta_batch(theta, evidence)
+    quantized = session.evaluate_quantized_batch(fmt, [evidence], theta=theta)
+    return LandscapeResult(
+        height=height,
+        width=width,
+        fmt=fmt,
+        evidence=dict(evidence),
+        exact=exact.reshape(height, width),
+        quantized=quantized.reshape(height, width),
+        root_bound=certify_landscape(pmap.circuit, theta, fmt),
+    )
+
+
+#: Glyph ramp for the ASCII raster (low → high probability).
+_RAMP = " .:-=+*#%@"
+
+
+def render_landscape(result: LandscapeResult, raster: bool = True) -> str:
+    """ASCII report: certificate summary plus an optional heat map."""
+    evidence = ", ".join(f"{k}={v}" for k, v in result.evidence.items())
+    verdict = "CERTIFIED" if result.certified else "VIOLATED"
+    lines = [
+        f"landscape {result.height}x{result.width} "
+        f"({result.n_cells} cells) — Pr({evidence or 'no evidence'}) per cell",
+        f"format: {result.fmt.describe()}",
+        f"exact range: [{result.exact.min():.4f}, {result.exact.max():.4f}]",
+        f"max |exact - quantized|: {result.max_abs_error:.3e}",
+        f"raster-wide section-3 bound: {result.root_bound:.3e} [{verdict}]",
+    ]
+    if raster:
+        low = float(result.exact.min())
+        span = float(result.exact.max()) - low or 1.0
+        scaled = (result.exact - low) / span
+        indices = np.minimum((scaled * len(_RAMP)).astype(int), len(_RAMP) - 1)
+        lines.append("")
+        lines.extend("".join(_RAMP[i] for i in row) for row in indices)
+    return "\n".join(lines)

@@ -4,11 +4,12 @@ Wraps the compiled-tape engine in a network service: a
 :class:`CircuitRegistry` of lazily-compiled circuits (each entry owning
 its tape, analysis and per-format quantized executors), a
 newline-delimited JSON protocol covering ``eval`` / ``marginals`` /
-``optimize`` / ``hw`` workloads, an asyncio :class:`ProbLPServer` whose
-micro-batching queue coalesces concurrent queries into single vectorized
-tape replays, and a multi-process :class:`ShardedServer` that partitions
-the registry across workers (the per-circuit cache as the unit of
-distribution). Stdlib-only: asyncio + sockets + multiprocessing.
+``theta_batch`` (parameter-sweep tiles) / ``optimize`` / ``hw``
+workloads, an asyncio :class:`ProbLPServer` whose micro-batching queue
+coalesces concurrent queries into single vectorized tape replays, and a
+multi-process :class:`ShardedServer` that partitions the registry across
+workers (the per-circuit cache as the unit of distribution).
+Stdlib-only: asyncio + sockets + multiprocessing.
 
 Quick start::
 
@@ -37,6 +38,7 @@ from .protocol import (
     Response,
     ServeError,
     ShutdownRequest,
+    ThetaBatchRequest,
     UnknownCircuitError,
     error_code_for,
     error_response,
@@ -81,6 +83,7 @@ __all__ = [
     "ShardRouter",
     "ShardedServer",
     "ShutdownRequest",
+    "ThetaBatchRequest",
     "UnknownCircuitError",
     "error_code_for",
     "error_response",

@@ -43,7 +43,7 @@ class BatchKey:
     """
 
     circuit: str
-    kind: str  # "eval" | "marginals"
+    kind: str  # "eval" | "marginals" | "theta"
     fmt: AnyFormat | None = None
     joint: bool = False
 

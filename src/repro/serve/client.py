@@ -196,6 +196,29 @@ class ServeClient:
         _apply_format(payload, fmt)
         return dict(self.request(payload).raise_for_error().result)
 
+    def theta_batch(
+        self,
+        circuit: str,
+        theta,
+        evidence: Mapping[str, int] | None = None,
+        fmt=None,
+    ) -> dict:
+        """One θ-sweep tile: ``len(theta)`` root values, shared evidence.
+
+        ``theta`` is any matrix-shaped iterable of parameter rows (a
+        numpy array works). Stream one call per raster tile — the
+        server's micro-batcher stacks concurrent tiles of one
+        (circuit, format) bucket into a single batched tape replay.
+        """
+        payload: dict[str, Any] = {
+            "op": "theta_batch",
+            "circuit": circuit,
+            "evidence": dict(evidence or {}),
+            "theta": [[float(value) for value in row] for row in theta],
+        }
+        _apply_format(payload, fmt)
+        return dict(self.request(payload).raise_for_error().result)
+
     def optimize(self, circuit: str, **fields: Any) -> dict:
         payload = {"op": "optimize", "circuit": circuit, **fields}
         return dict(self.request(payload).raise_for_error().result)

@@ -13,6 +13,9 @@ Request shapes (``op`` selects the workload)::
      "rounding": "nearest-even"}
     {"op": "marginals", "id": 2, "circuit": "alarm", "evidence": {},
      "joint": false, "variables": ["HYPOVOLEMIA"]}
+    {"op": "theta_batch", "id": 5, "circuit": "landscape",
+     "evidence": {"Presence": 1}, "theta": [[0.3, 0.7], [0.4, 0.6]],
+     "format": "fixed:2:14"}
     {"op": "optimize",  "id": 3, "circuit": "alarm",
      "workload": "marginals", "query": "marginal",
      "tolerance": "abs:0.01", "max_bits": 64}
@@ -44,6 +47,7 @@ from ..core.queries import ErrorTolerance, QueryType
 from ..errors import (
     InfeasibleFormatError,
     NonBinaryCircuitError,
+    ThetaShapeError,
     ZeroEvidenceError,
 )
 from ..specs import SpecError, format_spec, tolerance_spec
@@ -87,6 +91,7 @@ ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
     (ZeroEvidenceError, "zero_evidence"),
     (NonBinaryCircuitError, "non_binary_circuit"),
     (InfeasibleFormatError, "infeasible_format"),
+    (ThetaShapeError, "theta_shape"),
     (UnknownCircuitError, "unknown_circuit"),
     (ProtocolError, "bad_request"),
     (ArithmeticError, "arithmetic"),
@@ -266,6 +271,67 @@ class MarginalsRequest(Request):
         return payload
 
 
+def _parse_theta(payload: Mapping[str, Any]) -> tuple[tuple[float, ...], ...]:
+    raw = payload.get("theta")
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ProtocolError(
+            "theta must be a non-empty list of parameter rows"
+        )
+    rows: list[tuple[float, ...]] = []
+    width: int | None = None
+    for row in raw:
+        if not isinstance(row, (list, tuple)) or not row:
+            raise ProtocolError(
+                "each theta row must be a non-empty list of numbers"
+            )
+        if width is None:
+            width = len(row)
+        elif len(row) != width:
+            raise ProtocolError(
+                f"theta rows must share one width; got {len(row)} after "
+                f"{width}"
+            )
+        values = []
+        for value in row:
+            # Exactly int/float: bool is an int and would silently
+            # become a confidently wrong 0.0/1.0 parameter.
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ProtocolError(
+                    f"theta entries must be numbers; got {value!r}"
+                )
+            values.append(float(value))
+        rows.append(tuple(values))
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class ThetaBatchRequest(Request):
+    """One θ-sweep tile: shared evidence, many parameter rows.
+
+    The unit a raster client streams — one request per map tile. The
+    JSON number grammar round-trips float64 exactly, so the served
+    sweep stays bit-identical to a direct
+    :meth:`~repro.engine.session.InferenceSession.evaluate_theta_batch`
+    call on the same rows.
+    """
+
+    op: ClassVar[str] = "theta_batch"
+    circuit: str = ""
+    evidence: Mapping[str, int] = field(default_factory=dict)
+    theta: tuple[tuple[float, ...], ...] = ()
+    fmt: AnyFormat | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        payload = super().to_wire()
+        payload["circuit"] = self.circuit
+        payload["evidence"] = dict(self.evidence)
+        payload["theta"] = [list(row) for row in self.theta]
+        _wire_format_fields(payload, self.fmt)
+        return payload
+
+
 @dataclass(frozen=True)
 class OptimizeRequest(Request):
     """Workload-aware §3.3 format search on the served circuit."""
@@ -395,6 +461,14 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
             joint=joint,
             variables=variables,
         )
+    if op == "theta_batch":
+        return ThetaBatchRequest(
+            id=request_id,
+            circuit=_require_circuit(payload),
+            evidence=_parse_evidence(payload),
+            theta=_parse_theta(payload),
+            fmt=_parse_fmt_field(payload),
+        )
     if op == "optimize":
         variant = payload.get("variant", "rigorous")
         if variant not in ("rigorous", "paper"):
@@ -439,6 +513,7 @@ REQUEST_TYPES: tuple[type[Request], ...] = (
     ShutdownRequest,
     EvalRequest,
     MarginalsRequest,
+    ThetaBatchRequest,
     OptimizeRequest,
     HwRequest,
 )

@@ -22,6 +22,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Sequence
 
+import numpy as np
+
 from .. import __version__
 from .batching import (
     DEFAULT_BATCH_WINDOW,
@@ -41,6 +43,7 @@ from .protocol import (
     Request,
     Response,
     ShutdownRequest,
+    ThetaBatchRequest,
     error_response,
     ok_response,
     parse_request,
@@ -252,6 +255,9 @@ class ProbLPServer:
                     "circuits": len(self.registry),
                     "batching": self.batcher.stats.to_dict(),
                     "backends": self._backend_availability(),
+                    # θ-sweep support is a protocol capability clients
+                    # probe before streaming raster tiles.
+                    "capabilities": {"theta_batch": True},
                 },
             )
         if isinstance(request, CircuitsRequest):
@@ -281,6 +287,12 @@ class ProbLPServer:
                 kind="marginals",
                 fmt=request.fmt,
                 joint=request.joint,
+            )
+            result = await self.batcher.submit(key, request)
+            return ok_response(request, result)
+        if isinstance(request, ThetaBatchRequest):
+            key = BatchKey(
+                circuit=request.circuit, kind="theta", fmt=request.fmt
             )
             result = await self.batcher.submit(key, request)
             return ok_response(request, result)
@@ -383,7 +395,61 @@ class ProbLPServer:
                     }
                 results.append(result)
             return results
+        if key.kind == "theta":
+            return self._execute_theta_batch(session, key, requests)
         raise ProtocolError(f"unknown batch kind {key.kind!r}")
+
+    @staticmethod
+    def _execute_theta_batch(
+        session, key: BatchKey, requests: Sequence[Any]
+    ) -> list[dict]:
+        """One coalesced θ sweep over every tile in the bucket.
+
+        Tiles of one (circuit, format) bucket are stacked into a single
+        ``(total_rows, n_params)`` matrix, each tile's shared evidence
+        repeated per row, and the whole raster slice runs as **one**
+        batched replay (plus one quantized sweep when a format is set);
+        row slices are scattered back per request — so a client
+        streaming one request per map tile costs tape sweeps per
+        *bucket*, not per tile.
+        """
+        theta = np.vstack(
+            [
+                np.asarray(request.theta, dtype=np.float64)
+                for request in requests
+            ]
+        )
+        evidence_rows: list = []
+        for request in requests:
+            evidence_rows.extend([request.evidence] * len(request.theta))
+        exact = session.evaluate_batch(evidence_rows, strict=True, theta=theta)
+        quantized = (
+            session.evaluate_quantized_batch(
+                key.fmt, evidence_rows, strict=True, theta=theta
+            )
+            if key.fmt is not None
+            else None
+        )
+        results = []
+        start = 0
+        for request in requests:
+            stop = start + len(request.theta)
+            result: dict = {
+                "values": [float(v) for v in exact[start:stop]],
+                "batched": len(requests),
+                "rows": int(theta.shape[0]),
+                # θ sweeps run on the numpy executors under every
+                # backend policy (native kernels bake the parameter
+                # table as compile-time constants).
+                "backend": "numpy",
+            }
+            if quantized is not None:
+                result["quantized"] = [
+                    float(v) for v in quantized[start:stop]
+                ]
+            results.append(result)
+            start = stop
+        return results
 
     @staticmethod
     def _marginal_variables(session, request) -> Sequence[str]:

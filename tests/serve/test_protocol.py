@@ -24,6 +24,7 @@ from repro.serve.protocol import (
     Response,
     ServeError,
     ShutdownRequest,
+    ThetaBatchRequest,
     UnknownCircuitError,
     error_code_for,
     error_response,
@@ -64,6 +65,11 @@ REPRESENTATIVES = [
     HwRequest(id=11, circuit="alarm"),
     HwRequest(id=12, circuit="alarm", workload="marginals", fmt=FIXED,
               include_rtl=True),
+    ThetaBatchRequest(id=13, circuit="landscape",
+                      theta=((0.25, 0.75), (0.5, 0.5))),
+    ThetaBatchRequest(id=14, circuit="landscape",
+                      evidence={"Presence": 1},
+                      theta=((0.1, 0.9),), fmt=FIXED),
 ]
 
 

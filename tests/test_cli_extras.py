@@ -326,3 +326,170 @@ class TestHwCommand:
         save_circuit(circuit, path)
         with pytest.raises(SystemExit, match="--verify needs"):
             main(["hw", "--circuit", str(path), "--verify", "4"])
+
+
+class TestThetaEvalCommand:
+    """``problp eval --theta-file``: one tape replay per sweep (PR 7)."""
+
+    @pytest.fixture()
+    def sweep(self, tmp_path):
+        import json
+
+        from repro.experiments.landscape import (
+            landscape_parameter_map,
+            landscape_theta,
+        )
+
+        pmap = landscape_parameter_map()
+        theta = landscape_theta(2, 3, pmap)
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps([list(row) for row in theta]))
+        return pmap, theta, path
+
+    def test_theta_sweep_bit_identical_to_session(self, capsys, sweep):
+        from repro.arith import FixedPointFormat
+        from repro.engine import session_for
+
+        pmap, theta, path = sweep
+        code = main(
+            [
+                "eval",
+                "--network",
+                "landscape",
+                "--theta-file",
+                str(path),
+                "--format",
+                "fixed:2:14",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        rows = [line.split("\t") for line in captured.out.splitlines()]
+        session = session_for(pmap.circuit)
+        want_exact = session.evaluate_theta_batch(theta)
+        want_quant = session.evaluate_quantized_batch(
+            FixedPointFormat(2, 14), [{}], theta=theta
+        )
+        # %.17g round-trips float64 exactly: the printed sweep must be
+        # bit-identical to the direct session calls.
+        assert [float(exact) for exact, _ in rows] == list(want_exact)
+        assert [float(quant) for _, quant in rows] == list(want_quant)
+        assert "6-row theta sweep" in captured.err
+
+    def test_theta_object_form_and_evidence_broadcast(
+        self, tmp_path, capsys, sweep
+    ):
+        import json
+
+        from repro.engine import session_for
+
+        pmap, theta, _ = sweep
+        theta_path = tmp_path / "sweep_obj.json"
+        theta_path.write_text(
+            json.dumps({"theta": [list(row) for row in theta]})
+        )
+        evidence_path = tmp_path / "evidence.json"
+        evidence_path.write_text(json.dumps({"Presence": 1}))
+        code = main(
+            [
+                "eval",
+                "--network",
+                "landscape",
+                "--theta-file",
+                str(theta_path),
+                "--evidence-file",
+                str(evidence_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        want = session_for(pmap.circuit).evaluate_theta_batch(
+            theta, {"Presence": 1}
+        )
+        assert [float(line) for line in out.splitlines()] == list(want)
+
+    def test_native_backend_reports_theta_fallback(self, capsys, sweep):
+        _, _, path = sweep
+        code = main(
+            [
+                "eval",
+                "--network",
+                "landscape",
+                "--theta-file",
+                str(path),
+                "--backend",
+                "native",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "numpy executors" in err
+
+    def test_wrong_width_exits_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[[0.5, 0.5, 0.5]]")
+        with pytest.raises(SystemExit, match="16"):
+            main(
+                [
+                    "eval",
+                    "--network",
+                    "landscape",
+                    "--theta-file",
+                    str(path),
+                ]
+            )
+
+    @pytest.mark.parametrize(
+        "payload", ['{"rows": 1}', "[]", "[0.5, 0.5]", '"text"']
+    )
+    def test_non_matrix_file_rejected(self, tmp_path, payload):
+        path = tmp_path / "bad.json"
+        path.write_text(payload)
+        with pytest.raises(SystemExit, match="matrix"):
+            main(
+                [
+                    "eval",
+                    "--network",
+                    "landscape",
+                    "--theta-file",
+                    str(path),
+                ]
+            )
+
+
+class TestLandscapeCommand:
+    def test_certified_raster(self, capsys):
+        code = main(["landscape", "--height", "6", "--width", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "landscape 6x9 (54 cells)" in out
+        assert "CERTIFIED" in out
+        assert "section-3 bound" in out
+        # The heat map itself: six glyph rows after the summary.
+        assert len(out.splitlines()) == 5 + 1 + 6
+
+    def test_no_raster_flag(self, capsys):
+        code = main(
+            [
+                "landscape",
+                "--height",
+                "4",
+                "--width",
+                "4",
+                "--no-raster",
+                "--format",
+                "fixed:2:20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fixed(I=2, F=20)" in out
+        assert len(out.splitlines()) == 5
+
+    def test_float_format_rejected(self):
+        with pytest.raises(SystemExit, match="fixed-point"):
+            main(["landscape", "--format", "float:8:14"])
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["landscape", "--height", "0", "--width", "4"])
