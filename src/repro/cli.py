@@ -483,8 +483,8 @@ def cmd_eval(args) -> int:
         f"{session.tape.describe()} ({session.backend} backend)",
         file=sys.stderr,
     )
-    if theta is not None and session.backend_fallback_reason:
-        print(f"# {session.backend_fallback_reason}", file=sys.stderr)
+    if session.backend_fallback_reason:
+        print(f"# fallback: {session.backend_fallback_reason}", file=sys.stderr)
     return 0
 
 
@@ -531,6 +531,7 @@ def cmd_marginals(args) -> int:
         ) from None
     elapsed = time.perf_counter() - start
     kind = "joint" if args.joint else "posterior"
+    fallback = session.backend_fallback_reason
     for row in range(len(batch)):
         for variable in variables if variables is not None else exact:
             record = {
@@ -539,6 +540,8 @@ def cmd_marginals(args) -> int:
                 kind: [float(p) for p in exact[variable][:, row]],
                 "backend": session.backend,
             }
+            if fallback:
+                record["fallback_reason"] = fallback
             if quantized is not None:
                 record["quantized"] = [
                     float(p) for p in quantized[variable][:, row]
@@ -553,6 +556,8 @@ def cmd_marginals(args) -> int:
         f"({session.backend} backend)",
         file=sys.stderr,
     )
+    if fallback:
+        print(f"# fallback: {fallback}", file=sys.stderr)
     return 0
 
 

@@ -696,6 +696,33 @@ class FloatWordKernel:
             np.asarray([p.exponent for p in params], dtype=np.int64),
         )
 
+    def encode_param_matrix(
+        self, theta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Quantize an ``(n_theta, n_params)`` θ batch, one row at a time.
+
+        Returns lane-major ``(n_params, n_theta)`` int64 ``(m, e)`` word
+        matrices — the ``param_words`` the executors seed their
+        parameter slots from, each row quantized exactly like
+        :meth:`encode_params` quantizes the static table, so per-lane
+        sweeps stay bit-identical to a re-quantized scalar run.
+        """
+        backend = FloatBackend(self.fmt)
+        rows = [
+            [backend.from_real(float(v)) for v in row]
+            for row in np.asarray(theta, dtype=np.float64)
+        ]
+        mantissas = np.asarray(
+            [[p.mantissa for p in row] for row in rows], dtype=np.int64
+        )
+        exponents = np.asarray(
+            [[p.exponent for p in row] for row in rows], dtype=np.int64
+        )
+        return (
+            np.ascontiguousarray(mantissas.T),
+            np.ascontiguousarray(exponents.T),
+        )
+
     # -- rounding core --------------------------------------------------
     def _round_shift(
         self, value: np.ndarray, shift: np.ndarray
@@ -874,11 +901,23 @@ class FloatBatchExecutor:
         self._multiply = kernel.multiply
         self._maximum = kernel.maximum
 
+    def encode_theta(
+        self, theta: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row quantized parameter tables for a θ batch.
+
+        Returns the lane-major ``(n_params, n_theta)`` int64 ``(m, e)``
+        word matrix pair to pass as ``param_words`` — quantized once per
+        batch, reusable across forward and backward sweeps.
+        """
+        return self._kernel.encode_param_matrix(theta)
+
     # -- evaluation -----------------------------------------------------
     def _forward_word_slots(
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool,
+        param_words: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(mantissas, exponents)`` of all slots, ``(num_slots, batch)``."""
         tape = self.tape
@@ -886,12 +925,17 @@ class FloatBatchExecutor:
         batch = len(evidence_batch)
         mantissas = np.zeros((tape.num_slots, batch), dtype=np.int64)
         exponents = np.zeros((tape.num_slots, batch), dtype=np.int64)
-        mantissas[tape.param_slots] = self._param_mantissas[tape.param_ids][
-            :, None
-        ]
-        exponents[tape.param_slots] = self._param_exponents[tape.param_ids][
-            :, None
-        ]
+        if param_words is None:
+            mantissas[tape.param_slots] = self._param_mantissas[
+                tape.param_ids
+            ][:, None]
+            exponents[tape.param_slots] = self._param_exponents[
+                tape.param_ids
+            ][:, None]
+        else:
+            word_m, word_e = param_words
+            mantissas[tape.param_slots] = word_m[tape.param_ids]
+            exponents[tape.param_slots] = word_e[tape.param_ids]
         one_m, one_e = self._one
         mantissas[tape.indicator_slots] = np.where(active, one_m, 0)
         exponents[tape.indicator_slots] = np.where(active, one_e, 0)
@@ -921,13 +965,20 @@ class FloatBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Root ``(mantissas, exponents)`` pairs, each shape ``(batch,)``."""
+        """Root ``(mantissas, exponents)`` pairs, each shape ``(batch,)``.
+
+        ``param_words`` (from :meth:`encode_theta`) seeds per-lane
+        quantized parameter tables for θ-batch replays.
+        """
         root = self.tape.require_root()
         if len(evidence_batch) == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy()
-        mantissas, exponents = self._forward_word_slots(evidence_batch, strict)
+        mantissas, exponents = self._forward_word_slots(
+            evidence_batch, strict, param_words
+        )
         return mantissas[root].copy(), exponents[root].copy()
 
     # -- backward (derivative) sweep ------------------------------------
@@ -935,6 +986,7 @@ class FloatBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[
         tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]
     ]:
@@ -946,6 +998,8 @@ class FloatBatchExecutor:
         plus one rounded add per adjoint contribution — bit-identical to
         :meth:`QuantizedTapeEvaluator.partials` with the big-int
         :class:`~repro.arith.floatingpoint.FloatBackend`.
+        ``param_words`` (from :meth:`encode_theta`) seeds per-lane
+        quantized parameter tables for θ-batch replays.
         """
         tape = self.tape
         tape.require_differentiable()
@@ -954,7 +1008,9 @@ class FloatBatchExecutor:
         if batch == 0:
             empty = np.empty((tape.num_nodes, 0), dtype=np.int64)
             return (empty, empty.copy()), (empty.copy(), empty.copy())
-        mantissas, exponents = self._forward_word_slots(evidence_batch, strict)
+        mantissas, exponents = self._forward_word_slots(
+            evidence_batch, strict, param_words
+        )
         adj_m = np.zeros((tape.num_slots, batch), dtype=np.int64)
         adj_e = np.zeros((tape.num_slots, batch), dtype=np.int64)
         one_m, one_e = self._one
@@ -995,10 +1051,11 @@ class FloatBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Float64 ``(values, partials)`` per node for a whole batch."""
         (value_m, value_e), (adj_m, adj_e) = self.partials_batch_words(
-            evidence_batch, strict=strict
+            evidence_batch, strict=strict, param_words=param_words
         )
         shift = self.fmt.mantissa_bits
         values = np.ldexp(
@@ -1013,10 +1070,11 @@ class FloatBatchExecutor:
         self,
         evidence_batch: Sequence[Mapping[str, int]],
         strict: bool = False,
+        param_words: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> np.ndarray:
         """Float64 values of the root for a whole batch."""
         mantissas, exponents = self.evaluate_batch_words(
-            evidence_batch, strict=strict
+            evidence_batch, strict=strict, param_words=param_words
         )
         return np.ldexp(
             mantissas.astype(np.float64),

@@ -2,11 +2,15 @@
 
 Lowers a compiled :class:`~repro.engine.tape.Tape` (and its
 :class:`~repro.engine.tape.BackwardProgram`) to a single fused C
-translation unit — float64 forward/backward and exact int64 fixed-point
-forward/backward — built via cffi at first use and cached on disk by
-content hash. The numpy executors remain the semantic oracle: every
-native kernel is differentially pinned bit-identical to them (see
-``tests/engine/test_native.py``).
+translation unit — float64 forward/backward with lane-blocked,
+vectorizable batch loops, exact int64 fixed-point forward/backward, and
+the emulated-float (mantissa, exponent) word sweeps with
+guard/round/sticky rounding — built via cffi at first use and cached on
+disk by content hash. Every kernel reads its parameter table from a
+runtime pointer (shared or per-lane), so θ-sweeps replay natively
+without recompiling. The numpy executors remain the semantic oracle:
+every native kernel is differentially pinned bit-identical to them
+(see ``tests/engine/test_native.py``).
 
 The package degrades gracefully: when cffi or a C compiler is missing,
 :func:`native_available` is False (with the reason kept) and

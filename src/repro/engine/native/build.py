@@ -44,8 +44,18 @@ __all__ = [
 
 #: Compile flags that preserve bit-identity with the numpy oracle: -O2
 #: without fast-math, and contraction off so no FMA merges a multiply
-#: and an add into a single differently-rounded instruction.
-_COMPILE_ARGS = ["-O2", "-ffp-contract=off"]
+#: and an add into a single differently-rounded instruction. The
+#: explicit vectorizer flags matter at -O2: gcc 12's default
+#: "very-cheap" cost model refuses most of the generated lane loops,
+#: and the ``#pragma GCC ivdep`` annotations in the codegen only lift
+#: the aliasing half of that veto. SIMD reorders nothing the kernels
+#: compute lane-wise, so vectorization cannot change a single rounding.
+_COMPILE_ARGS = [
+    "-O2",
+    "-ftree-vectorize",
+    "-fvect-cost-model=dynamic",
+    "-ffp-contract=off",
+]
 
 _PROBE_CDEF = "int problp_native_probe(void);"
 _PROBE_SOURCE = "int problp_native_probe(void) { return 42; }\n"

@@ -3,26 +3,50 @@
 The generated translation unit bakes the whole tape — forward and
 reversed op streams, the parameter/indicator tables, float64 parameter
 values as C99 hex literals — into ``static const`` arrays and exposes
-four fused kernels over a row-major ``(num_slots, batch)`` slot matrix:
+six fused kernels over row-major ``(num_slots, batch)`` slot matrices:
 
 * ``f64_forward`` / ``f64_backward`` — IEEE float64 replay, bit-identical
   to the numpy executors because both apply the same ops in the same
   order (the build pins ``-ffp-contract=off`` so no FMA contraction can
-  change a single rounding);
+  change a single rounding). The sweeps are *lane-blocked*: lanes are
+  processed ``LANE_BLOCK`` at a time so the live slot working set stays
+  cache-resident, and every inner loop is a stride-1 ``#pragma GCC
+  ivdep`` loop over contiguous lanes (each iteration touches only its
+  own lane index, so the assertion is sound even when a destination row
+  aliases a source row) — gcc's cost model then vectorizes them without
+  runtime alias versioning.
 * ``fixed_forward`` / ``fixed_backward`` — exact int64-mantissa
   fixed-point replay with the scalar backend's rounding and
-  overflow-raising semantics. Quantized parameter words are passed in at
-  call time (they depend on the format), so one compiled module serves
-  every fixed-point format of the tape; the rounding mode is a runtime
-  switch (perfectly predicted — it never changes inside a sweep).
+  overflow-raising semantics.
+* ``flt_forward`` / ``flt_backward`` — §3.1.2 float emulation on
+  (mantissa, exponent) int64 word pairs: exact integer mantissa
+  arithmetic with exactly one rounding per two-input operator,
+  guard/round/sticky alignment in addition (a ``FLT_GUARD``-bit window
+  plus a sticky LSB, mirroring :class:`FloatWordKernel` lane for lane),
+  zero short-circuits as (0, 0) pairs, and overflow-before-underflow
+  error ordering per operator.
 
-Overflow reporting matches the numpy executors' exception attribution:
-the kernels return the destination slot of the first overflowing
-operation in stream order (phases within an op in the numpy check
-order), or ``-1`` on success.
+**Runtime parameters.** Every kernel reads its deduplicated parameter
+table through a runtime pointer: passing NULL (float64 only) falls back
+to the baked ``PVAL`` constants, passing ``per_lane=0`` broadcasts one
+table across the batch, and ``per_lane=1`` reads a lane-major
+``(n_params, batch)`` matrix — one parameter table per lane — which is
+what routes θ-sweeps (``evaluate_theta_batch`` and friends) through the
+native backend. One compiled module serves both modes.
 
-Bit-identity of the fixed path needs arithmetic right shifts and
-two's-complement masking for (theoretical) negative words — both are
+Error-attribution parity pins the loop structure: the numpy executors
+compute a whole op row, then check it (``.max()`` / ``.any()``), so the
+first *operation in stream order* with any failing lane raises — never
+the first failing lane. The checked kernels therefore run each op over
+the full batch, OR-accumulate failure flags in-loop (keeping the loops
+vectorizable), and test the flags only between ops; the fused float64
+kernels, which cannot fail, are the only lane-blocked ones. Fixed
+kernels return the destination slot of the first overflowing operation
+(phases within an op in the numpy check order) or ``-1`` on success;
+float kernels return ``FLT_OK`` / ``FLT_OVERFLOW`` / ``FLT_UNDERFLOW``
+and the Python wrapper rebuilds the numpy executors' messages.
+
+Bit-identity of the word paths needs arithmetic right shifts on int64 —
 what gcc/clang do on every target we build for, matching Python's and
 numpy's floor-shift semantics.
 """
@@ -34,24 +58,44 @@ import numpy as np
 from ..tape import Tape
 
 #: Bump when kernel semantics change — part of the build cache key.
-CODEGEN_VERSION = 1
+#: v2: runtime-parameter entry points, float-emulation kernels,
+#: lane-blocked float64 sweeps.
+CODEGEN_VERSION = 2
 
 #: The cffi declarations of every generated tape module.
 KERNEL_CDEF = """
-void f64_forward(const uint8_t *active, double *slots, int64_t batch);
-void f64_backward(const uint8_t *active, double *slots, double *partials,
+void f64_forward(const double *params, int64_t per_lane,
+                 const uint8_t *active, double *slots, int64_t batch);
+void f64_backward(const double *params, int64_t per_lane,
+                  const uint8_t *active, double *slots, double *partials,
                   int64_t batch);
-int64_t fixed_forward(const int64_t *params, const uint8_t *active,
-                      int64_t batch, int32_t frac_bits, int64_t max_word,
-                      int64_t one_word, int32_t rounding, int64_t *slots);
-int64_t fixed_backward(const int64_t *params, const uint8_t *active,
-                       int64_t batch, int32_t frac_bits, int64_t max_word,
-                       int64_t one_word, int32_t rounding, int64_t *slots,
-                       int64_t *adjoints);
+int64_t fixed_forward(const int64_t *params, int64_t per_lane,
+                      const uint8_t *active, int64_t batch,
+                      int32_t frac_bits, int64_t max_word, int64_t one_word,
+                      int32_t rounding, int64_t *slots);
+int64_t fixed_backward(const int64_t *params, int64_t per_lane,
+                       const uint8_t *active, int64_t batch,
+                       int32_t frac_bits, int64_t max_word, int64_t one_word,
+                       int32_t rounding, int64_t *slots, int64_t *adjoints);
+int64_t flt_forward(const int64_t *param_m, const int64_t *param_e,
+                    int64_t per_lane, const uint8_t *active, int64_t batch,
+                    int32_t mantissa_bits, int64_t min_exponent,
+                    int64_t max_exponent, int64_t one_m, int64_t one_e,
+                    int32_t rounding, int64_t *m_slots, int64_t *e_slots);
+int64_t flt_backward(const int64_t *param_m, const int64_t *param_e,
+                     int64_t per_lane, const uint8_t *active, int64_t batch,
+                     int32_t mantissa_bits, int64_t min_exponent,
+                     int64_t max_exponent, int64_t one_m, int64_t one_e,
+                     int32_t rounding, int64_t *m_slots, int64_t *e_slots,
+                     int64_t *adj_m, int64_t *adj_e,
+                     int64_t *scratch_m, int64_t *scratch_e);
 """
 
-#: Runtime rounding selectors (see ``fx_round`` in the template).
+#: Runtime rounding selectors (see ``FXR_*`` / ``flt_round_shift``).
 ROUND_TRUNCATE, ROUND_NEAREST_UP, ROUND_NEAREST_EVEN = 0, 1, 2
+
+#: Float-kernel status codes (``flt_forward`` / ``flt_backward``).
+FLT_OK, FLT_OVERFLOW, FLT_UNDERFLOW = -1, 1, 2
 
 
 def _c_int_array(name: str, values: np.ndarray | list[int]) -> str:
@@ -123,75 +167,118 @@ def generate_source(tape: Tape) -> str:
 
 _KERNEL_TEMPLATE = r"""
 /* ------------------------------------------------------------------ */
-/* float64 kernels                                                     */
+/* float64 kernels (lane-blocked, vectorizable)                        */
 /* ------------------------------------------------------------------ */
-static void seed_f64(const uint8_t *active, double *slots, int64_t batch)
+/* Lanes per block: 64 doubles = one 512-byte row segment, keeping the
+ * whole live slot working set L1/L2-resident for real tapes while
+ * leaving full-width SIMD lanes to the vectorizer. */
+#define LANE_BLOCK 64
+
+static void seed_f64(const double *params, int64_t per_lane,
+                     const uint8_t *active, double *slots, int64_t batch,
+                     int64_t j0, int64_t j1)
 {
     for (int32_t i = 0; i < N_PARAMS; i++) {
-        const double value = PVAL[PID[i]];
         double *row = slots + (int64_t)PSLOT[i] * batch;
-        for (int64_t j = 0; j < batch; j++) row[j] = value;
+        if (per_lane) {
+            const double *src = params + (int64_t)PID[i] * batch;
+            #pragma GCC ivdep
+            for (int64_t j = j0; j < j1; j++) row[j] = src[j];
+        } else {
+            const double value = params[PID[i]];
+            #pragma GCC ivdep
+            for (int64_t j = j0; j < j1; j++) row[j] = value;
+        }
     }
     for (int32_t i = 0; i < N_INDICATORS; i++) {
         const uint8_t *lane = active + (int64_t)i * batch;
         double *row = slots + (int64_t)ISLOT[i] * batch;
-        for (int64_t j = 0; j < batch; j++) row[j] = lane[j] ? 1.0 : 0.0;
+        #pragma GCC ivdep
+        for (int64_t j = j0; j < j1; j++) row[j] = lane[j] ? 1.0 : 0.0;
     }
 }
 
-void f64_forward(const uint8_t *active, double *slots, int64_t batch)
+static void f64_forward_block(double *slots, int64_t batch, int64_t j0,
+                              int64_t j1)
 {
-    seed_f64(active, slots, batch);
     for (int32_t op = 0; op < N_OPS; op++) {
         const double *L = slots + (int64_t)LFT[op] * batch;
         const double *R = slots + (int64_t)RGT[op] * batch;
         double *D = slots + (int64_t)DST[op] * batch;
         switch (OPC[op]) {
         case 0: /* SUM */
-            for (int64_t j = 0; j < batch; j++) D[j] = L[j] + R[j];
+            #pragma GCC ivdep
+            for (int64_t j = j0; j < j1; j++) D[j] = L[j] + R[j];
             break;
         case 1: /* PRODUCT */
-            for (int64_t j = 0; j < batch; j++) D[j] = L[j] * R[j];
+            #pragma GCC ivdep
+            for (int64_t j = j0; j < j1; j++) D[j] = L[j] * R[j];
             break;
         case 2: /* MAX */
-            for (int64_t j = 0; j < batch; j++)
+            #pragma GCC ivdep
+            for (int64_t j = j0; j < j1; j++)
                 D[j] = L[j] >= R[j] ? L[j] : R[j];
             break;
         default: /* COPY */
-            memcpy(D, L, (size_t)batch * sizeof(double));
+            memcpy(D + j0, L + j0, (size_t)(j1 - j0) * sizeof(double));
             break;
         }
     }
 }
 
-void f64_backward(const uint8_t *active, double *slots, double *partials,
+void f64_forward(const double *params, int64_t per_lane,
+                 const uint8_t *active, double *slots, int64_t batch)
+{
+    const double *table = params ? params : PVAL;
+    for (int64_t j0 = 0; j0 < batch; j0 += LANE_BLOCK) {
+        const int64_t j1 =
+            batch - j0 < LANE_BLOCK ? batch : j0 + LANE_BLOCK;
+        seed_f64(table, per_lane, active, slots, batch, j0, j1);
+        f64_forward_block(slots, batch, j0, j1);
+    }
+}
+
+void f64_backward(const double *params, int64_t per_lane,
+                  const uint8_t *active, double *slots, double *partials,
                   int64_t batch)
 {
-    f64_forward(active, slots, batch);
+    const double *table = params ? params : PVAL;
     memset(partials, 0, (size_t)NUM_SLOTS * (size_t)batch * sizeof(double));
-    {
-        double *root_row = partials + (int64_t)ROOT * batch;
-        for (int64_t j = 0; j < batch; j++) root_row[j] = 1.0;
-    }
-    for (int32_t op = 0; op < N_OPS; op++) {
-        const double *S = partials + (int64_t)BDST[op] * batch;
-        double *PL = partials + (int64_t)BLFT[op] * batch;
-        double *PR = partials + (int64_t)BRGT[op] * batch;
-        switch (BOPC[op]) {
-        case 0: /* SUM: adjoints flow through unscaled */
-            for (int64_t j = 0; j < batch; j++) PL[j] += S[j];
-            for (int64_t j = 0; j < batch; j++) PR[j] += S[j];
-            break;
-        case 1: { /* PRODUCT: product rule with the forward siblings */
-            const double *VL = slots + (int64_t)BLFT[op] * batch;
-            const double *VR = slots + (int64_t)BRGT[op] * batch;
-            for (int64_t j = 0; j < batch; j++) PL[j] += S[j] * VR[j];
-            for (int64_t j = 0; j < batch; j++) PR[j] += S[j] * VL[j];
-            break;
+    for (int64_t j0 = 0; j0 < batch; j0 += LANE_BLOCK) {
+        const int64_t j1 =
+            batch - j0 < LANE_BLOCK ? batch : j0 + LANE_BLOCK;
+        seed_f64(table, per_lane, active, slots, batch, j0, j1);
+        f64_forward_block(slots, batch, j0, j1);
+        {
+            double *root_row = partials + (int64_t)ROOT * batch;
+            #pragma GCC ivdep
+            for (int64_t j = j0; j < j1; j++) root_row[j] = 1.0;
         }
-        default: /* COPY */
-            for (int64_t j = 0; j < batch; j++) PL[j] += S[j];
-            break;
+        for (int32_t op = 0; op < N_OPS; op++) {
+            const double *S = partials + (int64_t)BDST[op] * batch;
+            double *PL = partials + (int64_t)BLFT[op] * batch;
+            double *PR = partials + (int64_t)BRGT[op] * batch;
+            switch (BOPC[op]) {
+            case 0: /* SUM: adjoints flow through unscaled */
+                #pragma GCC ivdep
+                for (int64_t j = j0; j < j1; j++) PL[j] += S[j];
+                #pragma GCC ivdep
+                for (int64_t j = j0; j < j1; j++) PR[j] += S[j];
+                break;
+            case 1: { /* PRODUCT: product rule with the forward siblings */
+                const double *VL = slots + (int64_t)BLFT[op] * batch;
+                const double *VR = slots + (int64_t)BRGT[op] * batch;
+                #pragma GCC ivdep
+                for (int64_t j = j0; j < j1; j++) PL[j] += S[j] * VR[j];
+                #pragma GCC ivdep
+                for (int64_t j = j0; j < j1; j++) PR[j] += S[j] * VL[j];
+                break;
+            }
+            default: /* COPY */
+                #pragma GCC ivdep
+                for (int64_t j = j0; j < j1; j++) PL[j] += S[j];
+                break;
+            }
         }
     }
 }
@@ -199,60 +286,98 @@ void f64_backward(const uint8_t *active, double *slots, double *partials,
 /* ------------------------------------------------------------------ */
 /* fixed-point kernels (int64 mantissa words)                          */
 /* ------------------------------------------------------------------ */
-static int64_t fx_round(int64_t product, int32_t frac_bits, int32_t rounding)
+/* Rounding of 2F-fraction products back to F bits, as expressions so
+ * the per-mode loops below stay branch-free and vectorizable. Only
+ * meaningful for frac_bits > 0 (integer formats skip rounding). */
+#define FXR_Q(p) ((p) >> frac_bits)
+#define FXR_REM(p) ((p) & frac_mask)
+#define FXR_TRUNC(p) FXR_Q(p)
+#define FXR_UP(p) (FXR_Q(p) + (FXR_REM(p) >= half))
+#define FXR_EVEN(p)                                                     \
+    (FXR_Q(p)                                                           \
+     + ((FXR_REM(p) > half)                                             \
+        | ((FXR_REM(p) == half) & (FXR_Q(p) & 1))))
+
+/* One checked forward op row: compute the whole row, OR-accumulate the
+ * overflow flag (keeping the loop vectorizable), test between ops —
+ * exactly the numpy executors' compute-then-check attribution. */
+#define FX_OP_ROW(VEXPR)                                                \
+    do {                                                                \
+        int64_t bad = 0;                                                \
+        _Pragma("GCC ivdep")                                            \
+        for (int64_t j = 0; j < batch; j++) {                           \
+            const int64_t v = (VEXPR);                                  \
+            bad |= v > max_word;                                        \
+            D[j] = v;                                                   \
+        }                                                               \
+        if (bad) return DST[op];                                        \
+    } while (0)
+
+/* One checked adjoint accumulation row: contribution check before add
+ * check, like the numpy backward phases (both report the same dest). */
+#define FX_ADJ_ROW(A, CEXPR, DEST)                                     \
+    do {                                                                \
+        int64_t bad = 0;                                                \
+        _Pragma("GCC ivdep")                                            \
+        for (int64_t j = 0; j < batch; j++) {                           \
+            const int64_t c = (CEXPR);                                  \
+            const int64_t v = A[j] + c;                                 \
+            bad |= (c > max_word) | (v > max_word);                     \
+            A[j] = v;                                                   \
+        }                                                               \
+        if (bad) return (DEST);                                         \
+    } while (0)
+
+static void seed_fixed(const int64_t *params, int64_t per_lane,
+                       const uint8_t *active, int64_t batch,
+                       int64_t one_word, int64_t *slots)
 {
-    int64_t quotient, remainder, half;
-    if (frac_bits == 0) return product;
-    quotient = product >> frac_bits;
-    if (rounding == 0) return quotient; /* TRUNCATE */
-    remainder = product & (((int64_t)1 << frac_bits) - 1);
-    half = (int64_t)1 << (frac_bits - 1);
-    if (rounding == 1) return quotient + (remainder >= half); /* NEAREST_UP */
-    return quotient
-        + ((remainder > half) || (remainder == half && (quotient & 1)));
+    for (int32_t i = 0; i < N_PARAMS; i++) {
+        int64_t *row = slots + (int64_t)PSLOT[i] * batch;
+        if (per_lane) {
+            const int64_t *src = params + (int64_t)PID[i] * batch;
+            #pragma GCC ivdep
+            for (int64_t j = 0; j < batch; j++) row[j] = src[j];
+        } else {
+            const int64_t value = params[PID[i]];
+            #pragma GCC ivdep
+            for (int64_t j = 0; j < batch; j++) row[j] = value;
+        }
+    }
+    for (int32_t i = 0; i < N_INDICATORS; i++) {
+        const uint8_t *lane = active + (int64_t)i * batch;
+        int64_t *row = slots + (int64_t)ISLOT[i] * batch;
+        #pragma GCC ivdep
+        for (int64_t j = 0; j < batch; j++) row[j] = lane[j] ? one_word : 0;
+    }
 }
 
-static int64_t fixed_forward_sweep(const int64_t *params,
+static int64_t fixed_forward_sweep(const int64_t *params, int64_t per_lane,
                                    const uint8_t *active, int64_t batch,
                                    int32_t frac_bits, int64_t max_word,
                                    int64_t one_word, int32_t rounding,
                                    int64_t *slots)
 {
-    for (int32_t i = 0; i < N_PARAMS; i++) {
-        const int64_t value = params[PID[i]];
-        int64_t *row = slots + (int64_t)PSLOT[i] * batch;
-        for (int64_t j = 0; j < batch; j++) row[j] = value;
-    }
-    for (int32_t i = 0; i < N_INDICATORS; i++) {
-        const uint8_t *lane = active + (int64_t)i * batch;
-        int64_t *row = slots + (int64_t)ISLOT[i] * batch;
-        for (int64_t j = 0; j < batch; j++) row[j] = lane[j] ? one_word : 0;
-    }
+    const int64_t frac_mask =
+        frac_bits > 0 ? ((int64_t)1 << frac_bits) - 1 : 0;
+    const int64_t half = frac_bits > 0 ? (int64_t)1 << (frac_bits - 1) : 0;
+    seed_fixed(params, per_lane, active, batch, one_word, slots);
     for (int32_t op = 0; op < N_OPS; op++) {
         const int64_t *L = slots + (int64_t)LFT[op] * batch;
         const int64_t *R = slots + (int64_t)RGT[op] * batch;
         int64_t *D = slots + (int64_t)DST[op] * batch;
         switch (OPC[op]) {
         case 0: /* SUM: exact adder, checked */
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t v = L[j] + R[j];
-                if (v > max_word) return DST[op];
-                D[j] = v;
-            }
+            FX_OP_ROW(L[j] + R[j]);
             break;
         case 1: /* PRODUCT: exact 2F product rounded back to F, checked */
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t v = fx_round(L[j] * R[j], frac_bits, rounding);
-                if (v > max_word) return DST[op];
-                D[j] = v;
-            }
+            if (frac_bits == 0) FX_OP_ROW(L[j] * R[j]);
+            else if (rounding == 0) FX_OP_ROW(FXR_TRUNC(L[j] * R[j]));
+            else if (rounding == 1) FX_OP_ROW(FXR_UP(L[j] * R[j]));
+            else FX_OP_ROW(FXR_EVEN(L[j] * R[j]));
             break;
         case 2: /* MAX */
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t v = L[j] >= R[j] ? L[j] : R[j];
-                if (v > max_word) return DST[op];
-                D[j] = v;
-            }
+            FX_OP_ROW(L[j] >= R[j] ? L[j] : R[j]);
             break;
         default: /* COPY */
             memcpy(D, L, (size_t)batch * sizeof(int64_t));
@@ -262,22 +387,26 @@ static int64_t fixed_forward_sweep(const int64_t *params,
     return -1;
 }
 
-int64_t fixed_forward(const int64_t *params, const uint8_t *active,
-                      int64_t batch, int32_t frac_bits, int64_t max_word,
-                      int64_t one_word, int32_t rounding, int64_t *slots)
+int64_t fixed_forward(const int64_t *params, int64_t per_lane,
+                      const uint8_t *active, int64_t batch,
+                      int32_t frac_bits, int64_t max_word, int64_t one_word,
+                      int32_t rounding, int64_t *slots)
 {
-    return fixed_forward_sweep(params, active, batch, frac_bits, max_word,
-                               one_word, rounding, slots);
+    return fixed_forward_sweep(params, per_lane, active, batch, frac_bits,
+                               max_word, one_word, rounding, slots);
 }
 
-int64_t fixed_backward(const int64_t *params, const uint8_t *active,
-                       int64_t batch, int32_t frac_bits, int64_t max_word,
-                       int64_t one_word, int32_t rounding, int64_t *slots,
-                       int64_t *adjoints)
+int64_t fixed_backward(const int64_t *params, int64_t per_lane,
+                       const uint8_t *active, int64_t batch,
+                       int32_t frac_bits, int64_t max_word, int64_t one_word,
+                       int32_t rounding, int64_t *slots, int64_t *adjoints)
 {
-    const int64_t status = fixed_forward_sweep(params, active, batch,
-                                               frac_bits, max_word, one_word,
-                                               rounding, slots);
+    const int64_t frac_mask =
+        frac_bits > 0 ? ((int64_t)1 << frac_bits) - 1 : 0;
+    const int64_t half = frac_bits > 0 ? (int64_t)1 << (frac_bits - 1) : 0;
+    const int64_t status =
+        fixed_forward_sweep(params, per_lane, active, batch, frac_bits,
+                            max_word, one_word, rounding, slots);
     if (status >= 0) return status;
     memset(adjoints, 0, (size_t)NUM_SLOTS * (size_t)batch * sizeof(int64_t));
     {
@@ -290,43 +419,311 @@ int64_t fixed_backward(const int64_t *params, const uint8_t *active,
         int64_t *AR = adjoints + (int64_t)BRGT[op] * batch;
         switch (BOPC[op]) {
         case 0: /* SUM: left phase then right phase, like the numpy path */
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t v = AL[j] + S[j];
-                if (v > max_word) return BLFT[op];
-                AL[j] = v;
-            }
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t v = AR[j] + S[j];
-                if (v > max_word) return BRGT[op];
-                AR[j] = v;
-            }
+            FX_ADJ_ROW(AL, S[j], BLFT[op]);
+            FX_ADJ_ROW(AR, S[j], BRGT[op]);
             break;
         case 1: { /* PRODUCT: rounded contribution, checked add, per side */
             const int64_t *VL = slots + (int64_t)BLFT[op] * batch;
             const int64_t *VR = slots + (int64_t)BRGT[op] * batch;
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t c = fx_round(S[j] * VR[j], frac_bits, rounding);
-                int64_t v;
-                if (c > max_word) return BLFT[op];
-                v = AL[j] + c;
-                if (v > max_word) return BLFT[op];
-                AL[j] = v;
-            }
-            for (int64_t j = 0; j < batch; j++) {
-                const int64_t c = fx_round(S[j] * VL[j], frac_bits, rounding);
-                int64_t v;
-                if (c > max_word) return BRGT[op];
-                v = AR[j] + c;
-                if (v > max_word) return BRGT[op];
-                AR[j] = v;
+            if (frac_bits == 0) {
+                FX_ADJ_ROW(AL, S[j] * VR[j], BLFT[op]);
+                FX_ADJ_ROW(AR, S[j] * VL[j], BRGT[op]);
+            } else if (rounding == 0) {
+                FX_ADJ_ROW(AL, FXR_TRUNC(S[j] * VR[j]), BLFT[op]);
+                FX_ADJ_ROW(AR, FXR_TRUNC(S[j] * VL[j]), BRGT[op]);
+            } else if (rounding == 1) {
+                FX_ADJ_ROW(AL, FXR_UP(S[j] * VR[j]), BLFT[op]);
+                FX_ADJ_ROW(AR, FXR_UP(S[j] * VL[j]), BRGT[op]);
+            } else {
+                FX_ADJ_ROW(AL, FXR_EVEN(S[j] * VR[j]), BLFT[op]);
+                FX_ADJ_ROW(AR, FXR_EVEN(S[j] * VL[j]), BRGT[op]);
             }
             break;
         }
         default: /* COPY */
+            FX_ADJ_ROW(AL, S[j], BLFT[op]);
+            break;
+        }
+    }
+    return -1;
+}
+
+/* ------------------------------------------------------------------ */
+/* float-emulation kernels ((mantissa, exponent) int64 word pairs)     */
+/* ------------------------------------------------------------------ */
+/* Guard window for addition alignment — must match FloatWordKernel's
+ * _GUARD_BITS (>= 2 keeps the sticky compression sound; 3 mirrors
+ * hardware guard/round/sticky). */
+#define FLT_GUARD 3
+
+/* Format parameters threaded through every float helper. */
+typedef struct {
+    int64_t mbits;
+    int64_t min_e;
+    int64_t max_e;
+    int64_t one_m;
+    int64_t one_e;
+    int32_t rounding;
+} flt_fmt;
+
+static int64_t flt_round_shift(int64_t value, int64_t shift,
+                               int32_t rounding)
+{
+    const int64_t q = value >> shift;
+    int64_t rem, half;
+    if (rounding == 0) return q; /* TRUNCATE */
+    rem = value - (q << shift);
+    /* shift == 0 lanes have rem == 0, so the (arbitrary) half value
+     * never triggers a round-up there — same guard as the numpy core. */
+    half = (int64_t)1 << ((shift > 1 ? shift : 1) - 1);
+    if (rounding == 1) return q + (rem >= half); /* NEAREST_UP */
+    return q + ((rem > half) || (rem == half && (q & 1)));
+}
+
+/* Round value · 2^scale to the format (exactly one rounding). The
+ * value is known to have either mbits+1+excess or one more significant
+ * bits (unsigned add/multiply never cancels). Overflow/underflow set
+ * flags instead of raising — the caller tests them per operator, in
+ * the numpy executors' overflow-before-underflow order. */
+static void flt_normalize(const flt_fmt *F, int64_t value, int64_t scale,
+                          int64_t excess, int64_t *rm, int64_t *re,
+                          int64_t *ov, int64_t *un)
+{
+    const int64_t target = F->mbits + 1;
+    const int64_t carry = value >= ((int64_t)1 << (target + excess));
+    const int64_t shift = excess + carry;
+    int64_t rounded = flt_round_shift(value, shift, F->rounding);
+    int64_t exponent;
+    scale += shift;
+    /* Rounding may carry into a new MSB (all-ones mantissa); the
+     * result is then a power of two, so halving is exact. */
+    if (rounded >> target) {
+        rounded >>= 1;
+        scale += 1;
+    }
+    exponent = scale + F->mbits;
+    *ov |= exponent > F->max_e;
+    *un |= exponent < F->min_e;
+    *rm = rounded;
+    *re = exponent;
+}
+
+/* dm/de may alias am/ae (adjoint accumulation): every lane reads its
+ * inputs into locals before writing index j, so in-place rows are
+ * safe. Zero lanes ((0, 0) pairs) short-circuit exactly like the
+ * scalar backend's is_zero checks. */
+static void flt_add_rows(const flt_fmt *F, const int64_t *am,
+                         const int64_t *ae, const int64_t *bm,
+                         const int64_t *be, int64_t *dm, int64_t *de,
+                         int64_t batch, int64_t *ov, int64_t *un)
+{
+    for (int64_t j = 0; j < batch; j++) {
+        const int64_t ma = am[j], ea = ae[j], mb = bm[j], eb = be[j];
+        int64_t hi_m, hi_e, lo_m, lo_e, distance, window, shift, capped;
+        int64_t sticky, total;
+        if (ma == 0) {
+            dm[j] = mb;
+            de[j] = eb;
+            continue;
+        }
+        if (mb == 0) {
+            dm[j] = ma;
+            de[j] = ea;
+            continue;
+        }
+        if (eb > ea) {
+            hi_m = mb; hi_e = eb; lo_m = ma; lo_e = ea;
+        } else {
+            hi_m = ma; hi_e = ea; lo_m = mb; lo_e = eb;
+        }
+        distance = hi_e - lo_e;
+        window = distance < FLT_GUARD ? distance : FLT_GUARD;
+        shift = distance - window;
+        /* Compress the shifted-out addend bits into a sticky LSB. */
+        capped = shift < F->mbits + 1 ? shift : F->mbits + 1;
+        sticky = (lo_m & (((int64_t)1 << capped) - 1)) != 0;
+        total = (hi_m << window) + ((lo_m >> capped) | sticky);
+        flt_normalize(F, total, lo_e - F->mbits + shift, window, dm + j,
+                      de + j, ov, un);
+    }
+}
+
+static void flt_mul_rows(const flt_fmt *F, const int64_t *am,
+                         const int64_t *ae, const int64_t *bm,
+                         const int64_t *be, int64_t *dm, int64_t *de,
+                         int64_t batch, int64_t *ov, int64_t *un)
+{
+    for (int64_t j = 0; j < batch; j++) {
+        const int64_t ma = am[j], ea = ae[j], mb = bm[j], eb = be[j];
+        if (ma == 0 || mb == 0) {
+            dm[j] = 0;
+            de[j] = 0;
+            continue;
+        }
+        /* excess_no_carry is mbits for every multiply lane. */
+        flt_normalize(F, ma * mb, ea + eb - 2 * F->mbits, F->mbits, dm + j,
+                      de + j, ov, un);
+    }
+}
+
+static void flt_max_rows(const int64_t *am, const int64_t *ae,
+                         const int64_t *bm, const int64_t *be, int64_t *dm,
+                         int64_t *de, int64_t batch)
+{
+    #pragma GCC ivdep
+    for (int64_t j = 0; j < batch; j++) {
+        const int64_t ma = am[j], ea = ae[j], mb = bm[j], eb = be[j];
+        const int64_t a_wins =
+            ma != 0 && (mb == 0 || ea > eb || (ea == eb && ma >= mb));
+        dm[j] = a_wins ? ma : mb;
+        de[j] = a_wins ? ea : eb;
+    }
+}
+
+/* Test the per-operator flags in the numpy order: any overflowing lane
+ * raises overflow even when another lane underflowed in the same op. */
+#define FLT_CHECK()                                                     \
+    do {                                                                \
+        if (ov) return 1;                                               \
+        if (un) return 2;                                               \
+        ov = un = 0;                                                    \
+    } while (0)
+
+static int64_t flt_forward_sweep(const flt_fmt *F, const int64_t *param_m,
+                                 const int64_t *param_e, int64_t per_lane,
+                                 const uint8_t *active, int64_t batch,
+                                 int64_t *ms, int64_t *es)
+{
+    int64_t ov = 0, un = 0;
+    for (int32_t i = 0; i < N_PARAMS; i++) {
+        int64_t *mrow = ms + (int64_t)PSLOT[i] * batch;
+        int64_t *erow = es + (int64_t)PSLOT[i] * batch;
+        if (per_lane) {
+            const int64_t *src_m = param_m + (int64_t)PID[i] * batch;
+            const int64_t *src_e = param_e + (int64_t)PID[i] * batch;
+            #pragma GCC ivdep
             for (int64_t j = 0; j < batch; j++) {
-                const int64_t v = AL[j] + S[j];
-                if (v > max_word) return BLFT[op];
-                AL[j] = v;
+                mrow[j] = src_m[j];
+                erow[j] = src_e[j];
+            }
+        } else {
+            const int64_t vm = param_m[PID[i]];
+            const int64_t ve = param_e[PID[i]];
+            #pragma GCC ivdep
+            for (int64_t j = 0; j < batch; j++) {
+                mrow[j] = vm;
+                erow[j] = ve;
+            }
+        }
+    }
+    for (int32_t i = 0; i < N_INDICATORS; i++) {
+        const uint8_t *lane = active + (int64_t)i * batch;
+        int64_t *mrow = ms + (int64_t)ISLOT[i] * batch;
+        int64_t *erow = es + (int64_t)ISLOT[i] * batch;
+        #pragma GCC ivdep
+        for (int64_t j = 0; j < batch; j++) {
+            mrow[j] = lane[j] ? F->one_m : 0;
+            erow[j] = lane[j] ? F->one_e : 0;
+        }
+    }
+    for (int32_t op = 0; op < N_OPS; op++) {
+        const int64_t *LM = ms + (int64_t)LFT[op] * batch;
+        const int64_t *LE = es + (int64_t)LFT[op] * batch;
+        const int64_t *RM = ms + (int64_t)RGT[op] * batch;
+        const int64_t *RE = es + (int64_t)RGT[op] * batch;
+        int64_t *DM = ms + (int64_t)DST[op] * batch;
+        int64_t *DE = es + (int64_t)DST[op] * batch;
+        switch (OPC[op]) {
+        case 0: /* SUM */
+            flt_add_rows(F, LM, LE, RM, RE, DM, DE, batch, &ov, &un);
+            FLT_CHECK();
+            break;
+        case 1: /* PRODUCT */
+            flt_mul_rows(F, LM, LE, RM, RE, DM, DE, batch, &ov, &un);
+            FLT_CHECK();
+            break;
+        case 2: /* MAX */
+            flt_max_rows(LM, LE, RM, RE, DM, DE, batch);
+            break;
+        default: /* COPY */
+            memcpy(DM, LM, (size_t)batch * sizeof(int64_t));
+            memcpy(DE, LE, (size_t)batch * sizeof(int64_t));
+            break;
+        }
+    }
+    return -1;
+}
+
+int64_t flt_forward(const int64_t *param_m, const int64_t *param_e,
+                    int64_t per_lane, const uint8_t *active, int64_t batch,
+                    int32_t mantissa_bits, int64_t min_exponent,
+                    int64_t max_exponent, int64_t one_m, int64_t one_e,
+                    int32_t rounding, int64_t *m_slots, int64_t *e_slots)
+{
+    const flt_fmt F = {mantissa_bits, min_exponent, max_exponent, one_m,
+                       one_e, rounding};
+    return flt_forward_sweep(&F, param_m, param_e, per_lane, active, batch,
+                             m_slots, e_slots);
+}
+
+int64_t flt_backward(const int64_t *param_m, const int64_t *param_e,
+                     int64_t per_lane, const uint8_t *active, int64_t batch,
+                     int32_t mantissa_bits, int64_t min_exponent,
+                     int64_t max_exponent, int64_t one_m, int64_t one_e,
+                     int32_t rounding, int64_t *m_slots, int64_t *e_slots,
+                     int64_t *adj_m, int64_t *adj_e, int64_t *scratch_m,
+                     int64_t *scratch_e)
+{
+    const flt_fmt F = {mantissa_bits, min_exponent, max_exponent, one_m,
+                       one_e, rounding};
+    int64_t ov = 0, un = 0;
+    const int64_t status = flt_forward_sweep(
+        &F, param_m, param_e, per_lane, active, batch, m_slots, e_slots);
+    if (status >= 0) return status;
+    memset(adj_m, 0, (size_t)NUM_SLOTS * (size_t)batch * sizeof(int64_t));
+    memset(adj_e, 0, (size_t)NUM_SLOTS * (size_t)batch * sizeof(int64_t));
+    {
+        int64_t *mrow = adj_m + (int64_t)ROOT * batch;
+        for (int64_t j = 0; j < batch; j++) mrow[j] = one_m;
+        if (one_e != 0) {
+            int64_t *erow = adj_e + (int64_t)ROOT * batch;
+            for (int64_t j = 0; j < batch; j++) erow[j] = one_e;
+        }
+    }
+    for (int32_t op = 0; op < N_OPS; op++) {
+        const int64_t *SM = adj_m + (int64_t)BDST[op] * batch;
+        const int64_t *SE = adj_e + (int64_t)BDST[op] * batch;
+        int64_t *ALM = adj_m + (int64_t)BLFT[op] * batch;
+        int64_t *ALE = adj_e + (int64_t)BLFT[op] * batch;
+        int64_t *ARM = adj_m + (int64_t)BRGT[op] * batch;
+        int64_t *ARE = adj_e + (int64_t)BRGT[op] * batch;
+        switch (BOPC[op]) {
+        case 1: { /* PRODUCT: rounded contribution, rounded add, per side */
+            const int64_t *VLM = m_slots + (int64_t)BLFT[op] * batch;
+            const int64_t *VLE = e_slots + (int64_t)BLFT[op] * batch;
+            const int64_t *VRM = m_slots + (int64_t)BRGT[op] * batch;
+            const int64_t *VRE = e_slots + (int64_t)BRGT[op] * batch;
+            flt_mul_rows(&F, SM, SE, VRM, VRE, scratch_m, scratch_e, batch,
+                         &ov, &un);
+            FLT_CHECK();
+            flt_add_rows(&F, ALM, ALE, scratch_m, scratch_e, ALM, ALE,
+                         batch, &ov, &un);
+            FLT_CHECK();
+            flt_mul_rows(&F, SM, SE, VLM, VLE, scratch_m, scratch_e, batch,
+                         &ov, &un);
+            FLT_CHECK();
+            flt_add_rows(&F, ARM, ARE, scratch_m, scratch_e, ARM, ARE,
+                         batch, &ov, &un);
+            FLT_CHECK();
+            break;
+        }
+        default: /* SUM / COPY: adjoints flow through unscaled */
+            flt_add_rows(&F, ALM, ALE, SM, SE, ALM, ALE, batch, &ov, &un);
+            FLT_CHECK();
+            if (BOPC[op] == 0) {
+                flt_add_rows(&F, ARM, ARE, SM, SE, ARM, ARE, batch, &ov,
+                             &un);
+                FLT_CHECK();
             }
             break;
         }

@@ -30,6 +30,7 @@ import numpy as np
 from ..ac.circuit import ArithmeticCircuit
 from ..ac.nodes import OpType
 from ..arith.fixedpoint import FixedPointBackend, FixedPointFormat
+from ..arith.floatingpoint import FloatBackend, FloatFormat
 from .tape import OP_COPY, OP_MAX, OP_PRODUCT, OP_SUM, tape_for
 
 
@@ -431,6 +432,51 @@ def reference_theta_fixed_words(
                 slots[dest] = slots[left]
         results.append(int(slots[root].mantissa))
     return np.asarray(results, dtype=np.int64)
+
+
+def reference_theta_float_words(
+    circuit: ArithmeticCircuit,
+    fmt: FloatFormat,
+    theta: Sequence[Sequence[float]],
+    evidence: Mapping[str, int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Frozen per-θ emulated-float root words, two ``(n_theta,)`` arrays.
+
+    Each θ row is quantized through the scalar
+    :class:`~repro.arith.floatingpoint.FloatBackend` and swept with one
+    rounded operation per two-input operator; the root's ``(mantissa,
+    exponent)`` pairs are the golden reference for the vectorized (and
+    native) per-row quantized float parameter tables. Exact zero is the
+    ``(0, 0)`` pair, exactly as the word kernels encode it.
+    """
+    backend = FloatBackend(fmt)
+    tape = tape_for(circuit)
+    root = tape.require_root()
+    lambda_values = circuit.indicator_assignment(evidence)
+    one, zero = backend.one(), backend.zero()
+    mantissas: list[int] = []
+    exponents: list[int] = []
+    for row in np.asarray(theta, dtype=np.float64):
+        slots: list = [None] * tape.num_slots
+        for slot, value_id in zip(tape.param_slots, tape.param_ids):
+            slots[slot] = backend.from_real(float(row[value_id]))
+        for slot, key in zip(tape.indicator_slots, tape.indicator_keys):
+            slots[slot] = one if lambda_values[key] else zero
+        for opcode, dest, left, right in tape.op_tuples:
+            if opcode == OP_SUM:
+                slots[dest] = backend.add(slots[left], slots[right])
+            elif opcode == OP_PRODUCT:
+                slots[dest] = backend.multiply(slots[left], slots[right])
+            elif opcode == OP_MAX:
+                slots[dest] = backend.maximum(slots[left], slots[right])
+            else:  # OP_COPY
+                slots[dest] = slots[left]
+        mantissas.append(int(slots[root].mantissa))
+        exponents.append(int(slots[root].exponent))
+    return (
+        np.asarray(mantissas, dtype=np.int64),
+        np.asarray(exponents, dtype=np.int64),
+    )
 
 
 def reference_theta_fixed_partial_words(

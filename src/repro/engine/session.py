@@ -131,10 +131,11 @@ class InferenceSession:
         self._float_batch: KeyedMemo = KeyedMemo()
         self._backends: KeyedMemo = KeyedMemo()
         self._singletons: KeyedMemo = KeyedMemo()
-        # θ-batched calls always run on the numpy executors (the native
-        # kernels bake param_values as compile-time constants); the
-        # most recent cause is surfaced via backend_fallback_reason.
-        self._theta_fallback_reason: str | None = None
+        # The most recent dispatch that had to leave native despite it
+        # being requested records why here (wide formats only, now that
+        # the kernels read parameter tables from runtime pointers);
+        # surfaced via backend_fallback_reason.
+        self._last_fallback_reason: str | None = None
 
     @property
     def _scalar_quantized(self) -> QuantizedTapeEvaluator:
@@ -176,31 +177,61 @@ class InferenceSession:
         """Why the latest dispatch left native despite it being requested.
 
         ``None`` while native serves every request (or the numpy backend
-        was pinned). After a θ-batched call the reason records that
-        θ-sweeps bypass the native kernels (their parameter tables are
-        compile-time constants); a toolchain/codegen failure keeps its
-        own reason as before.
+        was pinned). A toolchain/codegen failure keeps its own reason;
+        otherwise the most recent dispatch that genuinely could not run
+        native (a format too wide for the int64 word kernels) records
+        why, and the next fully-native dispatch clears it again.
         """
         if self._requested_backend == "numpy":
             return None
-        if self._theta_fallback_reason is not None:
-            return self._theta_fallback_reason
-        return self._singletons.get("native_state", self._resolve_native).reason
+        state = self._singletons.get("native_state", self._resolve_native)
+        if state.kernels is None:
+            return state.reason
+        return self._last_fallback_reason
 
-    def _theta_dispatch(self) -> None:
-        """Route a θ-batched call to numpy, recording why native is off.
+    def _route(self, fmt: AnyFormat | None = None, theta: bool = False):
+        """``(native_kernels | None, reason | None)`` for one dispatch.
 
-        PR 6's fused C kernels bake ``tape.param_values`` into the
-        generated source as static consts, so there is no way to feed a
-        per-lane parameter matrix through them — θ batches always run on
-        the numpy executors, cleanly, under every backend policy.
+        Pure lookup — no state is mutated, so the serve layer can use it
+        (via :meth:`dispatch_plan`) to *predict* routing. The dispatch
+        methods record the returned reason on
+        :attr:`backend_fallback_reason` themselves.
         """
-        if self._requested_backend != "numpy":
-            self._theta_fallback_reason = (
-                "theta-batched replay runs on the numpy executors: the "
-                "native kernels bake the parameter table as compile-time "
-                "constants"
+        if self._requested_backend == "numpy":
+            return None, None
+        state = self._singletons.get("native_state", self._resolve_native)
+        if state.kernels is None:
+            return None, state.reason
+        if fmt is not None and not state.kernels.supports_format(fmt):
+            return None, (
+                f"{fmt.describe()} is outside the native kernels' int64 "
+                f"word range; served by the numpy/big-int executors"
             )
+        if theta and not state.kernels.supports_theta():
+            return None, (
+                "this native module predates runtime-parameter kernels; "
+                "theta batches run on the numpy executors"
+            )
+        return state.kernels, None
+
+    def _dispatch(
+        self, fmt: AnyFormat | None = None, theta: bool = False
+    ):
+        """Route one call, recording the fallback reason (or clearing it)."""
+        native, reason = self._route(fmt=fmt, theta=theta)
+        self._last_fallback_reason = reason
+        return native
+
+    def dispatch_plan(
+        self, fmt: AnyFormat | None = None, theta: bool = False
+    ) -> tuple[str, str | None]:
+        """``(backend, fallback_reason)`` a call with these traits gets.
+
+        Side-effect free — the serve layer reports per-request backends
+        from this without racing concurrent dispatches.
+        """
+        native, reason = self._route(fmt=fmt, theta=theta)
+        return ("native" if native is not None else "numpy"), reason
 
     @property
     def analysis(self) -> TapeAnalysis:
@@ -217,7 +248,7 @@ class InferenceSession:
     # -- exact float64 --------------------------------------------------
     def evaluate(self, evidence: Mapping[str, int] | None = None) -> float:
         """Exact float64 root value for one evidence assignment."""
-        native = self._native
+        native = self._dispatch()
         if native is not None:
             return native.evaluate(evidence)
         return execute_real(self.tape, evidence, self.encoder)
@@ -226,7 +257,7 @@ class InferenceSession:
         self, evidence: Mapping[str, int] | None = None
     ) -> list[float]:
         """Exact float64 value of every circuit node."""
-        native = self._native
+        native = self._dispatch()
         if native is not None:
             return native.evaluate_values(evidence)
         return execute_values(self.tape, evidence, self.encoder)
@@ -245,23 +276,28 @@ class InferenceSession:
         ``(n_theta, n_params)`` matrix zipped row-for-row against the
         evidence batch (either side may have one row, which broadcasts);
         lane ``i`` then evaluates under ``theta[i]`` instead of the
-        tape's own parameter table. θ batches run on the numpy
-        executors under every backend policy (see
+        tape's own parameter table. θ batches ride the native kernels'
+        runtime-parameter entry points under ``auto``/``native`` (see
         :attr:`backend_fallback_reason`).
         """
         if theta is not None:
             evidence_batch, matrix = align_theta(
                 self.tape, theta, evidence_batch
             )
-            self._theta_dispatch()
+            param_matrix = theta_param_matrix(matrix)
+            native = self._dispatch(theta=True)
+            if native is not None:
+                return native.evaluate_batch(
+                    evidence_batch, strict=strict, param_matrix=param_matrix
+                )
             return execute_batch(
                 self.tape,
                 evidence_batch,
                 self.encoder,
                 strict=strict,
-                param_matrix=theta_param_matrix(matrix),
+                param_matrix=param_matrix,
             )
-        native = self._native
+        native = self._dispatch()
         if native is not None:
             return native.evaluate_batch(evidence_batch, strict=strict)
         return execute_batch(
@@ -280,17 +316,23 @@ class InferenceSession:
         parameter instantiations — one struct-of-arrays sweep, one lane
         per θ row — and returns the ``(n_theta,)`` root values.
         Bit-identical to evaluating each row sequentially
-        (:func:`repro.engine.reference.reference_theta_forward`).
+        (:func:`repro.engine.reference.reference_theta_forward`), on
+        either backend.
         """
         matrix = normalize_theta(self.tape, theta)
-        self._theta_dispatch()
         evidence_batch = [evidence or {}] * matrix.shape[0]
+        param_matrix = theta_param_matrix(matrix)
+        native = self._dispatch(theta=True)
+        if native is not None:
+            return native.evaluate_batch(
+                evidence_batch, strict=strict, param_matrix=param_matrix
+            )
         return execute_batch(
             self.tape,
             evidence_batch,
             self.encoder,
             strict=strict,
-            param_matrix=theta_param_matrix(matrix),
+            param_matrix=param_matrix,
         )
 
     # -- marginals (backward sweep) -------------------------------------
@@ -305,7 +347,7 @@ class InferenceSession:
         self, evidence: Mapping[str, int] | None = None
     ) -> tuple[list[float], list[float]]:
         """Exact float64 ``(values, partials)`` per node (one up+down pass)."""
-        native = self._native
+        native = self._dispatch()
         if native is not None:
             return native.partials(evidence)
         return execute_partials(self.tape, evidence, self.encoder)
@@ -327,15 +369,20 @@ class InferenceSession:
             evidence_batch, matrix = align_theta(
                 self.tape, theta, evidence_batch
             )
-            self._theta_dispatch()
+            param_matrix = theta_param_matrix(matrix)
+            native = self._dispatch(theta=True)
+            if native is not None:
+                return native.partials_batch(
+                    evidence_batch, strict=strict, param_matrix=param_matrix
+                )
             return execute_partials_batch(
                 self.tape,
                 evidence_batch,
                 self.encoder,
                 strict=strict,
-                param_matrix=theta_param_matrix(matrix),
+                param_matrix=param_matrix,
             )
-        native = self._native
+        native = self._dispatch()
         if native is not None:
             return native.partials_batch(evidence_batch, strict=strict)
         return execute_partials_batch(
@@ -356,7 +403,7 @@ class InferenceSession:
         Raises :class:`~repro.errors.ZeroEvidenceError` when the
         evidence has probability zero (posteriors only).
         """
-        native = self._native
+        native = self._dispatch()
         if native is not None:
             # Skip the list round-trip: the marginal index consumes the
             # kernel's 1-D partials vector directly.
@@ -438,8 +485,16 @@ class InferenceSession:
             evidence_batch, matrix = align_theta(
                 self.tape, theta, evidence_batch
             )
-            self._theta_dispatch()
-            if isinstance(fmt, FixedPointFormat) and fmt.fits_int64_products:
+            native = self._dispatch(fmt=fmt, theta=True)
+            if native is not None:
+                _, partials = native.quantized_partials_batch(
+                    fmt,
+                    evidence_batch,
+                    strict=strict,
+                    param_words=native.encode_theta(fmt, matrix),
+                )
+                return partials
+            if self.supports_vectorized(fmt):
                 executor = self._vector_executor(fmt)
                 _, partials = executor.partials_batch(
                     evidence_batch,
@@ -460,8 +515,8 @@ class InferenceSession:
             if not columns:
                 return np.empty((self.tape.num_nodes, 0))
             return np.asarray(columns).T
-        native = self._native
-        if native is not None and native.supports_format(fmt):
+        native = self._dispatch(fmt=fmt)
+        if native is not None:
             _, partials = native.quantized_partials_batch(
                 fmt, evidence_batch, strict=strict
             )
@@ -512,8 +567,8 @@ class InferenceSession:
         :class:`~repro.ac.evaluate.QuantizedBackend` instance.
         """
         if isinstance(fmt_or_backend, (FixedPointFormat, FloatFormat)):
-            native = self._native
-            if native is not None and native.supports_format(fmt_or_backend):
+            native = self._dispatch(fmt=fmt_or_backend)
+            if native is not None:
                 return native.evaluate_quantized(fmt_or_backend, evidence)
             backend = self._backend(fmt_or_backend)
         else:
@@ -536,15 +591,23 @@ class InferenceSession:
         ``theta`` zips an ``(n_theta, n_params)`` parameter batch
         against the evidence batch; each lane evaluates under its own
         per-row quantized parameter table, bit-identical to the frozen
-        per-θ oracle
-        (:func:`repro.engine.reference.reference_theta_fixed_words`).
+        per-θ oracles
+        (:func:`repro.engine.reference.reference_theta_fixed_words`,
+        :func:`repro.engine.reference.reference_theta_float_words`).
         """
         if theta is not None:
             evidence_batch, matrix = align_theta(
                 self.tape, theta, evidence_batch
             )
-            self._theta_dispatch()
-            if isinstance(fmt, FixedPointFormat) and fmt.fits_int64_products:
+            native = self._dispatch(fmt=fmt, theta=True)
+            if native is not None:
+                return native.evaluate_quantized_batch(
+                    fmt,
+                    evidence_batch,
+                    strict=strict,
+                    param_words=native.encode_theta(fmt, matrix),
+                )
+            if self.supports_vectorized(fmt):
                 executor = self._vector_executor(fmt)
                 return executor.evaluate_batch(
                     evidence_batch,
@@ -561,8 +624,8 @@ class InferenceSession:
                     for evidence, row in zip(evidence_batch, matrix)
                 ]
             )
-        native = self._native
-        if native is not None and native.supports_format(fmt):
+        native = self._dispatch(fmt=fmt)
+        if native is not None:
             return native.evaluate_quantized_batch(
                 fmt, evidence_batch, strict=strict
             )

@@ -323,6 +323,12 @@ class ProbLPServer:
             "native": native_available(),
             "requested": requested_backend(),
         }
+        if payload["native"]:
+            # Codegen v2 capabilities: int64 fixed *and* emulated-float
+            # word kernels, plus runtime-parameter (θ) entry points —
+            # clients probe these before routing quantized rasters.
+            payload["native_formats"] = ["fixed", "float"]
+            payload["native_theta"] = True
         reason = native_unavailable_reason()
         if reason is not None:
             payload["native_unavailable_reason"] = reason
@@ -338,6 +344,11 @@ class ProbLPServer:
         batch = [request.evidence for request in requests]
         size = len(batch)
         if key.kind == "eval":
+            # The side-effect-free dispatch predictor: concurrent batch
+            # flushes on other formats may rewrite the session's last
+            # recorded fallback reason between our sweep and the
+            # scatter, so ask for this batch's routing explicitly.
+            backend, fallback = session.dispatch_plan(fmt=key.fmt)
             exact = session.evaluate_batch(batch, strict=True)
             quantized = (
                 session.evaluate_quantized_batch(key.fmt, batch, strict=True)
@@ -349,8 +360,10 @@ class ProbLPServer:
                 result: dict = {
                     "value": float(exact[row]),
                     "batched": size,
-                    "backend": session.backend,
+                    "backend": backend,
                 }
+                if fallback:
+                    result["fallback_reason"] = fallback
                 if quantized is not None:
                     result["quantized"] = float(quantized[row])
                 results.append(result)
@@ -363,6 +376,7 @@ class ProbLPServer:
                 self._marginal_variables(session, request)
                 for request in requests
             ]
+            backend, fallback = session.dispatch_plan(fmt=key.fmt)
             exact = session.marginals_batch(
                 batch, strict=True, joint=key.joint
             )
@@ -384,8 +398,10 @@ class ProbLPServer:
                         for variable in variables
                     },
                     "batched": size,
-                    "backend": session.backend,
+                    "backend": backend,
                 }
+                if fallback:
+                    result["fallback_reason"] = fallback
                 if quantized is not None:
                     result["quantized"] = {
                         variable: [
@@ -422,6 +438,11 @@ class ProbLPServer:
         evidence_rows: list = []
         for request in requests:
             evidence_rows.extend([request.evidence] * len(request.theta))
+        # θ sweeps ride the runtime-parameter kernel entry points when
+        # the native module supports them; the side-effect-free planner
+        # tells us which backend this bucket actually lands on (and why
+        # not native, when it doesn't).
+        backend, fallback = session.dispatch_plan(fmt=key.fmt, theta=True)
         exact = session.evaluate_batch(evidence_rows, strict=True, theta=theta)
         quantized = (
             session.evaluate_quantized_batch(
@@ -438,11 +459,10 @@ class ProbLPServer:
                 "values": [float(v) for v in exact[start:stop]],
                 "batched": len(requests),
                 "rows": int(theta.shape[0]),
-                # θ sweeps run on the numpy executors under every
-                # backend policy (native kernels bake the parameter
-                # table as compile-time constants).
-                "backend": "numpy",
+                "backend": backend,
             }
+            if fallback:
+                result["fallback_reason"] = fallback
             if quantized is not None:
                 result["quantized"] = [
                     float(v) for v in quantized[start:stop]

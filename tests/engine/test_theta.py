@@ -234,11 +234,15 @@ class TestPerRowZeroEvidence:
 
 
 class TestNativeInterplay:
-    """θ batches bypass the C kernels (their parameter tables are baked
-    in as compile-time consts) but must dispatch cleanly and record why."""
+    """θ batches ride the runtime-parameter C kernels (PR 8): native
+    sessions serve them bit-identically with no fallback recorded, and
+    modules predating runtime parameters still degrade with a reason."""
 
+    @pytest.mark.skipif(
+        not native_available(), reason="native toolchain unavailable"
+    )
     @pytest.mark.parametrize("policy", ["native", "auto"])
-    def test_theta_routes_to_numpy_and_records_reason(
+    def test_theta_served_natively_bit_identical(
         self, sprinkler_binary, policy
     ):
         session = InferenceSession(sprinkler_binary, backend=policy)
@@ -247,27 +251,32 @@ class TestNativeInterplay:
         got = session.evaluate_theta_batch(theta, {"Rain": 1})
         want = oracle.evaluate_theta_batch(theta, {"Rain": 1})
         assert (got == want).all()
-        reason = session.backend_fallback_reason
-        assert reason is not None and "theta" in reason
+        assert session.backend == "native"
+        assert session.backend_fallback_reason is None
 
     @pytest.mark.skipif(
         not native_available(), reason="native toolchain unavailable"
     )
-    def test_non_theta_calls_stay_native(self, sprinkler_binary):
+    def test_legacy_module_without_theta_support_falls_back(
+        self, sprinkler_binary, monkeypatch
+    ):
         session = InferenceSession(sprinkler_binary, backend="native")
         assert session.backend == "native"
-        assert session.backend_fallback_reason is None
-        theta = theta_batch(session, 3, seed=13)
-        session.evaluate_theta_batch(theta)
-        # The θ reason is recorded, yet native keeps serving plain calls.
-        assert "theta" in session.backend_fallback_reason
-        assert session.backend == "native"
+        monkeypatch.setattr(session._native, "supports_theta", lambda: False)
+        oracle = InferenceSession(sprinkler_binary, backend="numpy")
+        theta = theta_batch(oracle, 3, seed=13)
+        got = session.evaluate_theta_batch(theta)
+        want = oracle.evaluate_theta_batch(theta)
+        assert (got == want).all()
+        reason = session.backend_fallback_reason
+        assert reason is not None and "theta" in reason
+        # ...yet native keeps serving plain calls, clearing the reason.
         batch = [{"Rain": 1}, {}]
-        numpy_session = InferenceSession(sprinkler_binary, backend="numpy")
         assert (
-            session.evaluate_batch(batch)
-            == numpy_session.evaluate_batch(batch)
+            session.evaluate_batch(batch) == oracle.evaluate_batch(batch)
         ).all()
+        assert session.backend == "native"
+        assert session.backend_fallback_reason is None
 
     def test_numpy_policy_reports_no_reason(self, session):
         theta = theta_batch(session, 2, seed=14)

@@ -118,7 +118,12 @@ class TestServedThetaBatch:
         )
         assert result["values"] == [float(v) for v in want_exact]
         assert result["quantized"] == [float(v) for v in want_quant]
-        assert result["backend"] == "numpy"
+        # θ buckets report whichever backend the session's dispatch
+        # planner actually routes them to — native when the runtime-
+        # parameter kernels are available, numpy otherwise.
+        expected_backend, _ = session.dispatch_plan(fmt=FIXED, theta=True)
+        assert result["backend"] == expected_backend
+        assert "fallback_reason" not in result or result["backend"] == "numpy"
 
     def test_streamed_tiles_bit_identical(self, client, pmap):
         # The acceptance shape: one request per map tile, pipelined;

@@ -408,7 +408,13 @@ class TestThetaEvalCommand:
         )
         assert [float(line) for line in out.splitlines()] == list(want)
 
-    def test_native_backend_reports_theta_fallback(self, capsys, sweep):
+    def test_native_backend_serves_theta_without_fallback(
+        self, capsys, sweep
+    ):
+        from repro.engine import native_available
+
+        if not native_available():
+            pytest.skip("native toolchain unavailable")
         _, _, path = sweep
         code = main(
             [
@@ -423,7 +429,30 @@ class TestThetaEvalCommand:
         )
         assert code == 0
         err = capsys.readouterr().err
-        assert "numpy executors" in err
+        # θ sweeps ride the runtime-parameter kernels now: the native
+        # backend serves them without any fallback note.
+        assert "native backend" in err
+        assert "fallback" not in err
+
+    def test_wide_format_eval_reports_fallback(self, capsys, sweep):
+        from repro.engine import native_available
+
+        if not native_available():
+            pytest.skip("native toolchain unavailable")
+        code = main(
+            [
+                "eval",
+                "--network",
+                "landscape",
+                "--backend",
+                "native",
+                "--format",
+                "float:8:31",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "fallback" in err and "int64" in err
 
     def test_wrong_width_exits_cleanly(self, tmp_path):
         path = tmp_path / "bad.json"
