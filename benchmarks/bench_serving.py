@@ -36,7 +36,9 @@ from repro.serve import (
     BackgroundServer,
     CircuitRegistry,
     CircuitSource,
+    ClientPool,
     ServeClient,
+    ShardedServer,
 )
 
 #: Requests per burst: large enough that coalescing dominates socket
@@ -376,3 +378,196 @@ class TestServedBackendLatency:
         # sockets and JSON encoding sit on both sides of the division.
         marginals_speedup = rows[1]["speedup"]
         assert marginals_speedup >= 1.2, report
+
+
+class TestServingSoak:
+    """Replicated-shard soak: R=3 vs a single worker under pooled load.
+
+    The workload is θ-tile streaming on the landscape circuit, chosen
+    because its cost scales with total *rows* — micro-batching coalesces
+    the protocol overhead but not the replay compute, so this is the
+    serving pattern where process replication genuinely multiplies
+    throughput (unlike eval/marginals, where one batch-16 replay costs
+    about one batch-1 replay and a single worker amortizes perfectly).
+
+    16 threads hammer each fleet through a shared :class:`ClientPool`
+    (persistent connections, ``overloaded``-aware retry). Gates:
+
+    * every response bit-identical to a direct
+      :meth:`InferenceSession.evaluate_theta_batch` on the same rows;
+    * with ≥ 3 CPUs, R=3 throughput ≥ 2× the single worker (the
+      replication acceptance bar — skipped, but still *recorded* in the
+      artifact, on smaller machines where the fleet shares one core);
+    * a replica SIGKILLed mid-soak costs **zero** failed requests.
+
+    Results land in ``serving_soak.json`` for CI to upload.
+    """
+
+    CLIENTS = 16
+    ITERS_PER_CLIENT = 12
+    TILE_ROWS = 48
+
+    @staticmethod
+    def _cpus() -> int:
+        import os
+
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # non-Linux
+            return os.cpu_count() or 1
+
+    def _tiles(self):
+        from repro.experiments.landscape import (
+            landscape_parameter_map,
+            landscape_theta,
+            landscape_tiles,
+        )
+
+        theta = landscape_theta(24, 24, landscape_parameter_map())
+        return [
+            [list(row) for row in tile]
+            for _, tile in landscape_tiles(theta, tile_rows=self.TILE_ROWS)
+        ]
+
+    def _soak(self, host, port, tiles, expected, *, kill=None):
+        """Hammer one fleet; returns (throughput_rps, failures)."""
+        import threading
+
+        failures = []
+        done = [0] * self.CLIENTS
+        with ClientPool(
+            host, port, size=self.CLIENTS, timeout=300, max_retries=64
+        ) as pool:
+            pool.theta_batch(  # warm every replica's landscape entry
+                "landscape", tiles[0], evidence={"Presence": 1}
+            )
+
+            def worker(index):
+                for iteration in range(self.ITERS_PER_CLIENT):
+                    tile = tiles[(index + iteration) % len(tiles)]
+                    try:
+                        result = pool.theta_batch(
+                            "landscape", tile, evidence={"Presence": 1}
+                        )
+                        if result["values"] != expected[
+                            (index + iteration) % len(tiles)
+                        ]:
+                            failures.append(
+                                (index, iteration, "value mismatch")
+                            )
+                    except Exception as error:  # noqa: BLE001
+                        failures.append((index, iteration, repr(error)))
+                    done[index] += 1
+
+            threads = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(self.CLIENTS)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            if kill is not None:
+                # Let the soak ramp, then hard-kill one replica.
+                time.sleep(0.05)
+                kill()
+            for thread in threads:
+                thread.join(timeout=600)
+            elapsed = time.perf_counter() - start
+        total = self.CLIENTS * self.ITERS_PER_CLIENT
+        assert sum(done) == total, "soak workers did not finish"
+        return total / elapsed, failures
+
+    def test_replicated_soak(self):
+        import os
+
+        # One compute backend for fleet and reference alike.
+        previous = os.environ.get("PROBLP_BACKEND")
+        os.environ["PROBLP_BACKEND"] = "numpy"
+        try:
+            sources = [CircuitSource("landscape", "builtin")]
+            tiles = self._tiles()
+            session = CircuitRegistry(sources).entry("landscape").session
+            expected = [
+                [
+                    float(v)
+                    for v in session.evaluate_theta_batch(
+                        tile, {"Presence": 1}
+                    )
+                ]
+                for tile in tiles
+            ]
+
+            with ShardedServer(
+                sources, shards=1, replicas=1, batch_window=0.001
+            ) as single:
+                single_rps, single_failures = self._soak(
+                    single.host, single.port, tiles, expected
+                )
+            assert single_failures == [], single_failures[:5]
+
+            with ShardedServer(
+                sources, shards=1, replicas=3, batch_window=0.001
+            ) as fleet:
+                fleet_rps, fleet_failures = self._soak(
+                    fleet.host, fleet.port, tiles, expected
+                )
+            assert fleet_failures == [], fleet_failures[:5]
+
+            with ShardedServer(
+                sources, shards=1, replicas=3, batch_window=0.001
+            ) as chaos:
+                chaos_rps, chaos_failures = self._soak(
+                    chaos.host,
+                    chaos.port,
+                    tiles,
+                    expected,
+                    kill=lambda: chaos.kill_replica(0, 1),
+                )
+            # The headline kill-one-replica gate: graceful degradation
+            # means zero failed client requests, not merely "few".
+            assert chaos_failures == [], chaos_failures[:5]
+
+            cpus = self._cpus()
+            ratio = fleet_rps / single_rps
+            rows = [
+                {
+                    "workload": f"theta soak {self.CLIENTS} clients",
+                    "tile_rows": self.TILE_ROWS,
+                    "requests": self.CLIENTS * self.ITERS_PER_CLIENT,
+                    "single_worker_rps": single_rps,
+                    "replicated_rps": fleet_rps,
+                    "replicas": 3,
+                    "speedup": ratio,
+                    "killed_replica_rps": chaos_rps,
+                    "killed_replica_failures": len(chaos_failures),
+                    "cpus": cpus,
+                    "gate_enforced": cpus >= 3,
+                }
+            ]
+            report = (
+                f"{'fleet':<18}{'rps':>10}{'speedup':>9}\n"
+                f"{'1 worker':<18}{single_rps:>10.1f}{'':>9}\n"
+                f"{'3 replicas':<18}{fleet_rps:>10.1f}{ratio:>8.2f}x\n"
+                f"{'3 minus 1 killed':<18}{chaos_rps:>10.1f}"
+                f"{'0 failed':>9}"
+            )
+            print()
+            print(report)
+            write_result("serving_soak.txt", report + "\n")
+            write_json_result("serving_soak.json", rows)
+
+            # The replication acceptance gate needs real parallel CPUs;
+            # on 1–2 core machines three replicas time-slice one core
+            # and the ratio measures the scheduler, not the design.
+            if cpus >= 3:
+                assert ratio >= 2.0, report
+            else:
+                pytest.skip(
+                    f"replication ratio {ratio:.2f}x recorded but not "
+                    f"gated on a {cpus}-CPU machine (needs >= 3)"
+                )
+        finally:
+            if previous is None:
+                os.environ.pop("PROBLP_BACKEND", None)
+            else:
+                os.environ["PROBLP_BACKEND"] = previous

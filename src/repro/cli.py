@@ -628,15 +628,37 @@ def cmd_serve(args) -> int:
         # e.g. two sources whose stems collide on one circuit name.
         raise SystemExit(str(error)) from None
 
+    # SIGTERM must drain exactly like Ctrl-C: the shard workers are
+    # daemon processes, reaped only by a clean parent exit — a default
+    # SIGTERM death would orphan them still serving their ports.
+    import signal
+
+    def _term(_signum, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _term)
+
     window = args.batch_window_ms / 1000.0
+    metrics_interval = args.metrics_interval or None
+    if args.replicas < 1:
+        raise SystemExit("problp serve: --replicas must be >= 1")
+    if args.replicas > 1 and args.shards < 1:
+        raise SystemExit(
+            "problp serve: --replicas needs the multi-process front "
+            "(--shards >= 1)"
+        )
     if args.shards > 0:
         sharded = ShardedServer(
             registry,
             shards=args.shards,
             host=args.host,
             port=args.port,
+            replicas=args.replicas,
             batch_window=window,
             max_batch=args.max_batch,
+            metrics_interval=metrics_interval,
+            max_inflight=args.max_inflight,
+            max_inflight_per_connection=args.max_inflight_per_conn,
         )
         try:
             sharded.start()
@@ -646,10 +668,12 @@ def cmd_serve(args) -> int:
             raise SystemExit(
                 f"problp serve: {error.__cause__ or error}"
             ) from None
+        workers = sum(len(group) for group in sharded.shard_addresses)
         print(
             f"problp serve: {len(registry)} circuit(s) on "
             f"{sharded.host}:{sharded.port} across "
-            f"{len(sharded.shard_addresses)} shard worker(s) "
+            f"{len(sharded.shard_addresses)} shard(s) x "
+            f"{sharded.replicas} replica(s) = {workers} worker(s) "
             f"(batch window {args.batch_window_ms:g} ms) — Ctrl-C to stop",
             file=sys.stderr,
         )
@@ -671,6 +695,9 @@ def cmd_serve(args) -> int:
             args.port,
             batch_window=window,
             max_batch=args.max_batch,
+            metrics_interval=metrics_interval,
+            max_inflight=args.max_inflight,
+            max_inflight_per_connection=args.max_inflight_per_conn,
         )
         await server.start()
         print(
@@ -917,6 +944,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="partition circuits across N worker processes behind a "
         "routing front (0 = single-process, default)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="run R identical workers per shard; the front load-balances "
+        "per request across replicas and fails over when one dies "
+        "(needs --shards >= 1; default 1)",
+    )
+    serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="log a per-circuit qps/latency/batching line every N "
+        "seconds (0 disables, default)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4096,
+        help="shed requests with the 'overloaded' error once this many "
+        "are in flight server-wide (0 = unlimited, default 4096)",
+    )
+    serve.add_argument(
+        "--max-inflight-per-conn",
+        type=int,
+        default=1024,
+        help="per-connection in-flight admission limit "
+        "(0 = unlimited, default 1024)",
     )
     serve.add_argument(
         "--batch-window-ms",

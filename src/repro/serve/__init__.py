@@ -4,11 +4,22 @@ Wraps the compiled-tape engine in a network service: a
 :class:`CircuitRegistry` of lazily-compiled circuits (each entry owning
 its tape, analysis and per-format quantized executors), a
 newline-delimited JSON protocol covering ``eval`` / ``marginals`` /
-``theta_batch`` (parameter-sweep tiles) / ``optimize`` / ``hw``
-workloads, an asyncio :class:`ProbLPServer` whose micro-batching queue
-coalesces concurrent queries into single vectorized tape replays, and a
-multi-process :class:`ShardedServer` that partitions the registry across
-workers (the per-circuit cache as the unit of distribution).
+``theta_batch`` (parameter-sweep tiles) / ``optimize`` / ``hw`` /
+``reload`` (hot registry reload) workloads, an asyncio
+:class:`ProbLPServer` whose micro-batching queue coalesces concurrent
+queries into single vectorized tape replays, and a multi-process
+:class:`ShardedServer` that partitions the registry across workers (the
+per-circuit cache as the unit of distribution) and *replicates* each
+shard — ``replicas=3`` runs three identical workers per partition, with
+the front load-balancing per request and failing over when one dies.
+
+Serving is load-shedding rather than unbounded-queueing: the shared
+:class:`NdjsonTransport` enforces per-connection and global in-flight
+limits and answers excess requests with the typed ``overloaded`` error,
+which :class:`ClientPool` — a thread-safe fleet of persistent
+connections — treats as a retry-after-backoff signal. Live per-circuit
+qps / latency-quantile / batching metrics (:class:`ServeMetrics`) ride
+along on ``ping`` and ``circuits`` responses.
 Stdlib-only: asyncio + sockets + multiprocessing.
 
 Quick start::
@@ -19,11 +30,14 @@ Quick start::
         with ServeClient(server.host, server.port) as client:
             print(client.eval("alarm", {"HRBP": 1}, fmt="fixed:1:15"))
 
-Or from the command line: ``problp serve --port 7501 --shards 2``.
+Or from the command line:
+``problp serve --port 7501 --shards 2 --replicas 3``.
 """
 
 from .batching import BatchKey, BatcherStats, MicroBatcher
 from .client import ServeClient
+from .metrics import CircuitMetrics, RateMeter, ServeMetrics
+from .pool import ClientPool
 from .protocol import (
     CircuitsRequest,
     ERROR_CODES,
@@ -34,9 +48,11 @@ from .protocol import (
     PingRequest,
     ProtocolError,
     REQUEST_TYPES,
+    ReloadRequest,
     Request,
     Response,
     ServeError,
+    ServerOverloadedError,
     ShutdownRequest,
     ThetaBatchRequest,
     UnknownCircuitError,
@@ -57,29 +73,38 @@ from .registry import (
 )
 from .server import BackgroundServer, ProbLPServer
 from .sharding import ShardRouter, ShardedServer
+from .transport import Connection, NdjsonTransport
 
 __all__ = [
     "BackgroundServer",
     "BatchKey",
     "BatcherStats",
     "CircuitEntry",
+    "CircuitMetrics",
     "CircuitRegistry",
     "CircuitSource",
     "CircuitsRequest",
+    "ClientPool",
+    "Connection",
     "ERROR_CODES",
     "EvalRequest",
     "HwRequest",
     "MarginalsRequest",
     "MicroBatcher",
+    "NdjsonTransport",
     "OptimizeRequest",
     "PingRequest",
     "ProbLPServer",
     "ProtocolError",
     "REQUEST_TYPES",
+    "RateMeter",
+    "ReloadRequest",
     "Request",
     "Response",
     "ServeClient",
     "ServeError",
+    "ServeMetrics",
+    "ServerOverloadedError",
     "ShardRouter",
     "ShardedServer",
     "ShutdownRequest",

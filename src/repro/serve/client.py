@@ -1,7 +1,10 @@
 """A small synchronous client for the serving protocol.
 
-:class:`ServeClient` speaks newline-delimited JSON over a plain socket.
-It supports two shapes of traffic:
+:class:`ServeClient` speaks newline-delimited JSON over **one
+persistent socket**. The connection is opened lazily on the first
+request and reused for every request after it — reconnecting per call
+would defeat both the server's connection-level admission control and
+the micro-batching window. It supports two shapes of traffic:
 
 * :meth:`request` — send one request, wait for its answer (the
   "sequential per-request dispatch" baseline);
@@ -10,6 +13,15 @@ It supports two shapes of traffic:
   lets the server's micro-batching queue coalesce the burst into one
   vectorized tape replay; responses are matched back by id, so order on
   the wire does not matter.
+
+Lifecycle is uniform: :meth:`close` is idempotent, the context manager
+closes on exit, and a client whose connection dropped (server restart,
+mid-response timeout) transparently dials again on its next request —
+with the stale response stash cleared, so an answer from the old
+connection can never satisfy a request on the new one.
+
+For many concurrent callers sharing a fleet of persistent connections
+with ``overloaded``-aware retry, see :class:`~repro.serve.pool.ClientPool`.
 
 Used by the test suite, ``benchmarks/bench_serving.py`` and the
 sharding front's drain logic; applications with an event loop of their
@@ -44,13 +56,21 @@ def _apply_format(payload: dict, fmt) -> None:
 
 
 class ServeClient:
-    """Blocking protocol client (context-manager friendly)."""
+    """Blocking protocol client over one reused connection."""
 
     def __init__(
-        self, host: str, port: int, timeout: float = 60.0
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        *,
+        lazy: bool = False,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._recv_file = self._sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._recv_file = None
         self._next_id = 0
         #: Ids awaiting a response (explicit and auto-assigned alike) —
         #: auto-assignment skips them so it never collides with a
@@ -58,6 +78,57 @@ class ServeClient:
         self._in_flight: set[Any] = set()
         #: Responses that arrived while waiting for a different id.
         self._stash: dict[Any, Response] = {}
+        if not lazy:
+            self._connect()
+
+    # -- connection lifecycle -------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._recv_file = self._sock.makefile("rb")
+
+    def _ensure_connected(self) -> socket.socket:
+        """The live socket — dialing (or re-dialing) when needed.
+
+        Reconnection starts a clean request session: pending ids and
+        stashed responses belonged to the dead connection and are
+        dropped, so a stale answer can never be matched to a fresh
+        request.
+        """
+        if self._sock is None:
+            self._in_flight.clear()
+            self._stash.clear()
+            self._connect()
+        assert self._sock is not None
+        return self._sock
+
+    def close(self) -> None:
+        """Hang up. Idempotent; the client can be used again (it
+        reconnects on the next request)."""
+        recv_file, self._recv_file = self._recv_file, None
+        sock, self._sock = self._sock, None
+        try:
+            if recv_file is not None:
+                recv_file.close()
+        except OSError:
+            pass
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- plumbing ------------------------------------------------------
     def _payload_of(
@@ -84,21 +155,31 @@ class ServeClient:
             (json.dumps(payload) + "\n").encode("utf-8")
             for payload in payloads
         )
-        self._sock.sendall(data)
+        try:
+            self._ensure_connected().sendall(data)
+        except (ConnectionError, OSError):
+            # The kept-alive socket went stale (server restart, idle
+            # reset). Nothing of this burst was answered, so one
+            # reconnect-and-resend is safe.
+            self.close()
+            self._ensure_connected().sendall(data)
 
     def _read_response(self) -> Response:
+        if self._recv_file is None:
+            raise ConnectionError("client is not connected")
         try:
             line = self._recv_file.readline()
         except (TimeoutError, OSError):
             # A timed-out buffered read may stop mid-line; the stream
-            # can no longer be trusted to frame responses. Fail loudly
-            # and permanently instead of desynchronizing on reuse.
+            # can no longer be trusted to frame responses. Drop the
+            # connection — the next request dials fresh.
             self.close()
             raise ConnectionError(
-                "timed out mid-response; the connection is no longer "
-                "usable — reconnect with a fresh ServeClient"
+                "timed out mid-response; the connection was dropped — "
+                "the next request reconnects"
             ) from None
         if not line:
+            self.close()
             raise ConnectionError("server closed the connection")
         return Response.from_wire(json.loads(line))
 
@@ -121,11 +202,24 @@ class ServeClient:
 
     # -- request surface -----------------------------------------------
     def request(self, request: Request | Mapping[str, Any]) -> Response:
-        """One request, one (possibly out-of-order) matched response."""
+        """One request, one (possibly out-of-order) matched response.
+
+        A kept-alive connection that turns out to be dead (server
+        restarted since the last call) is retried once on a fresh dial —
+        but only when this request is the *only* traffic on the
+        connection, so a pipelined burst can never be double-executed.
+        """
         payload = self._payload_of(request, reserved=set())
-        self._in_flight.add(payload["id"])
-        self._send_lines([payload])
-        return self._wait_for(payload["id"])
+        for attempt in (0, 1):
+            self._in_flight.add(payload["id"])
+            try:
+                self._send_lines([payload])
+                return self._wait_for(payload["id"])
+            except ConnectionError:
+                self.close()
+                if attempt or self._in_flight or self._stash:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def request_many(
         self, requests: Iterable[Request | Mapping[str, Any]]
@@ -227,18 +321,20 @@ class ServeClient:
         payload = {"op": "hw", "circuit": circuit, **fields}
         return dict(self.request(payload).raise_for_error().result)
 
+    def reload(
+        self,
+        add: Iterable[Mapping[str, Any]] = (),
+        remove: Iterable[str] = (),
+    ) -> dict:
+        """Hot-reload served circuits; see :class:`ReloadRequest`."""
+        payload: dict[str, Any] = {"op": "reload"}
+        add = [dict(item) for item in add]
+        remove = list(remove)
+        if add:
+            payload["add"] = add
+        if remove:
+            payload["remove"] = remove
+        return dict(self.request(payload).raise_for_error().result)
+
     def shutdown(self) -> dict:
         return dict(self.request({"op": "shutdown"}).raise_for_error().result)
-
-    # -- lifecycle ------------------------------------------------------
-    def close(self) -> None:
-        try:
-            self._recv_file.close()
-        finally:
-            self._sock.close()
-
-    def __enter__(self) -> "ServeClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

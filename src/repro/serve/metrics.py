@@ -1,0 +1,217 @@
+"""Live serving metrics: per-circuit qps, batching, queue depth, latency.
+
+The server records one sample per finished request and one sample per
+coalesced batch flush. Everything here is **lock-cheap by design**: the
+hot-path mutators only touch per-circuit integer counters and a
+fixed-size latency ring, all of which are single CPython bytecode-level
+operations protected by the GIL — no lock is taken per request. The only
+lock in the module guards *creation* of a per-circuit record (a one-time
+event per circuit name), and quantile math happens at snapshot time
+(``ping`` / ``circuits`` / the ``--metrics-interval`` log line), never on
+the request path. Counters are therefore approximate under extreme
+concurrency, which is the correct trade for an observability surface.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = [
+    "LATENCY_WINDOW",
+    "CircuitMetrics",
+    "RateMeter",
+    "ServeMetrics",
+]
+
+#: Latency ring size per circuit: enough samples for a stable p99 while
+#: keeping snapshot sorting trivial.
+LATENCY_WINDOW = 512
+
+#: Width of one qps bucket (seconds). Rates blend the current and the
+#: previous bucket, so a reported qps describes roughly the last
+#: 5–10 seconds of traffic rather than the process lifetime.
+RATE_BUCKET = 5.0
+
+
+class RateMeter:
+    """A two-bucket sliding-window event rate (events per second).
+
+    ``tick()`` is one attribute bump on the hot path; ``rate()`` blends
+    the previous bucket with the in-progress one so the estimate decays
+    smoothly instead of sawtoothing at bucket boundaries.
+    """
+
+    __slots__ = ("_bucket", "_current", "_previous", "window")
+
+    def __init__(self, window: float = RATE_BUCKET) -> None:
+        self.window = window
+        self._bucket = -1
+        self._current = 0
+        self._previous = 0
+
+    def _roll(self, now: float) -> None:
+        bucket = int(now // self.window)
+        if bucket != self._bucket:
+            self._previous = (
+                self._current if bucket == self._bucket + 1 else 0
+            )
+            self._current = 0
+            self._bucket = bucket
+
+    def tick(self, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        self._roll(now)
+        self._current += 1
+
+    def rate(self, now: float | None = None) -> float:
+        now = time.monotonic() if now is None else now
+        self._roll(now)
+        fraction = (now % self.window) / self.window
+        blended = self._current + self._previous * (1.0 - fraction)
+        return blended / self.window
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sorted sample list."""
+    rank = min(len(samples) - 1, max(0, math.ceil(q * len(samples)) - 1))
+    return samples[rank]
+
+
+class CircuitMetrics:
+    """Counters and a latency ring for one served circuit."""
+
+    __slots__ = (
+        "name",
+        "requests",
+        "errors",
+        "batches",
+        "batched_requests",
+        "queue_depth",
+        "_rate",
+        "_latencies",
+        "_latency_index",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.requests = 0
+        self.errors = 0
+        #: Coalesced flushes and the requests they carried; their ratio
+        #: is the live batch-coalescing factor.
+        self.batches = 0
+        self.batched_requests = 0
+        #: Requests admitted but not yet answered.
+        self.queue_depth = 0
+        self._rate = RateMeter()
+        self._latencies: list[float] = []
+        self._latency_index = 0
+
+    # -- hot path ------------------------------------------------------
+    def record(self, latency_s: float, *, ok: bool = True) -> None:
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        self._rate.tick()
+        if len(self._latencies) < LATENCY_WINDOW:
+            self._latencies.append(latency_s)
+        else:
+            self._latencies[self._latency_index] = latency_s
+            self._latency_index = (
+                self._latency_index + 1
+            ) % LATENCY_WINDOW
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+
+    # -- snapshot path -------------------------------------------------
+    def snapshot(self) -> dict:
+        ordered = sorted(self._latencies)
+        payload = {
+            "requests": self.requests,
+            "errors": self.errors,
+            "qps": round(self._rate.rate(), 3),
+            "queue_depth": self.queue_depth,
+            "batches": self.batches,
+            "mean_batch": (
+                self.batched_requests / self.batches if self.batches else 0.0
+            ),
+        }
+        if ordered:
+            payload["p50_ms"] = round(_quantile(ordered, 0.50) * 1e3, 3)
+            payload["p99_ms"] = round(_quantile(ordered, 0.99) * 1e3, 3)
+        return payload
+
+
+class ServeMetrics:
+    """The server-wide metrics registry (plus overload/global counters)."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.overloaded = 0
+        self._circuits: dict[str, CircuitMetrics] = {}
+        self._create_lock = threading.Lock()
+
+    # -- hot path ------------------------------------------------------
+    def circuit(self, name: str) -> CircuitMetrics:
+        record = self._circuits.get(name)
+        if record is None:
+            with self._create_lock:
+                record = self._circuits.setdefault(
+                    name, CircuitMetrics(name)
+                )
+        return record
+
+    def record_overload(self) -> None:
+        self.overloaded += 1
+
+    # -- snapshot path -------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started
+
+    def snapshot(self) -> dict:
+        per_circuit = {
+            name: record.snapshot()
+            for name, record in sorted(self._circuits.items())
+        }
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "overloaded": self.overloaded,
+            "requests": sum(c["requests"] for c in per_circuit.values()),
+            "qps": round(
+                sum(c["qps"] for c in per_circuit.values()), 3
+            ),
+            "circuits": per_circuit,
+        }
+
+    def circuit_snapshot(self, name: str) -> dict | None:
+        record = self._circuits.get(name)
+        return record.snapshot() if record is not None else None
+
+    def log_line(self) -> str:
+        """One human-scannable line for ``--metrics-interval`` logging."""
+        snap = self.snapshot()
+        parts = [
+            f"qps={snap['qps']:g}",
+            f"requests={snap['requests']}",
+            f"overloaded={snap['overloaded']}",
+        ]
+        for name, circuit in snap["circuits"].items():
+            if not circuit["requests"]:
+                continue
+            detail = (
+                f"{name}: qps={circuit['qps']:g} "
+                f"depth={circuit['queue_depth']}"
+            )
+            if "p50_ms" in circuit:
+                detail += (
+                    f" p50={circuit['p50_ms']:g}ms "
+                    f"p99={circuit['p99_ms']:g}ms"
+                )
+            if circuit["batches"]:
+                detail += f" batch={circuit['mean_batch']:.1f}"
+            parts.append(detail)
+        return " | ".join(parts)

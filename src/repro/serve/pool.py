@@ -1,0 +1,232 @@
+"""A thread-safe pool of persistent serving connections.
+
+Threaded applications (and the soak benchmark) want many workers
+hammering one server without a dial per request and without tripping
+over each other's response streams. :class:`ClientPool` keeps a fixed
+fleet of lazily-dialed :class:`~repro.serve.client.ServeClient`
+connections; a worker checks one out, runs any number of requests on
+it, and hands it back. Connections are created on first checkout, so a
+pool of 16 costs nothing until 16 workers are actually concurrent.
+
+The pool is also the client side of the server's **backpressure**: a
+response carrying the typed ``overloaded`` error code means the server
+shed the request at admission instead of queueing without bound. That
+code is explicitly retryable — :meth:`request` (and the convenience
+wrappers built on it) sleeps a growing backoff and resends, up to
+``max_retries`` attempts, before surfacing the error. Every other error
+code propagates immediately: a ``bad_request`` does not become less bad
+by retrying.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterator, Mapping, TypeVar
+from contextlib import contextmanager
+
+from .client import ServeClient
+from .protocol import Response, ServeError
+
+__all__ = ["ClientPool"]
+
+T = TypeVar("T")
+
+#: The wire code the pool treats as "back off and retry".
+RETRYABLE_CODE = "overloaded"
+
+
+class ClientPool:
+    """A bounded fleet of reusable serving connections.
+
+    Parameters
+    ----------
+    host, port:
+        The serving front (single-process server or sharding front —
+        the pool does not care which).
+    size:
+        Maximum simultaneously checked-out connections. Checkout blocks
+        (bounded by ``checkout_timeout``) when the whole fleet is busy —
+        the pool itself is a client-side concurrency limit.
+    max_retries:
+        Attempts per request before an ``overloaded`` response is
+        surfaced to the caller as the usual :class:`ServeError`.
+    backoff:
+        First retry sleep in seconds; doubles per attempt and is capped
+        at ``max_backoff``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int = 8,
+        timeout: float = 60.0,
+        checkout_timeout: float = 60.0,
+        max_retries: int = 8,
+        backoff: float = 0.02,
+        max_backoff: float = 0.5,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._checkout_timeout = checkout_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._idle: list[ServeClient] = []
+        self._lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(size)
+        self._closed = False
+        self.size = size
+        #: Total ``overloaded`` refusals absorbed by retries (telemetry
+        #: for benchmarks: how hard the server pushed back).
+        self.retries = 0
+
+    # -- checkout / checkin ---------------------------------------------
+    @contextmanager
+    def connection(self) -> Iterator[ServeClient]:
+        """Check a connection out for exclusive use, then return it.
+
+        The checked-out client is a plain :class:`ServeClient` — run
+        pipelined bursts on it, use convenience wrappers, anything. A
+        connection that raises :class:`ConnectionError` is discarded
+        instead of returned, so one dead socket never haunts the pool.
+        """
+        client = self._checkout()
+        broken = False
+        try:
+            yield client
+        except ConnectionError:
+            broken = True
+            raise
+        finally:
+            self._checkin(client, broken=broken)
+
+    def _checkout(self) -> ServeClient:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not self._slots.acquire(timeout=self._checkout_timeout):
+            raise TimeoutError(
+                f"no pool connection free after "
+                f"{self._checkout_timeout:g}s (size {self.size})"
+            )
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        # Dial outside the lock; lazy=True defers even the dial to the
+        # first actual request on this connection.
+        return ServeClient(
+            self._host, self._port, timeout=self._timeout, lazy=True
+        )
+
+    def _checkin(self, client: ServeClient, *, broken: bool) -> None:
+        try:
+            if broken or self._closed:
+                client.close()
+            else:
+                with self._lock:
+                    self._idle.append(client)
+        finally:
+            self._slots.release()
+
+    # -- retrying request surface ---------------------------------------
+    def request(self, payload: Mapping[str, Any] | Any) -> Response:
+        """One request with ``overloaded``-aware retry.
+
+        Each attempt checks a connection out and back in, so a request
+        stuck behind a full server never monopolizes a pool slot while
+        it sleeps off the backoff.
+        """
+        delay = self.backoff
+        for attempt in range(self.max_retries):
+            with self.connection() as client:
+                response = client.request(payload)
+            if response.ok or response.error_code != RETRYABLE_CODE:
+                return response
+            self.retries += 1
+            if attempt + 1 < self.max_retries:
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+        return response
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Run one :class:`ServeClient` convenience wrapper with retry.
+
+        ``pool.call("theta_batch", "landscape", tile)`` behaves exactly
+        like ``client.theta_batch("landscape", tile)`` — including
+        raising :class:`ServeError` — but on a pooled connection with
+        ``overloaded`` retried.
+        """
+        delay = self.backoff
+        for attempt in range(self.max_retries):
+            try:
+                with self.connection() as client:
+                    return getattr(client, method)(*args, **kwargs)
+            except ServeError as error:
+                if (
+                    error.code != RETRYABLE_CODE
+                    or attempt + 1 >= self.max_retries
+                ):
+                    raise
+                self.retries += 1
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def map(
+        self, fn: Callable[[ServeClient], T], workers: int
+    ) -> list[T]:
+        """Run ``fn(client)`` on ``workers`` threads, one connection each."""
+        results: list[T] = [None] * workers  # type: ignore[list-item]
+        errors: list[BaseException] = []
+
+        def run(index: int) -> None:
+            try:
+                with self.connection() as client:
+                    results[index] = fn(client)
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run, args=(index,), daemon=True)
+            for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    # -- convenience passthroughs ---------------------------------------
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def eval(self, circuit: str, *args: Any, **kwargs: Any) -> dict:
+        return self.call("eval", circuit, *args, **kwargs)
+
+    def marginals(self, circuit: str, *args: Any, **kwargs: Any) -> dict:
+        return self.call("marginals", circuit, *args, **kwargs)
+
+    def theta_batch(self, circuit: str, *args: Any, **kwargs: Any) -> dict:
+        return self.call("theta_batch", circuit, *args, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Close every idle connection; checked-out ones close at checkin."""
+        self._closed = True
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

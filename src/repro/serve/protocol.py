@@ -21,6 +21,9 @@ Request shapes (``op`` selects the workload)::
      "tolerance": "abs:0.01", "max_bits": 64}
     {"op": "hw",        "id": 4, "circuit": "alarm",
      "workload": "joint", "format": "fixed:1:15", "include_rtl": false}
+    {"op": "reload",    "id": 6,
+     "add": [{"name": "grid", "kind": "bif", "path": "grid.bif"}],
+     "remove": ["asia"]}
     {"op": "ping"} · {"op": "circuits"} · {"op": "shutdown"}
 
 Responses::
@@ -68,6 +71,16 @@ class ProtocolError(ValueError):
     """A malformed request: unknown op, bad field, unparsable spec."""
 
 
+class ServerOverloadedError(RuntimeError):
+    """The server shed this request: its in-flight queue limits are hit.
+
+    Maps to the stable ``overloaded`` wire code. Unlike every other
+    error, this one is *retryable by design* — the request was never
+    admitted, so clients (e.g. :class:`~repro.serve.pool.ClientPool`)
+    may back off briefly and resend it verbatim.
+    """
+
+
 class UnknownCircuitError(KeyError):
     """The request names a circuit the registry does not hold."""
 
@@ -93,6 +106,7 @@ ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
     (InfeasibleFormatError, "infeasible_format"),
     (ThetaShapeError, "theta_shape"),
     (UnknownCircuitError, "unknown_circuit"),
+    (ServerOverloadedError, "overloaded"),
     (ProtocolError, "bad_request"),
     (ArithmeticError, "arithmetic"),
     (ValueError, "bad_request"),
@@ -332,6 +346,68 @@ class ThetaBatchRequest(Request):
         return payload
 
 
+def _parse_reload_add(payload: Mapping[str, Any]) -> tuple[dict, ...]:
+    raw = payload.get("add", ())
+    if not isinstance(raw, (list, tuple)):
+        raise ProtocolError("reload 'add' must be a list of source objects")
+    entries: list[dict] = []
+    for item in raw:
+        if not isinstance(item, Mapping):
+            raise ProtocolError(
+                "each reload source must be an object with "
+                "'name', 'kind' and (for file kinds) 'path'"
+            )
+        name = item.get("name")
+        kind = item.get("kind")
+        path = item.get("path")
+        if not name or not isinstance(name, str):
+            raise ProtocolError("reload source needs a 'name' string")
+        if not kind or not isinstance(kind, str):
+            raise ProtocolError("reload source needs a 'kind' string")
+        if path is not None and not isinstance(path, str):
+            raise ProtocolError("reload source 'path' must be a string")
+        # The semantic checks (known kind, path requirements) live in
+        # CircuitSource itself — its ValueError maps to bad_request.
+        entries.append({"name": name, "kind": kind, "path": path})
+    return tuple(entries)
+
+
+def _parse_reload_remove(payload: Mapping[str, Any]) -> tuple[str, ...]:
+    raw = payload.get("remove", ())
+    if not isinstance(raw, (list, tuple)) or not all(
+        isinstance(name, str) and name for name in raw
+    ):
+        raise ProtocolError(
+            "reload 'remove' must be a list of circuit names"
+        )
+    return tuple(raw)
+
+
+@dataclass(frozen=True)
+class ReloadRequest(Request):
+    """Hot registry reload: add/remove circuit sources without restart.
+
+    Added sources are registered immediately but compiled lazily on
+    their first hit, exactly like boot-time sources. The request is
+    validated as a whole before anything is applied — a collision or an
+    unknown removal mutates nothing.
+    """
+
+    op: ClassVar[str] = "reload"
+    #: Declarative source records: ``{"name", "kind", "path"}`` dicts
+    #: (plain data, so the sharding front can route without compiling).
+    add: tuple[dict, ...] = ()
+    remove: tuple[str, ...] = ()
+
+    def to_wire(self) -> dict[str, Any]:
+        payload = super().to_wire()
+        if self.add:
+            payload["add"] = [dict(item) for item in self.add]
+        if self.remove:
+            payload["remove"] = list(self.remove)
+        return payload
+
+
 @dataclass(frozen=True)
 class OptimizeRequest(Request):
     """Workload-aware §3.3 format search on the served circuit."""
@@ -435,6 +511,17 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
         return CircuitsRequest(id=request_id)
     if op == "shutdown":
         return ShutdownRequest(id=request_id)
+    if op == "reload":
+        request = ReloadRequest(
+            id=request_id,
+            add=_parse_reload_add(payload),
+            remove=_parse_reload_remove(payload),
+        )
+        if not request.add and not request.remove:
+            raise ProtocolError(
+                "reload needs at least one 'add' source or 'remove' name"
+            )
+        return request
     if op == "eval":
         return EvalRequest(
             id=request_id,
@@ -511,6 +598,7 @@ REQUEST_TYPES: tuple[type[Request], ...] = (
     PingRequest,
     CircuitsRequest,
     ShutdownRequest,
+    ReloadRequest,
     EvalRequest,
     MarginalsRequest,
     ThetaBatchRequest,

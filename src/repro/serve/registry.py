@@ -248,6 +248,71 @@ class CircuitRegistry:
     ) -> CircuitEntry:
         return self.add_source(CircuitSource.for_path(path, name))
 
+    def remove(self, name: str) -> CircuitSource:
+        """Stop serving a circuit; returns its source record.
+
+        In-flight requests already holding the entry finish normally —
+        only the name lookup disappears. The compiled artifacts are
+        garbage once the last reference drops.
+        """
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise UnknownCircuitError(name, self.names())
+        return entry.source
+
+    def apply_reload(
+        self,
+        add: Iterable[Mapping[str, str | None]] = (),
+        remove: Iterable[str] = (),
+    ) -> dict:
+        """One atomic hot-reload step: validate everything, then apply.
+
+        ``add`` holds wire-shaped source records (``name``/``kind``/
+        ``path``); a name that appears in both lists is *replaced* —
+        removed first, then re-added, so a changed source file can be
+        picked up without a distinct op. Nothing mutates unless the
+        whole request is valid, and added entries stay uncompiled until
+        their first request (the same lazy contract as boot sources).
+        """
+        sources = [
+            CircuitSource(
+                name=str(item["name"]),
+                kind=str(item["kind"]),
+                path=item.get("path") or None,
+            )
+            for item in add
+        ]
+        removals = list(remove)
+        with self._lock:
+            missing = [
+                name for name in removals if name not in self._entries
+            ]
+            if missing:
+                raise UnknownCircuitError(
+                    missing[0], tuple(self._entries)
+                )
+            added_names = [source.name for source in sources]
+            if len(set(added_names)) != len(added_names):
+                raise ValueError("reload adds a duplicate circuit name")
+            surviving = set(self._entries) - set(removals)
+            for source in sources:
+                if source.name in surviving:
+                    raise ValueError(
+                        f"registry already serves a circuit named "
+                        f"{source.name!r}"
+                    )
+                surviving.add(source.name)
+            for name in removals:
+                self._entries.pop(name)
+            for source in sources:
+                self._entries[source.name] = CircuitEntry(source)
+        return {
+            "added": [source.name for source in sources],
+            "removed": removals,
+            "circuits": len(self),
+        }
+
     # -- lookup --------------------------------------------------------
     def names(self) -> tuple[str, ...]:
         with self._lock:

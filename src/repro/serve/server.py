@@ -9,6 +9,15 @@ vectorized tape replay, results scattered back per request. Heavyweight
 one-off work (``optimize`` format searches, ``hw`` design reports) runs
 on the same worker thread pool without batching.
 
+Connection handling rides the shared
+:class:`~repro.serve.transport.NdjsonTransport` (the same loop the
+sharding/replication front uses), which also enforces the server's
+backpressure: per-connection and global in-flight limits answered with
+the typed ``overloaded`` error instead of unbounded buffering. Live
+per-circuit metrics (:mod:`repro.serve.metrics`) ride every request and
+surface through ``ping``/``circuits`` and the optional
+``--metrics-interval`` log line.
+
 :class:`BackgroundServer` runs the whole thing on a dedicated event-loop
 thread — the embedding used by tests, the benchmark harness and the
 sharding front.
@@ -17,10 +26,11 @@ sharding front.
 from __future__ import annotations
 
 import asyncio
-import json
+import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -31,6 +41,7 @@ from .batching import (
     BatchKey,
     MicroBatcher,
 )
+from .metrics import ServeMetrics
 from .protocol import (
     STREAM_LIMIT,
     CircuitsRequest,
@@ -40,23 +51,26 @@ from .protocol import (
     OptimizeRequest,
     PingRequest,
     ProtocolError,
+    ReloadRequest,
     Request,
     Response,
     ShutdownRequest,
     ThetaBatchRequest,
-    error_response,
     ok_response,
     parse_request,
 )
 from .registry import CircuitRegistry
+from .transport import Connection, NdjsonTransport
 
 #: Default worker threads: enough to overlap a batch flush with an
 #: optimize/hw search without oversubscribing numpy.
 DEFAULT_WORKER_THREADS = 4
 
-
-def _encode_response(response: Response) -> bytes:
-    return (json.dumps(response.to_wire()) + "\n").encode("utf-8")
+#: Default backpressure limits. Per-connection: a well-behaved pipelined
+#: client stays far under this; global: a few max-size micro-batch
+#: rounds of headroom before load is shed with ``overloaded``.
+DEFAULT_MAX_INFLIGHT_PER_CONNECTION = 1024
+DEFAULT_MAX_INFLIGHT = 4096
 
 
 class ProbLPServer:
@@ -76,6 +90,15 @@ class ProbLPServer:
         enables it on its (loopback-bound) workers for graceful drain.
     worker_threads:
         Thread-pool width for batch flushes and optimize/hw work.
+    max_inflight_per_connection, max_inflight:
+        Admission limits (0 disables): requests beyond either are
+        refused immediately with the ``overloaded`` wire error rather
+        than queued without bound.
+    metrics_interval:
+        When set, log one metrics line (qps / queue depth / p50 / p99
+        per circuit) every that-many seconds while serving.
+    metrics_log:
+        Where the interval line goes (default: stderr).
     """
 
     def __init__(
@@ -88,6 +111,10 @@ class ProbLPServer:
         max_batch: int = DEFAULT_MAX_BATCH,
         allow_shutdown: bool = False,
         worker_threads: int = DEFAULT_WORKER_THREADS,
+        max_inflight_per_connection: int = DEFAULT_MAX_INFLIGHT_PER_CONNECTION,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        metrics_interval: float | None = None,
+        metrics_log: Callable[[str], None] | None = None,
     ) -> None:
         self.registry = registry
         self._host = host
@@ -102,13 +129,20 @@ class ProbLPServer:
             max_batch=max_batch,
             executor=self._executor,
         )
+        self.metrics = ServeMetrics()
+        self.transport = NdjsonTransport(
+            self._handle_request,
+            max_inflight_per_connection=max_inflight_per_connection,
+            max_inflight_total=max_inflight,
+            on_overload=self.metrics.record_overload,
+        )
+        self._metrics_interval = metrics_interval
+        self._metrics_log = metrics_log or (
+            lambda line: print(line, file=sys.stderr)
+        )
+        self._metrics_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
-        #: In-flight per-request tasks (shared across connections) so
-        #: stop() can drain responses that are still being computed.
-        self._line_tasks: set[asyncio.Task] = set()
-        self._handlers: set[asyncio.Task] = set()
-        self._writers: set[asyncio.StreamWriter] = set()
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -125,13 +159,25 @@ class ProbLPServer:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle_connection,
+            self.transport.handle_connection,
             self._host,
             self._port,
             limit=STREAM_LIMIT,
         )
         sockname = self._server.sockets[0].getsockname()
         self._host, self._port = sockname[0], sockname[1]
+        if self._metrics_interval:
+            self._metrics_task = asyncio.ensure_future(
+                self._metrics_loop(self._metrics_interval)
+            )
+
+    async def _metrics_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            self._metrics_log(
+                f"problp serve [{self._host}:{self._port}] "
+                + self.metrics.log_line()
+            )
 
     async def serve_until_shutdown(self) -> None:
         """Serve until :meth:`request_shutdown` (or the shutdown op)."""
@@ -154,112 +200,55 @@ class ProbLPServer:
         server, self._server = self._server, None
         if server is not None:
             server.close()
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            self._metrics_task = None
         await self.batcher.drain()
-        if self._line_tasks:
-            await asyncio.gather(
-                *list(self._line_tasks), return_exceptions=True
-            )
-        for writer in list(self._writers):
-            try:
-                writer.close()
-            except (ConnectionError, OSError):
-                pass
-        if self._handlers:
-            await asyncio.gather(
-                *list(self._handlers), return_exceptions=True
-            )
+        await self.transport.drain()
+        self.transport.close_connections()
+        await self.transport.wait_closed()
         if server is not None:
             await server.wait_closed()
         self.batcher.close()
         self._executor.shutdown(wait=True, cancel_futures=True)
 
-    # -- connection handling -------------------------------------------
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        write_lock = asyncio.Lock()
-        tasks: set[asyncio.Task] = set()
-        self._writers.add(writer)
-        handler = asyncio.current_task()
-        if handler is not None:
-            self._handlers.add(handler)
-            handler.add_done_callback(self._handlers.discard)
+    # -- request handling ----------------------------------------------
+    async def _handle_request(
+        self, connection: Connection, payload: Any, request_id
+    ) -> Response:
+        """One request line → one response (the transport's handler)."""
+        request = parse_request(payload)
+        circuit = getattr(request, "circuit", None)
+        if circuit is None:
+            return ok_response(request, await self._respond(request))
+        record = self.metrics.circuit(circuit)
+        record.queue_depth += 1
+        start = time.monotonic()
+        ok = False
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.IncompleteReadError):
-                    break
-                except ValueError:
-                    # A line beyond the stream limit cannot be resynced;
-                    # hang up rather than die with an unretrieved error.
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                task = asyncio.ensure_future(
-                    self._serve_line(line, writer, write_lock)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
-                self._line_tasks.add(task)
-                task.add_done_callback(self._line_tasks.discard)
+            result = await self._respond(request)
+            ok = True
+            return ok_response(request, result)
         finally:
-            self._writers.discard(writer)
-            if tasks:
-                await asyncio.gather(*list(tasks), return_exceptions=True)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            record.queue_depth -= 1
+            record.record(time.monotonic() - start, ok=ok)
 
-    async def _serve_line(
-        self,
-        line: bytes,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        request_id = None
-        try:
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ProtocolError(f"request is not valid JSON: {error}")
-            if isinstance(payload, dict):
-                raw_id = payload.get("id")
-                if isinstance(raw_id, (int, str)):
-                    request_id = raw_id
-            request = parse_request(payload)
-            request_id = request.id
-            response = await self._respond(request)
-        except Exception as error:  # noqa: BLE001 — mapped to wire errors
-            response = error_response(request_id, error)
-        try:
-            async with write_lock:
-                writer.write(_encode_response(response))
-                await writer.drain()
-        except (ConnectionError, OSError):
-            pass  # client went away; nothing to scatter back to
-
-    # -- request dispatch ----------------------------------------------
-    async def _respond(self, request: Request) -> Response:
+    async def _respond(self, request: Request) -> dict:
         if isinstance(request, PingRequest):
-            return ok_response(
-                request,
-                {
-                    "server": "problp-serve",
-                    "version": __version__,
-                    "protocol": 1,
-                    "circuits": len(self.registry),
-                    "batching": self.batcher.stats.to_dict(),
-                    "backends": self._backend_availability(),
-                    # θ-sweep support is a protocol capability clients
-                    # probe before streaming raster tiles.
-                    "capabilities": {"theta_batch": True},
-                },
-            )
+            return {
+                "server": "problp-serve",
+                "version": __version__,
+                "protocol": 1,
+                "circuits": len(self.registry),
+                "uptime_s": round(self.metrics.uptime_s, 3),
+                "inflight": self.transport.inflight,
+                "batching": self.batcher.stats.to_dict(),
+                "backends": self._backend_availability(),
+                "metrics": self.metrics.snapshot(),
+                # Protocol capabilities clients probe before relying on
+                # newer ops (θ tiles since PR 7, hot reload since PR 9).
+                "capabilities": {"theta_batch": True, "reload": True},
+            }
         if isinstance(request, CircuitsRequest):
             # describe() may lazily build marginal indexes — off-loop,
             # like every other potentially heavy request body.
@@ -267,20 +256,27 @@ class ProbLPServer:
             circuits = await loop.run_in_executor(
                 self._executor, self.registry.describe
             )
-            return ok_response(request, {"circuits": circuits})
+            for info in circuits:
+                snapshot = self.metrics.circuit_snapshot(info["name"])
+                if snapshot is not None:
+                    info["metrics"] = snapshot
+            return {"circuits": circuits}
         if isinstance(request, ShutdownRequest):
             if not self.allow_shutdown:
                 raise ProtocolError(
                     "shutdown is not enabled on this server"
                 )
             self.request_shutdown()
-            return ok_response(request, {"stopping": True})
+            return {"stopping": True}
+        if isinstance(request, ReloadRequest):
+            return self.registry.apply_reload(
+                add=request.add, remove=request.remove
+            )
         if isinstance(request, EvalRequest):
             key = BatchKey(
                 circuit=request.circuit, kind="eval", fmt=request.fmt
             )
-            result = await self.batcher.submit(key, request)
-            return ok_response(request, result)
+            return await self.batcher.submit(key, request)
         if isinstance(request, MarginalsRequest):
             key = BatchKey(
                 circuit=request.circuit,
@@ -288,26 +284,22 @@ class ProbLPServer:
                 fmt=request.fmt,
                 joint=request.joint,
             )
-            result = await self.batcher.submit(key, request)
-            return ok_response(request, result)
+            return await self.batcher.submit(key, request)
         if isinstance(request, ThetaBatchRequest):
             key = BatchKey(
                 circuit=request.circuit, kind="theta", fmt=request.fmt
             )
-            result = await self.batcher.submit(key, request)
-            return ok_response(request, result)
+            return await self.batcher.submit(key, request)
         if isinstance(request, OptimizeRequest):
             loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(
+            return await loop.run_in_executor(
                 self._executor, self._run_optimize, request
             )
-            return ok_response(request, result)
         if isinstance(request, HwRequest):
             loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(
+            return await loop.run_in_executor(
                 self._executor, self._run_hw, request
             )
-            return ok_response(request, result)
         raise ProtocolError(f"unhandled request type {type(request).__name__}")
 
     @staticmethod
@@ -339,6 +331,7 @@ class ProbLPServer:
         self, key: BatchKey, requests: Sequence[Any]
     ) -> list[dict]:
         """One coalesced tape replay; one result dict per request."""
+        self.metrics.circuit(key.circuit).record_batch(len(requests))
         entry = self.registry.entry(key.circuit)
         session = entry.session
         batch = [request.evidence for request in requests]

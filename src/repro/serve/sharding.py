@@ -1,14 +1,23 @@
-"""Multi-process serving: circuit shards behind one routing front.
+"""Multi-process serving: replicated circuit shards behind one front.
 
 The per-circuit compiled cache (tape + analysis + per-format executors)
 is the unit of distribution: :meth:`CircuitRegistry.partition` splits
-the registry's :class:`CircuitSource` specs round-robin across worker
-processes, each worker compiles and serves *only its own circuits* with
-a full :class:`~repro.serve.server.ProbLPServer` (micro-batching
-included), and a lightweight asyncio front — the :class:`ShardRouter` —
-forwards each request line to the shard that owns its circuit and
-relays the answer back. Requests never cross shards, so every worker's
-caches stay hot and private.
+the registry's :class:`CircuitSource` specs round-robin across shard
+*groups*, and each group runs ``replicas`` identical worker processes —
+every replica compiles and serves the group's circuits with a full
+:class:`~repro.serve.server.ProbLPServer` (micro-batching included).
+The asyncio front — the :class:`ShardRouter` — forwards each request
+line to the *least-pending healthy replica* of the shard that owns its
+circuit and relays the answer back. Requests never cross shards, so
+every worker's caches stay hot and private; replication is what scales
+**one** hot circuit past a single process.
+
+Failure handling is fail-over, not fail-fast, when siblings exist: a
+worker that dies mid-request strands its in-flight forwards, and the
+router resends each stranded (idempotent) request to a healthy sibling
+replica — clients see an answer, not an error. Only when a shard's
+*last* replica dies do its circuits start failing with a clear
+``disconnected`` error.
 
 Shutdown is graceful end to end: the front stops accepting, drains its
 in-flight forwards, then sends each worker the ``shutdown`` op (workers
@@ -23,8 +32,9 @@ everything down.
 from __future__ import annotations
 
 import asyncio
-import json
 import multiprocessing
+import time
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from .batching import DEFAULT_BATCH_WINDOW, DEFAULT_MAX_BATCH
@@ -37,21 +47,24 @@ from .protocol import (
 )
 from .registry import CircuitRegistry, CircuitSource, routing_table
 from .server import BackgroundServer, ProbLPServer
+from .transport import Connection, NdjsonTransport, encode_line
 
 #: How long the front waits for in-flight forwards while draining.
 DRAIN_TIMEOUT = 10.0
+
+#: How long the front waits on worker fan-outs (ping/circuits/reload).
+FANOUT_TIMEOUT = 30.0
 
 
 def _shard_worker_main(
     sources: Sequence[CircuitSource],
     host: str,
-    batch_window: float,
-    max_batch: int,
-    worker_threads: int,
+    server_kwargs: Mapping[str, Any],
     conn,
 ) -> None:
-    """Entry point of one shard process: serve its circuits until told
-    to shut down, reporting the bound address through ``conn``."""
+    """Entry point of one replica process: serve its shard's circuits
+    until told to shut down, reporting the bound address through
+    ``conn``."""
     import signal
 
     # Ctrl-C on the front reaches the whole process group; workers must
@@ -65,10 +78,8 @@ def _shard_worker_main(
             registry,
             host,
             0,
-            batch_window=batch_window,
-            max_batch=max_batch,
             allow_shutdown=True,
-            worker_threads=worker_threads,
+            **dict(server_kwargs),
         )
         await server.start()
         conn.send((server.host, server.port))
@@ -79,20 +90,24 @@ def _shard_worker_main(
 
 
 class _ShardLink:
-    """The front's persistent connection to one worker."""
+    """The front's persistent connection to one replica worker."""
 
-    def __init__(self, shard: int, reader, writer) -> None:
+    def __init__(self, shard: int, replica: int, reader, writer) -> None:
         self.shard = shard
+        self.replica = replica
         self.reader = reader
         self.writer = writer
         self.write_lock = asyncio.Lock()
         self.pump: asyncio.Task | None = None
-        #: Set once the worker hangs up; new forwards fail immediately.
+        #: Set once the worker hangs up; new forwards pick a sibling.
         self.disconnected = False
+        #: Forwarded-but-unanswered requests on this link — the
+        #: least-pending routing signal.
+        self.pending = 0
 
     async def send(self, payload: Mapping[str, Any]) -> None:
         async with self.write_lock:
-            self.writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+            self.writer.write(encode_line(dict(payload)))
             await self.writer.drain()
 
     async def close(self) -> None:
@@ -105,38 +120,75 @@ class _ShardLink:
             pass
 
 
-class ShardRouter:
-    """Route request lines to circuit shards; relay responses by id.
+@dataclass
+class _Forward:
+    """One forwarded request awaiting its worker response."""
 
-    The router never compiles anything: it JSON-probes each line for
-    the ``circuit`` routing field, rewrites the request id into a
-    private namespace, and scatters the response back to the right
-    client when the worker answers. Ops without a circuit (``ping``,
-    ``circuits``) are answered locally — ``circuits`` by fanning out to
-    every shard and merging.
+    link: _ShardLink
+    #: ``("client", connection, original_id)`` or ``("future", future)``.
+    sink: tuple
+    #: The original wire payload (sans rewritten id) — kept so a dying
+    #: replica's stranded requests can be resent to a sibling.
+    payload: dict | None = None
+    #: Links already tried, bounding the fail-over chain.
+    attempts: set[int] = field(default_factory=set)
+
+
+class ShardRouter:
+    """Route request lines to replicated circuit shards.
+
+    The router never compiles anything: it probes each line for the
+    ``circuit`` routing field, rewrites the request id into a private
+    namespace, picks the least-pending healthy replica of the owning
+    shard, and scatters the response back to the right client when the
+    worker answers. Ops without a circuit are answered at the front —
+    ``ping`` by fanning out to every worker and merging fleet health,
+    ``circuits`` by fanning out to one replica per shard, ``reload`` by
+    updating the routing table and every replica of the affected shards.
+
+    ``shard_addresses`` accepts one address *group* (list of
+    ``(host, port)``) per shard; a flat list of plain addresses is
+    understood as single-replica groups for backward compatibility.
     """
 
     def __init__(
         self,
-        shard_addresses: Sequence[tuple[str, int]],
+        shard_addresses: Sequence,
         table: Mapping[str, int],
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        max_inflight: int = 0,
+        max_inflight_per_connection: int = 0,
     ) -> None:
-        self._shard_addresses = list(shard_addresses)
+        self._address_groups = [
+            [tuple(address) for address in group]
+            if not _is_address(group)
+            else [tuple(group)]
+            for group in shard_addresses
+        ]
         self._table = dict(table)
         self._host = host
         self._port = port
-        self._links: list[_ShardLink] = []
+        self._groups: list[list[_ShardLink]] = []
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
-        #: internal id → (link, sink); sink is ``("client", writer,
-        #: lock, original_id)`` or ``("future", future)``. The link is
-        #: kept so a dying worker fails exactly its own entries.
-        self._pending: dict[int, tuple[_ShardLink, tuple]] = {}
+        self._pending: dict[int, _Forward] = {}
         self._next_internal = 0
-        self._writers: set[asyncio.StreamWriter] = set()
-        self._handlers: set[asyncio.Task] = set()
+        self._started = time.monotonic()
+        self.overloaded = 0
+        self.transport = NdjsonTransport(
+            self._handle_request,
+            max_inflight_per_connection=max_inflight_per_connection,
+            max_inflight_total=max_inflight,
+            # Forwards leave their line task before the worker answers;
+            # count them against the global limit explicitly.
+            extra_inflight=lambda: len(self._pending),
+            on_overload=self._record_overload,
+        )
+
+    def _record_overload(self) -> None:
+        self.overloaded += 1
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -147,14 +199,21 @@ class ShardRouter:
     def port(self) -> int:
         return self._port
 
+    @property
+    def links(self) -> list[_ShardLink]:
+        return [link for group in self._groups for link in group]
+
     async def start(self) -> None:
-        for shard, (host, port) in enumerate(self._shard_addresses):
-            reader, writer = await asyncio.open_connection(
-                host, port, limit=STREAM_LIMIT
-            )
-            link = _ShardLink(shard, reader, writer)
-            link.pump = asyncio.ensure_future(self._pump(link))
-            self._links.append(link)
+        for shard, group in enumerate(self._address_groups):
+            links = []
+            for replica, (host, port) in enumerate(group):
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=STREAM_LIMIT
+                )
+                link = _ShardLink(shard, replica, reader, writer)
+                link.pump = asyncio.ensure_future(self._pump(link))
+                links.append(link)
+            self._groups.append(links)
         self._server = await asyncio.start_server(
             self._handle_client,
             self._host,
@@ -181,7 +240,7 @@ class ShardRouter:
             if asyncio.get_running_loop().time() > deadline:
                 break
             await asyncio.sleep(0.01)
-        for link in self._links:
+        for link in self.links:
             if not link.disconnected:
                 try:
                     await asyncio.wait_for(
@@ -190,16 +249,9 @@ class ShardRouter:
                 except (asyncio.TimeoutError, ConnectionError, OSError):
                     pass
             await link.close()
-        self._links.clear()
-        for writer in list(self._writers):
-            try:
-                writer.close()
-            except (ConnectionError, OSError):
-                pass
-        if self._handlers:
-            await asyncio.gather(
-                *list(self._handlers), return_exceptions=True
-            )
+        self._groups.clear()
+        self.transport.close_connections()
+        await self.transport.wait_closed()
         if server is not None:
             await server.wait_closed()
 
@@ -209,18 +261,47 @@ class ShardRouter:
         try:
             await link.send({"op": "shutdown", "id": internal})
         except (ConnectionError, OSError):
-            self._pending.pop(internal, None)
+            self._unregister(internal)
             raise
         await future
 
     # -- forwarding ----------------------------------------------------
-    def _register(self, link: _ShardLink, sink: tuple) -> int:
+    def _register(
+        self,
+        link: _ShardLink,
+        sink: tuple,
+        payload: dict | None = None,
+        attempts: set[int] | None = None,
+    ) -> int:
         self._next_internal += 1
-        self._pending[self._next_internal] = (link, sink)
+        forward = _Forward(link, sink, payload, attempts or set())
+        forward.attempts.add(id(link))
+        self._pending[self._next_internal] = forward
+        link.pending += 1
         return self._next_internal
+
+    def _unregister(self, internal: int) -> _Forward | None:
+        forward = self._pending.pop(internal, None)
+        if forward is not None:
+            forward.link.pending -= 1
+        return forward
+
+    def _pick_link(self, shard: int, circuit: str) -> _ShardLink:
+        """The least-pending healthy replica of one shard group."""
+        healthy = [
+            link for link in self._groups[shard] if not link.disconnected
+        ]
+        if not healthy:
+            raise ConnectionError(
+                f"all {len(self._groups[shard])} replica worker(s) of "
+                f"shard {shard} for circuit {circuit!r} disconnected"
+            )
+        return min(healthy, key=lambda link: link.pending)
 
     async def _pump(self, link: _ShardLink) -> None:
         """Relay every response line of one worker to its requester."""
+        import json
+
         try:
             while True:
                 line = await link.reader.readline()
@@ -231,13 +312,14 @@ class ShardRouter:
                     internal = payload.get("id")
                 except json.JSONDecodeError:
                     continue
-                entry = self._pending.pop(internal, None)
-                if entry is None:
+                forward = self._unregister(internal)
+                if forward is None:
                     continue
-                await self._resolve(entry[1], payload)
+                await self._resolve(forward.sink, payload)
         finally:
-            # The worker hung up (crash or shutdown): fail every request
-            # still waiting on this link instead of stranding clients.
+            # The worker hung up (crash or shutdown): every request
+            # still waiting on this link fails over to a sibling
+            # replica, or fails fast when none is left.
             link.disconnected = True
             await self._fail_link_pending(link)
 
@@ -247,78 +329,71 @@ class ShardRouter:
             if not future.done():
                 future.set_result(payload)
             return
-        _, writer, lock, original_id = sink
+        _, connection, original_id = sink
         payload["id"] = original_id
-        try:
-            async with lock:
-                writer.write((json.dumps(payload) + "\n").encode("utf-8"))
-                await writer.drain()
-        except (ConnectionError, OSError):
-            pass
+        await connection.send(payload)
 
     async def _fail_link_pending(self, link: _ShardLink) -> None:
         stranded = [
             internal
-            for internal, (owner, _) in self._pending.items()
-            if owner is link
+            for internal, forward in self._pending.items()
+            if forward.link is link
         ]
         for internal in stranded:
-            _, sink = self._pending.pop(internal)
-            if sink[0] == "future":
-                future = sink[1]
+            forward = self._unregister(internal)
+            if forward is None:
+                continue
+            if forward.sink[0] == "future":
+                future = forward.sink[1]
                 if not future.done():
                     future.set_exception(
                         ConnectionError("shard worker disconnected")
                     )
                 continue
+            if await self._failover(link, forward):
+                continue
             response = error_response(
-                sink[3], ConnectionError("shard worker disconnected")
+                forward.sink[2],
+                ConnectionError("shard worker disconnected"),
             )
-            await self._resolve(sink, response.to_wire())
+            await self._resolve(forward.sink, response.to_wire())
+
+    async def _failover(self, dead: _ShardLink, forward: _Forward) -> bool:
+        """Resend one stranded request to a sibling replica.
+
+        Every served op is a pure function of the request (``shutdown``
+        and ``reload`` never take this path — they are sent per-link),
+        so replaying it on a sibling is safe. ``attempts`` bounds the
+        chain: each replica is tried at most once, so a cascade of
+        dying replicas degrades to the fail-fast error, not a loop.
+        """
+        if forward.payload is None:
+            return False
+        siblings = [
+            link
+            for link in self._groups[dead.shard]
+            if not link.disconnected and id(link) not in forward.attempts
+        ]
+        for sibling in sorted(siblings, key=lambda link: link.pending):
+            internal = self._register(
+                sibling, forward.sink, forward.payload, forward.attempts
+            )
+            resent = dict(forward.payload)
+            resent["id"] = internal
+            try:
+                await sibling.send(resent)
+                return True
+            except (ConnectionError, OSError):
+                self._unregister(internal)
+        return False
 
     # -- client side ---------------------------------------------------
     async def _handle_client(self, reader, writer) -> None:
-        lock = asyncio.Lock()
-        tasks: set[asyncio.Task] = set()
-        self._writers.add(writer)
-        handler = asyncio.current_task()
-        if handler is not None:
-            self._handlers.add(handler)
-            handler.add_done_callback(self._handlers.discard)
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.IncompleteReadError):
-                    break
-                except ValueError:
-                    # A line beyond the stream limit cannot be resynced;
-                    # hang up rather than die with an unretrieved error.
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                # One task per line: a slow inline op (e.g. a circuits
-                # fan-out waiting on a wedged shard) must not head-of-
-                # line block the forwards queued behind it.
-                task = asyncio.ensure_future(
-                    self._route_line(line, writer, lock)
-                )
-                tasks.add(task)
-                task.add_done_callback(tasks.discard)
-        finally:
-            self._writers.discard(writer)
-            if tasks:
-                await asyncio.gather(*list(tasks), return_exceptions=True)
-            await self._drain_client(writer)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+        await self.transport.handle_connection(
+            reader, writer, before_close=self._drain_client
+        )
 
-    async def _drain_client(self, writer) -> None:
+    async def _drain_client(self, connection: Connection) -> None:
         """Wait for this client's forwarded responses before hanging up.
 
         A pipelining client may half-close its write side (``nc`` does)
@@ -328,118 +403,269 @@ class ShardRouter:
         loop = asyncio.get_running_loop()
         deadline = loop.time() + DRAIN_TIMEOUT
         while any(
-            sink[0] == "client" and sink[1] is writer
-            for _, sink in self._pending.values()
+            forward.sink[0] == "client" and forward.sink[1] is connection
+            for forward in self._pending.values()
         ):
             if loop.time() > deadline:
                 break
             await asyncio.sleep(0.005)
 
-    async def _route_line(self, line: bytes, writer, lock) -> None:
-        request_id = None
+    async def _handle_request(
+        self, connection: Connection, payload: Any, request_id
+    ) -> Response | None:
+        if not isinstance(payload, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = payload.get("op")
+        if op == "ping":
+            return await self._merged_ping(request_id)
+        if op == "circuits":
+            return await self._merged_circuits(request_id)
+        if op == "reload":
+            return await self._route_reload(payload, request_id)
+        if op == "shutdown":
+            raise ProtocolError(
+                "shutdown is not enabled on the sharding front"
+            )
+        circuit = payload.get("circuit")
+        if not circuit or not isinstance(circuit, str):
+            raise ProtocolError("request needs a 'circuit' name")
+        shard = self._table.get(circuit)
+        if shard is None:
+            raise UnknownCircuitError(circuit, sorted(self._table))
+        link = self._pick_link(shard, circuit)
+        internal = self._register(
+            link, ("client", connection, request_id), dict(payload)
+        )
+        forwarded = dict(payload)
+        forwarded["id"] = internal
         try:
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ProtocolError(f"request is not valid JSON: {error}")
-            if not isinstance(payload, dict):
-                raise ProtocolError("request must be a JSON object")
-            raw_id = payload.get("id")
-            if isinstance(raw_id, (int, str)):
-                request_id = raw_id
-            elif raw_id is not None:
-                # Same rule as parse_request: reject before forwarding,
-                # or the relayed answer comes back unattributable.
-                raise ProtocolError(
-                    "request id must be an integer or string"
-                )
-            op = payload.get("op")
-            if op == "ping":
-                response = Response(
-                    id=request_id,
-                    ok=True,
-                    result={
-                        "server": "problp-serve-front",
-                        "shards": len(self._links),
-                        "circuits": len(self._table),
-                    },
-                )
-            elif op == "circuits":
-                response = await self._merged_circuits(request_id)
-            elif op == "shutdown":
-                raise ProtocolError(
-                    "shutdown is not enabled on the sharding front"
-                )
-            else:
-                circuit = payload.get("circuit")
-                if not circuit or not isinstance(circuit, str):
-                    raise ProtocolError("request needs a 'circuit' name")
-                shard = self._table.get(circuit)
-                if shard is None:
-                    raise UnknownCircuitError(
-                        circuit, sorted(self._table)
-                    )
-                link = self._links[shard]
-                if link.disconnected:
-                    raise ConnectionError(
-                        f"shard worker {shard} for circuit {circuit!r} "
-                        f"disconnected"
-                    )
-                internal = self._register(
-                    link, ("client", writer, lock, request_id)
-                )
-                forwarded = dict(payload)
-                forwarded["id"] = internal
-                try:
-                    await link.send(forwarded)
-                except (ConnectionError, OSError):
-                    self._pending.pop(internal, None)
-                    raise
-                return  # the pump answers this one
-        except Exception as error:  # noqa: BLE001 — mapped to wire errors
-            response = error_response(request_id, error)
-        try:
-            async with lock:
-                writer.write(
-                    (json.dumps(response.to_wire()) + "\n").encode("utf-8")
-                )
-                await writer.drain()
+            await link.send(forwarded)
         except (ConnectionError, OSError):
-            pass
+            forward = self._unregister(internal)
+            if forward is None:
+                # The pump noticed the dead replica first and already
+                # failed this request over; the send error is stale.
+                return None
+            # The replica died between pick and send: fail over now
+            # instead of bouncing the error back to the client.
+            if await self._failover(link, forward):
+                return None
+            raise
+        return None  # the pump (or the fail-over path) answers this one
 
-    async def _merged_circuits(self, request_id) -> Response:
-        futures = []
-        for link in self._links:
-            if link.disconnected:
-                continue
+    # -- fan-out ops ---------------------------------------------------
+    async def _fanout(
+        self, links: Sequence[_ShardLink], payload: Mapping[str, Any]
+    ) -> list[tuple[_ShardLink, dict | None]]:
+        """Send one op to many workers; ``None`` marks an unreachable one."""
+        futures: list[tuple[_ShardLink, int, asyncio.Future]] = []
+        for link in links:
             future = asyncio.get_running_loop().create_future()
             internal = self._register(link, ("future", future))
             try:
-                await link.send({"op": "circuits", "id": internal})
+                await link.send({**payload, "id": internal})
             except (ConnectionError, OSError):
-                self._pending.pop(internal, None)
-                continue  # a dead shard drops out of the merged listing
-            futures.append((internal, future))
-        merged: list[dict] = []
-        for internal, future in futures:
+                self._unregister(internal)
+                continue
+            futures.append((link, internal, future))
+        results: dict[int, dict | None] = {id(link): None for link in links}
+        for link, internal, future in futures:
             try:
-                payload = await asyncio.wait_for(future, timeout=30)
+                results[id(link)] = await asyncio.wait_for(
+                    future, timeout=FANOUT_TIMEOUT
+                )
             except (asyncio.TimeoutError, ConnectionError):
                 # Unregister a timed-out fan-out so stop()'s drain loop
                 # does not wait on a sink that can never resolve.
-                self._pending.pop(internal, None)
-                continue
-            if payload.get("ok"):
+                self._unregister(internal)
+        return [(link, results[id(link)]) for link in links]
+
+    async def _merged_ping(self, request_id) -> Response:
+        """Fleet health in one probe: every worker's ping, merged."""
+        answers = await self._fanout(
+            [link for link in self.links if not link.disconnected],
+            {"op": "ping"},
+        )
+        workers = []
+        merged_formats: set[str] | None = None
+        all_native = bool(answers)
+        for link, payload in answers:
+            entry: dict = {"shard": link.shard, "replica": link.replica}
+            if payload is None or not payload.get("ok"):
+                entry["healthy"] = False
+                all_native = False
+            else:
+                result = payload["result"]
+                entry["healthy"] = True
+                for key in ("uptime_s", "inflight", "circuits", "version"):
+                    if key in result:
+                        entry[key] = result[key]
+                backends = result.get("backends") or {}
+                entry["backends"] = backends
+                formats = set(backends.get("native_formats") or ())
+                all_native = all_native and bool(backends.get("native"))
+                merged_formats = (
+                    formats
+                    if merged_formats is None
+                    else merged_formats & formats
+                )
+            workers.append(entry)
+        dead = [
+            {"shard": link.shard, "replica": link.replica, "healthy": False}
+            for link in self.links
+            if link.disconnected
+        ]
+        result = {
+            "server": "problp-serve-front",
+            "shards": len(self._groups),
+            "replicas": [len(group) for group in self._groups],
+            "workers": workers + dead,
+            "circuits": len(self._table),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "inflight": self.transport.inflight,
+            "overloaded": self.overloaded,
+            # Fleet-level backend surface: conservative (intersection
+            # across healthy workers), so a client probing the front
+            # sees only capabilities *every* replica can honor.
+            "backends": {
+                "numpy": True,
+                "native": all_native,
+                "native_formats": sorted(merged_formats or ()),
+            },
+            "capabilities": {"theta_batch": True, "reload": True},
+        }
+        return Response(id=request_id, ok=True, result=result)
+
+    async def _merged_circuits(self, request_id) -> Response:
+        """One replica per shard describes its circuits; merged listing."""
+        primaries = []
+        for shard, group in enumerate(self._groups):
+            healthy = [link for link in group if not link.disconnected]
+            if healthy:
+                # A dead shard group drops out of the merged listing.
+                primaries.append(min(healthy, key=lambda lk: lk.pending))
+        answers = await self._fanout(primaries, {"op": "circuits"})
+        merged: list[dict] = []
+        for _, payload in answers:
+            if payload is not None and payload.get("ok"):
                 merged.extend(payload["result"]["circuits"])
         return Response(id=request_id, ok=True, result={"circuits": merged})
 
+    async def _route_reload(self, payload: dict, request_id) -> Response:
+        """Hot-reload across the fleet: table + every affected replica.
+
+        Removals go to the shard that owns each name; additions go to
+        the shard currently serving the fewest circuits (deterministic
+        tie-break on shard index). Each affected shard's mutation is
+        sent to **all** of its replicas — replicas must stay identical
+        for fail-over to stay sound. The routing table commits only
+        after every replica acknowledged; a partially-failed reload
+        returns the first worker error (reloads are idempotent per
+        name, so retrying after a fix converges).
+        """
+        from .protocol import parse_request
+
+        request = parse_request({**payload, "id": request_id})
+        per_shard: dict[int, dict] = {}
+        for name in request.remove:
+            shard = self._table.get(name)
+            if shard is None:
+                raise UnknownCircuitError(name, sorted(self._table))
+            per_shard.setdefault(shard, {"add": [], "remove": []})[
+                "remove"
+            ].append(name)
+        counts = {shard: 0 for shard in range(len(self._groups))}
+        for name, shard in self._table.items():
+            counts[shard] += 1
+        for shard, plan in per_shard.items():
+            counts[shard] -= len(plan["remove"])
+        removed = set(request.remove)
+        for item in request.add:
+            name = item["name"]
+            if name in self._table and name not in removed:
+                raise ProtocolError(
+                    f"circuit {name!r} is already served; remove it in "
+                    f"the same reload to replace it"
+                )
+            if name in removed:
+                # A replace must land on the shard that owned the name —
+                # its replicas process remove+add as one atomic step.
+                shard = self._table[name]
+            else:
+                shard = min(counts, key=lambda s: (counts[s], s))
+            per_shard.setdefault(shard, {"add": [], "remove": []})[
+                "add"
+            ].append(dict(item))
+            counts[shard] += 1
+        failures: list[str] = []
+        for shard, plan in sorted(per_shard.items()):
+            healthy = [
+                link
+                for link in self._groups[shard]
+                if not link.disconnected
+            ]
+            if not healthy:
+                failures.append(f"shard {shard}: all replicas disconnected")
+                continue
+            op: dict = {"op": "reload"}
+            if plan["add"]:
+                op["add"] = plan["add"]
+            if plan["remove"]:
+                op["remove"] = plan["remove"]
+            for link, answer in await self._fanout(healthy, op):
+                if answer is None:
+                    failures.append(
+                        f"shard {shard} replica {link.replica}: unreachable"
+                    )
+                elif not answer.get("ok"):
+                    error = answer.get("error") or {}
+                    failures.append(
+                        f"shard {shard} replica {link.replica}: "
+                        f"[{error.get('code')}] {error.get('message')}"
+                    )
+        if failures:
+            return error_response(
+                request_id,
+                RuntimeError(
+                    "reload failed on some workers (retry once fixed — "
+                    "reloads are idempotent per name): "
+                    + "; ".join(failures)
+                ),
+            )
+        for shard, plan in per_shard.items():
+            for name in plan["remove"]:
+                self._table.pop(name, None)
+            for item in plan["add"]:
+                self._table[item["name"]] = shard
+        return Response(
+            id=request_id,
+            ok=True,
+            result={
+                "added": [item["name"] for item in request.add],
+                "removed": list(request.remove),
+                "circuits": len(self._table),
+            },
+        )
+
+
+def _is_address(group: Any) -> bool:
+    """True for one plain ``(host, port)`` pair (legacy flat layout)."""
+    return (
+        isinstance(group, (tuple, list))
+        and len(group) == 2
+        and isinstance(group[0], str)
+        and isinstance(group[1], int)
+    )
+
 
 class ShardedServer:
-    """Spawn circuit-shard workers plus a routing front; manage both.
+    """Spawn replicated circuit-shard workers plus a routing front.
 
     ``registry`` entries must be declarative (:class:`CircuitSource`):
     workers re-compile their own shard from the specs — the compiled
-    artifacts themselves never cross process boundaries.
+    artifacts themselves never cross process boundaries. ``replicas``
+    spawns that many identical workers per shard; the front
+    load-balances per request across them and fails over when one dies.
     """
 
     def __init__(
@@ -449,25 +675,43 @@ class ShardedServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        replicas: int = 1,
         batch_window: float = DEFAULT_BATCH_WINDOW,
         max_batch: int = DEFAULT_MAX_BATCH,
         worker_threads: int = 4,
+        metrics_interval: float | None = None,
+        max_inflight: int = 0,
+        max_inflight_per_connection: int = 0,
     ) -> None:
         if not isinstance(registry, CircuitRegistry):
             registry = CircuitRegistry.from_sources(registry)
         if shards < 1:
             raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("need at least one replica per shard")
         self._registry = registry
         self._requested_shards = shards
+        self.replicas = replicas
         self._host = host
         self._port = port
-        self._batch_window = batch_window
-        self._max_batch = max_batch
-        self._worker_threads = worker_threads
+        self._worker_kwargs = {
+            "batch_window": batch_window,
+            "max_batch": max_batch,
+            "worker_threads": worker_threads,
+            "metrics_interval": metrics_interval,
+        }
+        self._front_limits = {
+            "max_inflight": max_inflight,
+            "max_inflight_per_connection": max_inflight_per_connection,
+        }
         self._processes: list[multiprocessing.Process] = []
         self._front: BackgroundServer | None = None
         self.partitions: list[tuple[CircuitSource, ...]] = []
-        self.shard_addresses: list[tuple[str, int]] = []
+        #: One address group per shard: ``[[(host, port), ...], ...]``.
+        self.shard_addresses: list[list[tuple[str, int]]] = []
+        #: Worker processes in the same shape as ``shard_addresses`` —
+        #: ``replica_processes[shard][replica]`` (test/chaos hook).
+        self.replica_processes: list[list[multiprocessing.Process]] = []
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "ShardedServer":
@@ -482,42 +726,55 @@ class ShardedServer:
             raise ValueError("registry holds no circuits to shard")
         self.partitions = partitions
         context = multiprocessing.get_context()
-        pipes = []
+        pipes: list[list] = []
         for group in partitions:
-            parent_conn, child_conn = context.Pipe(duplex=False)
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(
-                    group,
-                    # Workers are reachable only by the front on this
-                    # machine and honor the shutdown op — loopback
-                    # unconditionally, whatever the front binds.
-                    "127.0.0.1",
-                    self._batch_window,
-                    self._max_batch,
-                    self._worker_threads,
-                    child_conn,
-                ),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            pipes.append(parent_conn)
+            shard_pipes = []
+            shard_processes = []
+            for _replica in range(self.replicas):
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        group,
+                        # Workers are reachable only by the front on
+                        # this machine and honor the shutdown op —
+                        # loopback unconditionally, whatever the front
+                        # binds.
+                        "127.0.0.1",
+                        self._worker_kwargs,
+                        child_conn,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                shard_processes.append(process)
+                shard_pipes.append(parent_conn)
+            pipes.append(shard_pipes)
+            self.replica_processes.append(shard_processes)
         try:
-            for parent_conn in pipes:
-                if not parent_conn.poll(timeout=120):
-                    raise RuntimeError("shard worker did not come up in time")
-                self.shard_addresses.append(tuple(parent_conn.recv()))
-                parent_conn.close()
+            for shard_pipes in pipes:
+                addresses = []
+                for parent_conn in shard_pipes:
+                    if not parent_conn.poll(timeout=120):
+                        raise RuntimeError(
+                            "shard worker did not come up in time"
+                        )
+                    addresses.append(tuple(parent_conn.recv()))
+                    parent_conn.close()
+                self.shard_addresses.append(addresses)
         except BaseException:
             self._terminate_workers()
             raise
         table = routing_table(partitions)
-        addresses = list(self.shard_addresses)
+        addresses = [list(group) for group in self.shard_addresses]
         host, port = self._host, self._port
+        limits = dict(self._front_limits)
         self._front = BackgroundServer(
-            factory=lambda: ShardRouter(addresses, table, host, port)
+            factory=lambda: ShardRouter(
+                addresses, table, host, port, **limits
+            )
         )
         try:
             self._front.start()
@@ -536,6 +793,12 @@ class ShardedServer:
     def port(self) -> int:
         assert self._front is not None, "call start() first"
         return self._front.port
+
+    def kill_replica(self, shard: int, replica: int) -> None:
+        """Hard-kill one worker (SIGKILL) — the chaos/failover hook."""
+        process = self.replica_processes[shard][replica]
+        process.kill()
+        process.join(timeout=10)
 
     def stop(self) -> None:
         """Drain the front, shut workers down, join the processes."""
@@ -557,6 +820,7 @@ class ShardedServer:
                 process.kill()
                 process.join(timeout=5)
         self._processes = []
+        self.replica_processes = []
 
     def __enter__(self) -> "ShardedServer":
         return self.start()

@@ -1,0 +1,253 @@
+"""The shared ndJSON connection transport for every serving front.
+
+:class:`ProbLPServer` and the sharding/replication front
+(:class:`~repro.serve.sharding.ShardRouter`) used to carry two
+near-identical copies of the same per-connection machinery: a readline
+loop hardened against resets, oversized lines and half-closed sockets; a
+per-connection write lock; one task per request line so a slow request
+never head-of-line blocks the pipeline; and the drain-then-hang-up
+shutdown dance. :class:`NdjsonTransport` is that machinery, written
+once.
+
+The transport also owns **admission control**: per-connection and global
+in-flight limits, checked *before* a request line becomes a task. A
+request beyond either limit is answered immediately with the typed
+``overloaded`` wire error instead of buffering without bound — clients
+(see :class:`~repro.serve.pool.ClientPool`) treat that code as
+backpressure and retry after a beat.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable
+
+from .protocol import (
+    ProtocolError,
+    Response,
+    ServerOverloadedError,
+    error_response,
+)
+
+__all__ = ["Connection", "NdjsonTransport", "encode_line"]
+
+
+def encode_line(payload: dict) -> bytes:
+    """One wire line: compact JSON plus the newline terminator."""
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+class Connection:
+    """One accepted client socket: writer, write lock, in-flight tasks."""
+
+    __slots__ = ("writer", "lock", "tasks")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.tasks: set[asyncio.Task] = set()
+
+    @property
+    def inflight(self) -> int:
+        return len(self.tasks)
+
+    async def send(self, payload: dict) -> None:
+        """Write one response line; a vanished client is not an error."""
+        try:
+            async with self.lock:
+                self.writer.write(encode_line(payload))
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to scatter back to
+
+
+class NdjsonTransport:
+    """Per-connection read loops plus admission control, shared by fronts.
+
+    Parameters
+    ----------
+    handle:
+        ``async (connection, payload, request_id) -> Response | None``.
+        The per-front request logic. A returned :class:`Response` is
+        written back on the request's connection; ``None`` means the
+        front answers later through another path (the router's response
+        pumps do). Exceptions are mapped to wire errors here, once.
+    max_inflight_per_connection, max_inflight_total:
+        Admission limits (0 disables a limit). A request that would
+        exceed either is refused with the ``overloaded`` error code.
+    extra_inflight:
+        Optional extra load counted against the global limit — the
+        router counts its forwarded-but-unanswered requests this way,
+        since those leave the line task before the worker responds.
+    on_overload:
+        Optional callback invoked once per shed request (metrics).
+    """
+
+    def __init__(
+        self,
+        handle: Callable[
+            [Connection, Any, int | str | None],
+            Awaitable[Response | None],
+        ],
+        *,
+        max_inflight_per_connection: int = 0,
+        max_inflight_total: int = 0,
+        extra_inflight: Callable[[], int] | None = None,
+        on_overload: Callable[[], None] | None = None,
+    ) -> None:
+        self._handle = handle
+        self.max_inflight_per_connection = max_inflight_per_connection
+        self.max_inflight_total = max_inflight_total
+        self._extra_inflight = extra_inflight
+        self._on_overload = on_overload
+        self.connections: set[Connection] = set()
+        #: Every in-flight request task across connections, so shutdown
+        #: can drain responses that are still being computed.
+        self._tasks: set[asyncio.Task] = set()
+        self._handlers: set[asyncio.Task] = set()
+
+    # -- load accounting -----------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests admitted and not yet answered (all connections)."""
+        total = len(self._tasks)
+        if self._extra_inflight is not None:
+            total += self._extra_inflight()
+        return total
+
+    def _admit(self, connection: Connection) -> str | None:
+        """``None`` to admit, else the refusal message."""
+        per_connection = self.max_inflight_per_connection
+        if per_connection and connection.inflight >= per_connection:
+            return (
+                f"connection already has {connection.inflight} requests "
+                f"in flight (limit {per_connection}); retry after a "
+                f"response arrives"
+            )
+        total = self.max_inflight_total
+        if total and self.inflight >= total:
+            return (
+                f"server already has {self.inflight} requests in flight "
+                f"(limit {total}); retry shortly"
+            )
+        return None
+
+    # -- the shared connection loop ------------------------------------
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        before_close: Callable[[Connection], Awaitable[None]] | None = None,
+    ) -> None:
+        connection = Connection(writer)
+        self.connections.add(connection)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._handlers.add(handler)
+            handler.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                except ValueError:
+                    # A line beyond the stream limit cannot be resynced;
+                    # hang up rather than die with an unretrieved error.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._serve_line(connection, line)
+        finally:
+            self.connections.discard(connection)
+            if connection.tasks:
+                await asyncio.gather(
+                    *list(connection.tasks), return_exceptions=True
+                )
+            if before_close is not None:
+                await before_close(connection)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_line(self, connection: Connection, line: bytes) -> None:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            await connection.send(
+                error_response(
+                    None,
+                    ProtocolError(f"request is not valid JSON: {error}"),
+                ).to_wire()
+            )
+            return
+        request_id = None
+        if isinstance(payload, dict):
+            raw_id = payload.get("id")
+            if isinstance(raw_id, (int, str)):
+                request_id = raw_id
+            elif raw_id is not None:
+                # Reject before any handling — an answer to a request
+                # with an unusable id comes back unattributable.
+                await connection.send(
+                    error_response(
+                        None,
+                        ProtocolError(
+                            "request id must be an integer or string"
+                        ),
+                    ).to_wire()
+                )
+                return
+        refusal = self._admit(connection)
+        if refusal is not None:
+            if self._on_overload is not None:
+                self._on_overload()
+            await connection.send(
+                error_response(
+                    request_id, ServerOverloadedError(refusal)
+                ).to_wire()
+            )
+            return
+        task = asyncio.ensure_future(
+            self._run_line(connection, payload, request_id)
+        )
+        for registry in (connection.tasks, self._tasks):
+            registry.add(task)
+            task.add_done_callback(registry.discard)
+
+    async def _run_line(
+        self, connection: Connection, payload: Any, request_id
+    ) -> None:
+        try:
+            response = await self._handle(connection, payload, request_id)
+        except Exception as error:  # noqa: BLE001 — mapped to wire errors
+            response = error_response(request_id, error)
+        if response is not None:
+            await connection.send(response.to_wire())
+
+    # -- shutdown plumbing ---------------------------------------------
+    async def drain(self) -> None:
+        """Wait for every admitted request task to finish."""
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def close_connections(self) -> None:
+        """Hang up on idle clients (drain first for a graceful stop)."""
+        for connection in list(self.connections):
+            try:
+                connection.writer.close()
+            except (ConnectionError, OSError):
+                pass
+
+    async def wait_closed(self) -> None:
+        """Wait for every connection handler coroutine to return."""
+        if self._handlers:
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )

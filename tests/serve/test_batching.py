@@ -1,0 +1,236 @@
+"""Unit tests for the micro-batching queue itself.
+
+The end-to-end suites exercise the batcher through the server; these
+tests pin down the queue's own contracts — window coalescing, the
+``max_batch`` early-flush boundary, drain-while-a-flush-is-in-flight,
+and the per-request fail-over that keeps one bad query from poisoning
+its batch neighbors.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import BatchKey, MicroBatcher
+
+KEY = BatchKey(circuit="sprinkler", kind="eval")
+OTHER = BatchKey(circuit="asia", kind="eval")
+
+
+class RecordingDispatch:
+    """A dispatch stub that logs every batch it receives."""
+
+    def __init__(self, result=lambda request: request * 10):
+        self.batches = []
+        self.result = result
+        self.release = threading.Event()
+        self.release.set()
+        self.entered = threading.Event()
+
+    def __call__(self, key, requests):
+        self.batches.append((key, list(requests)))
+        self.entered.set()
+        # Block here (when told to) to model a slow tape replay — the
+        # event loop keeps running while the executor thread waits.
+        assert self.release.wait(timeout=30)
+        return [self.result(request) for request in requests]
+
+
+class TestCoalescing:
+    def test_window_coalesces_concurrent_submits(self):
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.02, max_batch=64)
+            results = await asyncio.gather(
+                batcher.submit(KEY, 1),
+                batcher.submit(KEY, 2),
+                batcher.submit(KEY, 3),
+            )
+            await batcher.drain()
+            return results
+
+        assert asyncio.run(scenario()) == [10, 20, 30]
+        assert [requests for _, requests in dispatch.batches] == [[1, 2, 3]]
+
+    def test_distinct_keys_never_share_a_batch(self):
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.02, max_batch=64)
+            await asyncio.gather(
+                batcher.submit(KEY, 1), batcher.submit(OTHER, 2)
+            )
+            await batcher.drain()
+
+        asyncio.run(scenario())
+        keys = {key for key, _ in dispatch.batches}
+        assert keys == {KEY, OTHER}
+        assert all(len(requests) == 1 for _, requests in dispatch.batches)
+
+    def test_max_batch_flushes_early_without_waiting_the_window(self):
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            # A window so long that only the max_batch trigger can
+            # explain a flush inside the test timeout.
+            batcher = MicroBatcher(dispatch, window=60.0, max_batch=4)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    *(batcher.submit(KEY, index) for index in range(4))
+                ),
+                timeout=10,
+            )
+            batcher.close()
+            return results
+
+        assert asyncio.run(scenario()) == [0, 10, 20, 30]
+        assert [requests for _, requests in dispatch.batches] == [
+            [0, 1, 2, 3]
+        ]
+
+    def test_submits_beyond_the_boundary_open_a_fresh_bucket(self):
+        """max_batch + k submits → one full batch now, k after a window.
+
+        The boundary race to pin: the (max_batch+1)-th request must not
+        be silently absorbed into the already-flushed batch, nor starve
+        with its timer eaten by the flush.
+        """
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.02, max_batch=4)
+            results = await asyncio.gather(
+                *(batcher.submit(KEY, index) for index in range(6))
+            )
+            await batcher.drain()
+            return results
+
+        assert asyncio.run(scenario()) == [0, 10, 20, 30, 40, 50]
+        assert [requests for _, requests in dispatch.batches] == [
+            [0, 1, 2, 3],
+            [4, 5],
+        ]
+
+    def test_stats_count_requests_and_batches(self):
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.01, max_batch=4)
+            await asyncio.gather(
+                *(batcher.submit(KEY, index) for index in range(5))
+            )
+            await batcher.drain()
+            return batcher.stats
+
+        stats = asyncio.run(scenario())
+        assert stats.requests == 5
+        assert stats.batches == 2
+        assert stats.largest_batch == 4
+        assert stats.to_dict()["mean_batch"] == pytest.approx(2.5)
+
+
+class TestDrain:
+    def test_drain_waits_for_an_inflight_flush(self):
+        """drain() must block on a batch already executing, not just
+        flush open windows."""
+        dispatch = RecordingDispatch()
+        dispatch.release.clear()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.001, max_batch=64)
+            future = batcher.submit(KEY, 7)
+            # Wait until the dispatch is genuinely on the executor
+            # thread, stuck against the release gate.
+            await asyncio.get_running_loop().run_in_executor(
+                None, dispatch.entered.wait, 5
+            )
+            release = asyncio.get_running_loop().call_later(
+                0.05, dispatch.release.set
+            )
+            try:
+                await batcher.drain()
+            finally:
+                release.cancel()
+                dispatch.release.set()
+            # After drain, the submit's future must already be resolved.
+            assert future.done()
+            return await future
+
+        assert asyncio.run(scenario()) == 70
+
+    def test_drain_flushes_a_still_open_window(self):
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=60.0, max_batch=64)
+            future = batcher.submit(KEY, 3)
+            await batcher.drain()
+            assert future.done()
+            return await future
+
+        assert asyncio.run(scenario()) == 30
+
+    def test_close_cancels_queued_requests(self):
+        dispatch = RecordingDispatch()
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=60.0, max_batch=64)
+            future = batcher.submit(KEY, 3)
+            batcher.close()
+            with pytest.raises(asyncio.CancelledError):
+                await future
+
+        asyncio.run(scenario())
+        assert dispatch.batches == []
+
+
+class TestFailover:
+    def test_one_bad_request_fails_alone(self):
+        """A batch-wide failure re-runs per request: neighbors succeed,
+        only the offender sees its error."""
+        calls = []
+
+        def dispatch(key, requests):
+            calls.append(list(requests))
+            if any(request == "bad" for request in requests):
+                raise ValueError("poisoned batch")
+            return [f"ok:{request}" for request in requests]
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.02, max_batch=64)
+            results = await asyncio.gather(
+                batcher.submit(KEY, "a"),
+                batcher.submit(KEY, "bad"),
+                batcher.submit(KEY, "b"),
+                return_exceptions=True,
+            )
+            await batcher.drain()
+            return results
+
+        good_a, bad, good_b = asyncio.run(scenario())
+        assert good_a == "ok:a"
+        assert good_b == "ok:b"
+        assert isinstance(bad, ValueError)
+        # One coalesced attempt, then one single-request re-run each.
+        assert calls[0] == ["a", "bad", "b"]
+        assert sorted(
+            tuple(batch) for batch in calls[1:]
+        ) == [("a",), ("b",), ("bad",)]
+
+    def test_single_request_failure_skips_the_rerun(self):
+        calls = []
+
+        def dispatch(key, requests):
+            calls.append(list(requests))
+            raise RuntimeError("always broken")
+
+        async def scenario():
+            batcher = MicroBatcher(dispatch, window=0.005, max_batch=64)
+            with pytest.raises(RuntimeError):
+                await batcher.submit(KEY, "only")
+            await batcher.drain()
+
+        asyncio.run(scenario())
+        assert calls == [["only"]]

@@ -20,6 +20,7 @@ from repro.serve.protocol import (
     OptimizeRequest,
     PingRequest,
     ProtocolError,
+    ReloadRequest,
     REQUEST_TYPES,
     Response,
     ServeError,
@@ -70,6 +71,11 @@ REPRESENTATIVES = [
     ThetaBatchRequest(id=14, circuit="landscape",
                       evidence={"Presence": 1},
                       theta=((0.1, 0.9),), fmt=FIXED),
+    ReloadRequest(id=15, add=({"name": "alarm2", "kind": "builtin",
+                               "path": None},)),
+    ReloadRequest(id=16, add=({"name": "net", "kind": "bif",
+                               "path": "/tmp/net.bif"},),
+                  remove=("alarm",)),
 ]
 
 
