@@ -483,8 +483,9 @@ def cmd_eval(args) -> int:
         f"{session.tape.describe()} ({session.backend} backend)",
         file=sys.stderr,
     )
-    if session.backend_fallback_reason:
-        print(f"# fallback: {session.backend_fallback_reason}", file=sys.stderr)
+    note = session.fallback_note()
+    if note:
+        print(f"# fallback: {note}", file=sys.stderr)
     return 0
 
 
@@ -556,8 +557,9 @@ def cmd_marginals(args) -> int:
         f"({session.backend} backend)",
         file=sys.stderr,
     )
-    if fallback:
-        print(f"# fallback: {fallback}", file=sys.stderr)
+    note = session.fallback_note()
+    if note:
+        print(f"# fallback: {note}", file=sys.stderr)
     return 0
 
 
@@ -647,6 +649,37 @@ def cmd_serve(args) -> int:
             "problp serve: --replicas needs the multi-process front "
             "(--shards >= 1)"
         )
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        raise SystemExit(
+            "problp serve: --trace-sample-rate must be in [0, 1]"
+        )
+    slow_ms = args.slow_ms if args.slow_ms and args.slow_ms > 0 else None
+
+    def _start_obs(render_metrics, render_health):
+        """The sidecar ``GET /metrics`` + ``GET /healthz`` HTTP thread."""
+        if args.obs_port is None:
+            return None
+        from .obs import ObsHttpServer
+
+        obs = ObsHttpServer(
+            render_metrics,
+            render_health=render_health,
+            host=args.host,
+            port=args.obs_port,
+        )
+        try:
+            obs.start()
+        except OSError as error:
+            raise SystemExit(
+                f"problp serve: --obs-port {args.obs_port}: {error}"
+            ) from None
+        print(
+            f"problp serve: observability on "
+            f"http://{args.host}:{obs.port}/metrics",
+            file=sys.stderr,
+        )
+        return obs
+
     if args.shards > 0:
         sharded = ShardedServer(
             registry,
@@ -659,6 +692,8 @@ def cmd_serve(args) -> int:
             metrics_interval=metrics_interval,
             max_inflight=args.max_inflight,
             max_inflight_per_connection=args.max_inflight_per_conn,
+            trace_sample_rate=args.trace_sample_rate,
+            slow_ms=slow_ms,
         )
         try:
             sharded.start()
@@ -668,6 +703,29 @@ def cmd_serve(args) -> int:
             raise SystemExit(
                 f"problp serve: {error.__cause__ or error}"
             ) from None
+
+        def _scrape_merged() -> str:
+            # Replica metrics live in worker processes; the front's
+            # ``metrics`` op fans out and merges, so the HTTP thread
+            # just dials the front like any other client.
+            from .obs import render_prometheus
+            from .serve import ServeClient
+
+            with ServeClient(
+                sharded.host, sharded.port, timeout=10.0
+            ) as client:
+                merged = client.metrics()
+            return render_prometheus(merged["families"])
+
+        def _sharded_health() -> dict:
+            workers = sum(len(group) for group in sharded.shard_addresses)
+            return {
+                "ok": workers > 0,
+                "shards": len(sharded.shard_addresses),
+                "workers": workers,
+            }
+
+        obs = _start_obs(_scrape_merged, _sharded_health)
         workers = sum(len(group) for group in sharded.shard_addresses)
         print(
             f"problp serve: {len(registry)} circuit(s) on "
@@ -685,10 +743,14 @@ def cmd_serve(args) -> int:
             pass
         finally:
             print("problp serve: draining...", file=sys.stderr)
+            if obs is not None:
+                obs.stop()
             sharded.stop()
         return 0
 
     async def run() -> None:
+        from .obs import get_registry
+
         server = ProbLPServer(
             registry,
             args.host,
@@ -698,8 +760,14 @@ def cmd_serve(args) -> int:
             metrics_interval=metrics_interval,
             max_inflight=args.max_inflight,
             max_inflight_per_connection=args.max_inflight_per_conn,
+            trace_sample_rate=args.trace_sample_rate,
+            slow_ms=slow_ms,
         )
         await server.start()
+        obs = _start_obs(
+            get_registry().render,
+            lambda: {"ok": True, "circuits": len(registry)},
+        )
         print(
             f"problp serve: {len(registry)} circuit(s) on "
             f"{server.host}:{server.port} "
@@ -709,6 +777,8 @@ def cmd_serve(args) -> int:
         try:
             await server.serve_until_shutdown()
         finally:
+            if obs is not None:
+                obs.stop()
             await server.stop()
 
     try:
@@ -988,6 +1058,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="flush a micro-batch early at this many requests",
+    )
+    serve.add_argument(
+        "--obs-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve GET /metrics (Prometheus text, merged across "
+        "replicas when sharded) and GET /healthz on this HTTP port "
+        "(0 picks an ephemeral port; default: off)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="attach a span-timing breakdown to this fraction of "
+        "responses even when the client did not ask for a trace "
+        "(0..1, default 0)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a slow-query line (with the span breakdown) for any "
+        "request slower than this many milliseconds (default: off)",
     )
     serve.add_argument(
         "--backend",

@@ -495,7 +495,7 @@ class TapeAnalysis:
 #: Per-tape analysis cache; an analysis dies with its tape (and the tape
 #: with its circuit), so long-lived services never leak. Construction
 #: runs outside the memo's lock so different tapes analyze in parallel.
-_ANALYSIS_MEMO: KeyedMemo = KeyedMemo(weak=True)
+_ANALYSIS_MEMO: KeyedMemo = KeyedMemo(weak=True, name="analysis")
 
 
 def tape_analysis_for(tape: Tape) -> TapeAnalysis:

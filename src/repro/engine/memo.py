@@ -19,6 +19,11 @@ hand-copied at five sites:
 cache by object identity in a :class:`weakref.WeakKeyDictionary`, so
 artifacts die with the objects they were compiled from and long-lived
 services never leak.
+
+A memo constructed with ``name="tape"`` additionally counts lookup
+outcomes in the process metrics registry as
+``problp_memo_cache_total{cache="tape",outcome="hit"|"miss"|"stale"}``
+(one counter bump per lookup; anonymous memos pay nothing).
 """
 
 from __future__ import annotations
@@ -27,9 +32,18 @@ import threading
 import weakref
 from typing import Any, Callable, Hashable, TypeVar
 
+from ..obs.metrics import REGISTRY
+
 V = TypeVar("V")
 
 __all__ = ["KeyedMemo"]
+
+_CACHE_TOTAL = REGISTRY.counter(
+    "problp_memo_cache_total",
+    "Engine keyed-memo lookups by cache and outcome "
+    "(hit = fresh reuse, stale = superseded entry rebuilt, miss = built).",
+    labelnames=("cache", "outcome"),
+)
 
 
 class KeyedMemo:
@@ -41,9 +55,15 @@ class KeyedMemo:
     ``build`` must not return ``None`` (``None`` marks a cache miss).
     """
 
-    def __init__(self, *, weak: bool = False) -> None:
+    def __init__(self, *, weak: bool = False, name: str | None = None) -> None:
         self._entries: Any = weakref.WeakKeyDictionary() if weak else {}
         self._lock = threading.Lock()
+        if name is None:
+            self._hit = self._stale = self._miss = None
+        else:
+            self._hit = _CACHE_TOTAL.labels(name, "hit")
+            self._stale = _CACHE_TOTAL.labels(name, "stale")
+            self._miss = _CACHE_TOTAL.labels(name, "miss")
 
     def get(
         self,
@@ -55,7 +75,12 @@ class KeyedMemo:
         with self._lock:
             value = self._entries.get(key)
             if value is not None and (fresh is None or fresh(value)):
+                if self._hit is not None:
+                    self._hit.inc()
                 return value
+            outcome = self._miss if value is None else self._stale
+        if outcome is not None:
+            outcome.inc()
         built = build()
         if built is None:
             raise ValueError("KeyedMemo build() must not return None")

@@ -29,8 +29,10 @@ import shutil
 import sys
 import tempfile
 import threading
+import time
 from typing import Any
 
+from ...obs.metrics import REGISTRY
 from ..memo import KeyedMemo
 from .codegen import CODEGEN_VERSION, KERNEL_CDEF
 
@@ -59,6 +61,17 @@ _COMPILE_ARGS = [
 
 _PROBE_CDEF = "int problp_native_probe(void);"
 _PROBE_SOURCE = "int problp_native_probe(void) { return 42; }\n"
+
+_BUILD_TOTAL = REGISTRY.counter(
+    "problp_native_build_total",
+    "Native kernel-module builds by outcome: disk_hit reused a cached "
+    ".so, compiled invoked the C compiler, failed raised.",
+    labelnames=("outcome",),
+)
+_CC_SECONDS = REGISTRY.histogram(
+    "problp_native_cc_seconds",
+    "Wall time of cffi compile+link for one kernel module.",
+)
 
 
 class NativeBuildError(RuntimeError):
@@ -103,14 +116,17 @@ def _compile_into_cache(name: str, cdef: str, source: str) -> str:
     try:
         from cffi import FFI
     except ImportError as error:
+        _BUILD_TOTAL.labels("failed").inc()
         raise NativeBuildError(f"cffi is not installed: {error}") from error
 
     directory = cache_dir()
     os.makedirs(directory, exist_ok=True)
     final_path = os.path.join(directory, name + _extension_suffix())
     if os.path.exists(final_path):
+        _BUILD_TOTAL.labels("disk_hit").inc()
         return final_path
     workdir = tempfile.mkdtemp(prefix=name + ".", dir=directory)
+    started = time.monotonic()
     try:
         ffi = FFI()
         ffi.cdef(cdef)
@@ -118,19 +134,23 @@ def _compile_into_cache(name: str, cdef: str, source: str) -> str:
         built = ffi.compile(tmpdir=workdir)
         os.replace(built, final_path)
     except NativeBuildError:
+        _BUILD_TOTAL.labels("failed").inc()
         raise
     except Exception as error:  # compiler/toolchain failures of any kind
+        _BUILD_TOTAL.labels("failed").inc()
         raise NativeBuildError(
             f"native kernel build failed: {type(error).__name__}: {error}"
         ) from error
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
+    _CC_SECONDS.observe(time.monotonic() - started)
+    _BUILD_TOTAL.labels("compiled").inc()
     return final_path
 
 
 #: Per-process module cache: one load per source hash, builds outside
 #: the lock so different tapes compile in parallel.
-_MODULE_MEMO: KeyedMemo = KeyedMemo()
+_MODULE_MEMO: KeyedMemo = KeyedMemo(name="native_module")
 
 _AVAILABILITY_LOCK = threading.Lock()
 _availability: bool | None = None

@@ -47,6 +47,7 @@ from .executors import (
     execute_real,
     execute_values,
 )
+from ..obs.metrics import REGISTRY
 from .marginals import MarginalIndex, describe_evidence
 from .memo import KeyedMemo
 from .tape import Tape, tape_for
@@ -57,6 +58,18 @@ AnyFormat = FixedPointFormat | FloatFormat
 #: Valid backend policies: "auto" prefers native and falls back,
 #: "native" insists (still degrading gracefully), "numpy" pins numpy.
 BACKEND_CHOICES = ("auto", "native", "numpy")
+
+_DISPATCH_TOTAL = REGISTRY.counter(
+    "problp_backend_dispatch_total",
+    "Inference dispatches by effective execution backend.",
+    labelnames=("backend",),
+)
+_FALLBACK_TOTAL = REGISTRY.counter(
+    "problp_backend_fallback_total",
+    "Dispatches that left native despite it being requested, by short "
+    "reason code (toolchain, wide_format, legacy_module).",
+    labelnames=("reason",),
+)
 
 
 def requested_backend(backend: str | None = None) -> str:
@@ -136,6 +149,10 @@ class InferenceSession:
         # the kernels read parameter tables from runtime pointers);
         # surfaced via backend_fallback_reason.
         self._last_fallback_reason: str | None = None
+        # Fallback reasons already surfaced by fallback_note(): callers
+        # that log the note (the CLI) do so once per (session, reason);
+        # repeats are only counted in problp_backend_fallback_total.
+        self._noted_fallbacks: set[str] = set()
 
     @property
     def _scalar_quantized(self) -> QuantizedTapeEvaluator:
@@ -190,36 +207,42 @@ class InferenceSession:
         return self._last_fallback_reason
 
     def _route(self, fmt: AnyFormat | None = None, theta: bool = False):
-        """``(native_kernels | None, reason | None)`` for one dispatch.
+        """``(native_kernels | None, reason | None, code | None)``.
 
         Pure lookup — no state is mutated, so the serve layer can use it
         (via :meth:`dispatch_plan`) to *predict* routing. The dispatch
         methods record the returned reason on
-        :attr:`backend_fallback_reason` themselves.
+        :attr:`backend_fallback_reason` themselves. ``code`` is the
+        short label for ``problp_backend_fallback_total{reason=…}`` —
+        the prose ``reason`` would explode label cardinality.
         """
         if self._requested_backend == "numpy":
-            return None, None
+            return None, None, None
         state = self._singletons.get("native_state", self._resolve_native)
         if state.kernels is None:
-            return None, state.reason
+            return None, state.reason, "toolchain"
         if fmt is not None and not state.kernels.supports_format(fmt):
             return None, (
                 f"{fmt.describe()} is outside the native kernels' int64 "
                 f"word range; served by the numpy/big-int executors"
-            )
+            ), "wide_format"
         if theta and not state.kernels.supports_theta():
             return None, (
                 "this native module predates runtime-parameter kernels; "
                 "theta batches run on the numpy executors"
-            )
-        return state.kernels, None
+            ), "legacy_module"
+        return state.kernels, None, None
 
     def _dispatch(
         self, fmt: AnyFormat | None = None, theta: bool = False
     ):
         """Route one call, recording the fallback reason (or clearing it)."""
-        native, reason = self._route(fmt=fmt, theta=theta)
+        native, reason, code = self._route(fmt=fmt, theta=theta)
         self._last_fallback_reason = reason
+        _DISPATCH_TOTAL.labels("native" if native is not None
+                               else "numpy").inc()
+        if code is not None:
+            _FALLBACK_TOTAL.labels(code).inc()
         return native
 
     def dispatch_plan(
@@ -230,8 +253,23 @@ class InferenceSession:
         Side-effect free — the serve layer reports per-request backends
         from this without racing concurrent dispatches.
         """
-        native, reason = self._route(fmt=fmt, theta=theta)
+        native, reason, _ = self._route(fmt=fmt, theta=theta)
         return ("native" if native is not None else "numpy"), reason
+
+    def fallback_note(self) -> str | None:
+        """The current fallback reason, once per (session, reason).
+
+        The first call after a dispatch falls back returns the prose
+        reason so callers (the CLI) can print one ``# fallback: …``
+        note; subsequent calls for the same reason return ``None`` —
+        repeats are visible only as
+        ``problp_backend_fallback_total{reason=…}`` increments.
+        """
+        reason = self.backend_fallback_reason
+        if reason is None or reason in self._noted_fallbacks:
+            return None
+        self._noted_fallbacks.add(reason)
+        return reason
 
     @property
     def analysis(self) -> TapeAnalysis:
@@ -653,7 +691,7 @@ class InferenceSession:
 #: Per-circuit session cache (sessions are cheap, but callers like the
 #: experiment harnesses construct them in loops). Weak so a session dies
 #: with its circuit.
-_SESSION_MEMO: KeyedMemo = KeyedMemo(weak=True)
+_SESSION_MEMO: KeyedMemo = KeyedMemo(weak=True, name="session")
 
 
 def _fresh_session(

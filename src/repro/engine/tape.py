@@ -262,7 +262,7 @@ def compile_tape(circuit: ArithmeticCircuit) -> Tape:
 
 #: Per-circuit tape cache. Keyed by circuit identity (circuits hash by
 #: id); entries die with their circuit, so long-lived services never leak.
-_TAPE_MEMO: KeyedMemo = KeyedMemo(weak=True)
+_TAPE_MEMO: KeyedMemo = KeyedMemo(weak=True, name="tape")
 
 
 def _fresh_tape(tape: Tape | None, circuit: ArithmeticCircuit) -> bool:

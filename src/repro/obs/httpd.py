@@ -1,0 +1,106 @@
+"""Tiny stdlib HTTP thread serving ``GET /metrics`` and ``GET /healthz``.
+
+``problp serve --obs-port N`` starts one of these next to the ndJSON
+listener.  ``/metrics`` returns Prometheus text exposition (for the
+sharded front, merged across every replica); ``/healthz`` returns a
+small JSON health document.  Both callbacks are supplied by the caller
+so this module stays transport-only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["ObsHttpServer"]
+
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Callbacks are injected per-server via the type() subclass below.
+    render_metrics = staticmethod(lambda: "")
+    render_health = staticmethod(lambda: {"ok": True})
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = self.render_metrics().encode("utf-8")
+                self._reply(200, _PROM_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                health = self.render_health()
+                status = 200 if health.get("ok", False) else 503
+                body = json.dumps(health).encode("utf-8")
+                self._reply(status, "application/json", body)
+            else:
+                self._reply(404, "text/plain", b"not found\n")
+        except Exception as exc:  # surface, don't kill the thread
+            self._reply(500, "text/plain",
+                        f"error: {exc}\n".encode("utf-8"))
+
+    def _reply(self, status, content_type, body):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # silence per-request stderr
+        pass
+
+
+class ObsHttpServer:
+    """Daemon-thread HTTP server for metrics/health exposition."""
+
+    def __init__(self, render_metrics, render_health=None,
+                 host="127.0.0.1", port=0):
+        self._render_metrics = render_metrics
+        self._render_health = render_health or (lambda: {"ok": True})
+        self._host = host
+        self._requested_port = port
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def port(self):
+        if self._httpd is None:
+            raise RuntimeError("obs server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def host(self):
+        return self._host
+
+    def start(self):
+        handler = type("BoundHandler", (_Handler,), {
+            "render_metrics": staticmethod(self._render_metrics),
+            "render_health": staticmethod(self._render_health),
+        })
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="problp-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()

@@ -1,0 +1,160 @@
+"""Request tracing: trace ids, spans, and the bounded span ring.
+
+A trace rides the ndJSON serving protocol as an optional ``"trace"``
+request field — ``{"id": "<hex>", "parent": "<span name>"}`` — and
+comes back in the response as a compact ``"timing"`` breakdown:
+
+    {"trace_id": "…", "spans": [
+        {"name": "front.route", "start_us": …, "end_us": …, …},
+        {"name": "shard.replica", "parent": "front.route", …},
+        {"name": "batch.wait", "parent": "shard.replica", …},
+        …]}
+
+Timestamps are microseconds from ``time.monotonic_ns()``.  On Linux
+``CLOCK_MONOTONIC`` is system-wide, so spans stamped in the front
+process and in a replica process share one clock and the merged tree
+stays monotone — and, being monotonic, NTP steps can't corrupt it.
+
+The :class:`SpanRing` is a bounded in-memory buffer of finished traces;
+the server drains it for the ``--slow-ms`` slow-query log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+
+__all__ = [
+    "Span",
+    "SpanRing",
+    "Trace",
+    "new_trace_id",
+    "now_us",
+    "parse_trace_field",
+]
+
+
+def now_us() -> int:
+    """Microseconds on the system-wide monotonic clock."""
+    return time.monotonic_ns() // 1000
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed step.  ``end_us`` is None until :meth:`end`."""
+
+    __slots__ = ("attrs", "end_us", "name", "parent", "start_us")
+
+    def __init__(self, name, parent=None, start_us=None, **attrs):
+        self.name = name
+        self.parent = parent
+        self.start_us = now_us() if start_us is None else start_us
+        self.end_us = None
+        self.attrs = attrs
+
+    def end(self, end_us=None):
+        if self.end_us is None:
+            self.end_us = now_us() if end_us is None else end_us
+        return self
+
+    @property
+    def duration_us(self):
+        if self.end_us is None:
+            return None
+        return self.end_us - self.start_us
+
+    def to_dict(self):
+        out = {
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us if self.end_us is not None
+            else self.start_us,
+        }
+        if self.parent is not None:
+            out["parent"] = self.parent
+        if self.attrs:
+            out.update(self.attrs)
+        return out
+
+
+class Trace:
+    """A trace id plus its spans, in creation order.
+
+    ``emit`` distinguishes traces the client asked for (the response
+    carries ``"timing"``) from internal ones created only so the
+    slow-query ring sees every request when ``--slow-ms`` is set.
+    """
+
+    __slots__ = ("emit", "root", "spans", "trace_id")
+
+    def __init__(self, trace_id=None, emit=True):
+        self.trace_id = trace_id or new_trace_id()
+        self.emit = emit
+        self.spans = []
+        self.root = None
+
+    def span(self, name, parent=None, **attrs) -> Span:
+        """Start a span; default parent is the trace's root span."""
+        if parent is None and self.root is not None and (
+            name != self.root.name
+        ):
+            parent = self.root.name
+        span = Span(name, parent=parent, **attrs)
+        if self.root is None:
+            self.root = span
+        self.spans.append(span)
+        return span
+
+    def to_timing(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+
+def parse_trace_field(value):
+    """Validate a wire ``"trace"`` field → dict or None.
+
+    Accepts ``{"id": str, "parent": str}`` (both optional) or the
+    shorthand ``True`` (server assigns an id).  Anything else raises
+    ``ValueError`` so the protocol layer can answer ``bad_request``.
+    """
+    if value is None:
+        return None
+    if value is True:
+        return {}
+    if not isinstance(value, dict):
+        raise ValueError("trace must be an object or true")
+    out = {}
+    for key in ("id", "parent"):
+        item = value.get(key)
+        if item is not None:
+            if not isinstance(item, str) or len(item) > 128:
+                raise ValueError(f"trace.{key} must be a short string")
+            out[key] = item
+    return out
+
+
+class SpanRing:
+    """Bounded ring of finished-trace summaries (newest last)."""
+
+    def __init__(self, capacity=256):
+        self._ring = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+
+    def record(self, entry: dict):
+        with self._lock:
+            self._ring.append(entry)
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._ring)

@@ -19,7 +19,11 @@ limits and answers excess requests with the typed ``overloaded`` error,
 which :class:`ClientPool` — a thread-safe fleet of persistent
 connections — treats as a retry-after-backoff signal. Live per-circuit
 qps / latency-quantile / batching metrics (:class:`ServeMetrics`) ride
-along on ``ping`` and ``circuits`` responses.
+along on ``ping`` and ``circuits`` responses; the PR 10 observability
+layer adds a ``metrics`` op (Prometheus families merged across
+replicas), wire-propagated request tracing (``"trace"`` field →
+``result.timing`` span tree), and ``problp serve --obs-port N`` for
+``GET /metrics`` / ``GET /healthz`` scraping.
 Stdlib-only: asyncio + sockets + multiprocessing.
 
 Quick start::
@@ -44,6 +48,7 @@ from .protocol import (
     EvalRequest,
     HwRequest,
     MarginalsRequest,
+    MetricsRequest,
     OptimizeRequest,
     PingRequest,
     ProtocolError,
@@ -90,6 +95,7 @@ __all__ = [
     "EvalRequest",
     "HwRequest",
     "MarginalsRequest",
+    "MetricsRequest",
     "MicroBatcher",
     "NdjsonTransport",
     "OptimizeRequest",

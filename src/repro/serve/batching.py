@@ -19,11 +19,14 @@ a stranger's malformed query never poisons a neighbor's answer.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Any, Awaitable, Callable, Sequence
 
 from ..arith.fixedpoint import FixedPointFormat
 from ..arith.floatingpoint import FloatFormat
+from ..obs.metrics import REGISTRY
+from ..obs.tracing import now_us
 
 AnyFormat = FixedPointFormat | FloatFormat
 
@@ -31,6 +34,18 @@ AnyFormat = FixedPointFormat | FloatFormat
 #: enough to stay invisible next to a tape replay.
 DEFAULT_BATCH_WINDOW = 0.002
 DEFAULT_MAX_BATCH = 256
+
+_WAIT_SECONDS = REGISTRY.histogram(
+    "problp_batch_wait_seconds",
+    "Time from a bucket's first request to its flush (coalesce wait).",
+    labelnames=("kind",),
+)
+_BATCH_SIZE = REGISTRY.histogram(
+    "problp_batch_size",
+    "Requests coalesced into one flushed batch.",
+    labelnames=("kind",),
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
 
 
 @dataclass(frozen=True)
@@ -96,17 +111,26 @@ class MicroBatcher:
         self.window = window
         self.max_batch = max_batch
         self._executor = executor
-        self._pending: dict[BatchKey, list[tuple[Any, asyncio.Future]]] = {}
+        self._pending: dict[BatchKey, list[tuple]] = {}
+        self._opened: dict[BatchKey, float] = {}
         self._timers: dict[BatchKey, asyncio.TimerHandle] = {}
         self._inflight: set[asyncio.Task] = set()
         self.stats = BatcherStats()
 
-    def submit(self, key: BatchKey, request: Any) -> Awaitable[Any]:
-        """Enqueue one request; resolves to its scattered result."""
+    def submit(self, key: BatchKey, request: Any, trace=None) -> Awaitable[Any]:
+        """Enqueue one request; resolves to its scattered result.
+
+        A traced request (``trace`` is a :class:`repro.obs.tracing.Trace`)
+        gets ``batch.wait`` / ``batch.execute`` / ``scatter`` spans
+        stamped on it as its batch moves through the queue.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         bucket = self._pending.setdefault(key, [])
-        bucket.append((request, future))
+        wait_span = trace.span("batch.wait") if trace is not None else None
+        bucket.append((request, future, trace, wait_span))
+        if len(bucket) == 1:
+            self._opened[key] = time.monotonic()
         if len(bucket) >= self.max_batch:
             self._flush(key)
         elif len(bucket) == 1:
@@ -128,24 +152,48 @@ class MicroBatcher:
         task.add_done_callback(self._inflight.discard)
 
     async def _run(
-        self, key: BatchKey, batch: list[tuple[Any, asyncio.Future]]
+        self, key: BatchKey, batch: list[tuple]
     ) -> None:
         loop = asyncio.get_running_loop()
-        requests = [request for request, _ in batch]
+        requests = [request for request, _, _, _ in batch]
         self.stats.record(len(requests))
+        opened = self._opened.pop(key, None)
+        if opened is not None:
+            _WAIT_SECONDS.labels(key.kind).observe(time.monotonic() - opened)
+        _BATCH_SIZE.labels(key.kind).observe(len(requests))
+        execute_start = now_us()
+        for _, _, _, wait_span in batch:
+            if wait_span is not None:
+                wait_span.end(execute_start)
         try:
             results = await loop.run_in_executor(
                 self._executor, self._dispatch, key, requests
             )
+            execute_end = now_us()
+            for _, _, trace, _ in batch:
+                if trace is not None:
+                    trace.span(
+                        "batch.execute",
+                        start_us=execute_start,
+                        batch_size=len(requests),
+                    ).end(execute_end)
             # strict: a dispatch returning the wrong count must fail
             # loudly (and per-request, below) — a silent zip truncation
             # would strand the trailing futures forever.
-            for (_, future), result in zip(batch, results, strict=True):
+            for (_, future, trace, _), result in zip(
+                batch, results, strict=True
+            ):
+                scatter = (
+                    trace.span("scatter", start_us=execute_end)
+                    if trace is not None else None
+                )
                 if not future.done():
                     future.set_result(result)
+                if scatter is not None:
+                    scatter.end()
         except Exception as error:  # noqa: BLE001 — mapped to wire errors
             if len(batch) == 1:
-                _, future = batch[0]
+                _, future, _, _ = batch[0]
                 if not future.done():
                     future.set_exception(error)
             else:
@@ -156,7 +204,7 @@ class MicroBatcher:
                 await asyncio.gather(
                     *(
                         self._fail_over(loop, key, request, future)
-                        for request, future in batch
+                        for request, future, _, _ in batch
                     )
                 )
 
@@ -188,7 +236,8 @@ class MicroBatcher:
             timer.cancel()
         self._timers.clear()
         for batch in self._pending.values():
-            for _, future in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.cancel()
         self._pending.clear()
+        self._opened.clear()

@@ -252,6 +252,11 @@ class ServeClient:
     def ping(self) -> dict:
         return dict(self.request({"op": "ping"}).raise_for_error().result)
 
+    def metrics(self) -> dict:
+        """The server's metric families (merged across replicas when
+        sharded); ``{"schema_version": int, "families": [...]}``."""
+        return dict(self.request({"op": "metrics"}).raise_for_error().result)
+
     def circuits(self) -> list[dict]:
         response = self.request({"op": "circuits"}).raise_for_error()
         return list(response.result["circuits"])
@@ -261,13 +266,21 @@ class ServeClient:
         circuit: str,
         evidence: Mapping[str, int] | None = None,
         fmt=None,
+        *,
+        trace: bool | Mapping[str, str] = False,
     ) -> dict:
-        """One root evaluation; returns the result payload."""
+        """One root evaluation; returns the result payload.
+
+        ``trace=True`` (or an explicit ``{"id": …}`` context) asks the
+        server for a ``timing`` span breakdown alongside the values.
+        """
         payload: dict[str, Any] = {
             "op": "eval",
             "circuit": circuit,
             "evidence": dict(evidence or {}),
         }
+        if trace:
+            payload["trace"] = dict(trace) if isinstance(trace, Mapping) else {}
         _apply_format(payload, fmt)
         return dict(self.request(payload).raise_for_error().result)
 

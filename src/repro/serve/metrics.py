@@ -10,6 +10,13 @@ event per circuit name), and quantile math happens at snapshot time
 (``ping`` / ``circuits`` / the ``--metrics-interval`` log line), never on
 the request path. Counters are therefore approximate under extreme
 concurrency, which is the correct trade for an observability surface.
+
+Since PR 10 this module is re-platformed onto the process-wide
+:mod:`repro.obs.metrics` registry: each :class:`ServeMetrics` registers
+one snapshot-time *collector* that renders its per-circuit state as
+``problp_serve_*`` Prometheus families next to the engine's counters —
+nothing new is paid on the request path.  All clocks here are
+``time.monotonic()`` so NTP steps can't corrupt qps/p50/p99.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ from __future__ import annotations
 import math
 import threading
 import time
+
+from ..obs.metrics import REGISTRY
 
 __all__ = [
     "LATENCY_WINDOW",
@@ -146,13 +155,82 @@ class CircuitMetrics:
 
 
 class ServeMetrics:
-    """The server-wide metrics registry (plus overload/global counters)."""
+    """The server-wide metrics registry (plus overload/global counters).
 
-    def __init__(self) -> None:
+    Registers itself as a snapshot-time collector on the process
+    :data:`~repro.obs.metrics.REGISTRY`; call :meth:`close` when the
+    owning server stops so serial in-process servers (tests) don't
+    stack collectors.
+    """
+
+    def __init__(self, registry=REGISTRY) -> None:
         self.started = time.monotonic()
         self.overloaded = 0
         self._circuits: dict[str, CircuitMetrics] = {}
         self._create_lock = threading.Lock()
+        self._registry = registry
+        if registry is not None:
+            registry.register_collector(self._collect)
+
+    def close(self) -> None:
+        """Unregister the Prometheus collector (idempotent)."""
+        if self._registry is not None:
+            self._registry.unregister_collector(self._collect)
+            self._registry = None
+
+    def _collect(self):
+        """Prometheus families from the live per-circuit state."""
+        with self._create_lock:
+            circuits = sorted(self._circuits.items())
+        snaps = [(name, record.snapshot()) for name, record in circuits]
+
+        def family(suffix, kind, help, key, predicate=None):
+            return {
+                "name": f"problp_serve_{suffix}",
+                "type": kind,
+                "help": help,
+                "samples": [
+                    {"labels": {"circuit": name}, "value": snap[key]}
+                    for name, snap in snaps
+                    if predicate is None or predicate(snap)
+                ],
+            }
+
+        return [
+            {
+                "name": "problp_serve_uptime_seconds",
+                "type": "gauge",
+                "help": "Server uptime (monotonic clock).",
+                "samples": [{"labels": {}, "value": self.uptime_s}],
+            },
+            {
+                "name": "problp_serve_overloaded_total",
+                "type": "counter",
+                "help": "Requests shed with the overloaded error code.",
+                "samples": [{"labels": {}, "value": self.overloaded}],
+            },
+            family("requests_total", "counter",
+                   "Finished requests per circuit.", "requests"),
+            family("errors_total", "counter",
+                   "Finished requests that answered with an error.",
+                   "errors"),
+            family("qps", "gauge",
+                   "Sliding-window request rate per circuit.", "qps"),
+            family("queue_depth", "gauge",
+                   "Requests admitted but not yet answered.",
+                   "queue_depth"),
+            family("batches_total", "counter",
+                   "Coalesced micro-batch flushes per circuit.",
+                   "batches"),
+            family("mean_batch", "gauge",
+                   "Mean requests per coalesced flush.", "mean_batch"),
+            family("latency_p50_ms", "gauge",
+                   "Median request latency over the ring window.",
+                   "p50_ms", predicate=lambda s: "p50_ms" in s),
+            family("latency_p99_ms", "gauge",
+                   "p99 request latency over the ring window.",
+                   "p99_ms", predicate=lambda s: "p99_ms" in s),
+        ]
 
     # -- hot path ------------------------------------------------------
     def circuit(self, name: str) -> CircuitMetrics:

@@ -24,7 +24,12 @@ Request shapes (``op`` selects the workload)::
     {"op": "reload",    "id": 6,
      "add": [{"name": "grid", "kind": "bif", "path": "grid.bif"}],
      "remove": ["asia"]}
-    {"op": "ping"} · {"op": "circuits"} · {"op": "shutdown"}
+    {"op": "ping"} · {"op": "circuits"} · {"op": "metrics"}
+    {"op": "shutdown"}
+
+Any request may carry ``"trace": {"id": "…"}`` to get a microsecond
+span breakdown back under ``result.timing`` (see
+:mod:`repro.obs.tracing`).
 
 Responses::
 
@@ -53,6 +58,7 @@ from ..errors import (
     ThetaShapeError,
     ZeroEvidenceError,
 )
+from ..obs.tracing import parse_trace_field
 from ..specs import SpecError, format_spec, tolerance_spec
 from ..specs import parse_format_spec as _parse_format_spec
 from ..specs import parse_tolerance_spec as _parse_tolerance_spec
@@ -211,16 +217,33 @@ def _parse_workload(payload: Mapping[str, Any]) -> str:
 
 @dataclass(frozen=True)
 class Request:
-    """Common request surface: every request has an op and may carry an id."""
+    """Common request surface: every request has an op and may carry an id.
+
+    ``trace`` is the optional tracing context riding the wire —
+    ``{"id": "<hex>", "parent": "<span name>"}`` — asking the server to
+    time this request and attach a ``"timing"`` span breakdown to the
+    response.  The sharded front forwards it (with ``parent`` rewritten
+    to its own routing span) so replica spans nest under the front's.
+    """
 
     op: ClassVar[str] = ""
     id: int | str | None = None
+    trace: Mapping[str, str] | None = None
 
     def to_wire(self) -> dict[str, Any]:
         payload: dict[str, Any] = {"op": self.op}
         if self.id is not None:
             payload["id"] = self.id
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
         return payload
+
+
+def _parse_trace_field(payload: Mapping[str, Any]):
+    try:
+        return parse_trace_field(payload.get("trace"))
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
 
 
 @dataclass(frozen=True)
@@ -231,6 +254,18 @@ class PingRequest(Request):
 @dataclass(frozen=True)
 class CircuitsRequest(Request):
     op: ClassVar[str] = "circuits"
+
+
+@dataclass(frozen=True)
+class MetricsRequest(Request):
+    """Snapshot the server's metrics registry (families wire format).
+
+    On the sharded front this fans out to every replica and merges the
+    families with ``shard``/``replica`` labels — the payload behind
+    ``GET /metrics``.
+    """
+
+    op: ClassVar[str] = "metrics"
 
 
 @dataclass(frozen=True)
@@ -509,6 +544,8 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
         return PingRequest(id=request_id)
     if op == "circuits":
         return CircuitsRequest(id=request_id)
+    if op == "metrics":
+        return MetricsRequest(id=request_id)
     if op == "shutdown":
         return ShutdownRequest(id=request_id)
     if op == "reload":
@@ -525,6 +562,7 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
     if op == "eval":
         return EvalRequest(
             id=request_id,
+            trace=_parse_trace_field(payload),
             circuit=_require_circuit(payload),
             evidence=_parse_evidence(payload),
             fmt=_parse_fmt_field(payload),
@@ -542,6 +580,7 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
             raise ProtocolError("joint must be a boolean")
         return MarginalsRequest(
             id=request_id,
+            trace=_parse_trace_field(payload),
             circuit=_require_circuit(payload),
             evidence=_parse_evidence(payload),
             fmt=_parse_fmt_field(payload),
@@ -551,6 +590,7 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
     if op == "theta_batch":
         return ThetaBatchRequest(
             id=request_id,
+            trace=_parse_trace_field(payload),
             circuit=_require_circuit(payload),
             evidence=_parse_evidence(payload),
             theta=_parse_theta(payload),
@@ -597,6 +637,7 @@ def parse_request(payload: Mapping[str, Any]) -> Request:
 REQUEST_TYPES: tuple[type[Request], ...] = (
     PingRequest,
     CircuitsRequest,
+    MetricsRequest,
     ShutdownRequest,
     ReloadRequest,
     EvalRequest,

@@ -26,6 +26,7 @@ sharding front.
 from __future__ import annotations
 
 import asyncio
+import random
 import sys
 import threading
 import time
@@ -35,6 +36,9 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from .. import __version__
+from ..arith.fixedpoint import FixedPointFormat
+from ..obs.metrics import METRICS_SCHEMA_VERSION, REGISTRY
+from ..obs.tracing import SpanRing, Trace
 from .batching import (
     DEFAULT_BATCH_WINDOW,
     DEFAULT_MAX_BATCH,
@@ -48,6 +52,7 @@ from .protocol import (
     EvalRequest,
     HwRequest,
     MarginalsRequest,
+    MetricsRequest,
     OptimizeRequest,
     PingRequest,
     ProtocolError,
@@ -61,6 +66,18 @@ from .protocol import (
 )
 from .registry import CircuitRegistry
 from .transport import Connection, NdjsonTransport
+
+_EXECUTOR_SECONDS = REGISTRY.histogram(
+    "problp_executor_seconds",
+    "Wall time of one coalesced batch execution on a worker thread.",
+    labelnames=("workload", "backend", "fmt"),
+)
+
+
+def _fmt_kind(fmt) -> str:
+    if fmt is None:
+        return "none"
+    return "fixed" if isinstance(fmt, FixedPointFormat) else "float"
 
 #: Default worker threads: enough to overlap a batch flush with an
 #: optimize/hw search without oversubscribing numpy.
@@ -99,6 +116,16 @@ class ProbLPServer:
         per circuit) every that-many seconds while serving.
     metrics_log:
         Where the interval line goes (default: stderr).
+    trace_sample_rate:
+        Probability (0..1) that an *untraced* circuit request is traced
+        anyway; sampled traces attach ``result.timing`` exactly like
+        explicitly traced ones. Requests carrying a ``trace`` field are
+        always traced regardless of the rate.
+    slow_ms:
+        When set, every circuit request is timed internally (no wire
+        overhead) and ones slower than this threshold are written to the
+        metrics log as slow-query lines; finished traces land in
+        ``span_ring`` either way.
     """
 
     def __init__(
@@ -115,6 +142,9 @@ class ProbLPServer:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         metrics_interval: float | None = None,
         metrics_log: Callable[[str], None] | None = None,
+        trace_sample_rate: float = 0.0,
+        slow_ms: float | None = None,
+        span_ring_size: int = 256,
     ) -> None:
         self.registry = registry
         self._host = host
@@ -143,6 +173,11 @@ class ProbLPServer:
         self._metrics_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be within [0, 1]")
+        self._trace_sample_rate = trace_sample_rate
+        self._slow_s = None if slow_ms is None else slow_ms / 1e3
+        self.span_ring = SpanRing(span_ring_size)
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -211,6 +246,7 @@ class ProbLPServer:
             await server.wait_closed()
         self.batcher.close()
         self._executor.shutdown(wait=True, cancel_futures=True)
+        self.metrics.close()
 
     # -- request handling ----------------------------------------------
     async def _handle_request(
@@ -221,19 +257,86 @@ class ProbLPServer:
         circuit = getattr(request, "circuit", None)
         if circuit is None:
             return ok_response(request, await self._respond(request))
+        trace = self._trace_for(request)
         record = self.metrics.circuit(circuit)
         record.queue_depth += 1
         start = time.monotonic()
         ok = False
         try:
-            result = await self._respond(request)
+            result = await self._respond(request, trace)
             ok = True
+            if trace is not None:
+                result = self._finish_trace(trace, request, result, ok=True)
             return ok_response(request, result)
         finally:
+            if trace is not None and not ok:
+                self._finish_trace(trace, request, None, ok=False)
             record.queue_depth -= 1
             record.record(time.monotonic() - start, ok=ok)
 
-    async def _respond(self, request: Request) -> dict:
+    def _trace_for(self, request: Request) -> Trace | None:
+        """The trace context for one circuit request, or None.
+
+        Explicitly traced requests always trace (and emit timing);
+        ``trace_sample_rate`` promotes a random slice of the rest;
+        ``--slow-ms`` times everything internally without emitting.
+        """
+        wire = getattr(request, "trace", None)
+        parent = None
+        if wire is not None:
+            trace = Trace(wire.get("id"), emit=True)
+            parent = wire.get("parent")
+        elif (
+            self._trace_sample_rate > 0.0
+            and random.random() < self._trace_sample_rate
+        ):
+            trace = Trace(emit=True)
+        elif self._slow_s is not None:
+            trace = Trace(emit=False)
+        else:
+            return None
+        trace.span(
+            "shard.replica",
+            parent=parent,
+            op=request.op,
+            circuit=getattr(request, "circuit", None),
+        )
+        return trace
+
+    def _finish_trace(
+        self, trace: Trace, request: Request, result, *, ok: bool
+    ):
+        """Close the root span, feed the ring/slow log, attach timing."""
+        root = trace.root.end()
+        duration_ms = root.duration_us / 1e3
+        self.span_ring.record({
+            "trace_id": trace.trace_id,
+            "op": request.op,
+            "circuit": getattr(request, "circuit", None),
+            "ok": ok,
+            "duration_ms": round(duration_ms, 3),
+            "spans": [span.to_dict() for span in trace.spans],
+        })
+        if self._slow_s is not None and duration_ms >= self._slow_s * 1e3:
+            breakdown = " ".join(
+                f"{span.name}={span.duration_us}us"
+                for span in trace.spans
+                if span.duration_us is not None
+            )
+            self._metrics_log(
+                f"problp serve slow-query trace={trace.trace_id} "
+                f"op={request.op} "
+                f"circuit={getattr(request, 'circuit', None)} "
+                f"dur_ms={duration_ms:.3f} {breakdown}"
+            )
+        if ok and trace.emit:
+            result = dict(result)
+            result["timing"] = trace.to_timing()
+        return result
+
+    async def _respond(
+        self, request: Request, trace: Trace | None = None
+    ) -> dict:
         if isinstance(request, PingRequest):
             return {
                 "server": "problp-serve",
@@ -245,9 +348,17 @@ class ProbLPServer:
                 "batching": self.batcher.stats.to_dict(),
                 "backends": self._backend_availability(),
                 "metrics": self.metrics.snapshot(),
+                "metrics_schema_version": METRICS_SCHEMA_VERSION,
                 # Protocol capabilities clients probe before relying on
-                # newer ops (θ tiles since PR 7, hot reload since PR 9).
-                "capabilities": {"theta_batch": True, "reload": True},
+                # newer ops (θ tiles since PR 7, hot reload since PR 9,
+                # metrics/tracing since PR 10).
+                "capabilities": {"theta_batch": True, "reload": True,
+                                 "metrics": True, "trace": True},
+            }
+        if isinstance(request, MetricsRequest):
+            return {
+                "schema_version": METRICS_SCHEMA_VERSION,
+                "families": REGISTRY.collect(),
             }
         if isinstance(request, CircuitsRequest):
             # describe() may lazily build marginal indexes — off-loop,
@@ -276,7 +387,7 @@ class ProbLPServer:
             key = BatchKey(
                 circuit=request.circuit, kind="eval", fmt=request.fmt
             )
-            return await self.batcher.submit(key, request)
+            return await self.batcher.submit(key, request, trace)
         if isinstance(request, MarginalsRequest):
             key = BatchKey(
                 circuit=request.circuit,
@@ -284,12 +395,12 @@ class ProbLPServer:
                 fmt=request.fmt,
                 joint=request.joint,
             )
-            return await self.batcher.submit(key, request)
+            return await self.batcher.submit(key, request, trace)
         if isinstance(request, ThetaBatchRequest):
             key = BatchKey(
                 circuit=request.circuit, kind="theta", fmt=request.fmt
             )
-            return await self.batcher.submit(key, request)
+            return await self.batcher.submit(key, request, trace)
         if isinstance(request, OptimizeRequest):
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(
@@ -328,6 +439,20 @@ class ProbLPServer:
 
     # -- blocking executors (worker threads) ---------------------------
     def _execute_batch(
+        self, key: BatchKey, requests: Sequence[Any]
+    ) -> list[dict]:
+        """One coalesced replay, timed into the executor histogram."""
+        started = time.monotonic()
+        results = self._execute_batch_inner(key, requests)
+        backend = (
+            results[0].get("backend", "unknown") if results else "unknown"
+        )
+        _EXECUTOR_SECONDS.labels(key.kind, backend, _fmt_kind(key.fmt)).observe(
+            time.monotonic() - started
+        )
+        return results
+
+    def _execute_batch_inner(
         self, key: BatchKey, requests: Sequence[Any]
     ) -> list[dict]:
         """One coalesced tape replay; one result dict per request."""

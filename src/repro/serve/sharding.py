@@ -37,6 +37,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
+from ..obs.metrics import METRICS_SCHEMA_VERSION, merge_families
+from ..obs.tracing import now_us
 from .batching import DEFAULT_BATCH_WINDOW, DEFAULT_MAX_BATCH
 from .protocol import (
     STREAM_LIMIT,
@@ -132,6 +134,10 @@ class _Forward:
     payload: dict | None = None
     #: Links already tried, bounding the fail-over chain.
     attempts: set[int] = field(default_factory=set)
+    #: Front-side spans (``front.route`` + any ``front.retry`` hops) for
+    #: a traced request; prepended to the worker's ``timing`` on the way
+    #: back to the client.
+    spans: list[dict] | None = None
 
 
 class ShardRouter:
@@ -315,7 +321,7 @@ class ShardRouter:
                 forward = self._unregister(internal)
                 if forward is None:
                     continue
-                await self._resolve(forward.sink, payload)
+                await self._resolve(forward.sink, payload, forward.spans)
         finally:
             # The worker hung up (crash or shutdown): every request
             # still waiting on this link fails over to a sibling
@@ -323,7 +329,9 @@ class ShardRouter:
             link.disconnected = True
             await self._fail_link_pending(link)
 
-    async def _resolve(self, sink: tuple, payload: dict) -> None:
+    async def _resolve(
+        self, sink: tuple, payload: dict, spans: list[dict] | None = None
+    ) -> None:
         if sink[0] == "future":
             future = sink[1]
             if not future.done():
@@ -331,7 +339,32 @@ class ShardRouter:
             return
         _, connection, original_id = sink
         payload["id"] = original_id
+        if spans is not None:
+            self._merge_front_spans(payload, spans)
         await connection.send(payload)
+
+    @staticmethod
+    def _merge_front_spans(payload: dict, spans: list[dict]) -> None:
+        """Prepend the front's routing spans to the worker's timing.
+
+        The route span closes now — response relay time is part of
+        routing — so the final tree reads ``front.route`` ⊇
+        ``shard.replica`` ⊇ batch spans (one shared monotonic clock
+        across front and worker processes).
+        """
+        result = payload.get("result")
+        if not payload.get("ok") or not isinstance(result, dict):
+            return
+        timing = result.get("timing")
+        if not isinstance(timing, dict):
+            return
+        closed = []
+        for span in spans:
+            span = dict(span)
+            if span.get("end_us") is None:
+                span["end_us"] = now_us()
+            closed.append(span)
+        timing["spans"] = closed + list(timing.get("spans", ()))
 
     async def _fail_link_pending(self, link: _ShardLink) -> None:
         stranded = [
@@ -378,10 +411,25 @@ class ShardRouter:
             internal = self._register(
                 sibling, forward.sink, forward.payload, forward.attempts
             )
+            retry = self._pending[internal]
+            if forward.spans is not None:
+                # The re-forward hop stays visible in the final tree as
+                # a front.retry span naming both replicas.
+                retry.spans = list(forward.spans) + [{
+                    "name": "front.retry",
+                    "parent": "front.route",
+                    "start_us": now_us(),
+                    "end_us": None,
+                    "shard": dead.shard,
+                    "from_replica": dead.replica,
+                    "to_replica": sibling.replica,
+                }]
             resent = dict(forward.payload)
             resent["id"] = internal
             try:
                 await sibling.send(resent)
+                if retry.spans is not None:
+                    retry.spans[-1]["end_us"] = now_us()
                 return True
             except (ConnectionError, OSError):
                 self._unregister(internal)
@@ -418,6 +466,8 @@ class ShardRouter:
         op = payload.get("op")
         if op == "ping":
             return await self._merged_ping(request_id)
+        if op == "metrics":
+            return await self._merged_metrics(request_id)
         if op == "circuits":
             return await self._merged_circuits(request_id)
         if op == "reload":
@@ -433,9 +483,24 @@ class ShardRouter:
         if shard is None:
             raise UnknownCircuitError(circuit, sorted(self._table))
         link = self._pick_link(shard, circuit)
+        # A traced request gets a front.route span and its trace field
+        # rewritten so the worker's shard.replica span nests under it.
+        trace = payload.get("trace")
+        if trace is not None:
+            trace = dict(trace) if isinstance(trace, dict) else {}
+            trace["parent"] = "front.route"
+            payload = {**payload, "trace": trace}
         internal = self._register(
             link, ("client", connection, request_id), dict(payload)
         )
+        if trace is not None:
+            self._pending[internal].spans = [{
+                "name": "front.route",
+                "start_us": now_us(),
+                "end_us": None,
+                "shard": shard,
+                "replica": link.replica,
+            }]
         forwarded = dict(payload)
         forwarded["id"] = internal
         try:
@@ -500,6 +565,17 @@ class ShardRouter:
                 for key in ("uptime_s", "inflight", "circuits", "version"):
                     if key in result:
                         entry[key] = result[key]
+                # Per-replica load shape: admitted-but-unanswered depth
+                # summed over circuits, and the live coalesce factor.
+                metrics = result.get("metrics") or {}
+                entry["queue_depth"] = sum(
+                    circuit.get("queue_depth", 0)
+                    for circuit in (metrics.get("circuits") or {}).values()
+                )
+                batching = result.get("batching") or {}
+                entry["mean_batch"] = round(
+                    batching.get("mean_batch", 0.0), 3
+                )
                 backends = result.get("backends") or {}
                 entry["backends"] = backends
                 formats = set(backends.get("native_formats") or ())
@@ -532,9 +608,63 @@ class ShardRouter:
                 "native": all_native,
                 "native_formats": sorted(merged_formats or ()),
             },
-            "capabilities": {"theta_batch": True, "reload": True},
+            "metrics_schema_version": METRICS_SCHEMA_VERSION,
+            "capabilities": {"theta_batch": True, "reload": True,
+                             "metrics": True, "trace": True},
         }
         return Response(id=request_id, ok=True, result=result)
+
+    async def _merged_metrics(self, request_id) -> Response:
+        """Every replica's metric families, merged under shard/replica
+        labels, plus the front's own series."""
+        answers = await self._fanout(
+            [link for link in self.links if not link.disconnected],
+            {"op": "metrics"},
+        )
+        tagged = [(self._front_families(), {"worker": "front"})]
+        for link, payload in answers:
+            if payload is None or not payload.get("ok"):
+                continue
+            families = (payload.get("result") or {}).get("families") or []
+            tagged.append((
+                families,
+                {"shard": str(link.shard), "replica": str(link.replica)},
+            ))
+        return Response(
+            id=request_id,
+            ok=True,
+            result={
+                "schema_version": METRICS_SCHEMA_VERSION,
+                "families": merge_families(tagged),
+            },
+        )
+
+    def _front_families(self) -> list[dict]:
+        """The router's own few series (it runs no engine, no batcher)."""
+        return [
+            {
+                "name": "problp_front_uptime_seconds",
+                "type": "gauge",
+                "help": "Sharding-front uptime (monotonic clock).",
+                "samples": [{
+                    "labels": {},
+                    "value": time.monotonic() - self._started,
+                }],
+            },
+            {
+                "name": "problp_front_overloaded_total",
+                "type": "counter",
+                "help": "Requests the front shed with the overloaded "
+                        "error code.",
+                "samples": [{"labels": {}, "value": self.overloaded}],
+            },
+            {
+                "name": "problp_front_pending_forwards",
+                "type": "gauge",
+                "help": "Forwarded requests awaiting a worker response.",
+                "samples": [{"labels": {}, "value": len(self._pending)}],
+            },
+        ]
 
     async def _merged_circuits(self, request_id) -> Response:
         """One replica per shard describes its circuits; merged listing."""
@@ -682,6 +812,8 @@ class ShardedServer:
         metrics_interval: float | None = None,
         max_inflight: int = 0,
         max_inflight_per_connection: int = 0,
+        trace_sample_rate: float = 0.0,
+        slow_ms: float | None = None,
     ) -> None:
         if not isinstance(registry, CircuitRegistry):
             registry = CircuitRegistry.from_sources(registry)
@@ -699,6 +831,8 @@ class ShardedServer:
             "max_batch": max_batch,
             "worker_threads": worker_threads,
             "metrics_interval": metrics_interval,
+            "trace_sample_rate": trace_sample_rate,
+            "slow_ms": slow_ms,
         }
         self._front_limits = {
             "max_inflight": max_inflight,

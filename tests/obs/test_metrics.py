@@ -1,0 +1,247 @@
+"""The metrics core: exact concurrent counting and Prometheus text.
+
+The hot-path contract is the whole point of the per-thread-cell design:
+``inc``/``observe`` never take a lock, yet after every worker joins the
+snapshot must be *exact* — no sampled or approximate totals. The hammer
+tests below drive 12 threads through shared counter and histogram
+children and assert the totals to the last increment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    merge_families,
+    render_prometheus,
+    set_enabled,
+)
+
+THREADS = 12
+PER_THREAD = 5_000
+
+
+def _hammer(work) -> None:
+    """Run ``work(thread_index)`` on THREADS threads through a barrier."""
+    barrier = threading.Barrier(THREADS)
+    errors: list[BaseException] = []
+
+    def runner(index: int) -> None:
+        try:
+            barrier.wait()
+            work(index)
+        except BaseException as exc:  # pragma: no cover - debug aid
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+class TestCounterExactness:
+    def test_threaded_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammer_total", "hammered")
+
+        def work(_index: int) -> None:
+            for _ in range(PER_THREAD):
+                counter.inc()
+
+        _hammer(work)
+        assert counter.value == THREADS * PER_THREAD
+
+    def test_threaded_labeled_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "labeled_total", "hammered", labelnames=("lane",)
+        )
+        # All threads bump both children — contention on the *family*,
+        # not just private children.
+        even, odd = counter.labels("even"), counter.labels("odd")
+
+        def work(index: int) -> None:
+            for step in range(PER_THREAD):
+                (even if (index + step) % 2 == 0 else odd).inc(2)
+
+        _hammer(work)
+        assert even.value + odd.value == 2 * THREADS * PER_THREAD
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("mono_total", "monotone")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestHistogramExactness:
+    def test_threaded_observations_are_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", "latencies", buckets=(0.001, 0.01, 0.1, 1.0)
+        )
+        values = [0.0005, 0.005, 0.05, 0.5, 5.0]
+
+        def work(index: int) -> None:
+            for step in range(PER_THREAD):
+                hist.observe(values[(index + step) % len(values)])
+
+        _hammer(work)
+        cumulative, total, count = hist.snapshot()
+        expected_count = THREADS * PER_THREAD
+        assert count == expected_count
+        # The +Inf bucket is implicit: cumulative finite buckets end
+        # below the total count exactly by the overflow observations.
+        per_value = expected_count // len(values)
+        assert cumulative == [
+            per_value, 2 * per_value, 3 * per_value, 4 * per_value
+        ]
+        assert total == pytest.approx(
+            per_value * sum(values), rel=1e-9
+        )
+
+    def test_bucket_sums_equal_observation_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h")
+        for value in (0.0, 1e-5, 0.02, 3.0, 99.0):
+            hist.observe(value)
+        cumulative, _total, count = hist.snapshot()
+        assert count == 5
+        assert len(cumulative) == len(DEFAULT_BUCKETS)
+        # Cumulative buckets are monotone and bounded by the count.
+        assert all(
+            a <= b for a, b in zip(cumulative, cumulative[1:])
+        )
+        assert cumulative[-1] <= count
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "x")
+        b = registry.counter("x_total", "x")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x")
+
+    def test_labelname_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "x", labelnames=("b",))
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "dashes are not prometheus")
+
+    def test_collector_callback_families_merge_in(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a").inc()
+        registry.register_collector(
+            lambda: [
+                {
+                    "name": "b_gauge",
+                    "type": "gauge",
+                    "help": "b",
+                    "samples": [{"labels": {}, "value": 7.0}],
+                }
+            ]
+        )
+        names = {family["name"] for family in registry.collect()}
+        assert names == {"a_total", "b_gauge"}
+
+    def test_collect_is_json_round_trippable(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a", labelnames=("k",)).labels("v").inc()
+        registry.histogram("h_seconds", "h").observe(0.5)
+        registry.gauge("g", "g").set(1.5)
+        families = registry.collect()
+        assert json.loads(json.dumps(families)) == families
+
+    def test_disable_skips_bumps(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("toggled_total", "t")
+        counter.inc()
+        set_enabled(False)
+        try:
+            counter.inc(100)
+        finally:
+            set_enabled(True)
+        counter.inc()
+        assert counter.value == 2
+
+
+class TestRenderer:
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "req_total", "requests", labelnames=("op",)
+        ).labels("eval").inc(3)
+        registry.histogram(
+            "dur_seconds", "durations", buckets=(0.1, 1.0)
+        ).observe(0.5)
+        text = registry.render()
+        assert "# HELP req_total requests\n" in text
+        assert "# TYPE req_total counter\n" in text
+        assert 'req_total{op="eval"} 3\n' in text
+        assert 'dur_seconds_bucket{le="0.1"} 0\n' in text
+        assert 'dur_seconds_bucket{le="1"} 1\n' in text
+        assert 'dur_seconds_bucket{le="+Inf"} 1\n' in text
+        assert "dur_seconds_sum 0.5\n" in text
+        assert "dur_seconds_count 1\n" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "esc_total", "escapes", labelnames=("why",)
+        ).labels('quote " slash \\ newline \n').inc()
+        text = registry.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_merge_families_tags_workers(self):
+        def families(value):
+            return [
+                {
+                    "name": "up",
+                    "type": "gauge",
+                    "help": "u",
+                    "samples": [{"labels": {}, "value": value}],
+                }
+            ]
+
+        merged = merge_families(
+            [
+                (families(1.0), {"shard": "0", "replica": "0"}),
+                (families(2.0), {"shard": "0", "replica": "1"}),
+            ]
+        )
+        (family,) = merged
+        labels = sorted(
+            tuple(sorted(sample["labels"].items()))
+            for sample in family["samples"]
+        )
+        assert labels == [
+            (("replica", "0"), ("shard", "0")),
+            (("replica", "1"), ("shard", "0")),
+        ]
+        # Merged families still render as one valid exposition.
+        assert 'up{' in render_prometheus(merged)
+
+    def test_schema_version_is_stamped(self):
+        assert isinstance(METRICS_SCHEMA_VERSION, int)
+        assert METRICS_SCHEMA_VERSION >= 1

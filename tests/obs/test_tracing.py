@@ -1,0 +1,114 @@
+"""Span/trace mechanics and the wire-field validator."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    SpanRing,
+    Trace,
+    new_trace_id,
+    now_us,
+    parse_trace_field,
+)
+
+
+class TestSpans:
+    def test_first_span_becomes_root_and_parents_default(self):
+        trace = Trace(new_trace_id(), emit=True)
+        root = trace.span("shard.replica", op="eval")
+        child = trace.span("batch.wait")
+        assert trace.root is root
+        assert child.parent == "shard.replica"
+        root.end()
+        child.end()
+        timing = trace.to_timing()
+        assert timing["trace_id"] == trace.trace_id
+        names = [span["name"] for span in timing["spans"]]
+        assert names == ["shard.replica", "batch.wait"]
+
+    def test_span_timestamps_are_monotone(self):
+        trace = Trace(new_trace_id(), emit=True)
+        span = trace.span("work")
+        span.end()
+        assert span.start_us <= span.end_us
+        assert span.duration_us >= 0
+        later = now_us()
+        assert later >= span.end_us
+
+    def test_end_is_idempotent(self):
+        trace = Trace(new_trace_id(), emit=True)
+        span = trace.span("once")
+        span.end(span.start_us + 5)
+        span.end(span.start_us + 500)
+        assert span.duration_us == 5
+
+    def test_unended_span_serializes_with_zero_duration(self):
+        trace = Trace(new_trace_id(), emit=True)
+        span = trace.span("open")
+        payload = span.to_dict()
+        assert payload["end_us"] == payload["start_us"]
+
+    def test_attrs_ride_along_and_stay_json(self):
+        trace = Trace(new_trace_id(), emit=True)
+        trace.span("batch.execute", batch_size=4).end()
+        timing = trace.to_timing()
+        assert json.loads(json.dumps(timing)) == timing
+        assert timing["spans"][0]["batch_size"] == 4
+
+
+class TestParseTraceField:
+    def test_absent_is_none(self):
+        assert parse_trace_field(None) is None
+
+    def test_bare_true_requests_a_fresh_trace(self):
+        assert parse_trace_field(True) == {}
+
+    def test_context_fields_pass_through(self):
+        parsed = parse_trace_field({"id": "abc123", "parent": "front.route"})
+        assert parsed == {"id": "abc123", "parent": "front.route"}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a-string",
+            17,
+            {"id": 42},
+            {"parent": ["nope"]},
+            {"id": "x" * 200},
+        ],
+    )
+    def test_malformed_contexts_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_trace_field(bad)
+
+
+class TestSpanRing:
+    def test_ring_is_bounded(self):
+        ring = SpanRing(4)
+        for index in range(10):
+            ring.record({"trace_id": str(index)})
+        entries = ring.snapshot()
+        assert len(ring) == 4
+        assert [entry["trace_id"] for entry in entries] == [
+            "6", "7", "8", "9"
+        ]
+
+    def test_concurrent_records_never_exceed_bound(self):
+        ring = SpanRing(16)
+        barrier = threading.Barrier(8)
+
+        def work():
+            barrier.wait()
+            for _ in range(500):
+                ring.record({"trace_id": "t"})
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ring) == 16

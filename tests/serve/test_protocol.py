@@ -14,6 +14,7 @@ from repro.errors import (
 )
 from repro.serve.protocol import (
     CircuitsRequest,
+    MetricsRequest,
     EvalRequest,
     HwRequest,
     MarginalsRequest,
@@ -44,11 +45,14 @@ FLOAT_TRUNC = FloatFormat(8, 14, rounding=RoundingMode.TRUNCATE)
 REPRESENTATIVES = [
     PingRequest(id=1),
     CircuitsRequest(id="c-2"),
+    MetricsRequest(id="m-1"),
     ShutdownRequest(id=3),
     EvalRequest(id=4, circuit="alarm", evidence={"HRBP": 1}),
     EvalRequest(id=5, circuit="alarm", evidence={}, fmt=FIXED),
     EvalRequest(id=6, circuit="sprinkler", evidence={"Rain": 0},
                 fmt=FLOAT_TRUNC),
+    EvalRequest(id=17, circuit="alarm", evidence={},
+                trace={"id": "abcd1234", "parent": "front.route"}),
     MarginalsRequest(id=7, circuit="alarm", evidence={"HRBP": 1}),
     MarginalsRequest(id=8, circuit="alarm", evidence={}, fmt=FIXED,
                      joint=True, variables=("HYPOVOLEMIA", "HRBP")),

@@ -71,7 +71,9 @@ class TestReplicatedShape:
         assert isinstance(info["backends"]["native"], bool)
         assert isinstance(info["backends"]["native_formats"], list)
         assert info["capabilities"] == {"theta_batch": True,
-                                        "reload": True}
+                                        "reload": True,
+                                        "metrics": True,
+                                        "trace": True}
 
     def test_requests_spread_across_replicas(self, client):
         # With least-pending routing, a pipelined burst must touch both

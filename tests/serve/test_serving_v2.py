@@ -129,7 +129,9 @@ class TestMetricsSurface:
         assert info["uptime_s"] >= 0.0
         assert isinstance(info["inflight"], int)
         assert info["capabilities"] == {"theta_batch": True,
-                                        "reload": True}
+                                        "reload": True,
+                                        "metrics": True,
+                                        "trace": True}
         stats = info["metrics"]["circuits"]["sprinkler"]
         assert stats["requests"] == 5
         assert stats["errors"] == 0
